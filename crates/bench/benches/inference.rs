@@ -1,0 +1,60 @@
+//! End-to-end MGA inference latency: how long one prediction takes for a
+//! freshly profiled kernel (the model-side cost in the §4.1.5 tuning-cost
+//! comparison — the profiling runs dominate; this is the rest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{FusionModel, Modality, ModelConfig};
+use mga_core::omp::OmpTask;
+use mga_core::OmpDataset;
+use mga_dae::DaeConfig;
+use mga_gnn::GnnConfig;
+use mga_kernels::catalog::openmp_thread_dataset;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::thread_space;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(4).collect();
+    let cpu = CpuSpec::comet_lake();
+    let sizes = vec![1e6, 1e8];
+    let ds = OmpDataset::build(specs, sizes, thread_space(&cpu), cpu, 16, 3);
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 4, 3);
+    let cfg = ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 16,
+            layers: 2,
+            update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+        dae: DaeConfig {
+            input_dim: 16,
+            hidden_dim: 12,
+            code_dim: 8,
+            epochs: 20,
+            ..DaeConfig::default()
+        },
+        hidden: 32,
+        epochs: 15,
+        lr: 0.02,
+        seed: 3,
+    };
+    let model = FusionModel::fit(cfg, &data, &folds[0].train, &task.codec.head_sizes());
+
+    let mut g = c.benchmark_group("mga_inference");
+    g.bench_function("predict_one_sample", |b| {
+        let idx = [folds[0].val[0]];
+        b.iter(|| black_box(model.predict(&data, &idx)))
+    });
+    g.bench_function("predict_validation_fold", |b| {
+        b.iter(|| black_box(model.predict(&data, &folds[0].val)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Microbenchmarks of the static representation pipeline: PROGRAML-style
+//! graph construction, IR2Vec triple extraction, TransE training epochs,
+//! and flow-aware program-vector encoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mga_graph::build_module_graph;
+use mga_kernels::catalog::openmp_catalog;
+use mga_vec::{extract_triples, train_seed_embeddings, TransEConfig};
+use std::hint::black_box;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let cat = openmp_catalog();
+    let mut g = c.benchmark_group("graph_construction");
+    g.sample_size(30);
+    g.bench_function("full_openmp_catalog", |b| {
+        b.iter(|| {
+            let mut nodes = 0;
+            for spec in &cat {
+                let graph = build_module_graph(black_box(&spec.module));
+                nodes += graph.num_nodes();
+            }
+            black_box(nodes)
+        })
+    });
+    let biggest = cat
+        .iter()
+        .max_by_key(|s| s.module.num_instrs())
+        .unwrap();
+    g.bench_function("largest_kernel", |b| {
+        b.iter(|| black_box(build_module_graph(&biggest.module)))
+    });
+    g.finish();
+}
+
+fn bench_csr(c: &mut Criterion) {
+    let cat = openmp_catalog();
+    let graphs: Vec<_> = cat.iter().map(|s| build_module_graph(&s.module)).collect();
+    let mut g = c.benchmark_group("csr_build");
+    g.sample_size(30);
+    g.bench_function("all_relations_all_graphs", |b| {
+        b.iter(|| {
+            let mut edges = 0;
+            for graph in &graphs {
+                for r in mga_graph::Relation::ALL {
+                    edges += graph.csr_in(r).num_edges();
+                }
+            }
+            black_box(edges)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ir2vec(c: &mut Criterion) {
+    let cat: Vec<_> = openmp_catalog().into_iter().take(20).collect();
+    let mut triples = Vec::new();
+    for s in &cat {
+        triples.extend(extract_triples(&s.module));
+    }
+    let mut g = c.benchmark_group("ir2vec");
+    g.sample_size(20);
+    g.bench_function("triple_extraction_20_kernels", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for s in &cat {
+                n += extract_triples(black_box(&s.module)).len();
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("transe_5_epochs_dim32", |b| {
+        b.iter_batched(
+            || triples.clone(),
+            |t| {
+                black_box(train_seed_embeddings(
+                    &t,
+                    &TransEConfig {
+                        dim: 32,
+                        epochs: 5,
+                        ..Default::default()
+                    },
+                    7,
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let emb = train_seed_embeddings(
+        &triples,
+        &TransEConfig {
+            dim: 32,
+            epochs: 5,
+            ..Default::default()
+        },
+        7,
+    );
+    g.bench_function("flow_aware_encoding_20_kernels", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for s in &cat {
+                acc += emb.encode_module(black_box(&s.module))[0];
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_construction, bench_csr, bench_ir2vec);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the hardware-model substrate: single simulated
+//! executions, whole-search-space sweeps (what dataset construction and
+//! oracle labeling do), and device-mapping evaluations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mga_kernels::catalog::{opencl_catalog, openmp_catalog};
+use mga_sim::cpu::CpuSpec;
+use mga_sim::gpu::{run_mapping, GpuSpec};
+use mga_sim::openmp::{large_space, simulate, thread_space, OmpConfig};
+use std::hint::black_box;
+
+fn bench_simulate(c: &mut Criterion) {
+    let cat = openmp_catalog();
+    let cpu = CpuSpec::skylake_4114();
+    let cfg = OmpConfig::default_for(&cpu);
+    let mut g = c.benchmark_group("openmp_model");
+    g.bench_function("single_run", |b| {
+        let spec = &cat[0];
+        b.iter(|| black_box(simulate(spec, 1e7, &cfg, &cpu)))
+    });
+    g.bench_function("catalog_sweep_default_cfg", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for spec in &cat {
+                acc += simulate(spec, 1e7, &cfg, &cpu).runtime;
+            }
+            black_box(acc)
+        })
+    });
+    let space = large_space();
+    g.bench_function("oracle_147_configs", |b| {
+        let spec = &cat[5];
+        b.iter(|| {
+            black_box(mga_sim::openmp::oracle_config(
+                spec, 1e7, &space, &cpu,
+            ))
+        })
+    });
+    let tspace = thread_space(&CpuSpec::comet_lake());
+    g.bench_function("oracle_thread_space", |b| {
+        let spec = &cat[5];
+        let cl = CpuSpec::comet_lake();
+        b.iter(|| black_box(mga_sim::openmp::oracle_config(spec, 1e7, &tspace, &cl)))
+    });
+    g.finish();
+}
+
+fn bench_devmap(c: &mut Criterion) {
+    let cat: Vec<_> = opencl_catalog().into_iter().take(64).collect();
+    let cpu = CpuSpec::i7_3820();
+    let gpu = GpuSpec::tahiti_7970();
+    let mut g = c.benchmark_group("opencl_model");
+    g.bench_function("label_64_kernels", |b| {
+        b.iter(|| {
+            let mut gpu_wins = 0;
+            for spec in &cat {
+                if run_mapping(spec, 8e6, 128, &cpu, &gpu).gpu_wins() {
+                    gpu_wins += 1;
+                }
+            }
+            black_box(gpu_wins)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_devmap);
+criterion_main!(benches);

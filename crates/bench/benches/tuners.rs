@@ -1,0 +1,55 @@
+//! Microbenchmarks of the baseline autotuners: wall-clock cost of one
+//! `tune()` call at a fixed evaluation budget (the *search* overhead on
+//! top of the objective evaluations, which are counted separately by the
+//! tuning-cost experiment binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mga_kernels::catalog::openmp_catalog;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::large_space;
+use mga_tuners::{
+    bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, RandomSearch, Space,
+    Tuner,
+};
+use std::hint::black_box;
+
+fn bench_tuners(c: &mut Criterion) {
+    let spec = openmp_catalog()
+        .into_iter()
+        .find(|s| s.app == "gemm")
+        .unwrap();
+    let cpu = CpuSpec::skylake_4114();
+    let space = Space::new(large_space());
+    let mut g = c.benchmark_group("tuner_search_overhead");
+    g.sample_size(15);
+    for budget in [10usize, 25] {
+        g.bench_with_input(BenchmarkId::new("random", budget), &budget, |b, &n| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&spec, 1e7, &cpu);
+                black_box(RandomSearch { seed: 1 }.tune(&space, &mut ev, n))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ytopt_gp", budget), &budget, |b, &n| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&spec, 1e7, &cpu);
+                black_box(YtoptLike::new(1).tune(&space, &mut ev, n))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("opentuner", budget), &budget, |b, &n| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&spec, 1e7, &cpu);
+                black_box(OpenTunerLike::new(1).tune(&space, &mut ev, n))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bliss", budget), &budget, |b, &n| {
+            b.iter(|| {
+                let mut ev = Evaluator::new(&spec, 1e7, &cpu);
+                black_box(BlissLike::new(1).tune(&space, &mut ev, n))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tuners);
+criterion_main!(benches);

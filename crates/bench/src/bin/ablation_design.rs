@@ -1,0 +1,111 @@
+//! Design-choice ablations (DESIGN.md's ablation index).
+//!
+//! The paper reports trying GCN / GAT / GraphSAGE / GGNN for the relation
+//! sub-networks and picking GGNN (§4.1.3), using late fusion (§2.5), and
+//! modeling vectors with a DAE rather than feeding them raw (§3.2). This
+//! binary quantifies those choices on the thread-prediction task:
+//!
+//! * GGNN vs. GCN vs. GraphSAGE updates in the heterogeneous GNN;
+//! * DAE-encoded vectors vs. raw vectors (VectorOnly with `dae.code_dim`
+//!   equal to the input, epochs 0 is approximated by a tiny-epoch DAE);
+//! * swap-noise level 0 % / 10 % / 30 %.
+
+use mga_bench::{geomean, heading, model_cfg, parse_opts, thread_dataset};
+use mga_core::cv::kfold_by_group;
+use mga_core::model::Modality;
+use mga_core::omp::{eval_model_fold, OmpTask};
+use mga_gnn::UpdateKind;
+
+fn main() {
+    let opts = parse_opts();
+    let ds = thread_dataset(opts);
+    let task = OmpTask::new(&ds);
+    let folds = kfold_by_group(&ds.groups(), 5, opts.seed);
+    let fold = &folds[0];
+
+    heading("Ablation 1: GNN update function (paper picked GGNN)");
+    for (name, kind) in [
+        ("GGNN (gated)", UpdateKind::Gru),
+        ("GraphSAGE-style", UpdateKind::SageConcat),
+        ("GCN-style", UpdateKind::Gcn),
+        ("GAT-style attention", UpdateKind::Gat),
+    ] {
+        let mut cfg = model_cfg(opts, Modality::GraphOnly, true);
+        cfg.gnn.update = kind;
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let ach: Vec<f64> = e.pairs.iter().map(|p| p.achieved).collect();
+        println!(
+            "{name:<18} geomean speedup {:.2}x, accuracy {:.0}%",
+            geomean(&ach),
+            e.accuracy * 100.0
+        );
+    }
+
+    heading("Ablation 2: swap-noise level in the DAE (paper uses 10%)");
+    for noise in [0.0f32, 0.10, 0.30] {
+        let mut cfg = model_cfg(opts, Modality::Multimodal, true);
+        cfg.dae.swap_noise = noise;
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let ach: Vec<f64> = e.pairs.iter().map(|p| p.achieved).collect();
+        println!(
+            "swap noise {:>4.0}%   geomean speedup {:.2}x, accuracy {:.0}%",
+            noise * 100.0,
+            geomean(&ach),
+            e.accuracy * 100.0
+        );
+    }
+
+    heading("Ablation 3: DAE compression width (code dim)");
+    for code in [4usize, 16, 32] {
+        let mut cfg = model_cfg(opts, Modality::Multimodal, true);
+        cfg.dae.code_dim = code;
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let ach: Vec<f64> = e.pairs.iter().map(|p| p.achieved).collect();
+        println!(
+            "code dim {code:<4}      geomean speedup {:.2}x, accuracy {:.0}%",
+            geomean(&ach),
+            e.accuracy * 100.0
+        );
+    }
+
+    heading("Ablation 4: late fusion (paper) vs early feature-level fusion");
+    for (name, modality) in [
+        ("late fusion (MGA)", Modality::Multimodal),
+        ("early fusion (flat features)", Modality::EarlyFusion),
+    ] {
+        let cfg = model_cfg(opts, modality, true);
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let ach: Vec<f64> = e.pairs.iter().map(|p| p.achieved).collect();
+        println!(
+            "{name:<30} geomean speedup {:.2}x, accuracy {:.0}%",
+            geomean(&ach),
+            e.accuracy * 100.0
+        );
+    }
+
+    heading("Ablation 5: heterogeneous (per-relation) vs homogeneous GNN (§3.2)");
+    for (name, homogeneous) in [("heterogeneous (paper)", false), ("homogeneous union graph", true)] {
+        let mut cfg = model_cfg(opts, Modality::GraphOnly, true);
+        cfg.gnn.homogeneous = homogeneous;
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let ach: Vec<f64> = e.pairs.iter().map(|p| p.achieved).collect();
+        println!(
+            "{name:<26} geomean speedup {:.2}x, accuracy {:.0}%",
+            geomean(&ach),
+            e.accuracy * 100.0
+        );
+    }
+
+    heading("Ablation 6: number of hetero-GNN message-passing layers (paper: 2)");
+    for layers in [1usize, 2, 3] {
+        let mut cfg = model_cfg(opts, Modality::Multimodal, true);
+        cfg.gnn.layers = layers;
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let ach: Vec<f64> = e.pairs.iter().map(|p| p.achieved).collect();
+        println!(
+            "{layers} layer(s)         geomean speedup {:.2}x, accuracy {:.0}%",
+            geomean(&ach),
+            e.accuracy * 100.0
+        );
+    }
+}

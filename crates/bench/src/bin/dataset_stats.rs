@@ -1,0 +1,93 @@
+//! Dataset diagnostics: the label structure the learning problem rests
+//! on — oracle headroom, the "one fixed config per loop" ceiling (the
+//! best any static-only model or one-shot search tuner can do), best-config
+//! label mass, and per-suite oracle speedups.
+
+use mga_bench::{heading, parse_opts};
+use mga_kernels::catalog::openmp_thread_dataset;
+use mga_kernels::inputs::openmp_input_sizes;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::{simulate, thread_space, OmpConfig};
+
+fn main() {
+    let opts = parse_opts();
+    let cpu = CpuSpec::comet_lake();
+    let mut specs = openmp_thread_dataset();
+    let mut sizes = openmp_input_sizes();
+    if opts.quick {
+        specs.truncate(12);
+        sizes = sizes.into_iter().step_by(5).collect();
+    }
+    let space = thread_space(&cpu);
+    let dcfg = OmpConfig::default_for(&cpu);
+
+    heading("Label structure of the thread-prediction dataset");
+    println!(
+        "{} loops x {} inputs, {} configurations on {}\n",
+        specs.len(),
+        sizes.len(),
+        space.len(),
+        cpu.name
+    );
+
+    let mut logs_oracle = 0.0f64;
+    let mut logs_ceiling = 0.0f64;
+    let mut n = 0usize;
+    let mut label_mass = vec![0usize; space.len()];
+    let mut per_suite: std::collections::BTreeMap<&str, (f64, usize)> = Default::default();
+
+    for spec in &specs {
+        let mut per_cfg_log = vec![0.0f64; space.len()];
+        let mut oracle_log = 0.0f64;
+        for &ws in &sizes {
+            let d = simulate(spec, ws, &dcfg, &cpu).runtime;
+            let rts: Vec<f64> = space
+                .iter()
+                .map(|c| simulate(spec, ws, c, &cpu).runtime)
+                .collect();
+            let (best_idx, best) = rts
+                .iter()
+                .cloned()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            label_mass[best_idx] += 1;
+            oracle_log += (d / best).ln();
+            for (k, &rt) in rts.iter().enumerate() {
+                per_cfg_log[k] += (d / rt).ln();
+            }
+        }
+        let best_fixed = per_cfg_log.iter().cloned().fold(f64::MIN, f64::max);
+        logs_ceiling += best_fixed;
+        logs_oracle += oracle_log;
+        n += sizes.len();
+        let e = per_suite.entry(spec.suite.name()).or_insert((0.0, 0));
+        e.0 += oracle_log;
+        e.1 += sizes.len();
+    }
+
+    let oracle = (logs_oracle / n as f64).exp();
+    let ceiling = (logs_ceiling / n as f64).exp();
+    println!("oracle geomean speedup over default:        {oracle:.3}x");
+    println!("one-fixed-config-per-loop ceiling:          {ceiling:.3}x");
+    println!(
+        "input-adaptivity premium (oracle / ceiling): {:.3}x",
+        oracle / ceiling
+    );
+    println!("  (the premium is what per-input prediction — i.e. dynamic features — buys)\n");
+
+    println!("best-config label mass:");
+    for (k, &m) in label_mass.iter().enumerate() {
+        println!(
+            "  {:>2} threads: {:>5} samples ({:.1}%)",
+            space[k].threads,
+            m,
+            m as f64 / n as f64 * 100.0
+        );
+    }
+
+    println!("\nper-suite oracle geomean:");
+    for (suite, (log_sum, count)) in per_suite {
+        println!("  {suite:<16} {:.3}x", (log_sum / count as f64).exp());
+    }
+}

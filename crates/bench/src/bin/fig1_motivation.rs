@@ -1,0 +1,82 @@
+//! Figure 1 — motivation.
+//!
+//! (a) kmeans runtime at 1–8 threads on the 8-core Comet Lake system;
+//! (b) distribution of best thread counts across all 45 OpenMP loops and
+//!     30 input sizes (the paper reports ≈64 % of combinations needing a
+//!     non-default thread count).
+
+use mga_bench::{bar, heading, parse_opts, thread_dataset};
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::{simulate, OmpConfig, Schedule};
+
+fn main() {
+    let opts = parse_opts();
+    let cpu = CpuSpec::comet_lake();
+
+    heading("Figure 1a: kmeans execution time vs. thread count (Comet Lake)");
+    let kmeans = mga_kernels::catalog::openmp_catalog()
+        .into_iter()
+        .find(|s| s.app == "kmeans")
+        .expect("kmeans in catalog");
+    let ws = 128.0 * 1024.0 * 1024.0;
+    let mut times = Vec::new();
+    for t in 1..=8u32 {
+        let cfg = OmpConfig {
+            threads: t,
+            schedule: Schedule::Static,
+            chunk: 0,
+        };
+        times.push(simulate(&kmeans, ws, &cfg, &cpu).runtime);
+    }
+    let max = times.iter().cloned().fold(f64::MIN, f64::max);
+    for (i, &t) in times.iter().enumerate() {
+        println!("{}", bar(&format!("{} threads", i + 1), t * 1e3, max * 1e3, 40));
+    }
+    let default_t = times[7];
+    let best = times
+        .iter()
+        .cloned()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let better: Vec<usize> = times
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t < default_t)
+        .map(|(i, _)| i + 1)
+        .collect();
+    println!(
+        "thread counts beating the 8-thread default: {better:?} \
+         (best: {} threads, {:.1}% faster)",
+        best.0 + 1,
+        (1.0 - best.1 / default_t) * 100.0
+    );
+
+    heading("Figure 1b: distribution of best thread counts (45 loops x 30 inputs)");
+    let ds = thread_dataset(opts);
+    let mut hist = vec![0usize; ds.space.len()];
+    for s in &ds.samples {
+        hist[s.best] += 1;
+    }
+    let total: usize = hist.iter().sum();
+    let hmax = *hist.iter().max().unwrap() as f64;
+    for (i, &h) in hist.iter().enumerate() {
+        println!(
+            "{}",
+            bar(
+                &format!("best = {} threads", ds.space[i].threads),
+                h as f64,
+                hmax,
+                40
+            )
+        );
+    }
+    let nondefault = total - hist[ds.space.len() - 1];
+    println!(
+        "combinations needing tuning (best != {} threads): {}/{} = {:.1}%  (paper: ~64%)",
+        ds.cpu.hw_threads(),
+        nondefault,
+        total,
+        nondefault as f64 / total as f64 * 100.0
+    );
+}

@@ -1,0 +1,106 @@
+//! Table 2 + Figure 7 — scaling to the large search space.
+//!
+//! Threads {1,2,4,8,12,16,20} × {static,dynamic,guided} × chunks
+//! {1,8,32,64,128,256,512} on the Skylake 4114 (10c/20t), 30 apps from
+//! PolyBench/Rodinia/LULESH, leave-one-application-out validation.
+//! Paper: normalized speedups > 0.95 for 21/30 apps and > 0.85 for
+//! 28/30; geomean 2.23× vs. oracle 2.38×; MGA beats ytopt / OpenTuner /
+//! BLISS on 28 / 29 / 26 of 30 apps.
+
+use mga_bench::{csv_write, geomean, heading, large_space_dataset, model_cfg, parse_opts};
+use mga_core::cv::leave_one_group_out;
+use mga_core::metrics::summarize;
+use mga_core::model::Modality;
+use mga_core::omp::{eval_model_fold, eval_tuner_fold, OmpTask};
+use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Tuner};
+
+fn main() {
+    let opts = parse_opts();
+    let ds = large_space_dataset(opts);
+    let task = OmpTask::new(&ds);
+    let folds = leave_one_group_out(&ds.app_groups());
+    heading("Figure 7: large search space, leave-one-application-out");
+    println!(
+        "search space: {} configs (Table 2), {} apps x {} inputs on {}",
+        ds.space.len(),
+        ds.specs.len(),
+        ds.sizes.len(),
+        ds.cpu.name
+    );
+
+    let budgets = [("ytopt", 10usize), ("OpenTuner", 25), ("BLISS", 15)];
+    let mut rows: Vec<(String, f64, Vec<f64>)> = Vec::new(); // app, mga_norm, tuner_norms
+    let mut mga_pairs = Vec::new();
+
+    println!(
+        "\n{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "application", "MGA", "ytopt", "OpenTnr", "BLISS"
+    );
+    for (fi, fold) in folds.iter().enumerate() {
+        let app = ds.specs[ds.samples[fold.val[0]].kernel].app.clone();
+        let mut cfg = model_cfg(opts, Modality::Multimodal, true);
+        cfg.seed = opts.seed.wrapping_add(fi as u64);
+        let e = eval_model_fold(&ds, &task, cfg, fold);
+        let (_, _, mga_norm) = summarize(&e.pairs);
+        mga_pairs.extend(e.pairs.clone());
+
+        let mut tuner_norms = Vec::new();
+        for (ti, (name, budget)) in budgets.iter().enumerate() {
+            let mut mk = |seed: u64| -> Box<dyn Tuner> {
+                match *name {
+                    "ytopt" => Box::new(YtoptLike::new(seed)),
+                    "OpenTuner" => Box::new(OpenTunerLike::new(seed)),
+                    _ => Box::new(BlissLike::new(seed)),
+                }
+            };
+            let te = eval_tuner_fold(&ds, &mut mk, *budget, fold);
+            let (_, _, n) = summarize(&te.pairs);
+            tuner_norms.push(n);
+            let _ = ti;
+        }
+        println!(
+            "{:<22} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            app, mga_norm, tuner_norms[0], tuner_norms[1], tuner_norms[2]
+        );
+        rows.push((app, mga_norm, tuner_norms));
+    }
+
+    heading("summary");
+    let n_apps = rows.len();
+    let above95 = rows.iter().filter(|r| r.1 > 0.95).count();
+    let above85 = rows.iter().filter(|r| r.1 > 0.85).count();
+    println!(
+        "MGA normalized speedup > 0.95x for {above95}/{n_apps} apps (paper: 21/30), \
+         > 0.85x for {above85}/{n_apps} (paper: 28/30)"
+    );
+    for (ti, (name, _)) in budgets.iter().enumerate() {
+        let wins = rows.iter().filter(|r| r.1 > r.2[ti]).count();
+        let t95 = rows.iter().filter(|r| r.2[ti] > 0.95).count();
+        println!(
+            "MGA beats {name} on {wins}/{n_apps} apps; {name} > 0.95x on {t95}/{n_apps} \
+             (paper: MGA wins 28/29/26; >0.95 on 7/2/12)"
+        );
+    }
+    let ach: Vec<f64> = mga_pairs.iter().map(|p| p.achieved).collect();
+    let ora: Vec<f64> = mga_pairs.iter().map(|p| p.oracle).collect();
+    println!(
+        "geomean: MGA {:.2}x vs oracle {:.2}x (paper: 2.23x vs 2.38x)",
+        geomean(&ach),
+        geomean(&ora)
+    );
+    let worst = rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("worst application: {} ({:.3} normalized; paper: trisolv)", worst.0, worst.1);
+
+    let csv_rows: Vec<String> = rows
+        .iter()
+        .map(|(app, mga, t)| format!("{app},{mga:.4},{:.4},{:.4},{:.4}", t[0], t[1], t[2]))
+        .collect();
+    csv_write(
+        "fig7_large_space",
+        "application,mga_normalized,ytopt_normalized,opentuner_normalized,bliss_normalized",
+        &csv_rows,
+    );
+}

@@ -1,0 +1,129 @@
+//! Figure 9 — µ-architecture portability (§4.1.5).
+//!
+//! The thread-prediction model is trained **only on Comet Lake data**;
+//! it then predicts thread counts for Broadwell and Sandy Bridge
+//! (single-socket 8-core parts, so the model transfers without
+//! retraining). For each left-out PolyBench kernel, the target system is
+//! profiled twice, the cache counters are rescaled by cache-capacity
+//! ratios, and the rescaled features drive the pre-trained model.
+
+use mga_bench::{geomean, heading, model_cfg, parse_opts, vec_dim};
+use mga_core::cv::leave_one_group_out;
+use mga_core::model::{FusionModel, Modality, TrainData};
+use mga_core::omp::{portability_features, OmpTask};
+use mga_core::OmpDataset;
+use mga_kernels::catalog::polybench_portability_kernels;
+use mga_kernels::inputs::{openmp_input_sizes, polybench_standard_large};
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::thread_space;
+
+fn main() {
+    let opts = parse_opts();
+    let source = CpuSpec::comet_lake();
+    let mut specs = polybench_portability_kernels();
+    let mut sizes = openmp_input_sizes();
+    if opts.quick {
+        specs.truncate(8);
+        sizes = sizes.into_iter().step_by(6).collect();
+    }
+    let train_ds = OmpDataset::build(
+        specs.clone(),
+        sizes,
+        thread_space(&source),
+        source.clone(),
+        vec_dim(opts),
+        opts.seed,
+    );
+    let task = OmpTask::new(&train_ds);
+    let folds = leave_one_group_out(&train_ds.groups());
+
+    let targets = [CpuSpec::broadwell_8c(), CpuSpec::sandy_bridge_8c()];
+    let eval_sizes: Vec<f64> = polybench_standard_large().to_vec();
+
+    heading("Figure 9: thread prediction on Broadwell/Sandy Bridge (trained on Comet Lake)");
+    println!(
+        "{} PolyBench kernels, STANDARD + LARGE inputs, leave-one-out\n",
+        specs.len()
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>14} {:>14}",
+        "kernel", "BW speedup", "BW oracle", "SB speedup", "SB oracle"
+    );
+
+    let mut per_target_speedups: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    let mut per_target_oracle: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+
+    for (fi, fold) in folds.iter().enumerate() {
+        let kernel_idx = train_ds.samples[fold.val[0]].kernel;
+        let kernel_name = train_ds.specs[kernel_idx].app.clone();
+        let data = task.train_data(&train_ds);
+        let mut cfg = model_cfg(opts, Modality::Multimodal, true);
+        cfg.seed = opts.seed.wrapping_add(fi as u64);
+        let model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
+
+        let mut row = format!("{kernel_name:<24} ");
+        for (ti, target) in targets.iter().enumerate() {
+            // Profile the validation kernel on the target system at the
+            // two dataset sizes and rescale the counters.
+            let eval_ds = OmpDataset::build(
+                vec![specs[kernel_idx].clone()],
+                eval_sizes.clone(),
+                thread_space(target),
+                target.clone(),
+                vec_dim(opts),
+                opts.seed,
+            );
+            let aux: Vec<Vec<f32>> = eval_ds
+                .samples
+                .iter()
+                .map(|s| portability_features(&s.counters, &source, target))
+                .collect();
+            // Prediction view: the left-out kernel's graph/vector from the
+            // training dataset, target-arch counters as aux.
+            let sample_kernel = vec![kernel_idx; eval_ds.samples.len()];
+            let dummy_labels: Vec<Vec<usize>> = task
+                .labels
+                .iter()
+                .map(|_| vec![0usize; eval_ds.samples.len()])
+                .collect();
+            let pdata = TrainData {
+                graphs: &train_ds.graphs,
+                vectors: &train_ds.vectors,
+                sample_kernel: &sample_kernel,
+                aux: &aux,
+                labels: &dummy_labels,
+            };
+            let idx: Vec<usize> = (0..eval_ds.samples.len()).collect();
+            let preds = model.predict(&pdata, &idx);
+            let mut speeds = Vec::new();
+            let mut oracles = Vec::new();
+            for (j, s) in eval_ds.samples.iter().enumerate() {
+                let heads: Vec<usize> = preds.iter().map(|p| p[j]).collect();
+                let cfg_idx = task.codec.decode(&heads);
+                speeds.push(eval_ds.achieved_speedup(s, cfg_idx));
+                oracles.push(eval_ds.oracle_speedup(s));
+            }
+            let g = geomean(&speeds);
+            let o = geomean(&oracles);
+            per_target_speedups[ti].extend(&speeds);
+            per_target_oracle[ti].extend(&oracles);
+            row.push_str(&format!("{g:>13.2}x {o:>13.2}x "));
+        }
+        println!("{row}");
+    }
+
+    heading("summary [higher is better]");
+    for (ti, target) in targets.iter().enumerate() {
+        println!(
+            "{:<28} geomean speedup {:.2}x vs oracle {:.2}x (normalized {:.3})",
+            target.name,
+            geomean(&per_target_speedups[ti]),
+            geomean(&per_target_oracle[ti]),
+            geomean(&per_target_speedups[ti]) / geomean(&per_target_oracle[ti])
+        );
+    }
+    println!(
+        "\nno retraining was performed for the target architectures; only two\n\
+         profiling runs per kernel (the paper's §4.1.5 protocol)."
+    );
+}

@@ -1,0 +1,70 @@
+//! §4.1.5 "Observations and Analysis" — tuning-cost comparison.
+//!
+//! For the 2mm benchmark with the LARGE input on the Skylake system, the
+//! paper reports ≈90 s for the MGA tuner (two profiling runs +
+//! inference) vs. ≈180 s (OpenTuner, time limit), ≈260 s (ytopt, 10 max
+//! evaluations) and ≈220 s (BLISS). The MGA cost is independent of the
+//! search-space size; the search tuners pay per evaluation.
+
+use mga_bench::{cfg_str, heading, parse_opts};
+use mga_kernels::catalog::openmp_catalog;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::{large_space, simulate, OmpConfig};
+use mga_tuners::{
+    bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, Space,
+};
+
+fn main() {
+    let _opts = parse_opts();
+    let cpu = CpuSpec::skylake_4114();
+    let spec = openmp_catalog()
+        .into_iter()
+        .find(|s| s.app == "2mm")
+        .expect("2mm");
+    let ws = 32.0 * 1024.0 * 1024.0; // LARGE (~1000x1000 doubles, a few arrays)
+    let space = Space::new(large_space());
+
+    heading("Tuning cost for 2mm (LARGE) on Skylake 4114");
+    let default_cfg = OmpConfig::default_for(&cpu);
+    let default_rt = simulate(&spec, ws, &default_cfg, &cpu).runtime;
+    println!("default runtime: {default_rt:.2}s  ({})", cfg_str(&default_cfg));
+
+    // --- MGA inference cost: two profiling runs (the five counters can't
+    // be collected in one run) + model inference.
+    let profiling_runs = 2.0;
+    let per_run_overhead = 2.0; // launch/instrumentation
+    let inference_s = 0.4; // graph+vector encode + forward pass
+    let mga_cost = profiling_runs * (default_rt + per_run_overhead) + inference_s;
+    println!(
+        "\nMGA tuner: {:.0}s  = {} profiling runs x ({:.1}s run + {:.1}s overhead) + {:.1}s inference (paper: ~90s)",
+        mga_cost, profiling_runs as u32, default_rt, per_run_overhead, inference_s
+    );
+
+    // --- Search tuners: budgeted evaluations on the real objective.
+    let runs: Vec<(&str, mga_tuners::TunerFactory, usize)> = vec![
+        ("OpenTuner", Box::new(|s| Box::new(OpenTunerLike::new(s))), 25),
+        ("ytopt", Box::new(|s| Box::new(YtoptLike::new(s))), 10),
+        ("BLISS", Box::new(|s| Box::new(BlissLike::new(s))), 15),
+    ];
+    let paper = [("OpenTuner", 180.0), ("ytopt", 260.0), ("BLISS", 220.0)];
+    println!();
+    for (name, mk, budget) in &runs {
+        let mut tuner = mk(7);
+        let mut ev = Evaluator::new(&spec, ws, &cpu);
+        let chosen = tuner.tune(&space, &mut ev, *budget);
+        let chosen_rt = simulate(&spec, ws, &chosen, &cpu).runtime;
+        let paper_s = paper.iter().find(|(n, _)| n == name).unwrap().1;
+        println!(
+            "{name:<10} {:.0}s over {} evaluations -> {} ({:.2}x speedup)   (paper: ~{paper_s:.0}s)",
+            ev.spent_seconds,
+            ev.evals,
+            cfg_str(&chosen),
+            default_rt / chosen_rt
+        );
+    }
+
+    println!(
+        "\nMGA's cost is flat in the search-space size; the search tuners pay\n\
+         per evaluation and grow with the space (the paper's conclusion)."
+    );
+}

@@ -1,0 +1,80 @@
+//! Extension experiment (paper §7: "expand our work to GPUs"):
+//! work-group-size tuning for OpenCL kernels with the same multimodal
+//! pipeline — predict the best work-group among {32,…,512} for unseen
+//! kernels and compare with the device default and the oracle.
+
+use mga_bench::{devmap_model_cfg, geomean, heading, parse_opts, vec_dim};
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{FusionModel, Modality};
+use mga_core::wgsize::{WgDataset, WgTask, WG_CANDIDATES};
+use mga_sim::gpu::GpuSpec;
+
+fn main() {
+    let opts = parse_opts();
+    let mut specs = mga_kernels::catalog::opencl_catalog();
+    if opts.quick {
+        specs.truncate(64);
+    }
+    for gpu in [GpuSpec::tahiti_7970(), GpuSpec::gtx_970()] {
+        let ds = WgDataset::build(specs.clone(), gpu, vec_dim(opts), opts.seed);
+        let task = WgTask::new(&ds);
+        let data = task.train_data(&ds);
+        let folds = kfold_by_group(&ds.groups(), if opts.quick { 3 } else { 5 }, opts.seed);
+
+        heading(&format!(
+            "Work-group tuning on {} ({} kernels x 3 transfer classes)",
+            ds.gpu.name,
+            ds.specs.len()
+        ));
+
+        // Label distribution.
+        let mut hist = [0usize; 5];
+        for s in &ds.samples {
+            hist[s.best] += 1;
+        }
+        println!("best work-group distribution:");
+        for (c, &wg) in WG_CANDIDATES.iter().enumerate() {
+            println!(
+                "  wg={wg:<4} {:>5} samples ({:.1}%)",
+                hist[c],
+                hist[c] as f64 / ds.samples.len() as f64 * 100.0
+            );
+        }
+
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut speedups = Vec::new();
+        let mut oracle = Vec::new();
+        for (fi, fold) in folds.iter().enumerate() {
+            let mut cfg = devmap_model_cfg(opts, Modality::Multimodal);
+            cfg.seed = opts.seed.wrapping_add(fi as u64);
+            let model = FusionModel::fit(cfg, &data, &fold.train, &[WG_CANDIDATES.len()]);
+            let preds = model.predict(&data, &fold.val);
+            for (j, &i) in fold.val.iter().enumerate() {
+                let s = &ds.samples[i];
+                if preds[0][j] == s.best {
+                    hits += 1;
+                }
+                total += 1;
+                speedups.push(ds.speedup_over_default(s, preds[0][j]));
+                oracle.push(ds.speedup_over_default(s, s.best));
+            }
+        }
+        println!(
+            "\nunseen-kernel accuracy: {:.1}% ({hits}/{total})",
+            hits as f64 / total as f64 * 100.0
+        );
+        println!(
+            "geomean GPU-time speedup over the device-default work-group ({}): \
+             predicted {:.3}x, oracle {:.3}x (normalized {:.3})",
+            ds.gpu.preferred_wg,
+            geomean(&speedups),
+            geomean(&oracle),
+            geomean(&speedups) / geomean(&oracle)
+        );
+    }
+    println!(
+        "\n(the same graphs, vectors and fusion model tune a GPU runtime parameter —\n\
+         the §7 direction — with no pipeline changes beyond a new label source.)"
+    );
+}

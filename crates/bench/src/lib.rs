@@ -1,0 +1,252 @@
+//! `mga-bench` — experiment harness shared by the per-figure binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md's per-experiment index) and accepts `--quick` for a reduced
+//! dataset/epoch budget, printing the same rows/series the paper reports.
+
+use mga_core::model::{Modality, ModelConfig};
+use mga_core::OmpDataset;
+use mga_dae::DaeConfig;
+use mga_gnn::GnnConfig;
+use mga_kernels::inputs::openmp_input_sizes;
+use mga_kernels::KernelSpec;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::OmpConfig;
+
+/// Common command-line options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Reduced dataset and epochs (CI-friendly).
+    pub quick: bool,
+    pub seed: u64,
+}
+
+/// Parse `--quick` / `--seed N` from `std::env::args`.
+pub fn parse_opts() -> RunOpts {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    RunOpts { quick, seed }
+}
+
+/// The IR2Vec-style vector width used across experiments.
+pub fn vec_dim(opts: RunOpts) -> usize {
+    if opts.quick {
+        16
+    } else {
+        48
+    }
+}
+
+/// The model configuration for a given modality/feature setting.
+pub fn model_cfg(opts: RunOpts, modality: Modality, use_aux: bool) -> ModelConfig {
+    let dim = vec_dim(opts);
+    if opts.quick {
+        ModelConfig {
+            modality,
+            use_aux,
+            gnn: GnnConfig {
+                dim: 12,
+                layers: 2,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: dim,
+                hidden_dim: 14,
+                code_dim: 10,
+                epochs: 40,
+                ..DaeConfig::default()
+            },
+            hidden: 24,
+            epochs: 25,
+            lr: 0.02,
+            seed: opts.seed,
+        }
+    } else {
+        ModelConfig {
+            modality,
+            use_aux,
+            gnn: GnnConfig {
+                dim: 32,
+                layers: 2,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: dim,
+                hidden_dim: 32,
+                code_dim: 16,
+                epochs: 80,
+                ..DaeConfig::default()
+            },
+            hidden: 64,
+            epochs: 70,
+            lr: 0.012,
+            seed: opts.seed,
+        }
+    }
+}
+
+/// Model configuration for the device-mapping task (§4.2). The task is
+/// binary and converges fast, so it uses a lighter GNN than the OpenMP
+/// experiments but trains longer (the paper's near-98% regime).
+pub fn devmap_model_cfg(opts: RunOpts, modality: Modality) -> ModelConfig {
+    let dim = vec_dim(opts);
+    if opts.quick {
+        let mut cfg = model_cfg(opts, modality, true);
+        cfg.epochs = 35;
+        cfg
+    } else {
+        ModelConfig {
+            modality,
+            use_aux: true,
+            gnn: GnnConfig {
+                dim: 16,
+                layers: 2,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: dim,
+                hidden_dim: 24,
+                code_dim: 12,
+                epochs: 60,
+                ..DaeConfig::default()
+            },
+            hidden: 32,
+            epochs: 90,
+            lr: 0.015,
+            seed: opts.seed,
+        }
+    }
+}
+
+/// The thread-prediction dataset of §4.1.3 (45 loops × 30 inputs on Comet
+/// Lake, threads 1–8). `--quick` trims to 12 loops × 6 inputs.
+pub fn thread_dataset(opts: RunOpts) -> OmpDataset {
+    let cpu = CpuSpec::comet_lake();
+    let mut specs = mga_kernels::catalog::openmp_thread_dataset();
+    let mut sizes = openmp_input_sizes();
+    if opts.quick {
+        specs = pick_every(specs, 45 / 12);
+        sizes = sizes.into_iter().step_by(5).collect();
+    }
+    let space = mga_sim::openmp::thread_space(&cpu);
+    OmpDataset::build(specs, sizes, space, cpu, vec_dim(opts), opts.seed)
+}
+
+/// The large-search-space dataset of §4.1.4 (30 apps on Skylake 4114,
+/// Table 2's 147 configurations).
+pub fn large_space_dataset(opts: RunOpts) -> OmpDataset {
+    let cpu = CpuSpec::skylake_4114();
+    let mut specs = mga_kernels::catalog::large_space_apps();
+    let mut sizes = openmp_input_sizes();
+    if opts.quick {
+        specs.truncate(10);
+        sizes = sizes.into_iter().step_by(6).collect();
+    } else {
+        // The paper evaluates per-app; 10 input sizes keep the full run
+        // tractable while still exercising the cache ladder.
+        sizes = sizes.into_iter().step_by(3).collect();
+    }
+    let space = mga_sim::openmp::large_space();
+    OmpDataset::build(specs, sizes, space, cpu, vec_dim(opts), opts.seed)
+}
+
+fn pick_every(specs: Vec<KernelSpec>, stride: usize) -> Vec<KernelSpec> {
+    specs
+        .into_iter()
+        .step_by(stride.max(1))
+        .collect()
+}
+
+/// Render a labeled ASCII bar (for figure-like terminal output).
+pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
+    let frac = (value / max).clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!(
+        "{label:<28} {:>6.3} |{}{}|",
+        value,
+        "█".repeat(filled),
+        " ".repeat(width - filled)
+    )
+}
+
+/// Print a section heading.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Write a CSV alongside the textual output (under `results/csv/`), so
+/// the figures can be re-plotted. Errors are reported but non-fatal —
+/// experiments still print their tables.
+pub fn csv_write(name: &str, header: &str, rows: &[String]) {
+    let dir = std::path::Path::new("results/csv");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("csv: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    body.push_str(header);
+    body.push('\n');
+    for r in rows {
+        body.push_str(r);
+        body.push('\n');
+    }
+    match std::fs::write(&path, body) {
+        Ok(()) => println!("[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("csv: cannot write {path:?}: {e}"),
+    }
+}
+
+/// Geometric mean helper re-exported for binaries.
+pub use mga_core::metrics::geomean;
+
+/// Format an `OmpConfig` compactly.
+pub fn cfg_str(c: &OmpConfig) -> String {
+    format!(
+        "{} threads, {} schedule, chunk {}",
+        c.threads,
+        c.schedule.name(),
+        if c.chunk == 0 {
+            "default".to_string()
+        } else {
+            c.chunk.to_string()
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_datasets_build() {
+        let opts = RunOpts {
+            quick: true,
+            seed: 1,
+        };
+        let ds = thread_dataset(opts);
+        assert!(ds.specs.len() >= 10);
+        assert_eq!(ds.sizes.len(), 6);
+        assert_eq!(ds.space.len(), 8);
+        let ds2 = large_space_dataset(opts);
+        assert_eq!(ds2.specs.len(), 10);
+        assert_eq!(ds2.space.len(), 147);
+    }
+
+    #[test]
+    fn bar_renders_bounded() {
+        let s = bar("x", 0.5, 1.0, 10);
+        assert!(s.contains("█████"));
+        let s2 = bar("x", 2.0, 1.0, 10);
+        assert!(s2.contains(&"█".repeat(10)));
+    }
+}

@@ -1,0 +1,333 @@
+//! Dataset assembly: simulate-profile every kernel × input × config and
+//! attach the static representations (graphs, vectors).
+
+use mga_graph::{build_module_graph, ProGraph};
+use mga_kernels::spec::KernelSpec;
+use mga_sim::counters::Counters;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::gpu::{run_mapping, GpuSpec};
+use mga_sim::openmp::{simulate, OmpConfig};
+use mga_vec::{extract_triples, train_seed_embeddings, SeedEmbeddings, TransEConfig, Triple};
+
+/// One OpenMP (loop, input) sample.
+#[derive(Debug, Clone)]
+pub struct OmpSample {
+    /// Index into the dataset's kernel list.
+    pub kernel: usize,
+    /// Index into the input-size ladder.
+    pub input: usize,
+    /// Working-set target in bytes.
+    pub ws_bytes: f64,
+    /// Counters measured at the default configuration (the profiling run
+    /// the tuner performs at inference time).
+    pub counters: Counters,
+    /// Simulated runtime of every configuration in the space.
+    pub runtimes: Vec<f64>,
+    /// Index of the best (oracle) configuration.
+    pub best: usize,
+    /// Runtime at the default configuration.
+    pub default_runtime: f64,
+}
+
+/// The OpenMP tuning dataset.
+pub struct OmpDataset {
+    pub specs: Vec<KernelSpec>,
+    pub graphs: Vec<ProGraph>,
+    /// IR2Vec-style program vector per kernel.
+    pub vectors: Vec<Vec<f32>>,
+    pub space: Vec<OmpConfig>,
+    pub sizes: Vec<f64>,
+    pub cpu: CpuSpec,
+    pub samples: Vec<OmpSample>,
+    /// The seed embeddings (kept for encoding unseen kernels).
+    pub embeddings: SeedEmbeddings,
+}
+
+/// Train the IR2Vec seed vocabulary over a set of kernels and encode each
+/// kernel's module.
+pub fn encode_kernels(
+    specs: &[KernelSpec],
+    dim: usize,
+    seed: u64,
+) -> (SeedEmbeddings, Vec<Vec<f32>>) {
+    let mut triples: Vec<Triple> = Vec::new();
+    for s in specs {
+        triples.extend(extract_triples(&s.module));
+    }
+    let cfg = TransEConfig {
+        dim,
+        epochs: 25,
+        ..TransEConfig::default()
+    };
+    let emb = train_seed_embeddings(&triples, &cfg, seed);
+    let vectors = specs.iter().map(|s| emb.encode_module(&s.module)).collect();
+    (emb, vectors)
+}
+
+impl OmpDataset {
+    /// Build the dataset: per kernel the PROGRAML graph and IR2Vec
+    /// vector; per (kernel, input) the full configuration sweep.
+    pub fn build(
+        specs: Vec<KernelSpec>,
+        sizes: Vec<f64>,
+        space: Vec<OmpConfig>,
+        cpu: CpuSpec,
+        vec_dim: usize,
+        seed: u64,
+    ) -> OmpDataset {
+        assert!(!specs.is_empty() && !sizes.is_empty() && !space.is_empty());
+        let graphs: Vec<ProGraph> = specs.iter().map(|s| build_module_graph(&s.module)).collect();
+        let (embeddings, vectors) = encode_kernels(&specs, vec_dim, seed);
+        let default_cfg = OmpConfig::default_for(&cpu);
+
+        let mut samples = Vec::with_capacity(specs.len() * sizes.len());
+        for (ki, spec) in specs.iter().enumerate() {
+            for (ii, &ws) in sizes.iter().enumerate() {
+                let runtimes: Vec<f64> = space
+                    .iter()
+                    .map(|cfg| simulate(spec, ws, cfg, &cpu).runtime)
+                    .collect();
+                let best = runtimes
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let default_run = simulate(spec, ws, &default_cfg, &cpu);
+                samples.push(OmpSample {
+                    kernel: ki,
+                    input: ii,
+                    ws_bytes: ws,
+                    counters: default_run.counters,
+                    runtimes,
+                    best,
+                    default_runtime: default_run.runtime,
+                });
+            }
+        }
+        OmpDataset {
+            specs,
+            graphs,
+            vectors,
+            space,
+            sizes,
+            cpu,
+            samples,
+            embeddings,
+        }
+    }
+
+    /// Group id (kernel index) per sample — the unit the paper's CV folds
+    /// partition.
+    pub fn groups(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.kernel).collect()
+    }
+
+    /// App-level group id per sample (for leave-one-application-out).
+    pub fn app_groups(&self) -> Vec<usize> {
+        let mut apps: Vec<&str> = self.specs.iter().map(|s| s.app.as_str()).collect();
+        apps.sort_unstable();
+        apps.dedup();
+        self.samples
+            .iter()
+            .map(|s| {
+                apps.binary_search(&self.specs[s.kernel].app.as_str())
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// The oracle speedup of a sample (default / best runtime).
+    pub fn oracle_speedup(&self, sample: &OmpSample) -> f64 {
+        sample.default_runtime / sample.runtimes[sample.best]
+    }
+
+    /// The achieved speedup of choosing config `cfg_idx` for a sample.
+    pub fn achieved_speedup(&self, sample: &OmpSample, cfg_idx: usize) -> f64 {
+        sample.default_runtime / sample.runtimes[cfg_idx]
+    }
+}
+
+/// One OpenCL device-mapping sample.
+#[derive(Debug, Clone)]
+pub struct OclSample {
+    pub kernel: usize,
+    pub transfer_bytes: f64,
+    pub wg_size: u32,
+    pub cpu_time: f64,
+    pub gpu_time: f64,
+    /// 1 = GPU is the better device.
+    pub label: usize,
+}
+
+/// The OpenCL device-mapping dataset for one GPU.
+pub struct OclDataset {
+    pub specs: Vec<KernelSpec>,
+    pub graphs: Vec<ProGraph>,
+    pub vectors: Vec<Vec<f32>>,
+    pub samples: Vec<OclSample>,
+    pub embeddings: SeedEmbeddings,
+    pub gpu: GpuSpec,
+    pub cpu: CpuSpec,
+}
+
+impl OclDataset {
+    /// Build ~670 labeled points for `gpu` over the kernel catalog.
+    pub fn build(specs: Vec<KernelSpec>, gpu: GpuSpec, vec_dim: usize, seed: u64) -> OclDataset {
+        let cpu = CpuSpec::i7_3820();
+        let graphs: Vec<ProGraph> = specs.iter().map(|s| build_module_graph(&s.module)).collect();
+        let (embeddings, vectors) = encode_kernels(&specs, vec_dim, seed);
+        let mut samples = Vec::new();
+        for (ki, spec) in specs.iter().enumerate() {
+            for p in mga_kernels::inputs::opencl_points(mga_sim::name_hash(&spec.name)) {
+                let m = run_mapping(spec, p.transfer_bytes, p.wg_size, &cpu, &gpu);
+                samples.push(OclSample {
+                    kernel: ki,
+                    transfer_bytes: p.transfer_bytes,
+                    wg_size: p.wg_size,
+                    cpu_time: m.cpu_time,
+                    gpu_time: m.gpu_time,
+                    label: usize::from(m.gpu_wins()),
+                });
+            }
+        }
+        OclDataset {
+            specs,
+            graphs,
+            vectors,
+            samples,
+            embeddings,
+            gpu,
+            cpu,
+        }
+    }
+
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Runtime of the statically best single device over all samples (the
+    /// "static mapping" speedup baseline of §4.2).
+    pub fn static_mapping_time(&self) -> f64 {
+        let all_cpu: f64 = self.samples.iter().map(|s| s.cpu_time).sum();
+        let all_gpu: f64 = self.samples.iter().map(|s| s.gpu_time).sum();
+        all_cpu.min(all_gpu)
+    }
+
+    /// Is the GPU the better *static* device (by total time)?
+    pub fn static_device_is_gpu(&self) -> bool {
+        let all_cpu: f64 = self.samples.iter().map(|s| s.cpu_time).sum();
+        let all_gpu: f64 = self.samples.iter().map(|s| s.gpu_time).sum();
+        all_gpu < all_cpu
+    }
+
+    /// Geometric-mean per-sample speedup of a mapping over the static
+    /// baseline (how the paper and IR2Vec report §4.2 speedups — each
+    /// kernel execution counts equally, not weighted by its runtime).
+    pub fn geomean_speedup(&self, pred: &[usize]) -> f64 {
+        assert_eq!(pred.len(), self.samples.len());
+        let gpu_static = self.static_device_is_gpu();
+        let ratios: Vec<f64> = self
+            .samples
+            .iter()
+            .zip(pred)
+            .map(|(s, &p)| {
+                let static_t = if gpu_static { s.gpu_time } else { s.cpu_time };
+                let mapped_t = if p == 1 { s.gpu_time } else { s.cpu_time };
+                static_t / mapped_t
+            })
+            .collect();
+        let log_sum: f64 = ratios.iter().map(|r| r.ln()).sum();
+        (log_sum / ratios.len() as f64).exp()
+    }
+
+    /// Geometric-mean per-sample speedup of the oracle mapping.
+    pub fn geomean_oracle_speedup(&self) -> f64 {
+        self.geomean_speedup(&self.labels())
+    }
+
+    /// Total runtime when each sample runs on its predicted device
+    /// (`pred[i] == 1` → GPU).
+    pub fn mapped_time(&self, pred: &[usize]) -> f64 {
+        assert_eq!(pred.len(), self.samples.len());
+        self.samples
+            .iter()
+            .zip(pred)
+            .map(|(s, &p)| if p == 1 { s.gpu_time } else { s.cpu_time })
+            .sum()
+    }
+
+    /// Total runtime with oracle mapping.
+    pub fn oracle_time(&self) -> f64 {
+        self.samples.iter().map(|s| s.cpu_time.min(s.gpu_time)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::{opencl_catalog, openmp_thread_dataset};
+    use mga_sim::openmp::thread_space;
+
+    fn tiny_omp() -> OmpDataset {
+        let specs: Vec<KernelSpec> = openmp_thread_dataset().into_iter().take(6).collect();
+        let cpu = CpuSpec::comet_lake();
+        let sizes = vec![64.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 256.0 * 1024.0 * 1024.0];
+        let space = thread_space(&cpu);
+        OmpDataset::build(specs, sizes, space, cpu, 16, 7)
+    }
+
+    #[test]
+    fn omp_dataset_shapes() {
+        let ds = tiny_omp();
+        assert_eq!(ds.samples.len(), 6 * 3);
+        assert_eq!(ds.graphs.len(), 6);
+        assert_eq!(ds.vectors.len(), 6);
+        assert!(ds.vectors.iter().all(|v| v.len() == 16));
+        for s in &ds.samples {
+            assert_eq!(s.runtimes.len(), 8);
+            assert!(s.best < 8);
+            assert!(s.default_runtime > 0.0);
+            // Oracle at least as good as default.
+            assert!(ds.oracle_speedup(s) >= 0.99);
+        }
+    }
+
+    #[test]
+    fn omp_labels_are_argmin() {
+        let ds = tiny_omp();
+        for s in &ds.samples {
+            let min = s
+                .runtimes
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(s.runtimes[s.best], min);
+        }
+    }
+
+    #[test]
+    fn omp_groups_align_with_kernels() {
+        let ds = tiny_omp();
+        let g = ds.groups();
+        assert_eq!(g.len(), ds.samples.len());
+        assert_eq!(g[0], 0);
+        assert_eq!(g[3], 1);
+        let apps = ds.app_groups();
+        assert_eq!(apps.len(), ds.samples.len());
+    }
+
+    #[test]
+    fn ocl_dataset_builds_with_both_labels() {
+        let specs: Vec<KernelSpec> = opencl_catalog().into_iter().take(40).collect();
+        let ds = OclDataset::build(specs, GpuSpec::gtx_970(), 16, 3);
+        assert!(ds.samples.len() >= 60, "too few points: {}", ds.samples.len());
+        let ones = ds.labels().iter().filter(|&&l| l == 1).count();
+        assert!(ones > 0 && ones < ds.samples.len(), "degenerate labels");
+        // Oracle beats static mapping and mapped_time with oracle preds
+        // equals oracle_time.
+        assert!(ds.oracle_time() <= ds.static_mapping_time());
+        let oracle_pred = ds.labels();
+        assert!((ds.mapped_time(&oracle_pred) - ds.oracle_time()).abs() < 1e-9);
+    }
+}

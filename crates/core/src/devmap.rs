@@ -1,0 +1,149 @@
+//! The OpenCL heterogeneous device-mapping task (§4.2).
+//!
+//! Ten-fold stratified cross-validation over the labeled dataset; the
+//! model fuses the two static modalities with the transfer and
+//! work-group sizes (performance counters are *not* used here, matching
+//! the paper).
+
+use crate::cv::{stratified_kfold, Fold};
+use crate::dataset::OclDataset;
+use crate::metrics::{accuracy, macro_f1};
+use crate::model::{FusionModel, ModelConfig, TrainData};
+
+/// Aux features of a device-mapping sample: log-transfer size and
+/// work-group size (min-max scaled downstream by the model).
+pub fn ocl_aux(transfer_bytes: f64, wg_size: u32) -> Vec<f32> {
+    vec![(transfer_bytes.max(1.0)).log2() as f32, wg_size as f32]
+}
+
+/// The task view over an [`OclDataset`].
+pub struct DevmapTask {
+    pub sample_kernel: Vec<usize>,
+    pub aux: Vec<Vec<f32>>,
+    pub labels: Vec<Vec<usize>>,
+}
+
+impl DevmapTask {
+    pub fn new(ds: &OclDataset) -> DevmapTask {
+        DevmapTask {
+            sample_kernel: ds.samples.iter().map(|s| s.kernel).collect(),
+            aux: ds
+                .samples
+                .iter()
+                .map(|s| ocl_aux(s.transfer_bytes, s.wg_size))
+                .collect(),
+            labels: vec![ds.labels()],
+        }
+    }
+
+    pub fn train_data<'a>(&'a self, ds: &'a OclDataset) -> TrainData<'a> {
+        TrainData {
+            graphs: &ds.graphs,
+            vectors: &ds.vectors,
+            sample_kernel: &self.sample_kernel,
+            aux: &self.aux,
+            labels: &self.labels,
+        }
+    }
+}
+
+/// Cross-validated result on one device.
+#[derive(Debug, Clone)]
+pub struct DevmapResult {
+    pub accuracy: f64,
+    pub f1: f64,
+    /// Speedup of the predicted mapping over the best static mapping.
+    pub speedup: f64,
+    /// Speedup of the oracle mapping over the best static mapping.
+    pub oracle_speedup: f64,
+    /// Out-of-fold prediction per sample.
+    pub predictions: Vec<usize>,
+}
+
+/// Run `k`-fold stratified CV with the given model config.
+pub fn run_devmap(ds: &OclDataset, cfg: &ModelConfig, k: usize, seed: u64) -> DevmapResult {
+    let task = DevmapTask::new(ds);
+    let data = task.train_data(ds);
+    let labels = ds.labels();
+    let folds: Vec<Fold> = stratified_kfold(&labels, k, seed);
+    let mut predictions = vec![0usize; ds.samples.len()];
+    for (fi, fold) in folds.iter().enumerate() {
+        let mut mcfg = cfg.clone();
+        mcfg.seed = cfg.seed.wrapping_add(fi as u64);
+        let model = FusionModel::fit(mcfg, &data, &fold.train, &[2]);
+        let preds = model.predict(&data, &fold.val);
+        for (j, &i) in fold.val.iter().enumerate() {
+            predictions[i] = preds[0][j];
+        }
+    }
+    DevmapResult {
+        accuracy: accuracy(&predictions, &labels),
+        f1: macro_f1(&predictions, &labels, 2),
+        speedup: ds.geomean_speedup(&predictions),
+        oracle_speedup: ds.geomean_oracle_speedup(),
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Modality;
+    use mga_dae::DaeConfig;
+    use mga_gnn::GnnConfig;
+    use mga_kernels::catalog::opencl_catalog;
+    use mga_sim::gpu::GpuSpec;
+
+    fn quick_cfg() -> ModelConfig {
+        ModelConfig {
+            modality: Modality::Multimodal,
+            use_aux: true,
+            gnn: GnnConfig {
+                dim: 12,
+                layers: 1,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: 16,
+                hidden_dim: 10,
+                code_dim: 5,
+                epochs: 15,
+                ..DaeConfig::default()
+            },
+            hidden: 24,
+            epochs: 20,
+            lr: 0.02,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn ocl_aux_features() {
+        let f = ocl_aux(1024.0 * 1024.0, 128);
+        assert!((f[0] - 20.0).abs() < 1e-6);
+        assert_eq!(f[1], 128.0);
+    }
+
+    #[test]
+    fn devmap_cv_beats_majority_class() {
+        let specs: Vec<_> = opencl_catalog().into_iter().take(60).collect();
+        let ds = crate::dataset::OclDataset::build(specs, GpuSpec::gtx_970(), 16, 5);
+        let labels = ds.labels();
+        let majority = {
+            let ones = labels.iter().filter(|&&l| l == 1).count();
+            (ones.max(labels.len() - ones)) as f64 / labels.len() as f64
+        };
+        let res = run_devmap(&ds, &quick_cfg(), 4, 1);
+        assert!(
+            res.accuracy > majority.min(0.95) - 0.1,
+            "accuracy {} not competitive with majority {majority}",
+            res.accuracy
+        );
+        assert!(res.f1 > 0.4, "degenerate F1 {}", res.f1);
+        assert!(res.oracle_speedup >= 1.0);
+        assert!(res.speedup <= res.oracle_speedup + 1e-9);
+        assert!(res.speedup > 0.5, "mapped time exploded: {}", res.speedup);
+        assert_eq!(res.predictions.len(), ds.samples.len());
+    }
+}

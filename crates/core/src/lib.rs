@@ -1,0 +1,40 @@
+//! `mga-core` — the MGA tuner: datasets, models, training and evaluation.
+//!
+//! This crate assembles everything below it into the paper's pipeline
+//! (Fig. 2):
+//!
+//! ```text
+//! kernel IR ──► PROGRAML graph ──► heterogeneous GNN ─┐
+//!          └──► IR2Vec vector ──► DAE encoder ────────┼─► late fusion ─► MLP ─► config
+//!  profiling ──► 5 PAPI counters (or transfer/wg) ────┘
+//! ```
+//!
+//! * [`dataset`] — builds the OpenMP tuning dataset (kernels × 30 input
+//!   sizes × configuration space, labels by exhaustive simulation) and
+//!   the OpenCL device-mapping dataset (~670 labeled points/device);
+//! * [`model`] — [`model::FusionModel`], the multimodal learner with
+//!   selectable modalities (full MGA, PROGRAML-only, IR2Vec-only,
+//!   counters-only) and multi-head classification for joint
+//!   threads/schedule/chunk prediction;
+//! * [`cv`] — k-fold by loop, stratified k-fold, leave-one-app-out and
+//!   input-holdout splitters (§4.1.3/4.1.4/4.2 protocols);
+//! * [`metrics`] — accuracy, macro-F1, geometric-mean speedups and
+//!   normalized-vs-oracle speedups;
+//! * [`omp`] — the OpenMP tuning task wrappers (thread prediction,
+//!   large-space prediction, feature ablations, µ-arch portability);
+//! * [`devmap`] — the OpenCL heterogeneous device-mapping task;
+//! * [`online`] — the paper's future-work online tuner: model prior +
+//!   greedy refinement with a few real evaluations.
+
+pub mod cv;
+pub mod dataset;
+pub mod devmap;
+pub mod metrics;
+pub mod model;
+pub mod omp;
+pub mod online;
+pub mod persist;
+pub mod wgsize;
+
+pub use dataset::{OmpDataset, OmpSample};
+pub use model::{FusionModel, Modality, ModelConfig};

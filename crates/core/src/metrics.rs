@@ -1,0 +1,172 @@
+//! Evaluation metrics: accuracy, macro-F1, geometric means and speedups.
+
+/// Classification accuracy.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Macro-averaged F1 over `num_classes` classes (classes absent from both
+/// prediction and truth are skipped, as scikit-learn does with
+/// `zero_division` handling).
+pub fn macro_f1(pred: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(pred.len(), truth.len());
+    let mut f1_sum = 0.0;
+    let mut counted = 0;
+    for c in 0..num_classes {
+        let tp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t == c)
+            .count() as f64;
+        let fp = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p == c && **t != c)
+            .count() as f64;
+        let fune = pred
+            .iter()
+            .zip(truth)
+            .filter(|(p, t)| **p != c && **t == c)
+            .count() as f64;
+        if tp + fp + fune == 0.0 {
+            continue;
+        }
+        let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let rec = if tp + fune > 0.0 { tp / (tp + fune) } else { 0.0 };
+        let f1 = if prec + rec > 0.0 {
+            2.0 * prec * rec / (prec + rec)
+        } else {
+            0.0
+        };
+        f1_sum += f1;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        f1_sum / counted as f64
+    }
+}
+
+/// Geometric mean of strictly positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Speedup of a chosen configuration over the default:
+/// `runtime_default / runtime_chosen`.
+pub fn speedup(default_runtime: f64, chosen_runtime: f64) -> f64 {
+    default_runtime / chosen_runtime
+}
+
+/// A (tool speedup, oracle speedup) pair for normalized reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPair {
+    pub achieved: f64,
+    pub oracle: f64,
+}
+
+impl SpeedupPair {
+    /// The paper's "normalized speedup": achieved / oracle (≤ ~1).
+    pub fn normalized(&self) -> f64 {
+        self.achieved / self.oracle
+    }
+}
+
+/// Geometric-mean summary of many speedup pairs.
+pub fn summarize(pairs: &[SpeedupPair]) -> (f64, f64, f64) {
+    let ach: Vec<f64> = pairs.iter().map(|p| p.achieved).collect();
+    let ora: Vec<f64> = pairs.iter().map(|p| p.oracle).collect();
+    let g_ach = geomean(&ach);
+    let g_ora = geomean(&ora);
+    (g_ach, g_ora, g_ach / g_ora)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_is_one() {
+        let y = vec![0, 1, 2, 0, 1, 2];
+        assert!((macro_f1(&y, &y, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_worst_is_zero() {
+        let pred = vec![0, 0, 0];
+        let truth = vec![1, 1, 1];
+        assert_eq!(macro_f1(&pred, &truth, 2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_balances_classes() {
+        // Majority-class guessing must score worse on macro-F1 than on
+        // accuracy for imbalanced data.
+        let truth = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred = vec![0; 10];
+        let acc = accuracy(&pred, &truth);
+        let f1 = macro_f1(&pred, &truth, 2);
+        assert!(acc > 0.85);
+        assert!(f1 < acc);
+    }
+
+    #[test]
+    fn macro_f1_known_three_class_value() {
+        // truth:  0 0 1 1 2 2
+        // pred:   0 1 1 2 2 2
+        // class0: tp1 fp0 fn1 → P=1, R=.5, F1=2/3
+        // class1: tp1 fp1 fn1 → P=.5, R=.5, F1=.5
+        // class2: tp2 fp1 fn0 → P=2/3, R=1, F1=.8
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![0, 1, 1, 2, 2, 2];
+        let f1 = macro_f1(&pred, &truth, 3);
+        let want = (2.0 / 3.0 + 0.5 + 0.8) / 3.0;
+        assert!((f1 - want).abs() < 1e-12, "{f1} vs {want}");
+    }
+
+    #[test]
+    fn geomean_of_constant_is_constant() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn speedups_and_normalization() {
+        let p = SpeedupPair {
+            achieved: 3.4,
+            oracle: 3.62,
+        };
+        assert!((p.normalized() - 0.939).abs() < 1e-3);
+        let (a, o, n) = summarize(&[p, p]);
+        assert!((a - 3.4).abs() < 1e-9);
+        assert!((o - 3.62).abs() < 1e-9);
+        assert!((n - p.normalized()).abs() < 1e-9);
+    }
+}

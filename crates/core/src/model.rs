@@ -1,0 +1,710 @@
+//! The multimodal fusion model (paper Fig. 2).
+//!
+//! [`FusionModel`] composes, per the configured [`Modality`]:
+//!
+//! * a **heterogeneous GNN** over the PROGRAML graph (trained jointly
+//!   with the classifier),
+//! * a **denoising autoencoder** over the IR2Vec vector (pre-trained
+//!   self-supervised on the *training* vectors with swap noise, its
+//!   frozen encoder providing the code features — §3.2),
+//! * **auxiliary dynamic features** (PAPI counters or OpenCL
+//!   transfer/work-group sizes) min-max scaled to `[0,1]`,
+//!
+//! late-fused by concatenation into a one-hidden-layer MLP (the paper
+//! deliberately keeps this head shallow). Joint tuning tasks (threads ×
+//! schedule × chunk) use one classification head per dimension on the
+//! shared hidden layer.
+
+use mga_dae::{pretrain, DaeConfig, TrainedDae};
+use mga_gnn::{GnnConfig, GraphBatch, HeteroGnn};
+use mga_graph::ProGraph;
+use mga_nn::layers::{Activation, Linear};
+use mga_nn::optim::AdamW;
+use mga_nn::scaler::{GaussRankScaler, MinMaxScaler};
+use mga_nn::tape::{Tape, Var};
+use mga_nn::tensor::Tensor;
+use mga_nn::ParamSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which static modalities the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modality {
+    /// Graph (hetero-GNN) + vector (DAE): the MGA tuner.
+    Multimodal,
+    /// PROGRAML-only unimodal baseline.
+    GraphOnly,
+    /// IR2Vec-only unimodal baseline. Follows the IR2Vec paper's own
+    /// usage: the raw program vectors (Gaussian-rank scaled) feed the
+    /// classifier directly — the DAE compression is the MGA pipeline's
+    /// addition.
+    VectorOnly,
+    /// Dynamic features only (Fig. 5's blue bar).
+    AuxOnly,
+    /// Early (feature-level) fusion ablation: instead of learned
+    /// per-modality encoders whose *outputs* are fused (the paper's late
+    /// fusion), the raw representations are flattened into one feature
+    /// vector — hand-built graph summary statistics concatenated with the
+    /// scaled program vector — and fed to the MLP directly (§2.5's
+    /// description of early fusion).
+    EarlyFusion,
+}
+
+/// Hand-built summary features of a flow graph (for the early-fusion
+/// ablation): node/edge-kind counts, log-scaled.
+pub fn graph_summary(g: &ProGraph) -> Vec<f32> {
+    let stats = mga_graph::GraphStats::of(g);
+    let lg = |x: usize| ((x + 1) as f32).ln();
+    let nodes = stats.nodes.max(1) as f32;
+    vec![
+        lg(stats.nodes),
+        lg(stats.instructions),
+        lg(stats.variables),
+        lg(stats.constants),
+        lg(stats.control_edges),
+        lg(stats.data_edges),
+        lg(stats.call_edges),
+        stats.instructions as f32 / nodes,
+        stats.data_edges as f32 / nodes,
+        stats.control_edges as f32 / stats.instructions.max(1) as f32,
+    ]
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    pub modality: Modality,
+    /// Include the auxiliary (dynamic) features? `false` reproduces the
+    /// static-only ablation of Fig. 5.
+    pub use_aux: bool,
+    pub gnn: GnnConfig,
+    pub dae: DaeConfig,
+    /// Width of the fused MLP's single hidden layer.
+    pub hidden: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            modality: Modality::Multimodal,
+            use_aux: true,
+            gnn: GnnConfig::default(),
+            dae: DaeConfig::default(),
+            hidden: 64,
+            epochs: 60,
+            lr: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything the model consumes, borrowed from a dataset.
+pub struct TrainData<'a> {
+    /// Per-kernel flow graphs.
+    pub graphs: &'a [ProGraph],
+    /// Per-kernel IR2Vec program vectors.
+    pub vectors: &'a [Vec<f32>],
+    /// Kernel index of each sample.
+    pub sample_kernel: &'a [usize],
+    /// Raw auxiliary (dynamic) features per sample.
+    pub aux: &'a [Vec<f32>],
+    /// Per head: the label of each sample.
+    pub labels: &'a [Vec<usize>],
+}
+
+impl TrainData<'_> {
+    pub fn num_samples(&self) -> usize {
+        self.sample_kernel.len()
+    }
+}
+
+/// The trained multimodal model.
+pub struct FusionModel {
+    pub cfg: ModelConfig,
+    pub(crate) ps: ParamSet,
+    pub(crate) gnn: Option<HeteroGnn>,
+    pub(crate) dae: Option<TrainedDae>,
+    pub(crate) raw_vec_scaler: Option<GaussRankScaler>,
+    pub(crate) aux_scaler: Option<MinMaxScaler>,
+    pub(crate) trunk: Linear,
+    pub(crate) heads: Vec<Linear>,
+    pub head_sizes: Vec<usize>,
+    /// Final training loss (diagnostics).
+    pub final_loss: f32,
+}
+
+impl FusionModel {
+    /// Rebuild the architecture for a checkpoint (`cfg` + `head_sizes` +
+    /// `vec_dim`/`aux_dim`/`graph summary width` determine every shape),
+    /// with zeroed parameters awaiting [`crate::persist`] restoration.
+    pub(crate) fn skeleton(
+        cfg: ModelConfig,
+        head_sizes: &[usize],
+        vec_dim: usize,
+        aux_dim: usize,
+    ) -> FusionModel {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamSet::new();
+        let use_graph = matches!(cfg.modality, Modality::Multimodal | Modality::GraphOnly);
+        let gnn = use_graph.then(|| HeteroGnn::new(&mut ps, "gnn", &cfg.gnn, &mut rng));
+        let mut in_dim = 0;
+        if use_graph {
+            in_dim += cfg.gnn.dim;
+        }
+        let dae = if cfg.modality == Modality::Multimodal {
+            in_dim += cfg.dae.code_dim;
+            None // restored from the checkpoint
+        } else {
+            None
+        };
+        if matches!(cfg.modality, Modality::VectorOnly | Modality::EarlyFusion) {
+            in_dim += vec_dim;
+        }
+        if cfg.modality == Modality::EarlyFusion {
+            in_dim += 10; // graph_summary width
+        }
+        if cfg.use_aux && aux_dim > 0 {
+            in_dim += aux_dim;
+        }
+        let trunk = Linear::new(&mut ps, "trunk", in_dim, cfg.hidden, Activation::Relu, &mut rng);
+        let heads = head_sizes
+            .iter()
+            .enumerate()
+            .map(|(h, &k)| {
+                Linear::new(
+                    &mut ps,
+                    &format!("head{h}"),
+                    cfg.hidden,
+                    k,
+                    Activation::Identity,
+                    &mut rng,
+                )
+            })
+            .collect();
+        FusionModel {
+            cfg,
+            ps,
+            gnn,
+            dae,
+            raw_vec_scaler: None,
+            aux_scaler: None,
+            trunk,
+            heads,
+            head_sizes: head_sizes.to_vec(),
+            final_loss: f32::NAN,
+        }
+    }
+}
+
+impl FusionModel {
+    /// Train on `train_idx` of `data`; `head_sizes[h]` is the number of
+    /// classes of head `h`.
+    pub fn fit(cfg: ModelConfig, data: &TrainData<'_>, train_idx: &[usize], head_sizes: &[usize]) -> FusionModel {
+        assert!(!train_idx.is_empty(), "empty training set");
+        assert_eq!(data.labels.len(), head_sizes.len());
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut ps = ParamSet::new();
+
+        // --- Vector modality: DAE pre-training (MGA) or raw scaled
+        // vectors (the IR2Vec unimodal baseline). ---
+        let use_graph = matches!(cfg.modality, Modality::Multimodal | Modality::GraphOnly);
+        let mut train_kernels: Vec<usize> =
+            train_idx.iter().map(|&i| data.sample_kernel[i]).collect();
+        train_kernels.sort_unstable();
+        train_kernels.dedup();
+        let train_vecs: Vec<Vec<f32>> = train_kernels
+            .iter()
+            .map(|&k| data.vectors[k].clone())
+            .collect();
+        let use_raw_vec = matches!(cfg.modality, Modality::VectorOnly | Modality::EarlyFusion);
+        let dae = if cfg.modality == Modality::Multimodal {
+            let mut dcfg = cfg.dae.clone();
+            dcfg.input_dim = data.vectors[0].len();
+            Some(pretrain(&train_vecs, dcfg, &mut rng))
+        } else {
+            None
+        };
+        let raw_vec_scaler = if use_raw_vec {
+            Some(GaussRankScaler::fit(&train_vecs, data.vectors[0].len()))
+        } else {
+            None
+        };
+
+        // --- Aux scaler on training samples. ---
+        let aux_scaler = if cfg.use_aux && !data.aux[0].is_empty() {
+            let train_aux: Vec<Vec<f32>> = train_idx.iter().map(|&i| data.aux[i].clone()).collect();
+            Some(MinMaxScaler::fit(&train_aux, data.aux[0].len()))
+        } else {
+            None
+        };
+
+        // --- Architecture. ---
+        let gnn = use_graph.then(|| HeteroGnn::new(&mut ps, "gnn", &cfg.gnn, &mut rng));
+        let mut in_dim = 0;
+        if use_graph {
+            in_dim += cfg.gnn.dim;
+        }
+        if let Some(d) = &dae {
+            in_dim += d.dae.cfg.code_dim;
+        }
+        if raw_vec_scaler.is_some() {
+            in_dim += data.vectors[0].len();
+        }
+        if cfg.modality == Modality::EarlyFusion {
+            in_dim += graph_summary(&data.graphs[0]).len();
+        }
+        if let Some(s) = &aux_scaler {
+            in_dim += s.dims();
+        }
+        assert!(in_dim > 0, "model has no input features");
+        let trunk = Linear::new(&mut ps, "trunk", in_dim, cfg.hidden, Activation::Relu, &mut rng);
+        let heads: Vec<Linear> = head_sizes
+            .iter()
+            .enumerate()
+            .map(|(h, &k)| {
+                Linear::new(
+                    &mut ps,
+                    &format!("head{h}"),
+                    cfg.hidden,
+                    k,
+                    Activation::Identity,
+                    &mut rng,
+                )
+            })
+            .collect();
+
+        let mut model = FusionModel {
+            cfg,
+            ps,
+            gnn,
+            dae,
+            raw_vec_scaler,
+            aux_scaler,
+            trunk,
+            heads,
+            head_sizes: head_sizes.to_vec(),
+            final_loss: f32::MAX,
+        };
+
+        // --- Training loop (full-batch AdamW, as the dataset is small). ---
+        let mut opt = AdamW::new(model.cfg.lr).with_weight_decay(0.001);
+        for _epoch in 0..model.cfg.epochs {
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, data, train_idx);
+            let mut total: Option<Var> = None;
+            for (h, lg) in logits.iter().enumerate() {
+                let targets: Vec<u32> = train_idx
+                    .iter()
+                    .map(|&i| data.labels[h][i] as u32)
+                    .collect();
+                let loss = tape.softmax_cross_entropy(*lg, &targets);
+                total = Some(match total {
+                    None => loss,
+                    Some(t) => tape.add(t, loss),
+                });
+            }
+            let total = total.expect("at least one head");
+            model.final_loss = tape.value(total).get(0, 0);
+            tape.backward(total);
+            tape.accumulate_param_grads(&mut model.ps);
+            model.ps.clip_grad_norm(5.0);
+            opt.step(&mut model.ps);
+        }
+        model
+    }
+
+    /// Forward pass for a set of sample indices; returns one logits
+    /// tensor per head.
+    fn forward(&self, tape: &mut Tape, data: &TrainData<'_>, idx: &[usize]) -> Vec<Var> {
+        // Distinct kernels in this batch, and each sample's local row.
+        let mut kernels: Vec<usize> = idx.iter().map(|&i| data.sample_kernel[i]).collect();
+        kernels.sort_unstable();
+        kernels.dedup();
+        let local_row = |k: usize| kernels.binary_search(&k).unwrap() as u32;
+        let sample_rows: Vec<u32> = idx
+            .iter()
+            .map(|&i| local_row(data.sample_kernel[i]))
+            .collect();
+
+        let mut parts: Vec<Var> = Vec::new();
+        if let Some(gnn) = &self.gnn {
+            let graph_refs: Vec<&ProGraph> = kernels.iter().map(|&k| &data.graphs[k]).collect();
+            let batch = GraphBatch::new(&graph_refs);
+            let kernel_emb = gnn.forward(tape, &self.ps, &batch);
+            parts.push(tape.gather_rows(kernel_emb, &sample_rows));
+        }
+        if let Some(dae) = &self.dae {
+            let kernel_vecs: Vec<Vec<f32>> =
+                kernels.iter().map(|&k| data.vectors[k].clone()).collect();
+            let codes = dae.encode_vectors(&kernel_vecs);
+            let codes = tape.leaf(codes);
+            parts.push(tape.gather_rows(codes, &sample_rows));
+        }
+        if let Some(scaler) = &self.raw_vec_scaler {
+            let dim = data.vectors[0].len();
+            let mut rows: Vec<f32> = Vec::with_capacity(kernels.len() * dim);
+            for &k in &kernels {
+                let mut v = data.vectors[k].clone();
+                scaler.transform_row(&mut v);
+                rows.extend_from_slice(&v);
+            }
+            let vecs = tape.leaf(Tensor::from_vec(kernels.len(), dim, rows));
+            parts.push(tape.gather_rows(vecs, &sample_rows));
+        }
+        if self.cfg.modality == Modality::EarlyFusion {
+            let width = graph_summary(&data.graphs[0]).len();
+            let mut rows: Vec<f32> = Vec::with_capacity(kernels.len() * width);
+            for &k in &kernels {
+                rows.extend(graph_summary(&data.graphs[k]));
+            }
+            let t = tape.leaf(Tensor::from_vec(kernels.len(), width, rows));
+            parts.push(tape.gather_rows(t, &sample_rows));
+        }
+        if let Some(scaler) = &self.aux_scaler {
+            let mut rows: Vec<f32> = Vec::with_capacity(idx.len() * scaler.dims());
+            for &i in idx {
+                let mut r = data.aux[i].clone();
+                scaler.transform_row(&mut r);
+                rows.extend_from_slice(&r);
+            }
+            parts.push(tape.leaf(Tensor::from_vec(idx.len(), scaler.dims(), rows)));
+        }
+        let fused = if parts.len() == 1 {
+            parts[0]
+        } else {
+            tape.concat_cols(&parts)
+        };
+        let h = self.trunk.forward(tape, &self.ps, fused);
+        let h = tape.relu(h);
+        self.heads
+            .iter()
+            .map(|head| head.forward(tape, &self.ps, h))
+            .collect()
+    }
+
+    /// Predict head classes for a set of samples: `out[h][j]` is head
+    /// `h`'s class for the j-th index.
+    pub fn predict(&self, data: &TrainData<'_>, idx: &[usize]) -> Vec<Vec<usize>> {
+        let mut tape = Tape::new();
+        let logits = self.forward(&mut tape, data, idx);
+        logits
+            .iter()
+            .map(|lg| {
+                let t = tape.value(*lg);
+                (0..t.rows())
+                    .map(|r| {
+                        let row = t.row_slice(r);
+                        row.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .map(|(i, _)| i)
+                            .unwrap()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Number of trainable scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.ps.num_scalars()
+    }
+
+    /// Continue training this model on new samples (§7 transfer
+    /// learning): the pre-trained weights, DAE and scalers are kept and
+    /// only the gradient steps run — a handful of target-domain samples
+    /// go much further than training from scratch.
+    pub fn fine_tune(
+        &mut self,
+        data: &TrainData<'_>,
+        train_idx: &[usize],
+        epochs: usize,
+        lr: f32,
+    ) {
+        assert!(!train_idx.is_empty(), "empty fine-tuning set");
+        assert_eq!(data.labels.len(), self.head_sizes.len());
+        let mut opt = AdamW::new(lr).with_weight_decay(0.001);
+        for _epoch in 0..epochs {
+            let mut tape = Tape::new();
+            let logits = self.forward(&mut tape, data, train_idx);
+            let mut total: Option<Var> = None;
+            for (h, lg) in logits.iter().enumerate() {
+                let targets: Vec<u32> = train_idx
+                    .iter()
+                    .map(|&i| data.labels[h][i] as u32)
+                    .collect();
+                let loss = tape.softmax_cross_entropy(*lg, &targets);
+                total = Some(match total {
+                    None => loss,
+                    Some(t) => tape.add(t, loss),
+                });
+            }
+            let total = total.expect("at least one head");
+            self.final_loss = tape.value(total).get(0, 0);
+            tape.backward(total);
+            tape.accumulate_param_grads(&mut self.ps);
+            self.ps.clip_grad_norm(5.0);
+            opt.step(&mut self.ps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_graph::build_module_graph;
+    use mga_kernels::archetypes;
+
+    /// A tiny synthetic task: distinguish matmul-family kernels from
+    /// streaming-family kernels (2 kernels per class, 4 samples per
+    /// kernel with a noisy aux channel).
+    type ToyData = (Vec<ProGraph>, Vec<Vec<f32>>, Vec<usize>, Vec<Vec<f32>>, Vec<usize>);
+
+    fn toy_data() -> ToyData {
+        let modules = vec![
+            archetypes::matmul("m1", 1).0,
+            archetypes::matmul("m2", 2).0,
+            archetypes::streaming("s1", 1, 1).0,
+            archetypes::streaming("s2", 2, 2).0,
+        ];
+        let graphs: Vec<ProGraph> = modules.iter().map(build_module_graph).collect();
+        let specs_vec: Vec<Vec<f32>> = {
+            // Train a tiny seed embedding over the four modules.
+            let mut triples = Vec::new();
+            for m in &modules {
+                triples.extend(mga_vec::extract_triples(m));
+            }
+            let emb = mga_vec::train_seed_embeddings(
+                &triples,
+                &mga_vec::TransEConfig {
+                    dim: 12,
+                    epochs: 15,
+                    ..Default::default()
+                },
+                3,
+            );
+            modules.iter().map(|m| emb.encode_module(m)).collect()
+        };
+        let mut sample_kernel = Vec::new();
+        let mut aux = Vec::new();
+        let mut labels = Vec::new();
+        for k in 0..4 {
+            for j in 0..4 {
+                sample_kernel.push(k);
+                aux.push(vec![j as f32, (k * j) as f32]);
+                labels.push(usize::from(k >= 2));
+            }
+        }
+        (graphs, specs_vec, sample_kernel, aux, labels)
+    }
+
+    fn quick_cfg(modality: Modality) -> ModelConfig {
+        ModelConfig {
+            modality,
+            use_aux: true,
+            gnn: GnnConfig {
+                dim: 12,
+                layers: 2,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: 12,
+                hidden_dim: 8,
+                code_dim: 4,
+                epochs: 30,
+                ..DaeConfig::default()
+            },
+            hidden: 16,
+            epochs: 80,
+            lr: 0.02,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn multimodal_model_learns_toy_task() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[labels.clone()],
+        };
+        let train: Vec<usize> = (0..16).collect();
+        let model = FusionModel::fit(quick_cfg(Modality::Multimodal), &data, &train, &[2]);
+        let preds = model.predict(&data, &train);
+        let acc = crate::metrics::accuracy(&preds[0], &labels);
+        assert!(acc > 0.9, "training accuracy only {acc}");
+        assert!(model.final_loss < 0.5);
+        assert!(model.num_params() > 1000);
+    }
+
+    #[test]
+    fn all_modalities_train_and_predict() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[labels.clone()],
+        };
+        let train: Vec<usize> = (0..16).collect();
+        for m in [
+            Modality::Multimodal,
+            Modality::GraphOnly,
+            Modality::VectorOnly,
+            Modality::AuxOnly,
+            Modality::EarlyFusion,
+        ] {
+            let mut cfg = quick_cfg(m);
+            cfg.epochs = 10;
+            let model = FusionModel::fit(cfg, &data, &train, &[2]);
+            let preds = model.predict(&data, &train);
+            assert_eq!(preds.len(), 1);
+            assert_eq!(preds[0].len(), 16);
+            assert!(preds[0].iter().all(|&p| p < 2));
+        }
+    }
+
+    #[test]
+    fn static_only_ablation_drops_aux() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[labels],
+        };
+        let train: Vec<usize> = (0..16).collect();
+        let mut cfg = quick_cfg(Modality::Multimodal);
+        cfg.use_aux = false;
+        cfg.epochs = 5;
+        let model = FusionModel::fit(cfg, &data, &train, &[2]);
+        assert!(model.aux_scaler.is_none());
+    }
+
+    #[test]
+    fn multi_head_prediction_shapes() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        // Second head: a 3-way label.
+        let labels2: Vec<usize> = sample_kernel.iter().map(|&k| k % 3).collect();
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[labels, labels2],
+        };
+        let train: Vec<usize> = (0..16).collect();
+        let mut cfg = quick_cfg(Modality::Multimodal);
+        cfg.epochs = 5;
+        let model = FusionModel::fit(cfg, &data, &train, &[2, 3]);
+        let preds = model.predict(&data, &[0, 5, 10]);
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].len(), 3);
+        assert!(preds[1].iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn prediction_on_unseen_kernels_works() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[labels.clone()],
+        };
+        // Train on kernels 0 and 2, validate on 1 and 3 (unseen graphs).
+        let train: Vec<usize> = (0..16)
+            .filter(|i| sample_kernel[*i] % 2 == 0)
+            .collect();
+        let val: Vec<usize> = (0..16).filter(|i| sample_kernel[*i] % 2 == 1).collect();
+        let model = FusionModel::fit(quick_cfg(Modality::Multimodal), &data, &train, &[2]);
+        let preds = model.predict(&data, &val);
+        // Same-family generalization should be learnable on this toy task.
+        let truth: Vec<usize> = val.iter().map(|&i| labels[i]).collect();
+        let acc = crate::metrics::accuracy(&preds[0], &truth);
+        assert!(acc >= 0.5, "unseen-kernel accuracy collapsed: {acc}");
+    }
+
+    #[test]
+    fn graph_summary_features_are_finite_and_discriminative() {
+        let (graphs, ..) = toy_data();
+        let a = graph_summary(&graphs[0]);
+        let b = graph_summary(&graphs[2]);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|x| x.is_finite()));
+        assert_ne!(a, b, "matmul and streaming graphs summarized identically");
+    }
+
+    #[test]
+    fn fine_tuning_improves_fit_on_new_samples() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        // Flip the labels of kernel 3's samples so the pre-trained model
+        // is wrong there, then fine-tune on exactly those samples.
+        let mut flipped = labels.clone();
+        for (i, &k) in sample_kernel.iter().enumerate() {
+            if k == 3 {
+                flipped[i] = 1 - flipped[i];
+            }
+        }
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[flipped.clone()],
+        };
+        let pretrain_idx: Vec<usize> = (0..16).filter(|i| sample_kernel[*i] != 3).collect();
+        let tune_idx: Vec<usize> = (0..16).filter(|i| sample_kernel[*i] == 3).collect();
+        let mut model = FusionModel::fit(quick_cfg(Modality::Multimodal), &data, &pretrain_idx, &[2]);
+        let before = {
+            let preds = model.predict(&data, &tune_idx);
+            let truth: Vec<usize> = tune_idx.iter().map(|&i| flipped[i]).collect();
+            crate::metrics::accuracy(&preds[0], &truth)
+        };
+        model.fine_tune(&data, &tune_idx, 60, 0.02);
+        let after = {
+            let preds = model.predict(&data, &tune_idx);
+            let truth: Vec<usize> = tune_idx.iter().map(|&i| flipped[i]).collect();
+            crate::metrics::accuracy(&preds[0], &truth)
+        };
+        assert!(
+            after >= before && after > 0.9,
+            "fine-tuning failed to adapt: {before} -> {after}"
+        );
+        // The pre-trained knowledge must not be obliterated entirely.
+        let keep_idx: Vec<usize> = pretrain_idx.iter().copied().take(8).collect();
+        let preds = model.predict(&data, &keep_idx);
+        let truth: Vec<usize> = keep_idx.iter().map(|&i| flipped[i]).collect();
+        let retained = crate::metrics::accuracy(&preds[0], &truth);
+        assert!(retained >= 0.5, "catastrophic forgetting: {retained}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (graphs, vectors, sample_kernel, aux, labels) = toy_data();
+        let data = TrainData {
+            graphs: &graphs,
+            vectors: &vectors,
+            sample_kernel: &sample_kernel,
+            aux: &aux,
+            labels: &[labels],
+        };
+        let train: Vec<usize> = (0..16).collect();
+        let mut cfg = quick_cfg(Modality::Multimodal);
+        cfg.epochs = 8;
+        let m1 = FusionModel::fit(cfg.clone(), &data, &train, &[2]);
+        let m2 = FusionModel::fit(cfg, &data, &train, &[2]);
+        assert_eq!(m1.predict(&data, &train), m2.predict(&data, &train));
+        assert_eq!(m1.final_loss, m2.final_loss);
+    }
+}

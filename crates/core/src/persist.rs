@@ -1,0 +1,444 @@
+//! Model checkpointing: save a trained [`FusionModel`] to a plain-text
+//! format and restore it later, so a tuned model ships with a tool instead
+//! of being retrained per run.
+//!
+//! The format is line-oriented and self-describing (no external
+//! serialization crates):
+//!
+//! ```text
+//! mga-model v1
+//! modality Multimodal
+//! use_aux true
+//! ...
+//! [param] trunk.w 61 64
+//! 0.01 -0.2 ...
+//! [gauss] 3
+//! <vals> / <scores>
+//! ...
+//! end
+//! ```
+
+use crate::model::{FusionModel, Modality, ModelConfig};
+use mga_dae::{DaeConfig, TrainedDae};
+use mga_gnn::{GnnConfig, UpdateKind};
+use mga_nn::scaler::{GaussRankScaler, MinMaxScaler};
+use mga_nn::Tensor;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Checkpointing failures.
+#[derive(Debug)]
+pub enum PersistError {
+    Malformed(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            PersistError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn modality_name(m: Modality) -> &'static str {
+    match m {
+        Modality::Multimodal => "Multimodal",
+        Modality::GraphOnly => "GraphOnly",
+        Modality::VectorOnly => "VectorOnly",
+        Modality::AuxOnly => "AuxOnly",
+        Modality::EarlyFusion => "EarlyFusion",
+    }
+}
+
+fn modality_from(s: &str) -> Result<Modality, PersistError> {
+    Ok(match s {
+        "Multimodal" => Modality::Multimodal,
+        "GraphOnly" => Modality::GraphOnly,
+        "VectorOnly" => Modality::VectorOnly,
+        "AuxOnly" => Modality::AuxOnly,
+        "EarlyFusion" => Modality::EarlyFusion,
+        other => return Err(PersistError::Malformed(format!("modality {other}"))),
+    })
+}
+
+fn update_name(u: UpdateKind) -> &'static str {
+    match u {
+        UpdateKind::Gru => "Gru",
+        UpdateKind::SageConcat => "SageConcat",
+        UpdateKind::Gcn => "Gcn",
+        UpdateKind::Gat => "Gat",
+    }
+}
+
+fn update_from(s: &str) -> Result<UpdateKind, PersistError> {
+    Ok(match s {
+        "Gru" => UpdateKind::Gru,
+        "SageConcat" => UpdateKind::SageConcat,
+        "Gcn" => UpdateKind::Gcn,
+        "Gat" => UpdateKind::Gat,
+        other => return Err(PersistError::Malformed(format!("update kind {other}"))),
+    })
+}
+
+fn write_floats(out: &mut String, data: &[f32]) {
+    for (i, v) in data.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        // Bit-exact round trip via hexadecimal bits.
+        write!(out, "{:08x}", v.to_bits()).unwrap();
+    }
+    out.push('\n');
+}
+
+fn parse_floats(line: &str) -> Result<Vec<f32>, PersistError> {
+    line.split_whitespace()
+        .map(|t| {
+            u32::from_str_radix(t, 16)
+                .map(f32::from_bits)
+                .map_err(|_| PersistError::Malformed(format!("bad float token {t}")))
+        })
+        .collect()
+}
+
+/// Serialize a trained model to its text checkpoint.
+pub fn save_model(model: &FusionModel, vec_dim: usize, aux_dim: usize) -> String {
+    let mut out = String::new();
+    let cfg = &model.cfg;
+    out.push_str("mga-model v1\n");
+    let _ = writeln!(out, "modality {}", modality_name(cfg.modality));
+    let _ = writeln!(out, "use_aux {}", cfg.use_aux);
+    let _ = writeln!(
+        out,
+        "gnn {} {} {} {}",
+        cfg.gnn.dim,
+        cfg.gnn.layers,
+        update_name(cfg.gnn.update),
+        cfg.gnn.homogeneous
+    );
+    let _ = writeln!(
+        out,
+        "dae {} {} {} {} {} {}",
+        cfg.dae.input_dim, cfg.dae.hidden_dim, cfg.dae.code_dim, cfg.dae.swap_noise, cfg.dae.epochs, cfg.dae.lr
+    );
+    let _ = writeln!(out, "hidden {}", cfg.hidden);
+    let _ = writeln!(out, "epochs {}", cfg.epochs);
+    let _ = writeln!(out, "lr {}", cfg.lr);
+    let _ = writeln!(out, "seed {}", cfg.seed);
+    let _ = writeln!(
+        out,
+        "heads {}",
+        model
+            .head_sizes
+            .iter()
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let _ = writeln!(out, "vec_dim {vec_dim}");
+    let _ = writeln!(out, "aux_dim {aux_dim}");
+
+    for (name, t) in model.ps.iter_named() {
+        let _ = writeln!(out, "[param] {name} {} {}", t.rows(), t.cols());
+        write_floats(&mut out, t.data());
+    }
+    if let Some(dae) = &model.dae {
+        for (name, t) in dae.params.iter_named() {
+            let _ = writeln!(out, "[dae_param] {name} {} {}", t.rows(), t.cols());
+            write_floats(&mut out, t.data());
+        }
+        for (vals, scores) in dae.scaler.to_parts() {
+            let _ = writeln!(out, "[dae_gauss] {}", vals.len());
+            write_floats(&mut out, vals);
+            write_floats(&mut out, scores);
+        }
+    }
+    if let Some(s) = &model.raw_vec_scaler {
+        for (vals, scores) in s.to_parts() {
+            let _ = writeln!(out, "[vec_gauss] {}", vals.len());
+            write_floats(&mut out, vals);
+            write_floats(&mut out, scores);
+        }
+    }
+    if let Some(s) = &model.aux_scaler {
+        let (mins, maxs) = s.to_parts();
+        let _ = writeln!(out, "[aux_minmax] {}", mins.len());
+        write_floats(&mut out, mins);
+        write_floats(&mut out, maxs);
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn field<T: FromStr>(tokens: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<T, PersistError> {
+    tokens
+        .next()
+        .ok_or_else(|| PersistError::Malformed(format!("missing {what}")))?
+        .parse::<T>()
+        .map_err(|_| PersistError::Malformed(format!("bad {what}")))
+}
+
+/// Restore a model from its text checkpoint.
+pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header != "mga-model v1" {
+        return Err(PersistError::Malformed(format!("bad header `{header}`")));
+    }
+
+    let mut modality = Modality::Multimodal;
+    let mut use_aux = true;
+    let mut gnn = GnnConfig::default();
+    let mut dae = DaeConfig::default();
+    let mut hidden = 64;
+    let mut epochs = 0;
+    let mut lr = 0.01f32;
+    let mut seed = 0u64;
+    let mut head_sizes: Vec<usize> = Vec::new();
+    let mut vec_dim = 0usize;
+    let mut aux_dim = 0usize;
+
+    let mut params: Vec<(String, Tensor)> = Vec::new();
+    let mut dae_params: Vec<(String, Tensor)> = Vec::new();
+    let mut dae_gauss: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+    let mut vec_gauss: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+    let mut aux_minmax: Option<(Vec<f32>, Vec<f32>)> = None;
+
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "end" {
+            break;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next().unwrap() {
+            "modality" => modality = modality_from(toks.next().unwrap_or(""))?,
+            "use_aux" => use_aux = field(&mut toks, "use_aux")?,
+            "gnn" => {
+                gnn.dim = field(&mut toks, "gnn dim")?;
+                gnn.layers = field(&mut toks, "gnn layers")?;
+                gnn.update = update_from(toks.next().unwrap_or(""))?;
+                gnn.homogeneous = toks.next().map(|t| t == "true").unwrap_or(false);
+            }
+            "dae" => {
+                dae.input_dim = field(&mut toks, "dae input")?;
+                dae.hidden_dim = field(&mut toks, "dae hidden")?;
+                dae.code_dim = field(&mut toks, "dae code")?;
+                dae.swap_noise = field(&mut toks, "dae noise")?;
+                dae.epochs = field(&mut toks, "dae epochs")?;
+                dae.lr = field(&mut toks, "dae lr")?;
+            }
+            "hidden" => hidden = field(&mut toks, "hidden")?,
+            "epochs" => epochs = field(&mut toks, "epochs")?,
+            "lr" => lr = field(&mut toks, "lr")?,
+            "seed" => seed = field(&mut toks, "seed")?,
+            "heads" => {
+                head_sizes = toks
+                    .map(|t| t.parse().map_err(|_| PersistError::Malformed("head".into())))
+                    .collect::<Result<_, _>>()?;
+            }
+            "vec_dim" => vec_dim = field(&mut toks, "vec_dim")?,
+            "aux_dim" => aux_dim = field(&mut toks, "aux_dim")?,
+            "[param]" | "[dae_param]" => {
+                let kind = line.starts_with("[param]");
+                let name: String = field(&mut toks, "param name")?;
+                let rows: usize = field(&mut toks, "rows")?;
+                let cols: usize = field(&mut toks, "cols")?;
+                let data = parse_floats(
+                    lines
+                        .next()
+                        .ok_or_else(|| PersistError::Malformed("missing data".into()))?,
+                )?;
+                if data.len() != rows * cols {
+                    return Err(PersistError::Malformed(format!(
+                        "param {name}: {} values for {rows}x{cols}",
+                        data.len()
+                    )));
+                }
+                let t = Tensor::from_vec(rows, cols, data);
+                if kind {
+                    params.push((name, t));
+                } else {
+                    dae_params.push((name, t));
+                }
+            }
+            "[dae_gauss]" | "[vec_gauss]" => {
+                let is_dae = line.starts_with("[dae_gauss]");
+                let vals = parse_floats(
+                    lines
+                        .next()
+                        .ok_or_else(|| PersistError::Malformed("missing gauss vals".into()))?,
+                )?;
+                let scores = parse_floats(
+                    lines
+                        .next()
+                        .ok_or_else(|| PersistError::Malformed("missing gauss scores".into()))?,
+                )?;
+                if is_dae {
+                    dae_gauss.push((vals, scores));
+                } else {
+                    vec_gauss.push((vals, scores));
+                }
+            }
+            "[aux_minmax]" => {
+                let mins = parse_floats(
+                    lines
+                        .next()
+                        .ok_or_else(|| PersistError::Malformed("missing mins".into()))?,
+                )?;
+                let maxs = parse_floats(
+                    lines
+                        .next()
+                        .ok_or_else(|| PersistError::Malformed("missing maxs".into()))?,
+                )?;
+                aux_minmax = Some((mins, maxs));
+            }
+            other => {
+                return Err(PersistError::Malformed(format!("unknown section {other}")));
+            }
+        }
+    }
+
+    let cfg = ModelConfig {
+        modality,
+        use_aux,
+        gnn,
+        dae: dae.clone(),
+        hidden,
+        epochs,
+        lr,
+        seed,
+    };
+    let mut model = FusionModel::skeleton(cfg, &head_sizes, vec_dim, aux_dim);
+    for (name, t) in params {
+        if !model.ps.set_by_name(&name, t) {
+            return Err(PersistError::Malformed(format!("unknown parameter {name}")));
+        }
+    }
+    if modality == Modality::Multimodal {
+        if dae_gauss.is_empty() {
+            return Err(PersistError::Malformed("multimodal checkpoint without DAE".into()));
+        }
+        model.dae = Some(TrainedDae::from_parts(
+            dae,
+            dae_params,
+            GaussRankScaler::from_parts(dae_gauss),
+        ));
+    }
+    if !vec_gauss.is_empty() {
+        model.raw_vec_scaler = Some(GaussRankScaler::from_parts(vec_gauss));
+    }
+    if let Some((mins, maxs)) = aux_minmax {
+        model.aux_scaler = Some(MinMaxScaler::from_parts(mins, maxs));
+    }
+    Ok(model)
+}
+
+/// Save to a file path.
+pub fn save_to_file(
+    model: &FusionModel,
+    vec_dim: usize,
+    aux_dim: usize,
+    path: &std::path::Path,
+) -> Result<(), PersistError> {
+    std::fs::write(path, save_model(model, vec_dim, aux_dim))?;
+    Ok(())
+}
+
+/// Load from a file path.
+pub fn load_from_file(path: &std::path::Path) -> Result<FusionModel, PersistError> {
+    load_model(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cv::kfold_by_group;
+    use crate::omp::OmpTask;
+    use crate::OmpDataset;
+    use mga_kernels::catalog::openmp_thread_dataset;
+    use mga_sim::cpu::CpuSpec;
+    use mga_sim::openmp::thread_space;
+
+    fn trained(modality: Modality) -> (OmpDataset, OmpTask, FusionModel, Vec<usize>) {
+        let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(6).collect();
+        let cpu = CpuSpec::comet_lake();
+        let ds = OmpDataset::build(specs, vec![1e6, 1e8], thread_space(&cpu), cpu, 12, 4);
+        let task = OmpTask::new(&ds);
+        let folds = kfold_by_group(&ds.groups(), 3, 1);
+        let cfg = ModelConfig {
+            modality,
+            use_aux: true,
+            gnn: GnnConfig {
+                dim: 10,
+                layers: 1,
+                update: UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: 12,
+                hidden_dim: 8,
+                code_dim: 4,
+                epochs: 10,
+                ..DaeConfig::default()
+            },
+            hidden: 16,
+            epochs: 10,
+            lr: 0.02,
+            seed: 2,
+        };
+        let data = task.train_data(&ds);
+        let model = FusionModel::fit(cfg, &data, &folds[0].train, &task.codec.head_sizes());
+        (ds, task, model, folds[0].val.clone())
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_multimodal() {
+        let (ds, task, model, val) = trained(Modality::Multimodal);
+        let data = task.train_data(&ds);
+        let before = model.predict(&data, &val);
+        let text = save_model(&model, 12, 5);
+        let restored = load_model(&text).expect("load");
+        let after = restored.predict(&data, &val);
+        assert_eq!(before, after, "checkpoint changed predictions");
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_vector_only() {
+        let (ds, task, model, val) = trained(Modality::VectorOnly);
+        let data = task.train_data(&ds);
+        let before = model.predict(&data, &val);
+        let text = save_model(&model, 12, 5);
+        let restored = load_model(&text).expect("load");
+        assert_eq!(before, restored.predict(&data, &val));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(load_model("not a checkpoint").is_err());
+        assert!(load_model("mga-model v1\nbogus_section x\nend\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (ds, task, model, val) = trained(Modality::GraphOnly);
+        let data = task.train_data(&ds);
+        let dir = std::env::temp_dir().join("mga_persist_test.ckpt");
+        save_to_file(&model, 12, 5, &dir).unwrap();
+        let restored = load_from_file(&dir).unwrap();
+        assert_eq!(model.predict(&data, &val), restored.predict(&data, &val));
+        let _ = std::fs::remove_file(&dir);
+    }
+}

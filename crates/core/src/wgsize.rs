@@ -1,0 +1,200 @@
+//! Work-group-size tuning for OpenCL kernels — the paper's §7 "expand
+//! our work to GPUs" direction, built on the same multimodal pipeline.
+//!
+//! For each (kernel, transfer size) the GPU execution model is swept over
+//! the work-group candidates; the model learns to predict the best one
+//! from the two static modalities plus the transfer size, and is
+//! evaluated on unseen kernels against the device-default work-group
+//! (the common practice this tuning replaces) and the oracle.
+
+use crate::dataset::encode_kernels;
+use crate::model::TrainData;
+use mga_graph::{build_module_graph, ProGraph};
+use mga_kernels::spec::KernelSpec;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::gpu::{run_mapping, GpuSpec};
+use mga_vec::SeedEmbeddings;
+
+/// The candidate work-group sizes.
+pub const WG_CANDIDATES: [u32; 5] = [32, 64, 128, 256, 512];
+
+/// One (kernel, transfer) tuning sample.
+#[derive(Debug, Clone)]
+pub struct WgSample {
+    pub kernel: usize,
+    pub transfer_bytes: f64,
+    /// GPU runtime per candidate (aligned with [`WG_CANDIDATES`]).
+    pub gpu_times: [f64; 5],
+    /// Index of the best candidate.
+    pub best: usize,
+}
+
+/// The work-group tuning dataset for one device.
+pub struct WgDataset {
+    pub specs: Vec<KernelSpec>,
+    pub graphs: Vec<ProGraph>,
+    pub vectors: Vec<Vec<f32>>,
+    pub samples: Vec<WgSample>,
+    pub embeddings: SeedEmbeddings,
+    pub gpu: GpuSpec,
+}
+
+impl WgDataset {
+    /// Sweep every kernel × transfer class over the candidates.
+    pub fn build(specs: Vec<KernelSpec>, gpu: GpuSpec, vec_dim: usize, seed: u64) -> WgDataset {
+        let cpu = CpuSpec::i7_3820();
+        let graphs: Vec<ProGraph> = specs.iter().map(|s| build_module_graph(&s.module)).collect();
+        let (embeddings, vectors) = encode_kernels(&specs, vec_dim, seed);
+        let transfer_classes = [512.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 128.0 * 1024.0 * 1024.0];
+        let mut samples = Vec::new();
+        for (ki, spec) in specs.iter().enumerate() {
+            for &tb in &transfer_classes {
+                let mut gpu_times = [0.0f64; 5];
+                for (c, &wg) in WG_CANDIDATES.iter().enumerate() {
+                    gpu_times[c] = run_mapping(spec, tb, wg, &cpu, &gpu).gpu_time;
+                }
+                let best = gpu_times
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                samples.push(WgSample {
+                    kernel: ki,
+                    transfer_bytes: tb,
+                    gpu_times,
+                    best,
+                });
+            }
+        }
+        WgDataset {
+            specs,
+            graphs,
+            vectors,
+            samples,
+            embeddings,
+            gpu,
+        }
+    }
+
+    pub fn groups(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.kernel).collect()
+    }
+
+    /// Index of the device-default candidate (the GPU's preferred size).
+    pub fn default_candidate(&self) -> usize {
+        WG_CANDIDATES
+            .iter()
+            .position(|&w| w == self.gpu.preferred_wg)
+            .unwrap_or(3)
+    }
+
+    /// Speedup of candidate `c` over the device default for a sample.
+    pub fn speedup_over_default(&self, s: &WgSample, c: usize) -> f64 {
+        s.gpu_times[self.default_candidate()] / s.gpu_times[c]
+    }
+}
+
+/// The task view (aux: log transfer size).
+pub struct WgTask {
+    pub sample_kernel: Vec<usize>,
+    pub aux: Vec<Vec<f32>>,
+    pub labels: Vec<Vec<usize>>,
+}
+
+impl WgTask {
+    pub fn new(ds: &WgDataset) -> WgTask {
+        WgTask {
+            sample_kernel: ds.samples.iter().map(|s| s.kernel).collect(),
+            aux: ds
+                .samples
+                .iter()
+                .map(|s| vec![(s.transfer_bytes.max(1.0)).log2() as f32])
+                .collect(),
+            labels: vec![ds.samples.iter().map(|s| s.best).collect()],
+        }
+    }
+
+    pub fn train_data<'a>(&'a self, ds: &'a WgDataset) -> TrainData<'a> {
+        TrainData {
+            graphs: &ds.graphs,
+            vectors: &ds.vectors,
+            sample_kernel: &self.sample_kernel,
+            aux: &self.aux,
+            labels: &self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cv::kfold_by_group;
+    use crate::metrics::geomean;
+    use crate::model::{FusionModel, Modality, ModelConfig};
+    use mga_dae::DaeConfig;
+    use mga_gnn::GnnConfig;
+    use mga_kernels::catalog::opencl_catalog;
+
+    #[test]
+    fn dataset_has_varied_labels_and_consistent_speedups() {
+        let specs: Vec<_> = opencl_catalog().into_iter().step_by(4).collect();
+        let ds = WgDataset::build(specs, GpuSpec::tahiti_7970(), 16, 3);
+        let mut label_set = std::collections::HashSet::new();
+        for s in &ds.samples {
+            label_set.insert(s.best);
+            // Best candidate's speedup over default is ≥ 1.
+            assert!(ds.speedup_over_default(s, s.best) >= 1.0 - 1e-12);
+            // Oracle is the argmin.
+            let min = s.gpu_times.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert_eq!(s.gpu_times[s.best], min);
+        }
+        assert!(label_set.len() >= 3, "labels collapsed: {label_set:?}");
+    }
+
+    #[test]
+    fn model_tunes_work_groups_on_unseen_kernels() {
+        let specs: Vec<_> = opencl_catalog().into_iter().step_by(3).collect();
+        let ds = WgDataset::build(specs, GpuSpec::tahiti_7970(), 16, 5);
+        let task = WgTask::new(&ds);
+        let data = task.train_data(&ds);
+        let folds = kfold_by_group(&ds.groups(), 4, 2);
+        let cfg = ModelConfig {
+            modality: Modality::Multimodal,
+            use_aux: true,
+            gnn: GnnConfig {
+                dim: 12,
+                layers: 2,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: 16,
+                hidden_dim: 12,
+                code_dim: 6,
+                epochs: 25,
+                ..DaeConfig::default()
+            },
+            hidden: 24,
+            epochs: 40,
+            lr: 0.02,
+            seed: 2,
+        };
+        let model = FusionModel::fit(cfg, &data, &folds[0].train, &[WG_CANDIDATES.len()]);
+        let preds = model.predict(&data, &folds[0].val);
+        let mut speedups = Vec::new();
+        let mut oracle = Vec::new();
+        for (j, &i) in folds[0].val.iter().enumerate() {
+            let s = &ds.samples[i];
+            speedups.push(ds.speedup_over_default(s, preds[0][j]));
+            oracle.push(ds.speedup_over_default(s, s.best));
+        }
+        let g = geomean(&speedups);
+        let o = geomean(&oracle);
+        assert!(o >= 1.0);
+        assert!(
+            g > 0.9 * o || g >= 1.0,
+            "wg tuning on unseen kernels too weak: {g:.3} vs oracle {o:.3}"
+        );
+    }
+}

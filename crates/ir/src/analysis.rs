@@ -1,0 +1,468 @@
+//! IR analyses: control-flow graph, dominators, natural loops and def-use
+//! chains.
+//!
+//! These feed `mga-graph` (flow multi-graph construction) and `mga-vec`
+//! (flow-aware embeddings), and back the verifier's phi checks.
+
+pub mod cfg {
+    //! Control-flow graph over basic blocks.
+
+    use crate::module::{BlockId, Function};
+
+    /// Successor and predecessor lists per block.
+    #[derive(Debug, Clone)]
+    pub struct Cfg {
+        succs: Vec<Vec<BlockId>>,
+        preds: Vec<Vec<BlockId>>,
+    }
+
+    impl Cfg {
+        /// Build the CFG from block terminators.
+        pub fn build(f: &Function) -> Cfg {
+            let n = f.blocks.len();
+            let mut succs = vec![Vec::new(); n];
+            let mut preds = vec![Vec::new(); n];
+            for (bi, b) in f.blocks.iter().enumerate() {
+                if let Some(&last) = b.instrs.last() {
+                    for &s in &f.instr(last).succs {
+                        if s.index() < n {
+                            succs[bi].push(s);
+                            preds[s.index()].push(BlockId(bi as u32));
+                        }
+                    }
+                }
+            }
+            Cfg { succs, preds }
+        }
+
+        pub fn num_blocks(&self) -> usize {
+            self.succs.len()
+        }
+
+        pub fn succs(&self, b: BlockId) -> &[BlockId] {
+            &self.succs[b.index()]
+        }
+
+        pub fn preds(&self, b: BlockId) -> &[BlockId] {
+            &self.preds[b.index()]
+        }
+
+        /// Blocks in reverse post-order from the entry.
+        pub fn reverse_post_order(&self) -> Vec<BlockId> {
+            let n = self.num_blocks();
+            let mut visited = vec![false; n];
+            let mut post = Vec::with_capacity(n);
+            // Iterative DFS with an explicit stack of (block, next-succ-index).
+            let mut stack: Vec<(BlockId, usize)> = Vec::new();
+            if n > 0 {
+                visited[0] = true;
+                stack.push((BlockId(0), 0));
+            }
+            while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+                if *i < self.succs(b).len() {
+                    let s = self.succs(b)[*i];
+                    *i += 1;
+                    if !visited[s.index()] {
+                        visited[s.index()] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+            post.reverse();
+            post
+        }
+
+        /// Blocks reachable from the entry.
+        pub fn reachable(&self) -> Vec<bool> {
+            let order = self.reverse_post_order();
+            let mut r = vec![false; self.num_blocks()];
+            for b in order {
+                r[b.index()] = true;
+            }
+            r
+        }
+    }
+}
+
+pub mod dom {
+    //! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+    use super::cfg::Cfg;
+    use crate::module::BlockId;
+
+    /// Immediate-dominator table. Unreachable blocks have no idom.
+    #[derive(Debug, Clone)]
+    pub struct Dominators {
+        idom: Vec<Option<BlockId>>,
+        rpo_index: Vec<usize>,
+    }
+
+    impl Dominators {
+        /// Compute dominators of the CFG rooted at block 0.
+        pub fn compute(cfg: &Cfg) -> Dominators {
+            let n = cfg.num_blocks();
+            let rpo = cfg.reverse_post_order();
+            let mut rpo_index = vec![usize::MAX; n];
+            for (i, b) in rpo.iter().enumerate() {
+                rpo_index[b.index()] = i;
+            }
+            let mut idom: Vec<Option<BlockId>> = vec![None; n];
+            if n == 0 {
+                return Dominators { idom, rpo_index };
+            }
+            idom[0] = Some(BlockId(0));
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for &b in rpo.iter().skip(1) {
+                    let mut new_idom: Option<BlockId> = None;
+                    for &p in cfg.preds(b) {
+                        if idom[p.index()].is_none() {
+                            continue;
+                        }
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                    if let Some(ni) = new_idom {
+                        if idom[b.index()] != Some(ni) {
+                            idom[b.index()] = Some(ni);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            Dominators { idom, rpo_index }
+        }
+
+        /// Immediate dominator of `b` (the entry's idom is itself).
+        pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+            self.idom[b.index()]
+        }
+
+        /// Does `a` dominate `b`? (Reflexive.)
+        pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+            let mut cur = b;
+            loop {
+                if cur == a {
+                    return true;
+                }
+                match self.idom(cur) {
+                    Some(d) if d != cur => cur = d,
+                    _ => return false,
+                }
+            }
+        }
+
+        /// Reverse-post-order index of a block (`usize::MAX` if unreachable).
+        pub fn rpo_index(&self, b: BlockId) -> usize {
+            self.rpo_index[b.index()]
+        }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("intersect on processed nodes");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("intersect on processed nodes");
+            }
+        }
+        a
+    }
+}
+
+pub mod loops {
+    //! Natural-loop detection from back edges.
+
+    use super::cfg::Cfg;
+    use super::dom::Dominators;
+    use crate::module::{BlockId, Function};
+
+    /// One natural loop.
+    #[derive(Debug, Clone)]
+    pub struct NaturalLoop {
+        /// The loop header (target of the back edge).
+        pub header: BlockId,
+        /// The source of the back edge.
+        pub latch: BlockId,
+        /// All blocks in the loop body (including header and latch).
+        pub blocks: Vec<BlockId>,
+        /// Nesting depth (1 = outermost).
+        pub depth: usize,
+    }
+
+    /// All natural loops of a function, with nesting depths.
+    pub struct LoopInfo {
+        pub loops: Vec<NaturalLoop>,
+        /// Per-block loop nesting depth (0 = not in any loop).
+        pub depth: Vec<usize>,
+    }
+
+    impl LoopInfo {
+        /// Detect loops via back edges `latch -> header` where the header
+        /// dominates the latch.
+        pub fn compute(f: &Function) -> LoopInfo {
+            let cfg = Cfg::build(f);
+            let dom = Dominators::compute(&cfg);
+            let n = f.blocks.len();
+            let mut loops = Vec::new();
+            for bi in 0..n {
+                let b = BlockId(bi as u32);
+                for &s in cfg.succs(b) {
+                    if dom.rpo_index(s) != usize::MAX && dom.dominates(s, b) {
+                        // Back edge b -> s: collect the natural loop.
+                        let mut blocks = vec![s];
+                        let mut stack = vec![b];
+                        while let Some(x) = stack.pop() {
+                            if !blocks.contains(&x) {
+                                blocks.push(x);
+                                for &p in cfg.preds(x) {
+                                    stack.push(p);
+                                }
+                            }
+                        }
+                        blocks.sort();
+                        loops.push(NaturalLoop {
+                            header: s,
+                            latch: b,
+                            blocks,
+                            depth: 0,
+                        });
+                    }
+                }
+            }
+            // Depth: number of loops containing each block.
+            let mut depth = vec![0usize; n];
+            for l in &loops {
+                for &b in &l.blocks {
+                    depth[b.index()] += 1;
+                }
+            }
+            for l in &mut loops {
+                l.depth = depth[l.header.index()];
+            }
+            LoopInfo { loops, depth }
+        }
+
+        /// Maximum nesting depth in the function.
+        pub fn max_depth(&self) -> usize {
+            self.depth.iter().copied().max().unwrap_or(0)
+        }
+    }
+}
+
+pub mod defuse {
+    //! Def-use chains over SSA operands.
+
+    use crate::instr::{InstrId, Operand};
+    use crate::module::Function;
+
+    /// For each instruction, the instructions using its result.
+    pub struct DefUse {
+        uses: Vec<Vec<InstrId>>,
+    }
+
+    impl DefUse {
+        pub fn compute(f: &Function) -> DefUse {
+            let mut uses = vec![Vec::new(); f.instrs.len()];
+            for (_b, iid) in f.iter_instrs() {
+                for &a in &f.instr(iid).args {
+                    if let Operand::Instr(d) = a {
+                        uses[d.index()].push(iid);
+                    }
+                }
+            }
+            DefUse { uses }
+        }
+
+        /// Users of an instruction's result.
+        pub fn uses(&self, id: InstrId) -> &[InstrId] {
+            &self.uses[id.index()]
+        }
+
+        /// Number of instructions with no users (dead values, side-effect
+        /// free or not).
+        pub fn count_unused(&self, f: &Function) -> usize {
+            (0..f.instrs.len())
+                .filter(|&i| f.instrs[i].has_result() && self.uses[i].is_empty())
+                .count()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cfg::Cfg;
+    use super::defuse::DefUse;
+    use super::dom::Dominators;
+    use super::loops::LoopInfo;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpPred;
+    use crate::module::{BlockId, Function, Param};
+    use crate::types::Type;
+
+    /// entry -> header -> {body -> header, exit}; the canonical loop.
+    fn loop_func() -> Function {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::Void,
+        );
+        let entry = b.current_block();
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        b.br(header);
+        b.switch_to(header);
+        let (i, ip) = b.phi_begin(Type::I64);
+        let c = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let one = b.const_i64(1);
+        let inx = b.add(i, one);
+        b.br(header);
+        b.phi_finish(ip, vec![(entry, zero), (body, inx)]);
+        b.switch_to(exit);
+        b.ret_void();
+        b.finish()
+    }
+
+    /// Nested 2-deep loop: entry -> h1 -> (h2 -> (b2 -> h2) | l1 -> h1) | exit.
+    fn nested_loop_func() -> Function {
+        let mut b = FunctionBuilder::new(
+            "g",
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::Void,
+        );
+        let entry = b.current_block();
+        let h1 = b.create_block("h1");
+        let h2 = b.create_block("h2");
+        let b2 = b.create_block("b2");
+        let l1 = b.create_block("l1");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        b.br(h1);
+        b.switch_to(h1);
+        let (i, ip) = b.phi_begin(Type::I64);
+        let ci = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(ci, h2, exit);
+        b.switch_to(h2);
+        let (j, jp) = b.phi_begin(Type::I64);
+        let cj = b.icmp(CmpPred::Lt, j, b.param(0));
+        b.cond_br(cj, b2, l1);
+        b.switch_to(b2);
+        let jn = b.add(j, one);
+        b.br(h2);
+        b.phi_finish(jp, vec![(h1, zero), (b2, jn)]);
+        b.switch_to(l1);
+        let inx = b.add(i, one);
+        b.br(h1);
+        b.phi_finish(ip, vec![(entry, zero), (l1, inx)]);
+        b.switch_to(exit);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let f = loop_func();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1)]);
+        assert_eq!(cfg.succs(BlockId(1)), &[BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.succs(BlockId(2)), &[BlockId(1)]);
+        assert!(cfg.succs(BlockId(3)).is_empty());
+        assert_eq!(cfg.preds(BlockId(1)).len(), 2);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = loop_func();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert!(cfg.reachable().iter().all(|&r| r));
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = loop_func();
+        let cfg = Cfg::build(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert!(dom.dominates(BlockId(2), BlockId(2)));
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let f = loop_func();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.loops.len(), 1);
+        let l = &li.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latch, BlockId(2));
+        assert_eq!(l.blocks, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(li.max_depth(), 1);
+        assert_eq!(li.depth[0], 0);
+        assert_eq!(li.depth[3], 0);
+    }
+
+    #[test]
+    fn detects_nested_loops_with_depth() {
+        let f = nested_loop_func();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.loops.len(), 2);
+        assert_eq!(li.max_depth(), 2);
+        let inner = li.loops.iter().find(|l| l.depth == 2).unwrap();
+        assert_eq!(inner.header, BlockId(2));
+        let outer = li.loops.iter().find(|l| l.depth == 1).unwrap();
+        assert_eq!(outer.header, BlockId(1));
+        // The inner loop blocks are a subset of the outer loop blocks.
+        assert!(inner.blocks.iter().all(|b| outer.blocks.contains(b)));
+    }
+
+    #[test]
+    fn def_use_chains() {
+        let f = loop_func();
+        let du = DefUse::compute(&f);
+        // The phi result is used by the icmp and the add.
+        let phi = f
+            .instrs
+            .iter()
+            .position(|i| i.op == crate::Opcode::Phi)
+            .unwrap();
+        assert_eq!(du.uses(crate::InstrId(phi as u32)).len(), 2);
+        // The add result is used by the phi only.
+        let add = f
+            .instrs
+            .iter()
+            .position(|i| i.op == crate::Opcode::Add)
+            .unwrap();
+        assert_eq!(du.uses(crate::InstrId(add as u32)).len(), 1);
+        assert_eq!(du.count_unused(&f), 0);
+    }
+}

@@ -1,0 +1,595 @@
+//! Ergonomic construction of IR functions.
+//!
+//! [`FunctionBuilder`] keeps a current insertion block and offers one typed
+//! helper per opcode family, inferring result types from operands. Constants
+//! are interned in the function's constant table.
+//!
+//! ```
+//! use mga_ir::{builder::FunctionBuilder, Type, Param};
+//! use mga_ir::instr::CmpPred;
+//!
+//! // f(n: i64, a: f64*) { for i in 0..n { a[i] = a[i] * 2.0 } }
+//! let mut b = FunctionBuilder::new(
+//!     "scale",
+//!     vec![
+//!         Param { name: "n".into(), ty: Type::I64 },
+//!         Param { name: "a".into(), ty: Type::F64.ptr() },
+//!     ],
+//!     Type::Void,
+//! );
+//! let entry = b.current_block();
+//! let header = b.create_block("header");
+//! let body = b.create_block("body");
+//! let exit = b.create_block("exit");
+//!
+//! let zero = b.const_i64(0);
+//! b.br(header);
+//!
+//! b.switch_to(header);
+//! let (i, i_phi) = b.phi_begin(Type::I64);
+//! let cond = b.icmp(CmpPred::Lt, i, b.param(0));
+//! b.cond_br(cond, body, exit);
+//!
+//! b.switch_to(body);
+//! let addr = b.gep(b.param(1), i);
+//! let v = b.load(addr);
+//! let two = b.const_f64(2.0);
+//! let scaled = b.fmul(v, two);
+//! b.store(scaled, addr);
+//! let one = b.const_i64(1);
+//! let inext = b.add(i, one);
+//! b.br(header);
+//!
+//! b.phi_finish(i_phi, vec![(entry, zero), (body, inext)]);
+//! b.switch_to(exit);
+//! b.ret_void();
+//! let f = b.finish();
+//! assert_eq!(f.blocks.len(), 4);
+//! ```
+
+use crate::instr::{CmpPred, Constant, Instr, InstrId, Opcode, Operand};
+use crate::module::{Block, BlockId, Function, Param};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Interning key for constants (bit-exact for floats).
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Int(i64, usize),
+    Float(u64, usize),
+    Bool(bool),
+    Null(String),
+}
+
+/// Builder for a single [`Function`].
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+    const_map: HashMap<ConstKey, u32>,
+    /// Types of module globals, for [`Operand::Global`] typing. Set with
+    /// [`FunctionBuilder::set_global_types`] when the function uses globals.
+    global_types: Vec<Type>,
+}
+
+impl FunctionBuilder {
+    /// Start building a function; an `entry` block is created and selected.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Self {
+        let mut func = Function::new(name, params, ret_ty);
+        func.blocks.push(Block::new("entry"));
+        FunctionBuilder {
+            func,
+            cur: BlockId(0),
+            const_map: HashMap::new(),
+            global_types: Vec::new(),
+        }
+    }
+
+    /// Provide the module's global-variable types so operands referencing
+    /// globals can be typed.
+    pub fn set_global_types(&mut self, tys: Vec<Type>) {
+        self.global_types = tys;
+    }
+
+    /// Create a new (empty) block without switching to it.
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block::new(name));
+        id
+    }
+
+    /// Move the insertion point to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Mark the function as an OpenMP-parallel / OpenCL-kernel region.
+    pub fn set_parallel(&mut self, reduction: bool) {
+        self.func.attrs.parallel = true;
+        self.func.attrs.reduction = reduction;
+    }
+
+    fn push(&mut self, instr: Instr) -> InstrId {
+        let id = InstrId(self.func.instrs.len() as u32);
+        self.func.instrs.push(instr);
+        self.func.blocks[self.cur.index()].instrs.push(id);
+        id
+    }
+
+    /// The type of any operand already known to this builder.
+    pub fn operand_type(&self, op: Operand) -> Type {
+        match op {
+            Operand::Instr(id) => self.func.instr(id).ty.clone(),
+            Operand::Param(i) => self.func.params[i as usize].ty.clone(),
+            Operand::Const(i) => self.func.consts[i as usize].ty(),
+            Operand::Global(i) => self.global_types[i as usize].clone().ptr(),
+        }
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    fn intern(&mut self, key: ConstKey, c: Constant) -> Operand {
+        let consts = &mut self.func.consts;
+        let idx = *self.const_map.entry(key).or_insert_with(|| {
+            consts.push(c);
+            (consts.len() - 1) as u32
+        });
+        Operand::Const(idx)
+    }
+
+    pub fn const_int(&mut self, v: i64, ty: Type) -> Operand {
+        let key = ConstKey::Int(v, ty.feature_class());
+        self.intern(key, Constant::Int(v, ty))
+    }
+
+    pub fn const_i64(&mut self, v: i64) -> Operand {
+        self.const_int(v, Type::I64)
+    }
+
+    pub fn const_i32(&mut self, v: i32) -> Operand {
+        self.const_int(v as i64, Type::I32)
+    }
+
+    pub fn const_float(&mut self, v: f64, ty: Type) -> Operand {
+        let key = ConstKey::Float(v.to_bits(), ty.feature_class());
+        self.intern(key, Constant::Float(v, ty))
+    }
+
+    pub fn const_f64(&mut self, v: f64) -> Operand {
+        self.const_float(v, Type::F64)
+    }
+
+    pub fn const_f32(&mut self, v: f32) -> Operand {
+        self.const_float(v as f64, Type::F32)
+    }
+
+    pub fn const_bool(&mut self, v: bool) -> Operand {
+        self.intern(ConstKey::Bool(v), Constant::Bool(v))
+    }
+
+    /// The null pointer of pointer type `ty`.
+    pub fn const_null(&mut self, ty: Type) -> Operand {
+        assert!(ty.is_ptr(), "null constant must have pointer type");
+        let key = ConstKey::Null(ty.to_string());
+        self.intern(key, Constant::Null(ty))
+    }
+
+    /// The n-th parameter as an operand.
+    pub fn param(&self, i: u32) -> Operand {
+        assert!(
+            (i as usize) < self.func.params.len(),
+            "parameter index {i} out of range"
+        );
+        Operand::Param(i)
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    fn binop(&mut self, op: Opcode, a: Operand, b: Operand) -> Operand {
+        let ty = self.operand_type(a);
+        Operand::Instr(self.push(Instr::new(op, ty, vec![a, b])))
+    }
+
+    pub fn add(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Add, a, b)
+    }
+
+    pub fn sub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Sub, a, b)
+    }
+
+    pub fn mul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Mul, a, b)
+    }
+
+    pub fn sdiv(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::SDiv, a, b)
+    }
+
+    pub fn srem(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::SRem, a, b)
+    }
+
+    pub fn and(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::And, a, b)
+    }
+
+    pub fn or(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Or, a, b)
+    }
+
+    pub fn xor(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Xor, a, b)
+    }
+
+    pub fn shl(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Shl, a, b)
+    }
+
+    pub fn ashr(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::AShr, a, b)
+    }
+
+    pub fn fadd(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FAdd, a, b)
+    }
+
+    pub fn fsub(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FSub, a, b)
+    }
+
+    pub fn fmul(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FMul, a, b)
+    }
+
+    pub fn fdiv(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FDiv, a, b)
+    }
+
+    pub fn pow(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::Pow, a, b)
+    }
+
+    pub fn fmin(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FMin, a, b)
+    }
+
+    pub fn fmax(&mut self, a: Operand, b: Operand) -> Operand {
+        self.binop(Opcode::FMax, a, b)
+    }
+
+    fn unop(&mut self, op: Opcode, a: Operand) -> Operand {
+        let ty = self.operand_type(a);
+        Operand::Instr(self.push(Instr::new(op, ty, vec![a])))
+    }
+
+    pub fn fneg(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::FNeg, a)
+    }
+
+    pub fn sqrt(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::Sqrt, a)
+    }
+
+    pub fn exp(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::Exp, a)
+    }
+
+    pub fn log(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::Log, a)
+    }
+
+    pub fn sin(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::Sin, a)
+    }
+
+    pub fn cos(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::Cos, a)
+    }
+
+    pub fn fabs(&mut self, a: Operand) -> Operand {
+        self.unop(Opcode::FAbs, a)
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Stack allocation of `count` elements of `ty`; yields `ty*`.
+    pub fn alloca(&mut self, ty: Type, count: Operand) -> Operand {
+        Operand::Instr(self.push(Instr::new(Opcode::Alloca, ty.ptr(), vec![count])))
+    }
+
+    /// Load through a pointer; the result type is the pointee type.
+    pub fn load(&mut self, ptr: Operand) -> Operand {
+        let ty = self
+            .operand_type(ptr)
+            .pointee()
+            .cloned()
+            .expect("load from non-pointer operand");
+        Operand::Instr(self.push(Instr::new(Opcode::Load, ty, vec![ptr])))
+    }
+
+    /// Store `value` through `ptr`.
+    pub fn store(&mut self, value: Operand, ptr: Operand) {
+        self.push(Instr::new(Opcode::Store, Type::Void, vec![value, ptr]));
+    }
+
+    /// Element pointer: `base[idx]` where `base: T*`, `idx: i64` → `T*`.
+    /// Multi-dimensional accesses linearize the index first.
+    pub fn gep(&mut self, base: Operand, idx: Operand) -> Operand {
+        let ty = self.operand_type(base);
+        assert!(ty.is_ptr(), "gep base must be a pointer, got {ty}");
+        Operand::Instr(self.push(Instr::new(Opcode::Gep, ty, vec![base, idx])))
+    }
+
+    /// Atomic fetch-add through a pointer (lowered from OpenMP `atomic` /
+    /// reduction combiners).
+    pub fn atomic_add(&mut self, ptr: Operand, value: Operand) -> Operand {
+        let ty = self
+            .operand_type(ptr)
+            .pointee()
+            .cloned()
+            .expect("atomic_add through non-pointer");
+        Operand::Instr(self.push(Instr::new(Opcode::AtomicAdd, ty, vec![ptr, value])))
+    }
+
+    /// Work-group / team barrier.
+    pub fn barrier(&mut self) {
+        self.push(Instr::new(Opcode::Barrier, Type::Void, vec![]));
+    }
+
+    // ---- comparisons, casts, select ---------------------------------------
+
+    pub fn icmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> Operand {
+        let mut i = Instr::new(Opcode::ICmp, Type::I1, vec![a, b]);
+        i.pred = Some(pred);
+        Operand::Instr(self.push(i))
+    }
+
+    pub fn fcmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> Operand {
+        let mut i = Instr::new(Opcode::FCmp, Type::I1, vec![a, b]);
+        i.pred = Some(pred);
+        Operand::Instr(self.push(i))
+    }
+
+    pub fn cast(&mut self, op: Opcode, a: Operand, to: Type) -> Operand {
+        assert!(op.is_cast(), "{op} is not a cast opcode");
+        Operand::Instr(self.push(Instr::new(op, to, vec![a])))
+    }
+
+    pub fn sitofp(&mut self, a: Operand, to: Type) -> Operand {
+        self.cast(Opcode::SiToFp, a, to)
+    }
+
+    pub fn fptosi(&mut self, a: Operand, to: Type) -> Operand {
+        self.cast(Opcode::FpToSi, a, to)
+    }
+
+    pub fn sext(&mut self, a: Operand, to: Type) -> Operand {
+        self.cast(Opcode::SExt, a, to)
+    }
+
+    pub fn trunc(&mut self, a: Operand, to: Type) -> Operand {
+        self.cast(Opcode::Trunc, a, to)
+    }
+
+    pub fn select(&mut self, cond: Operand, t: Operand, f: Operand) -> Operand {
+        let ty = self.operand_type(t);
+        Operand::Instr(self.push(Instr::new(Opcode::Select, ty, vec![cond, t, f])))
+    }
+
+    // ---- phi ---------------------------------------------------------------
+
+    /// Begin a phi whose incoming values are not all known yet (loop-carried
+    /// values). Finish it with [`FunctionBuilder::phi_finish`].
+    pub fn phi_begin(&mut self, ty: Type) -> (Operand, InstrId) {
+        let id = self.push(Instr::new(Opcode::Phi, ty, vec![]));
+        (Operand::Instr(id), id)
+    }
+
+    /// Complete a phi started with [`FunctionBuilder::phi_begin`].
+    pub fn phi_finish(&mut self, phi: InstrId, incoming: Vec<(BlockId, Operand)>) {
+        let instr = self.func.instr_mut(phi);
+        assert_eq!(instr.op, Opcode::Phi);
+        for (b, v) in incoming {
+            instr.phi_blocks.push(b);
+            instr.args.push(v);
+        }
+    }
+
+    /// A phi with all incoming values known.
+    pub fn phi(&mut self, ty: Type, incoming: Vec<(BlockId, Operand)>) -> Operand {
+        let (op, id) = self.phi_begin(ty);
+        self.phi_finish(id, incoming);
+        op
+    }
+
+    // ---- control flow ------------------------------------------------------
+
+    pub fn br(&mut self, target: BlockId) {
+        let mut i = Instr::new(Opcode::Br, Type::Void, vec![]);
+        i.succs = vec![target];
+        self.push(i);
+    }
+
+    pub fn cond_br(&mut self, cond: Operand, then_b: BlockId, else_b: BlockId) {
+        let mut i = Instr::new(Opcode::CondBr, Type::Void, vec![cond]);
+        i.succs = vec![then_b, else_b];
+        self.push(i);
+    }
+
+    pub fn ret(&mut self, value: Operand) {
+        self.push(Instr::new(Opcode::Ret, Type::Void, vec![value]));
+    }
+
+    pub fn ret_void(&mut self) {
+        self.push(Instr::new(Opcode::Ret, Type::Void, vec![]));
+    }
+
+    /// Call a function by name. `callee` indices are resolved later by
+    /// [`crate::Module::resolve_calls`].
+    pub fn call(&mut self, name: impl Into<String>, args: Vec<Operand>, ret_ty: Type) -> Operand {
+        let mut i = Instr::new(Opcode::Call, ret_ty, args);
+        i.callee_name = Some(name.into());
+        Operand::Instr(self.push(i))
+    }
+
+    /// Finish building. Panics if any block lacks a terminator (use
+    /// [`crate::verify_function`] for recoverable checking).
+    pub fn finish(self) -> Function {
+        for (bi, b) in self.func.blocks.iter().enumerate() {
+            let ok = b
+                .instrs
+                .last()
+                .is_some_and(|&iid| self.func.instr(iid).op.is_terminator());
+            assert!(
+                ok,
+                "block {} ({}) of function {} lacks a terminator",
+                bi, b.name, self.func.name
+            );
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_loop() -> Function {
+        let mut b = FunctionBuilder::new(
+            "scale",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I64,
+                },
+                Param {
+                    name: "a".into(),
+                    ty: Type::F64.ptr(),
+                },
+            ],
+            Type::Void,
+        );
+        let entry = b.current_block();
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi_begin(Type::I64);
+        let cond = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(cond, body, exit);
+        b.switch_to(body);
+        let addr = b.gep(b.param(1), i);
+        let v = b.load(addr);
+        let two = b.const_f64(2.0);
+        let scaled = b.fmul(v, two);
+        b.store(scaled, addr);
+        let one = b.const_i64(1);
+        let inext = b.add(i, one);
+        b.br(header);
+        b.phi_finish(i_phi, vec![(entry, zero), (body, inext)]);
+        b.switch_to(exit);
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn builds_loop_function() {
+        let f = simple_loop();
+        assert_eq!(f.blocks.len(), 4);
+        assert!(f.num_instrs() >= 9);
+        // Header phi has two incoming edges.
+        let phi = f
+            .instrs
+            .iter()
+            .find(|i| i.op == Opcode::Phi)
+            .expect("phi present");
+        assert_eq!(phi.args.len(), 2);
+        assert_eq!(phi.phi_blocks.len(), 2);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let a = b.const_i64(7);
+        let c = b.const_i64(7);
+        assert_eq!(a, c);
+        let d = b.const_i64(8);
+        assert_ne!(a, d);
+        // Same numeric value, different type: distinct constants.
+        let e = b.const_int(7, Type::I32);
+        assert_ne!(a, e);
+        // Float zero and negative zero are bit-distinct.
+        let z = b.const_f64(0.0);
+        let nz = b.const_f64(-0.0);
+        assert_ne!(z, nz);
+    }
+
+    #[test]
+    fn load_infers_pointee_type() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::F32.ptr(),
+            }],
+            Type::Void,
+        );
+        let v = b.load(b.param(0));
+        assert_eq!(b.operand_type(v), Type::F32);
+        b.ret_void();
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn finish_rejects_open_block() {
+        let b = FunctionBuilder::new("f", vec![], Type::Void);
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "load from non-pointer")]
+    fn load_from_scalar_panics() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Param {
+                name: "x".into(),
+                ty: Type::I64,
+            }],
+            Type::Void,
+        );
+        let _ = b.load(b.param(0));
+    }
+
+    #[test]
+    fn alloca_and_atomic() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let n = b.const_i64(16);
+        let buf = b.alloca(Type::F64, n);
+        assert_eq!(b.operand_type(buf), Type::F64.ptr());
+        let one = b.const_f64(1.0);
+        let old = b.atomic_add(buf, one);
+        assert_eq!(b.operand_type(old), Type::F64);
+        b.ret_void();
+        b.finish();
+    }
+
+    #[test]
+    fn call_records_name() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let x = b.const_f64(2.0);
+        let r = b.call("ext", vec![x], Type::F64);
+        assert_eq!(b.operand_type(r), Type::F64);
+        b.ret_void();
+        let f = b.finish();
+        let call = f.instrs.iter().find(|i| i.op == Opcode::Call).unwrap();
+        assert_eq!(call.callee_name.as_deref(), Some("ext"));
+    }
+}

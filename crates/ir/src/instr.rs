@@ -1,0 +1,546 @@
+//! Instructions, opcodes, operands and constants.
+
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an instruction in its function's instruction arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstrId(pub u32);
+
+impl InstrId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Every operation the IR supports.
+///
+/// The set mirrors the LLVM instructions that dominate HPC loop nests:
+/// integer/float arithmetic, memory access, address computation,
+/// comparisons, casts, control flow and calls, plus a handful of math
+/// intrinsics (`sqrt`, `exp`, ...) that appear in the benchmark kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Opcode {
+    // Integer arithmetic.
+    Add,
+    Sub,
+    Mul,
+    SDiv,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    AShr,
+    // Float arithmetic.
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+    FNeg,
+    // Math intrinsics (unary unless noted).
+    Sqrt,
+    Exp,
+    Log,
+    Sin,
+    Cos,
+    FAbs,
+    Pow, // binary
+    FMin,
+    FMax,
+    // Memory.
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    // Comparisons (predicate stored separately).
+    ICmp,
+    FCmp,
+    // Casts.
+    Trunc,
+    SExt,
+    ZExt,
+    FpTrunc,
+    FpExt,
+    SiToFp,
+    FpToSi,
+    PtrToInt,
+    IntToPtr,
+    Bitcast,
+    // Misc value ops.
+    Select,
+    Phi,
+    // Control flow / calls.
+    Br,
+    CondBr,
+    Ret,
+    Call,
+    // Synchronization markers (lowered from OpenMP/OpenCL constructs).
+    AtomicAdd,
+    Barrier,
+}
+
+impl Opcode {
+    /// All opcodes, in feature-class order.
+    pub const ALL: [Opcode; 48] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::SDiv,
+        Opcode::SRem,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::AShr,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::FNeg,
+        Opcode::Sqrt,
+        Opcode::Exp,
+        Opcode::Log,
+        Opcode::Sin,
+        Opcode::Cos,
+        Opcode::FAbs,
+        Opcode::Pow,
+        Opcode::FMin,
+        Opcode::FMax,
+        Opcode::Alloca,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Gep,
+        Opcode::ICmp,
+        Opcode::FCmp,
+        Opcode::Trunc,
+        Opcode::SExt,
+        Opcode::ZExt,
+        Opcode::FpTrunc,
+        Opcode::FpExt,
+        Opcode::SiToFp,
+        Opcode::FpToSi,
+        Opcode::PtrToInt,
+        Opcode::IntToPtr,
+        Opcode::Bitcast,
+        Opcode::Select,
+        Opcode::Phi,
+        Opcode::Br,
+        Opcode::CondBr,
+        Opcode::Ret,
+        Opcode::Call,
+        Opcode::AtomicAdd,
+        Opcode::Barrier,
+    ];
+
+    /// Stable small integer id for feature encoding.
+    pub fn feature_class(self) -> usize {
+        match self {
+            Opcode::Add => 0,
+            Opcode::Sub => 1,
+            Opcode::Mul => 2,
+            Opcode::SDiv => 3,
+            Opcode::SRem => 4,
+            Opcode::And => 5,
+            Opcode::Or => 6,
+            Opcode::Xor => 7,
+            Opcode::Shl => 8,
+            Opcode::AShr => 9,
+            Opcode::FAdd => 10,
+            Opcode::FSub => 11,
+            Opcode::FMul => 12,
+            Opcode::FDiv => 13,
+            Opcode::FNeg => 14,
+            Opcode::Sqrt => 15,
+            Opcode::Exp => 16,
+            Opcode::Log => 17,
+            Opcode::Sin => 18,
+            Opcode::Cos => 19,
+            Opcode::FAbs => 20,
+            Opcode::Pow => 21,
+            Opcode::FMin => 22,
+            Opcode::FMax => 23,
+            Opcode::Alloca => 24,
+            Opcode::Load => 25,
+            Opcode::Store => 26,
+            Opcode::Gep => 27,
+            Opcode::ICmp => 28,
+            Opcode::FCmp => 29,
+            Opcode::Trunc => 30,
+            Opcode::SExt => 31,
+            Opcode::ZExt => 32,
+            Opcode::FpTrunc => 33,
+            Opcode::FpExt => 34,
+            Opcode::SiToFp => 35,
+            Opcode::FpToSi => 36,
+            Opcode::PtrToInt => 37,
+            Opcode::IntToPtr => 38,
+            Opcode::Bitcast => 39,
+            Opcode::Select => 40,
+            Opcode::Phi => 41,
+            Opcode::Br => 42,
+            Opcode::CondBr => 43,
+            Opcode::Ret => 44,
+            Opcode::Call => 45,
+            Opcode::AtomicAdd => 46,
+            Opcode::Barrier => 47,
+        }
+    }
+
+    /// Number of distinct [`Opcode::feature_class`] values.
+    pub const NUM_FEATURE_CLASSES: usize = 48;
+
+    /// Does this opcode terminate a basic block?
+    pub fn is_terminator(self) -> bool {
+        matches!(self, Opcode::Br | Opcode::CondBr | Opcode::Ret)
+    }
+
+    /// Is this a binary integer arithmetic/logic opcode?
+    pub fn is_int_binop(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::SDiv
+                | Opcode::SRem
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::AShr
+        )
+    }
+
+    /// Is this a binary float arithmetic opcode?
+    pub fn is_float_binop(self) -> bool {
+        matches!(
+            self,
+            Opcode::FAdd
+                | Opcode::FSub
+                | Opcode::FMul
+                | Opcode::FDiv
+                | Opcode::Pow
+                | Opcode::FMin
+                | Opcode::FMax
+        )
+    }
+
+    /// Is this a cast opcode (one operand, result type differs)?
+    pub fn is_cast(self) -> bool {
+        matches!(
+            self,
+            Opcode::Trunc
+                | Opcode::SExt
+                | Opcode::ZExt
+                | Opcode::FpTrunc
+                | Opcode::FpExt
+                | Opcode::SiToFp
+                | Opcode::FpToSi
+                | Opcode::PtrToInt
+                | Opcode::IntToPtr
+                | Opcode::Bitcast
+        )
+    }
+
+    /// Textual mnemonic, used by the printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::SDiv => "sdiv",
+            Opcode::SRem => "srem",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::AShr => "ashr",
+            Opcode::FAdd => "fadd",
+            Opcode::FSub => "fsub",
+            Opcode::FMul => "fmul",
+            Opcode::FDiv => "fdiv",
+            Opcode::FNeg => "fneg",
+            Opcode::Sqrt => "sqrt",
+            Opcode::Exp => "exp",
+            Opcode::Log => "log",
+            Opcode::Sin => "sin",
+            Opcode::Cos => "cos",
+            Opcode::FAbs => "fabs",
+            Opcode::Pow => "pow",
+            Opcode::FMin => "fmin",
+            Opcode::FMax => "fmax",
+            Opcode::Alloca => "alloca",
+            Opcode::Load => "load",
+            Opcode::Store => "store",
+            Opcode::Gep => "gep",
+            Opcode::ICmp => "icmp",
+            Opcode::FCmp => "fcmp",
+            Opcode::Trunc => "trunc",
+            Opcode::SExt => "sext",
+            Opcode::ZExt => "zext",
+            Opcode::FpTrunc => "fptrunc",
+            Opcode::FpExt => "fpext",
+            Opcode::SiToFp => "sitofp",
+            Opcode::FpToSi => "fptosi",
+            Opcode::PtrToInt => "ptrtoint",
+            Opcode::IntToPtr => "inttoptr",
+            Opcode::Bitcast => "bitcast",
+            Opcode::Select => "select",
+            Opcode::Phi => "phi",
+            Opcode::Br => "br",
+            Opcode::CondBr => "condbr",
+            Opcode::Ret => "ret",
+            Opcode::Call => "call",
+            Opcode::AtomicAdd => "atomicadd",
+            Opcode::Barrier => "barrier",
+        }
+    }
+
+    /// Inverse of [`Opcode::mnemonic`].
+    pub fn from_mnemonic(s: &str) -> Option<Opcode> {
+        Opcode::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison predicate for `icmp`/`fcmp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpPred {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+
+    pub fn from_mnemonic(s: &str) -> Option<CmpPred> {
+        Some(match s {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "lt" => CmpPred::Lt,
+            "le" => CmpPred::Le,
+            "gt" => CmpPred::Gt,
+            "ge" => CmpPred::Ge,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the predicate on a pair of ordered values.
+    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    }
+}
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Constant {
+    Int(i64, Type),
+    Float(f64, Type),
+    Bool(bool),
+    /// The null pointer of a given pointer type.
+    Null(Type),
+}
+
+impl Constant {
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int(_, t) | Constant::Float(_, t) | Constant::Null(t) => t.clone(),
+            Constant::Bool(_) => Type::I1,
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v, _) => write!(f, "{v}"),
+            Constant::Float(v, _) => {
+                // Always include a decimal point so the parser can
+                // distinguish float from int literals.
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Constant::Bool(b) => write!(f, "{b}"),
+            Constant::Null(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// An instruction operand: an SSA value reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Result of another instruction in the same function.
+    Instr(InstrId),
+    /// The n-th function parameter.
+    Param(u32),
+    /// An entry in the function's constant table.
+    Const(u32),
+    /// A module-level global variable (by index).
+    Global(u32),
+}
+
+/// One IR instruction.
+///
+/// Instructions live in a flat arena on the [`crate::Function`]; blocks
+/// reference them by [`InstrId`]. Block targets of terminators are stored
+/// in `succs` and phi incoming blocks in `phi_blocks` (parallel to `args`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instr {
+    pub op: Opcode,
+    /// Result type (`Void` for instructions with no result).
+    pub ty: Type,
+    /// SSA operands.
+    pub args: Vec<Operand>,
+    /// Successor blocks (terminators only): `Br` has one, `CondBr` two
+    /// (then, else).
+    pub succs: Vec<crate::module::BlockId>,
+    /// For `Phi`: the predecessor block of each incoming value in `args`.
+    pub phi_blocks: Vec<crate::module::BlockId>,
+    /// For `ICmp`/`FCmp`: the predicate.
+    pub pred: Option<CmpPred>,
+    /// For `Call`: index of the callee in the module function table, or
+    /// `None` for an external/unresolved callee named in `callee_name`.
+    pub callee: Option<u32>,
+    /// For `Call`: callee symbol name (always set for calls).
+    pub callee_name: Option<String>,
+}
+
+impl Instr {
+    /// A fresh instruction with the common fields; the exotic fields
+    /// default to empty.
+    pub fn new(op: Opcode, ty: Type, args: Vec<Operand>) -> Self {
+        Instr {
+            op,
+            ty,
+            args,
+            succs: Vec::new(),
+            phi_blocks: Vec::new(),
+            pred: None,
+            callee: None,
+            callee_name: None,
+        }
+    }
+
+    /// Does this instruction produce an SSA value?
+    pub fn has_result(&self) -> bool {
+        self.ty != Type::Void
+    }
+
+    /// Is this a memory access (load or store)?
+    pub fn is_mem_access(&self) -> bool {
+        matches!(self.op, Opcode::Load | Opcode::Store | Opcode::AtomicAdd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_classes_cover_all_opcodes() {
+        let mut seen = std::collections::HashSet::new();
+        for op in Opcode::ALL {
+            let c = op.feature_class();
+            assert!(c < Opcode::NUM_FEATURE_CLASSES, "{op:?} out of range");
+            assert!(seen.insert(c), "duplicate feature class for {op:?}");
+        }
+        assert_eq!(seen.len(), Opcode::NUM_FEATURE_CLASSES);
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn cmp_pred_eval() {
+        assert!(CmpPred::Lt.eval(1, 2));
+        assert!(!CmpPred::Lt.eval(2, 2));
+        assert!(CmpPred::Le.eval(2, 2));
+        assert!(CmpPred::Ge.eval(3.0, 3.0));
+        assert!(CmpPred::Ne.eval(1, 2));
+        assert!(CmpPred::Eq.eval("a", "a"));
+    }
+
+    #[test]
+    fn cmp_pred_mnemonic_round_trip() {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Ne,
+            CmpPred::Lt,
+            CmpPred::Le,
+            CmpPred::Gt,
+            CmpPred::Ge,
+        ] {
+            assert_eq!(CmpPred::from_mnemonic(p.mnemonic()), Some(p));
+        }
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::CondBr.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Call.is_terminator());
+        assert!(!Opcode::Load.is_terminator());
+    }
+
+    #[test]
+    fn constant_display_and_type() {
+        assert_eq!(Constant::Int(42, Type::I64).to_string(), "42");
+        assert_eq!(Constant::Float(1.0, Type::F64).to_string(), "1.0");
+        assert_eq!(Constant::Float(0.5, Type::F32).to_string(), "0.5");
+        assert_eq!(Constant::Bool(true).to_string(), "true");
+        assert_eq!(Constant::Bool(false).ty(), Type::I1);
+        assert_eq!(Constant::Null(Type::F64.ptr()).ty(), Type::F64.ptr());
+    }
+
+    #[test]
+    fn instr_result_and_memory_predicates() {
+        let load = Instr::new(Opcode::Load, Type::F64, vec![Operand::Param(0)]);
+        assert!(load.has_result());
+        assert!(load.is_mem_access());
+        let store = Instr::new(
+            Opcode::Store,
+            Type::Void,
+            vec![Operand::Param(0), Operand::Param(1)],
+        );
+        assert!(!store.has_result());
+        assert!(store.is_mem_access());
+        let add = Instr::new(Opcode::Add, Type::I64, vec![]);
+        assert!(!add.is_mem_access());
+    }
+}

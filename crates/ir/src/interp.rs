@@ -1,0 +1,681 @@
+//! A reference interpreter for the IR.
+//!
+//! Executes functions on concrete values and memory buffers. The
+//! modeling pipeline never needs to *run* kernels (the simulator predicts
+//! their performance analytically), but the interpreter proves the IR
+//! the catalog lowers is semantically meaningful — every archetype
+//! executes, SAXPY really computes `a·x + y`, GEMM really multiplies —
+//! and it gives downstream users a way to test kernels they author with
+//! the builder.
+//!
+//! Pointers are `(buffer, element-offset)` pairs over typed buffers, so
+//! out-of-bounds accesses fail loudly instead of corrupting memory.
+
+use crate::instr::{CmpPred, Constant, InstrId, Opcode, Operand};
+use crate::module::{BlockId, Function, Module};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// Pointer: buffer id + element offset.
+    Ptr(u32, i64),
+    /// The null pointer.
+    Null,
+}
+
+impl Value {
+    pub fn as_int(self) -> Result<i64, InterpError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            Value::Bool(b) => Ok(i64::from(b)),
+            _ => Err(InterpError::TypeMismatch("expected int")),
+        }
+    }
+
+    pub fn as_float(self) -> Result<f64, InterpError> {
+        match self {
+            Value::Float(v) => Ok(v),
+            _ => Err(InterpError::TypeMismatch("expected float")),
+        }
+    }
+
+    pub fn as_bool(self) -> Result<bool, InterpError> {
+        match self {
+            Value::Bool(b) => Ok(b),
+            _ => Err(InterpError::TypeMismatch("expected bool")),
+        }
+    }
+}
+
+/// Interpreter failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    TypeMismatch(&'static str),
+    OutOfBounds { buffer: u32, index: i64, len: usize },
+    UnknownFunction(String),
+    ExternalCall(String),
+    DivisionByZero,
+    NullDeref,
+    StepLimit,
+    MissingPredecessor,
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::TypeMismatch(w) => write!(f, "type mismatch: {w}"),
+            InterpError::OutOfBounds { buffer, index, len } => {
+                write!(f, "buffer {buffer} access at {index} (len {len})")
+            }
+            InterpError::UnknownFunction(n) => write!(f, "unknown function @{n}"),
+            InterpError::ExternalCall(n) => write!(f, "call to external @{n}"),
+            InterpError::DivisionByZero => write!(f, "division by zero"),
+            InterpError::NullDeref => write!(f, "null dereference"),
+            InterpError::StepLimit => write!(f, "step limit exceeded"),
+            InterpError::MissingPredecessor => write!(f, "phi had no matching predecessor"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// One typed buffer: all elements share a scalar element kind.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    data: Vec<Value>,
+}
+
+/// The interpreter's memory: a set of typed buffers addressed by id.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    buffers: Vec<Buffer>,
+}
+
+impl Memory {
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Allocate a buffer of `len` float elements initialized from `init`.
+    pub fn alloc_f64(&mut self, init: &[f64]) -> Value {
+        self.buffers.push(Buffer {
+            data: init.iter().map(|&v| Value::Float(v)).collect(),
+        });
+        Value::Ptr(self.buffers.len() as u32 - 1, 0)
+    }
+
+    /// Allocate a buffer of `len` integer elements initialized from `init`.
+    pub fn alloc_i64(&mut self, init: &[i64]) -> Value {
+        self.buffers.push(Buffer {
+            data: init.iter().map(|&v| Value::Int(v)).collect(),
+        });
+        Value::Ptr(self.buffers.len() as u32 - 1, 0)
+    }
+
+    /// Allocate `len` zeroed elements of `ty` (float or int).
+    pub fn alloc_zeroed(&mut self, ty: &Type, len: usize) -> Value {
+        let fill = if ty.is_float() {
+            Value::Float(0.0)
+        } else {
+            Value::Int(0)
+        };
+        self.buffers.push(Buffer {
+            data: vec![fill; len],
+        });
+        Value::Ptr(self.buffers.len() as u32 - 1, 0)
+    }
+
+    /// Read back a float buffer.
+    pub fn read_f64(&self, ptr: Value) -> Result<Vec<f64>, InterpError> {
+        let Value::Ptr(b, off) = ptr else {
+            return Err(InterpError::TypeMismatch("expected pointer"));
+        };
+        self.buffers[b as usize].data[off as usize..]
+            .iter()
+            .map(|v| v.as_float())
+            .collect()
+    }
+
+    fn load(&self, ptr: Value) -> Result<Value, InterpError> {
+        match ptr {
+            Value::Ptr(b, off) => {
+                let buf = &self.buffers[b as usize];
+                buf.data
+                    .get(usize::try_from(off).map_err(|_| InterpError::OutOfBounds {
+                        buffer: b,
+                        index: off,
+                        len: buf.data.len(),
+                    })?)
+                    .copied()
+                    .ok_or(InterpError::OutOfBounds {
+                        buffer: b,
+                        index: off,
+                        len: buf.data.len(),
+                    })
+            }
+            Value::Null => Err(InterpError::NullDeref),
+            _ => Err(InterpError::TypeMismatch("load through non-pointer")),
+        }
+    }
+
+    fn store(&mut self, ptr: Value, v: Value) -> Result<(), InterpError> {
+        match ptr {
+            Value::Ptr(b, off) => {
+                let buf = &mut self.buffers[b as usize];
+                let len = buf.data.len();
+                let slot = usize::try_from(off)
+                    .ok()
+                    .and_then(|i| buf.data.get_mut(i))
+                    .ok_or(InterpError::OutOfBounds {
+                        buffer: b,
+                        index: off,
+                        len,
+                    })?;
+                *slot = v;
+                Ok(())
+            }
+            Value::Null => Err(InterpError::NullDeref),
+            _ => Err(InterpError::TypeMismatch("store through non-pointer")),
+        }
+    }
+}
+
+/// The interpreter. Holds an instruction budget so runaway loops abort.
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    /// Remaining instruction budget.
+    pub steps_left: u64,
+}
+
+impl<'m> Interpreter<'m> {
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        Interpreter {
+            module,
+            steps_left: 50_000_000,
+        }
+    }
+
+    pub fn with_step_limit(module: &'m Module, steps: u64) -> Interpreter<'m> {
+        Interpreter {
+            module,
+            steps_left: steps,
+        }
+    }
+
+    /// Run a function by name.
+    pub fn run(
+        &mut self,
+        name: &str,
+        args: Vec<Value>,
+        mem: &mut Memory,
+    ) -> Result<Option<Value>, InterpError> {
+        let (_, f) = self
+            .module
+            .function_by_name(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_string()))?;
+        self.run_function(f, args, mem)
+    }
+
+    fn run_function(
+        &mut self,
+        f: &Function,
+        args: Vec<Value>,
+        mem: &mut Memory,
+    ) -> Result<Option<Value>, InterpError> {
+        if f.attrs.external {
+            return Err(InterpError::ExternalCall(f.name.clone()));
+        }
+        assert_eq!(args.len(), f.params.len(), "argument count mismatch");
+        let mut regs: HashMap<InstrId, Value> = HashMap::new();
+        let mut block = f.entry();
+        let mut prev: Option<BlockId> = None;
+
+        'blocks: loop {
+            // Phis first (they read incoming values atomically).
+            let instrs = &f.block(block).instrs;
+            let mut phi_values: Vec<(InstrId, Value)> = Vec::new();
+            for &iid in instrs {
+                let instr = f.instr(iid);
+                if instr.op != Opcode::Phi {
+                    break;
+                }
+                let p = prev.ok_or(InterpError::MissingPredecessor)?;
+                let pos = instr
+                    .phi_blocks
+                    .iter()
+                    .position(|&b| b == p)
+                    .ok_or(InterpError::MissingPredecessor)?;
+                let v = self.operand(f, &regs, &args, instr.args[pos])?;
+                phi_values.push((iid, v));
+            }
+            for (iid, v) in phi_values {
+                regs.insert(iid, v);
+            }
+
+            for &iid in instrs {
+                let instr = f.instr(iid);
+                if instr.op == Opcode::Phi {
+                    continue;
+                }
+                if self.steps_left == 0 {
+                    return Err(InterpError::StepLimit);
+                }
+                self.steps_left -= 1;
+                let arg = |k: usize| self.operand(f, &regs, &args, instr.args[k]);
+                match instr.op {
+                    // ---- control flow ----
+                    Opcode::Br => {
+                        prev = Some(block);
+                        block = instr.succs[0];
+                        continue 'blocks;
+                    }
+                    Opcode::CondBr => {
+                        let c = arg(0)?.as_bool()?;
+                        prev = Some(block);
+                        block = if c { instr.succs[0] } else { instr.succs[1] };
+                        continue 'blocks;
+                    }
+                    Opcode::Ret => {
+                        return if instr.args.is_empty() {
+                            Ok(None)
+                        } else {
+                            Ok(Some(arg(0)?))
+                        };
+                    }
+                    Opcode::Call => {
+                        let callee_name = instr.callee_name.as_deref().unwrap_or("");
+                        let callee = instr
+                            .callee
+                            .map(|ci| &self.module.functions[ci as usize])
+                            .ok_or_else(|| InterpError::ExternalCall(callee_name.into()))?;
+                        let mut call_args = Vec::with_capacity(instr.args.len());
+                        for k in 0..instr.args.len() {
+                            call_args.push(arg(k)?);
+                        }
+                        let r = self.run_function(callee, call_args, mem)?;
+                        if let Some(v) = r {
+                            regs.insert(iid, v);
+                        }
+                    }
+                    // ---- memory ----
+                    Opcode::Alloca => {
+                        let n = arg(0)?.as_int()?.max(0) as usize;
+                        let elem = instr.ty.pointee().expect("alloca yields pointer");
+                        let p = mem.alloc_zeroed(elem, n);
+                        regs.insert(iid, p);
+                    }
+                    Opcode::Load => {
+                        let v = mem.load(arg(0)?)?;
+                        regs.insert(iid, v);
+                    }
+                    Opcode::Store => {
+                        let v = arg(0)?;
+                        mem.store(arg(1)?, v)?;
+                    }
+                    Opcode::Gep => {
+                        let base = arg(0)?;
+                        let idx = arg(1)?.as_int()?;
+                        let Value::Ptr(b, off) = base else {
+                            return Err(InterpError::TypeMismatch("gep base"));
+                        };
+                        regs.insert(iid, Value::Ptr(b, off + idx));
+                    }
+                    Opcode::AtomicAdd => {
+                        let p = arg(0)?;
+                        let v = arg(1)?;
+                        let old = mem.load(p)?;
+                        let new = match (old, v) {
+                            (Value::Float(a), Value::Float(b)) => Value::Float(a + b),
+                            (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                            _ => return Err(InterpError::TypeMismatch("atomicadd")),
+                        };
+                        mem.store(p, new)?;
+                        regs.insert(iid, old);
+                    }
+                    Opcode::Barrier => {}
+                    // ---- everything that yields a plain value ----
+                    _ => {
+                        let v = self.eval_value_op(instr.op, instr.pred, &instr.ty, arg)?;
+                        regs.insert(iid, v);
+                    }
+                }
+            }
+            // A verified function always ends blocks with a terminator, so
+            // falling off the loop means the terminator was handled above.
+            unreachable!("block without terminator reached the interpreter");
+        }
+    }
+
+    fn eval_value_op(
+        &self,
+        op: Opcode,
+        pred: Option<CmpPred>,
+        _ty: &Type,
+        mut arg: impl FnMut(usize) -> Result<Value, InterpError>,
+    ) -> Result<Value, InterpError> {
+        use Opcode::*;
+        Ok(match op {
+            Add => Value::Int(arg(0)?.as_int()?.wrapping_add(arg(1)?.as_int()?)),
+            Sub => Value::Int(arg(0)?.as_int()?.wrapping_sub(arg(1)?.as_int()?)),
+            Mul => Value::Int(arg(0)?.as_int()?.wrapping_mul(arg(1)?.as_int()?)),
+            SDiv => {
+                let d = arg(1)?.as_int()?;
+                if d == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                Value::Int(arg(0)?.as_int()?.wrapping_div(d))
+            }
+            SRem => {
+                let d = arg(1)?.as_int()?;
+                if d == 0 {
+                    return Err(InterpError::DivisionByZero);
+                }
+                Value::Int(arg(0)?.as_int()?.wrapping_rem(d))
+            }
+            And => Value::Int(arg(0)?.as_int()? & arg(1)?.as_int()?),
+            Or => Value::Int(arg(0)?.as_int()? | arg(1)?.as_int()?),
+            Xor => Value::Int(arg(0)?.as_int()? ^ arg(1)?.as_int()?),
+            Shl => Value::Int(arg(0)?.as_int()?.wrapping_shl(arg(1)?.as_int()? as u32 & 63)),
+            AShr => Value::Int(arg(0)?.as_int()?.wrapping_shr(arg(1)?.as_int()? as u32 & 63)),
+            FAdd => Value::Float(arg(0)?.as_float()? + arg(1)?.as_float()?),
+            FSub => Value::Float(arg(0)?.as_float()? - arg(1)?.as_float()?),
+            FMul => Value::Float(arg(0)?.as_float()? * arg(1)?.as_float()?),
+            FDiv => Value::Float(arg(0)?.as_float()? / arg(1)?.as_float()?),
+            FNeg => Value::Float(-arg(0)?.as_float()?),
+            Sqrt => Value::Float(arg(0)?.as_float()?.sqrt()),
+            Exp => Value::Float(arg(0)?.as_float()?.exp()),
+            Log => Value::Float(arg(0)?.as_float()?.ln()),
+            Sin => Value::Float(arg(0)?.as_float()?.sin()),
+            Cos => Value::Float(arg(0)?.as_float()?.cos()),
+            FAbs => Value::Float(arg(0)?.as_float()?.abs()),
+            Pow => Value::Float(arg(0)?.as_float()?.powf(arg(1)?.as_float()?)),
+            FMin => Value::Float(arg(0)?.as_float()?.min(arg(1)?.as_float()?)),
+            FMax => Value::Float(arg(0)?.as_float()?.max(arg(1)?.as_float()?)),
+            ICmp => {
+                let p = pred.expect("icmp predicate");
+                Value::Bool(p.eval(arg(0)?.as_int()?, arg(1)?.as_int()?))
+            }
+            FCmp => {
+                let p = pred.expect("fcmp predicate");
+                Value::Bool(p.eval(arg(0)?.as_float()?, arg(1)?.as_float()?))
+            }
+            Select => {
+                if arg(0)?.as_bool()? {
+                    arg(1)?
+                } else {
+                    arg(2)?
+                }
+            }
+            Trunc | SExt | ZExt => Value::Int(arg(0)?.as_int()?),
+            FpTrunc | FpExt => Value::Float(arg(0)?.as_float()?),
+            SiToFp => Value::Float(arg(0)?.as_int()? as f64),
+            FpToSi => Value::Int(arg(0)?.as_float()? as i64),
+            PtrToInt => match arg(0)? {
+                Value::Ptr(b, off) => Value::Int(((b as i64) << 32) | off),
+                Value::Null => Value::Int(0),
+                _ => return Err(InterpError::TypeMismatch("ptrtoint")),
+            },
+            IntToPtr => {
+                let v = arg(0)?.as_int()?;
+                Value::Ptr((v >> 32) as u32, v & 0xFFFF_FFFF)
+            }
+            // Bitcast is a type-level reinterpretation; runtime values
+            // are already tagged, so it passes through.
+            Bitcast => arg(0)?,
+            other => unreachable!("{other} handled elsewhere"),
+        })
+    }
+
+    fn operand(
+        &self,
+        f: &Function,
+        regs: &HashMap<InstrId, Value>,
+        args: &[Value],
+        op: Operand,
+    ) -> Result<Value, InterpError> {
+        Ok(match op {
+            Operand::Instr(id) => *regs
+                .get(&id)
+                .expect("use of undefined value (verifier should catch this)"),
+            Operand::Param(i) => args[i as usize],
+            Operand::Const(i) => match &f.consts[i as usize] {
+                Constant::Int(v, _) => Value::Int(*v),
+                Constant::Float(v, _) => Value::Float(*v),
+                Constant::Bool(b) => Value::Bool(*b),
+                Constant::Null(_) => Value::Null,
+            },
+            Operand::Global(_) => {
+                // Globals are rare in the catalog; model them as null until
+                // a user binds them (none of the archetypes use them).
+                Value::Null
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpPred;
+    use crate::module::Param;
+
+    fn saxpy_module() -> Module {
+        let mut b = FunctionBuilder::new(
+            "saxpy",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I64,
+                },
+                Param {
+                    name: "a".into(),
+                    ty: Type::F64,
+                },
+                Param {
+                    name: "x".into(),
+                    ty: Type::F64.ptr(),
+                },
+                Param {
+                    name: "y".into(),
+                    ty: Type::F64.ptr(),
+                },
+            ],
+            Type::Void,
+        );
+        let entry = b.current_block();
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        b.br(header);
+        b.switch_to(header);
+        let (i, ip) = b.phi_begin(Type::I64);
+        let c = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let px = b.gep(b.param(2), i);
+        let py = b.gep(b.param(3), i);
+        let vx = b.load(px);
+        let vy = b.load(py);
+        let ax = b.fmul(b.param(1), vx);
+        let s = b.fadd(ax, vy);
+        b.store(s, py);
+        let one = b.const_i64(1);
+        let ix = b.add(i, one);
+        b.br(header);
+        b.phi_finish(ip, vec![(entry, zero), (body, ix)]);
+        b.switch_to(exit);
+        b.ret_void();
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn saxpy_computes_a_x_plus_y() {
+        let m = saxpy_module();
+        crate::verify_module(&m).unwrap();
+        let mut mem = Memory::new();
+        let x = mem.alloc_f64(&[1.0, 2.0, 3.0, 4.0]);
+        let y = mem.alloc_f64(&[10.0, 20.0, 30.0, 40.0]);
+        let mut interp = Interpreter::new(&m);
+        interp
+            .run(
+                "saxpy",
+                vec![Value::Int(4), Value::Float(2.0), x, y],
+                &mut mem,
+            )
+            .unwrap();
+        assert_eq!(mem.read_f64(y).unwrap(), vec![12.0, 24.0, 36.0, 48.0]);
+        // x untouched.
+        assert_eq!(mem.read_f64(x).unwrap(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn recursion_through_calls_works() {
+        // fact(n) = n <= 1 ? 1 : n * fact(n-1)
+        let mut b = FunctionBuilder::new(
+            "fact",
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::I64,
+        );
+        let recurse = b.create_block("recurse");
+        let base = b.create_block("base");
+        let one = b.const_i64(1);
+        let c = b.icmp(CmpPred::Le, b.param(0), one);
+        b.cond_br(c, base, recurse);
+        b.switch_to(base);
+        b.ret(one);
+        b.switch_to(recurse);
+        let nm1 = b.sub(b.param(0), one);
+        let sub = b.call("fact", vec![nm1], Type::I64);
+        let prod = b.mul(b.param(0), sub);
+        b.ret(prod);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        m.resolve_calls();
+        crate::verify_module(&m).unwrap();
+
+        let mut mem = Memory::new();
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run("fact", vec![Value::Int(6)], &mut mem).unwrap();
+        assert_eq!(r, Some(Value::Int(720)));
+    }
+
+    #[test]
+    fn out_of_bounds_is_caught() {
+        let m = saxpy_module();
+        let mut mem = Memory::new();
+        let x = mem.alloc_f64(&[1.0, 2.0]);
+        let y = mem.alloc_f64(&[1.0, 2.0]);
+        let mut interp = Interpreter::new(&m);
+        let e = interp
+            .run(
+                "saxpy",
+                vec![Value::Int(10), Value::Float(1.0), x, y],
+                &mut mem,
+            )
+            .unwrap_err();
+        assert!(matches!(e, InterpError::OutOfBounds { .. }), "{e}");
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut b = FunctionBuilder::new("spin", vec![], Type::Void);
+        let entry = b.current_block();
+        let _ = entry;
+        let lp = b.create_block("loop");
+        b.br(lp);
+        b.switch_to(lp);
+        b.br(lp);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut mem = Memory::new();
+        let mut interp = Interpreter::with_step_limit(&m, 1000);
+        let e = interp.run("spin", vec![], &mut mem).unwrap_err();
+        assert_eq!(e, InterpError::StepLimit);
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let mut b = FunctionBuilder::new(
+            "div",
+            vec![
+                Param {
+                    name: "a".into(),
+                    ty: Type::I64,
+                },
+                Param {
+                    name: "b".into(),
+                    ty: Type::I64,
+                },
+            ],
+            Type::I64,
+        );
+        let q = b.sdiv(b.param(0), b.param(1));
+        b.ret(q);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut mem = Memory::new();
+        let mut interp = Interpreter::new(&m);
+        assert_eq!(
+            interp.run("div", vec![Value::Int(10), Value::Int(2)], &mut mem),
+            Ok(Some(Value::Int(5)))
+        );
+        let e = interp
+            .run("div", vec![Value::Int(1), Value::Int(0)], &mut mem)
+            .unwrap_err();
+        assert_eq!(e, InterpError::DivisionByZero);
+    }
+
+    #[test]
+    fn atomic_add_accumulates_and_returns_old() {
+        let mut b = FunctionBuilder::new(
+            "bump",
+            vec![Param {
+                name: "p".into(),
+                ty: Type::F64.ptr(),
+            }],
+            Type::F64,
+        );
+        let one = b.const_f64(1.5);
+        let old = b.atomic_add(b.param(0), one);
+        b.ret(old);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut mem = Memory::new();
+        let p = mem.alloc_f64(&[10.0]);
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run("bump", vec![p], &mut mem).unwrap();
+        assert_eq!(r, Some(Value::Float(10.0)));
+        assert_eq!(mem.read_f64(p).unwrap(), vec![11.5]);
+    }
+
+    #[test]
+    fn alloca_provides_scratch_memory() {
+        let mut b = FunctionBuilder::new("scratch", vec![], Type::F64);
+        let n = b.const_i64(4);
+        let buf = b.alloca(Type::F64, n);
+        let idx = b.const_i64(2);
+        let p = b.gep(buf, idx);
+        let v = b.const_f64(7.0);
+        b.store(v, p);
+        let back = b.load(p);
+        b.ret(back);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut mem = Memory::new();
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run("scratch", vec![], &mut mem).unwrap();
+        assert_eq!(r, Some(Value::Float(7.0)));
+    }
+}

@@ -1,0 +1,41 @@
+//! `mga-ir` — a miniature LLVM-like SSA intermediate representation.
+//!
+//! This crate is the foundation substrate of the MGA reproduction. The paper
+//! ("Performance Optimization using Multimodal Modeling and Heterogeneous
+//! GNN", HPDC 2023) compiles OpenMP/OpenCL code regions to LLVM IR with
+//! Clang and feeds the IR to PROGRAML and IR2Vec. We have no LLVM here, so
+//! this crate provides an IR with the same structural ingredients those
+//! tools consume:
+//!
+//! * typed SSA instructions grouped into basic blocks and functions
+//!   ([`Instr`], [`Block`], [`Function`], [`Module`]),
+//! * explicit control flow (branch terminators), data flow (operand
+//!   use-def edges) and call flow (call instructions referencing callees),
+//! * a [`builder::FunctionBuilder`] for programmatic construction,
+//! * a textual format with a printer ([`printer`]) and parser ([`parser`])
+//!   that round-trip,
+//! * a structural [`verify`]er, and
+//! * analyses: CFG ([`analysis::cfg`]), dominators ([`analysis::dom`]),
+//!   natural loops ([`analysis::loops`]) and def-use chains
+//!   ([`analysis::defuse`]).
+//!
+//! Downstream, `mga-graph` turns modules into PROGRAML-style flow
+//! multi-graphs and `mga-vec` extracts knowledge-graph triples for
+//! IR2Vec-style seed embeddings.
+
+pub mod analysis;
+pub mod builder;
+pub mod instr;
+pub mod interp;
+pub mod module;
+pub mod parser;
+pub mod printer;
+pub mod types;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use interp::{Interpreter, Memory, Value};
+pub use instr::{Constant, Instr, InstrId, Opcode, Operand};
+pub use module::{Block, BlockId, Function, FunctionId, Global, GlobalId, Module, Param};
+pub use types::Type;
+pub use verify::{verify_function, verify_module, VerifyError};

@@ -1,0 +1,317 @@
+//! Modules, functions, basic blocks, parameters and globals.
+
+use crate::instr::{Constant, Instr, InstrId, Operand};
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+
+/// Index of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a function within its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FunctionId(pub u32);
+
+impl FunctionId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a global variable within its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A basic block: a label plus an ordered list of instructions ending in a
+/// terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    pub name: String,
+    pub instrs: Vec<InstrId>,
+}
+
+impl Block {
+    pub fn new(name: impl Into<String>) -> Self {
+        Block {
+            name: name.into(),
+            instrs: Vec::new(),
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// Function-level attributes carried from the source programming model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionAttrs {
+    /// The function body is an OpenMP `parallel for` region / OpenCL kernel.
+    pub parallel: bool,
+    /// The region performs a reduction (e.g. `reduction(+:sum)`).
+    pub reduction: bool,
+    /// External declaration only (no body).
+    pub external: bool,
+}
+
+/// A function: parameters, a return type, an instruction arena, a constant
+/// table and an ordered list of basic blocks (entry first).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    pub name: String,
+    pub params: Vec<Param>,
+    pub ret_ty: Type,
+    pub blocks: Vec<Block>,
+    /// Flat arena of instructions, referenced by blocks via [`InstrId`].
+    pub instrs: Vec<Instr>,
+    /// Constant table, referenced by [`Operand::Const`].
+    pub consts: Vec<Constant>,
+    pub attrs: FunctionAttrs,
+}
+
+impl Function {
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Self {
+        Function {
+            name: name.into(),
+            params,
+            ret_ty,
+            blocks: Vec::new(),
+            instrs: Vec::new(),
+            consts: Vec::new(),
+            attrs: FunctionAttrs::default(),
+        }
+    }
+
+    /// An external declaration (no body).
+    pub fn declaration(name: impl Into<String>, params: Vec<Param>, ret_ty: Type) -> Self {
+        let mut f = Function::new(name, params, ret_ty);
+        f.attrs.external = true;
+        f
+    }
+
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    pub fn instr(&self, id: InstrId) -> &Instr {
+        &self.instrs[id.index()]
+    }
+
+    pub fn instr_mut(&mut self, id: InstrId) -> &mut Instr {
+        &mut self.instrs[id.index()]
+    }
+
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// The type of an operand in the context of this function and module
+    /// globals.
+    pub fn operand_type(&self, op: Operand, globals: &[Global]) -> Type {
+        match op {
+            Operand::Instr(id) => self.instr(id).ty.clone(),
+            Operand::Param(i) => self.params[i as usize].ty.clone(),
+            Operand::Const(i) => self.consts[i as usize].ty(),
+            Operand::Global(i) => globals[i as usize].ty.clone().ptr(),
+        }
+    }
+
+    /// The terminator of a block, if the block is non-empty and ends with
+    /// one.
+    pub fn terminator(&self, b: BlockId) -> Option<InstrId> {
+        let last = *self.block(b).instrs.last()?;
+        self.instr(last).op.is_terminator().then_some(last)
+    }
+
+    /// Total number of instructions in the body.
+    pub fn num_instrs(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Iterate over `(BlockId, InstrId)` in layout order.
+    pub fn iter_instrs(&self) -> impl Iterator<Item = (BlockId, InstrId)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
+            b.instrs
+                .iter()
+                .map(move |&iid| (BlockId(bi as u32), iid))
+        })
+    }
+}
+
+/// A module-level global variable. Operand references to a global have
+/// pointer-to-`ty` type (as in LLVM).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    pub name: String,
+    pub ty: Type,
+}
+
+/// A translation unit: globals plus functions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Module {
+    pub name: String,
+    pub globals: Vec<Global>,
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// Append a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FunctionId {
+        let id = FunctionId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Append a global, returning its id.
+    pub fn add_global(&mut self, name: impl Into<String>, ty: Type) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global {
+            name: name.into(),
+            ty,
+        });
+        id
+    }
+
+    /// Look up a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FunctionId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FunctionId(i as u32), f))
+    }
+
+    /// Resolve `callee` indices on all call instructions from
+    /// `callee_name`s. Unresolvable names stay external.
+    pub fn resolve_calls(&mut self) {
+        let names: Vec<String> = self.functions.iter().map(|f| f.name.clone()).collect();
+        for f in &mut self.functions {
+            for instr in &mut f.instrs {
+                if instr.op == crate::instr::Opcode::Call {
+                    if let Some(name) = &instr.callee_name {
+                        instr.callee = names
+                            .iter()
+                            .position(|n| n == name)
+                            .map(|i| i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total instruction count across all functions.
+    pub fn num_instrs(&self) -> usize {
+        self.functions.iter().map(Function::num_instrs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Opcode;
+
+    #[test]
+    fn module_add_and_lookup() {
+        let mut m = Module::new("m");
+        let g = m.add_global("table", Type::F64.array(16));
+        assert_eq!(g, GlobalId(0));
+        let f = Function::new("f", vec![], Type::Void);
+        let id = m.add_function(f);
+        assert_eq!(id, FunctionId(0));
+        assert!(m.function_by_name("f").is_some());
+        assert!(m.function_by_name("g").is_none());
+    }
+
+    #[test]
+    fn operand_types() {
+        let mut m = Module::new("m");
+        m.add_global("g", Type::F32);
+        let mut f = Function::new(
+            "f",
+            vec![Param {
+                name: "a".into(),
+                ty: Type::F64.ptr(),
+            }],
+            Type::Void,
+        );
+        f.consts.push(Constant::Int(3, Type::I64));
+        f.instrs
+            .push(Instr::new(Opcode::Load, Type::F64, vec![Operand::Param(0)]));
+        assert_eq!(
+            f.operand_type(Operand::Param(0), &m.globals),
+            Type::F64.ptr()
+        );
+        assert_eq!(f.operand_type(Operand::Const(0), &m.globals), Type::I64);
+        assert_eq!(
+            f.operand_type(Operand::Instr(InstrId(0)), &m.globals),
+            Type::F64
+        );
+        assert_eq!(
+            f.operand_type(Operand::Global(0), &m.globals),
+            Type::F32.ptr()
+        );
+    }
+
+    #[test]
+    fn resolve_calls_binds_known_names() {
+        let mut m = Module::new("m");
+        let mut caller = Function::new("caller", vec![], Type::Void);
+        let mut call = Instr::new(Opcode::Call, Type::Void, vec![]);
+        call.callee_name = Some("callee".into());
+        caller.instrs.push(call);
+        let mut b = Block::new("entry");
+        b.instrs.push(InstrId(0));
+        caller.blocks.push(b);
+        m.add_function(caller);
+        m.add_function(Function::new("callee", vec![], Type::Void));
+        m.resolve_calls();
+        assert_eq!(m.functions[0].instrs[0].callee, Some(1));
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Block::new("entry");
+        f.instrs.push(Instr::new(Opcode::Ret, Type::Void, vec![]));
+        b.instrs.push(InstrId(0));
+        f.blocks.push(b);
+        assert_eq!(f.terminator(BlockId(0)), Some(InstrId(0)));
+    }
+
+    #[test]
+    fn iter_instrs_layout_order() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        f.instrs.push(Instr::new(Opcode::Br, Type::Void, vec![]));
+        f.instrs.push(Instr::new(Opcode::Ret, Type::Void, vec![]));
+        let mut b0 = Block::new("a");
+        b0.instrs.push(InstrId(0));
+        let mut b1 = Block::new("b");
+        b1.instrs.push(InstrId(1));
+        f.blocks.push(b0);
+        f.blocks.push(b1);
+        let seq: Vec<_> = f.iter_instrs().collect();
+        assert_eq!(seq, vec![(BlockId(0), InstrId(0)), (BlockId(1), InstrId(1))]);
+    }
+}

@@ -1,0 +1,670 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! Parsing normalizes instruction numbering: the parsed function's arena is
+//! laid out in textual order, so `print(parse(text))` is a fixed point after
+//! one round trip (see the round-trip tests and the proptest in
+//! `tests/ir_roundtrip.rs`).
+
+use crate::instr::{CmpPred, Constant, Instr, InstrId, Opcode, Operand};
+use crate::module::{Block, BlockId, Function, FunctionAttrs, Global, Module, Param};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// A parse failure with a line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> PResult<T> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parse a type from the front of `s`, returning the type and the rest.
+fn parse_type_prefix(s: &str, line: usize) -> PResult<(Type, &str)> {
+    let s = s.trim_start();
+    let (mut ty, mut rest) = if let Some(r) = s.strip_prefix('[') {
+        // [N x ty]
+        let r = r.trim_start();
+        let end_num = r
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(r.len());
+        let n: u64 = r[..end_num]
+            .parse()
+            .map_err(|_| ParseError {
+                line,
+                msg: format!("bad array length in `{s}`"),
+            })?;
+        let r = r[end_num..].trim_start();
+        let r = r.strip_prefix('x').ok_or(ParseError {
+            line,
+            msg: format!("expected `x` in array type `{s}`"),
+        })?;
+        let (elem, r) = parse_type_prefix(r, line)?;
+        let r = r.trim_start();
+        let r = r.strip_prefix(']').ok_or(ParseError {
+            line,
+            msg: format!("expected `]` in array type `{s}`"),
+        })?;
+        (elem.array(n), r)
+    } else {
+        let end = s
+            .find(|c: char| !c.is_ascii_alphanumeric())
+            .unwrap_or(s.len());
+        let ty = match &s[..end] {
+            "void" => Type::Void,
+            "i1" => Type::I1,
+            "i8" => Type::I8,
+            "i32" => Type::I32,
+            "i64" => Type::I64,
+            "f32" => Type::F32,
+            "f64" => Type::F64,
+            other => return err(line, format!("unknown type `{other}`")),
+        };
+        (ty, &s[end..])
+    };
+    while let Some(r) = rest.strip_prefix('*') {
+        ty = ty.ptr();
+        rest = r;
+    }
+    Ok((ty, rest))
+}
+
+/// Parse a full string as a type.
+pub fn parse_type(s: &str) -> PResult<Type> {
+    let (ty, rest) = parse_type_prefix(s, 0)?;
+    if rest.trim().is_empty() {
+        Ok(ty)
+    } else {
+        err(0, format!("trailing characters after type: `{rest}`"))
+    }
+}
+
+/// Split a comma-separated argument list at top level (no nesting in our
+/// grammar except `[...]` phi groups, which contain no commas inside the
+/// operand itself — but phi groups are handled separately).
+fn split_commas(s: &str) -> Vec<&str> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out
+}
+
+struct FuncParser<'a> {
+    func: Function,
+    /// textual `%N` → parsed InstrId
+    id_map: HashMap<u32, InstrId>,
+    block_map: HashMap<String, BlockId>,
+    param_map: HashMap<String, u32>,
+    global_map: &'a HashMap<String, u32>,
+    const_map: HashMap<String, u32>,
+}
+
+impl<'a> FuncParser<'a> {
+    fn operand(&mut self, tok: &str, line: usize) -> PResult<Operand> {
+        let tok = tok.trim();
+        if let Some(n) = tok.strip_prefix('%') {
+            let n: u32 = n.parse().map_err(|_| ParseError {
+                line,
+                msg: format!("bad instruction reference `{tok}`"),
+            })?;
+            let id = self.id_map.get(&n).copied().ok_or(ParseError {
+                line,
+                msg: format!("reference to undefined `%{n}`"),
+            })?;
+            return Ok(Operand::Instr(id));
+        }
+        if let Some(name) = tok.strip_prefix('$') {
+            let i = self.param_map.get(name).copied().ok_or(ParseError {
+                line,
+                msg: format!("unknown parameter `${name}`"),
+            })?;
+            return Ok(Operand::Param(i));
+        }
+        if let Some(name) = tok.strip_prefix('@') {
+            let i = self.global_map.get(name).copied().ok_or(ParseError {
+                line,
+                msg: format!("unknown global `@{name}`"),
+            })?;
+            return Ok(Operand::Global(i));
+        }
+        if tok == "true" || tok == "false" {
+            return Ok(self.intern_const(tok, Constant::Bool(tok == "true")));
+        }
+        // LITERAL:ty or null:ty
+        let Some(colon) = tok.rfind(':') else {
+            return err(line, format!("cannot parse operand `{tok}`"));
+        };
+        let (lit, ty_s) = (&tok[..colon], &tok[colon + 1..]);
+        let ty = parse_type(ty_s).map_err(|e| ParseError { line, msg: e.msg })?;
+        let c = if lit == "null" {
+            Constant::Null(ty)
+        } else if lit.contains('.') || lit.contains('e') || lit.contains("inf") || lit.contains("NaN") {
+            let v: f64 = lit.parse().map_err(|_| ParseError {
+                line,
+                msg: format!("bad float literal `{lit}`"),
+            })?;
+            Constant::Float(v, ty)
+        } else {
+            let v: i64 = lit.parse().map_err(|_| ParseError {
+                line,
+                msg: format!("bad int literal `{lit}`"),
+            })?;
+            if ty.is_float() {
+                Constant::Float(v as f64, ty)
+            } else {
+                Constant::Int(v, ty)
+            }
+        };
+        Ok(self.intern_const(tok, c))
+    }
+
+    fn intern_const(&mut self, key: &str, c: Constant) -> Operand {
+        if let Some(&i) = self.const_map.get(key) {
+            return Operand::Const(i);
+        }
+        let i = self.func.consts.len() as u32;
+        self.func.consts.push(c);
+        self.const_map.insert(key.to_string(), i);
+        Operand::Const(i)
+    }
+
+    fn block_ref(&self, name: &str, line: usize) -> PResult<BlockId> {
+        self.block_map.get(name).copied().ok_or(ParseError {
+            line,
+            msg: format!("unknown block `{name}`"),
+        })
+    }
+}
+
+/// Parse a module from its textual form.
+pub fn parse_module(text: &str) -> PResult<Module> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut module = Module::default();
+    let mut globals: HashMap<String, u32> = HashMap::new();
+    let mut i = 0usize;
+
+    // module "<name>" {
+    while i < lines.len() && lines[i].trim().is_empty() {
+        i += 1;
+    }
+    {
+        let l = lines.get(i).copied().unwrap_or("").trim();
+        let Some(rest) = l.strip_prefix("module ") else {
+            return err(i + 1, "expected `module \"name\" {`");
+        };
+        let rest = rest.trim().trim_end_matches('{').trim();
+        module.name = rest.trim_matches('"').to_string();
+        i += 1;
+    }
+
+    while i < lines.len() {
+        let l = lines[i].trim();
+        if l.is_empty() {
+            i += 1;
+            continue;
+        }
+        if l == "}" {
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = l.strip_prefix("global @") {
+            let (name, ty_s) = rest.split_once(':').ok_or(ParseError {
+                line: i + 1,
+                msg: "expected `global @name : ty`".into(),
+            })?;
+            let ty = parse_type(ty_s.trim()).map_err(|e| ParseError {
+                line: i + 1,
+                msg: e.msg,
+            })?;
+            let name = name.trim().to_string();
+            globals.insert(name.clone(), module.globals.len() as u32);
+            module.globals.push(Global { name, ty });
+            i += 1;
+            continue;
+        }
+        if l.starts_with("func @") {
+            let (f, next) = parse_function(&lines, i, &globals)?;
+            module.functions.push(f);
+            i = next;
+            continue;
+        }
+        return err(i + 1, format!("unexpected line `{l}`"));
+    }
+    module.resolve_calls();
+    Ok(module)
+}
+
+fn parse_function(
+    lines: &[&str],
+    start: usize,
+    globals: &HashMap<String, u32>,
+) -> PResult<(Function, usize)> {
+    let header = lines[start].trim();
+    let rest = header.strip_prefix("func @").unwrap();
+    let open_paren = rest.find('(').ok_or(ParseError {
+        line: start + 1,
+        msg: "expected `(` in function header".into(),
+    })?;
+    let name = rest[..open_paren].to_string();
+    let close_paren = rest.rfind(')').ok_or(ParseError {
+        line: start + 1,
+        msg: "expected `)` in function header".into(),
+    })?;
+    let params_s = &rest[open_paren + 1..close_paren];
+    let mut params = Vec::new();
+    for p in split_commas(params_s) {
+        if p.is_empty() {
+            continue;
+        }
+        let (pname, pty) = p.split_once(':').ok_or(ParseError {
+            line: start + 1,
+            msg: format!("bad parameter `{p}`"),
+        })?;
+        params.push(Param {
+            name: pname.trim().to_string(),
+            ty: parse_type(pty.trim()).map_err(|e| ParseError {
+                line: start + 1,
+                msg: e.msg,
+            })?,
+        });
+    }
+    let tail = rest[close_paren + 1..].trim();
+    let tail = tail.strip_prefix("->").ok_or(ParseError {
+        line: start + 1,
+        msg: "expected `->` in function header".into(),
+    })?;
+    let mut tail = tail.trim();
+    // return type runs until whitespace
+    let ret_end = tail.find(char::is_whitespace).unwrap_or(tail.len());
+    let ret_ty = parse_type(&tail[..ret_end]).map_err(|e| ParseError {
+        line: start + 1,
+        msg: e.msg,
+    })?;
+    tail = tail[ret_end..].trim();
+    let mut attrs = FunctionAttrs::default();
+    let mut has_body = false;
+    for word in tail.split_whitespace() {
+        match word {
+            "parallel" => attrs.parallel = true,
+            "reduction" => attrs.reduction = true,
+            "external" => attrs.external = true,
+            "{" => has_body = true,
+            other => {
+                return err(start + 1, format!("unexpected attribute `{other}`"));
+            }
+        }
+    }
+
+    let mut func = Function::new(name, params, ret_ty);
+    func.attrs = attrs;
+    if !has_body {
+        return Ok((func, start + 1));
+    }
+
+    // Pre-pass: find the body extent, block labels, and textual instr ids.
+    let mut end = start + 1;
+    let mut block_map = HashMap::new();
+    let mut id_map = HashMap::new();
+    let mut next_id = 0u32;
+    while end < lines.len() {
+        let l = lines[end].trim();
+        if l == "}" {
+            break;
+        }
+        if let Some(label) = l.strip_suffix(':') {
+            if !label.contains(' ') && !label.starts_with('%') {
+                let bid = BlockId(block_map.len() as u32);
+                block_map.insert(label.to_string(), bid);
+                func.blocks.push(Block::new(label));
+                end += 1;
+                continue;
+            }
+        }
+        if !l.is_empty() {
+            if let Some(Some(n)) = l.strip_prefix('%').and_then(|r| {
+                r.split_once(" =").map(|(n, _)| n.trim().parse::<u32>().ok())
+            }) {
+                id_map.insert(n, InstrId(next_id));
+            }
+            next_id += 1;
+        }
+        end += 1;
+    }
+    if end >= lines.len() {
+        return err(start + 1, "unterminated function body");
+    }
+
+    let param_map: HashMap<String, u32> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.clone(), i as u32))
+        .collect();
+
+    let mut fp = FuncParser {
+        func,
+        id_map,
+        block_map,
+        param_map,
+        global_map: globals,
+        const_map: HashMap::new(),
+    };
+
+    // Second pass: parse instructions.
+    let mut cur_block: Option<BlockId> = None;
+    for (lineno, l) in lines[start + 1..end].iter().enumerate() {
+        let line = start + 2 + lineno;
+        let l = l.trim();
+        if l.is_empty() {
+            continue;
+        }
+        if let Some(label) = l.strip_suffix(':') {
+            if !label.contains(' ') && !label.starts_with('%') {
+                cur_block = Some(fp.block_ref(label, line)?);
+                continue;
+            }
+        }
+        let cur = cur_block.ok_or(ParseError {
+            line,
+            msg: "instruction before first block label".into(),
+        })?;
+        let instr = parse_instr(&mut fp, l, line)?;
+        let id = InstrId(fp.func.instrs.len() as u32);
+        fp.func.instrs.push(instr);
+        fp.func.blocks[cur.index()].instrs.push(id);
+    }
+    Ok((fp.func, end + 1))
+}
+
+fn parse_instr(fp: &mut FuncParser<'_>, l: &str, line: usize) -> PResult<Instr> {
+    // Optional `%N = ` prefix (the id itself was recorded in the pre-pass).
+    let body = match l.split_once(" = ") {
+        Some((lhs, rhs)) if lhs.starts_with('%') => rhs,
+        _ => l,
+    };
+    let body = body.trim();
+    let (head, rest) = body
+        .split_once(char::is_whitespace)
+        .unwrap_or((body, ""));
+    let (mn, pred) = match head.split_once('.') {
+        Some((mn, p)) => (mn, Some(p)),
+        None => (head, None),
+    };
+    let op = Opcode::from_mnemonic(mn).ok_or(ParseError {
+        line,
+        msg: format!("unknown opcode `{mn}`"),
+    })?;
+    let rest = rest.trim();
+    let (ty, rest) = parse_type_prefix(rest, line)?;
+    let rest = rest.trim();
+    let mut instr = Instr::new(op, ty, Vec::new());
+    if let Some(p) = pred {
+        instr.pred = Some(CmpPred::from_mnemonic(p).ok_or(ParseError {
+            line,
+            msg: format!("unknown predicate `{p}`"),
+        })?);
+    }
+    match op {
+        Opcode::Phi => {
+            for group in split_commas(rest) {
+                let inner = group
+                    .strip_prefix('[')
+                    .and_then(|g| g.strip_suffix(']'))
+                    .ok_or(ParseError {
+                        line,
+                        msg: format!("bad phi group `{group}`"),
+                    })?;
+                let (bb, val) = inner.split_once(':').ok_or(ParseError {
+                    line,
+                    msg: format!("bad phi group `{group}`"),
+                })?;
+                instr.phi_blocks.push(fp.block_ref(bb.trim(), line)?);
+                let v = fp.operand(val, line)?;
+                instr.args.push(v);
+            }
+        }
+        Opcode::Br => {
+            instr.succs.push(fp.block_ref(rest, line)?);
+        }
+        Opcode::CondBr => {
+            let parts = split_commas(rest);
+            if parts.len() != 3 {
+                return err(line, format!("condbr expects 3 operands, got `{rest}`"));
+            }
+            let c = fp.operand(parts[0], line)?;
+            instr.args.push(c);
+            instr.succs.push(fp.block_ref(parts[1], line)?);
+            instr.succs.push(fp.block_ref(parts[2], line)?);
+        }
+        Opcode::Call => {
+            let (callee, args_s) = rest
+                .split_once(char::is_whitespace)
+                .unwrap_or((rest, ""));
+            let callee = callee.strip_prefix('@').ok_or(ParseError {
+                line,
+                msg: format!("call expects `@callee`, got `{callee}`"),
+            })?;
+            instr.callee_name = Some(callee.to_string());
+            for a in split_commas(args_s) {
+                if a.is_empty() {
+                    continue;
+                }
+                let v = fp.operand(a, line)?;
+                instr.args.push(v);
+            }
+        }
+        _ => {
+            for a in split_commas(rest) {
+                if a.is_empty() {
+                    continue;
+                }
+                let v = fp.operand(a, line)?;
+                instr.args.push(v);
+            }
+        }
+    }
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::printer::module_str;
+
+    #[test]
+    fn parse_types() {
+        assert_eq!(parse_type("i64").unwrap(), Type::I64);
+        assert_eq!(parse_type("f64*").unwrap(), Type::F64.ptr());
+        assert_eq!(parse_type("f64**").unwrap(), Type::F64.ptr().ptr());
+        assert_eq!(parse_type("[8 x f32]").unwrap(), Type::F32.array(8));
+        assert_eq!(
+            parse_type("[4 x [2 x i32]]*").unwrap(),
+            Type::I32.array(2).array(4).ptr()
+        );
+        assert!(parse_type("i7").is_err());
+        assert!(parse_type("f64 trailing").is_err());
+    }
+
+    #[test]
+    fn split_commas_respects_groups() {
+        assert_eq!(split_commas("a, b, c"), vec!["a", "b", "c"]);
+        assert_eq!(
+            split_commas("[e: 1:i64], [b: %7]"),
+            vec!["[e: 1:i64]", "[b: %7]"]
+        );
+        assert_eq!(split_commas(""), Vec::<&str>::new());
+    }
+
+    fn build_example() -> Module {
+        use crate::instr::CmpPred;
+        let mut m = Module::new("ex");
+        m.add_global("lut", Type::F64.array(16));
+        let mut b = FunctionBuilder::new(
+            "scale",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I64,
+                },
+                Param {
+                    name: "a".into(),
+                    ty: Type::F64.ptr(),
+                },
+            ],
+            Type::Void,
+        );
+        b.set_parallel(false);
+        let entry = b.current_block();
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        b.br(header);
+        b.switch_to(header);
+        let (i, i_phi) = b.phi_begin(Type::I64);
+        let cond = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(cond, body, exit);
+        b.switch_to(body);
+        let addr = b.gep(b.param(1), i);
+        let v = b.load(addr);
+        let two = b.const_f64(2.0);
+        let scaled = b.fmul(v, two);
+        b.store(scaled, addr);
+        let one = b.const_i64(1);
+        let inext = b.add(i, one);
+        b.br(header);
+        b.phi_finish(i_phi, vec![(entry, zero), (body, inext)]);
+        b.switch_to(exit);
+        let x = b.call("helper", vec![scaled], Type::F64);
+        let _ = x;
+        b.ret_void();
+        m.add_function(b.finish());
+        m.add_function(Function::declaration(
+            "helper",
+            vec![Param {
+                name: "x".into(),
+                ty: Type::F64,
+            }],
+            Type::F64,
+        ));
+        m.resolve_calls();
+        m
+    }
+
+    #[test]
+    fn round_trip_is_fixed_point() {
+        let m = build_example();
+        let t1 = module_str(&m);
+        let p1 = parse_module(&t1).expect("first parse");
+        let t2 = module_str(&p1);
+        let p2 = parse_module(&t2).expect("second parse");
+        let t3 = module_str(&p2);
+        assert_eq!(t2, t3, "print∘parse must be a fixed point");
+        // Structure is preserved.
+        assert_eq!(p2.functions.len(), 2);
+        assert_eq!(p2.functions[0].blocks.len(), 4);
+        assert_eq!(p2.globals.len(), 1);
+        // Calls got resolved.
+        let call = p2.functions[0]
+            .instrs
+            .iter()
+            .find(|i| i.op == Opcode::Call)
+            .unwrap();
+        assert_eq!(call.callee, Some(1));
+    }
+
+    #[test]
+    fn parse_reports_unknown_opcode() {
+        let text = "module \"m\" {\nfunc @f() -> void {\nentry:\n  frobnicate void\n}\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.msg.contains("unknown opcode"));
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn parse_reports_undefined_reference() {
+        let text =
+            "module \"m\" {\nfunc @f() -> void {\nentry:\n  %0 = add i64 %5, 1:i64\n  ret void\n}\n}\n";
+        let e = parse_module(text).unwrap_err();
+        assert!(e.msg.contains("undefined"), "{e}");
+    }
+
+    #[test]
+    fn parse_external_function() {
+        let text = "module \"m\" {\nfunc @ext(x: f64) -> f64 external\n}\n";
+        let m = parse_module(text).unwrap();
+        assert!(m.functions[0].attrs.external);
+        assert_eq!(m.functions[0].params.len(), 1);
+    }
+
+    #[test]
+    fn negative_and_special_literals_round_trip() {
+        let mut b = FunctionBuilder::new("f", vec![], Type::F64);
+        let neg = b.const_f64(-2.5);
+        let negzero = b.const_f64(-0.0);
+        let negint = b.const_i64(-42);
+        let fneg = b.fmul(neg, negzero);
+        let asf = b.sitofp(negint, Type::F64);
+        let sum = b.fadd(fneg, asf);
+        b.ret(sum);
+        let mut m = Module::new("m");
+        m.add_function(b.finish());
+        let t1 = module_str(&m);
+        let p1 = parse_module(&t1).expect("parse negatives");
+        assert_eq!(module_str(&p1), t1);
+        crate::verify_module(&p1).unwrap();
+        // The parsed constants preserve sign (including -0.0 bits).
+        let consts = &p1.functions[0].consts;
+        assert!(consts.iter().any(|c| matches!(c, Constant::Float(v, _) if *v == -2.5)));
+        assert!(consts
+            .iter()
+            .any(|c| matches!(c, Constant::Float(v, _) if v.to_bits() == (-0.0f64).to_bits())));
+        assert!(consts.iter().any(|c| matches!(c, Constant::Int(-42, _))));
+    }
+
+    #[test]
+    fn forward_references_in_phi_resolve() {
+        let m = build_example();
+        let text = module_str(&m);
+        // The phi in `header` references `%N` defined later in `body`.
+        let p = parse_module(&text).unwrap();
+        let phi = p.functions[0]
+            .instrs
+            .iter()
+            .find(|i| i.op == Opcode::Phi)
+            .unwrap();
+        assert_eq!(phi.args.len(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Textual IR output.
+//!
+//! The format is line-oriented and uniform so [`crate::parser`] can
+//! round-trip it:
+//!
+//! ```text
+//! module "kernels" {
+//! global @lut : [256 x f64]
+//! func @scale(n: i64, a: f64*) -> void parallel {
+//! entry:
+//!   br void header
+//! header:
+//!   %1 = phi i64 [entry: 0:i64], [body: %7]
+//!   %2 = icmp.lt i1 %1, $n
+//!   condbr void %2, body, exit
+//! ...
+//! }
+//! }
+//! ```
+//!
+//! Operands: `%N` instruction result, `$name` parameter, `@name` global,
+//! `LITERAL:ty` constant (`true`/`false` for booleans, `null:ty` for null
+//! pointers).
+
+use crate::instr::{Constant, Instr, Opcode, Operand};
+use crate::module::{Function, Module};
+use std::fmt::Write;
+
+/// Render an operand in the context of a function and module.
+pub fn operand_str(f: &Function, m: &Module, op: Operand) -> String {
+    match op {
+        Operand::Instr(id) => format!("%{}", id.0),
+        Operand::Param(i) => format!("${}", f.params[i as usize].name),
+        Operand::Global(i) => format!("@{}", m.globals[i as usize].name),
+        Operand::Const(i) => match &f.consts[i as usize] {
+            Constant::Bool(b) => b.to_string(),
+            Constant::Null(t) => format!("null:{t}"),
+            c @ Constant::Int(_, t) => format!("{c}:{t}"),
+            c @ Constant::Float(_, t) => format!("{c}:{t}"),
+        },
+    }
+}
+
+/// Render one instruction line (without indentation or trailing newline).
+pub fn instr_str(f: &Function, m: &Module, id: crate::InstrId, instr: &Instr) -> String {
+    let mut s = String::new();
+    if instr.has_result() {
+        write!(s, "%{} = ", id.0).unwrap();
+    }
+    match instr.op {
+        Opcode::ICmp | Opcode::FCmp => {
+            write!(s, "{}.{}", instr.op, instr.pred.expect("cmp predicate").mnemonic()).unwrap();
+        }
+        _ => write!(s, "{}", instr.op).unwrap(),
+    }
+    write!(s, " {}", instr.ty).unwrap();
+    match instr.op {
+        Opcode::Phi => {
+            for (k, (&b, &v)) in instr.phi_blocks.iter().zip(&instr.args).enumerate() {
+                let sep = if k == 0 { " " } else { ", " };
+                write!(
+                    s,
+                    "{sep}[{}: {}]",
+                    f.blocks[b.index()].name,
+                    operand_str(f, m, v)
+                )
+                .unwrap();
+            }
+        }
+        Opcode::Br => {
+            write!(s, " {}", f.blocks[instr.succs[0].index()].name).unwrap();
+        }
+        Opcode::CondBr => {
+            write!(
+                s,
+                " {}, {}, {}",
+                operand_str(f, m, instr.args[0]),
+                f.blocks[instr.succs[0].index()].name,
+                f.blocks[instr.succs[1].index()].name
+            )
+            .unwrap();
+        }
+        Opcode::Call => {
+            write!(s, " @{}", instr.callee_name.as_deref().unwrap_or("?")).unwrap();
+            for (k, &a) in instr.args.iter().enumerate() {
+                let sep = if k == 0 { " " } else { ", " };
+                write!(s, "{sep}{}", operand_str(f, m, a)).unwrap();
+            }
+        }
+        _ => {
+            for (k, &a) in instr.args.iter().enumerate() {
+                let sep = if k == 0 { " " } else { ", " };
+                write!(s, "{sep}{}", operand_str(f, m, a)).unwrap();
+            }
+        }
+    }
+    s
+}
+
+/// Render a whole function.
+pub fn function_str(f: &Function, m: &Module) -> String {
+    let mut s = String::new();
+    write!(s, "func @{}(", f.name).unwrap();
+    for (k, p) in f.params.iter().enumerate() {
+        let sep = if k == 0 { "" } else { ", " };
+        write!(s, "{sep}{}: {}", p.name, p.ty).unwrap();
+    }
+    write!(s, ") -> {}", f.ret_ty).unwrap();
+    if f.attrs.parallel {
+        s.push_str(" parallel");
+    }
+    if f.attrs.reduction {
+        s.push_str(" reduction");
+    }
+    if f.attrs.external {
+        s.push_str(" external\n");
+        return s;
+    }
+    s.push_str(" {\n");
+    for b in &f.blocks {
+        writeln!(s, "{}:", b.name).unwrap();
+        for &iid in &b.instrs {
+            writeln!(s, "  {}", instr_str(f, m, iid, f.instr(iid))).unwrap();
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render a whole module.
+pub fn module_str(m: &Module) -> String {
+    let mut s = String::new();
+    writeln!(s, "module \"{}\" {{", m.name).unwrap();
+    for g in &m.globals {
+        writeln!(s, "global @{} : {}", g.name, g.ty).unwrap();
+    }
+    for f in &m.functions {
+        s.push_str(&function_str(f, m));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpPred;
+    use crate::module::Param;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_module_shape() {
+        let mut m = Module::new("t");
+        m.add_global("lut", Type::F64.array(4));
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::I64,
+        );
+        let zero = b.const_i64(0);
+        let c = b.icmp(CmpPred::Gt, b.param(0), zero);
+        let one = b.const_i64(1);
+        let sel = b.select(c, one, zero);
+        b.ret(sel);
+        m.add_function(b.finish());
+        let text = module_str(&m);
+        assert!(text.contains("module \"t\" {"));
+        assert!(text.contains("global @lut : [4 x f64]"));
+        assert!(text.contains("func @f(n: i64) -> i64 {"));
+        assert!(text.contains("icmp.gt i1 $n, 0:i64"));
+        assert!(text.contains("select i64"));
+        assert!(text.contains("ret void %"));
+    }
+
+    #[test]
+    fn prints_external_declaration() {
+        let mut m = Module::new("t");
+        m.add_function(crate::Function::declaration("ext", vec![], Type::Void));
+        let text = module_str(&m);
+        assert!(text.contains("func @ext() -> void external"));
+    }
+}

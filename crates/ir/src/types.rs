@@ -1,0 +1,186 @@
+//! The IR type system.
+//!
+//! A deliberately small lattice of first-class types: the scalar types that
+//! appear in HPC loop nests, pointers for memory traffic, and fixed-length
+//! arrays for stack/global buffers. Function types are represented
+//! structurally on [`crate::Function`] rather than as a first-class type.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A first-class IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// No value (function return only).
+    Void,
+    /// 1-bit boolean, produced by comparisons.
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer (the canonical index type).
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// Pointer to a pointee type.
+    Ptr(Box<Type>),
+    /// Fixed-length array `[len x elem]`.
+    Array(Box<Type>, u64),
+}
+
+impl Type {
+    /// Pointer to `self`.
+    #[must_use]
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Array of `len` elements of `self`.
+    #[must_use]
+    pub fn array(self, len: u64) -> Type {
+        Type::Array(Box::new(self), len)
+    }
+
+    /// Is this an integer type (including `i1`)?
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::I1 | Type::I8 | Type::I32 | Type::I64)
+    }
+
+    /// Is this a floating-point type?
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Is this a pointer type?
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Size of a value of this type in bytes, as laid out by the simulated
+    /// target (pointers are 8 bytes). `Void` has size 0.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::I1 | Type::I8 => 1,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr(_) => 8,
+            Type::Array(elem, len) => elem.size_bytes() * len,
+        }
+    }
+
+    /// The element type of a pointer or array, if any.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) | Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Bit width of integer types, `None` otherwise.
+    pub fn int_bits(&self) -> Option<u32> {
+        match self {
+            Type::I1 => Some(1),
+            Type::I8 => Some(8),
+            Type::I32 => Some(32),
+            Type::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Stable small integer id for feature encoding (used by `mga-graph`
+    /// node features and `mga-vec` triple entities). Structured types fold
+    /// onto their head constructor.
+    pub fn feature_class(&self) -> usize {
+        match self {
+            Type::Void => 0,
+            Type::I1 => 1,
+            Type::I8 => 2,
+            Type::I32 => 3,
+            Type::I64 => 4,
+            Type::F32 => 5,
+            Type::F64 => 6,
+            Type::Ptr(_) => 7,
+            Type::Array(..) => 8,
+        }
+    }
+
+    /// Number of distinct [`Type::feature_class`] values.
+    pub const NUM_FEATURE_CLASSES: usize = 9;
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::I1 => write!(f, "i1"),
+            Type::I8 => write!(f, "i8"),
+            Type::I32 => write!(f, "i32"),
+            Type::I64 => write!(f, "i64"),
+            Type::F32 => write!(f, "f32"),
+            Type::F64 => write!(f, "f64"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Array(t, n) => write!(f, "[{n} x {t}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::Void.size_bytes(), 0);
+        assert_eq!(Type::I1.size_bytes(), 1);
+        assert_eq!(Type::I32.size_bytes(), 4);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::F64.ptr().size_bytes(), 8);
+        assert_eq!(Type::F32.array(10).size_bytes(), 40);
+        assert_eq!(Type::F64.array(4).array(3).size_bytes(), 96);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::I64.is_int());
+        assert!(!Type::F32.is_int());
+        assert!(Type::F32.is_float());
+        assert!(Type::I8.ptr().is_ptr());
+        assert!(!Type::I8.is_ptr());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::F64.ptr().to_string(), "f64*");
+        assert_eq!(Type::I32.array(8).to_string(), "[8 x i32]");
+        assert_eq!(Type::I32.array(8).ptr().to_string(), "[8 x i32]*");
+    }
+
+    #[test]
+    fn pointee() {
+        assert_eq!(Type::F64.ptr().pointee(), Some(&Type::F64));
+        assert_eq!(Type::I64.pointee(), None);
+    }
+
+    #[test]
+    fn feature_classes_are_distinct_and_bounded() {
+        let all = [
+            Type::Void,
+            Type::I1,
+            Type::I8,
+            Type::I32,
+            Type::I64,
+            Type::F32,
+            Type::F64,
+            Type::I8.ptr(),
+            Type::I8.array(2),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for t in &all {
+            assert!(t.feature_class() < Type::NUM_FEATURE_CLASSES);
+            assert!(seen.insert(t.feature_class()));
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Structural and type verification of IR.
+//!
+//! The verifier enforces the invariants the rest of the pipeline relies on:
+//!
+//! * every block is non-empty and ends with exactly one terminator, which
+//!   is the only terminator in the block;
+//! * all operand references are in range, and instruction operands refer
+//!   to instructions that exist in some block (no orphans);
+//! * phis have matching `args`/`phi_blocks` lengths and their incoming
+//!   blocks are actual predecessors;
+//! * operand and result types agree with each opcode's typing rule;
+//! * branch targets are valid blocks;
+//! * calls reference known callees when resolved, and argument counts
+//!   match the callee signature.
+
+use crate::analysis::cfg::Cfg;
+use crate::instr::{Instr, InstrId, Opcode, Operand};
+use crate::module::{BlockId, Function, Module};
+use crate::types::Type;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub function: String,
+    pub msg: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verify error in @{}: {}", self.function, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn fail(func: &Function, msg: impl Into<String>) -> Result<(), VerifyError> {
+    Err(VerifyError {
+        function: func.name.clone(),
+        msg: msg.into(),
+    })
+}
+
+/// Verify a whole module.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.functions {
+        verify_function(f, m)?;
+    }
+    Ok(())
+}
+
+/// Verify one function in the context of its module.
+pub fn verify_function(f: &Function, m: &Module) -> Result<(), VerifyError> {
+    if f.attrs.external {
+        if !f.blocks.is_empty() {
+            return fail(f, "external function must have no body");
+        }
+        return Ok(());
+    }
+    if f.blocks.is_empty() {
+        return fail(f, "function has no blocks");
+    }
+
+    // Each instruction appears in exactly one block.
+    let mut seen = vec![false; f.instrs.len()];
+    for b in &f.blocks {
+        for &iid in &b.instrs {
+            if iid.index() >= f.instrs.len() {
+                return fail(f, format!("block {} references missing %{}", b.name, iid.0));
+            }
+            if seen[iid.index()] {
+                return fail(f, format!("%{} appears in more than one block", iid.0));
+            }
+            seen[iid.index()] = true;
+        }
+    }
+
+    // Terminators: exactly one, at the end.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let Some(&last) = b.instrs.last() else {
+            return fail(f, format!("block {bi} ({}) is empty", b.name));
+        };
+        if !f.instr(last).op.is_terminator() {
+            return fail(f, format!("block {} does not end in a terminator", b.name));
+        }
+        for &iid in &b.instrs[..b.instrs.len() - 1] {
+            if f.instr(iid).op.is_terminator() {
+                return fail(
+                    f,
+                    format!("block {} has a terminator before its end", b.name),
+                );
+            }
+        }
+    }
+
+    let cfg = Cfg::build(f);
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &iid in &b.instrs {
+            let instr = f.instr(iid);
+            verify_operand_ranges(f, m, iid, instr, &seen)?;
+            verify_types(f, m, iid, instr)?;
+            verify_shape(f, m, iid, instr, BlockId(bi as u32), &cfg)?;
+        }
+    }
+    Ok(())
+}
+
+fn verify_operand_ranges(
+    f: &Function,
+    m: &Module,
+    iid: InstrId,
+    instr: &Instr,
+    placed: &[bool],
+) -> Result<(), VerifyError> {
+    for &a in &instr.args {
+        match a {
+            Operand::Instr(d) => {
+                if d.index() >= f.instrs.len() {
+                    return fail(f, format!("%{} uses out-of-range %{}", iid.0, d.0));
+                }
+                if !placed[d.index()] {
+                    return fail(f, format!("%{} uses orphan instruction %{}", iid.0, d.0));
+                }
+                if !f.instr(d).has_result() {
+                    return fail(f, format!("%{} uses void result of %{}", iid.0, d.0));
+                }
+            }
+            Operand::Param(i) => {
+                if i as usize >= f.params.len() {
+                    return fail(f, format!("%{} uses out-of-range parameter {i}", iid.0));
+                }
+            }
+            Operand::Const(i) => {
+                if i as usize >= f.consts.len() {
+                    return fail(f, format!("%{} uses out-of-range constant {i}", iid.0));
+                }
+            }
+            Operand::Global(i) => {
+                if i as usize >= m.globals.len() {
+                    return fail(f, format!("%{} uses out-of-range global {i}", iid.0));
+                }
+            }
+        }
+    }
+    for &s in &instr.succs {
+        if s.index() >= f.blocks.len() {
+            return fail(f, format!("%{} branches to missing block {}", iid.0, s.0));
+        }
+    }
+    Ok(())
+}
+
+fn verify_types(f: &Function, m: &Module, iid: InstrId, instr: &Instr) -> Result<(), VerifyError> {
+    let at = |k: usize| f.operand_type(instr.args[k], &m.globals);
+    let arity = |n: usize| -> Result<(), VerifyError> {
+        if instr.args.len() != n {
+            fail(
+                f,
+                format!(
+                    "%{} ({}) expects {n} operands, has {}",
+                    iid.0,
+                    instr.op,
+                    instr.args.len()
+                ),
+            )
+        } else {
+            Ok(())
+        }
+    };
+
+    let op = instr.op;
+    if op.is_int_binop() {
+        arity(2)?;
+        if !at(0).is_int() || at(0) != at(1) || instr.ty != at(0) {
+            return fail(f, format!("%{} ({op}) int binop type mismatch", iid.0));
+        }
+    } else if op.is_float_binop() {
+        arity(2)?;
+        if !at(0).is_float() || at(0) != at(1) || instr.ty != at(0) {
+            return fail(f, format!("%{} ({op}) float binop type mismatch", iid.0));
+        }
+    } else if matches!(
+        op,
+        Opcode::FNeg
+            | Opcode::Sqrt
+            | Opcode::Exp
+            | Opcode::Log
+            | Opcode::Sin
+            | Opcode::Cos
+            | Opcode::FAbs
+    ) {
+        arity(1)?;
+        if !at(0).is_float() || instr.ty != at(0) {
+            return fail(f, format!("%{} ({op}) float unop type mismatch", iid.0));
+        }
+    } else if op.is_cast() {
+        arity(1)?;
+        if instr.ty == Type::Void {
+            return fail(f, format!("%{} cast to void", iid.0));
+        }
+    } else {
+        match op {
+            Opcode::Alloca => {
+                arity(1)?;
+                if !at(0).is_int() || !instr.ty.is_ptr() {
+                    return fail(f, format!("%{} alloca typing", iid.0));
+                }
+            }
+            Opcode::Load => {
+                arity(1)?;
+                let ok = at(0).pointee() == Some(&instr.ty) && at(0).is_ptr();
+                if !ok {
+                    return fail(f, format!("%{} load type mismatch", iid.0));
+                }
+            }
+            Opcode::Store => {
+                arity(2)?;
+                if at(1).pointee() != Some(&at(0)) {
+                    return fail(f, format!("%{} store type mismatch", iid.0));
+                }
+            }
+            Opcode::Gep => {
+                arity(2)?;
+                if !at(0).is_ptr() || !at(1).is_int() || instr.ty != at(0) {
+                    return fail(f, format!("%{} gep typing", iid.0));
+                }
+            }
+            Opcode::AtomicAdd => {
+                arity(2)?;
+                if at(0).pointee() != Some(&at(1)) || instr.ty != at(1) {
+                    return fail(f, format!("%{} atomicadd typing", iid.0));
+                }
+            }
+            Opcode::ICmp => {
+                arity(2)?;
+                if instr.pred.is_none() || instr.ty != Type::I1 || at(0) != at(1) || !at(0).is_int()
+                {
+                    return fail(f, format!("%{} icmp typing", iid.0));
+                }
+            }
+            Opcode::FCmp => {
+                arity(2)?;
+                if instr.pred.is_none()
+                    || instr.ty != Type::I1
+                    || at(0) != at(1)
+                    || !at(0).is_float()
+                {
+                    return fail(f, format!("%{} fcmp typing", iid.0));
+                }
+            }
+            Opcode::Select => {
+                arity(3)?;
+                if at(0) != Type::I1 || at(1) != at(2) || instr.ty != at(1) {
+                    return fail(f, format!("%{} select typing", iid.0));
+                }
+            }
+            Opcode::Phi => {
+                if instr.args.len() != instr.phi_blocks.len() || instr.args.is_empty() {
+                    return fail(f, format!("%{} phi arity mismatch", iid.0));
+                }
+                for k in 0..instr.args.len() {
+                    if at(k) != instr.ty {
+                        return fail(f, format!("%{} phi incoming type mismatch", iid.0));
+                    }
+                }
+            }
+            Opcode::Br => {
+                arity(0)?;
+                if instr.succs.len() != 1 {
+                    return fail(f, format!("%{} br needs one successor", iid.0));
+                }
+            }
+            Opcode::CondBr => {
+                arity(1)?;
+                if at(0) != Type::I1 || instr.succs.len() != 2 {
+                    return fail(f, format!("%{} condbr shape", iid.0));
+                }
+            }
+            Opcode::Ret => {
+                if f.ret_ty == Type::Void {
+                    if !instr.args.is_empty() {
+                        return fail(f, "void function returns a value".to_string());
+                    }
+                } else {
+                    arity(1)?;
+                    if at(0) != f.ret_ty {
+                        return fail(f, "return type mismatch".to_string());
+                    }
+                }
+            }
+            Opcode::Call => {
+                if instr.callee_name.is_none() {
+                    return fail(f, format!("%{} call without callee name", iid.0));
+                }
+                if let Some(ci) = instr.callee {
+                    let callee = &m.functions[ci as usize];
+                    if callee.params.len() != instr.args.len() {
+                        return fail(
+                            f,
+                            format!(
+                                "%{} call to @{} passes {} args, expects {}",
+                                iid.0,
+                                callee.name,
+                                instr.args.len(),
+                                callee.params.len()
+                            ),
+                        );
+                    }
+                    for (k, p) in callee.params.iter().enumerate() {
+                        if at(k) != p.ty {
+                            return fail(
+                                f,
+                                format!("%{} call arg {k} type mismatch for @{}", iid.0, callee.name),
+                            );
+                        }
+                    }
+                    if instr.ty != callee.ret_ty {
+                        return fail(f, format!("%{} call return type mismatch", iid.0));
+                    }
+                }
+            }
+            Opcode::Barrier => {
+                arity(0)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn verify_shape(
+    f: &Function,
+    _m: &Module,
+    iid: InstrId,
+    instr: &Instr,
+    block: BlockId,
+    cfg: &Cfg,
+) -> Result<(), VerifyError> {
+    if instr.op == Opcode::Phi {
+        let preds = cfg.preds(block);
+        if instr.phi_blocks.len() != preds.len() {
+            return fail(
+                f,
+                format!(
+                    "%{} phi has {} incoming, block has {} predecessors",
+                    iid.0,
+                    instr.phi_blocks.len(),
+                    preds.len()
+                ),
+            );
+        }
+        for &pb in &instr.phi_blocks {
+            if !preds.contains(&pb) {
+                return fail(
+                    f,
+                    format!(
+                        "%{} phi incoming block {} is not a predecessor",
+                        iid.0,
+                        f.blocks[pb.index()].name
+                    ),
+                );
+            }
+        }
+    }
+    if !instr.op.is_terminator() && !instr.succs.is_empty() {
+        return fail(f, format!("%{} non-terminator has successors", iid.0));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::instr::CmpPred;
+    use crate::module::Param;
+
+    fn valid_module() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I64,
+                },
+                Param {
+                    name: "a".into(),
+                    ty: Type::F64.ptr(),
+                },
+            ],
+            Type::Void,
+        );
+        let entry = b.current_block();
+        let header = b.create_block("h");
+        let body = b.create_block("b");
+        let exit = b.create_block("x");
+        let zero = b.const_i64(0);
+        b.br(header);
+        b.switch_to(header);
+        let (i, ip) = b.phi_begin(Type::I64);
+        let c = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let p = b.gep(b.param(1), i);
+        let v = b.load(p);
+        let v2 = b.fadd(v, v);
+        b.store(v2, p);
+        let one = b.const_i64(1);
+        let inx = b.add(i, one);
+        b.br(header);
+        b.phi_finish(ip, vec![(entry, zero), (body, inx)]);
+        b.switch_to(exit);
+        b.ret_void();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let m = valid_module();
+        verify_module(&m).expect("valid module verifies");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_binop() {
+        let mut m = valid_module();
+        // Turn the fadd into an add (int op on floats).
+        let f = &mut m.functions[0];
+        let idx = f.instrs.iter().position(|i| i.op == Opcode::FAdd).unwrap();
+        f.instrs[idx].op = Opcode::Add;
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.msg.contains("int binop"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut m = valid_module();
+        let f = &mut m.functions[0];
+        let exit = f.blocks.len() - 1;
+        f.blocks[exit].instrs.clear();
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.msg.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_with_bad_predecessor() {
+        let mut m = valid_module();
+        let f = &mut m.functions[0];
+        let phi = f.instrs.iter_mut().find(|i| i.op == Opcode::Phi).unwrap();
+        // Point an incoming edge at the exit block, which is not a pred.
+        phi.phi_blocks[1] = BlockId(3);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.msg.contains("not a predecessor"), "{e}");
+    }
+
+    #[test]
+    fn rejects_branch_out_of_range() {
+        let mut m = valid_module();
+        let f = &mut m.functions[0];
+        let br = f
+            .instrs
+            .iter_mut()
+            .find(|i| i.op == Opcode::Br)
+            .unwrap();
+        br.succs[0] = BlockId(99);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.msg.contains("missing block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Type::Void);
+        let x = b.const_f64(1.0);
+        b.call("g", vec![x], Type::Void);
+        b.ret_void();
+        m.add_function(b.finish());
+        m.add_function(Function::declaration("g", vec![], Type::Void));
+        m.resolve_calls();
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.msg.contains("passes 1 args"), "{e}");
+    }
+
+    #[test]
+    fn accepts_parsed_round_trip() {
+        let m = valid_module();
+        let text = crate::printer::module_str(&m);
+        let p = crate::parser::parse_module(&text).unwrap();
+        verify_module(&p).expect("parsed module verifies");
+    }
+
+    use crate::module::Function;
+}

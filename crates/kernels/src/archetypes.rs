@@ -1,0 +1,736 @@
+//! Kernel-family archetypes.
+//!
+//! Every benchmark in the paper's Table 1 belongs to a small set of
+//! computational families; the catalog instantiates these factories with
+//! per-benchmark parameters (depth, operand counts, intensity, locality)
+//! so each kernel gets its own IR — different opcode mixes, loop shapes,
+//! data/control/call flow — plus matching simulator traits.
+
+use crate::nest::{idx2, idx3, kernel_params, Bound, Level, NestBuilder};
+use crate::spec::{Imbalance, Locality, Traits, TripCount};
+use mga_ir::builder::FunctionBuilder;
+use mga_ir::instr::CmpPred;
+use mga_ir::{Module, Operand, Param, Type};
+
+#[allow(clippy::too_many_arguments)] // mirrors the Traits struct field-for-field
+fn traits(
+    trip: TripCount,
+    inner: TripCount,
+    ws_bytes_per_n: f64,
+    ws_power: f64,
+    bytes_per_iter: f64,
+    locality: Locality,
+    imbalance: Imbalance,
+    reduction: bool,
+    branch_entropy: f64,
+    serial_frac: f64,
+) -> Traits {
+    Traits {
+        trip,
+        inner,
+        ws_bytes_per_n,
+        ws_power,
+        bytes_per_iter,
+        locality,
+        imbalance,
+        reduction,
+        branch_entropy,
+        serial_frac,
+        sync_us_per_iter: 0.0,
+    }
+}
+
+/// STREAM-style bandwidth kernel: `dst[i] = f(srcs[i]...)` with
+/// `flops` float ops per element over `n_src` source arrays.
+pub fn streaming(name: &str, n_src: usize, flops: usize) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let arrays: Vec<(String, Type)> = (0..n_src)
+        .map(|k| (format!("src{k}"), Type::F64))
+        .chain(std::iter::once(("dst".to_string(), Type::F64)))
+        .collect();
+    let array_refs: Vec<(&str, Type)> =
+        arrays.iter().map(|(s, t)| (s.as_str(), t.clone())).collect();
+    let mut fb = FunctionBuilder::new(name, kernel_params(&array_refs), Type::Void);
+    fb.set_parallel(false);
+    NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
+        let i = ctx.ivs[0];
+        let mut acc: Option<Operand> = None;
+        for k in 0..n_src {
+            let p = ctx.b.gep(ctx.b.param(1 + k as u32), i);
+            let v = ctx.b.load(p);
+            acc = Some(match acc {
+                None => v,
+                Some(a) => ctx.b.fadd(a, v),
+            });
+        }
+        let mut v = acc.unwrap_or_else(|| ctx.b.const_f64(0.0));
+        for f in 0..flops {
+            let c = ctx.b.const_f64(1.5 + f as f64);
+            v = ctx.b.fmul(v, c);
+        }
+        let pd = ctx.b.gep(ctx.b.param(1 + n_src as u32), i);
+        ctx.b.store(v, pd);
+    });
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let bytes = 8.0 * (n_src + 1) as f64;
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(1.0),
+        bytes,
+        1.0,
+        bytes,
+        Locality::streaming(),
+        Imbalance::Uniform,
+        false,
+        0.02,
+        0.005,
+    );
+    (m, t)
+}
+
+/// Dense matrix multiply (`C += A·B`), optionally chained (2mm/3mm do two
+/// or three of these); `depth = 3` nest with tile reuse.
+pub fn matmul(name: &str, fused_muls: usize) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let mut fb = FunctionBuilder::new(
+        name,
+        kernel_params(&[("a", Type::F64), ("b", Type::F64), ("c", Type::F64)]),
+        Type::Void,
+    );
+    fb.set_parallel(false);
+    NestBuilder::build(
+        &mut fb,
+        &[
+            Level { bound: Bound::N },
+            Level { bound: Bound::N },
+            Level { bound: Bound::N },
+        ],
+        &mut |ctx| {
+            let (i, j, k) = (ctx.ivs[0], ctx.ivs[1], ctx.ivs[2]);
+            let n = ctx.n;
+            let ia = idx2(ctx.b, i, k, n);
+            let ib = idx2(ctx.b, k, j, n);
+            let ic = idx2(ctx.b, i, j, n);
+            let pa = ctx.b.gep(ctx.b.param(1), ia);
+            let pb = ctx.b.gep(ctx.b.param(2), ib);
+            let pc = ctx.b.gep(ctx.b.param(3), ic);
+            let va = ctx.b.load(pa);
+            let vb = ctx.b.load(pb);
+            let mut prod = ctx.b.fmul(va, vb);
+            for extra in 0..fused_muls.saturating_sub(1) {
+                let c = ctx.b.const_f64(0.9 + extra as f64 * 0.1);
+                prod = ctx.b.fmul(prod, c);
+            }
+            let vc = ctx.b.load(pc);
+            let s = ctx.b.fadd(vc, prod);
+            ctx.b.store(s, pc);
+        },
+    );
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Quadratic(1.0),
+        24.0,
+        2.0,
+        10.0, // tile reuse keeps most traffic in cache
+        Locality::tiled(8.0, 0.4),
+        Imbalance::Uniform,
+        false,
+        0.02,
+        0.01,
+    );
+    (m, t)
+}
+
+/// Stencil sweep (`jacobi`, `fdtd`, `convolution`, `hotspot`): `points`
+/// neighbor loads around each cell, 2-D or 3-D.
+pub fn stencil(name: &str, dims: usize, points: usize) -> (Module, Traits) {
+    assert!(dims == 2 || dims == 3);
+    let mut m = Module::new(name);
+    let mut fb = FunctionBuilder::new(
+        name,
+        kernel_params(&[("in", Type::F64), ("out", Type::F64)]),
+        Type::Void,
+    );
+    fb.set_parallel(false);
+    let levels: Vec<Level> = (0..dims).map(|_| Level { bound: Bound::N }).collect();
+    NestBuilder::build(&mut fb, &levels, &mut |ctx| {
+        let n = ctx.n;
+        let center = if dims == 2 {
+            idx2(ctx.b, ctx.ivs[0], ctx.ivs[1], n)
+        } else {
+            idx3(ctx.b, ctx.ivs[0], ctx.ivs[1], ctx.ivs[2], n)
+        };
+        let mut acc = {
+            let p = ctx.b.gep(ctx.b.param(1), center);
+            ctx.b.load(p)
+        };
+        for pt in 1..points {
+            // Offset neighbor: center + pt (modular enough for IR purposes;
+            // the real index arithmetic is irrelevant to modeling).
+            let off = ctx.b.const_i64(pt as i64);
+            let idx = ctx.b.add(center, off);
+            let p = ctx.b.gep(ctx.b.param(1), idx);
+            let v = ctx.b.load(p);
+            acc = ctx.b.fadd(acc, v);
+        }
+        let w = ctx.b.const_f64(1.0 / points as f64);
+        let avg = ctx.b.fmul(acc, w);
+        let po = ctx.b.gep(ctx.b.param(2), center);
+        ctx.b.store(avg, po);
+    });
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let (power, inner) = if dims == 2 {
+        (2.0, TripCount::Linear(1.0))
+    } else {
+        (3.0, TripCount::Quadratic(1.0))
+    };
+    let t = traits(
+        TripCount::Linear(1.0),
+        inner,
+        16.0,
+        power,
+        8.0 + points as f64, // row reuse
+        Locality::tiled(points as f64 / 2.0, 0.0),
+        Imbalance::Uniform,
+        false,
+        0.03,
+        0.01,
+    );
+    (m, t)
+}
+
+/// Reduction kernel (`dot`, `kmeans` distance accumulation, `cg` inner
+/// products): sums `n_src` arrays into a scalar, with optional heavy math.
+pub fn reduction(name: &str, n_src: usize, heavy_math: bool) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let arrays: Vec<(String, Type)> = (0..n_src)
+        .map(|k| (format!("src{k}"), Type::F64))
+        .chain(std::iter::once(("out".to_string(), Type::F64)))
+        .collect();
+    let refs: Vec<(&str, Type)> = arrays.iter().map(|(s, t)| (s.as_str(), t.clone())).collect();
+    let mut fb = FunctionBuilder::new(name, kernel_params(&refs), Type::Void);
+    fb.set_parallel(true);
+    NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
+        let i = ctx.ivs[0];
+        let mut acc: Option<Operand> = None;
+        for k in 0..n_src {
+            let p = ctx.b.gep(ctx.b.param(1 + k as u32), i);
+            let v = ctx.b.load(p);
+            acc = Some(match acc {
+                None => v,
+                Some(a) => ctx.b.fmul(a, v),
+            });
+        }
+        let mut v = acc.unwrap_or_else(|| ctx.b.const_f64(1.0));
+        if heavy_math {
+            v = ctx.b.sqrt(v);
+        }
+        // Accumulate into out[0] via atomic add (the reduction combiner).
+        let zero = ctx.b.const_i64(0);
+        let po = ctx.b.gep(ctx.b.param(1 + n_src as u32), zero);
+        ctx.b.atomic_add(po, v);
+    });
+    fb.ret_void();
+    m.add_function(fb.finish());
+    // Loads of each source array plus accumulator/centroid traffic.
+    let bytes = 8.0 * n_src as f64 + 16.0;
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(1.0),
+        bytes,
+        1.0,
+        bytes,
+        Locality::streaming(),
+        Imbalance::Uniform,
+        true,
+        0.02,
+        0.02,
+    );
+    (m, t)
+}
+
+/// Triangular sweep (`cholesky`, `lu`, `trisolv`, `gramschmidt`): inner
+/// loop bounded by the outer induction variable → inherent imbalance.
+pub fn triangular(name: &str, serial_frac: f64) -> (Module, Traits) {
+    // Wavefront dependence: heavily serial triangular solves barrier
+    // between dependent rows, which is what makes trisolv's parallel
+    // version lose to serial execution (paper §4.1.3).
+    let sync_us = if serial_frac > 0.3 { 0.9 } else { 0.04 };
+    let mut m = Module::new(name);
+    let mut fb = FunctionBuilder::new(
+        name,
+        kernel_params(&[("a", Type::F64), ("x", Type::F64)]),
+        Type::Void,
+    );
+    fb.set_parallel(false);
+    NestBuilder::build(
+        &mut fb,
+        &[Level { bound: Bound::N }, Level { bound: Bound::Outer }],
+        &mut |ctx| {
+            let (i, j) = (ctx.ivs[0], ctx.ivs[1]);
+            let n = ctx.n;
+            let ia = idx2(ctx.b, i, j, n);
+            let pa = ctx.b.gep(ctx.b.param(1), ia);
+            let va = ctx.b.load(pa);
+            let px = ctx.b.gep(ctx.b.param(2), j);
+            let vx = ctx.b.load(px);
+            let prod = ctx.b.fmul(va, vx);
+            let pi = ctx.b.gep(ctx.b.param(2), i);
+            let vi = ctx.b.load(pi);
+            let s = ctx.b.fsub(vi, prod);
+            ctx.b.store(s, pi);
+            // Row dependence: the wavefront barrier is part of the code,
+            // so the static modalities can see what the counters cannot.
+            ctx.b.barrier();
+        },
+    );
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let mut t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Linear(0.5),
+        24.0,
+        2.0,
+        24.0,
+        Locality::tiled(2.0, 0.2),
+        Imbalance::Triangular,
+        false,
+        0.05,
+        serial_frac,
+    );
+    t.sync_us_per_iter = sync_us;
+    (m, t)
+}
+
+/// Sparse/indirect kernel (`spmv`, `bfs`, `b+tree`): index loads feed
+/// data loads; unpredictable branches; random imbalance.
+pub fn gather(name: &str, cv: f64, entropy: f64) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let mut params = kernel_params(&[("vals", Type::F64), ("out", Type::F64)]);
+    params.push(Param {
+        name: "idx".into(),
+        ty: Type::I64.ptr(),
+    });
+    let mut fb = FunctionBuilder::new(name, params, Type::Void);
+    fb.set_parallel(false);
+    NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
+        let i = ctx.ivs[0];
+        // col = idx[i]; v = vals[col]
+        let pidx = ctx.b.gep(ctx.b.param(3), i);
+        let col = ctx.b.load(pidx);
+        let pval = ctx.b.gep(ctx.b.param(1), col);
+        let v = ctx.b.load(pval);
+        // data-dependent branch: out[i] += v if v > 0
+        let zero = ctx.b.const_f64(0.0);
+        let pos = ctx.b.fcmp(CmpPred::Gt, v, zero);
+        let picked = ctx.b.select(pos, v, zero);
+        let po = ctx.b.gep(ctx.b.param(2), i);
+        let cur = ctx.b.load(po);
+        let s = ctx.b.fadd(cur, picked);
+        ctx.b.store(s, po);
+    });
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(1.0),
+        24.0,
+        1.0,
+        32.0,
+        Locality {
+            streaming_frac: 0.7,
+            reuse_factor: 0.5,
+            shared_frac: 0.3,
+        },
+        Imbalance::Random(cv),
+        false,
+        entropy,
+        0.02,
+    );
+    (m, t)
+}
+
+/// Histogram/scatter with atomics (`histogram`, `streamcluster` assign).
+pub fn histogram(name: &str) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let mut params = kernel_params(&[("bins", Type::F64)]);
+    params.push(Param {
+        name: "keys".into(),
+        ty: Type::I64.ptr(),
+    });
+    let mut fb = FunctionBuilder::new(name, params, Type::Void);
+    fb.set_parallel(false);
+    NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
+        let i = ctx.ivs[0];
+        let pk = ctx.b.gep(ctx.b.param(2), i);
+        let key = ctx.b.load(pk);
+        let mask = ctx.b.const_i64(1023);
+        let bin = ctx.b.and(key, mask);
+        let pb = ctx.b.gep(ctx.b.param(1), bin);
+        let one = ctx.b.const_f64(1.0);
+        ctx.b.atomic_add(pb, one);
+    });
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(1.0),
+        8.0,
+        1.0,
+        16.0,
+        Locality {
+            streaming_frac: 0.8,
+            reuse_factor: 1.0,
+            shared_frac: 0.5,
+        },
+        Imbalance::Random(0.2),
+        false,
+        0.4,
+        0.02,
+    );
+    (m, t)
+}
+
+/// Dynamic-programming wavefront with data-dependent control
+/// (`nw`/`needle`, `pathfinder`, `srad` thresholds).
+pub fn branchy(name: &str, entropy: f64) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let mut fb = FunctionBuilder::new(
+        name,
+        kernel_params(&[("cost", Type::F64), ("out", Type::F64)]),
+        Type::Void,
+    );
+    fb.set_parallel(false);
+    NestBuilder::build(
+        &mut fb,
+        &[Level { bound: Bound::N }, Level { bound: Bound::N }],
+        &mut |ctx| {
+            let (i, j) = (ctx.ivs[0], ctx.ivs[1]);
+            let n = ctx.n;
+            let c = idx2(ctx.b, i, j, n);
+            let pc = ctx.b.gep(ctx.b.param(1), c);
+            let vc = ctx.b.load(pc);
+            let one = ctx.b.const_i64(1);
+            let jm = ctx.b.sub(j, one);
+            let left_i = idx2(ctx.b, i, jm, n);
+            let pl = ctx.b.gep(ctx.b.param(2), left_i);
+            let vl = ctx.b.load(pl);
+            let im = ctx.b.sub(i, one);
+            let up_i = idx2(ctx.b, im, j, n);
+            let pu = ctx.b.gep(ctx.b.param(2), up_i);
+            let vu = ctx.b.load(pu);
+            let better = ctx.b.fcmp(CmpPred::Lt, vl, vu);
+            let best = ctx.b.select(better, vl, vu);
+            let s = ctx.b.fadd(best, vc);
+            let po = ctx.b.gep(ctx.b.param(2), c);
+            ctx.b.store(s, po);
+            // Anti-diagonal wavefront: neighbours must finish first.
+            ctx.b.barrier();
+        },
+    );
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let mut t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Linear(1.0),
+        16.0,
+        2.0,
+        32.0,
+        Locality::tiled(2.0, 0.0),
+        Imbalance::Random(0.15),
+        false,
+        entropy,
+        0.03,
+    );
+    t.sync_us_per_iter = 0.12;
+    (m, t)
+}
+
+/// N-body style force kernel (`lavaMD`, `MD`, `leukocyte`, `cutcp`): calls
+/// a distance helper per neighbor, heavy math inside.
+pub fn nbody(name: &str, neighbors: i64) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    // Distance helper with a sqrt.
+    let mut hb = FunctionBuilder::new(
+        "distance",
+        vec![
+            Param {
+                name: "dx".into(),
+                ty: Type::F64,
+            },
+            Param {
+                name: "dy".into(),
+                ty: Type::F64,
+            },
+        ],
+        Type::F64,
+    );
+    let xx = hb.fmul(hb.param(0), hb.param(0));
+    let yy = hb.fmul(hb.param(1), hb.param(1));
+    let ss = hb.fadd(xx, yy);
+    let d = hb.sqrt(ss);
+    hb.ret(d);
+    let helper = hb.finish();
+
+    let mut fb = FunctionBuilder::new(
+        name,
+        kernel_params(&[("px", Type::F64), ("py", Type::F64), ("force", Type::F64)]),
+        Type::Void,
+    );
+    fb.set_parallel(false);
+    NestBuilder::build(
+        &mut fb,
+        &[
+            Level { bound: Bound::N },
+            Level {
+                bound: Bound::Const(neighbors),
+            },
+        ],
+        &mut |ctx| {
+            let (i, k) = (ctx.ivs[0], ctx.ivs[1]);
+            let j = ctx.b.add(i, k);
+            let pxi = ctx.b.gep(ctx.b.param(1), i);
+            let pxj = ctx.b.gep(ctx.b.param(1), j);
+            let xi = ctx.b.load(pxi);
+            let xj = ctx.b.load(pxj);
+            let dx = ctx.b.fsub(xi, xj);
+            let pyi = ctx.b.gep(ctx.b.param(2), i);
+            let pyj = ctx.b.gep(ctx.b.param(2), j);
+            let yi = ctx.b.load(pyi);
+            let yj = ctx.b.load(pyj);
+            let dy = ctx.b.fsub(yi, yj);
+            let d = ctx.b.call("distance", vec![dx, dy], Type::F64);
+            let eps = ctx.b.const_f64(1e-6);
+            let dd = ctx.b.fadd(d, eps);
+            let one = ctx.b.const_f64(1.0);
+            let inv = ctx.b.fdiv(one, dd);
+            let pf = ctx.b.gep(ctx.b.param(3), i);
+            let f0 = ctx.b.load(pf);
+            let f1 = ctx.b.fadd(f0, inv);
+            ctx.b.store(f1, pf);
+        },
+    );
+    fb.ret_void();
+    m.add_function(fb.finish());
+    m.add_function(helper);
+    m.resolve_calls();
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(neighbors as f64),
+        24.0,
+        1.0,
+        12.0,
+        Locality::tiled(4.0, 0.3),
+        Imbalance::Random(0.3),
+        false,
+        0.1,
+        0.02,
+    );
+    (m, t)
+}
+
+/// Bitonic/merge-sort style kernel: `n·log n` work, comparison branches.
+pub fn sortlike(name: &str) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let mut fb = FunctionBuilder::new(name, kernel_params(&[("keys", Type::F64)]), Type::Void);
+    fb.set_parallel(false);
+    NestBuilder::build(
+        &mut fb,
+        &[Level { bound: Bound::N }, Level { bound: Bound::Const(16) }],
+        &mut |ctx| {
+            let (i, s) = (ctx.ivs[0], ctx.ivs[1]);
+            let one = ctx.b.const_i64(1);
+            let stride = ctx.b.shl(one, s);
+            let partner = ctx.b.xor(i, stride);
+            let pi = ctx.b.gep(ctx.b.param(1), i);
+            let pp = ctx.b.gep(ctx.b.param(1), partner);
+            let vi = ctx.b.load(pi);
+            let vp = ctx.b.load(pp);
+            let swap = ctx.b.fcmp(CmpPred::Gt, vi, vp);
+            let lo = ctx.b.select(swap, vp, vi);
+            let hi = ctx.b.select(swap, vi, vp);
+            ctx.b.store(lo, pi);
+            ctx.b.store(hi, pp);
+        },
+    );
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(16.0),
+        8.0,
+        1.0,
+        32.0,
+        Locality {
+            streaming_frac: 0.5,
+            reuse_factor: 2.0,
+            shared_frac: 0.0,
+        },
+        Imbalance::Uniform,
+        false,
+        0.5,
+        0.02,
+    );
+    (m, t)
+}
+
+/// FFT/MersenneTwister-style butterfly: strided access, sin/cos twiddles.
+pub fn fftlike(name: &str) -> (Module, Traits) {
+    let mut m = Module::new(name);
+    let mut fb = FunctionBuilder::new(
+        name,
+        kernel_params(&[("re", Type::F64), ("im", Type::F64)]),
+        Type::Void,
+    );
+    fb.set_parallel(false);
+    NestBuilder::build(
+        &mut fb,
+        &[Level { bound: Bound::N }, Level { bound: Bound::Const(12) }],
+        &mut |ctx| {
+            let (i, s) = (ctx.ivs[0], ctx.ivs[1]);
+            let one = ctx.b.const_i64(1);
+            let stride = ctx.b.shl(one, s);
+            let j = ctx.b.xor(i, stride);
+            let pre = ctx.b.gep(ctx.b.param(1), i);
+            let pim = ctx.b.gep(ctx.b.param(2), i);
+            let vre = ctx.b.load(pre);
+            let vim = ctx.b.load(pim);
+            let angle = ctx.b.sitofp(j, Type::F64);
+            let c = ctx.b.cos(angle);
+            let sn = ctx.b.sin(angle);
+            let xr = ctx.b.fmul(vre, c);
+            let xi = ctx.b.fmul(vim, sn);
+            let out_r = ctx.b.fsub(xr, xi);
+            let yr = ctx.b.fmul(vre, sn);
+            let yi = ctx.b.fmul(vim, c);
+            let out_i = ctx.b.fadd(yr, yi);
+            ctx.b.store(out_r, pre);
+            ctx.b.store(out_i, pim);
+        },
+    );
+    fb.ret_void();
+    m.add_function(fb.finish());
+    let t = traits(
+        TripCount::Linear(1.0),
+        TripCount::Const(12.0),
+        16.0,
+        1.0,
+        32.0,
+        Locality {
+            streaming_frac: 0.6,
+            reuse_factor: 1.5,
+            shared_frac: 0.0,
+        },
+        Imbalance::Uniform,
+        false,
+        0.08,
+        0.03,
+    );
+    (m, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::InstrMix;
+    use mga_ir::analysis::loops::LoopInfo;
+    use mga_ir::verify_module;
+
+    #[test]
+    fn all_archetypes_verify() {
+        let all: Vec<(Module, Traits)> = vec![
+            streaming("s", 2, 1),
+            matmul("m", 1),
+            stencil("st2", 2, 5),
+            stencil("st3", 3, 7),
+            reduction("r", 2, true),
+            triangular("t", 0.01),
+            gather("g", 0.3, 0.5),
+            histogram("h"),
+            branchy("b", 0.4),
+            nbody("nb", 32),
+            sortlike("so"),
+            fftlike("ff"),
+        ];
+        for (m, t) in &all {
+            verify_module(m).unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert!(t.ws_bytes_per_n > 0.0);
+            assert!(t.bytes_per_iter > 0.0);
+        }
+    }
+
+    #[test]
+    fn archetypes_have_distinct_instruction_mixes() {
+        let mixes: Vec<InstrMix> = [
+            streaming("s", 2, 1).0,
+            matmul("m", 1).0,
+            reduction("r", 2, true).0,
+            nbody("nb", 8).0,
+            histogram("h").0,
+        ]
+        .iter()
+        .map(|m| InstrMix::of_function(&m.functions[0]))
+        .collect();
+        for i in 0..mixes.len() {
+            for j in i + 1..mixes.len() {
+                assert_ne!(mixes[i], mixes[j], "mix {i} == mix {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn nbody_has_call_flow() {
+        let (m, _) = nbody("nb", 16);
+        assert_eq!(m.functions.len(), 2);
+        let mix = InstrMix::of_function(&m.functions[0]);
+        assert!(mix.calls >= 1.0);
+        assert!(
+            InstrMix::of_function(&m.functions[1]).heavy_math >= 1.0,
+            "helper carries the sqrt"
+        );
+        // Calls are resolved to the helper.
+        let call = m.functions[0]
+            .instrs
+            .iter()
+            .find(|i| i.op == mga_ir::Opcode::Call)
+            .unwrap();
+        assert_eq!(call.callee, Some(1));
+    }
+
+    #[test]
+    fn reduction_and_histogram_have_atomics() {
+        let (m, t) = reduction("r", 1, false);
+        assert!(InstrMix::of_function(&m.functions[0]).atomics >= 1.0);
+        assert!(t.reduction);
+        let (m2, _) = histogram("h");
+        assert!(InstrMix::of_function(&m2.functions[0]).atomics >= 1.0);
+    }
+
+    #[test]
+    fn matmul_has_three_deep_nest() {
+        let (m, t) = matmul("mm", 1);
+        let li = LoopInfo::compute(&m.functions[0]);
+        assert_eq!(li.max_depth(), 3);
+        assert_eq!(t.ws_power, 2.0);
+    }
+
+    #[test]
+    fn triangular_is_imbalanced() {
+        let (_, t) = triangular("tri", 0.3);
+        assert_eq!(t.imbalance, Imbalance::Triangular);
+        assert_eq!(t.serial_frac, 0.3);
+    }
+
+    #[test]
+    fn streaming_flops_scale_with_parameter() {
+        let (m1, _) = streaming("a", 1, 0);
+        let (m2, _) = streaming("b", 1, 4);
+        let f1 = InstrMix::of_function(&m1.functions[0]).flops;
+        let f2 = InstrMix::of_function(&m2.functions[0]).flops;
+        assert!(f2 > f1 + 3.0);
+    }
+}

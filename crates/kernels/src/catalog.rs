@@ -1,0 +1,526 @@
+//! The benchmark catalog: paper Table 1 instantiated over the archetypes.
+//!
+//! * [`openmp_catalog`] — the OpenMP loops (PolyBench, Rodinia, NAS,
+//!   STREAM, DataRaceBench, LULESH) used in §4.1. The thread-prediction
+//!   dataset ([`openmp_thread_dataset`]) uses 45 of these loops, as the
+//!   paper's Fig. 1b states; the large-search-space experiment
+//!   ([`large_space_apps`]) uses the 30 PolyBench/Rodinia/LULESH apps.
+//! * [`opencl_catalog`] — ~256 OpenCL kernels across AMD SDK, NPB,
+//!   NVIDIA SDK, Parboil, PolyBench-GPU, Rodinia and SHOC, for the
+//!   heterogeneous device-mapping task of §4.2.
+//!
+//! Every kernel gets real IR from an archetype plus deterministic
+//! per-kernel trait variation (seeded by the kernel name) so no two
+//! kernels are identical.
+
+use crate::archetypes as arch;
+use crate::spec::{KernelSpec, Suite, Traits};
+use mga_ir::Module;
+
+/// Archetype selector for one catalog entry.
+#[derive(Debug, Clone, Copy)]
+pub enum Arch {
+    Streaming { n_src: usize, flops: usize },
+    Matmul { fused: usize },
+    Stencil { dims: usize, points: usize },
+    Reduction { n_src: usize, heavy: bool },
+    Triangular { serial: f64 },
+    Gather { cv: f64, entropy: f64 },
+    Histogram,
+    Branchy { entropy: f64 },
+    Nbody { neighbors: i64 },
+    Sort,
+    Fft,
+}
+
+impl Arch {
+    fn build(self, name: &str) -> (Module, Traits) {
+        match self {
+            Arch::Streaming { n_src, flops } => arch::streaming(name, n_src, flops),
+            Arch::Matmul { fused } => arch::matmul(name, fused),
+            Arch::Stencil { dims, points } => arch::stencil(name, dims, points),
+            Arch::Reduction { n_src, heavy } => arch::reduction(name, n_src, heavy),
+            Arch::Triangular { serial } => arch::triangular(name, serial),
+            Arch::Gather { cv, entropy } => arch::gather(name, cv, entropy),
+            Arch::Histogram => arch::histogram(name),
+            Arch::Branchy { entropy } => arch::branchy(name, entropy),
+            Arch::Nbody { neighbors } => arch::nbody(name, neighbors),
+            Arch::Sort => arch::sortlike(name),
+            Arch::Fft => arch::fftlike(name),
+        }
+    }
+}
+
+/// Deterministic per-kernel jitter in `[1-spread, 1+spread]` derived from
+/// the kernel name — keeps same-archetype kernels from being clones.
+fn jitter(name: &str, salt: u64, spread: f64) -> f64 {
+    let mut h = salt ^ 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+    1.0 + spread * (2.0 * unit - 1.0)
+}
+
+fn make_spec(app: &str, loop_idx: usize, suite: Suite, a: Arch) -> KernelSpec {
+    let name = format!("{}/{app}/l{loop_idx}", suite.name().to_lowercase());
+    let (module, mut t) = a.build(&format!("{app}_l{loop_idx}"));
+    // Per-kernel variation.
+    t.bytes_per_iter *= jitter(&name, 1, 0.25);
+    t.ws_bytes_per_n *= jitter(&name, 2, 0.2);
+    t.branch_entropy = (t.branch_entropy * jitter(&name, 3, 0.4)).clamp(0.0, 1.0);
+    t.serial_frac = (t.serial_frac * jitter(&name, 4, 0.5)).clamp(0.0, 0.9);
+    t.locality.reuse_factor *= jitter(&name, 5, 0.3);
+    KernelSpec::new(name, app, suite, module, t)
+}
+
+/// One OpenMP loop catalog entry.
+struct OmpEntry(&'static str, Suite, &'static [Arch]);
+
+fn omp_entries() -> Vec<OmpEntry> {
+    use Arch::*;
+    use Suite::*;
+    vec![
+        // --- PolyBench (paper lists 28 apps) ---
+        OmpEntry("2mm", Polybench, &[Matmul { fused: 1 }, Matmul { fused: 2 }]),
+        OmpEntry("3mm", Polybench, &[Matmul { fused: 3 }]),
+        OmpEntry("atax", Polybench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry("adi", Polybench, &[Triangular { serial: 0.06 }]),
+        OmpEntry("bicg", Polybench, &[Reduction { n_src: 3, heavy: false }]),
+        OmpEntry("cholesky", Polybench, &[Triangular { serial: 0.08 }]),
+        OmpEntry("convolution-2d", Polybench, &[Stencil { dims: 2, points: 9 }]),
+        OmpEntry("convolution-3d", Polybench, &[Stencil { dims: 3, points: 27 }]),
+        OmpEntry("correlation", Polybench, &[Reduction { n_src: 2, heavy: true }]),
+        OmpEntry("covariance", Polybench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry("doitgen", Polybench, &[Matmul { fused: 1 }]),
+        OmpEntry("durbin", Polybench, &[Triangular { serial: 0.12 }]),
+        OmpEntry("fdtd-2d", Polybench, &[Stencil { dims: 2, points: 5 }]),
+        OmpEntry("fdtd-apml", Polybench, &[Stencil { dims: 3, points: 7 }]),
+        OmpEntry("gemm", Polybench, &[Matmul { fused: 1 }]),
+        OmpEntry("gemver", Polybench, &[Streaming { n_src: 4, flops: 3 }]),
+        OmpEntry("gesummv", Polybench, &[Reduction { n_src: 3, heavy: false }]),
+        OmpEntry("gramschmidt", Polybench, &[Triangular { serial: 0.1 }]),
+        OmpEntry("jacobi-1d", Polybench, &[Streaming { n_src: 1, flops: 2 }]),
+        OmpEntry("jacobi-2d", Polybench, &[Stencil { dims: 2, points: 5 }]),
+        OmpEntry("lu", Polybench, &[Triangular { serial: 0.07 }]),
+        OmpEntry("mvt", Polybench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry("seidel-2d", Polybench, &[Stencil { dims: 2, points: 9 }]),
+        OmpEntry("symm", Polybench, &[Matmul { fused: 2 }]),
+        OmpEntry("syrk", Polybench, &[Matmul { fused: 1 }]),
+        OmpEntry("syr2k", Polybench, &[Matmul { fused: 2 }]),
+        // The parallel trisolv is slower than serial (paper §4.1.3): heavy
+        // serial fraction dominates.
+        OmpEntry("trisolv", Polybench, &[Triangular { serial: 0.75 }]),
+        OmpEntry("trmm", Polybench, &[Matmul { fused: 1 }]),
+        // --- Rodinia ---
+        OmpEntry("b+tree", Rodinia, &[Gather { cv: 0.4, entropy: 0.6 }]),
+        OmpEntry("backprop", Rodinia, &[Matmul { fused: 1 }]),
+        OmpEntry("bfs", Rodinia, &[Gather { cv: 0.6, entropy: 0.7 }]),
+        OmpEntry("cfd", Rodinia, &[Stencil { dims: 3, points: 13 }]),
+        OmpEntry("gaussian", Rodinia, &[Triangular { serial: 0.05 }]),
+        OmpEntry("hotspot", Rodinia, &[Stencil { dims: 2, points: 5 }]),
+        OmpEntry(
+            "kmeans",
+            Rodinia,
+            &[Reduction { n_src: 2, heavy: true }, Histogram],
+        ),
+        OmpEntry("lavaMD", Rodinia, &[Nbody { neighbors: 64 }]),
+        OmpEntry("leukocyte", Rodinia, &[Nbody { neighbors: 32 }]),
+        OmpEntry("lud", Rodinia, &[Triangular { serial: 0.06 }]),
+        OmpEntry("nn", Rodinia, &[Reduction { n_src: 2, heavy: true }]),
+        OmpEntry("nw", Rodinia, &[Branchy { entropy: 0.35 }]),
+        OmpEntry("needle", Rodinia, &[Branchy { entropy: 0.4 }]),
+        OmpEntry("particlefilter", Rodinia, &[Gather { cv: 0.5, entropy: 0.5 }]),
+        OmpEntry("pathfinder", Rodinia, &[Branchy { entropy: 0.3 }]),
+        OmpEntry("srad", Rodinia, &[Stencil { dims: 2, points: 5 }]),
+        OmpEntry("streamcluster", Rodinia, &[Histogram]),
+        // --- NAS ---
+        OmpEntry("BT", Nas, &[Stencil { dims: 3, points: 13 }]),
+        OmpEntry("CG", Nas, &[Gather { cv: 0.3, entropy: 0.4 }]),
+        OmpEntry("EP", Nas, &[Reduction { n_src: 1, heavy: true }]),
+        OmpEntry("FT", Nas, &[Fft]),
+        OmpEntry("LU", Nas, &[Triangular { serial: 0.07 }]),
+        OmpEntry("MG", Nas, &[Stencil { dims: 3, points: 7 }]),
+        OmpEntry("SP", Nas, &[Stencil { dims: 3, points: 9 }]),
+        // --- STREAM: the four classic loops ---
+        OmpEntry(
+            "stream",
+            Stream,
+            &[
+                Streaming { n_src: 1, flops: 0 }, // copy
+                Streaming { n_src: 1, flops: 1 }, // scale
+                Streaming { n_src: 2, flops: 0 }, // add
+                Streaming { n_src: 2, flops: 1 }, // triad
+            ],
+        ),
+        // --- DataRaceBench ---
+        OmpEntry("DRB045", DataRaceBench, &[Streaming { n_src: 1, flops: 1 }]),
+        OmpEntry("DRB046", DataRaceBench, &[Streaming { n_src: 2, flops: 2 }]),
+        OmpEntry("DRB061", DataRaceBench, &[Reduction { n_src: 1, heavy: false }]),
+        OmpEntry("DRB062", DataRaceBench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry("DRB093", DataRaceBench, &[Stencil { dims: 2, points: 5 }]),
+        OmpEntry("DRB094", DataRaceBench, &[Stencil { dims: 2, points: 9 }]),
+        OmpEntry("DRB121", DataRaceBench, &[Histogram]),
+        // --- LULESH proxy app ---
+        OmpEntry(
+            "lulesh",
+            Lulesh,
+            &[
+                Stencil { dims: 3, points: 8 },
+                Nbody { neighbors: 27 },
+                Reduction { n_src: 2, heavy: true },
+            ],
+        ),
+    ]
+}
+
+/// The full OpenMP catalog: every loop of every Table-1 OpenMP app.
+pub fn openmp_catalog() -> Vec<KernelSpec> {
+    omp_entries()
+        .iter()
+        .flat_map(|OmpEntry(app, suite, archs)| {
+            archs
+                .iter()
+                .enumerate()
+                .map(|(li, &a)| make_spec(app, li, *suite, a))
+        })
+        .collect()
+}
+
+/// The 45-loop thread-prediction dataset of §4.1.3 (Fig. 1b: "across 45
+/// OpenMP loops"): a deterministic 45-loop subset of the catalog that
+/// keeps at least one loop per suite.
+pub fn openmp_thread_dataset() -> Vec<KernelSpec> {
+    let all = openmp_catalog();
+    // Keep every suite represented; drop surplus loops of multi-loop apps
+    // first, then trim deterministically by name hash.
+    let mut specs: Vec<KernelSpec> = all;
+    specs.sort_by(|a, b| a.name.cmp(&b.name));
+    if specs.len() > 45 {
+        // Drop later loops (l1, l2, ...) of multi-loop apps first.
+        let mut keep: Vec<KernelSpec> = Vec::new();
+        let mut dropped = specs.len() - 45;
+        for s in specs.into_iter().rev() {
+            if dropped > 0 && !s.name.ends_with("/l0") {
+                dropped -= 1;
+                continue;
+            }
+            keep.push(s);
+        }
+        keep.reverse();
+        // Still too many? Trim from the tail.
+        keep.truncate(45);
+        specs = keep;
+    }
+    specs
+}
+
+/// The 30 applications (PolyBench + Rodinia + LULESH) of the
+/// large-search-space experiment (§4.1.4, Fig. 7), one spec per app
+/// (loop 0).
+pub fn large_space_apps() -> Vec<KernelSpec> {
+    let mut apps: Vec<KernelSpec> = openmp_catalog()
+        .into_iter()
+        .filter(|s| {
+            matches!(s.suite, Suite::Polybench | Suite::Rodinia | Suite::Lulesh)
+                && s.name.ends_with("/l0")
+        })
+        .collect();
+    apps.sort_by(|a, b| a.name.cmp(&b.name));
+    // 28 PolyBench + 17 Rodinia + LULESH = 46 apps; the paper uses a
+    // 30-app subset. Deterministic selection: all of LULESH, then
+    // alternating PolyBench/Rodinia by name order.
+    let lulesh: Vec<KernelSpec> = apps
+        .iter()
+        .filter(|s| s.suite == Suite::Lulesh)
+        .cloned()
+        .collect();
+    let mut poly: Vec<KernelSpec> = apps
+        .iter()
+        .filter(|s| s.suite == Suite::Polybench)
+        .cloned()
+        .collect();
+    let mut rod: Vec<KernelSpec> = apps
+        .iter()
+        .filter(|s| s.suite == Suite::Rodinia)
+        .cloned()
+        .collect();
+    // Guarantee the apps the paper's figures single out (2mm for Fig. 8
+    // and the tuning-cost comparison, trisolv as the known worst case).
+    let required = ["2mm", "trisolv", "gemm", "lu", "cholesky"];
+    let mut picked_poly: Vec<KernelSpec> = Vec::new();
+    for r in required {
+        if let Some(pos) = poly.iter().position(|s| s.app == r) {
+            picked_poly.push(poly.remove(pos));
+        }
+    }
+    picked_poly.extend(poly.into_iter().take(17 - picked_poly.len().min(17)));
+    picked_poly.sort_by(|a, b| a.name.cmp(&b.name));
+    let poly = picked_poly;
+    rod.truncate(12);
+    let mut out = lulesh;
+    out.extend(poly);
+    out.extend(rod);
+    out.truncate(30);
+    out
+}
+
+/// 25 PolyBench kernels for the µ-architecture portability experiment
+/// (§4.1.5).
+pub fn polybench_portability_kernels() -> Vec<KernelSpec> {
+    let mut v: Vec<KernelSpec> = openmp_catalog()
+        .into_iter()
+        .filter(|s| s.suite == Suite::Polybench && s.name.ends_with("/l0"))
+        .collect();
+    v.sort_by(|a, b| a.name.cmp(&b.name));
+    v.truncate(25);
+    v
+}
+
+/// One OpenCL app entry: suite, app name, base archetype, and how many
+/// kernel variants the app contributes.
+struct OclEntry(&'static str, Suite, Arch, usize);
+
+fn ocl_entries() -> Vec<OclEntry> {
+    use Arch::*;
+    use Suite::*;
+    vec![
+        // --- AMD SDK (12 apps) ---
+        OclEntry("BinomialOption", AmdSdk, Branchy { entropy: 0.3 }, 4),
+        OclEntry("BitonicSort", AmdSdk, Sort, 5),
+        OclEntry("BlackScholes", AmdSdk, Reduction { n_src: 2, heavy: true }, 4),
+        OclEntry("FastWalshTransform", AmdSdk, Fft, 4),
+        OclEntry("FloydWarshall", AmdSdk, Branchy { entropy: 0.25 }, 4),
+        OclEntry("MatrixMultiplication", AmdSdk, Matmul { fused: 1 }, 5),
+        OclEntry("MatrixTranspose", AmdSdk, Streaming { n_src: 1, flops: 0 }, 4),
+        OclEntry("PrefixSum", AmdSdk, Sort, 4),
+        OclEntry("Reduction", AmdSdk, Reduction { n_src: 1, heavy: false }, 4),
+        OclEntry("ScanLargeArrays", AmdSdk, Sort, 4),
+        OclEntry("SimpleConvolution", AmdSdk, Stencil { dims: 2, points: 9 }, 4),
+        OclEntry("SobelFilter", AmdSdk, Stencil { dims: 2, points: 9 }, 4),
+        // --- NPB OpenCL (7 apps) ---
+        OclEntry("BT", Npb, Stencil { dims: 3, points: 13 }, 5),
+        OclEntry("CG", Npb, Gather { cv: 0.3, entropy: 0.4 }, 5),
+        OclEntry("EP", Npb, Reduction { n_src: 1, heavy: true }, 4),
+        OclEntry("FT", Npb, Fft, 4),
+        OclEntry("LU", Npb, Triangular { serial: 0.07 }, 4),
+        OclEntry("MG", Npb, Stencil { dims: 3, points: 7 }, 4),
+        OclEntry("SP", Npb, Stencil { dims: 3, points: 9 }, 4),
+        // --- NVIDIA SDK (6 apps) ---
+        OclEntry("DotProduct", NvidiaSdk, Reduction { n_src: 2, heavy: false }, 4),
+        OclEntry("FDTD3D", NvidiaSdk, Stencil { dims: 3, points: 7 }, 4),
+        OclEntry("MatVecMul", NvidiaSdk, Reduction { n_src: 2, heavy: false }, 4),
+        OclEntry("MatrixMul", NvidiaSdk, Matmul { fused: 1 }, 5),
+        OclEntry("MersenneTwister", NvidiaSdk, Fft, 4),
+        OclEntry("VectorAdd", NvidiaSdk, Streaming { n_src: 2, flops: 0 }, 3),
+        // --- Parboil (6 apps) ---
+        OclEntry("BFS", Parboil, Gather { cv: 0.6, entropy: 0.7 }, 4),
+        OclEntry("cutcp", Parboil, Nbody { neighbors: 48 }, 4),
+        OclEntry("lbm", Parboil, Stencil { dims: 3, points: 19 }, 4),
+        OclEntry("sad", Parboil, Branchy { entropy: 0.3 }, 4),
+        OclEntry("spmv", Parboil, Gather { cv: 0.4, entropy: 0.5 }, 4),
+        OclEntry("stencil", Parboil, Stencil { dims: 3, points: 7 }, 4),
+        // --- PolyBench-GPU (15 apps) ---
+        OclEntry("2mm", PolybenchGpu, Matmul { fused: 2 }, 3),
+        OclEntry("3mm", PolybenchGpu, Matmul { fused: 3 }, 3),
+        OclEntry("atax", PolybenchGpu, Reduction { n_src: 2, heavy: false }, 2),
+        OclEntry("bicg", PolybenchGpu, Reduction { n_src: 3, heavy: false }, 2),
+        OclEntry("correlation", PolybenchGpu, Reduction { n_src: 2, heavy: true }, 3),
+        OclEntry("covariance", PolybenchGpu, Reduction { n_src: 2, heavy: false }, 3),
+        OclEntry("fdtd2d", PolybenchGpu, Stencil { dims: 2, points: 5 }, 3),
+        OclEntry("gemm", PolybenchGpu, Matmul { fused: 1 }, 3),
+        OclEntry("gesummv", PolybenchGpu, Reduction { n_src: 3, heavy: false }, 2),
+        OclEntry("gramschmidt", PolybenchGpu, Triangular { serial: 0.1 }, 3),
+        OclEntry("mvt", PolybenchGpu, Reduction { n_src: 2, heavy: false }, 2),
+        OclEntry("syr2k", PolybenchGpu, Matmul { fused: 2 }, 3),
+        OclEntry("syrk", PolybenchGpu, Matmul { fused: 1 }, 3),
+        OclEntry("convolution2d", PolybenchGpu, Stencil { dims: 2, points: 9 }, 3),
+        OclEntry("convolution3d", PolybenchGpu, Stencil { dims: 3, points: 27 }, 3),
+        // --- Rodinia OpenCL (17 apps) ---
+        OclEntry("b+tree", Rodinia, Gather { cv: 0.4, entropy: 0.6 }, 3),
+        OclEntry("backprop", Rodinia, Matmul { fused: 1 }, 3),
+        OclEntry("bfs", Rodinia, Gather { cv: 0.6, entropy: 0.7 }, 3),
+        OclEntry("cfd", Rodinia, Stencil { dims: 3, points: 13 }, 4),
+        OclEntry("gaussian", Rodinia, Triangular { serial: 0.05 }, 3),
+        OclEntry("hotspot", Rodinia, Stencil { dims: 2, points: 5 }, 3),
+        OclEntry("kmeans", Rodinia, Reduction { n_src: 2, heavy: true }, 3),
+        OclEntry("lavaMD", Rodinia, Nbody { neighbors: 64 }, 3),
+        OclEntry("leukocyte", Rodinia, Nbody { neighbors: 32 }, 3),
+        OclEntry("lud", Rodinia, Triangular { serial: 0.06 }, 3),
+        OclEntry("nn", Rodinia, Reduction { n_src: 2, heavy: true }, 2),
+        OclEntry("nw", Rodinia, Branchy { entropy: 0.35 }, 3),
+        OclEntry("particlefilter", Rodinia, Gather { cv: 0.5, entropy: 0.5 }, 3),
+        OclEntry("pathfinder", Rodinia, Branchy { entropy: 0.3 }, 2),
+        OclEntry("srad", Rodinia, Stencil { dims: 2, points: 5 }, 3),
+        OclEntry("streamcluster", Rodinia, Histogram, 3),
+        OclEntry("myocyte", Rodinia, Nbody { neighbors: 16 }, 2),
+        // --- SHOC (12 apps) ---
+        OclEntry("BFS", Shoc, Gather { cv: 0.6, entropy: 0.7 }, 3),
+        OclEntry("FFT", Shoc, Fft, 4),
+        OclEntry("GEMM", Shoc, Matmul { fused: 1 }, 4),
+        OclEntry("MD", Shoc, Nbody { neighbors: 48 }, 3),
+        OclEntry("MD5", Shoc, Sort, 3),
+        OclEntry("Reduction", Shoc, Reduction { n_src: 1, heavy: false }, 3),
+        OclEntry("S3D", Shoc, Reduction { n_src: 3, heavy: true }, 4),
+        OclEntry("Scan", Shoc, Sort, 3),
+        OclEntry("Sort", Shoc, Sort, 3),
+        OclEntry("Spmv", Shoc, Gather { cv: 0.4, entropy: 0.5 }, 3),
+        OclEntry("Stencil2D", Shoc, Stencil { dims: 2, points: 9 }, 3),
+        OclEntry("Triad", Shoc, Streaming { n_src: 2, flops: 1 }, 2),
+    ]
+}
+
+/// The OpenCL kernel catalog (~256 unique kernels). Variants of an app
+/// perturb the archetype parameters so each kernel has distinct IR.
+pub fn opencl_catalog() -> Vec<KernelSpec> {
+    use Arch::*;
+    let mut out = Vec::new();
+    for OclEntry(app, suite, base, variants) in ocl_entries() {
+        for v in 0..variants {
+            // Perturb the archetype per variant so the IR differs.
+            let a = match (base, v % 4) {
+                (Streaming { n_src, flops }, k) => Streaming {
+                    n_src: n_src + k % 2,
+                    flops: flops + k,
+                },
+                (Matmul { fused }, k) => Matmul { fused: fused + k % 2 },
+                (Stencil { dims, points }, k) => Stencil {
+                    dims,
+                    points: points + 2 * k,
+                },
+                (Reduction { n_src, heavy }, k) => Reduction {
+                    n_src: n_src + k % 2,
+                    heavy: heavy ^ (k == 3),
+                },
+                (Triangular { serial }, k) => Triangular {
+                    serial: serial * (1.0 + 0.3 * k as f64),
+                },
+                (Gather { cv, entropy }, k) => Gather {
+                    cv: cv * (1.0 + 0.2 * k as f64),
+                    entropy: (entropy + 0.05 * k as f64).min(1.0),
+                },
+                (Histogram, _) => Histogram,
+                (Branchy { entropy }, k) => Branchy {
+                    entropy: (entropy + 0.08 * k as f64).min(1.0),
+                },
+                (Nbody { neighbors }, k) => Nbody {
+                    neighbors: neighbors + 8 * k as i64,
+                },
+                (Sort, _) => Sort,
+                (Fft, _) => Fft,
+            };
+            out.push(make_spec(app, v, suite, a));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn openmp_catalog_covers_all_suites() {
+        let cat = openmp_catalog();
+        let suites: HashSet<Suite> = cat.iter().map(|s| s.suite).collect();
+        for s in [
+            Suite::Polybench,
+            Suite::Rodinia,
+            Suite::Nas,
+            Suite::Stream,
+            Suite::DataRaceBench,
+            Suite::Lulesh,
+        ] {
+            assert!(suites.contains(&s), "missing suite {s:?}");
+        }
+        assert!(cat.len() >= 60, "catalog too small: {}", cat.len());
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        for cat in [openmp_catalog(), opencl_catalog()] {
+            let names: HashSet<&str> = cat.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(names.len(), cat.len(), "duplicate kernel names");
+        }
+    }
+
+    #[test]
+    fn thread_dataset_is_45_loops() {
+        let ds = openmp_thread_dataset();
+        assert_eq!(ds.len(), 45);
+        let suites: HashSet<Suite> = ds.iter().map(|s| s.suite).collect();
+        assert!(suites.len() >= 5, "suites collapsed: {suites:?}");
+    }
+
+    #[test]
+    fn large_space_is_30_apps_from_polybench_rodinia_lulesh() {
+        let apps = large_space_apps();
+        assert_eq!(apps.len(), 30);
+        assert!(apps
+            .iter()
+            .all(|s| matches!(s.suite, Suite::Polybench | Suite::Rodinia | Suite::Lulesh)));
+        assert!(apps.iter().any(|s| s.suite == Suite::Lulesh));
+        assert!(apps.iter().any(|s| s.app == "trisolv"), "trisolv must be in (worst case)");
+        // One loop per app.
+        let names: HashSet<&str> = apps.iter().map(|s| s.app.as_str()).collect();
+        assert_eq!(names.len(), 30);
+    }
+
+    #[test]
+    fn portability_set_is_25_polybench() {
+        let v = polybench_portability_kernels();
+        assert_eq!(v.len(), 25);
+        assert!(v.iter().all(|s| s.suite == Suite::Polybench));
+    }
+
+    #[test]
+    fn opencl_catalog_size_near_256() {
+        let cat = opencl_catalog();
+        assert!(
+            (230..=280).contains(&cat.len()),
+            "OpenCL catalog has {} kernels",
+            cat.len()
+        );
+        let suites: HashSet<Suite> = cat.iter().map(|s| s.suite).collect();
+        assert_eq!(suites.len(), 7, "expected seven OpenCL suites");
+    }
+
+    #[test]
+    fn all_specs_verify_and_have_ir() {
+        for spec in openmp_catalog().iter().chain(opencl_catalog().iter()) {
+            assert!(spec.function().num_instrs() > 5, "{} too small", spec.name);
+            mga_ir::verify_module(&spec.module).unwrap();
+        }
+    }
+
+    #[test]
+    fn jitter_makes_same_archetype_kernels_differ() {
+        let cat = openmp_catalog();
+        let gemm = cat.iter().find(|s| s.app == "gemm").unwrap();
+        let syrk = cat.iter().find(|s| s.app == "syrk").unwrap();
+        assert_ne!(gemm.traits.bytes_per_iter, syrk.traits.bytes_per_iter);
+    }
+
+    #[test]
+    fn trisolv_keeps_high_serial_fraction() {
+        let cat = openmp_catalog();
+        let t = cat.iter().find(|s| s.app == "trisolv").unwrap();
+        assert!(
+            t.traits.serial_frac > 0.35,
+            "trisolv serial_frac {} too low to reproduce the paper's fold-1 anomaly",
+            t.traits.serial_frac
+        );
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = openmp_catalog();
+        let b = openmp_catalog();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.traits, y.traits);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Input-size generation.
+//!
+//! The paper profiles each OpenMP loop at 30 input sizes "ranging from
+//! 3.5KB to 0.5GB … selected with the intention of stressing each of the
+//! three cache levels (L1, L2, L3) to different degrees" (§4.1.1). We use
+//! a geometric ladder of working-set targets over exactly that range; a
+//! kernel's problem scale `n` is derived from its working-set formula.
+//!
+//! For OpenCL device mapping, each kernel runs at several data classes
+//! (transfer sizes) and work-group sizes, mirroring the Ben-Nun et al.
+//! dataset's ~670 labeled points per device over 256 kernels.
+
+/// The 30 working-set targets in bytes (≈3.5 KB … 0.5 GB, geometric).
+pub fn openmp_input_sizes() -> Vec<f64> {
+    let lo: f64 = 3.5 * 1024.0;
+    let hi: f64 = 0.5 * 1024.0 * 1024.0 * 1024.0;
+    let n = 30;
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i)).collect()
+}
+
+/// STANDARD and LARGE PolyBench dataset sizes (working-set bytes), used by
+/// the µ-architecture portability experiment (§4.1.5).
+pub fn polybench_standard_large() -> [f64; 2] {
+    [16.0 * 1024.0 * 1024.0, 256.0 * 1024.0 * 1024.0]
+}
+
+/// One OpenCL execution point: data transferred to the device and the
+/// work-group size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OclPoint {
+    /// Host→device transfer size in bytes.
+    pub transfer_bytes: f64,
+    /// Work-group size (threads per group).
+    pub wg_size: u32,
+}
+
+/// The grid of OpenCL execution points per kernel: data classes from tiny
+/// to large crossed with a few work-group sizes. Kernels draw a subset so
+/// the full catalog lands near the dataset's ~670 points.
+pub fn opencl_points(kernel_salt: u64) -> Vec<OclPoint> {
+    let classes = [
+        32.0 * 1024.0,
+        512.0 * 1024.0,
+        8.0 * 1024.0 * 1024.0,
+        128.0 * 1024.0 * 1024.0,
+    ];
+    let wgs = [64u32, 128, 256];
+    let mut out = Vec::new();
+    // Deterministically pick ~2-3 points per kernel from the 12-point grid.
+    for (ci, &c) in classes.iter().enumerate() {
+        for (wi, &w) in wgs.iter().enumerate() {
+            let h = kernel_salt
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(((ci * 3 + wi) as u64).wrapping_mul(0xD1B54A32D192ED03));
+            if h % 12 < 3 {
+                out.push(OclPoint {
+                    transfer_bytes: c,
+                    wg_size: w,
+                });
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push(OclPoint {
+            transfer_bytes: classes[1],
+            wg_size: 128,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_sizes_span_the_paper_range() {
+        let sizes = openmp_input_sizes();
+        assert_eq!(sizes.len(), 30);
+        assert!((sizes[0] - 3584.0).abs() < 1.0);
+        assert!((sizes[29] - 536_870_912.0).abs() < 1024.0);
+        // Strictly increasing, geometric.
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        let r1 = sizes[1] / sizes[0];
+        let r2 = sizes[15] / sizes[14];
+        assert!((r1 - r2).abs() < 1e-6, "not geometric");
+    }
+
+    #[test]
+    fn sizes_stress_all_cache_levels() {
+        let sizes = openmp_input_sizes();
+        // L1 (32KB), L2 (256KB-1MB), L3 (16MB) must each have sizes below
+        // and above them.
+        for cap in [32.0 * 1024.0, 1024.0 * 1024.0, 16.0 * 1024.0 * 1024.0] {
+            assert!(sizes.iter().any(|&s| s < cap));
+            assert!(sizes.iter().any(|&s| s > cap));
+        }
+    }
+
+    #[test]
+    fn opencl_points_deterministic_and_nonempty() {
+        for salt in 0..100u64 {
+            let a = opencl_points(salt);
+            let b = opencl_points(salt);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            assert!(a.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn opencl_grid_varies_across_kernels() {
+        let counts: std::collections::HashSet<usize> =
+            (0..50u64).map(|s| opencl_points(s).len()).collect();
+        assert!(counts.len() > 1, "every kernel got the same point count");
+    }
+}

@@ -1,0 +1,31 @@
+//! `mga-kernels` — benchmark kernel specifications and IR lowering.
+//!
+//! The paper's dataset is built from OpenMP loops and OpenCL kernels of
+//! eleven benchmark suites (Table 1): Polybench, Rodinia, NAS, STREAM,
+//! DataRaceBench, LULESH, AMD SDK, NVIDIA SDK, Parboil, SHOC and NPB. We
+//! have no Clang, so this crate *is* the compiler front half:
+//!
+//! * [`nest::NestBuilder`] generates loop-nest IR (induction phis, bounds
+//!   tests, latches) with a caller-supplied body — every kernel in the
+//!   catalog lowers through it to genuine `mga-ir` SSA;
+//! * [`spec`] defines [`spec::KernelSpec`]: the lowered module plus the
+//!   performance-facing traits ([`spec::Traits`]) the simulator consumes
+//!   (trip counts, working-set formulas, locality, imbalance, sync);
+//!   the instruction mix is *derived from the IR*, not hand-entered;
+//! * [`archetypes`] implements the kernel families the suites are built
+//!   from (streaming, matmul, stencil, reduction, triangular solve,
+//!   gather, histogram, branchy, nbody, sort-like, fft-like);
+//! * [`catalog`] instantiates the actual benchmark lists: 45+ OpenMP
+//!   loops across the paper's OpenMP suites and 250+ OpenCL kernels
+//!   across its seven OpenCL suites;
+//! * [`inputs`] produces the 30 input sizes (≈3.5 KB – 0.5 GB working
+//!   sets) and the OpenCL transfer/workgroup size grid.
+
+pub mod archetypes;
+pub mod catalog;
+pub mod inputs;
+pub mod nest;
+pub mod spec;
+
+pub use catalog::{opencl_catalog, openmp_catalog};
+pub use spec::{Imbalance, InstrMix, KernelSpec, Locality, Suite, Traits, TripCount};

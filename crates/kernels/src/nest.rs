@@ -1,0 +1,282 @@
+//! Loop-nest IR generation.
+//!
+//! [`NestBuilder`] lowers a `depth`-deep rectangular (or triangular) loop
+//! nest to `mga-ir`, leaving the innermost body to a closure that receives
+//! the [`FunctionBuilder`] and the induction-variable operands. This is
+//! the skeleton every catalog kernel shares; bodies differ per archetype.
+
+use mga_ir::builder::FunctionBuilder;
+use mga_ir::instr::CmpPred;
+use mga_ir::module::BlockId;
+use mga_ir::{Operand, Param, Type};
+
+/// Bound of one loop level.
+#[derive(Debug, Clone, Copy)]
+pub enum Bound {
+    /// `for i in 0..n` where `n` is the function's size parameter.
+    N,
+    /// `for i in 0..(n / k)`.
+    NDiv(i64),
+    /// `for j in 0..i_outer` — triangular inner loop (uses the immediately
+    /// enclosing induction variable as the bound).
+    Outer,
+    /// `for i in 0..k` — a compile-time constant trip count.
+    Const(i64),
+}
+
+/// Specification of one loop level.
+#[derive(Debug, Clone, Copy)]
+pub struct Level {
+    pub bound: Bound,
+}
+
+/// Builds the standard kernel function signature:
+/// `fn kernel(n: i64, a0: T*, a1: T*, ... )`.
+pub fn kernel_params(arrays: &[(&str, Type)]) -> Vec<Param> {
+    let mut params = vec![Param {
+        name: "n".into(),
+        ty: Type::I64,
+    }];
+    for (name, ty) in arrays {
+        params.push(Param {
+            name: (*name).to_string(),
+            ty: ty.clone().ptr(),
+        });
+    }
+    params
+}
+
+/// Context handed to the body closure.
+pub struct BodyCtx<'a> {
+    pub b: &'a mut FunctionBuilder,
+    /// Induction variables, outermost first.
+    pub ivs: Vec<Operand>,
+    /// The `n` size parameter.
+    pub n: Operand,
+}
+
+/// Generate a loop nest and lower `body` inside the innermost level.
+///
+/// The generated CFG per level is the canonical
+/// `preheader → header(phi) → body … latch → header | exit` shape, so
+/// `mga-ir`'s loop analysis sees exactly `levels.len()` natural loops.
+pub struct NestBuilder;
+
+impl NestBuilder {
+    /// Build the nest inside `fb` (which must be positioned in an open
+    /// block). After return, `fb`'s current block is the nest's exit.
+    pub fn build(
+        fb: &mut FunctionBuilder,
+        levels: &[Level],
+        body: &mut dyn FnMut(&mut BodyCtx<'_>),
+    ) {
+        let n = fb.param(0);
+        let mut ivs: Vec<Operand> = Vec::with_capacity(levels.len());
+        Self::build_level(fb, levels, 0, n, &mut ivs, body);
+    }
+
+    fn build_level(
+        fb: &mut FunctionBuilder,
+        levels: &[Level],
+        depth: usize,
+        n: Operand,
+        ivs: &mut Vec<Operand>,
+        body: &mut dyn FnMut(&mut BodyCtx<'_>),
+    ) {
+        if depth == levels.len() {
+            let mut ctx = BodyCtx {
+                ivs: ivs.clone(),
+                n,
+                b: fb,
+            };
+            body(&mut ctx);
+            return;
+        }
+        let level = levels[depth];
+        let preheader: BlockId = fb.current_block();
+        let header = fb.create_block(format!("l{depth}_header"));
+        let body_bb = fb.create_block(format!("l{depth}_body"));
+        let latch = fb.create_block(format!("l{depth}_latch"));
+        let exit = fb.create_block(format!("l{depth}_exit"));
+
+        let zero = fb.const_i64(0);
+        let bound = match level.bound {
+            Bound::N => n,
+            Bound::NDiv(k) => {
+                let kk = fb.const_i64(k);
+                fb.sdiv(n, kk)
+            }
+            Bound::Const(k) => fb.const_i64(k),
+            Bound::Outer => {
+                assert!(depth > 0, "triangular bound at outermost level");
+                // j in 0..max(i,1): keep at least one iteration so the body
+                // (and its IR) is always reachable.
+                let one = fb.const_i64(1);
+                let outer = ivs[depth - 1];
+                let cmp = fb.icmp(CmpPred::Lt, outer, one);
+                fb.select(cmp, one, outer)
+            }
+        };
+        fb.br(header);
+
+        fb.switch_to(header);
+        let (iv, iv_phi) = fb.phi_begin(Type::I64);
+        let cond = fb.icmp(CmpPred::Lt, iv, bound);
+        fb.cond_br(cond, body_bb, exit);
+
+        fb.switch_to(body_bb);
+        ivs.push(iv);
+        Self::build_level(fb, levels, depth + 1, n, ivs, body);
+        ivs.pop();
+        // The recursive call may have moved the insertion point (nested
+        // loops leave us in their exit block); wherever we are, fall into
+        // this level's latch.
+        fb.br(latch);
+
+        fb.switch_to(latch);
+        let one = fb.const_i64(1);
+        let next = fb.add(iv, one);
+        fb.br(header);
+        fb.phi_finish(iv_phi, vec![(preheader, zero), (latch, next)]);
+
+        fb.switch_to(exit);
+    }
+}
+
+/// Convenience: linearized 2-D index `i * n + j`.
+pub fn idx2(fb: &mut FunctionBuilder, i: Operand, j: Operand, n: Operand) -> Operand {
+    let t = fb.mul(i, n);
+    fb.add(t, j)
+}
+
+/// Convenience: linearized 3-D index `(i * n + j) * n + k`.
+pub fn idx3(
+    fb: &mut FunctionBuilder,
+    i: Operand,
+    j: Operand,
+    k: Operand,
+    n: Operand,
+) -> Operand {
+    let ij = idx2(fb, i, j, n);
+    let t = fb.mul(ij, n);
+    fb.add(t, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_ir::analysis::loops::LoopInfo;
+    use mga_ir::{verify_function, Module, Type};
+
+    fn build_nest(levels: &[Level]) -> mga_ir::Function {
+        let mut fb = FunctionBuilder::new(
+            "k",
+            kernel_params(&[("a", Type::F64), ("b", Type::F64)]),
+            Type::Void,
+        );
+        fb.set_parallel(false);
+        NestBuilder::build(&mut fb, levels, &mut |ctx| {
+            let i = *ctx.ivs.last().unwrap();
+            let pa = ctx.b.gep(ctx.b.param(1), i);
+            let v = ctx.b.load(pa);
+            let two = ctx.b.const_f64(2.0);
+            let v2 = ctx.b.fmul(v, two);
+            let pb = ctx.b.gep(ctx.b.param(2), i);
+            ctx.b.store(v2, pb);
+        });
+        fb.ret_void();
+        fb.finish()
+    }
+
+    #[test]
+    fn single_loop_verifies_and_has_one_natural_loop() {
+        let f = build_nest(&[Level { bound: Bound::N }]);
+        let m = Module::new("t");
+        verify_function(&f, &m).unwrap();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.loops.len(), 1);
+        assert_eq!(li.max_depth(), 1);
+    }
+
+    #[test]
+    fn triple_nest_has_three_nested_loops() {
+        let f = build_nest(&[
+            Level { bound: Bound::N },
+            Level { bound: Bound::N },
+            Level { bound: Bound::Const(5) },
+        ]);
+        let m = Module::new("t");
+        verify_function(&f, &m).unwrap();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.loops.len(), 3);
+        assert_eq!(li.max_depth(), 3);
+    }
+
+    #[test]
+    fn triangular_nest_verifies() {
+        let f = build_nest(&[Level { bound: Bound::N }, Level { bound: Bound::Outer }]);
+        let m = Module::new("t");
+        verify_function(&f, &m).unwrap();
+        let li = LoopInfo::compute(&f);
+        assert_eq!(li.loops.len(), 2);
+    }
+
+    #[test]
+    fn ndiv_bound_generates_division() {
+        let f = build_nest(&[Level {
+            bound: Bound::NDiv(4),
+        }]);
+        assert!(f
+            .instrs
+            .iter()
+            .any(|i| i.op == mga_ir::Opcode::SDiv));
+    }
+
+    #[test]
+    fn body_sees_all_induction_variables() {
+        let mut seen = 0usize;
+        let mut fb = FunctionBuilder::new("k", kernel_params(&[("a", Type::F64)]), Type::Void);
+        NestBuilder::build(
+            &mut fb,
+            &[Level { bound: Bound::N }, Level { bound: Bound::N }],
+            &mut |ctx| {
+                seen = ctx.ivs.len();
+                let idx = idx2(ctx.b, ctx.ivs[0], ctx.ivs[1], ctx.n);
+                let p = ctx.b.gep(ctx.b.param(1), idx);
+                let v = ctx.b.load(p);
+                ctx.b.store(v, p);
+            },
+        );
+        fb.ret_void();
+        let f = fb.finish();
+        assert_eq!(seen, 2);
+        let m = Module::new("t");
+        verify_function(&f, &m).unwrap();
+    }
+
+    #[test]
+    fn idx3_linearizes() {
+        let mut fb = FunctionBuilder::new("k", kernel_params(&[("a", Type::F32)]), Type::Void);
+        NestBuilder::build(
+            &mut fb,
+            &[
+                Level { bound: Bound::N },
+                Level { bound: Bound::N },
+                Level { bound: Bound::N },
+            ],
+            &mut |ctx| {
+                let idx = idx3(ctx.b, ctx.ivs[0], ctx.ivs[1], ctx.ivs[2], ctx.n);
+                let p = ctx.b.gep(ctx.b.param(1), idx);
+                let v = ctx.b.load(p);
+                ctx.b.store(v, p);
+            },
+        );
+        fb.ret_void();
+        let f = fb.finish();
+        let m = Module::new("t");
+        verify_function(&f, &m).unwrap();
+        // Two muls for the 3-D linearization (plus none from bounds).
+        let muls = f.instrs.iter().filter(|i| i.op == mga_ir::Opcode::Mul).count();
+        assert!(muls >= 2);
+    }
+}

@@ -1,0 +1,383 @@
+//! Kernel specifications: lowered IR plus simulator-facing traits.
+
+use mga_ir::analysis::loops::LoopInfo;
+use mga_ir::{Function, Module, Opcode};
+use serde::{Deserialize, Serialize};
+
+/// Benchmark suite provenance (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    Polybench,
+    Rodinia,
+    Nas,
+    Stream,
+    DataRaceBench,
+    Lulesh,
+    AmdSdk,
+    NvidiaSdk,
+    Parboil,
+    Shoc,
+    Npb,
+    PolybenchGpu,
+}
+
+impl Suite {
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Polybench => "PolyBench",
+            Suite::Rodinia => "Rodinia",
+            Suite::Nas => "NAS",
+            Suite::Stream => "STREAM",
+            Suite::DataRaceBench => "DataRaceBench",
+            Suite::Lulesh => "LULESH",
+            Suite::AmdSdk => "AMD SDK",
+            Suite::NvidiaSdk => "NVIDIA SDK",
+            Suite::Parboil => "Parboil",
+            Suite::Shoc => "SHOC",
+            Suite::Npb => "NPB",
+            Suite::PolybenchGpu => "PolyBench-GPU",
+        }
+    }
+}
+
+/// Trip count of the *parallel* (outermost) loop as a function of the
+/// problem scale `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TripCount {
+    /// `c · n` iterations.
+    Linear(f64),
+    /// `c · n²` iterations.
+    Quadratic(f64),
+    /// `c · n · log₂(n)` iterations.
+    NLogN(f64),
+    /// A fixed number of iterations.
+    Const(f64),
+}
+
+impl TripCount {
+    pub fn eval(self, n: f64) -> f64 {
+        match self {
+            TripCount::Linear(c) => c * n,
+            TripCount::Quadratic(c) => c * n * n,
+            TripCount::NLogN(c) => c * n * n.log2().max(1.0),
+            TripCount::Const(c) => c,
+        }
+    }
+}
+
+/// Memory-locality character of the kernel's accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Locality {
+    /// Fraction of accesses that stream through memory once (no reuse).
+    pub streaming_frac: f64,
+    /// Bytes of data re-touched across iterations *per thread* as a
+    /// multiple of the per-iteration footprint (tile/stencil reuse).
+    pub reuse_factor: f64,
+    /// Fraction of the working set shared (read) by all threads, e.g. the
+    /// B matrix of a GEMM — it occupies shared cache once, not per-thread.
+    pub shared_frac: f64,
+}
+
+impl Locality {
+    pub fn streaming() -> Locality {
+        Locality {
+            streaming_frac: 1.0,
+            reuse_factor: 0.0,
+            shared_frac: 0.0,
+        }
+    }
+
+    pub fn tiled(reuse: f64, shared: f64) -> Locality {
+        Locality {
+            streaming_frac: 0.1,
+            reuse_factor: reuse,
+            shared_frac: shared,
+        }
+    }
+}
+
+/// Load-balance character of the parallel iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Imbalance {
+    /// All iterations cost the same.
+    Uniform,
+    /// Iteration `i` costs proportionally to `i/n` (triangular solves,
+    /// LU/Cholesky panels).
+    Triangular,
+    /// Iteration costs vary randomly with the given coefficient of
+    /// variation (particle filters, BFS frontiers, ray casting).
+    Random(f64),
+}
+
+/// Instruction mix of one innermost iteration, derived from the kernel's
+/// IR (deepest loop body).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    pub flops: f64,
+    pub int_ops: f64,
+    pub loads: f64,
+    pub stores: f64,
+    pub branches: f64,
+    pub calls: f64,
+    pub atomics: f64,
+    /// Expensive math intrinsics (sqrt/exp/log/sin/cos/pow).
+    pub heavy_math: f64,
+}
+
+impl InstrMix {
+    /// Count the instruction mix of the deepest loop body of `f`.
+    /// Falls back to the whole function when no loop exists.
+    pub fn of_function(f: &Function) -> InstrMix {
+        let li = LoopInfo::compute(f);
+        let max_depth = li.max_depth();
+        let mut mix = InstrMix::default();
+        for (b, iid) in f.iter_instrs() {
+            let in_deepest = max_depth == 0 || li.depth[b.index()] == max_depth;
+            if !in_deepest {
+                continue;
+            }
+            let op = f.instr(iid).op;
+            match op {
+                Opcode::FAdd | Opcode::FSub | Opcode::FMul | Opcode::FDiv | Opcode::FNeg => {
+                    mix.flops += 1.0
+                }
+                Opcode::FMin | Opcode::FMax | Opcode::FAbs => mix.flops += 1.0,
+                Opcode::Sqrt
+                | Opcode::Exp
+                | Opcode::Log
+                | Opcode::Sin
+                | Opcode::Cos
+                | Opcode::Pow => {
+                    mix.flops += 1.0;
+                    mix.heavy_math += 1.0;
+                }
+                Opcode::Add
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::SDiv
+                | Opcode::SRem
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::AShr
+                | Opcode::Gep => mix.int_ops += 1.0,
+                Opcode::Load => mix.loads += 1.0,
+                Opcode::Store => mix.stores += 1.0,
+                Opcode::ICmp | Opcode::FCmp | Opcode::CondBr | Opcode::Select => {
+                    mix.branches += 1.0
+                }
+                Opcode::Call => mix.calls += 1.0,
+                Opcode::AtomicAdd => {
+                    mix.atomics += 1.0;
+                    mix.stores += 1.0;
+                }
+                _ => {}
+            }
+        }
+        mix
+    }
+
+    /// Total memory operations.
+    pub fn mem_ops(&self) -> f64 {
+        self.loads + self.stores
+    }
+}
+
+/// Simulator-facing performance traits of a kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Traits {
+    /// Parallel-loop trip count as a function of problem scale `n`.
+    pub trip: TripCount,
+    /// Sequential work multiplier inside one parallel iteration (inner
+    /// loops), as a function of `n`.
+    pub inner: TripCount,
+    /// Bytes of working set as a function of `n` — `ws_bytes_per_n · n^ws_power`.
+    pub ws_bytes_per_n: f64,
+    pub ws_power: f64,
+    /// Bytes moved to/from memory per innermost iteration.
+    pub bytes_per_iter: f64,
+    pub locality: Locality,
+    pub imbalance: Imbalance,
+    /// Has an OpenMP reduction (log-depth combine at join).
+    pub reduction: bool,
+    /// Entropy of data-dependent branches in `[0,1]`; 0 = perfectly
+    /// predictable, 1 = coin flips.
+    pub branch_entropy: f64,
+    /// Fraction of the region that is serial (Amdahl).
+    pub serial_frac: f64,
+    /// Synchronization cost per parallel iteration in µs (wavefront
+    /// loops like trisolv barrier between dependent rows; 0 for
+    /// embarrassingly parallel loops).
+    #[serde(default)]
+    pub sync_us_per_iter: f64,
+}
+
+impl Traits {
+    /// Problem scale `n` whose working set is `bytes`.
+    pub fn n_for_working_set(&self, bytes: f64) -> f64 {
+        (bytes / self.ws_bytes_per_n).powf(1.0 / self.ws_power).max(4.0)
+    }
+
+    /// Working set in bytes at problem scale `n`.
+    pub fn working_set(&self, n: f64) -> f64 {
+        self.ws_bytes_per_n * n.powf(self.ws_power)
+    }
+}
+
+/// A fully specified kernel: IR + traits + provenance.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Unique id, e.g. `"polybench/2mm/l0"`.
+    pub name: String,
+    /// Application it belongs to, e.g. `"2mm"` (leave-one-out groups by
+    /// this).
+    pub app: String,
+    pub suite: Suite,
+    /// The lowered module; function 0 is the kernel region.
+    pub module: Module,
+    pub traits: Traits,
+    /// Instruction mix derived from the IR at construction.
+    pub mix: InstrMix,
+}
+
+impl KernelSpec {
+    /// Assemble a spec, deriving the instruction mix from the IR and
+    /// verifying the module.
+    pub fn new(
+        name: impl Into<String>,
+        app: impl Into<String>,
+        suite: Suite,
+        module: Module,
+        traits: Traits,
+    ) -> KernelSpec {
+        let name = name.into();
+        mga_ir::verify_module(&module)
+            .unwrap_or_else(|e| panic!("kernel {name}: invalid IR: {e}"));
+        let mix = InstrMix::of_function(&module.functions[0]);
+        KernelSpec {
+            name,
+            app: app.into(),
+            suite,
+            module,
+            traits,
+            mix,
+        }
+    }
+
+    /// The kernel region function.
+    pub fn function(&self) -> &Function {
+        &self.module.functions[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::{kernel_params, Bound, Level, NestBuilder};
+    use mga_ir::builder::FunctionBuilder;
+    use mga_ir::Type;
+
+    fn saxpy_module() -> Module {
+        let mut m = Module::new("saxpy");
+        let mut fb = FunctionBuilder::new(
+            "saxpy",
+            kernel_params(&[("x", Type::F64), ("y", Type::F64)]),
+            Type::Void,
+        );
+        fb.set_parallel(false);
+        NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
+            let i = ctx.ivs[0];
+            let px = ctx.b.gep(ctx.b.param(1), i);
+            let py = ctx.b.gep(ctx.b.param(2), i);
+            let vx = ctx.b.load(px);
+            let vy = ctx.b.load(py);
+            let a = ctx.b.const_f64(3.0);
+            let ax = ctx.b.fmul(vx, a);
+            let s = ctx.b.fadd(ax, vy);
+            ctx.b.store(s, py);
+        });
+        fb.ret_void();
+        m.add_function(fb.finish());
+        m
+    }
+
+    fn default_traits() -> Traits {
+        Traits {
+            trip: TripCount::Linear(1.0),
+            inner: TripCount::Const(1.0),
+            ws_bytes_per_n: 16.0,
+            ws_power: 1.0,
+            bytes_per_iter: 24.0,
+            locality: Locality::streaming(),
+            imbalance: Imbalance::Uniform,
+            reduction: false,
+            branch_entropy: 0.05,
+            serial_frac: 0.01,
+            sync_us_per_iter: 0.0,
+        }
+    }
+
+    #[test]
+    fn instr_mix_counts_innermost_body() {
+        let m = saxpy_module();
+        let mix = InstrMix::of_function(&m.functions[0]);
+        assert_eq!(mix.loads, 2.0);
+        assert_eq!(mix.stores, 1.0);
+        assert_eq!(mix.flops, 2.0);
+        // geps + iv increment are int ops.
+        assert!(mix.int_ops >= 2.0);
+        // loop condition is a branch.
+        assert!(mix.branches >= 1.0);
+        assert_eq!(mix.calls, 0.0);
+    }
+
+    #[test]
+    fn spec_derives_mix_and_verifies() {
+        let spec = KernelSpec::new(
+            "stream/saxpy",
+            "stream",
+            Suite::Stream,
+            saxpy_module(),
+            default_traits(),
+        );
+        assert_eq!(spec.mix.loads, 2.0);
+        assert_eq!(spec.function().name, "saxpy");
+    }
+
+    #[test]
+    fn trip_count_eval() {
+        assert_eq!(TripCount::Linear(2.0).eval(100.0), 200.0);
+        assert_eq!(TripCount::Quadratic(1.0).eval(10.0), 100.0);
+        assert_eq!(TripCount::Const(7.0).eval(1000.0), 7.0);
+        let nlogn = TripCount::NLogN(1.0).eval(8.0);
+        assert!((nlogn - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn working_set_inversion_round_trips() {
+        let t = Traits {
+            ws_power: 2.0,
+            ws_bytes_per_n: 8.0,
+            ..default_traits()
+        };
+        let n = t.n_for_working_set(1_000_000.0);
+        let ws = t.working_set(n);
+        assert!((ws - 1_000_000.0).abs() / 1_000_000.0 < 1e-9);
+    }
+
+    #[test]
+    fn working_set_floor_keeps_n_sane() {
+        let t = default_traits();
+        assert!(t.n_for_working_set(1.0) >= 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IR")]
+    fn spec_rejects_broken_module() {
+        let mut m = saxpy_module();
+        // Corrupt: drop the terminator of the entry block.
+        m.functions[0].blocks[0].instrs.clear();
+        let _ = KernelSpec::new("bad", "bad", Suite::Stream, m, default_traits());
+    }
+}

@@ -1,0 +1,198 @@
+//! Execute every kernel archetype's IR in the reference interpreter: the
+//! lowered loops must actually run, terminate, and compute sensible
+//! values — the IR the models consume is real code, not decoration.
+
+use mga_ir::interp::{Interpreter, Memory, Value};
+use mga_kernels::archetypes;
+
+const N: i64 = 6;
+
+/// Run function 0 of a module with `n = N` and the given pointer args.
+fn run(module: &mga_ir::Module, args: Vec<Value>, mem: &mut Memory) {
+    let mut full_args = vec![Value::Int(N)];
+    full_args.extend(args);
+    let mut interp = Interpreter::with_step_limit(module, 10_000_000);
+    let fname = module.functions[0].name.clone();
+    interp
+        .run(&fname, full_args, mem)
+        .unwrap_or_else(|e| panic!("{fname} failed: {e}"));
+}
+
+fn assert_finite(mem: &Memory, ptr: Value, what: &str) {
+    for v in mem.read_f64(ptr).unwrap() {
+        assert!(v.is_finite(), "{what} produced non-finite value {v}");
+    }
+}
+
+#[test]
+fn streaming_computes_scaled_sum() {
+    let (m, _) = archetypes::streaming("s", 2, 1);
+    let mut mem = Memory::new();
+    let src0 = mem.alloc_f64(&[1.0; N as usize]);
+    let src1 = mem.alloc_f64(&[2.0; N as usize]);
+    let dst = mem.alloc_f64(&[0.0; N as usize]);
+    run(&m, vec![src0, src1, dst], &mut mem);
+    // dst[i] = (src0[i] + src1[i]) * 1.5 (one fmul by constant 1.5).
+    for v in mem.read_f64(dst).unwrap() {
+        assert!((v - 4.5).abs() < 1e-12, "streaming wrote {v}, expected 4.5");
+    }
+}
+
+#[test]
+fn matmul_accumulates_products() {
+    let (m, _) = archetypes::matmul("mm", 1);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    // A = all ones, B = all twos, C starts zero → C[i][j] = 2n.
+    let a = mem.alloc_f64(&vec![1.0; n * n]);
+    let b = mem.alloc_f64(&vec![2.0; n * n]);
+    let c = mem.alloc_f64(&vec![0.0; n * n]);
+    run(&m, vec![a, b, c], &mut mem);
+    for v in mem.read_f64(c).unwrap() {
+        assert!((v - 2.0 * N as f64).abs() < 1e-9, "gemm wrote {v}");
+    }
+}
+
+#[test]
+fn stencil_averages_neighbors() {
+    let (m, _) = archetypes::stencil("st", 2, 5);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    // Slack: neighbors read up to center + points.
+    let input = mem.alloc_f64(&vec![3.0; n * n + 16]);
+    let out = mem.alloc_f64(&vec![0.0; n * n + 16]);
+    run(&m, vec![input, out], &mut mem);
+    // Average of 5 identical values is the value itself.
+    let vals = mem.read_f64(out).unwrap();
+    for &v in &vals[..n * n] {
+        assert!((v - 3.0).abs() < 1e-9, "stencil wrote {v}");
+    }
+}
+
+#[test]
+fn reduction_accumulates_into_out() {
+    let (m, _) = archetypes::reduction("r", 2, false);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    let s0 = mem.alloc_f64(&vec![2.0; n]);
+    let s1 = mem.alloc_f64(&vec![4.0; n]);
+    let out = mem.alloc_f64(&[0.0]);
+    run(&m, vec![s0, s1, out], &mut mem);
+    // Each iteration atomically adds 2*4 = 8 → total 8n.
+    let total = mem.read_f64(out).unwrap()[0];
+    assert!((total - 8.0 * N as f64).abs() < 1e-9, "reduction got {total}");
+}
+
+#[test]
+fn triangular_runs_and_stays_finite() {
+    let (m, _) = archetypes::triangular("tri", 0.1);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    let a = mem.alloc_f64(&vec![0.5; n * n + 8]);
+    let x = mem.alloc_f64(&vec![1.0; n + 8]);
+    run(&m, vec![a, x], &mut mem);
+    assert_finite(&mem, x, "triangular");
+}
+
+#[test]
+fn gather_respects_indices_and_filters_negatives() {
+    let (m, _) = archetypes::gather("g", 0.3, 0.5);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    let vals = mem.alloc_f64(&[-1.0, 2.0, -3.0, 4.0, -5.0, 6.0]);
+    let out = mem.alloc_f64(&vec![0.0; n]);
+    let idx = mem.alloc_i64(&[1, 0, 3, 2, 5, 4]);
+    run(&m, vec![vals, out, idx], &mut mem);
+    // out[i] += max(vals[idx[i]], 0)
+    let expect = [2.0, 0.0, 4.0, 0.0, 6.0, 0.0];
+    let got = mem.read_f64(out).unwrap();
+    for (g, e) in got.iter().zip(expect) {
+        assert!((g - e).abs() < 1e-12, "gather got {got:?}");
+    }
+}
+
+#[test]
+fn histogram_counts_into_bins() {
+    let (m, _) = archetypes::histogram("h");
+    let mut mem = Memory::new();
+    let bins = mem.alloc_f64(&vec![0.0; 1024]);
+    let keys = mem.alloc_i64(&[5, 5, 7, 1029, 5, 0]); // 1029 & 1023 = 5
+    run(&m, vec![bins, keys], &mut mem);
+    let b = mem.read_f64(bins).unwrap();
+    assert_eq!(b[5], 4.0, "bin 5 should hold four hits");
+    assert_eq!(b[7], 1.0);
+    assert_eq!(b[0], 1.0);
+    assert_eq!(b.iter().sum::<f64>(), 6.0);
+}
+
+#[test]
+fn branchy_wavefront_propagates_minimum() {
+    let (m, _) = archetypes::branchy("b", 0.3);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    let cost = mem.alloc_f64(&vec![1.0; n * n + 8]);
+    // Slack in front too: i-1/j-1 produce index -? For i=0,j=0: idx = -1 →
+    // would be OOB, so shift the output pointer by one row + one col of
+    // slack is not expressible; instead give out a front pad by allocating
+    // and passing a pointer offset... The archetype reads out[c-1] and
+    // out[c-n]; at i=j=0 that's out[-1]/out[-n]. Allocate with a pad and
+    // pass an offset pointer.
+    let out_buf = mem.alloc_f64(&vec![0.0; n * n + 2 * n + 8]);
+    let Value::Ptr(buf, _) = out_buf else { unreachable!() };
+    let out = Value::Ptr(buf, n as i64 + 1); // pad one row + one column
+    run(&m, vec![cost, out], &mut mem);
+    assert_finite(&mem, out_buf, "branchy");
+}
+
+#[test]
+fn nbody_calls_distance_helper() {
+    let (m, _) = archetypes::nbody("nb", 8);
+    let n = N as usize;
+    let mut mem = Memory::new();
+    // j = i + k can reach n + neighbors.
+    let px = mem.alloc_f64(&vec![1.0; n + 16]);
+    let py = mem.alloc_f64(&vec![2.0; n + 16]);
+    let force = mem.alloc_f64(&vec![0.0; n + 16]);
+    run(&m, vec![px, py, force], &mut mem);
+    let f = mem.read_f64(force).unwrap();
+    // All particles identical → distance 0 → force += 1/eps each of 8
+    // neighbor iterations; just require growth and finiteness.
+    assert!(f[0] > 0.0, "no force accumulated");
+    assert_finite(&mem, force, "nbody");
+}
+
+#[test]
+fn sortlike_permutes_key_multiset() {
+    let (m, _) = archetypes::sortlike("so");
+    let n = N as usize;
+    let mut mem = Memory::new();
+    let init: Vec<f64> = (0..n).map(|i| (n - i) as f64).collect();
+    // partner = i ^ (1 << s) with s < 16 → needs 2^16 slack.
+    let mut data = init.clone();
+    data.resize(1 << 16, 0.0);
+    let keys = mem.alloc_f64(&data);
+    run(&m, vec![keys], &mut mem);
+    let after = mem.read_f64(keys).unwrap();
+    // Compare-and-swap network preserves the multiset of keys.
+    let mut before_sorted = data.clone();
+    let mut after_sorted = after.clone();
+    before_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    after_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(before_sorted, after_sorted, "keys were lost or invented");
+}
+
+#[test]
+fn fftlike_butterflies_stay_finite() {
+    let (m, _) = archetypes::fftlike("ff");
+    let n = N as usize;
+    let mut mem = Memory::new();
+    let mut re = vec![1.0; n];
+    re.resize(1 << 13, 0.0); // xor strides up to 2^12
+    let mut im = vec![0.5; n];
+    im.resize(1 << 13, 0.0);
+    let pre = mem.alloc_f64(&re);
+    let pim = mem.alloc_f64(&im);
+    run(&m, vec![pre, pim], &mut mem);
+    assert_finite(&mem, pre, "fft re");
+    assert_finite(&mem, pim, "fft im");
+}

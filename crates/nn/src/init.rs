@@ -1,0 +1,63 @@
+//! Seeded weight initializers.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The standard choice for tanh/sigmoid layers (the DAE and GRU gates).
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Kaiming/He uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`, for ReLU
+/// layers (the fused MLP head).
+pub fn kaiming_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / rows as f64).sqrt() as f32;
+    let data = (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Uniform in a caller-chosen symmetric range (embedding tables).
+pub fn uniform(rows: usize, cols: usize, bound: f32, rng: &mut StdRng) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_determinism() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = xavier_uniform(64, 32, &mut r1);
+        let b = xavier_uniform(64, 32, &mut r2);
+        assert_eq!(a, b, "same seed, same init");
+        let bound = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(a.data().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate.
+        assert!(a.norm() > 0.0);
+    }
+
+    #[test]
+    fn kaiming_bound_uses_fan_in() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = kaiming_uniform(24, 100, &mut rng);
+        let bound = (6.0f64 / 24.0).sqrt() as f32;
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = uniform(10, 10, 0.01, &mut rng);
+        assert!(t.data().iter().all(|&x| x.abs() <= 0.01));
+    }
+}

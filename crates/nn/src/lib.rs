@@ -1,0 +1,35 @@
+//! `mga-nn` — a from-scratch neural-network substrate.
+//!
+//! The paper builds its models with PyTorch and PyTorch Geometric. No
+//! comparable Rust stack exists (the calibration note's "heavy
+//! reimplementation"), so this crate provides exactly the pieces the MGA
+//! pipeline needs:
+//!
+//! * [`tensor::Tensor`] — a dense row-major f32 tensor with blocked,
+//!   thread-parallel matrix multiplication (crossbeam scoped threads),
+//! * [`tape`] — reverse-mode automatic differentiation over an explicit
+//!   op tape, including the `gather`/`scatter` segment ops that make
+//!   message passing and whole-graph readout differentiable,
+//! * [`params`] — parameter storage shared between layers and optimizers,
+//! * [`layers`] — `Linear`, `Mlp` and the `GruCell` used by gated graph
+//!   networks,
+//! * [`optim`] — SGD with momentum and the AdamW optimizer the paper
+//!   trains with,
+//! * [`init`] — seeded Xavier/Kaiming initializers, and
+//! * [`scaler`] — the Gaussian-rank scaler the paper applies before the
+//!   denoising autoencoder, plus min-max scaling for performance counters.
+//!
+//! Everything is deterministic given a seed; gradients are validated
+//! against finite differences in the test suite.
+
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod scaler;
+pub mod tape;
+pub mod tensor;
+
+pub use params::{ParamId, ParamSet};
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,167 @@
+//! Shared parameter storage for layers and optimizers.
+//!
+//! Layers register their weights in a [`ParamSet`] and keep only
+//! [`ParamId`] handles; forward passes snapshot values onto the tape, and
+//! optimizers walk the set applying updates from the accumulated gradients.
+
+use crate::tensor::Tensor;
+
+/// Handle to a parameter in a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct Entry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A flat collection of named parameters with gradient buffers.
+#[derive(Default)]
+pub struct ParamSet {
+    entries: Vec<Entry>,
+}
+
+impl ParamSet {
+    pub fn new() -> ParamSet {
+        ParamSet::default()
+    }
+
+    /// Register a parameter; its gradient buffer starts zeroed.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.entries.push(Entry {
+            name: name.into(),
+            value,
+            grad,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Zero every gradient buffer (call between optimizer steps).
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.data_mut().fill(0.0);
+        }
+    }
+
+    /// All parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Iterate `(name, value)` pairs (checkpointing).
+    pub fn iter_named(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|e| (e.name.as_str(), &e.value))
+    }
+
+    /// Overwrite a parameter's value by name; `false` if the name is
+    /// unknown. Panics on shape mismatch (a checkpoint from a different
+    /// architecture).
+    pub fn set_by_name(&mut self, name: &str, value: Tensor) -> bool {
+        for e in &mut self.entries {
+            if e.name == name {
+                assert_eq!(
+                    e.value.shape(),
+                    value.shape(),
+                    "checkpoint shape mismatch for {name}"
+                );
+                e.value = value;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clip gradients to a maximum global L2 norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for e in &mut self.entries {
+                e.grad.scale_assign(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::full(2, 3, 1.0));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.name(w), "w");
+        assert_eq!(ps.value(w).shape(), (2, 3));
+        assert_eq!(ps.grad(w).sum(), 0.0);
+        assert_eq!(ps.num_scalars(), 6);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::zeros(2, 2));
+        ps.grad_mut(w).data_mut().fill(3.0);
+        assert!(ps.grad_norm() > 0.0);
+        ps.zero_grads();
+        assert_eq!(ps.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::zeros(1, 2));
+        ps.grad_mut(w).data_mut().copy_from_slice(&[3.0, 4.0]);
+        ps.clip_grad_norm(1.0);
+        assert!((ps.grad_norm() - 1.0).abs() < 1e-5);
+        // Already small: untouched.
+        let before = ps.grad(w).clone();
+        ps.clip_grad_norm(10.0);
+        assert_eq!(ps.grad(w), &before);
+    }
+}

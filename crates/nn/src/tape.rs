@@ -1,0 +1,836 @@
+//! Reverse-mode automatic differentiation over an explicit op tape.
+//!
+//! A [`Tape`] is rebuilt for every forward pass: leaves are data tensors or
+//! snapshots of parameters (tagged with their [`ParamId`]), interior nodes
+//! record the op and its operands, and [`Tape::backward`] walks the tape in
+//! reverse accumulating gradients. [`Tape::accumulate_param_grads`] then
+//! flushes leaf gradients into the shared [`ParamSet`] for the optimizer.
+//!
+//! Besides the dense ops, the tape has the segment ops graph networks
+//! need: [`Tape::gather_rows`] (edge-source lookup) and
+//! [`Tape::scatter_mean_rows`] (mean aggregation of messages per target
+//! node), both differentiable.
+
+use crate::params::{ParamId, ParamSet};
+use crate::tensor::Tensor;
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    Leaf {
+        param: Option<ParamId>,
+    },
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    MatMul(Var, Var),
+    /// Add a `[1 × c]` bias row to every row of `a`.
+    AddBias(Var, Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    /// Column-wise concatenation.
+    ConcatCols(Vec<Var>),
+    /// out[i] = a[index[i]] (row gather).
+    GatherRows(Var, Box<[u32]>),
+    /// out[index[i]] += a[i] (row scatter-add).
+    ScatterSumRows {
+        src: Var,
+        index: Box<[u32]>,
+    },
+    /// Like scatter-sum but divides each output row by its in-degree
+    /// (rows with no contributions stay zero).
+    ScatterMeanRows {
+        src: Var,
+        index: Box<[u32]>,
+        out_rows: usize,
+    },
+    /// Scalar mean softmax cross-entropy against integer class targets.
+    /// `aux` caches the softmax probabilities.
+    SoftmaxCrossEntropy {
+        logits: Var,
+        targets: Box<[u32]>,
+    },
+    /// Scalar mean squared error against a constant target tensor (stored
+    /// in `aux`).
+    MseLoss(Var),
+    /// Multiply by a cached 0/1-scaled mask (inverted dropout); the mask
+    /// lives in `aux`.
+    Dropout(Var),
+    /// `out[i][j] = a[i][j] * s[i][0]` — scale each row of `a` by the
+    /// matching entry of the column vector `s` (attention weights).
+    MulRowScale(Var, Var),
+    /// `out[i][j] = a[i][j] / s[i][0]` — per-row division (attention
+    /// normalization).
+    DivRowScale(Var, Var),
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+    aux: Option<Tensor>,
+}
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Tape {
+        Tape { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        self.push_aux(op, value, None)
+    }
+
+    fn push_aux(&mut self, op: Op, value: Tensor, aux: Option<Tensor>) -> Var {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            op,
+            value,
+            grad: None,
+            aux,
+        });
+        Var(id)
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node after [`Tape::backward`] (zeros if it never
+    /// received one).
+    pub fn grad(&self, v: Var) -> Tensor {
+        let n = &self.nodes[v.0];
+        n.grad
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(n.value.rows(), n.value.cols()))
+    }
+
+    // ---- graph construction ------------------------------------------------
+
+    /// A constant/input leaf.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { param: None }, value)
+    }
+
+    /// A parameter leaf: snapshots the current parameter value and tags
+    /// the node so [`Tape::accumulate_param_grads`] can route its gradient.
+    pub fn param(&mut self, ps: &ParamSet, id: ParamId) -> Var {
+        self.push(
+            Op::Leaf { param: Some(id) },
+            ps.value(id).clone(),
+        )
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add(a, b), v)
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub(a, b), v)
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::Mul(a, b), v)
+    }
+
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| x * alpha);
+        self.push(Op::Scale(a, alpha), v)
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), v)
+    }
+
+    /// `a + bias` where `bias` is `[1 × cols]`, broadcast over rows.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (r, c) = self.value(a).shape();
+        assert_eq!(self.value(bias).shape(), (1, c), "bias must be [1 x cols]");
+        let mut v = self.value(a).clone();
+        let brow = self.nodes[bias.0].value.row_slice(0).to_vec();
+        for i in 0..r {
+            for (x, b) in v.row_slice_mut(i).iter_mut().zip(&brow) {
+                *x += *b;
+            }
+        }
+        self.push(Op::AddBias(a, bias), v)
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a), v)
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh(a), v)
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a), v)
+    }
+
+    /// Concatenate along columns (all inputs must have equal row counts).
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let rows = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut v = Tensor::zeros(rows, total);
+        let mut off = 0;
+        for &p in parts {
+            let t = self.value(p);
+            assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+            for r in 0..rows {
+                let dst = &mut v.row_slice_mut(r)[off..off + t.cols()];
+                dst.copy_from_slice(t.row_slice(r));
+            }
+            off += t.cols();
+        }
+        self.push(Op::ConcatCols(parts.to_vec()), v)
+    }
+
+    /// Row gather: `out[i] = a[index[i]]`.
+    pub fn gather_rows(&mut self, a: Var, index: &[u32]) -> Var {
+        let t = self.value(a);
+        let mut v = Tensor::zeros(index.len(), t.cols());
+        for (i, &src) in index.iter().enumerate() {
+            v.row_slice_mut(i).copy_from_slice(t.row_slice(src as usize));
+        }
+        self.push(Op::GatherRows(a, index.into()), v)
+    }
+
+    /// Row scatter-add: `out[index[i]] += a[i]`, output has `out_rows` rows.
+    pub fn scatter_sum_rows(&mut self, src: Var, index: &[u32], out_rows: usize) -> Var {
+        let t = self.value(src);
+        assert_eq!(t.rows(), index.len(), "scatter index length mismatch");
+        let mut v = Tensor::zeros(out_rows, t.cols());
+        for (i, &dst) in index.iter().enumerate() {
+            let row = t.row_slice(i).to_vec();
+            for (o, x) in v.row_slice_mut(dst as usize).iter_mut().zip(&row) {
+                *o += *x;
+            }
+        }
+        self.push(
+            Op::ScatterSumRows {
+                src,
+                index: index.into(),
+            },
+            v,
+        )
+    }
+
+    /// Row scatter-mean: like scatter-add but each output row is divided by
+    /// the number of contributions it received (untouched rows stay zero).
+    pub fn scatter_mean_rows(&mut self, src: Var, index: &[u32], out_rows: usize) -> Var {
+        let t = self.value(src);
+        assert_eq!(t.rows(), index.len(), "scatter index length mismatch");
+        let mut v = Tensor::zeros(out_rows, t.cols());
+        let mut counts = vec![0u32; out_rows];
+        for (i, &dst) in index.iter().enumerate() {
+            counts[dst as usize] += 1;
+            let row = t.row_slice(i).to_vec();
+            for (o, x) in v.row_slice_mut(dst as usize).iter_mut().zip(&row) {
+                *o += *x;
+            }
+        }
+        for (r, &cnt) in counts.iter().enumerate() {
+            if cnt > 1 {
+                let inv = 1.0 / cnt as f32;
+                for x in v.row_slice_mut(r) {
+                    *x *= inv;
+                }
+            }
+        }
+        self.push(
+            Op::ScatterMeanRows {
+                src,
+                index: index.into(),
+                out_rows,
+            },
+            v,
+        )
+    }
+
+    /// Mean softmax cross-entropy of `logits` `[n × k]` against integer
+    /// targets `[n]`; returns a `[1 × 1]` loss.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[u32]) -> Var {
+        let t = self.value(logits);
+        let (n, k) = t.shape();
+        assert_eq!(n, targets.len(), "target length mismatch");
+        let mut probs = Tensor::zeros(n, k);
+        let mut loss = 0.0f64;
+        #[allow(clippy::needless_range_loop)] // row-major softmax is clearest indexed
+        for i in 0..n {
+            let row = t.row_slice(i);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (j, &x) in row.iter().enumerate() {
+                let e = (x - max).exp();
+                probs.set(i, j, e);
+                denom += e;
+            }
+            for j in 0..k {
+                let p = probs.get(i, j) / denom;
+                probs.set(i, j, p);
+            }
+            let target = targets[i] as usize;
+            assert!(target < k, "target class {target} out of range");
+            loss -= (probs.get(i, target).max(1e-12) as f64).ln();
+        }
+        let v = Tensor::from_vec(1, 1, vec![(loss / n as f64) as f32]);
+        self.push_aux(
+            Op::SoftmaxCrossEntropy {
+                logits,
+                targets: targets.into(),
+            },
+            v,
+            Some(probs),
+        )
+    }
+
+    /// Mean squared error of `pred` against a constant `target` tensor;
+    /// returns a `[1 × 1]` loss.
+    pub fn mse_loss(&mut self, pred: Var, target: &Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "mse shape mismatch");
+        let n = p.len() as f32;
+        let loss: f32 = p
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        let v = Tensor::from_vec(1, 1, vec![loss]);
+        self.push_aux(Op::MseLoss(pred), v, Some(target.clone()))
+    }
+
+    /// Row-wise scaling: `out[i][·] = a[i][·] * s[i][0]` for a column
+    /// vector `s` of shape `[rows × 1]`.
+    pub fn mul_row_scale(&mut self, a: Var, s: Var) -> Var {
+        let (r, c) = self.value(a).shape();
+        assert_eq!(self.value(s).shape(), (r, 1), "scale must be [rows x 1]");
+        let mut v = self.value(a).clone();
+        for i in 0..r {
+            let f = self.nodes[s.0].value.get(i, 0);
+            for x in v.row_slice_mut(i) {
+                *x *= f;
+            }
+        }
+        let _ = c;
+        self.push(Op::MulRowScale(a, s), v)
+    }
+
+    /// Row-wise division: `out[i][·] = a[i][·] / s[i][0]`. The caller is
+    /// responsible for keeping `s` away from zero (add an epsilon).
+    pub fn div_row_scale(&mut self, a: Var, s: Var) -> Var {
+        let (r, _c) = self.value(a).shape();
+        assert_eq!(self.value(s).shape(), (r, 1), "scale must be [rows x 1]");
+        let mut v = self.value(a).clone();
+        for i in 0..r {
+            let f = self.nodes[s.0].value.get(i, 0);
+            for x in v.row_slice_mut(i) {
+                *x /= f;
+            }
+        }
+        self.push(Op::DivRowScale(a, s), v)
+    }
+
+    /// `x + c` for a scalar constant (no gradient to the constant).
+    pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
+        let v = self.value(a).map(|x| x + c);
+        self.push(Op::Scale(a, 1.0), v)
+    }
+
+    /// Inverted dropout with an explicit pre-sampled mask whose entries are
+    /// `0.0` (dropped) or `1/(1-p)` (kept). Pass-through when training is
+    /// off by simply not calling this.
+    pub fn dropout(&mut self, a: Var, mask: Tensor) -> Var {
+        assert_eq!(self.value(a).shape(), mask.shape(), "dropout mask shape");
+        let v = self.value(a).zip(&mask, |x, m| x * m);
+        self.push_aux(Op::Dropout(a), v, Some(mask))
+    }
+
+    // ---- backward ------------------------------------------------------------
+
+    fn add_grad(grad: &mut Option<Tensor>, delta: Tensor) {
+        match grad {
+            Some(g) => g.add_assign(&delta),
+            None => *grad = Some(delta),
+        }
+    }
+
+    /// Run reverse-mode differentiation from a scalar `root`.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be a scalar"
+        );
+        self.nodes[root.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for i in (0..=root.0).rev() {
+            let Some(gout) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Split borrows: read values via raw indices, write grads after.
+            match &self.nodes[i].op {
+                Op::Leaf { .. } => {}
+                &Op::Add(a, b) => {
+                    Self::add_grad(&mut self.nodes[a.0].grad, gout.clone());
+                    Self::add_grad(&mut self.nodes[b.0].grad, gout);
+                }
+                &Op::Sub(a, b) => {
+                    Self::add_grad(&mut self.nodes[a.0].grad, gout.clone());
+                    Self::add_grad(&mut self.nodes[b.0].grad, gout.map(|x| -x));
+                }
+                &Op::Mul(a, b) => {
+                    let ga = gout.zip(&self.nodes[b.0].value, |g, y| g * y);
+                    let gb = gout.zip(&self.nodes[a.0].value, |g, x| g * x);
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                    Self::add_grad(&mut self.nodes[b.0].grad, gb);
+                }
+                &Op::Scale(a, alpha) => {
+                    Self::add_grad(&mut self.nodes[a.0].grad, gout.map(|x| x * alpha));
+                }
+                &Op::MatMul(a, b) => {
+                    // dA = G Bᵀ ; dB = Aᵀ G
+                    let ga = gout.matmul_t(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.t_matmul(&gout);
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                    Self::add_grad(&mut self.nodes[b.0].grad, gb);
+                }
+                &Op::AddBias(a, bias) => {
+                    let cols = gout.cols();
+                    let mut gb = Tensor::zeros(1, cols);
+                    for r in 0..gout.rows() {
+                        for (o, &g) in gb.row_slice_mut(0).iter_mut().zip(gout.row_slice(r)) {
+                            *o += g;
+                        }
+                    }
+                    Self::add_grad(&mut self.nodes[a.0].grad, gout);
+                    Self::add_grad(&mut self.nodes[bias.0].grad, gb);
+                }
+                &Op::Sigmoid(a) => {
+                    let ga = gout.zip(&self.nodes[i].value, |g, y| g * y * (1.0 - y));
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                }
+                &Op::Tanh(a) => {
+                    let ga = gout.zip(&self.nodes[i].value, |g, y| g * (1.0 - y * y));
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                }
+                &Op::Relu(a) => {
+                    let ga = gout.zip(&self.nodes[i].value, |g, y| if y > 0.0 { g } else { 0.0 });
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let (r, c) = self.nodes[p.0].value.shape();
+                        let mut gp = Tensor::zeros(r, c);
+                        for row in 0..r {
+                            gp.row_slice_mut(row)
+                                .copy_from_slice(&gout.row_slice(row)[off..off + c]);
+                        }
+                        off += c;
+                        Self::add_grad(&mut self.nodes[p.0].grad, gp);
+                    }
+                }
+                Op::GatherRows(a, index) => {
+                    let a = *a;
+                    let index = index.clone();
+                    let (r, c) = self.nodes[a.0].value.shape();
+                    let mut ga = Tensor::zeros(r, c);
+                    for (i_row, &src) in index.iter().enumerate() {
+                        let g = gout.row_slice(i_row).to_vec();
+                        for (o, x) in ga.row_slice_mut(src as usize).iter_mut().zip(&g) {
+                            *o += *x;
+                        }
+                    }
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                }
+                Op::ScatterSumRows { src, index } => {
+                    let src = *src;
+                    let index = index.clone();
+                    let c = gout.cols();
+                    let mut gs = Tensor::zeros(index.len(), c);
+                    for (i_row, &dst) in index.iter().enumerate() {
+                        gs.row_slice_mut(i_row)
+                            .copy_from_slice(gout.row_slice(dst as usize));
+                    }
+                    Self::add_grad(&mut self.nodes[src.0].grad, gs);
+                }
+                Op::ScatterMeanRows {
+                    src,
+                    index,
+                    out_rows,
+                } => {
+                    let src = *src;
+                    let index = index.clone();
+                    let mut counts = vec![0u32; *out_rows];
+                    for &d in index.iter() {
+                        counts[d as usize] += 1;
+                    }
+                    let c = gout.cols();
+                    let mut gs = Tensor::zeros(index.len(), c);
+                    for (i_row, &dst) in index.iter().enumerate() {
+                        let inv = 1.0 / counts[dst as usize].max(1) as f32;
+                        for (o, &g) in gs
+                            .row_slice_mut(i_row)
+                            .iter_mut()
+                            .zip(gout.row_slice(dst as usize))
+                        {
+                            *o = g * inv;
+                        }
+                    }
+                    Self::add_grad(&mut self.nodes[src.0].grad, gs);
+                }
+                Op::SoftmaxCrossEntropy { logits, targets } => {
+                    let logits = *logits;
+                    let targets = targets.clone();
+                    let probs = self.nodes[i].aux.as_ref().expect("softmax cache").clone();
+                    let (n, k) = probs.shape();
+                    let scale = gout.get(0, 0) / n as f32;
+                    let mut gl = Tensor::zeros(n, k);
+                    for (r, &target) in targets.iter().enumerate().take(n) {
+                        let t = target as usize;
+                        for j in 0..k {
+                            let indicator = if j == t { 1.0 } else { 0.0 };
+                            gl.set(r, j, (probs.get(r, j) - indicator) * scale);
+                        }
+                    }
+                    Self::add_grad(&mut self.nodes[logits.0].grad, gl);
+                }
+                &Op::MseLoss(pred) => {
+                    let target = self.nodes[i].aux.as_ref().expect("mse target").clone();
+                    let p = &self.nodes[pred.0].value;
+                    let n = p.len() as f32;
+                    let scale = 2.0 * gout.get(0, 0) / n;
+                    let gp = p.zip(&target, |a, b| (a - b) * scale);
+                    Self::add_grad(&mut self.nodes[pred.0].grad, gp);
+                }
+                &Op::Dropout(a) => {
+                    let mask = self.nodes[i].aux.as_ref().expect("dropout mask").clone();
+                    let ga = gout.zip(&mask, |g, m| g * m);
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                }
+                &Op::MulRowScale(a, s) => {
+                    let (r, c) = gout.shape();
+                    let sval = self.nodes[s.0].value.clone();
+                    let aval = self.nodes[a.0].value.clone();
+                    let mut ga = gout.clone();
+                    let mut gs = Tensor::zeros(r, 1);
+                    for row in 0..r {
+                        let f = sval.get(row, 0);
+                        let mut acc = 0.0;
+                        for col in 0..c {
+                            acc += gout.get(row, col) * aval.get(row, col);
+                        }
+                        gs.set(row, 0, acc);
+                        for x in ga.row_slice_mut(row) {
+                            *x *= f;
+                        }
+                    }
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                    Self::add_grad(&mut self.nodes[s.0].grad, gs);
+                }
+                &Op::DivRowScale(a, s) => {
+                    let (r, c) = gout.shape();
+                    let sval = self.nodes[s.0].value.clone();
+                    let aval = self.nodes[a.0].value.clone();
+                    let mut ga = gout.clone();
+                    let mut gs = Tensor::zeros(r, 1);
+                    for row in 0..r {
+                        let f = sval.get(row, 0);
+                        let mut acc = 0.0;
+                        for col in 0..c {
+                            acc += gout.get(row, col) * aval.get(row, col);
+                        }
+                        gs.set(row, 0, -acc / (f * f));
+                        for x in ga.row_slice_mut(row) {
+                            *x /= f;
+                        }
+                    }
+                    Self::add_grad(&mut self.nodes[a.0].grad, ga);
+                    Self::add_grad(&mut self.nodes[s.0].grad, gs);
+                }
+            }
+        }
+    }
+
+    /// Flush gradients of parameter leaves into the parameter set
+    /// (accumulating, so multiple tapes per step compose).
+    pub fn accumulate_param_grads(&self, ps: &mut ParamSet) {
+        for node in &self.nodes {
+            if let Op::Leaf { param: Some(id) } = node.op {
+                if let Some(g) = &node.grad {
+                    ps.grad_mut(id).add_assign(g);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check: for scalar-output graphs built by `build`,
+    /// compare analytic input gradient against central differences.
+    fn check_grad(
+        input: Tensor,
+        build: impl Fn(&mut Tape, Var) -> Var,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = build(&mut tape, x);
+        tape.backward(loss);
+        let analytic = tape.grad(x);
+
+        let eps = 1e-3;
+        for idx in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[idx] += eps;
+            let mut tp = Tape::new();
+            let xp = tp.leaf(plus);
+            let lp = build(&mut tp, xp);
+            let fplus = tp.value(lp).get(0, 0);
+
+            let mut minus = input.clone();
+            minus.data_mut()[idx] -= eps;
+            let mut tm = Tape::new();
+            let xm = tm.leaf(minus);
+            let lm = build(&mut tm, xm);
+            let fminus = tm.value(lm).get(0, 0);
+
+            let numeric = (fplus - fminus) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "index {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Tensor {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn grad_of_matmul_chain() {
+        let w = seeded(4, 3, 7);
+        check_grad(seeded(2, 4, 1), move |t, x| {
+            let wv = t.leaf(w.clone());
+            let h = t.matmul(x, wv);
+            let s = t.sigmoid(h);
+            t.mse_loss(s, &Tensor::full(2, 3, 0.3))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_of_elementwise_ops() {
+        let b = seeded(3, 3, 9);
+        check_grad(seeded(3, 3, 2), move |t, x| {
+            let bv = t.leaf(b.clone());
+            let m = t.mul(x, bv);
+            let s = t.sub(m, x);
+            let a = t.add(s, x);
+            let h = t.tanh(a);
+            t.mse_loss(h, &Tensor::zeros(3, 3))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_of_relu_and_scale() {
+        check_grad(seeded(2, 5, 3), |t, x| {
+            let r = t.relu(x);
+            let s = t.scale(r, 1.5);
+            t.mse_loss(s, &Tensor::full(2, 5, 0.1))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_of_bias_and_concat() {
+        let bias = seeded(1, 3, 11);
+        check_grad(seeded(4, 3, 4), move |t, x| {
+            let bv = t.leaf(bias.clone());
+            let h = t.add_bias(x, bv);
+            let c = t.concat_cols(&[h, x]);
+            t.mse_loss(c, &Tensor::full(4, 6, 0.05))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_of_gather_scatter() {
+        let index = vec![0u32, 2, 1, 2, 0];
+        let scatter_to = vec![1u32, 0, 1, 2, 2];
+        check_grad(seeded(3, 4, 5), move |t, x| {
+            let g = t.gather_rows(x, &index);
+            let s = t.scatter_mean_rows(g, &scatter_to, 3);
+            t.mse_loss(s, &Tensor::full(3, 4, 0.2))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_of_scatter_sum() {
+        let scatter_to = vec![1u32, 1, 0];
+        check_grad(seeded(3, 2, 6), move |t, x| {
+            let s = t.scatter_sum_rows(x, &scatter_to, 2);
+            t.mse_loss(s, &Tensor::full(2, 2, 0.0))
+        }, 2e-2);
+    }
+
+    #[test]
+    fn grad_of_softmax_cross_entropy() {
+        let targets = vec![0u32, 2, 1];
+        check_grad(seeded(3, 3, 8), move |t, x| {
+            t.softmax_cross_entropy(x, &targets)
+        }, 2e-2);
+    }
+
+    #[test]
+    fn softmax_ce_value_matches_manual() {
+        let mut t = Tape::new();
+        let logits = t.leaf(Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        let loss = t.softmax_cross_entropy(logits, &[0]);
+        // Uniform over two classes: loss = ln 2.
+        assert!((t.value(loss).get(0, 0) - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_scales_and_masks() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::row(vec![1.0, 2.0, 3.0, 4.0]));
+        let mask = Tensor::row(vec![2.0, 0.0, 2.0, 0.0]); // p = 0.5 inverted
+        let d = t.dropout(x, mask);
+        assert_eq!(t.value(d).data(), &[2.0, 0.0, 6.0, 0.0]);
+        let loss = t.mse_loss(d, &Tensor::row(vec![0.0; 4]));
+        t.backward(loss);
+        let g = t.grad(x);
+        assert_eq!(g.data()[1], 0.0);
+        assert_eq!(g.data()[3], 0.0);
+        assert!(g.data()[0] != 0.0);
+    }
+
+    #[test]
+    fn param_grads_accumulate_into_set() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::full(2, 2, 0.5));
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let wv = t.param(&ps, w);
+        let h = t.matmul(x, wv);
+        let loss = t.mse_loss(h, &Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        t.backward(loss);
+        t.accumulate_param_grads(&mut ps);
+        assert!(ps.grad(w).norm() > 0.0);
+        // Second tape accumulates (not overwrites).
+        let before = ps.grad(w).clone();
+        let mut t2 = Tape::new();
+        let x2 = t2.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        let wv2 = t2.param(&ps, w);
+        let h2 = t2.matmul(x2, wv2);
+        let loss2 = t2.mse_loss(h2, &Tensor::from_vec(1, 2, vec![0.0, 0.0]));
+        t2.backward(loss2);
+        t2.accumulate_param_grads(&mut ps);
+        assert!((ps.grad(w).norm() - 2.0 * before.norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scatter_mean_averages() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::from_vec(3, 1, vec![1.0, 3.0, 10.0]));
+        let s = t.scatter_mean_rows(x, &[0, 0, 1], 3);
+        assert_eq!(t.value(s).data(), &[2.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_of_row_scale_ops() {
+        let scale_src = seeded(4, 1, 21).map(|x| x.abs() + 0.5);
+        check_grad(seeded(4, 3, 20), move |t, x| {
+            let s = t.leaf(scale_src.clone());
+            let m = t.mul_row_scale(x, s);
+            let d = t.div_row_scale(m, s);
+            let m2 = t.mul_row_scale(d, s);
+            t.mse_loss(m2, &Tensor::full(4, 3, 0.1))
+        }, 3e-2);
+    }
+
+    #[test]
+    fn grad_flows_into_row_scale_vector() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let s = t.leaf(Tensor::from_vec(2, 1, vec![2.0, 0.5]));
+        let m = t.mul_row_scale(a, s);
+        assert_eq!(t.value(m).data(), &[2.0, 4.0, 1.5, 2.0]);
+        let loss = t.mse_loss(m, &Tensor::zeros(2, 2));
+        t.backward(loss);
+        assert!(t.grad(s).norm() > 0.0);
+        assert!(t.grad(a).norm() > 0.0);
+    }
+
+    #[test]
+    fn div_row_scale_inverts_mul() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]));
+        let s = t.leaf(Tensor::from_vec(2, 1, vec![4.0, 0.25]));
+        let m = t.mul_row_scale(a, s);
+        let d = t.div_row_scale(m, s);
+        for (x, y) in t.value(d).data().iter().zip(t.value(a).data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn add_scalar_shifts_values_with_identity_grad() {
+        let mut t = Tape::new();
+        let a = t.leaf(Tensor::row(vec![1.0, 2.0]));
+        let b = t.add_scalar(a, 1e-3);
+        assert!((t.value(b).get(0, 0) - 1.001).abs() < 1e-6);
+        let loss = t.mse_loss(b, &Tensor::row(vec![0.0, 0.0]));
+        t.backward(loss);
+        assert!(t.grad(a).norm() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be a scalar")]
+    fn backward_requires_scalar() {
+        let mut t = Tape::new();
+        let x = t.leaf(Tensor::zeros(2, 2));
+        t.backward(x);
+    }
+}

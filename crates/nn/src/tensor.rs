@@ -1,0 +1,459 @@
+//! Dense row-major f32 tensors with cache-blocked, thread-parallel matmul.
+//!
+//! Tensors here are rank-2 matrices `[rows, cols]`; vectors are `[1, n]`
+//! rows. That covers everything the MGA models need while keeping the
+//! kernels simple enough to optimize properly: the matmul is i-k-j loop
+//! ordered (streaming through `b` rows), blocked for L1/L2 reuse, and
+//! splits row-panels across threads for large problems.
+
+use std::fmt;
+
+/// Threshold (in multiply-adds) above which matmul fans out to threads.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 21;
+
+/// Cache block edge for the k dimension.
+const BLOCK_K: usize = 64;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` tensor filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Build from a flat row-major buffer. Panics if lengths disagree.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row(data: Vec<f32>) -> Tensor {
+        Tensor {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row_slice(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_slice_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise combine with another tensor of identical shape.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += other` elementwise.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` elementwise (axpy).
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scale all elements in place.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Matrix product `self × other`, parallel and cache-blocked.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul inner-dimension mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        matmul_into(
+            &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+        );
+        out
+    }
+
+    /// `selfᵀ × other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul row mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        // (A^T B)[i][j] = sum_k A[k][i] * B[k][j]
+        let (m, n) = (self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for k in 0..self.rows {
+            let arow = self.row_slice(k);
+            let brow = other.row_slice(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t col mismatch: {}x{} vs {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n, k) = (self.rows, other.rows, self.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row_slice(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+}
+
+/// `out += a(m×k) × b(k×n)` with i-k-j ordering, k-blocking and optional
+/// row-panel threading. `out` must be zeroed (or hold a partial result to
+/// accumulate onto).
+pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let flops = m * n * k;
+    let threads = available_threads();
+    if flops >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
+        let rows_per = m.div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            let mut rest = out;
+            let mut handled = 0usize;
+            while handled < m {
+                let take = rows_per.min(m - handled);
+                let (panel, tail) = rest.split_at_mut(take * n);
+                let a_panel = &a[handled * k..(handled + take) * k];
+                s.spawn(move |_| {
+                    matmul_panel(panel, a_panel, take, k, b, n);
+                });
+                rest = tail;
+                handled += take;
+            }
+        })
+        .expect("matmul worker panicked");
+    } else {
+        matmul_panel(out, a, m, k, b, n);
+    }
+}
+
+/// Single-threaded blocked kernel for one row panel.
+fn matmul_panel(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let av = arow[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Number of worker threads to use for parallel kernels.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn seeded(rows: usize, cols: usize, seed: u32) -> Tensor {
+        // Simple LCG so the test has no rand dependency path.
+        let mut state = seed as u64 * 2654435761 + 1;
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = seeded(7, 5, 1);
+        let b = seeded(5, 9, 2);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel() {
+        // Big enough to cross the parallel threshold.
+        let a = seeded(256, 128, 3);
+        let b = seeded(128, 96, 4);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-2);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = seeded(4, 4, 5);
+        let mut eye = Tensor::zeros(4, 4);
+        for i in 0..4 {
+            eye.set(i, i, 1.0);
+        }
+        assert_close(&a.matmul(&eye), &a, 1e-6);
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = seeded(6, 4, 6);
+        let b = seeded(6, 3, 7);
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = seeded(5, 4, 8);
+        let b = seeded(7, 4, 9);
+        assert_close(&a.matmul_t(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = seeded(3, 8, 10);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::full(2, 2, 1.0);
+        let b = Tensor::full(2, 2, 2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0; 4]);
+        a.scale_assign(0.25);
+        assert_eq!(a.data(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn zip_and_map() {
+        let a = Tensor::row(vec![1.0, 2.0, 3.0]);
+        let b = Tensor::row(vec![4.0, 5.0, 6.0]);
+        let c = a.zip(&b, |x, y| x * y);
+        assert_eq!(c.data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(c.map(|x| x / 2.0).data(), &[2.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.row_slice(1), &[4., 5., 6.]);
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.sum(), 21.0);
+    }
+
+    #[test]
+    fn matmul_into_accumulates_onto_existing_output() {
+        let a = Tensor::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        let b = Tensor::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        let mut out = vec![100.0f32; 4];
+        matmul_into(&mut out, a.data(), 2, 2, b.data(), 2);
+        assert_eq!(out, vec![105.0, 106.0, 107.0, 108.0]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn norm_is_frobenius() {
+        let t = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,89 @@
+//! The performance counters the paper selects.
+//!
+//! §4.1.1: "The selected performance counters are L1, L2 cache misses, L3
+//! load misses, number of retired branch instructions, and mispredicted
+//! branches across all loops, inputs and experiments." We add reference
+//! cycles, which §4.1.5 uses to normalize branch mispredictions.
+
+use serde::{Deserialize, Serialize};
+
+/// One profiling sample of the five selected PAPI counters (+ cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Counters {
+    pub l1_dcm: f64,
+    pub l2_tcm: f64,
+    pub l3_ldm: f64,
+    pub br_ins: f64,
+    pub br_msp: f64,
+    /// Reference clock cycles.
+    pub ref_cyc: f64,
+}
+
+impl Counters {
+    /// The feature vector order used across the models.
+    pub fn to_features(&self) -> [f64; 5] {
+        [self.l1_dcm, self.l2_tcm, self.l3_ldm, self.br_ins, self.br_msp]
+    }
+
+    /// Rescale cache counters for a different µ-architecture, following
+    /// §4.1.5: each level-ℓ miss count is scaled by the target/source
+    /// cache capacity ratio, and branch mispredictions are divided by
+    /// reference cycles.
+    pub fn rescale_for_arch(
+        &self,
+        source: &crate::cpu::CpuSpec,
+        target: &crate::cpu::CpuSpec,
+    ) -> Counters {
+        Counters {
+            l1_dcm: self.l1_dcm * target.l1_kb / source.l1_kb,
+            l2_tcm: self.l2_tcm * target.l2_kb / source.l2_kb,
+            l3_ldm: self.l3_ldm * target.l3_mb / source.l3_mb,
+            br_ins: self.br_ins,
+            br_msp: if self.ref_cyc > 0.0 {
+                self.br_msp / self.ref_cyc
+            } else {
+                self.br_msp
+            },
+            ref_cyc: self.ref_cyc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuSpec;
+
+    #[test]
+    fn feature_vector_order() {
+        let c = Counters {
+            l1_dcm: 1.0,
+            l2_tcm: 2.0,
+            l3_ldm: 3.0,
+            br_ins: 4.0,
+            br_msp: 5.0,
+            ref_cyc: 6.0,
+        };
+        assert_eq!(c.to_features(), [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn rescale_follows_capacity_ratios() {
+        let src = CpuSpec::comet_lake(); // L3 16MB
+        let dst = CpuSpec::broadwell_8c(); // L3 20MB
+        let c = Counters {
+            l1_dcm: 100.0,
+            l2_tcm: 50.0,
+            l3_ldm: 10.0,
+            br_ins: 1000.0,
+            br_msp: 20.0,
+            ref_cyc: 1e6,
+        };
+        let r = c.rescale_for_arch(&src, &dst);
+        assert_eq!(r.l1_dcm, 100.0); // same 32KB L1
+        assert_eq!(r.l2_tcm, 50.0); // same 256KB L2
+        assert!((r.l3_ldm - 10.0 * 20.0 / 16.0).abs() < 1e-9);
+        assert!((r.br_msp - 20.0 / 1e6).abs() < 1e-12);
+        assert_eq!(r.br_ins, 1000.0);
+    }
+}

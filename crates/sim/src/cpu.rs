@@ -1,0 +1,192 @@
+//! CPU µ-architecture descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// The µ-architectures appearing in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroArch {
+    CometLake,
+    SkylakeSp,
+    Broadwell,
+    SandyBridge,
+    IvyBridgeE,
+}
+
+/// A CPU model: the parameters the OpenMP execution model consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    pub name: String,
+    pub arch: MicroArch,
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads per core (1 = no SMT).
+    pub smt: u32,
+    pub freq_ghz: f64,
+    /// Per-core L1D capacity in KiB.
+    pub l1_kb: f64,
+    /// Per-core L2 capacity in KiB.
+    pub l2_kb: f64,
+    /// Shared L3 capacity in MiB.
+    pub l3_mb: f64,
+    /// Sustained DRAM bandwidth in GB/s (all cores).
+    pub mem_bw_gbs: f64,
+    /// DRAM access latency in ns.
+    pub mem_lat_ns: f64,
+    /// Branch predictor quality in `[0,1]`; higher = fewer mispredictions
+    /// on entropic branches.
+    pub bp_quality: f64,
+    /// OpenMP fork/join base cost in µs.
+    pub fork_join_us: f64,
+    /// Dynamic-scheduling dispatch cost per chunk in ns.
+    pub dispatch_ns: f64,
+}
+
+impl CpuSpec {
+    /// Total hardware threads.
+    pub fn hw_threads(&self) -> u32 {
+        self.cores * self.smt
+    }
+
+    /// Intel i7-10700K (Comet Lake): the 8-core desktop part of
+    /// §4.1.3's experiments (SMT disabled to match the paper's 1–8
+    /// thread sweep).
+    pub fn comet_lake() -> CpuSpec {
+        CpuSpec {
+            name: "Intel i7-10700K (Comet Lake)".into(),
+            arch: MicroArch::CometLake,
+            cores: 8,
+            smt: 1,
+            freq_ghz: 4.7,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_mb: 16.0,
+            mem_bw_gbs: 41.0,
+            mem_lat_ns: 70.0,
+            bp_quality: 0.95,
+            fork_join_us: 1.5,
+            dispatch_ns: 70.0,
+        }
+    }
+
+    /// Intel Xeon Silver 4114 (Skylake-SP): 10 cores, 2 hyper-threads
+    /// per core — the §4.1.4 large-search-space system.
+    pub fn skylake_4114() -> CpuSpec {
+        CpuSpec {
+            name: "Intel Xeon Silver 4114 (Skylake-SP)".into(),
+            arch: MicroArch::SkylakeSp,
+            cores: 10,
+            smt: 2,
+            freq_ghz: 2.2,
+            l1_kb: 32.0,
+            l2_kb: 1024.0,
+            l3_mb: 13.75,
+            mem_bw_gbs: 63.0,
+            mem_lat_ns: 85.0,
+            bp_quality: 0.94,
+            fork_join_us: 2.0,
+            dispatch_ns: 90.0,
+        }
+    }
+
+    /// 8-core Broadwell (CloudLab), §4.1.5 portability target.
+    pub fn broadwell_8c() -> CpuSpec {
+        CpuSpec {
+            name: "Intel Xeon D (Broadwell, 8c)".into(),
+            arch: MicroArch::Broadwell,
+            cores: 8,
+            smt: 1,
+            freq_ghz: 3.0,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_mb: 20.0,
+            mem_bw_gbs: 48.0,
+            mem_lat_ns: 80.0,
+            bp_quality: 0.92,
+            fork_join_us: 1.8,
+            dispatch_ns: 85.0,
+        }
+    }
+
+    /// 8-core Sandy Bridge (CloudLab), §4.1.5 portability target.
+    pub fn sandy_bridge_8c() -> CpuSpec {
+        CpuSpec {
+            name: "Intel Xeon E5 (Sandy Bridge, 8c)".into(),
+            arch: MicroArch::SandyBridge,
+            cores: 8,
+            smt: 1,
+            freq_ghz: 2.6,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_mb: 20.0,
+            mem_bw_gbs: 34.0,
+            mem_lat_ns: 95.0,
+            bp_quality: 0.88,
+            fork_join_us: 2.2,
+            dispatch_ns: 110.0,
+        }
+    }
+
+    /// Intel i7-3820 — the CPU side of the §4.2 OpenCL device-mapping
+    /// dataset.
+    pub fn i7_3820() -> CpuSpec {
+        CpuSpec {
+            name: "Intel i7-3820".into(),
+            arch: MicroArch::IvyBridgeE,
+            cores: 4,
+            smt: 2,
+            freq_ghz: 3.6,
+            l1_kb: 32.0,
+            l2_kb: 256.0,
+            l3_mb: 10.0,
+            mem_bw_gbs: 38.0,
+            mem_lat_ns: 80.0,
+            bp_quality: 0.9,
+            fork_join_us: 1.6,
+            dispatch_ns: 90.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_consistent() {
+        for spec in [
+            CpuSpec::comet_lake(),
+            CpuSpec::skylake_4114(),
+            CpuSpec::broadwell_8c(),
+            CpuSpec::sandy_bridge_8c(),
+            CpuSpec::i7_3820(),
+        ] {
+            assert!(spec.cores >= 4);
+            assert!(spec.smt >= 1);
+            assert!(spec.freq_ghz > 1.0);
+            assert!(spec.l1_kb <= spec.l2_kb);
+            assert!(spec.l2_kb / 1024.0 <= spec.l3_mb);
+            assert!(spec.mem_bw_gbs > 10.0);
+            assert!((0.5..=1.0).contains(&spec.bp_quality));
+        }
+    }
+
+    #[test]
+    fn skylake_has_twenty_hw_threads() {
+        assert_eq!(CpuSpec::skylake_4114().hw_threads(), 20);
+        assert_eq!(CpuSpec::comet_lake().hw_threads(), 8);
+    }
+
+    #[test]
+    fn portability_targets_differ_from_training_arch() {
+        let cl = CpuSpec::comet_lake();
+        let bw = CpuSpec::broadwell_8c();
+        let sb = CpuSpec::sandy_bridge_8c();
+        // Same core count (the §4.1.5 requirement)…
+        assert_eq!(cl.cores, bw.cores);
+        assert_eq!(cl.cores, sb.cores);
+        // …but different cache/bandwidth/frequency profiles.
+        assert_ne!(cl.l3_mb, bw.l3_mb);
+        assert_ne!(cl.mem_bw_gbs, sb.mem_bw_gbs);
+        assert_ne!(cl.freq_ghz, bw.freq_ghz);
+    }
+}

@@ -1,0 +1,369 @@
+//! OpenCL device models for the heterogeneous device-mapping task (§4.2).
+//!
+//! Each (kernel, transfer size, work-group size) point is executed on a
+//! CPU model (through the OpenMP execution model at all hardware
+//! threads) and on a GPU model; whichever is faster is the point's
+//! label, exactly how the Ben-Nun et al. dataset was produced. The GPU
+//! model captures the effects the paper's §4.2 analysis leans on:
+//!
+//! * PCIe transfer and launch overhead — small kernels lose on the GPU
+//!   when transfer dominates;
+//! * occupancy — work-group sizes far from the device's sweet spot
+//!   waste lanes, and small problems underfill the device;
+//! * branch divergence — entropic branches serialize SIMT lanes;
+//! * **function-call overhead** — kernels that call functions with
+//!   inner loops (the paper's `makea` example) pay a per-call penalty
+//!   that grows with the input, flipping big inputs back to the CPU.
+
+use crate::cpu::CpuSpec;
+use crate::openmp::{simulate_traits, OmpConfig, Schedule};
+use crate::{hash_noise, name_hash};
+use mga_kernels::spec::KernelSpec;
+use serde::{Deserialize, Serialize};
+
+/// A GPU device model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    pub name: String,
+    /// Peak arithmetic throughput in Gops/s (scalar-equivalent).
+    pub gops: f64,
+    /// Device memory bandwidth GB/s.
+    pub mem_bw_gbs: f64,
+    /// Host↔device PCIe bandwidth GB/s.
+    pub pcie_gbs: f64,
+    /// Kernel launch overhead µs.
+    pub launch_us: f64,
+    /// Preferred work-group size (occupancy sweet spot).
+    pub preferred_wg: u32,
+    /// Penalty per dynamic function call (µs-equivalents per 1e6 calls).
+    pub call_cost_scale: f64,
+}
+
+impl GpuSpec {
+    /// AMD Radeon HD 7970 (Tahiti) — 2048 lanes @ 0.925 GHz.
+    pub fn tahiti_7970() -> GpuSpec {
+        GpuSpec {
+            name: "AMD Tahiti 7970".into(),
+            gops: 950.0,
+            mem_bw_gbs: 264.0,
+            pcie_gbs: 6.0,
+            launch_us: 25.0,
+            preferred_wg: 256,
+            call_cost_scale: 1.6,
+        }
+    }
+
+    /// NVIDIA GTX 970 (Maxwell) — 1664 lanes @ 1.05 GHz.
+    pub fn gtx_970() -> GpuSpec {
+        GpuSpec {
+            name: "NVIDIA GTX 970".into(),
+            gops: 620.0,
+            mem_bw_gbs: 196.0,
+            pcie_gbs: 6.0,
+            launch_us: 18.0,
+            preferred_wg: 128,
+            call_cost_scale: 1.2,
+        }
+    }
+}
+
+/// One labeled device-mapping sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingSample {
+    pub cpu_time: f64,
+    pub gpu_time: f64,
+}
+
+impl MappingSample {
+    /// `true` when the GPU is the right device.
+    pub fn gpu_wins(&self) -> bool {
+        self.gpu_time < self.cpu_time
+    }
+
+    pub fn best_time(&self) -> f64 {
+        self.gpu_time.min(self.cpu_time)
+    }
+}
+
+/// Occupancy multiplier for a work-group size on a device (1.0 at the
+/// device sweet spot, degrading away from it).
+fn wg_efficiency(gpu: &GpuSpec, wg: u32) -> f64 {
+    let ratio = wg as f64 / gpu.preferred_wg as f64;
+    let off = ratio.log2().abs();
+    (1.0 - 0.12 * off).clamp(0.55, 1.0)
+}
+
+/// Kernel-dependent work-group effects, the reason the best work-group
+/// size varies per kernel (the §7 "expand to GPUs" tuning target):
+///
+/// * register pressure — op-heavy kernels lose occupancy at large
+///   work-groups (fewer resident groups per compute unit);
+/// * divergence — entropic branches serialize more lanes in wider
+///   groups;
+/// * latency hiding — memory-bound kernels want *more* resident warps,
+///   so they benefit from larger groups.
+fn wg_kernel_factor(wg: u32, ops_per_unit: f64, branch_entropy: f64, streaming_frac: f64) -> f64 {
+    let w = wg as f64;
+    let reg_pressure = 1.0 / (1.0 + (w / 256.0) * (ops_per_unit / 12.0));
+    let divergence = 1.0 - 0.8 * branch_entropy * (w / 512.0).sqrt();
+    let latency_hiding = 0.6 + 0.4 * (w / 256.0).min(1.0) * streaming_frac.max(0.25);
+    reg_pressure * divergence * latency_hiding
+}
+
+/// Execute one (kernel, transfer, wg) point on the CPU and GPU models.
+pub fn run_mapping(
+    spec: &KernelSpec,
+    transfer_bytes: f64,
+    wg_size: u32,
+    cpu: &CpuSpec,
+    gpu: &GpuSpec,
+) -> MappingSample {
+    let tr = &spec.traits;
+    let mix = &spec.mix;
+
+    // --- CPU side: the OpenMP model at all hardware threads. OpenCL CPU
+    // runtimes keep a warm worker pool, so the fork cost is a fraction of
+    // a cold OpenMP team launch.
+    let mut cpu_warm = cpu.clone();
+    cpu_warm.fork_join_us *= 0.15;
+    let cfg = OmpConfig {
+        threads: cpu_warm.hw_threads(),
+        schedule: Schedule::Static,
+        chunk: 0,
+    };
+    let cpu_time = simulate_traits(tr, mix, &spec.name, transfer_bytes, &cfg, &cpu_warm).runtime;
+
+    // --- GPU side. ---
+    let n = tr.n_for_working_set(transfer_bytes);
+    let iters = tr.trip.eval(n).max(1.0);
+    let inner = tr.inner.eval(n).max(1.0);
+    let work_units = iters * inner;
+
+    let ops_per_unit = mix.flops
+        + mix.int_ops * 0.5
+        + mix.heavy_math * 6.0
+        + mix.branches * 0.8
+        + mix.mem_ops() * 0.5;
+
+    // Divergence: entropic branches serialize SIMT lanes.
+    let divergence = 1.0 - 0.65 * tr.branch_entropy;
+    // Coverage: small problems underfill thousands of lanes.
+    let coverage = (iters / 4096.0).clamp(0.02, 1.0);
+    // Serial fraction hurts the GPU much more than the CPU.
+    let serial_pen = 1.0 - tr.serial_frac * 0.9;
+    let eff = wg_efficiency(gpu, wg_size)
+        * wg_kernel_factor(
+            wg_size,
+            ops_per_unit,
+            tr.branch_entropy,
+            tr.locality.streaming_frac,
+        )
+        * divergence
+        * coverage.powf(0.35)
+        * serial_pen;
+
+    let t_compute = work_units * ops_per_unit / (gpu.gops * 1e9 * eff);
+    let traffic = work_units * tr.bytes_per_iter;
+    let t_mem = traffic / (gpu.mem_bw_gbs * 1e9);
+    // Dynamic function calls with inner loops (makea-like): the per-call
+    // overhead grows with the total call volume (call-stack spills and
+    // scheduler pressure accumulate at scale), so call-heavy kernels win
+    // on the GPU at small inputs but flip to the CPU at large ones —
+    // exactly the paper's CG/makea observation.
+    let calls_total = work_units * mix.calls;
+    let t_calls = calls_total * gpu.call_cost_scale * 0.5e-9 * (1.0 + calls_total / 2e7);
+    let t_transfer = 1.5 * transfer_bytes / (gpu.pcie_gbs * 1e9) + gpu.launch_us * 1e-6;
+
+    let noise = hash_noise(
+        &[
+            name_hash(&spec.name),
+            name_hash(&gpu.name),
+            transfer_bytes.to_bits(),
+            wg_size as u64,
+        ],
+        0.03,
+    );
+    let gpu_time = (t_compute.max(t_mem) + t_calls + t_transfer) * noise;
+
+    MappingSample { cpu_time, gpu_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::opencl_catalog;
+
+    fn kernel(app: &str) -> KernelSpec {
+        opencl_catalog()
+            .into_iter()
+            .find(|s| s.app == app)
+            .unwrap_or_else(|| panic!("missing {app}"))
+    }
+
+    #[test]
+    fn big_dense_compute_maps_to_gpu() {
+        let gemm = opencl_catalog()
+            .into_iter()
+            .find(|s| s.app == "MatrixMultiplication")
+            .unwrap();
+        let s = run_mapping(
+            &gemm,
+            128.0 * 1024.0 * 1024.0,
+            256,
+            &CpuSpec::i7_3820(),
+            &GpuSpec::tahiti_7970(),
+        );
+        assert!(s.gpu_wins(), "large GEMM must map to GPU: {s:?}");
+    }
+
+    #[test]
+    fn tiny_transfer_maps_to_cpu() {
+        let vadd = kernel("VectorAdd");
+        let s = run_mapping(
+            &vadd,
+            8.0 * 1024.0,
+            128,
+            &CpuSpec::i7_3820(),
+            &GpuSpec::gtx_970(),
+        );
+        assert!(!s.gpu_wins(), "tiny VectorAdd must stay on CPU: {s:?}");
+    }
+
+    #[test]
+    fn makea_like_kernel_flips_device_with_input_size() {
+        // The paper's CG/makea case: function calls inside the parallel
+        // loop. Small input → GPU wins; large input → calls dominate →
+        // CPU wins.
+        let nb = kernel("cutcp"); // nbody archetype: calls in the loop
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::tahiti_7970();
+        let small = run_mapping(&nb, 256.0 * 1024.0, 256, &cpu, &gpu);
+        let large = run_mapping(&nb, 512.0 * 1024.0 * 1024.0, 256, &cpu, &gpu);
+        assert!(
+            small.gpu_wins(),
+            "small call-heavy kernel should still win on GPU: {small:?}"
+        );
+        assert!(
+            !large.gpu_wins(),
+            "large call-heavy kernel should flip to CPU: {large:?}"
+        );
+    }
+
+    #[test]
+    fn wg_efficiency_peaks_at_preferred() {
+        let gpu = GpuSpec::tahiti_7970();
+        let at_pref = wg_efficiency(&gpu, 256);
+        let off = wg_efficiency(&gpu, 64);
+        assert!(at_pref > off);
+        assert_eq!(at_pref, 1.0);
+    }
+
+    #[test]
+    fn best_work_group_size_varies_by_kernel_character() {
+        // Register-heavy divergent kernels prefer smaller groups than
+        // streaming kernels — the premise of work-group tuning.
+        let sizes = [32u32, 64, 128, 256, 512];
+        let best = |ops: f64, entropy: f64, streaming: f64| {
+            sizes
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    wg_kernel_factor(a, ops, entropy, streaming)
+                        .partial_cmp(&wg_kernel_factor(b, ops, entropy, streaming))
+                        .unwrap()
+                })
+                .unwrap()
+        };
+        let heavy = best(80.0, 0.7, 0.1);
+        let light_streaming = best(5.0, 0.02, 1.0);
+        assert!(
+            heavy < light_streaming,
+            "heavy/divergent kernel should prefer smaller groups: {heavy} vs {light_streaming}"
+        );
+    }
+
+    #[test]
+    fn wg_oracle_is_not_constant_across_kernels() {
+        // Across the catalog, the best work-group size must not collapse
+        // to a single value (otherwise there is nothing to tune).
+        let cat = opencl_catalog();
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::tahiti_7970();
+        let sizes = [32u32, 64, 128, 256, 512];
+        let mut winners = std::collections::HashSet::new();
+        for spec in cat.iter().step_by(5) {
+            let best = sizes
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let ta = run_mapping(spec, 8e6, a, &cpu, &gpu).gpu_time;
+                    let tb = run_mapping(spec, 8e6, b, &cpu, &gpu).gpu_time;
+                    ta.partial_cmp(&tb).unwrap()
+                })
+                .unwrap();
+            winners.insert(best);
+        }
+        assert!(
+            winners.len() >= 3,
+            "work-group oracle degenerate: {winners:?}"
+        );
+    }
+
+    #[test]
+    fn dataset_has_both_labels_in_reasonable_balance() {
+        let cat = opencl_catalog();
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::gtx_970();
+        let mut gpu_wins = 0;
+        let mut total = 0;
+        for spec in &cat {
+            for p in mga_kernels::inputs::opencl_points(name_hash(&spec.name)) {
+                let s = run_mapping(spec, p.transfer_bytes, p.wg_size, &cpu, &gpu);
+                total += 1;
+                if s.gpu_wins() {
+                    gpu_wins += 1;
+                }
+            }
+        }
+        let frac = gpu_wins as f64 / total as f64;
+        assert!(
+            (0.25..=0.75).contains(&frac),
+            "degenerate label balance: {frac} GPU over {total} points"
+        );
+    }
+
+    #[test]
+    fn labels_are_deterministic() {
+        let k = kernel("FFT");
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::tahiti_7970();
+        let a = run_mapping(&k, 1e6, 128, &cpu, &gpu);
+        let b = run_mapping(&k, 1e6, 128, &cpu, &gpu);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn divergent_kernels_lose_gpu_ground() {
+        // Same transfer: a branchy kernel's GPU advantage must be smaller
+        // than a dense kernel's.
+        let dense = opencl_catalog()
+            .into_iter()
+            .find(|s| s.app == "gemm")
+            .unwrap();
+        let branchy = opencl_catalog()
+            .into_iter()
+            .find(|s| s.app == "FloydWarshall")
+            .unwrap();
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::tahiti_7970();
+        let ws = 32.0 * 1024.0 * 1024.0;
+        let d = run_mapping(&dense, ws, 256, &cpu, &gpu);
+        let b = run_mapping(&branchy, ws, 256, &cpu, &gpu);
+        let d_adv = d.cpu_time / d.gpu_time;
+        let b_adv = b.cpu_time / b.gpu_time;
+        assert!(
+            d_adv > b_adv,
+            "dense advantage {d_adv} should exceed branchy {b_adv}"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! `mga-sim` — analytical hardware models and a PAPI-like profiler.
+//!
+//! The paper's data comes from real machines: OpenMP loops profiled with
+//! PAPI on Intel Comet Lake / Skylake-SP (and replayed on Broadwell /
+//! Sandy Bridge), and OpenCL kernels measured on an AMD Tahiti 7970, an
+//! NVIDIA GTX 970 and an Intel i7-3820. None of that hardware is
+//! available here, so this crate provides the closest synthetic
+//! equivalent that exercises the same code paths:
+//!
+//! * [`cpu`] — µ-architecture descriptions (cores, SMT, three cache
+//!   levels, memory bandwidth/latency, branch predictor, OpenMP runtime
+//!   costs) for the five CPUs the paper uses;
+//! * [`openmp`] — an analytical execution model for an OpenMP parallel
+//!   loop under a configuration (threads × schedule × chunk): compute
+//!   vs. bandwidth bounds, cache-capacity effects, SMT and
+//!   oversubscription, static/dynamic/guided scheduling overheads and
+//!   imbalance, false sharing, atomics/reduction costs, Amdahl's law;
+//! * [`counters`] — the five PAPI counters the paper selects (L1/L2
+//!   cache misses, L3 load misses, retired branches, mispredicted
+//!   branches) plus reference cycles, derived from the same model;
+//! * [`gpu`] — OpenCL device models (PCIe transfer, occupancy,
+//!   divergence, call overhead) that label kernel×size points CPU or
+//!   GPU, reproducing the decision structure of the Ben-Nun et al.
+//!   dataset, including the paper's `makea` edge case (small input →
+//!   GPU, large input → CPU when inner function calls dominate).
+//!
+//! [`papi`] adds the §4.1.1 counter-space reduction: an extended
+//! 16-counter preset and the Pearson-correlation selection that keeps
+//! the five counters the models consume.
+//!
+//! All randomness is a deterministic ±3 % hash noise so experiments are
+//! reproducible run-to-run.
+
+pub mod counters;
+pub mod cpu;
+pub mod gpu;
+pub mod openmp;
+pub mod papi;
+
+pub use counters::Counters;
+pub use cpu::{CpuSpec, MicroArch};
+pub use openmp::{OmpConfig, Schedule};
+
+/// Deterministic multiplicative noise in `[1-amp, 1+amp]`, keyed by an
+/// arbitrary set of seeds. Replaces run-to-run measurement variance.
+pub fn hash_noise(seeds: &[u64], amp: f64) -> f64 {
+    let mut h: u64 = 0x517cc1b727220a95;
+    for &s in seeds {
+        h ^= s;
+        h = h.wrapping_mul(0x2545F4914F6CDD1D);
+        h ^= h >> 29;
+    }
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + amp * (2.0 * unit - 1.0)
+}
+
+/// Stable 64-bit hash of a string (FNV-1a), used to key noise by kernel
+/// name.
+pub fn name_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_and_bounded() {
+        for i in 0..200u64 {
+            let a = hash_noise(&[i, 7], 0.03);
+            let b = hash_noise(&[i, 7], 0.03);
+            assert_eq!(a, b);
+            assert!((0.97..=1.03).contains(&a), "{a} out of band");
+        }
+    }
+
+    #[test]
+    fn noise_varies_with_seeds() {
+        let vals: std::collections::HashSet<u64> = (0..100u64)
+            .map(|i| hash_noise(&[i], 0.03).to_bits())
+            .collect();
+        assert!(vals.len() > 90, "noise nearly constant");
+    }
+
+    #[test]
+    fn name_hash_distinguishes_names() {
+        assert_ne!(name_hash("kmeans"), name_hash("gemm"));
+        assert_eq!(name_hash("gemm"), name_hash("gemm"));
+    }
+}

@@ -1,0 +1,634 @@
+//! Analytical execution model for OpenMP parallel loops.
+//!
+//! Given a kernel's [`Traits`]/[`InstrMix`] (from `mga-kernels`), a target
+//! [`CpuSpec`] and an [`OmpConfig`], [`simulate`] produces the runtime
+//! and the PAPI counter sample a real profiled run would give. The model
+//! captures the first-order effects that make OpenMP tuning nontrivial:
+//!
+//! * **compute vs. bandwidth bound** — per-iteration cycles from the IR
+//!   instruction mix vs. streaming traffic over shared DRAM bandwidth
+//!   that saturates around 4 threads, so bandwidth-bound loops prefer
+//!   few threads while compute-bound loops scale to all cores;
+//! * **cache capacity** — per-thread resident working sets spill from
+//!   L1→L2→L3→DRAM as inputs grow (the paper's 3.5 KB–0.5 GB ladder is
+//!   chosen to stress exactly this); more threads shrink per-thread
+//!   partitions but contend for shared L3;
+//! * **SMT and oversubscription** — hyper-threads add ~35 % per extra
+//!   thread, oversubscribed threads add context-switch penalty;
+//! * **scheduling** — static contiguous blocks suffer the full skew of
+//!   triangular/random imbalance; `dynamic,k`/`guided,k` rebalance at a
+//!   per-chunk dispatch cost; tiny chunks of store-heavy loops add
+//!   false sharing;
+//! * **synchronization** — atomics serialize under contention;
+//!   reductions pay a log₂(t) combine at the join; every region pays
+//!   fork/join;
+//! * **Amdahl** — the serial fraction runs at one thread regardless.
+
+use crate::counters::Counters;
+use crate::cpu::CpuSpec;
+use crate::{hash_noise, name_hash};
+use mga_kernels::spec::{Imbalance, InstrMix, KernelSpec, Traits};
+use serde::{Deserialize, Serialize};
+
+/// OpenMP scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    Static,
+    Dynamic,
+    Guided,
+}
+
+impl Schedule {
+    pub const ALL: [Schedule; 3] = [Schedule::Static, Schedule::Dynamic, Schedule::Guided];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Static => "static",
+            Schedule::Dynamic => "dynamic",
+            Schedule::Guided => "guided",
+        }
+    }
+}
+
+/// One OpenMP runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OmpConfig {
+    pub threads: u32,
+    pub schedule: Schedule,
+    /// Chunk size; 0 means the implementation default (`iters/threads`
+    /// for static, 1 for dynamic, `iters/(2t)` initial for guided).
+    pub chunk: u32,
+}
+
+impl OmpConfig {
+    /// The paper's default configuration: all hardware threads, static
+    /// scheduling, compiler-calculated chunk.
+    pub fn default_for(cpu: &CpuSpec) -> OmpConfig {
+        OmpConfig {
+            threads: cpu.hw_threads(),
+            schedule: Schedule::Static,
+            chunk: 0,
+        }
+    }
+}
+
+/// Result of one simulated profiled execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Wall-clock seconds.
+    pub runtime: f64,
+    pub counters: Counters,
+}
+
+/// Cycle costs of the abstract machine (per µ-op class).
+const CYC_FLOP: f64 = 1.2;
+const CYC_HEAVY: f64 = 10.0;
+const CYC_INT: f64 = 0.6;
+const CYC_BRANCH: f64 = 0.8;
+const CYC_CALL: f64 = 9.0;
+const CYC_MISPREDICT: f64 = 16.0;
+/// Latencies (ns-equivalents converted through frequency at use site).
+const LAT_L1_CYC: f64 = 4.0;
+const LAT_L2_CYC: f64 = 13.0;
+const LAT_L3_CYC: f64 = 42.0;
+/// Memory-level parallelism divisor for latency-bound access chains.
+const MLP: f64 = 4.0;
+/// Atomic RMW base cost in ns.
+const ATOMIC_NS: f64 = 18.0;
+
+/// How much of a `resident`-byte working set fits in a `cap`-byte cache
+/// (smooth, in [0,1]).
+fn fit_fraction(resident: f64, cap: f64) -> f64 {
+    if resident <= 0.0 {
+        return 1.0;
+    }
+    let r = resident / cap;
+    1.0 / (1.0 + r * r)
+}
+
+/// Effective DRAM bandwidth share at `t` active threads: single-core
+/// streams can't saturate the controller; ~4 cores can; beyond that,
+/// contention slowly degrades it.
+fn effective_bw(cpu: &CpuSpec, t: f64) -> f64 {
+    let ramp = (0.30 + 0.70 * (t / 4.0)).min(1.0);
+    // Past saturation, extra threads add queueing at the memory
+    // controller — this is what makes bandwidth-bound loops prefer ~4
+    // threads (Fig. 1a's kmeans shape).
+    let contention = 1.0 + 0.28 * (t - 4.0).max(0.0);
+    cpu.mem_bw_gbs * 1e9 * ramp / contention
+}
+
+/// Parallel speedup ceiling at `t` software threads on `cpu`: physical
+/// cores count 1, SMT siblings 0.35, oversubscribed threads slightly
+/// negative (context switching).
+fn effective_parallelism(cpu: &CpuSpec, t: f64) -> f64 {
+    let cores = cpu.cores as f64;
+    let hw = cpu.hw_threads() as f64;
+    if t <= cores {
+        t
+    } else if t <= hw {
+        // SMT siblings contend for ports and cache: a modest 12 % gain
+        // per extra hyper-thread (FP-heavy HPC loops rarely see more).
+        cores + 0.12 * (t - cores)
+    } else {
+        let base = cores + 0.12 * (hw - cores);
+        base / (1.0 + 0.06 * (t - hw))
+    }
+}
+
+/// Load-imbalance multiplier: ratio of slowest-thread work to mean work.
+fn imbalance_factor(
+    imb: Imbalance,
+    sched: Schedule,
+    t: f64,
+    iters: f64,
+    chunk: f64,
+) -> f64 {
+    if t <= 1.0 {
+        return 1.0;
+    }
+    match imb {
+        Imbalance::Uniform => 1.0 + (t - 1.0) / iters.max(t),
+        Imbalance::Triangular => match sched {
+            Schedule::Static => {
+                if chunk * t >= iters {
+                    // Contiguous blocks of a linearly growing cost: the
+                    // last block does ~2x the mean.
+                    2.0 * t / (t + 1.0)
+                } else {
+                    // Cyclic-ish static,k: balanced up to chunk granularity.
+                    1.0 + (chunk * t / iters).min(1.0) * 0.8
+                }
+            }
+            Schedule::Dynamic => 1.0 + (chunk * t / iters).min(1.0) * 0.5 + 0.03,
+            Schedule::Guided => 1.08,
+        },
+        Imbalance::Random(cv) => {
+            let chunks_per_thread = (iters / (chunk * t)).max(1.0);
+            match sched {
+                Schedule::Static => 1.0 + cv * (1.0 / chunks_per_thread.sqrt()).min(1.0),
+                Schedule::Dynamic => 1.0 + cv * 0.08,
+                Schedule::Guided => 1.0 + cv * 0.15,
+            }
+        }
+    }
+}
+
+/// Number of scheduler dispatches the runtime performs.
+fn dispatch_count(sched: Schedule, iters: f64, t: f64, chunk: f64) -> f64 {
+    match sched {
+        Schedule::Static => t,
+        Schedule::Dynamic => (iters / chunk).max(t),
+        Schedule::Guided => {
+            // Exponentially shrinking chunks from iters/(2t) down to chunk.
+            let start = (iters / (2.0 * t)).max(chunk);
+            t * ((start / chunk).log2().max(0.0) + 1.0)
+        }
+    }
+}
+
+/// Resolve a config's chunk default.
+fn resolved_chunk(cfg: &OmpConfig, iters: f64) -> f64 {
+    if cfg.chunk > 0 {
+        cfg.chunk as f64
+    } else {
+        match cfg.schedule {
+            Schedule::Static => (iters / cfg.threads as f64).max(1.0),
+            Schedule::Dynamic => 1.0,
+            Schedule::Guided => 1.0,
+        }
+    }
+}
+
+/// Simulate one profiled execution of `spec` with working-set target
+/// `ws_bytes` under `cfg` on `cpu`.
+pub fn simulate(spec: &KernelSpec, ws_bytes: f64, cfg: &OmpConfig, cpu: &CpuSpec) -> RunResult {
+    simulate_traits(
+        &spec.traits,
+        &spec.mix,
+        &spec.name,
+        ws_bytes,
+        cfg,
+        cpu,
+    )
+}
+
+/// Trait-level entry point (used by the GPU model's CPU side too).
+pub fn simulate_traits(
+    tr: &Traits,
+    mix: &InstrMix,
+    name: &str,
+    ws_bytes: f64,
+    cfg: &OmpConfig,
+    cpu: &CpuSpec,
+) -> RunResult {
+    let t = cfg.threads.max(1) as f64;
+    let n = tr.n_for_working_set(ws_bytes);
+    let iters = tr.trip.eval(n).max(1.0);
+    let inner = tr.inner.eval(n).max(1.0);
+    let work_units = iters * inner;
+    let chunk = resolved_chunk(cfg, iters);
+
+    // ---- per-work-unit compute cycles -----------------------------------
+    let mispredict_rate =
+        (tr.branch_entropy * (1.0 - cpu.bp_quality) * 6.0 + 0.004).min(0.5 * tr.branch_entropy + 0.004);
+    let cyc_compute = mix.flops * CYC_FLOP
+        + mix.heavy_math * CYC_HEAVY
+        + mix.int_ops * CYC_INT
+        + mix.branches * (CYC_BRANCH + mispredict_rate * CYC_MISPREDICT)
+        + mix.calls * CYC_CALL;
+
+    // ---- cache / memory model -------------------------------------------
+    let ws = tr.working_set(n);
+    let resident = ws * (1.0 - tr.locality.streaming_frac);
+    let per_thread = resident * ((1.0 - tr.locality.shared_frac) / t + tr.locality.shared_frac);
+    // Hyper-threads share their core's private caches: running more
+    // software threads than cores halves the effective L1/L2 per thread
+    // (this is why the paper's 2mm prefers 16 threads over the 20-thread
+    // default on the 10c/20t Skylake).
+    let threads_per_core = (t / cpu.cores as f64).max(1.0);
+    let fit1 = fit_fraction(per_thread, cpu.l1_kb * 1024.0 / threads_per_core);
+    let fit2 = fit_fraction(per_thread, cpu.l2_kb * 1024.0 / threads_per_core);
+    // All threads share L3.
+    let l3_resident = resident * (1.0 - tr.locality.shared_frac) + resident * tr.locality.shared_frac;
+    let fit3 = fit_fraction(l3_resident, cpu.l3_mb * 1024.0 * 1024.0);
+
+    let cached_accesses = mix.mem_ops() * (1.0 - tr.locality.streaming_frac);
+    let avg_lat_cyc = LAT_L1_CYC
+        + (1.0 - fit1) * (LAT_L2_CYC - LAT_L1_CYC)
+        + (1.0 - fit2) * (LAT_L3_CYC - LAT_L2_CYC).max(0.0) * (1.0 - fit1).max(0.1)
+        + (1.0 - fit3) * (cpu.mem_lat_ns * cpu.freq_ghz - LAT_L3_CYC).max(0.0);
+    // Shared-L3 conflict pressure: concurrent threads thrash each
+    // other's lines once the resident set spills the LLC.
+    let l3_thrash = 1.0 + 0.04 * (t - 1.0) * (1.0 - fit3);
+    let cyc_mem_latency = cached_accesses * avg_lat_cyc * l3_thrash / MLP;
+
+    let cyc_per_unit = cyc_compute + cyc_mem_latency;
+
+    // ---- serial (1-thread) time ------------------------------------------
+    let freq = cpu.freq_ghz * 1e9;
+    let t1_compute = work_units * cyc_per_unit / freq;
+    let streaming_bytes = work_units * tr.bytes_per_iter * tr.locality.streaming_frac;
+    let t1_stream = streaming_bytes / effective_bw(cpu, 1.0);
+    let t1 = t1_compute.max(t1_stream) + t1_compute.min(t1_stream) * 0.3;
+
+    // ---- parallel portion --------------------------------------------------
+    let par = effective_parallelism(cpu, t);
+    let imb = imbalance_factor(tr.imbalance, cfg.schedule, t, iters, chunk);
+    let tp_compute = work_units * cyc_per_unit / freq / par * imb;
+    let tp_stream = streaming_bytes / effective_bw(cpu, t.min(cpu.cores as f64));
+    let mut tp = tp_compute.max(tp_stream) + tp_compute.min(tp_stream) * 0.3;
+
+    // False sharing: fine-grained chunks of store-writing loops thrash
+    // cache lines between cores.
+    let mut false_share = 1.0;
+    if mix.stores > 0.0 && t > 1.0 {
+        let chunk_bytes = chunk * inner * tr.bytes_per_iter;
+        if chunk_bytes < 256.0 {
+            let severity = (256.0 - chunk_bytes) / 256.0;
+            false_share = 1.0 + 0.5 * severity * (mix.stores / mix.mem_ops().max(1.0));
+            tp *= false_share;
+        }
+    }
+
+    // Fine-grained chunks forfeit spatial locality/prefetch across
+    // block boundaries.
+    let mut chunk_locality = 1.0;
+    if t > 1.0 && chunk < 16.0 && cfg.schedule != Schedule::Static {
+        chunk_locality = 1.0 + 0.12 / chunk.max(1.0);
+        tp *= chunk_locality;
+    }
+
+    // Wavefront synchronization between dependent iterations.
+    let t_sync = if t > 1.0 {
+        iters * tr.sync_us_per_iter * 1e-6 * (1.0 + 0.45 * t)
+    } else {
+        0.0
+    };
+
+    // Scheduling dispatch overhead (serialized on the work queue).
+    let dispatches = dispatch_count(cfg.schedule, iters, t, chunk);
+    let t_dispatch = dispatches * cpu.dispatch_ns * 1e-9;
+
+    // Atomics: contended RMWs serialize on the cache line. OpenMP
+    // reductions privatize their accumulator, so the per-iteration
+    // combiner is free there and only the join combine (below) is paid.
+    let t_atomic = if mix.atomics > 0.0 && !tr.reduction {
+        work_units * mix.atomics * ATOMIC_NS * 1e-9 * (1.0 + 0.30 * (t - 1.0).max(0.0))
+    } else {
+        0.0
+    };
+
+    // Reduction combine + fork/join.
+    let t_reduce = if tr.reduction {
+        (t.log2().max(0.0) + 1.0) * 2e-6
+    } else {
+        0.0
+    };
+    // Thread wake-up costs grow with team size; at the 3.5 KB end of the
+    // input ladder this is what makes the 8-thread default lose badly to
+    // 1-2 threads (a large share of the paper's oracle gains).
+    let t_fork = cpu.fork_join_us * 1e-6 * (1.0 + 0.3 * (t - 1.0));
+
+    // Amdahl composition.
+    let runtime_raw = tr.serial_frac * t1
+        + (1.0 - tr.serial_frac) * tp
+        + t_sync
+        + t_dispatch
+        + t_atomic
+        + t_reduce
+        + t_fork;
+    let noise = hash_noise(
+        &[
+            name_hash(name),
+            ws_bytes.to_bits(),
+            cfg.threads as u64,
+            cfg.schedule as u64,
+            cfg.chunk as u64,
+            name_hash(&cpu.name),
+        ],
+        0.03,
+    );
+    let runtime = runtime_raw * noise;
+
+    // ---- counters -----------------------------------------------------------
+    // Counters reflect the same configuration-dependent effects the
+    // runtime does: SMT cache splitting (through fit1/fit2), shared-L3
+    // thrash, fine-chunk locality loss, and false-sharing traffic — so a
+    // better configuration visibly lowers the miss counters (Fig. 8).
+    let total_accesses = work_units * mix.mem_ops();
+    let streaming_accesses = total_accesses * tr.locality.streaming_frac;
+    let cached = total_accesses - streaming_accesses;
+    let l1_dcm = (cached * (1.0 - fit1) + streaming_accesses) * chunk_locality * false_share;
+    let l2_tcm =
+        (cached * (1.0 - fit1) * (1.0 - fit2) + streaming_accesses) * chunk_locality * false_share;
+    let load_frac = mix.loads / mix.mem_ops().max(1.0);
+    let l3_ldm = (cached * (1.0 - fit1) * (1.0 - fit2) * (1.0 - fit3) + streaming_accesses)
+        * load_frac
+        * (0.6 + 0.4 * l3_thrash);
+    let br_ins = work_units * (mix.branches + 1.0);
+    let br_msp = br_ins * mispredict_rate;
+    // Measurement noise per counter; the cache hierarchy stays physical
+    // (L2 misses cannot exceed L1 misses, L3 load misses cannot exceed
+    // L2 misses) even after noising.
+    let l1_n = l1_dcm * hash_noise(&[name_hash(name), 1, ws_bytes.to_bits()], 0.12);
+    let l2_n = (l2_tcm * hash_noise(&[name_hash(name), 2, ws_bytes.to_bits()], 0.12)).min(l1_n);
+    let l3_n = (l3_ldm * hash_noise(&[name_hash(name), 3, ws_bytes.to_bits()], 0.12)).min(l2_n);
+    let counters = Counters {
+        l1_dcm: l1_n,
+        l2_tcm: l2_n,
+        l3_ldm: l3_n,
+        br_ins: br_ins * hash_noise(&[name_hash(name), 4, ws_bytes.to_bits()], 0.05),
+        br_msp: br_msp * hash_noise(&[name_hash(name), 5, ws_bytes.to_bits()], 0.10),
+        ref_cyc: runtime * freq,
+    };
+
+    RunResult { runtime, counters }
+}
+
+/// Exhaustively find the best configuration in a search space.
+pub fn oracle_config<'a>(
+    spec: &KernelSpec,
+    ws_bytes: f64,
+    space: impl IntoIterator<Item = &'a OmpConfig>,
+    cpu: &CpuSpec,
+) -> (OmpConfig, f64) {
+    let mut best: Option<(OmpConfig, f64)> = None;
+    for cfg in space {
+        let r = simulate(spec, ws_bytes, cfg, cpu);
+        if best.as_ref().is_none_or(|(_, t)| r.runtime < *t) {
+            best = Some((*cfg, r.runtime));
+        }
+    }
+    best.expect("empty search space")
+}
+
+/// The §4.1.3 thread-only search space on an `n`-thread machine:
+/// {1, 2, …, hw_threads} with static scheduling.
+pub fn thread_space(cpu: &CpuSpec) -> Vec<OmpConfig> {
+    (1..=cpu.hw_threads())
+        .map(|t| OmpConfig {
+            threads: t,
+            schedule: Schedule::Static,
+            chunk: 0,
+        })
+        .collect()
+}
+
+/// The §4.1.4 large search space (Table 2): threads {1,2,4,8,12,16,20} ×
+/// {static, dynamic, guided} × chunks {1,8,32,64,128,256,512}.
+pub fn large_space() -> Vec<OmpConfig> {
+    let mut v = Vec::new();
+    for &t in &[1u32, 2, 4, 8, 12, 16, 20] {
+        for s in Schedule::ALL {
+            for &c in &[1u32, 8, 32, 64, 128, 256, 512] {
+                v.push(OmpConfig {
+                    threads: t,
+                    schedule: s,
+                    chunk: c,
+                });
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::openmp_catalog;
+
+    fn find(app: &str) -> KernelSpec {
+        openmp_catalog()
+            .into_iter()
+            .find(|s| s.app == app && s.name.ends_with("/l0"))
+            .unwrap_or_else(|| panic!("missing {app}"))
+    }
+
+    fn best_threads(spec: &KernelSpec, ws: f64, cpu: &CpuSpec) -> u32 {
+        let space = thread_space(cpu);
+        let (cfg, _) = oracle_config(spec, ws, &space, cpu);
+        cfg.threads
+    }
+
+    #[test]
+    fn large_space_matches_table2() {
+        assert_eq!(large_space().len(), 7 * 3 * 7);
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_to_all_cores() {
+        let gemm = find("gemm");
+        let cpu = CpuSpec::comet_lake();
+        let bt = best_threads(&gemm, 64.0 * 1024.0 * 1024.0, &cpu);
+        assert!(bt >= 6, "gemm best threads {bt}, expected near 8");
+        // And more threads genuinely help vs 1.
+        let space = thread_space(&cpu);
+        let t1 = simulate(&gemm, 64.0 * 1024.0 * 1024.0, &space[0], &cpu).runtime;
+        let t8 = simulate(&gemm, 64.0 * 1024.0 * 1024.0, &space[7], &cpu).runtime;
+        assert!(t1 / t8 > 3.0, "gemm parallel speedup only {}", t1 / t8);
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_prefers_fewer_threads() {
+        let stream = openmp_catalog()
+            .into_iter()
+            .find(|s| s.app == "stream" && s.name.ends_with("/l3"))
+            .unwrap();
+        let cpu = CpuSpec::comet_lake();
+        // Large input: firmly bandwidth bound.
+        let bt = best_threads(&stream, 256.0 * 1024.0 * 1024.0, &cpu);
+        assert!(bt < 8, "stream triad best threads {bt}, expected < 8");
+        assert!(bt >= 2, "stream triad best threads {bt}, expected ≥ 2");
+    }
+
+    #[test]
+    fn serial_heavy_trisolv_prefers_one_or_two_threads() {
+        let trisolv = find("trisolv");
+        let cpu = CpuSpec::comet_lake();
+        let bt = best_threads(&trisolv, 8.0 * 1024.0 * 1024.0, &cpu);
+        assert!(bt <= 2, "trisolv best threads {bt}, expected ≤ 2");
+    }
+
+    #[test]
+    fn triangular_kernels_prefer_dynamic_or_guided() {
+        let lu = find("lu");
+        let cpu = CpuSpec::skylake_4114();
+        let ws = 32.0 * 1024.0 * 1024.0;
+        let static_cfg = OmpConfig {
+            threads: 16,
+            schedule: Schedule::Static,
+            chunk: 0,
+        };
+        let dyn_cfg = OmpConfig {
+            threads: 16,
+            schedule: Schedule::Dynamic,
+            chunk: 32,
+        };
+        let ts = simulate(&lu, ws, &static_cfg, &cpu).runtime;
+        let td = simulate(&lu, ws, &dyn_cfg, &cpu).runtime;
+        assert!(
+            td < ts,
+            "dynamic ({td:.6}) should beat static ({ts:.6}) on triangular lu"
+        );
+    }
+
+    #[test]
+    fn tiny_dynamic_chunks_cost_more_than_moderate() {
+        let gemm = find("gemm");
+        let cpu = CpuSpec::skylake_4114();
+        let ws = 8.0 * 1024.0 * 1024.0;
+        let tiny = OmpConfig {
+            threads: 20,
+            schedule: Schedule::Dynamic,
+            chunk: 1,
+        };
+        let moderate = OmpConfig {
+            threads: 20,
+            schedule: Schedule::Dynamic,
+            chunk: 64,
+        };
+        let tt = simulate(&gemm, ws, &tiny, &cpu).runtime;
+        let tm = simulate(&gemm, ws, &moderate, &cpu).runtime;
+        assert!(tt > tm, "chunk=1 ({tt}) should cost more than chunk=64 ({tm})");
+    }
+
+    #[test]
+    fn counters_grow_with_input_size() {
+        let jacobi = find("jacobi-2d");
+        let cpu = CpuSpec::comet_lake();
+        let cfg = OmpConfig::default_for(&cpu);
+        let small = simulate(&jacobi, 64.0 * 1024.0, &cfg, &cpu).counters;
+        let large = simulate(&jacobi, 128.0 * 1024.0 * 1024.0, &cfg, &cpu).counters;
+        assert!(large.l1_dcm > small.l1_dcm * 10.0);
+        assert!(large.l3_ldm > small.l3_ldm);
+        assert!(large.br_ins > small.br_ins);
+    }
+
+    #[test]
+    fn small_inputs_fit_in_cache() {
+        let jacobi = find("jacobi-2d");
+        let cpu = CpuSpec::comet_lake();
+        let cfg = OmpConfig {
+            threads: 1,
+            schedule: Schedule::Static,
+            chunk: 0,
+        };
+        let tiny = simulate(&jacobi, 16.0 * 1024.0, &cfg, &cpu).counters;
+        // Almost everything should hit: few L3 load misses relative to
+        // branch count (a proxy for iteration count).
+        assert!(
+            tiny.l3_ldm < tiny.br_ins * 0.2,
+            "tiny input misses too much: {} vs {}",
+            tiny.l3_ldm,
+            tiny.br_ins
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let k = find("hotspot");
+        let cpu = CpuSpec::comet_lake();
+        let cfg = OmpConfig::default_for(&cpu);
+        let a = simulate(&k, 1e6, &cfg, &cpu);
+        let b = simulate(&k, 1e6, &cfg, &cpu);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn runtime_positive_and_finite_across_space() {
+        let specs = openmp_catalog();
+        let cpu = CpuSpec::skylake_4114();
+        for spec in specs.iter().take(10) {
+            for cfg in large_space().iter().step_by(13) {
+                let r = simulate(spec, 4.0 * 1024.0 * 1024.0, cfg, &cpu);
+                assert!(r.runtime.is_finite() && r.runtime > 0.0, "{}", spec.name);
+                assert!(r.counters.l1_dcm >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_needs_tuning_for_majority_of_cases() {
+        // Fig. 1b: ~64% of (loop, input) combinations have a non-default
+        // best thread count. Our simulated dataset must be in that
+        // regime (half-ish, not all-default).
+        let specs = mga_kernels::catalog::openmp_thread_dataset();
+        let sizes = mga_kernels::inputs::openmp_input_sizes();
+        let cpu = CpuSpec::comet_lake();
+        let space = thread_space(&cpu);
+        let mut total = 0;
+        let mut nondefault = 0;
+        for spec in specs.iter().step_by(3) {
+            for &ws in sizes.iter().step_by(5) {
+                let (best, _) = oracle_config(spec, ws, &space, &cpu);
+                total += 1;
+                if best.threads != cpu.hw_threads() {
+                    nondefault += 1;
+                }
+            }
+        }
+        let frac = nondefault as f64 / total as f64;
+        assert!(
+            (0.35..=0.9).contains(&frac),
+            "non-default-best fraction {frac} out of the paper's regime"
+        );
+    }
+
+    #[test]
+    fn kmeans_gains_from_tuning_like_fig1a() {
+        // Fig. 1a: kmeans has thread counts beating all-8-threads by up
+        // to ~27%.
+        let kmeans = find("kmeans");
+        let cpu = CpuSpec::comet_lake();
+        let ws = 128.0 * 1024.0 * 1024.0;
+        let default = simulate(&kmeans, ws, &OmpConfig::default_for(&cpu), &cpu).runtime;
+        let space = thread_space(&cpu);
+        let (_, best) = oracle_config(&kmeans, ws, &space, &cpu);
+        let gain = default / best;
+        assert!(
+            gain > 1.05,
+            "kmeans tuning gain {gain} too small to reproduce Fig. 1a"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! BLISS-style tuning (Roy et al., PLDI 2021): a pool of diverse
+//! lightweight surrogate models; a bandit picks which model proposes the
+//! next configuration, so whichever model family fits this application
+//! best ends up steering the search.
+
+use crate::linalg::{ridge_fit, ridge_predict};
+use crate::ytopt::{expected_improvement, Gp};
+use crate::{Evaluator, Space, Tuner};
+use mga_sim::openmp::OmpConfig;
+
+/// One lightweight surrogate in the pool.
+enum Model {
+    /// GP with a given RBF length scale.
+    Gp(f64),
+    /// Ridge regression on the raw features.
+    Ridge,
+    /// Ridge regression on quadratic features.
+    RidgeQuad,
+}
+
+fn quad_features(f: &[f64; 3]) -> [f64; 9] {
+    [
+        f[0],
+        f[1],
+        f[2],
+        f[0] * f[0],
+        f[1] * f[1],
+        f[2] * f[2],
+        f[0] * f[1],
+        f[0] * f[2],
+        f[1] * f[2],
+    ]
+}
+
+/// The BLISS-like tuner.
+pub struct BlissLike {
+    pub seed: u64,
+}
+
+impl BlissLike {
+    pub fn new(seed: u64) -> BlissLike {
+        BlissLike { seed }
+    }
+}
+
+impl Tuner for BlissLike {
+    fn name(&self) -> &'static str {
+        "BLISS"
+    }
+
+    fn tune(&mut self, space: &Space, eval: &mut Evaluator<'_>, budget: usize) -> OmpConfig {
+        let models = [Model::Gp(0.25), Model::Gp(0.7), Model::Ridge, Model::RidgeQuad];
+        let feats: Vec<[f64; 3]> = space.configs.iter().map(|c| space.features(c)).collect();
+        let mut state = self.seed.wrapping_mul(0xD6E8FEB86659FD93) | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        let mut seen: Vec<usize> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut best = (space.configs[0], f64::INFINITY);
+        let mut credit = [1.0f64; 4];
+        let mut uses = [1.0f64; 4];
+
+        for it in 0..budget {
+            let idx = if it < 3 {
+                (rand() as usize) % space.len()
+            } else {
+                // Thompson-ish model selection: sample proportionally to
+                // credit rate.
+                let rates: Vec<f64> = credit
+                    .iter()
+                    .zip(&uses)
+                    .map(|(c, u)| (c / u).max(0.01))
+                    .collect();
+                let total: f64 = rates.iter().sum();
+                let mut r = (rand() >> 11) as f64 / (1u64 << 53) as f64 * total;
+                let mut mi = 0;
+                for (k, rate) in rates.iter().enumerate() {
+                    if r < *rate {
+                        mi = k;
+                        break;
+                    }
+                    r -= rate;
+                }
+                uses[mi] += 1.0;
+
+                let xs: Vec<[f64; 3]> = seen.iter().map(|&i| feats[i]).collect();
+                let ymax = ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-30);
+                let ys_n: Vec<f64> = ys.iter().map(|y| y / ymax).collect();
+                let incumbent = best.1 / ymax;
+
+                let pick = match &models[mi] {
+                    Model::Gp(ls) => {
+                        let mut gp = Gp::new(*ls, 1e-4);
+                        gp.fit(&xs, &ys_n);
+                        argmax_unseen(&feats, &seen, |f| {
+                            let (m, v) = gp.predict(f);
+                            expected_improvement(m, v, incumbent)
+                        })
+                    }
+                    Model::Ridge => {
+                        let flat: Vec<f64> = xs.iter().flatten().copied().collect();
+                        let w = ridge_fit(&flat, xs.len(), 3, &ys_n, 1e-3);
+                        argmax_unseen(&feats, &seen, |f| -ridge_predict(&w, f))
+                    }
+                    Model::RidgeQuad => {
+                        let qx: Vec<f64> = xs
+                            .iter()
+                            .flat_map(|f| quad_features(f).to_vec())
+                            .collect();
+                        let w = ridge_fit(&qx, xs.len(), 9, &ys_n, 1e-3);
+                        argmax_unseen(&feats, &seen, |f| -ridge_predict(&w, &quad_features(f)))
+                    }
+                };
+                let chosen = pick;
+                // Remember which model proposed this candidate so we can
+                // pay credit after evaluating.
+                let t = eval.run(&space.configs[chosen]);
+                seen.push(chosen);
+                ys.push(t);
+                if t < best.1 {
+                    best = (space.configs[chosen], t);
+                    credit[mi] += 1.0;
+                }
+                if seen.len() >= space.len() {
+                    break;
+                }
+                continue;
+            };
+            if seen.contains(&idx) {
+                continue;
+            }
+            let t = eval.run(&space.configs[idx]);
+            seen.push(idx);
+            ys.push(t);
+            if t < best.1 {
+                best = (space.configs[idx], t);
+            }
+            if seen.len() >= space.len() {
+                break;
+            }
+        }
+        best.0
+    }
+}
+
+/// Index of the unseen feature point maximizing `score`.
+fn argmax_unseen(
+    feats: &[[f64; 3]],
+    seen: &[usize],
+    score: impl Fn(&[f64; 3]) -> f64,
+) -> usize {
+    let mut top = (0usize, f64::MIN);
+    for (i, f) in feats.iter().enumerate() {
+        if seen.contains(&i) {
+            continue;
+        }
+        let s = score(f);
+        if s > top.1 {
+            top = (i, s);
+        }
+    }
+    top.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::openmp_catalog;
+    use mga_sim::cpu::CpuSpec;
+    use mga_sim::openmp::{large_space, oracle_config, simulate};
+
+    #[test]
+    fn quad_features_expand() {
+        let q = quad_features(&[1.0, 2.0, 3.0]);
+        assert_eq!(q, [1.0, 2.0, 3.0, 1.0, 4.0, 9.0, 2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn bliss_respects_budget_and_tracks_oracle() {
+        let specs = openmp_catalog();
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let ws = 8e6;
+        let mut quality = 0.0;
+        let mut count = 0;
+        for (k, spec) in specs.iter().step_by(11).enumerate() {
+            let (_, oracle_t) = oracle_config(spec, ws, &space.configs, &cpu);
+            let mut ev = Evaluator::new(spec, ws, &cpu);
+            let budget = 15;
+            let c = BlissLike::new(k as u64 + 5).tune(&space, &mut ev, budget);
+            assert!(ev.evals <= budget, "budget violated: {}", ev.evals);
+            let t = simulate(spec, ws, &c, &cpu).runtime;
+            assert!(t >= oracle_t * 0.999);
+            quality += oracle_t / t;
+            count += 1;
+        }
+        assert!(
+            quality / count as f64 > 0.45,
+            "BLISS quality too poor: {}",
+            quality / count as f64
+        );
+    }
+
+    #[test]
+    fn bliss_is_deterministic_per_seed() {
+        let spec = openmp_catalog()
+            .into_iter()
+            .find(|s| s.app == "srad")
+            .unwrap();
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let mut e1 = Evaluator::new(&spec, 1e7, &cpu);
+        let a = BlissLike::new(9).tune(&space, &mut e1, 12);
+        let mut e2 = Evaluator::new(&spec, 1e7, &cpu);
+        let b = BlissLike::new(9).tune(&space, &mut e2, 12);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! `mga-tuners` — baseline autotuners (§4.1.2).
+//!
+//! The paper compares the MGA tuner against three black-box autotuners,
+//! each re-implemented here against the simulated objective:
+//!
+//! * [`opentuner::OpenTunerLike`] — OpenTuner (Ansel et al. 2014): an
+//!   AUC-bandit meta-technique that arbitrates among search techniques
+//!   (random sampling, coordinate hill climbing, and a genetic
+//!   crossover of elites);
+//! * [`ytopt::YtoptLike`] — ytopt (Balaprakash et al.): Bayesian
+//!   optimization with a Gaussian-process surrogate (RBF kernel,
+//!   Cholesky solves in [`linalg`]) and expected-improvement
+//!   acquisition;
+//! * [`bliss::BlissLike`] — BLISS (Roy et al. 2021): a pool of diverse
+//!   lightweight surrogate models with bandit model selection.
+//!
+//! All tuners implement [`Tuner`] over a discrete [`OmpConfig`] space and
+//! are driven through a budget-accounted [`Evaluator`], which also sums
+//! the simulated wall-clock the tuner spends executing configurations —
+//! the paper's §4.1.5 tuning-cost comparison.
+
+pub mod bliss;
+pub mod linalg;
+pub mod opentuner;
+pub mod ytopt;
+
+use mga_kernels::spec::KernelSpec;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::{simulate, OmpConfig};
+
+/// A discrete configuration search space with a feature encoding for
+/// surrogate models.
+#[derive(Debug, Clone)]
+pub struct Space {
+    pub configs: Vec<OmpConfig>,
+}
+
+impl Space {
+    pub fn new(configs: Vec<OmpConfig>) -> Space {
+        assert!(!configs.is_empty(), "empty search space");
+        Space { configs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Normalized feature vector of a config (threads, schedule ordinal,
+    /// log-chunk), for GP/ridge surrogates.
+    pub fn features(&self, cfg: &OmpConfig) -> [f64; 3] {
+        let max_t = self
+            .configs
+            .iter()
+            .map(|c| c.threads)
+            .max()
+            .unwrap_or(1)
+            .max(1) as f64;
+        let max_chunk = self
+            .configs
+            .iter()
+            .map(|c| c.chunk.max(1))
+            .max()
+            .unwrap_or(1) as f64;
+        [
+            cfg.threads as f64 / max_t,
+            cfg.schedule as u32 as f64 / 2.0,
+            (cfg.chunk.max(1) as f64).log2() / max_chunk.log2().max(1.0),
+        ]
+    }
+}
+
+/// Budget-accounted objective evaluation: counts calls and accumulates
+/// the simulated runtime the tuner "spends" executing candidates.
+pub struct Evaluator<'a> {
+    spec: &'a KernelSpec,
+    ws_bytes: f64,
+    cpu: &'a CpuSpec,
+    /// Number of objective evaluations performed.
+    pub evals: usize,
+    /// Total simulated seconds spent running candidate configurations.
+    pub spent_seconds: f64,
+    /// Fixed per-evaluation harness overhead (compile/launch), seconds.
+    pub overhead_per_eval: f64,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(spec: &'a KernelSpec, ws_bytes: f64, cpu: &'a CpuSpec) -> Evaluator<'a> {
+        Evaluator {
+            spec,
+            ws_bytes,
+            cpu,
+            evals: 0,
+            spent_seconds: 0.0,
+            overhead_per_eval: 2.0,
+        }
+    }
+
+    /// Run one configuration, returning its runtime (the objective to
+    /// minimize).
+    pub fn run(&mut self, cfg: &OmpConfig) -> f64 {
+        self.evals += 1;
+        let r = simulate(self.spec, self.ws_bytes, cfg, self.cpu);
+        self.spent_seconds += r.runtime + self.overhead_per_eval;
+        r.runtime
+    }
+}
+
+/// A seed-parameterized tuner factory, as the experiment harness uses to
+/// create one fresh tuner per (loop, input).
+pub type TunerFactory = Box<dyn Fn(u64) -> Box<dyn Tuner>>;
+
+/// A black-box autotuner over a discrete space.
+pub trait Tuner {
+    /// Short display name ("ytopt", "OpenTuner", "BLISS").
+    fn name(&self) -> &'static str;
+
+    /// Spend up to `budget` evaluations and return the best configuration
+    /// found.
+    fn tune(&mut self, space: &Space, eval: &mut Evaluator<'_>, budget: usize) -> OmpConfig;
+}
+
+/// Pure random search (sanity baseline).
+pub struct RandomSearch {
+    pub seed: u64,
+}
+
+impl Tuner for RandomSearch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn tune(&mut self, space: &Space, eval: &mut Evaluator<'_>, budget: usize) -> OmpConfig {
+        let mut state = self.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut best = (space.configs[0], f64::INFINITY);
+        for _ in 0..budget {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let cfg = space.configs[(state as usize) % space.len()];
+            let t = eval.run(&cfg);
+            if t < best.1 {
+                best = (cfg, t);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::openmp_catalog;
+    use mga_sim::openmp::{large_space, oracle_config};
+
+    fn setup() -> (KernelSpec, CpuSpec) {
+        let spec = openmp_catalog()
+            .into_iter()
+            .find(|s| s.app == "gemm")
+            .unwrap();
+        (spec, CpuSpec::skylake_4114())
+    }
+
+    #[test]
+    fn evaluator_accounts_budget_and_time() {
+        let (spec, cpu) = setup();
+        let mut ev = Evaluator::new(&spec, 1e6, &cpu);
+        let cfg = OmpConfig {
+            threads: 4,
+            schedule: mga_sim::openmp::Schedule::Static,
+            chunk: 0,
+        };
+        let t1 = ev.run(&cfg);
+        let t2 = ev.run(&cfg);
+        assert_eq!(ev.evals, 2);
+        assert_eq!(t1, t2, "objective must be deterministic");
+        assert!(ev.spent_seconds >= 2.0 * ev.overhead_per_eval);
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let (spec, cpu) = setup();
+        let space = Space::new(large_space());
+        let ws = 4e6;
+        let (_, oracle_t) = oracle_config(&spec, ws, &space.configs, &cpu);
+
+        let mut small_ev = Evaluator::new(&spec, ws, &cpu);
+        let cheap = RandomSearch { seed: 42 }.tune(&space, &mut small_ev, 3);
+        let mut big_ev = Evaluator::new(&spec, ws, &cpu);
+        let rich = RandomSearch { seed: 42 }.tune(&space, &mut big_ev, 60);
+        let t_cheap = mga_sim::openmp::simulate(&spec, ws, &cheap, &cpu).runtime;
+        let t_rich = mga_sim::openmp::simulate(&spec, ws, &rich, &cpu).runtime;
+        assert!(t_rich <= t_cheap * 1.01, "more budget must not hurt");
+        assert!(t_rich >= oracle_t * 0.999, "cannot beat the oracle");
+    }
+
+    #[test]
+    fn space_features_are_normalized() {
+        let space = Space::new(large_space());
+        for cfg in &space.configs {
+            let f = space.features(cfg);
+            for x in f {
+                assert!((0.0..=1.0).contains(&x), "feature {x} out of range");
+            }
+        }
+    }
+}

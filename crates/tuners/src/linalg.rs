@@ -1,0 +1,171 @@
+//! Small dense linear algebra for the surrogate models: Cholesky
+//! factorization, triangular solves, and ridge regression.
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix (row-major, `n × n`). Returns the lower factor, or `None` when
+/// the matrix is not positive definite.
+pub fn cholesky(a: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n);
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L·y = b` (lower triangular).
+pub fn solve_lower(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    y
+}
+
+/// Solve `Lᵀ·x = y` (upper triangular via the lower factor).
+pub fn solve_upper_t(l: &[f64], n: usize, y: &[f64]) -> Vec<f64> {
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    x
+}
+
+/// Solve `A·x = b` for SPD `A` via Cholesky, adding diagonal jitter until
+/// the factorization succeeds.
+pub fn spd_solve(a: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut jitter = 0.0;
+    loop {
+        let mut aj = a.to_vec();
+        if jitter > 0.0 {
+            for i in 0..n {
+                aj[i * n + i] += jitter;
+            }
+        }
+        if let Some(l) = cholesky(&aj, n) {
+            let y = solve_lower(&l, n, b);
+            return solve_upper_t(&l, n, &y);
+        }
+        jitter = if jitter == 0.0 { 1e-10 } else { jitter * 10.0 };
+        assert!(jitter < 1.0, "matrix hopelessly indefinite");
+    }
+}
+
+/// Ridge regression: `w = (XᵀX + λI)⁻¹ Xᵀ y` for `X` row-major
+/// `m × d` (a column of ones is appended internally for the intercept).
+pub fn ridge_fit(x: &[f64], m: usize, d: usize, y: &[f64], lambda: f64) -> Vec<f64> {
+    let dd = d + 1; // + intercept
+    let mut xtx = vec![0.0; dd * dd];
+    let mut xty = vec![0.0; dd];
+    let feat = |r: usize, c: usize| -> f64 {
+        if c < d {
+            x[r * d + c]
+        } else {
+            1.0
+        }
+    };
+    for (r, &yr) in y.iter().enumerate().take(m) {
+        for i in 0..dd {
+            xty[i] += feat(r, i) * yr;
+            for j in 0..dd {
+                xtx[i * dd + j] += feat(r, i) * feat(r, j);
+            }
+        }
+    }
+    for i in 0..dd {
+        xtx[i * dd + i] += lambda;
+    }
+    spd_solve(&xtx, dd, &xty)
+}
+
+/// Predict with ridge weights (last weight is the intercept).
+pub fn ridge_predict(w: &[f64], x: &[f64]) -> f64 {
+    let d = w.len() - 1;
+    let mut acc = w[d];
+    for i in 0..d {
+        acc += w[i] * x[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_of_identity() {
+        let eye = vec![1.0, 0.0, 0.0, 1.0];
+        let l = cholesky(&eye, 2).unwrap();
+        assert_eq!(l, eye);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        // A = [[4,2],[2,3]] → L = [[2,0],[1,sqrt(2)]]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(&a, 2).unwrap();
+        // L Lᵀ == A
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += l[i * 2 + k] * l[j * 2 + k];
+                }
+                assert!((s - a[i * 2 + j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+    }
+
+    #[test]
+    fn spd_solve_solves() {
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 9.0];
+        let x = spd_solve(&a, 2, &b);
+        // Check A x = b.
+        assert!((4.0 * x[0] + 2.0 * x[1] - 10.0).abs() < 1e-9);
+        assert!((2.0 * x[0] + 3.0 * x[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        // y = 2 x0 - 3 x1 + 5
+        let xs: Vec<[f64; 2]> = (0..20)
+            .map(|i| [(i % 5) as f64 / 4.0, (i / 5) as f64 / 3.0])
+            .collect();
+        let x: Vec<f64> = xs.iter().flatten().copied().collect();
+        let y: Vec<f64> = xs.iter().map(|p| 2.0 * p[0] - 3.0 * p[1] + 5.0).collect();
+        let w = ridge_fit(&x, 20, 2, &y, 1e-8);
+        assert!((w[0] - 2.0).abs() < 1e-3, "{w:?}");
+        assert!((w[1] + 3.0).abs() < 1e-3);
+        assert!((w[2] - 5.0).abs() < 1e-3);
+        let p = ridge_predict(&w, &[0.5, 0.5]);
+        assert!((p - (1.0 - 1.5 + 5.0)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,244 @@
+//! OpenTuner-style search: an AUC-bandit meta-technique arbitrating
+//! among sub-techniques (random, coordinate hill climbing, genetic
+//! crossover), as in Ansel et al., PACT 2014.
+
+use crate::{Evaluator, Space, Tuner};
+use mga_sim::openmp::OmpConfig;
+
+/// Simple xorshift PRNG so the tuner is self-contained and seedable.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n.max(1)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Technique {
+    Random,
+    HillClimb,
+    Genetic,
+}
+
+const TECHNIQUES: [Technique; 3] = [Technique::Random, Technique::HillClimb, Technique::Genetic];
+
+/// The OpenTuner-like tuner.
+pub struct OpenTunerLike {
+    pub seed: u64,
+    /// AUC-bandit exploration constant.
+    pub exploration: f64,
+}
+
+impl OpenTunerLike {
+    pub fn new(seed: u64) -> OpenTunerLike {
+        OpenTunerLike {
+            seed,
+            exploration: 1.4,
+        }
+    }
+
+    /// Index distance in each config dimension; used by hill climbing.
+    fn neighbors(space: &Space, idx: usize) -> Vec<usize> {
+        let me = space.configs[idx];
+        let mut out = Vec::new();
+        for (j, c) in space.configs.iter().enumerate() {
+            if j == idx {
+                continue;
+            }
+            let same_dims = [
+                c.threads == me.threads,
+                c.schedule == me.schedule,
+                c.chunk == me.chunk,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+            // A neighbor differs in exactly one dimension.
+            if same_dims == 2 {
+                out.push(j);
+            }
+        }
+        out
+    }
+}
+
+impl Tuner for OpenTunerLike {
+    fn name(&self) -> &'static str {
+        "OpenTuner"
+    }
+
+    fn tune(&mut self, space: &Space, eval: &mut Evaluator<'_>, budget: usize) -> OpenConfig {
+        let mut rng = Rng(self.seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let mut results: Vec<Option<f64>> = vec![None; space.len()];
+        let mut order: Vec<usize> = Vec::new(); // evaluated, best-first maintained lazily
+        let mut best = (0usize, f64::INFINITY);
+
+        // Bandit state per technique: uses (count) and credit (recent
+        // improvement indicator window, summed — the AUC proxy).
+        let mut uses = [0usize; 3];
+        let mut credit = [0.0f64; 3];
+
+        for it in 0..budget.min(space.len() * 2) {
+            // UCB1 selection over techniques.
+            let tech = if let Some(&t) = TECHNIQUES.get(it) {
+                t
+            } else {
+                let total: usize = uses.iter().sum();
+                let mut pick = (Technique::Random, f64::MIN);
+                for (k, &t) in TECHNIQUES.iter().enumerate() {
+                    let mean = credit[k] / uses[k].max(1) as f64;
+                    let bonus =
+                        self.exploration * ((total as f64).ln() / uses[k].max(1) as f64).sqrt();
+                    if mean + bonus > pick.1 {
+                        pick = (t, mean + bonus);
+                    }
+                }
+                pick.0
+            };
+            let k = TECHNIQUES.iter().position(|&t| t == tech).unwrap();
+            uses[k] += 1;
+
+            // Generate one candidate with the chosen technique.
+            let cand = match tech {
+                Technique::Random => rng.below(space.len()),
+                Technique::HillClimb => {
+                    if order.is_empty() {
+                        rng.below(space.len())
+                    } else {
+                        let nbrs = Self::neighbors(space, best.0);
+                        let fresh: Vec<usize> = nbrs
+                            .into_iter()
+                            .filter(|&j| results[j].is_none())
+                            .collect();
+                        if fresh.is_empty() {
+                            rng.below(space.len())
+                        } else {
+                            fresh[rng.below(fresh.len())]
+                        }
+                    }
+                }
+                Technique::Genetic => {
+                    if order.len() < 2 {
+                        rng.below(space.len())
+                    } else {
+                        // Crossover two elites dimension-wise; find the
+                        // nearest existing config.
+                        let a = space.configs[order[rng.below(order.len().min(4))]];
+                        let b = space.configs[order[rng.below(order.len().min(4))]];
+                        let child = OmpConfig {
+                            threads: if rng.unit() < 0.5 { a.threads } else { b.threads },
+                            schedule: if rng.unit() < 0.5 {
+                                a.schedule
+                            } else {
+                                b.schedule
+                            },
+                            chunk: if rng.unit() < 0.5 { a.chunk } else { b.chunk },
+                        };
+                        space
+                            .configs
+                            .iter()
+                            .position(|c| *c == child)
+                            .unwrap_or_else(|| rng.below(space.len()))
+                    }
+                }
+            };
+
+            if results[cand].is_some() {
+                // Duplicate: no new run, tiny negative credit.
+                credit[k] -= 0.05;
+                continue;
+            }
+            let t = eval.run(&space.configs[cand]);
+            results[cand] = Some(t);
+            order.push(cand);
+            order.sort_by(|&a, &b| {
+                results[a]
+                    .unwrap()
+                    .partial_cmp(&results[b].unwrap())
+                    .unwrap()
+            });
+            if t < best.1 {
+                best = (cand, t);
+                credit[k] += 1.0;
+            }
+        }
+        space.configs[best.0]
+    }
+}
+
+/// Alias kept for readability of the trait signature.
+pub type OpenConfig = OmpConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::openmp_catalog;
+    use mga_sim::cpu::CpuSpec;
+    use mga_sim::openmp::{large_space, oracle_config, simulate};
+
+    #[test]
+    fn neighbors_differ_in_one_dimension() {
+        let space = Space::new(large_space());
+        let nbrs = OpenTunerLike::neighbors(&space, 0);
+        assert!(!nbrs.is_empty());
+        let me = space.configs[0];
+        for j in nbrs {
+            let c = space.configs[j];
+            let diffs = [
+                c.threads != me.threads,
+                c.schedule != me.schedule,
+                c.chunk != me.chunk,
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn opentuner_finds_decent_configs() {
+        let specs = openmp_catalog();
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let ws = 8e6;
+        let mut ratio_sum = 0.0;
+        let mut count = 0;
+        for (k, spec) in specs.iter().step_by(9).enumerate() {
+            let (_, oracle_t) = oracle_config(spec, ws, &space.configs, &cpu);
+            let mut ev = Evaluator::new(spec, ws, &cpu);
+            let c = OpenTunerLike::new(k as u64 + 1).tune(&space, &mut ev, 25);
+            let t = simulate(spec, ws, &c, &cpu).runtime;
+            assert!(t >= oracle_t * 0.999, "cannot beat oracle");
+            ratio_sum += oracle_t / t;
+            count += 1;
+        }
+        let mean_quality = ratio_sum / count as f64;
+        assert!(
+            mean_quality > 0.5,
+            "OpenTuner-like quality {mean_quality} too poor"
+        );
+    }
+
+    #[test]
+    fn respects_budget() {
+        let spec = openmp_catalog().into_iter().next().unwrap();
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let mut ev = Evaluator::new(&spec, 1e6, &cpu);
+        let _ = OpenTunerLike::new(3).tune(&space, &mut ev, 12);
+        assert!(ev.evals <= 12);
+    }
+}

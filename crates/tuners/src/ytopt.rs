@@ -1,0 +1,286 @@
+//! ytopt-style Bayesian optimization: Gaussian-process surrogate with an
+//! RBF kernel and expected-improvement acquisition over the discrete
+//! configuration space.
+
+use crate::linalg::{cholesky, solve_lower, solve_upper_t};
+use crate::{Evaluator, Space, Tuner};
+use mga_sim::openmp::OmpConfig;
+
+/// A minimal GP regressor over 3-D config features.
+pub struct Gp {
+    pub length_scale: f64,
+    pub noise: f64,
+    xs: Vec<[f64; 3]>,
+    ys: Vec<f64>,
+    /// Cholesky factor of K + σ²I, and α = K⁻¹ y, refreshed on fit.
+    chol: Vec<f64>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+impl Gp {
+    pub fn new(length_scale: f64, noise: f64) -> Gp {
+        Gp {
+            length_scale,
+            noise,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            chol: Vec::new(),
+            alpha: Vec::new(),
+            y_mean: 0.0,
+        }
+    }
+
+    fn kernel(&self, a: &[f64; 3], b: &[f64; 3]) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            let d = a[i] - b[i];
+            d2 += d * d;
+        }
+        (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Fit on all observations so far.
+    pub fn fit(&mut self, xs: &[[f64; 3]], ys: &[f64]) {
+        assert_eq!(xs.len(), ys.len());
+        self.xs = xs.to_vec();
+        self.y_mean = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
+        self.ys = ys.iter().map(|y| y - self.y_mean).collect();
+        let n = xs.len();
+        let mut k = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i * n + j] = self.kernel(&xs[i], &xs[j]);
+            }
+            k[i * n + i] += self.noise;
+        }
+        let mut jitter = 0.0;
+        let l = loop {
+            let mut kj = k.clone();
+            if jitter > 0.0 {
+                for i in 0..n {
+                    kj[i * n + i] += jitter;
+                }
+            }
+            if let Some(l) = cholesky(&kj, n) {
+                break l;
+            }
+            jitter = if jitter == 0.0 { 1e-10 } else { jitter * 10.0 };
+        };
+        let y = solve_lower(&l, n, &self.ys);
+        self.alpha = solve_upper_t(&l, n, &y);
+        self.chol = l;
+    }
+
+    /// Posterior mean and variance at a point.
+    pub fn predict(&self, x: &[f64; 3]) -> (f64, f64) {
+        let n = self.xs.len();
+        if n == 0 {
+            return (self.y_mean, 1.0);
+        }
+        let kx: Vec<f64> = self.xs.iter().map(|xi| self.kernel(xi, x)).collect();
+        let mean = self.y_mean
+            + kx.iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
+        // v = L⁻¹ kx; var = k(x,x) - vᵀv
+        let v = solve_lower(&self.chol, n, &kx);
+        let var = (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+}
+
+/// Standard normal pdf/cdf for expected improvement.
+fn phi(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+fn big_phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Abramowitz–Stegun erf approximation (|err| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement (minimization) of predicted `(mean, var)` over
+/// incumbent `best`.
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / sd;
+    (best - mean) * big_phi(z) + sd * phi(z)
+}
+
+/// The ytopt-like tuner.
+pub struct YtoptLike {
+    pub seed: u64,
+    /// Number of random warm-up evaluations before the GP takes over.
+    pub warmup: usize,
+}
+
+impl YtoptLike {
+    pub fn new(seed: u64) -> YtoptLike {
+        YtoptLike { seed, warmup: 3 }
+    }
+}
+
+impl Tuner for YtoptLike {
+    fn name(&self) -> &'static str {
+        "ytopt"
+    }
+
+    fn tune(&mut self, space: &Space, eval: &mut Evaluator<'_>, budget: usize) -> OmpConfig {
+        let feats: Vec<[f64; 3]> = space.configs.iter().map(|c| space.features(c)).collect();
+        let mut state = self.seed.wrapping_mul(0xA24BAED4963EE407) | 1;
+        let rand_idx = |n: usize, state: &mut u64| {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            (*state as usize) % n
+        };
+
+        let mut seen: Vec<usize> = Vec::new();
+        let mut xs: Vec<[f64; 3]> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut best = (space.configs[0], f64::INFINITY);
+
+        for it in 0..budget {
+            let idx = if it < self.warmup.min(budget) {
+                // Random warm-up (distinct points).
+                let mut i = rand_idx(space.len(), &mut state);
+                let mut guard = 0;
+                while seen.contains(&i) && guard < 50 {
+                    i = rand_idx(space.len(), &mut state);
+                    guard += 1;
+                }
+                i
+            } else {
+                // Fit GP, maximize EI over unseen configs.
+                let mut gp = Gp::new(0.4, 1e-4);
+                // Normalize objectives to unit scale for GP stability.
+                let ymax = ys.iter().cloned().fold(f64::MIN, f64::max).max(1e-30);
+                let ys_n: Vec<f64> = ys.iter().map(|y| y / ymax).collect();
+                gp.fit(&xs, &ys_n);
+                let incumbent = best.1 / ymax;
+                let mut top = (0usize, f64::MIN);
+                for (i, f) in feats.iter().enumerate() {
+                    if seen.contains(&i) {
+                        continue;
+                    }
+                    let (m, v) = gp.predict(f);
+                    let ei = expected_improvement(m, v, incumbent);
+                    if ei > top.1 {
+                        top = (i, ei);
+                    }
+                }
+                top.0
+            };
+            seen.push(idx);
+            let t = eval.run(&space.configs[idx]);
+            xs.push(feats[idx]);
+            ys.push(t);
+            if t < best.1 {
+                best = (space.configs[idx], t);
+            }
+            if seen.len() >= space.len() {
+                break;
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_kernels::catalog::openmp_catalog;
+    use mga_sim::cpu::CpuSpec;
+    use mga_sim::openmp::{large_space, oracle_config, simulate};
+
+    #[test]
+    fn erf_and_phi_sane() {
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427).abs() < 1e-3);
+        assert!((big_phi(0.0) - 0.5).abs() < 1e-9);
+        assert!(big_phi(3.0) > 0.99);
+        assert!(phi(0.0) > phi(1.0));
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_variance() {
+        let base = expected_improvement(1.0, 0.01, 1.0);
+        let lower_mean = expected_improvement(0.5, 0.01, 1.0);
+        let higher_var = expected_improvement(1.0, 0.5, 1.0);
+        assert!(lower_mean > base);
+        assert!(higher_var > base);
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        let mut gp = Gp::new(0.5, 1e-6);
+        gp.fit(&xs, &ys);
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.05, "mean {m} vs {y}");
+            assert!(v < 0.1, "variance at training point too high: {v}");
+        }
+        // Far point: high variance, mean near prior.
+        let (_, v) = gp.predict(&[5.0, 5.0, 5.0]);
+        assert!(v > 0.5);
+    }
+
+    #[test]
+    fn ytopt_beats_random_at_equal_budget() {
+        let specs = openmp_catalog();
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let ws = 8e6;
+        let mut ytopt_total = 0.0;
+        let mut random_total = 0.0;
+        for (k, spec) in specs.iter().step_by(7).enumerate() {
+            let budget = 10;
+            let mut ev1 = Evaluator::new(spec, ws, &cpu);
+            let c1 = YtoptLike::new(k as u64).tune(&space, &mut ev1, budget);
+            assert!(ev1.evals <= budget);
+            let mut ev2 = Evaluator::new(spec, ws, &cpu);
+            let c2 = crate::RandomSearch { seed: k as u64 }.tune(&space, &mut ev2, budget);
+            ytopt_total += simulate(spec, ws, &c1, &cpu).runtime;
+            random_total += simulate(spec, ws, &c2, &cpu).runtime;
+        }
+        assert!(
+            ytopt_total <= random_total * 1.05,
+            "BO ({ytopt_total:.4}) should be at least as good as random ({random_total:.4})"
+        );
+    }
+
+    #[test]
+    fn ytopt_cannot_beat_oracle() {
+        let spec = openmp_catalog()
+            .into_iter()
+            .find(|s| s.app == "hotspot")
+            .unwrap();
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let ws = 2e7;
+        let (_, oracle_t) = oracle_config(&spec, ws, &space.configs, &cpu);
+        let mut ev = Evaluator::new(&spec, ws, &cpu);
+        let c = YtoptLike::new(1).tune(&space, &mut ev, 20);
+        let t = simulate(&spec, ws, &c, &cpu).runtime;
+        assert!(t >= oracle_t * 0.999);
+    }
+}

@@ -1,0 +1,649 @@
+//! `mga-vec` — IR2Vec-style distributed program embeddings.
+//!
+//! IR2Vec (VenkataKeerthy et al., TACO 2020) encodes LLVM IR in three
+//! steps, all reproduced here over `mga-ir`:
+//!
+//! 1. **Triple extraction** ([`extract_triples`]): every instruction
+//!    contributes knowledge-graph facts `(opcode, TypeOf, type)`,
+//!    `(opcode, Next, next-opcode)` and `(opcode, Arg, operand-kind)`.
+//! 2. **Seed embedding vocabulary** ([`train_seed_embeddings`]): a TransE
+//!    model (translation embeddings, margin ranking loss with negative
+//!    sampling) learns a vector per entity — opcodes, types and operand
+//!    kinds.
+//! 3. **Flow-aware program vectors** ([`SeedEmbeddings::encode_function`]):
+//!    each instruction vector is `W_o·E[op] + W_t·E[type] + W_a·Σ args`,
+//!    where an argument that is another instruction's result contributes
+//!    that instruction's (current) vector — propagated iteratively so
+//!    data flow percolates through the code region, cycles included. The
+//!    program vector is the sum over instructions.
+//!
+//! The weights `W_o = 1.0, W_t = 0.5, W_a = 0.2` follow the paper.
+
+use mga_ir::{Function, Module, Opcode, Operand, Type};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Operand-kind entities beyond opcodes and types.
+const KIND_VAR: usize = 0;
+const KIND_CONST: usize = 1;
+const KIND_GLOBAL: usize = 2;
+const KIND_LABEL: usize = 3;
+const KIND_FUNC: usize = 4;
+const NUM_KINDS: usize = 5;
+
+/// Entity universe: opcodes ++ types ++ operand kinds.
+pub const NUM_ENTITIES: usize =
+    Opcode::NUM_FEATURE_CLASSES + Type::NUM_FEATURE_CLASSES + NUM_KINDS;
+
+/// Relations of the knowledge graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    TypeOf = 0,
+    Next = 1,
+    Arg = 2,
+}
+
+pub const NUM_RELATIONS: usize = 3;
+
+/// Entity id of an opcode.
+pub fn entity_of_opcode(op: Opcode) -> usize {
+    op.feature_class()
+}
+
+/// Entity id of a type.
+pub fn entity_of_type(ty: &Type) -> usize {
+    Opcode::NUM_FEATURE_CLASSES + ty.feature_class()
+}
+
+fn entity_of_kind(kind: usize) -> usize {
+    Opcode::NUM_FEATURE_CLASSES + Type::NUM_FEATURE_CLASSES + kind
+}
+
+/// A knowledge-graph fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triple {
+    pub head: u32,
+    pub rel: u32,
+    pub tail: u32,
+}
+
+/// Extract TransE training triples from every function body in a module.
+pub fn extract_triples(m: &Module) -> Vec<Triple> {
+    let mut out = Vec::new();
+    for f in &m.functions {
+        if f.attrs.external {
+            continue;
+        }
+        for b in &f.blocks {
+            for (k, &iid) in b.instrs.iter().enumerate() {
+                let instr = f.instr(iid);
+                let h = entity_of_opcode(instr.op) as u32;
+                // (op, TypeOf, ty)
+                out.push(Triple {
+                    head: h,
+                    rel: Rel::TypeOf as u32,
+                    tail: entity_of_type(&instr.ty) as u32,
+                });
+                // (op, Next, next op) within the block.
+                if let Some(&next) = b.instrs.get(k + 1) {
+                    out.push(Triple {
+                        head: h,
+                        rel: Rel::Next as u32,
+                        tail: entity_of_opcode(f.instr(next).op) as u32,
+                    });
+                }
+                // (op, Arg, kind) per operand.
+                for &arg in &instr.args {
+                    let kind = match arg {
+                        Operand::Instr(_) | Operand::Param(_) => KIND_VAR,
+                        Operand::Const(_) => KIND_CONST,
+                        Operand::Global(_) => KIND_GLOBAL,
+                    };
+                    out.push(Triple {
+                        head: h,
+                        rel: Rel::Arg as u32,
+                        tail: entity_of_kind(kind) as u32,
+                    });
+                }
+                // Branches reference labels; calls reference functions.
+                if !instr.succs.is_empty() {
+                    out.push(Triple {
+                        head: h,
+                        rel: Rel::Arg as u32,
+                        tail: entity_of_kind(KIND_LABEL) as u32,
+                    });
+                }
+                if instr.op == Opcode::Call {
+                    out.push(Triple {
+                        head: h,
+                        rel: Rel::Arg as u32,
+                        tail: entity_of_kind(KIND_FUNC) as u32,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// TransE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TransEConfig {
+    pub dim: usize,
+    pub epochs: usize,
+    pub lr: f32,
+    pub margin: f32,
+}
+
+impl Default for TransEConfig {
+    fn default() -> Self {
+        TransEConfig {
+            dim: 64,
+            epochs: 60,
+            lr: 0.02,
+            margin: 1.0,
+        }
+    }
+}
+
+/// The learned seed-embedding vocabulary.
+#[derive(Debug, Clone)]
+pub struct SeedEmbeddings {
+    pub dim: usize,
+    /// `NUM_ENTITIES × dim`, row-major.
+    entities: Vec<f32>,
+    /// `NUM_RELATIONS × dim`, row-major.
+    relations: Vec<f32>,
+}
+
+impl SeedEmbeddings {
+    pub fn entity(&self, e: usize) -> &[f32] {
+        &self.entities[e * self.dim..(e + 1) * self.dim]
+    }
+
+    pub fn relation(&self, r: usize) -> &[f32] {
+        &self.relations[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// TransE plausibility score of a triple: `-||h + r - t||₂` (higher is
+    /// more plausible).
+    pub fn score(&self, t: Triple) -> f32 {
+        let h = self.entity(t.head as usize);
+        let r = self.relation(t.rel as usize);
+        let tl = self.entity(t.tail as usize);
+        let mut d = 0.0f32;
+        for i in 0..self.dim {
+            let delta = h[i] + r[i] - tl[i];
+            d += delta * delta;
+        }
+        -d.sqrt()
+    }
+
+    /// Flow-aware instruction vectors for a function body, in instruction
+    /// arena order. See the module docs for the propagation rule.
+    pub fn instruction_vectors(&self, f: &Function) -> Vec<Vec<f32>> {
+        const W_OP: f32 = 1.0;
+        const W_TY: f32 = 0.5;
+        const W_ARG: f32 = 0.2;
+        const PASSES: usize = 5;
+        let d = self.dim;
+        let n = f.instrs.len();
+        let mut vecs = vec![vec![0.0f32; d]; n];
+        for _pass in 0..PASSES {
+            for (_b, iid) in f.iter_instrs() {
+                let instr = f.instr(iid);
+                let mut v = vec![0.0f32; d];
+                axpy(&mut v, W_OP, self.entity(entity_of_opcode(instr.op)));
+                axpy(&mut v, W_TY, self.entity(entity_of_type(&instr.ty)));
+                for &arg in &instr.args {
+                    match arg {
+                        Operand::Instr(dep) => {
+                            // Flow-aware: use the defining instruction's
+                            // current vector (scaled to unit-ish norm so
+                            // chains don't blow up).
+                            let dep_v = vecs[dep.index()].clone();
+                            let norm = dep_v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                            let s = if norm > 1.0 { W_ARG / norm } else { W_ARG };
+                            axpy(&mut v, s, &dep_v);
+                        }
+                        Operand::Param(_) => {
+                            axpy(&mut v, W_ARG, self.entity(entity_of_kind(KIND_VAR)));
+                        }
+                        Operand::Const(_) => {
+                            axpy(&mut v, W_ARG, self.entity(entity_of_kind(KIND_CONST)));
+                        }
+                        Operand::Global(_) => {
+                            axpy(&mut v, W_ARG, self.entity(entity_of_kind(KIND_GLOBAL)));
+                        }
+                    }
+                }
+                if !instr.succs.is_empty() {
+                    axpy(&mut v, W_ARG, self.entity(entity_of_kind(KIND_LABEL)));
+                }
+                if instr.op == Opcode::Call {
+                    axpy(&mut v, W_ARG, self.entity(entity_of_kind(KIND_FUNC)));
+                }
+                vecs[iid.index()] = v;
+            }
+        }
+        vecs
+    }
+
+    /// The program vector of a function: sum of its instruction vectors.
+    pub fn encode_function(&self, f: &Function) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for v in self.instruction_vectors(f) {
+            axpy(&mut out, 1.0, &v);
+        }
+        out
+    }
+
+    /// Program vector of an entire module (sum over non-external
+    /// functions).
+    pub fn encode_module(&self, m: &Module) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for f in &m.functions {
+            if !f.attrs.external {
+                axpy(&mut out, 1.0, &self.encode_function(f));
+            }
+        }
+        out
+    }
+}
+
+fn axpy(dst: &mut [f32], a: f32, src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += a * s;
+    }
+}
+
+/// Train the TransE seed vocabulary on the extracted triples.
+pub fn train_seed_embeddings(triples: &[Triple], cfg: &TransEConfig, seed: u64) -> SeedEmbeddings {
+    assert!(!triples.is_empty(), "no triples to train on");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = cfg.dim;
+    let bound = (6.0 / d as f64).sqrt() as f32;
+    let mut emb = SeedEmbeddings {
+        dim: d,
+        entities: (0..NUM_ENTITIES * d)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect(),
+        relations: (0..NUM_RELATIONS * d)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect(),
+    };
+    normalize_rows(&mut emb.relations, d);
+
+    let mut order: Vec<usize> = (0..triples.len()).collect();
+    for _epoch in 0..cfg.epochs {
+        normalize_rows(&mut emb.entities, d);
+        // Fisher-Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &ti in &order {
+            let pos = triples[ti];
+            // Corrupt head or tail.
+            let mut neg = pos;
+            if rng.gen_bool(0.5) {
+                neg.head = rng.gen_range(0..NUM_ENTITIES as u32);
+            } else {
+                neg.tail = rng.gen_range(0..NUM_ENTITIES as u32);
+            }
+            sgd_step(&mut emb, pos, neg, cfg.lr, cfg.margin);
+        }
+    }
+    emb
+}
+
+/// One margin-ranking SGD step on a (positive, negative) triple pair.
+fn sgd_step(emb: &mut SeedEmbeddings, pos: Triple, neg: Triple, lr: f32, margin: f32) {
+    let d = emb.dim;
+    let dist = |emb: &SeedEmbeddings, t: Triple| -> f32 {
+        let h = emb.entity(t.head as usize);
+        let r = emb.relation(t.rel as usize);
+        let tl = emb.entity(t.tail as usize);
+        (0..d)
+            .map(|i| {
+                let x = h[i] + r[i] - tl[i];
+                x * x
+            })
+            .sum()
+    };
+    let dp = dist(emb, pos);
+    let dn = dist(emb, neg);
+    if dp + margin <= dn {
+        return; // already satisfied
+    }
+    // ∂(dp - dn)/∂params; gradient of squared L2 distance.
+    let update = |emb: &mut SeedEmbeddings, t: Triple, sign: f32| {
+        for i in 0..d {
+            let h = emb.entities[t.head as usize * d + i];
+            let r = emb.relations[t.rel as usize * d + i];
+            let tl = emb.entities[t.tail as usize * d + i];
+            let g = 2.0 * (h + r - tl) * sign * lr;
+            emb.entities[t.head as usize * d + i] -= g;
+            emb.relations[t.rel as usize * d + i] -= g;
+            emb.entities[t.tail as usize * d + i] += g;
+        }
+    };
+    update(emb, pos, 1.0);
+    update(emb, neg, -1.0);
+}
+
+fn normalize_rows(data: &mut [f32], d: usize) {
+    for row in data.chunks_mut(d) {
+        let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1.0 {
+            for x in row {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mga_ir::builder::FunctionBuilder;
+    use mga_ir::instr::CmpPred;
+    use mga_ir::Param;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(
+            "saxpy",
+            vec![
+                Param {
+                    name: "n".into(),
+                    ty: Type::I64,
+                },
+                Param {
+                    name: "x".into(),
+                    ty: Type::F32.ptr(),
+                },
+                Param {
+                    name: "y".into(),
+                    ty: Type::F32.ptr(),
+                },
+            ],
+            Type::Void,
+        );
+        let entry = b.current_block();
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        let zero = b.const_i64(0);
+        b.br(header);
+        b.switch_to(header);
+        let (i, ip) = b.phi_begin(Type::I64);
+        let c = b.icmp(CmpPred::Lt, i, b.param(0));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let px = b.gep(b.param(1), i);
+        let py = b.gep(b.param(2), i);
+        let vx = b.load(px);
+        let vy = b.load(py);
+        let a = b.const_f32(3.0);
+        let ax = b.fmul(vx, a);
+        let s = b.fadd(ax, vy);
+        b.store(s, py);
+        let one = b.const_i64(1);
+        let ix = b.add(i, one);
+        b.br(header);
+        b.phi_finish(ip, vec![(entry, zero), (body, ix)]);
+        b.switch_to(exit);
+        b.ret_void();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn triples_cover_all_relations() {
+        let m = sample_module();
+        let triples = extract_triples(&m);
+        assert!(!triples.is_empty());
+        let rels: std::collections::HashSet<u32> = triples.iter().map(|t| t.rel).collect();
+        assert!(rels.contains(&(Rel::TypeOf as u32)));
+        assert!(rels.contains(&(Rel::Next as u32)));
+        assert!(rels.contains(&(Rel::Arg as u32)));
+        for t in &triples {
+            assert!((t.head as usize) < NUM_ENTITIES);
+            assert!((t.tail as usize) < NUM_ENTITIES);
+            assert!((t.rel as usize) < NUM_RELATIONS);
+        }
+    }
+
+    #[test]
+    fn transe_ranks_observed_triples_above_corrupted() {
+        let m = sample_module();
+        let triples = extract_triples(&m);
+        let cfg = TransEConfig {
+            dim: 16,
+            epochs: 80,
+            ..TransEConfig::default()
+        };
+        let emb = train_seed_embeddings(&triples, &cfg, 7);
+        // Average score of observed triples must beat random corruptions.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pos_score = 0.0;
+        let mut neg_score = 0.0;
+        for &t in &triples {
+            pos_score += emb.score(t);
+            let mut n = t;
+            n.tail = rng.gen_range(0..NUM_ENTITIES as u32);
+            neg_score += emb.score(n);
+        }
+        pos_score /= triples.len() as f32;
+        neg_score /= triples.len() as f32;
+        assert!(
+            pos_score > neg_score + 0.1,
+            "TransE failed to separate: pos {pos_score} vs neg {neg_score}"
+        );
+    }
+
+    #[test]
+    fn seed_training_is_deterministic() {
+        let m = sample_module();
+        let triples = extract_triples(&m);
+        let cfg = TransEConfig {
+            dim: 8,
+            epochs: 5,
+            ..TransEConfig::default()
+        };
+        let a = train_seed_embeddings(&triples, &cfg, 11);
+        let b = train_seed_embeddings(&triples, &cfg, 11);
+        assert_eq!(a.entities, b.entities);
+        let c = train_seed_embeddings(&triples, &cfg, 12);
+        assert_ne!(a.entities, c.entities);
+    }
+
+    #[test]
+    fn program_vector_has_dim_and_is_nonzero() {
+        let m = sample_module();
+        let triples = extract_triples(&m);
+        let cfg = TransEConfig {
+            dim: 16,
+            epochs: 10,
+            ..TransEConfig::default()
+        };
+        let emb = train_seed_embeddings(&triples, &cfg, 1);
+        let v = emb.encode_function(&m.functions[0]);
+        assert_eq!(v.len(), 16);
+        assert!(v.iter().any(|&x| x != 0.0));
+        let vm = emb.encode_module(&m);
+        assert_eq!(vm, v, "single-function module vector equals function vector");
+    }
+
+    #[test]
+    fn different_programs_get_different_vectors() {
+        let m1 = sample_module();
+        // An integer-only kernel.
+        let mut m2 = Module::new("m2");
+        let mut b = FunctionBuilder::new(
+            "intsum",
+            vec![Param {
+                name: "n".into(),
+                ty: Type::I64,
+            }],
+            Type::I64,
+        );
+        let two = b.const_i64(2);
+        let sq = b.mul(b.param(0), two);
+        let sq2 = b.add(sq, two);
+        b.ret(sq2);
+        m2.add_function(b.finish());
+
+        let mut triples = extract_triples(&m1);
+        triples.extend(extract_triples(&m2));
+        let cfg = TransEConfig {
+            dim: 16,
+            epochs: 20,
+            ..TransEConfig::default()
+        };
+        let emb = train_seed_embeddings(&triples, &cfg, 5);
+        let v1 = emb.encode_function(&m1.functions[0]);
+        let v2 = emb.encode_function(&m2.functions[0]);
+        let dist: f32 = v1
+            .iter()
+            .zip(&v2)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 0.5, "distinct kernels too close: {dist}");
+    }
+
+    #[test]
+    fn flow_aware_vectors_differ_from_flow_free() {
+        // Two kernels with the same opcode multiset but different data
+        // flow: a*(b+c) vs (a*b)+c. Flow-aware encoding must distinguish
+        // the chained dependency structure.
+        let build = |chain: bool| {
+            let mut b = FunctionBuilder::new(
+                "k",
+                vec![
+                    Param {
+                        name: "a".into(),
+                        ty: Type::F64,
+                    },
+                    Param {
+                        name: "b".into(),
+                        ty: Type::F64,
+                    },
+                    Param {
+                        name: "c".into(),
+                        ty: Type::F64,
+                    },
+                ],
+                Type::F64,
+            );
+            let r = if chain {
+                let s = b.fadd(b.param(1), b.param(2));
+                b.fmul(b.param(0), s)
+            } else {
+                let s = b.fmul(b.param(0), b.param(1));
+                b.fadd(s, b.param(2))
+            };
+            b.ret(r);
+            b.finish()
+        };
+        let f1 = build(true);
+        let f2 = build(false);
+        let mut m = Module::new("m");
+        m.add_function(f1);
+        m.add_function(f2);
+        let triples = extract_triples(&m);
+        let emb = train_seed_embeddings(
+            &triples,
+            &TransEConfig {
+                dim: 16,
+                epochs: 30,
+                ..TransEConfig::default()
+            },
+            9,
+        );
+        let v1 = emb.encode_function(&m.functions[0]);
+        let v2 = emb.encode_function(&m.functions[1]);
+        assert_ne!(v1, v2, "flow-aware encoding collapsed distinct data flow");
+    }
+
+    #[test]
+    fn same_family_kernels_embed_closer_than_cross_family() {
+        // Semantic check: two GEMM-like kernels must be nearer each other
+        // (cosine) than either is to a branchy comparison kernel.
+        let gemm_like = |name: &str, fused: usize| {
+            let mut b = FunctionBuilder::new(
+                name,
+                vec![
+                    Param { name: "a".into(), ty: Type::F64 },
+                    Param { name: "b".into(), ty: Type::F64 },
+                ],
+                Type::F64,
+            );
+            let mut acc = b.fmul(b.param(0), b.param(1));
+            for _ in 0..fused {
+                acc = b.fadd(acc, acc);
+                acc = b.fmul(acc, b.param(0));
+            }
+            b.ret(acc);
+            b.finish()
+        };
+        let branchy = {
+            let mut b = FunctionBuilder::new(
+                "cmp",
+                vec![
+                    Param { name: "a".into(), ty: Type::I64 },
+                    Param { name: "b".into(), ty: Type::I64 },
+                ],
+                Type::I64,
+            );
+            let c = b.icmp(CmpPred::Lt, b.param(0), b.param(1));
+            let s = b.select(c, b.param(0), b.param(1));
+            let t = b.xor(s, b.param(0));
+            let u = b.and(t, b.param(1));
+            b.ret(u);
+            b.finish()
+        };
+        let mut m = Module::new("m");
+        m.add_function(gemm_like("g1", 2));
+        m.add_function(gemm_like("g2", 3));
+        m.add_function(branchy);
+        let triples = extract_triples(&m);
+        let emb = train_seed_embeddings(
+            &triples,
+            &TransEConfig { dim: 24, epochs: 40, ..Default::default() },
+            17,
+        );
+        let v: Vec<Vec<f32>> = m.functions.iter().map(|f| emb.encode_function(f)).collect();
+        let cos = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb)
+        };
+        let within = cos(&v[0], &v[1]);
+        let across = cos(&v[0], &v[2]).max(cos(&v[1], &v[2]));
+        assert!(
+            within > across,
+            "GEMM-family similarity {within} not above cross-family {across}"
+        );
+    }
+
+    #[test]
+    fn entity_ids_partition() {
+        // Opcode, type and kind entity id ranges must not overlap.
+        let op_max = Opcode::ALL
+            .iter()
+            .map(|&o| entity_of_opcode(o))
+            .max()
+            .unwrap();
+        assert!(op_max < Opcode::NUM_FEATURE_CLASSES);
+        assert_eq!(entity_of_type(&Type::Void), Opcode::NUM_FEATURE_CLASSES);
+        assert_eq!(
+            entity_of_kind(KIND_FUNC),
+            NUM_ENTITIES - 1,
+            "kind entities end the universe"
+        );
+    }
+}

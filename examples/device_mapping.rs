@@ -1,0 +1,76 @@
+//! OpenCL heterogeneous device mapping (the §4.2 task) on a slice of the
+//! OpenCL catalog: should this kernel run on the CPU or the GPU?
+//!
+//! Run with: `cargo run --release --example device_mapping`
+
+use mga::core::dataset::OclDataset;
+use mga::core::devmap::run_devmap;
+use mga::core::model::{Modality, ModelConfig};
+use mga::dae::DaeConfig;
+use mga::gnn::GnnConfig;
+use mga::kernels::catalog::opencl_catalog;
+use mga::sim::gpu::GpuSpec;
+
+fn main() {
+    let specs: Vec<_> = opencl_catalog().into_iter().step_by(2).collect();
+    println!("building the device-mapping dataset for {} kernels ...", specs.len());
+    let ds = OclDataset::build(specs, GpuSpec::tahiti_7970(), 24, 3);
+    let gpu_share =
+        ds.labels().iter().filter(|&&l| l == 1).count() as f64 / ds.samples.len() as f64;
+    println!(
+        "{} labeled points ({:.0}% GPU-best) on {} vs {}",
+        ds.samples.len(),
+        gpu_share * 100.0,
+        ds.cpu.name,
+        ds.gpu.name
+    );
+
+    let cfg = ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig { dim: 16, layers: 2, update: mga::gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+        dae: DaeConfig {
+            input_dim: 24,
+            hidden_dim: 16,
+            code_dim: 8,
+            epochs: 40,
+            ..DaeConfig::default()
+        },
+        hidden: 32,
+        epochs: 35,
+        lr: 0.015,
+        seed: 3,
+    };
+    println!("running 5-fold stratified cross-validation ...");
+    let res = run_devmap(&ds, &cfg, 5, 3);
+    println!(
+        "\naccuracy {:.1}%  macro-F1 {:.2}",
+        res.accuracy * 100.0,
+        res.f1
+    );
+    println!(
+        "speedup over static mapping: {:.2}x (oracle {:.2}x)",
+        res.speedup, res.oracle_speedup
+    );
+
+    // Show a few individual decisions.
+    println!("\nsample decisions (out-of-fold):");
+    println!(
+        "{:<34} {:>10} {:>8} {:>10} {:>10} {:>6} {:>6}",
+        "kernel", "transfer", "wg", "cpu", "gpu", "pred", "true"
+    );
+    for (i, s) in ds.samples.iter().enumerate().step_by(ds.samples.len() / 12) {
+        println!(
+            "{:<34} {:>9.0}K {:>8} {:>9.2}ms {:>9.2}ms {:>6} {:>6}",
+            ds.specs[s.kernel].name,
+            s.transfer_bytes / 1024.0,
+            s.wg_size,
+            s.cpu_time * 1e3,
+            s.gpu_time * 1e3,
+            if res.predictions[i] == 1 { "GPU" } else { "CPU" },
+            if s.label == 1 { "GPU" } else { "CPU" },
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end OpenMP tuning with the MGA model (the §4.1.3 workflow on a
+//! small slice of the benchmark catalog).
+//!
+//! Trains the multimodal model on a set of loops, then predicts thread
+//! counts for loops it has never seen — including their profiled
+//! counters — and compares against the default and the oracle.
+//!
+//! Run with: `cargo run --release --example openmp_tuning`
+
+use mga::core::cv::kfold_by_group;
+use mga::core::metrics::summarize;
+use mga::core::model::{FusionModel, Modality, ModelConfig};
+use mga::core::omp::OmpTask;
+use mga::core::OmpDataset;
+use mga::dae::DaeConfig;
+use mga::gnn::GnnConfig;
+use mga::kernels::catalog::openmp_thread_dataset;
+use mga::kernels::inputs::openmp_input_sizes;
+use mga::sim::cpu::CpuSpec;
+use mga::sim::openmp::thread_space;
+
+fn main() {
+    // A 15-loop, 10-input slice keeps this example under a minute.
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(3).collect();
+    let sizes: Vec<f64> = openmp_input_sizes().into_iter().step_by(3).collect();
+    let cpu = CpuSpec::comet_lake();
+    println!(
+        "building dataset: {} loops x {} inputs on {} ...",
+        specs.len(),
+        sizes.len(),
+        cpu.name
+    );
+    let ds = OmpDataset::build(specs, sizes, thread_space(&cpu), cpu, 24, 7);
+    let task = OmpTask::new(&ds);
+
+    // Hold one fifth of the loops out.
+    let folds = kfold_by_group(&ds.groups(), 5, 7);
+    let fold = &folds[0];
+    let data = task.train_data(&ds);
+    let cfg = ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig { dim: 16, layers: 2, update: mga::gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+        dae: DaeConfig {
+            input_dim: 24,
+            hidden_dim: 16,
+            code_dim: 8,
+            epochs: 40,
+            ..DaeConfig::default()
+        },
+        hidden: 32,
+        epochs: 40,
+        lr: 0.015,
+        seed: 7,
+    };
+    println!("training the MGA model on {} samples ...", fold.train.len());
+    let model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
+    println!("trained: {} parameters, final loss {:.3}", model.num_params(), model.final_loss);
+
+    // Predict the held-out loops.
+    let preds = model.predict(&data, &fold.val);
+    let mut pairs = Vec::new();
+    println!("\n{:<28} {:>10} {:>10} {:>10} {:>10}", "loop @ input", "default", "predicted", "oracle", "norm");
+    for (j, &i) in fold.val.iter().enumerate().take(12) {
+        let s = &ds.samples[i];
+        let heads: Vec<usize> = preds.iter().map(|p| p[j]).collect();
+        let cfg_idx = task.codec.decode(&heads);
+        let name = format!(
+            "{} @ {:.0}KB",
+            ds.specs[s.kernel].app,
+            s.ws_bytes / 1024.0
+        );
+        println!(
+            "{name:<28} {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>10.3}",
+            s.default_runtime * 1e3,
+            s.runtimes[cfg_idx] * 1e3,
+            s.runtimes[s.best] * 1e3,
+            (s.default_runtime / s.runtimes[cfg_idx]) / ds.oracle_speedup(s)
+        );
+    }
+    for (j, &i) in fold.val.iter().enumerate() {
+        let s = &ds.samples[i];
+        let heads: Vec<usize> = preds.iter().map(|p| p[j]).collect();
+        let cfg_idx = task.codec.decode(&heads);
+        pairs.push(mga::core::metrics::SpeedupPair {
+            achieved: ds.achieved_speedup(s, cfg_idx),
+            oracle: ds.oracle_speedup(s),
+        });
+    }
+    let (a, o, n) = summarize(&pairs);
+    println!(
+        "\nheld-out loops: MGA speedup {a:.2}x vs oracle {o:.2}x (normalized {n:.3}) over {} samples",
+        pairs.len()
+    );
+}

@@ -1,0 +1,254 @@
+//! `mga-tune` — command-line front end to the MGA tuner.
+//!
+//! ```text
+//! mga-tune list                                  # catalog kernels
+//! mga-tune train --out model.ckpt [--machine skylake] [--quick]
+//! mga-tune recommend --kernel polybench/gemm/l0 --ws 64M \
+//!     [--machine cometlake] [--model model.ckpt]
+//! ```
+//!
+//! `train` builds the simulated profiling dataset over the OpenMP catalog,
+//! trains the multimodal model and checkpoints it. `recommend` profiles
+//! one kernel at the requested working-set size (two simulated profiling
+//! runs, as in the paper), runs the model, and reports the recommended
+//! configuration with its measured speedup.
+
+use mga::core::cv::Fold;
+use mga::core::model::{FusionModel, Modality, ModelConfig};
+use mga::core::omp::OmpTask;
+use mga::core::{persist, OmpDataset};
+use mga::dae::DaeConfig;
+use mga::gnn::GnnConfig;
+use mga::kernels::catalog::openmp_catalog;
+use mga::kernels::inputs::openmp_input_sizes;
+use mga::sim::cpu::CpuSpec;
+use mga::sim::openmp::{oracle_config, simulate, thread_space, OmpConfig};
+use std::path::Path;
+
+fn machine(name: &str) -> CpuSpec {
+    match name {
+        "cometlake" => CpuSpec::comet_lake(),
+        "skylake" => CpuSpec::skylake_4114(),
+        "broadwell" => CpuSpec::broadwell_8c(),
+        "sandybridge" => CpuSpec::sandy_bridge_8c(),
+        other => {
+            eprintln!("unknown machine `{other}` (cometlake|skylake|broadwell|sandybridge)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_size(s: &str) -> f64 {
+    let (num, mult) = match s.chars().last() {
+        Some('K' | 'k') => (&s[..s.len() - 1], 1024.0),
+        Some('M' | 'm') => (&s[..s.len() - 1], 1024.0 * 1024.0),
+        Some('G' | 'g') => (&s[..s.len() - 1], 1024.0 * 1024.0 * 1024.0),
+        _ => (s, 1.0),
+    };
+    num.parse::<f64>().unwrap_or_else(|_| {
+        eprintln!("bad size `{s}` (e.g. 64M, 512K, 1G)");
+        std::process::exit(2);
+    }) * mult
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn model_config(quick: bool) -> ModelConfig {
+    ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: if quick { 12 } else { 32 },
+            layers: 2,
+            update: mga::gnn::UpdateKind::Gru,
+            homogeneous: false,
+        },
+        dae: DaeConfig {
+            input_dim: if quick { 16 } else { 48 },
+            hidden_dim: if quick { 12 } else { 32 },
+            code_dim: if quick { 6 } else { 16 },
+            epochs: if quick { 25 } else { 80 },
+            ..DaeConfig::default()
+        },
+        hidden: if quick { 24 } else { 64 },
+        epochs: if quick { 25 } else { 70 },
+        lr: 0.015,
+        seed: 42,
+    }
+}
+
+/// Build the profiling dataset. `--quick` thins the *input ladder* (and
+/// model sizes elsewhere) but never the kernel catalog — every kernel
+/// `mga-tune list` shows must stay addressable.
+fn build_dataset(cpu: &CpuSpec, quick: bool) -> OmpDataset {
+    let specs = openmp_catalog();
+    let mut sizes = openmp_input_sizes();
+    if quick {
+        sizes = sizes.into_iter().step_by(5).collect();
+    }
+    let vec_dim = if quick { 16 } else { 48 };
+    OmpDataset::build(specs, sizes, thread_space(cpu), cpu.clone(), vec_dim, 42)
+}
+
+fn cmd_list() {
+    println!("{:<34} {:<14} {:>8}", "kernel", "suite", "IR instrs");
+    for spec in openmp_catalog() {
+        println!(
+            "{:<34} {:<14} {:>8}",
+            spec.name,
+            spec.suite.name(),
+            spec.module.num_instrs()
+        );
+    }
+}
+
+fn cmd_train(args: &[String]) {
+    let out = arg_value(args, "--out").unwrap_or_else(|| "mga-model.ckpt".into());
+    let cpu = machine(&arg_value(args, "--machine").unwrap_or_else(|| "cometlake".into()));
+    let quick = args.iter().any(|a| a == "--quick");
+    eprintln!("building profiling dataset on {} ...", cpu.name);
+    let ds = build_dataset(&cpu, quick);
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let train: Vec<usize> = (0..ds.samples.len()).collect();
+    eprintln!(
+        "training on {} samples ({} loops x {} inputs) ...",
+        train.len(),
+        ds.specs.len(),
+        ds.sizes.len()
+    );
+    let model = FusionModel::fit(model_config(quick), &data, &train, &task.codec.head_sizes());
+    eprintln!(
+        "trained {} parameters, final loss {:.3}",
+        model.num_params(),
+        model.final_loss
+    );
+    persist::save_to_file(&model, ds.vectors[0].len(), 5, Path::new(&out))
+        .unwrap_or_else(|e| {
+            eprintln!("failed to save: {e}");
+            std::process::exit(1);
+        });
+    println!("saved checkpoint to {out}");
+}
+
+fn cmd_recommend(args: &[String]) {
+    let kernel = arg_value(args, "--kernel").unwrap_or_else(|| {
+        eprintln!("--kernel <name> required (see `mga-tune list`)");
+        std::process::exit(2);
+    });
+    let ws = parse_size(&arg_value(args, "--ws").unwrap_or_else(|| "64M".into()));
+    let cpu = machine(&arg_value(args, "--machine").unwrap_or_else(|| "cometlake".into()));
+    let quick = args.iter().any(|a| a == "--quick");
+
+    // The dataset provides graphs/vectors for every catalog kernel; the
+    // requested kernel is excluded from training (honest recommendation).
+    let ds = build_dataset(&cpu, quick);
+    let kidx = ds
+        .specs
+        .iter()
+        .position(|s| s.name == kernel)
+        .unwrap_or_else(|| {
+            eprintln!("kernel `{kernel}` not in catalog (see `mga-tune list`)");
+            std::process::exit(2);
+        });
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+
+    let model = match arg_value(args, "--model") {
+        Some(path) => {
+            eprintln!("loading checkpoint {path} ...");
+            persist::load_from_file(Path::new(&path)).unwrap_or_else(|e| {
+                eprintln!("failed to load: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => {
+            let fold = Fold {
+                train: (0..ds.samples.len())
+                    .filter(|&i| ds.samples[i].kernel != kidx)
+                    .collect(),
+                val: vec![],
+            };
+            eprintln!(
+                "no --model given; training a fresh model on the other {} loops ...",
+                ds.specs.len() - 1
+            );
+            FusionModel::fit(model_config(quick), &data, &fold.train, &task.codec.head_sizes())
+        }
+    };
+
+    // Profile the kernel at the requested size (the paper's two runs).
+    let spec = &ds.specs[kidx];
+    let default_cfg = OmpConfig::default_for(&cpu);
+    let profile = simulate(spec, ws, &default_cfg, &cpu);
+    println!(
+        "\nprofiled `{kernel}` at ws={:.1} MB on {}:",
+        ws / 1048576.0,
+        cpu.name
+    );
+    println!(
+        "  default ({} threads, static): {:.3} ms",
+        default_cfg.threads,
+        profile.runtime * 1e3
+    );
+    println!(
+        "  counters: L1 {:.2e}  L2 {:.2e}  L3 {:.2e}  BR {:.2e}  MSP {:.2e}",
+        profile.counters.l1_dcm,
+        profile.counters.l2_tcm,
+        profile.counters.l3_ldm,
+        profile.counters.br_ins,
+        profile.counters.br_msp
+    );
+
+    // Build a one-sample prediction view.
+    let aux = vec![mga::core::omp::counter_features(&profile.counters)];
+    let sample_kernel = vec![kidx];
+    let dummy_labels: Vec<Vec<usize>> =
+        task.labels.iter().map(|_| vec![0usize]).collect();
+    let pdata = mga::core::model::TrainData {
+        graphs: &ds.graphs,
+        vectors: &ds.vectors,
+        sample_kernel: &sample_kernel,
+        aux: &aux,
+        labels: &dummy_labels,
+    };
+    let preds = model.predict(&pdata, &[0]);
+    let heads: Vec<usize> = preds.iter().map(|p| p[0]).collect();
+    let cfg_idx = task.codec.decode(&heads);
+    let rec = ds.space[cfg_idx];
+    let rec_run = simulate(spec, ws, &rec, &cpu);
+    let (oracle, oracle_t) = oracle_config(spec, ws, &ds.space, &cpu);
+    println!("\nrecommendation: {} threads, {} schedule", rec.threads, rec.schedule.name());
+    println!(
+        "  measured: {:.3} ms  ({:.2}x speedup over default)",
+        rec_run.runtime * 1e3,
+        profile.runtime / rec_run.runtime
+    );
+    println!(
+        "  oracle:   {:.3} ms  ({} threads, {:.2}x) — recommendation reaches {:.0}% of oracle",
+        oracle_t * 1e3,
+        oracle.threads,
+        profile.runtime / oracle_t,
+        (profile.runtime / rec_run.runtime) / (profile.runtime / oracle_t) * 100.0
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("train") => cmd_train(&args),
+        Some("recommend") => cmd_recommend(&args),
+        _ => {
+            eprintln!(
+                "usage:\n  mga-tune list\n  mga-tune train --out model.ckpt [--machine M] [--quick]\n  mga-tune recommend --kernel NAME --ws SIZE [--machine M] [--model CKPT] [--quick]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # MGA — Multimodal Graph neural network and Autoencoder tuner
+//!
+//! Umbrella crate for the Rust reproduction of *"Performance Optimization
+//! using Multimodal Modeling and Heterogeneous GNN"* (Dutta et al., HPDC
+//! 2023). It re-exports every subsystem crate under one namespace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`ir`] | `mga-ir` | miniature SSA IR, builder, parser/printer, analyses |
+//! | [`kernels`] | `mga-kernels` | benchmark kernel catalog + loop-nest DSL |
+//! | [`graph`] | `mga-graph` | PROGRAML-style flow multi-graphs |
+//! | [`vec`](mod@vec) | `mga-vec` | IR2Vec-style seed embeddings + program vectors |
+//! | [`nn`] | `mga-nn` | tensor/autograd engine, layers, optimizers |
+//! | [`gnn`] | `mga-gnn` | gated + heterogeneous graph neural networks |
+//! | [`dae`] | `mga-dae` | denoising autoencoder with swap noise |
+//! | [`sim`] | `mga-sim` | CPU/GPU hardware models + PAPI-like profiler |
+//! | [`tuners`] | `mga-tuners` | OpenTuner/ytopt/BLISS-style baseline tuners |
+//! | [`core`] | `mga-core` | datasets, the MGA model, training, evaluation |
+//!
+//! See the `examples/` directory for end-to-end usage: `quickstart`,
+//! `openmp_tuning`, `device_mapping` and `microarch_portability`.
+
+pub use mga_core as core;
+pub use mga_dae as dae;
+pub use mga_gnn as gnn;
+pub use mga_graph as graph;
+pub use mga_ir as ir;
+pub use mga_kernels as kernels;
+pub use mga_nn as nn;
+pub use mga_sim as sim;
+pub use mga_tuners as tuners;
+pub use mga_vec as vec;

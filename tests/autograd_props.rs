@@ -1,0 +1,135 @@
+//! Property tests: the autograd engine against finite differences, and
+//! numerical invariants of the NN substrate.
+
+use mga::nn::scaler::{GaussRankScaler, MinMaxScaler};
+use mga::nn::tape::Tape;
+use mga::nn::tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-1.5f32..1.5, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+/// Central-difference gradient check for a random composite graph.
+fn check(input: &Tensor, build: impl Fn(&mut Tape, mga::nn::Var) -> mga::nn::Var) -> Result<(), TestCaseError> {
+    let mut tape = Tape::new();
+    let x = tape.leaf(input.clone());
+    let loss = build(&mut tape, x);
+    tape.backward(loss);
+    let analytic = tape.grad(x);
+    let eps = 1e-2f32;
+    for idx in 0..input.len() {
+        let f = |delta: f32| {
+            let mut t = input.clone();
+            t.data_mut()[idx] += delta;
+            let mut tp = Tape::new();
+            let xv = tp.leaf(t);
+            let l = build(&mut tp, xv);
+            tp.value(l).get(0, 0)
+        };
+        let numeric = (f(eps) - f(-eps)) / (2.0 * eps);
+        let a = analytic.data()[idx];
+        prop_assert!(
+            (a - numeric).abs() <= 0.05 * (1.0 + numeric.abs()),
+            "grad mismatch at {idx}: analytic {a}, numeric {numeric}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn composite_graph_gradients_match_finite_differences(
+        x in tensor_strategy(3, 4),
+        w in tensor_strategy(4, 3),
+        pick in 0u8..4,
+    ) {
+        check(&x, |t, xv| {
+            let wv = t.leaf(w.clone());
+            let h = t.matmul(xv, wv);
+            let h = match pick % 4 {
+                0 => t.sigmoid(h),
+                1 => t.tanh(h),
+                2 => t.relu(h),
+                _ => t.scale(h, 0.7),
+            };
+            let g = t.gather_rows(h, &[0, 2, 1, 2]);
+            let s = t.scatter_mean_rows(g, &[1, 0, 1, 0], 2);
+            t.mse_loss(s, &Tensor::full(2, 3, 0.1))
+        })?;
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches(x in tensor_strategy(4, 3)) {
+        check(&x, |t, xv| t.softmax_cross_entropy(xv, &[0, 1, 2, 1]))?;
+    }
+
+    #[test]
+    fn softmax_ce_is_nonnegative_and_permutation_sane(x in tensor_strategy(5, 4)) {
+        let mut t = Tape::new();
+        let xv = t.leaf(x.clone());
+        let l = t.softmax_cross_entropy(xv, &[0, 1, 2, 3, 0]);
+        let v = t.value(l).get(0, 0);
+        prop_assert!(v >= 0.0, "cross-entropy must be nonnegative, got {v}");
+        prop_assert!(v.is_finite());
+    }
+
+    #[test]
+    fn matmul_is_associative_enough(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(2, 3),
+    ) {
+        // (A·B)·C == A·(B·C) within f32 tolerance.
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_matmul_identity(a in tensor_strategy(4, 3), b in tensor_strategy(4, 5)) {
+        // aᵀ·b computed directly equals the explicit transpose product.
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gauss_rank_is_monotone_on_random_data(
+        vals in proptest::collection::vec(-100.0f32..100.0, 8..40),
+        probe_a in -120.0f32..120.0,
+        probe_b in -120.0f32..120.0,
+    ) {
+        let data: Vec<Vec<f32>> = vals.iter().map(|&v| vec![v]).collect();
+        let s = GaussRankScaler::fit(&data, 1);
+        let (lo, hi) = if probe_a <= probe_b { (probe_a, probe_b) } else { (probe_b, probe_a) };
+        let mut a = [lo];
+        let mut b = [hi];
+        s.transform_row(&mut a);
+        s.transform_row(&mut b);
+        prop_assert!(a[0] <= b[0] + 1e-6, "monotonicity violated: {} > {}", a[0], b[0]);
+    }
+
+    #[test]
+    fn minmax_output_in_unit_interval(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-50.0f32..50.0, 3),
+            2..20
+        ),
+        probe in proptest::collection::vec(-100.0f32..100.0, 3),
+    ) {
+        let s = MinMaxScaler::fit(&data, 3);
+        let mut p = probe.clone();
+        s.transform_row(&mut p);
+        for v in p {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: IR printer/parser round trips and verifier stability
+//! over the whole (randomized) kernel-archetype space.
+
+use mga::ir::parser::parse_module;
+use mga::ir::printer::module_str;
+use mga::ir::verify_module;
+use mga::kernels::archetypes;
+use proptest::prelude::*;
+
+/// Build an archetype module from a small parameter tuple.
+fn arch_module(which: u8, a: usize, b: usize) -> mga::ir::Module {
+    let name = format!("k{which}_{a}_{b}");
+    match which % 8 {
+        0 => archetypes::streaming(&name, 1 + a % 4, b % 5).0,
+        1 => archetypes::matmul(&name, 1 + a % 3).0,
+        2 => archetypes::stencil(&name, 2 + a % 2, 3 + b % 24).0,
+        3 => archetypes::reduction(&name, 1 + a % 3, b.is_multiple_of(2)).0,
+        4 => archetypes::triangular(&name, 0.05 + (b % 10) as f64 / 20.0).0,
+        5 => archetypes::gather(&name, 0.1 + (a % 5) as f64 / 10.0, (b % 10) as f64 / 10.0).0,
+        6 => archetypes::nbody(&name, 8 + (a % 8) as i64 * 8).0,
+        _ => archetypes::sortlike(&name).0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn print_parse_print_is_fixed_point(which in 0u8..8, a in 0usize..8, b in 0usize..24) {
+        let m = arch_module(which, a, b);
+        let t1 = module_str(&m);
+        let p1 = parse_module(&t1).expect("parse printed module");
+        let t2 = module_str(&p1);
+        let p2 = parse_module(&t2).expect("reparse normalized module");
+        let t3 = module_str(&p2);
+        prop_assert_eq!(t2, t3);
+    }
+
+    #[test]
+    fn parsed_modules_verify(which in 0u8..8, a in 0usize..8, b in 0usize..24) {
+        let m = arch_module(which, a, b);
+        verify_module(&m).expect("generated module verifies");
+        let p = parse_module(&module_str(&m)).expect("parse");
+        verify_module(&p).expect("parsed module verifies");
+    }
+
+    #[test]
+    fn parsing_preserves_structure(which in 0u8..8, a in 0usize..8, b in 0usize..24) {
+        let m = arch_module(which, a, b);
+        let p = parse_module(&module_str(&m)).expect("parse");
+        prop_assert_eq!(m.functions.len(), p.functions.len());
+        for (f1, f2) in m.functions.iter().zip(&p.functions) {
+            prop_assert_eq!(&f1.name, &f2.name);
+            prop_assert_eq!(f1.blocks.len(), f2.blocks.len());
+            prop_assert_eq!(f1.num_instrs(), f2.num_instrs());
+            prop_assert_eq!(f1.params.len(), f2.params.len());
+            // Same opcode multiset.
+            let mut ops1: Vec<_> = f1.instrs.iter().map(|i| i.op).collect();
+            let mut ops2: Vec<_> = f2.instrs.iter().map(|i| i.op).collect();
+            ops1.sort();
+            ops2.sort();
+            prop_assert_eq!(ops1, ops2);
+        }
+    }
+
+    #[test]
+    fn graphs_validate_for_all_archetypes(which in 0u8..8, a in 0usize..8, b in 0usize..24) {
+        let m = arch_module(which, a, b);
+        let g = mga::graph::build_module_graph(&m);
+        g.validate().expect("graph invariants");
+        prop_assert!(g.num_nodes() > 0);
+        // Instruction count in the graph matches the module.
+        prop_assert_eq!(g.instruction_nodes().len(), m.num_instrs());
+        for n in &g.nodes {
+            prop_assert!(n.vocab_index() < mga::graph::Node::VOCAB_SIZE);
+        }
+    }
+
+    #[test]
+    fn triple_extraction_total_and_bounded(which in 0u8..8, a in 0usize..8, b in 0usize..24) {
+        let m = arch_module(which, a, b);
+        let triples = mga::vec::extract_triples(&m);
+        prop_assert!(!triples.is_empty());
+        for t in triples {
+            prop_assert!((t.head as usize) < mga::vec::NUM_ENTITIES);
+            prop_assert!((t.tail as usize) < mga::vec::NUM_ENTITIES);
+            prop_assert!((t.rel as usize) < mga::vec::NUM_RELATIONS);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration: checkpoint round trips feeding the online tuner — the
+//! deployment path of a shipped model (train once, save; later load,
+//! profile, recommend, refine).
+
+use mga::core::cv::kfold_by_group;
+use mga::core::model::{FusionModel, Modality, ModelConfig};
+use mga::core::omp::OmpTask;
+use mga::core::online::evaluate_online;
+use mga::core::{persist, OmpDataset};
+use mga::dae::DaeConfig;
+use mga::gnn::GnnConfig;
+use mga::kernels::catalog::openmp_thread_dataset;
+use mga::sim::cpu::CpuSpec;
+use mga::sim::openmp::thread_space;
+
+fn setup() -> (OmpDataset, OmpTask) {
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(5).collect();
+    let cpu = CpuSpec::comet_lake();
+    let ds = OmpDataset::build(specs, vec![2e5, 2e7, 2e8], thread_space(&cpu), cpu, 14, 8);
+    let task = OmpTask::new(&ds);
+    (ds, task)
+}
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 10,
+            layers: 1,
+            update: mga::gnn::UpdateKind::Gru,
+            homogeneous: false,
+        },
+        dae: DaeConfig {
+            input_dim: 14,
+            hidden_dim: 10,
+            code_dim: 5,
+            epochs: 12,
+            ..DaeConfig::default()
+        },
+        hidden: 20,
+        epochs: 15,
+        lr: 0.02,
+        seed: 6,
+    }
+}
+
+#[test]
+fn saved_model_refines_online_identically_to_original() {
+    let (ds, task) = setup();
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 3, 4);
+    let model = FusionModel::fit(cfg(), &data, &folds[0].train, &task.codec.head_sizes());
+
+    let text = persist::save_model(&model, 14, 5);
+    let restored = persist::load_model(&text).expect("restore");
+
+    let a = evaluate_online(&ds, &data, &model, &task.codec, &folds[0].val, 4);
+    let b = evaluate_online(&ds, &data, &restored, &task.codec, &folds[0].val, 4);
+    assert_eq!(a.len(), b.len());
+    for ((m1, r1, e1), (m2, r2, e2)) in a.iter().zip(&b) {
+        assert_eq!(m1, m2, "restored model predicted differently");
+        assert_eq!(r1, r2);
+        assert_eq!(e1, e2);
+    }
+}
+
+#[test]
+fn checkpoint_text_is_stable_and_parseable_after_round_trip() {
+    let (ds, task) = setup();
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 3, 4);
+    let model = FusionModel::fit(cfg(), &data, &folds[0].train, &task.codec.head_sizes());
+    let t1 = persist::save_model(&model, 14, 5);
+    let restored = persist::load_model(&t1).unwrap();
+    let t2 = persist::save_model(&restored, 14, 5);
+    assert_eq!(t1, t2, "save∘load∘save must be a fixed point");
+}
+
+#[test]
+fn homogeneous_flag_survives_checkpointing() {
+    let (ds, task) = setup();
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 3, 4);
+    let mut c = cfg();
+    c.modality = Modality::GraphOnly;
+    c.gnn.homogeneous = true;
+    c.epochs = 5;
+    let model = FusionModel::fit(c, &data, &folds[0].train, &task.codec.head_sizes());
+    let restored = persist::load_model(&persist::save_model(&model, 14, 5)).unwrap();
+    assert!(restored.cfg.gnn.homogeneous);
+    assert_eq!(
+        model.predict(&data, &folds[0].val),
+        restored.predict(&data, &folds[0].val)
+    );
+}

@@ -1,0 +1,81 @@
+//! Integration: the OpenCL device-mapping pipeline end to end.
+
+use mga::core::dataset::OclDataset;
+use mga::core::devmap::run_devmap;
+use mga::core::model::{Modality, ModelConfig};
+use mga::dae::DaeConfig;
+use mga::gnn::GnnConfig;
+use mga::kernels::catalog::opencl_catalog;
+use mga::sim::gpu::GpuSpec;
+
+fn quick_cfg(modality: Modality) -> ModelConfig {
+    ModelConfig {
+        modality,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 12,
+            layers: 1,
+            update: mga::gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+        dae: DaeConfig {
+            input_dim: 16,
+            hidden_dim: 12,
+            code_dim: 6,
+            epochs: 20,
+            ..DaeConfig::default()
+        },
+        hidden: 24,
+        epochs: 20,
+        lr: 0.02,
+        seed: 17,
+    }
+}
+
+#[test]
+fn devmap_models_beat_chance_on_both_gpus() {
+    let specs: Vec<_> = opencl_catalog().into_iter().step_by(4).collect();
+    for gpu in [GpuSpec::gtx_970(), GpuSpec::tahiti_7970()] {
+        let ds = OclDataset::build(specs.clone(), gpu, 16, 9);
+        let labels = ds.labels();
+        let ones = labels.iter().filter(|&&l| l == 1).count();
+        assert!(ones > 0 && ones < labels.len(), "degenerate dataset");
+        let res = run_devmap(&ds, &quick_cfg(Modality::Multimodal), 3, 2);
+        // Must clearly beat coin flipping and track the oracle's speedup.
+        assert!(res.accuracy > 0.7, "accuracy {} too low", res.accuracy);
+        assert!(res.speedup > 1.0, "mapping speedup {} not above static", res.speedup);
+        assert!(res.speedup <= res.oracle_speedup + 1e-9);
+    }
+}
+
+#[test]
+fn devmap_speedup_definition_is_consistent() {
+    let specs: Vec<_> = opencl_catalog().into_iter().step_by(6).collect();
+    let ds = OclDataset::build(specs, GpuSpec::gtx_970(), 16, 9);
+    // Oracle predictions give exactly the oracle geomean speedup.
+    let oracle_pred = ds.labels();
+    assert!((ds.geomean_speedup(&oracle_pred) - ds.geomean_oracle_speedup()).abs() < 1e-12);
+    // The all-static mapping gives exactly 1.0.
+    let static_pred = vec![usize::from(ds.static_device_is_gpu()); ds.samples.len()];
+    assert!((ds.geomean_speedup(&static_pred) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn edge_case_kernels_flip_with_input_size() {
+    // The paper's makea observation must be visible in the dataset:
+    // at least one kernel whose label differs across its input sizes.
+    let specs: Vec<_> = opencl_catalog().into_iter().collect();
+    let ds = OclDataset::build(specs, GpuSpec::tahiti_7970(), 16, 9);
+    let mut by_kernel: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for s in &ds.samples {
+        by_kernel.entry(s.kernel).or_default().push(s.label);
+    }
+    let flippers = by_kernel
+        .values()
+        .filter(|ls| ls.contains(&0) && ls.contains(&1))
+        .count();
+    assert!(
+        flippers >= 5,
+        "only {flippers} kernels flip device with input size; the makea edge case is missing"
+    );
+}

@@ -1,0 +1,111 @@
+//! Integration: the full OpenMP tuning pipeline, IR → graph/vector →
+//! simulated profiling → multimodal model → configuration prediction.
+
+use mga::core::cv::kfold_by_group;
+use mga::core::model::{FusionModel, Modality, ModelConfig};
+use mga::core::omp::{eval_model_fold, OmpTask};
+use mga::core::OmpDataset;
+use mga::dae::DaeConfig;
+use mga::gnn::GnnConfig;
+use mga::kernels::catalog::openmp_thread_dataset;
+use mga::sim::cpu::CpuSpec;
+use mga::sim::openmp::thread_space;
+
+fn small_dataset() -> OmpDataset {
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(3).collect();
+    let cpu = CpuSpec::comet_lake();
+    let sizes = vec![64.0 * 1024.0, 4e6, 2.56e8];
+    OmpDataset::build(specs, sizes, thread_space(&cpu), cpu, 16, 11)
+}
+
+fn small_cfg(modality: Modality) -> ModelConfig {
+    ModelConfig {
+        modality,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 12,
+            layers: 2,
+            update: mga::gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+        dae: DaeConfig {
+            input_dim: 16,
+            hidden_dim: 12,
+            code_dim: 6,
+            epochs: 25,
+            ..DaeConfig::default()
+        },
+        hidden: 24,
+        epochs: 30,
+        lr: 0.02,
+        seed: 9,
+    }
+}
+
+#[test]
+fn mga_beats_default_on_unseen_loops() {
+    let ds = small_dataset();
+    let task = OmpTask::new(&ds);
+    let folds = kfold_by_group(&ds.groups(), 4, 5);
+    let e = eval_model_fold(&ds, &task, small_cfg(Modality::Multimodal), &folds[0]);
+    // Normalized speedup must be well above random chance over the space
+    // (the dataset here is tiny — a dozen training loops — so we accept a
+    // small shortfall vs the default on unlucky folds, but not a collapse).
+    let (a, o, n) = mga::core::metrics::summarize(&e.pairs);
+    assert!(a >= 0.9, "predicted configs much slower than default: {a:.3}");
+    assert!(o >= a * 0.999, "oracle can't lose to a predictor");
+    assert!(n > 0.65, "normalized speedup collapsed: {n:.3}");
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let ds = small_dataset();
+    let task = OmpTask::new(&ds);
+    let folds = kfold_by_group(&ds.groups(), 4, 5);
+    let e1 = eval_model_fold(&ds, &task, small_cfg(Modality::Multimodal), &folds[1]);
+    let e2 = eval_model_fold(&ds, &task, small_cfg(Modality::Multimodal), &folds[1]);
+    assert_eq!(e1.accuracy, e2.accuracy);
+    for (p, q) in e1.pairs.iter().zip(&e2.pairs) {
+        assert_eq!(p.achieved, q.achieved);
+    }
+}
+
+#[test]
+fn all_modalities_complete_the_pipeline() {
+    let ds = small_dataset();
+    let task = OmpTask::new(&ds);
+    let folds = kfold_by_group(&ds.groups(), 4, 5);
+    for m in [
+        Modality::Multimodal,
+        Modality::GraphOnly,
+        Modality::VectorOnly,
+        Modality::AuxOnly,
+    ] {
+        let mut cfg = small_cfg(m);
+        cfg.epochs = 8;
+        let e = eval_model_fold(&ds, &task, cfg, &folds[2]);
+        assert!(!e.pairs.is_empty());
+        for p in &e.pairs {
+            assert!(p.achieved.is_finite() && p.achieved > 0.0);
+        }
+    }
+}
+
+#[test]
+fn trained_model_predicts_for_foreign_kernel() {
+    // A model trained on the dataset must accept a kernel built by hand
+    // (through the same TrainData interface).
+    let ds = small_dataset();
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let train: Vec<usize> = (0..ds.samples.len()).collect();
+    let model = FusionModel::fit(
+        small_cfg(Modality::Multimodal),
+        &data,
+        &train,
+        &task.codec.head_sizes(),
+    );
+    let preds = model.predict(&data, &[0, 1]);
+    assert_eq!(preds[0].len(), 2);
+    assert!(preds[0].iter().all(|&p| p < ds.space.len()));
+}

@@ -1,0 +1,125 @@
+//! Property tests: execution-model invariants over the benchmark catalog
+//! and random configurations.
+
+use mga::kernels::catalog::{openmp_catalog, opencl_catalog};
+use mga::sim::cpu::CpuSpec;
+use mga::sim::gpu::{run_mapping, GpuSpec};
+use mga::sim::openmp::{simulate, OmpConfig, Schedule};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = OmpConfig> {
+    (
+        1u32..=20,
+        prop_oneof![
+            Just(Schedule::Static),
+            Just(Schedule::Dynamic),
+            Just(Schedule::Guided)
+        ],
+        prop_oneof![Just(0u32), Just(1), Just(8), Just(64), Just(512)],
+    )
+        .prop_map(|(threads, schedule, chunk)| OmpConfig {
+            threads,
+            schedule,
+            chunk,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn runtimes_finite_positive_deterministic(
+        kernel_idx in 0usize..60,
+        ws_exp in 12.0f64..29.0,
+        cfg in config_strategy(),
+    ) {
+        let cat = openmp_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let ws = ws_exp.exp2();
+        let cpu = CpuSpec::skylake_4114();
+        let r1 = simulate(spec, ws, &cfg, &cpu);
+        let r2 = simulate(spec, ws, &cfg, &cpu);
+        prop_assert!(r1.runtime.is_finite() && r1.runtime > 0.0);
+        prop_assert_eq!(r1.runtime.to_bits(), r2.runtime.to_bits());
+        prop_assert!(r1.counters.l1_dcm >= 0.0);
+        prop_assert!(r1.counters.l2_tcm <= r1.counters.l1_dcm,
+            "L2 misses can't exceed L1 misses: {} vs {}",
+            r1.counters.l2_tcm, r1.counters.l1_dcm);
+        prop_assert!(r1.counters.l3_ldm <= r1.counters.l2_tcm + 1e-9,
+            "L3 load misses can't exceed L2 misses");
+        prop_assert!(r1.counters.br_msp <= r1.counters.br_ins);
+    }
+
+    #[test]
+    fn more_work_never_runs_faster(
+        kernel_idx in 0usize..60,
+        ws_exp in 13.0f64..26.0,
+        cfg in config_strategy(),
+    ) {
+        let cat = openmp_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::comet_lake();
+        let small = simulate(spec, ws_exp.exp2(), &cfg, &cpu).runtime;
+        let large = simulate(spec, (ws_exp + 2.5).exp2(), &cfg, &cpu).runtime;
+        // 6.5x more working set must not be faster (3% noise margin).
+        prop_assert!(large > small * 0.9, "{}: {small} -> {large}", spec.name);
+    }
+
+    #[test]
+    fn single_thread_coarse_chunks_have_no_parallel_overheads(kernel_idx in 0usize..60) {
+        let cat = openmp_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::comet_lake();
+        let ws = 1e7;
+        // At t=1 with coarse chunks the schedule choice must be nearly
+        // irrelevant (fine-grained dynamic still pays real dispatch cost,
+        // exactly as a real OpenMP runtime does).
+        let s = simulate(spec, ws, &OmpConfig { threads: 1, schedule: Schedule::Static, chunk: 0 }, &cpu).runtime;
+        let d = simulate(spec, ws, &OmpConfig { threads: 1, schedule: Schedule::Guided, chunk: 512 }, &cpu).runtime;
+        prop_assert!((s / d - 1.0).abs() < 0.25, "t=1 schedule gap too large: {s} vs {d}");
+    }
+
+    #[test]
+    fn oracle_is_minimal(kernel_idx in 0usize..45, ws_exp in 13.0f64..28.0) {
+        let cat = openmp_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::comet_lake();
+        let space = mga::sim::openmp::thread_space(&cpu);
+        let ws = ws_exp.exp2();
+        let (_, best_t) = mga::sim::openmp::oracle_config(spec, ws, &space, &cpu);
+        for cfg in &space {
+            prop_assert!(simulate(spec, ws, cfg, &cpu).runtime >= best_t);
+        }
+    }
+
+    #[test]
+    fn device_mapping_deterministic_and_positive(
+        kernel_idx in 0usize..80,
+        transfer_exp in 13.0f64..28.0,
+        wg in prop_oneof![Just(64u32), Just(128), Just(256)],
+    ) {
+        let cat = opencl_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::tahiti_7970();
+        let a = run_mapping(spec, transfer_exp.exp2(), wg, &cpu, &gpu);
+        let b = run_mapping(spec, transfer_exp.exp2(), wg, &cpu, &gpu);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.cpu_time > 0.0 && a.gpu_time > 0.0);
+        prop_assert!(a.best_time() <= a.cpu_time && a.best_time() <= a.gpu_time);
+    }
+
+    #[test]
+    fn bigger_transfers_never_speed_up_the_gpu(
+        kernel_idx in 0usize..80,
+        transfer_exp in 14.0f64..25.0,
+    ) {
+        let cat = opencl_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::i7_3820();
+        let gpu = GpuSpec::gtx_970();
+        let small = run_mapping(spec, transfer_exp.exp2(), 128, &cpu, &gpu).gpu_time;
+        let large = run_mapping(spec, (transfer_exp + 2.0).exp2(), 128, &cpu, &gpu).gpu_time;
+        prop_assert!(large > small * 0.9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: autotuner contracts — budgets respected, never better
+//! than the oracle, determinism per seed.
+
+use mga::kernels::catalog::openmp_catalog;
+use mga::sim::cpu::CpuSpec;
+use mga::sim::openmp::{large_space, oracle_config, simulate};
+use mga::tuners::{
+    bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, RandomSearch, Space,
+    Tuner,
+};
+use proptest::prelude::*;
+
+fn tuners(seed: u64) -> Vec<Box<dyn Tuner>> {
+    vec![
+        Box::new(RandomSearch { seed }),
+        Box::new(YtoptLike::new(seed)),
+        Box::new(OpenTunerLike::new(seed)),
+        Box::new(BlissLike::new(seed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn tuners_respect_budget_and_never_beat_oracle(
+        kernel_idx in 0usize..30,
+        seed in 0u64..1000,
+        budget in 3usize..20,
+    ) {
+        let cat = openmp_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        let ws = 1.6e7;
+        let (_, oracle_t) = oracle_config(spec, ws, &space.configs, &cpu);
+        for mut tuner in tuners(seed) {
+            let mut ev = Evaluator::new(spec, ws, &cpu);
+            let chosen = tuner.tune(&space, &mut ev, budget);
+            prop_assert!(ev.evals <= budget, "{} used {} > {}", tuner.name(), ev.evals, budget);
+            prop_assert!(ev.spent_seconds > 0.0);
+            let t = simulate(spec, ws, &chosen, &cpu).runtime;
+            prop_assert!(t >= oracle_t * 0.999, "{} beat the oracle?", tuner.name());
+            prop_assert!(space.configs.contains(&chosen));
+        }
+    }
+
+    #[test]
+    fn tuners_are_deterministic_per_seed(kernel_idx in 0usize..30, seed in 0u64..500) {
+        let cat = openmp_catalog();
+        let spec = &cat[kernel_idx % cat.len()];
+        let cpu = CpuSpec::skylake_4114();
+        let space = Space::new(large_space());
+        for (a, b) in tuners(seed).into_iter().zip(tuners(seed)) {
+            let mut t1 = a;
+            let mut t2 = b;
+            let mut e1 = Evaluator::new(spec, 4e6, &cpu);
+            let mut e2 = Evaluator::new(spec, 4e6, &cpu);
+            let c1 = t1.tune(&space, &mut e1, 8);
+            let c2 = t2.tune(&space, &mut e2, 8);
+            prop_assert_eq!(c1, c2, "{} nondeterministic", t1.name());
+            prop_assert_eq!(e1.evals, e2.evals);
+        }
+    }
+}
+
+#[test]
+fn bigger_budgets_reach_the_oracle_eventually() {
+    let cat = openmp_catalog();
+    let spec = cat.iter().find(|s| s.app == "hotspot").unwrap();
+    let cpu = CpuSpec::comet_lake();
+    let space = Space::new(mga::sim::openmp::thread_space(&cpu));
+    let ws = 3e7;
+    let (_, oracle_t) = oracle_config(spec, ws, &space.configs, &cpu);
+    // Budget covering the whole space: every tuner must find the optimum.
+    for mut tuner in tuners(3) {
+        let mut ev = Evaluator::new(spec, ws, &cpu);
+        let chosen = tuner.tune(&space, &mut ev, space.len() * 3);
+        let t = simulate(spec, ws, &chosen, &cpu).runtime;
+        assert!(
+            (t - oracle_t).abs() < 1e-12,
+            "{} missed the optimum with exhaustive budget: {t} vs {oracle_t}",
+            tuner.name()
+        );
+    }
+}
