@@ -29,8 +29,8 @@ fn bench_inference(c: &mut Criterion) {
             dim: 16,
             layers: 2,
             update: mga_gnn::UpdateKind::Gru,
-                homogeneous: false,
-            },
+            homogeneous: false,
+        },
         dae: DaeConfig {
             input_dim: 16,
             hidden_dim: 12,

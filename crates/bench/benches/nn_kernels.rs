@@ -52,8 +52,8 @@ fn bench_gnn(c: &mut Criterion) {
             dim: 32,
             layers: 2,
             update: mga_gnn::UpdateKind::Gru,
-                homogeneous: false,
-            },
+            homogeneous: false,
+        },
         &mut rng,
     );
     let mut g = c.benchmark_group("hetero_gnn");

@@ -22,10 +22,7 @@ fn bench_graph_construction(c: &mut Criterion) {
             black_box(nodes)
         })
     });
-    let biggest = cat
-        .iter()
-        .max_by_key(|s| s.module.num_instrs())
-        .unwrap();
+    let biggest = cat.iter().max_by_key(|s| s.module.num_instrs()).unwrap();
     g.bench_function("largest_kernel", |b| {
         b.iter(|| black_box(build_module_graph(&biggest.module)))
     });

@@ -30,11 +30,7 @@ fn bench_simulate(c: &mut Criterion) {
     let space = large_space();
     g.bench_function("oracle_147_configs", |b| {
         let spec = &cat[5];
-        b.iter(|| {
-            black_box(mga_sim::openmp::oracle_config(
-                spec, 1e7, &space, &cpu,
-            ))
-        })
+        b.iter(|| black_box(mga_sim::openmp::oracle_config(spec, 1e7, &space, &cpu)))
     });
     let tspace = thread_space(&CpuSpec::comet_lake());
     g.bench_function("oracle_thread_space", |b| {

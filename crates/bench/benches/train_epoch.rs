@@ -1,0 +1,65 @@
+//! One training epoch over a prepared batch — the hot loop the parallel
+//! runtime targets. Also times the per-fold feature preparation that the
+//! [`mga_core::model::PreparedBatch`] cache hoists out of the epoch loop,
+//! so the bench output shows both what each epoch costs now and what it
+//! no longer re-pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{batch_targets, FusionModel, Modality, ModelConfig};
+use mga_core::omp::OmpTask;
+use mga_core::OmpDataset;
+use mga_dae::DaeConfig;
+use mga_gnn::GnnConfig;
+use mga_kernels::catalog::openmp_thread_dataset;
+use mga_nn::optim::AdamW;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::thread_space;
+use std::hint::black_box;
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(4).collect();
+    let cpu = CpuSpec::comet_lake();
+    let sizes = vec![1e6, 1e8];
+    let ds = OmpDataset::build(specs, sizes, thread_space(&cpu), cpu, 16, 3);
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 4, 3);
+    let cfg = ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 16,
+            layers: 2,
+            update: mga_gnn::UpdateKind::Gru,
+            homogeneous: false,
+        },
+        dae: DaeConfig {
+            input_dim: 16,
+            hidden_dim: 12,
+            code_dim: 8,
+            epochs: 20,
+            ..DaeConfig::default()
+        },
+        hidden: 32,
+        epochs: 2, // fit() is setup only; epochs are timed below
+        lr: 0.02,
+        seed: 3,
+    };
+    let mut model = FusionModel::fit(cfg, &data, &folds[0].train, &task.codec.head_sizes());
+
+    let mut g = c.benchmark_group("mga_training");
+    g.bench_function("prepare_fold", |b| {
+        b.iter(|| black_box(model.prepare(&data, &folds[0].train)))
+    });
+    let prep = model.prepare(&data, &folds[0].train);
+    let targets = batch_targets(&data, &folds[0].train, task.codec.head_sizes().len());
+    g.bench_function("train_epoch", |b| {
+        let mut opt = AdamW::new(0.02).with_weight_decay(0.001);
+        b.iter(|| black_box(model.train_epoch(&prep, &targets, &mut opt)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_train_epoch);
+criterion_main!(benches);

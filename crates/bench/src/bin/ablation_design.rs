@@ -84,7 +84,10 @@ fn main() {
     }
 
     heading("Ablation 5: heterogeneous (per-relation) vs homogeneous GNN (§3.2)");
-    for (name, homogeneous) in [("heterogeneous (paper)", false), ("homogeneous union graph", true)] {
+    for (name, homogeneous) in [
+        ("heterogeneous (paper)", false),
+        ("homogeneous union graph", true),
+    ] {
         let mut cfg = model_cfg(opts, Modality::GraphOnly, true);
         cfg.gnn.homogeneous = homogeneous;
         let e = eval_model_fold(&ds, &task, cfg, fold);

@@ -1,0 +1,79 @@
+//! Machine-readable performance snapshot: times one training epoch and
+//! end-to-end inference for the Figure-4 configuration and writes
+//! `BENCH_train.json` (one `{name, iters, ns_per_iter}` record per line)
+//! so successive PRs can chart the perf trajectory on the same machine.
+//!
+//! Usage: `cargo run --release --bin bench_report [--quick] [--seed N]`.
+//! Pass `MGA_THREADS=1` to snapshot the sequential baseline.
+
+use mga_bench::{model_cfg, parse_opts, thread_dataset};
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{batch_targets, FusionModel, Modality};
+use mga_core::omp::OmpTask;
+use mga_nn::optim::AdamW;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Median ns per call over timed batches (~0.5 s measurement per entry).
+fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) {
+    f(); // warm-up
+    let budget = Duration::from_millis(500);
+    let mut samples = Vec::new();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget || iters == 0 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+        iters += 1;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ns = samples[samples.len() / 2];
+    println!("{name:<28} {ns:>16.1} ns/iter  ({iters} iters)");
+    records.push(format!(
+        "{{\"name\": \"{name}\", \"iters\": {iters}, \"ns_per_iter\": {ns:.1}}}"
+    ));
+}
+
+fn main() {
+    let opts = parse_opts();
+    let ds = thread_dataset(opts);
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 5, opts.seed);
+    let fold = &folds[0];
+    let cfg = model_cfg(opts, Modality::Multimodal, true);
+
+    println!(
+        "bench_report: Fig. 4 config, {} train / {} val samples, {} threads",
+        fold.train.len(),
+        fold.val.len(),
+        mga_nn::pool::num_threads()
+    );
+
+    let mut records = Vec::new();
+    let mut model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
+    let prep = model.prepare(&data, &fold.train);
+    let targets = batch_targets(&data, &fold.train, task.codec.head_sizes().len());
+
+    time("prepare_fold", &mut records, || {
+        std::hint::black_box(model.prepare(&data, &fold.train));
+    });
+    let mut opt = AdamW::new(0.02).with_weight_decay(0.001);
+    time("train_epoch", &mut records, || {
+        std::hint::black_box(model.train_epoch(&prep, &targets, &mut opt));
+    });
+    time("inference_fold", &mut records, || {
+        std::hint::black_box(model.predict(&data, &fold.val));
+    });
+    time("inference_one_sample", &mut records, || {
+        std::hint::black_box(model.predict(&data, &fold.val[..1]));
+    });
+
+    let path = "BENCH_train.json";
+    let mut fh = std::fs::File::create(path).expect("create BENCH_train.json");
+    for r in &records {
+        writeln!(fh, "{r}").expect("write record");
+    }
+    println!("\nwrote {} records to {path}", records.len());
+}

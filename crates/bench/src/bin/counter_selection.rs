@@ -30,7 +30,7 @@ fn main() {
     );
     let ranked = rank_counters(&specs, &sizes, &cpu);
     let kept = select_counters(&specs, &sizes, &cpu, 5);
-    println!("{:<14} {:>10}   {}", "counter", "|r|", "selected?");
+    println!("{:<14} {:>10}   selected?", "counter", "|r|");
     for (idx, r) in ranked.iter() {
         let keep = kept.contains(idx);
         let in_paper = PAPER_FIVE.contains(idx);
@@ -38,7 +38,11 @@ fn main() {
             "{:<14} {r:>10.3}   {}{}",
             EXTENDED_NAMES[*idx],
             if keep { "KEEP" } else { "drop" },
-            if in_paper { "  (one of the paper's five)" } else { "" }
+            if in_paper {
+                "  (one of the paper's five)"
+            } else {
+                ""
+            }
         );
     }
     let selected: Vec<&str> = kept.iter().map(|i| EXTENDED_NAMES[*i]).collect();

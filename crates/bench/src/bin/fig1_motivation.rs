@@ -30,7 +30,10 @@ fn main() {
     }
     let max = times.iter().cloned().fold(f64::MIN, f64::max);
     for (i, &t) in times.iter().enumerate() {
-        println!("{}", bar(&format!("{} threads", i + 1), t * 1e3, max * 1e3, 40));
+        println!(
+            "{}",
+            bar(&format!("{} threads", i + 1), t * 1e3, max * 1e3, 40)
+        );
     }
     let default_t = times[7];
     let best = times

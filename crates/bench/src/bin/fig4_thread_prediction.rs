@@ -7,7 +7,7 @@
 //! accuracy and geomean speedups of 3.4× vs. oracle 3.62×).
 
 use mga_bench::{csv_write, geomean, heading, model_cfg, parse_opts, thread_dataset};
-use mga_core::cv::kfold_by_group;
+use mga_core::cv::{kfold_by_group, run_folds};
 use mga_core::metrics::{summarize, SpeedupPair};
 use mga_core::model::Modality;
 use mga_core::omp::{eval_model_fold, eval_tuner_fold, OmpTask};
@@ -54,10 +54,15 @@ fn main() {
         let mut per_fold: Vec<Vec<SpeedupPair>> = vec![Vec::new(); folds.len()];
         let mut accs = Vec::new();
         for srun in 0..n_seeds {
-            for (fi, fold) in folds.iter().enumerate() {
+            // Folds train concurrently; each fold's model seed depends
+            // only on (fold index, seed run), so the results match the
+            // sequential loop exactly.
+            let evals = run_folds(&folds, |fi, fold| {
                 let mut cfg = model_cfg(opts, *modality, true);
                 cfg.seed = opts.seed.wrapping_add(fi as u64).wrapping_add(srun * 1000);
-                let e = eval_model_fold(&ds, &task, cfg, fold);
+                eval_model_fold(&ds, &task, cfg, fold)
+            });
+            for (fi, e) in evals.into_iter().enumerate() {
                 accs.push(e.accuracy);
                 per_fold[fi].extend(e.pairs);
             }
@@ -72,17 +77,19 @@ fn main() {
     ];
     for (name, mk) in &tuner_makers {
         let budget = budgets.iter().find(|(n, _)| n == name).unwrap().1;
-        let mut per_fold = Vec::new();
-        for fold in &folds {
+        let per_fold: Vec<Vec<SpeedupPair>> = run_folds(&folds, |_, fold| {
             let mut m = |seed: u64| mk(seed);
-            let e = eval_tuner_fold(&ds, &mut m, budget, fold);
-            per_fold.push(e.pairs);
-        }
+            eval_tuner_fold(&ds, &mut m, budget, fold).pairs
+        });
         all.push((name.to_string(), per_fold, vec![]));
     }
 
     // Per-fold normalized speedups table.
-    println!("\n{:<12} {}", "method", (1..=5).map(|f| format!("fold{f:<7}")).collect::<String>());
+    println!(
+        "\n{:<12} {}",
+        "method",
+        (1..=5).map(|f| format!("fold{f:<7}")).collect::<String>()
+    );
     for (name, per_fold, _) in &all {
         let mut row = format!("{name:<12} ");
         for pairs in per_fold {
@@ -94,11 +101,7 @@ fn main() {
 
     // MGA per-fold raw speedups (the numbers under Fig. 4's caption).
     let mga = &all[0];
-    let mga_fold_speedups: Vec<f64> = mga
-        .1
-        .iter()
-        .map(|pairs| summarize(pairs).0)
-        .collect();
+    let mga_fold_speedups: Vec<f64> = mga.1.iter().map(|pairs| summarize(pairs).0).collect();
     println!(
         "\nMGA speedups per fold over default: {:?} (paper: 2.71x 4.68x 8.09x 3.51x 1.31x)",
         mga_fold_speedups
@@ -109,12 +112,7 @@ fn main() {
 
     // Overall geomeans.
     heading("geometric-mean speedups across all folds (paper: ytopt 1.46x, OpenTuner 2.33x, BLISS 1.67x, PROGRAML 2.79x, IR2Vec 3.17x, MGA 3.4x; oracle 3.62x)");
-    let oracle_all: Vec<f64> = all[0]
-        .1
-        .iter()
-        .flatten()
-        .map(|p| p.oracle)
-        .collect();
+    let oracle_all: Vec<f64> = all[0].1.iter().flatten().map(|p| p.oracle).collect();
     for (name, per_fold, accs) in &all {
         let ach: Vec<f64> = per_fold.iter().flatten().map(|p| p.achieved).collect();
         let g = geomean(&ach);
@@ -122,7 +120,10 @@ fn main() {
             println!("{name:<12} {g:.2}x");
         } else {
             let acc = geomean(accs);
-            println!("{name:<12} {g:.2}x   (best-thread accuracy {:.0}%)", acc * 100.0);
+            println!(
+                "{name:<12} {g:.2}x   (best-thread accuracy {:.0}%)",
+                acc * 100.0
+            );
         }
     }
     println!("{:<12} {:.2}x", "oracle", geomean(&oracle_all));
@@ -134,5 +135,9 @@ fn main() {
             rows.push(format!("{name},{},{:.4},{:.4},{:.4}", fi + 1, a, o, a / o));
         }
     }
-    csv_write("fig4_thread_prediction", "method,fold,speedup,oracle,normalized", &rows);
+    csv_write(
+        "fig4_thread_prediction",
+        "method,fold,speedup,oracle,normalized",
+        &rows,
+    );
 }

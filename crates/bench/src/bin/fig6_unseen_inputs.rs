@@ -5,7 +5,7 @@
 //! unseen input sizes. Paper: geomean speedups 2.35× vs. oracle 2.68×.
 
 use mga_bench::{geomean, heading, model_cfg, parse_opts, thread_dataset};
-use mga_core::cv::{holdout_indices, kfold_by_group, Fold};
+use mga_core::cv::{holdout_indices, kfold_by_group, run_folds, Fold};
 use mga_core::metrics::summarize;
 use mga_core::model::Modality;
 use mga_core::omp::{eval_model_fold, OmpTask};
@@ -29,7 +29,9 @@ fn main() {
     heading("Figure 6: normalized speedups on unseen loops AND unseen inputs");
     let mut fold_speedups = Vec::new();
     let mut all_pairs = Vec::new();
-    for (fi, fold) in folds.iter().enumerate() {
+    // Folds evaluate in parallel; seeds derive from the fold index, so
+    // results match the sequential loop exactly.
+    let fold_outs = run_folds(&folds, |fi, fold| {
         // Train: training loops at non-held-out inputs.
         // Validate: validation loops at held-out inputs only.
         let train: Vec<usize> = fold
@@ -45,19 +47,22 @@ fn main() {
             .filter(|&i| held_inputs.contains(&ds.samples[i].input))
             .collect();
         if val.is_empty() {
-            continue;
+            return None;
         }
         let restricted = Fold { train, val };
         let mut cfg = model_cfg(opts, Modality::Multimodal, true);
         cfg.seed = opts.seed.wrapping_add(100 + fi as u64);
-        let e = eval_model_fold(&ds, &task, cfg, &restricted);
-        let (a, o, n) = summarize(&e.pairs);
+        Some(eval_model_fold(&ds, &task, cfg, &restricted).pairs)
+    });
+    for (fi, pairs) in fold_outs.into_iter().enumerate() {
+        let Some(pairs) = pairs else { continue };
+        let (a, o, n) = summarize(&pairs);
         println!(
             "fold {}: MGA speedup {a:.2}x, oracle {o:.2}x, normalized {n:.3}",
             fi + 1
         );
         fold_speedups.push(a);
-        all_pairs.extend(e.pairs);
+        all_pairs.extend(pairs);
     }
     let ach: Vec<f64> = all_pairs.iter().map(|p| p.achieved).collect();
     let ora: Vec<f64> = all_pairs.iter().map(|p| p.oracle).collect();

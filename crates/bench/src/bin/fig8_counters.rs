@@ -61,7 +61,11 @@ fn main() {
         ("L1 cache misses", rd.counters.l1_dcm, rp.counters.l1_dcm),
         ("L2 cache misses", rd.counters.l2_tcm, rp.counters.l2_tcm),
         ("L3 load misses", rd.counters.l3_ldm, rp.counters.l3_ldm),
-        ("branch mispredictions", rd.counters.br_msp, rp.counters.br_msp),
+        (
+            "branch mispredictions",
+            rd.counters.br_msp,
+            rp.counters.br_msp,
+        ),
         ("clock cycles", rd.counters.ref_cyc, rp.counters.ref_cyc),
     ];
     println!("\nnormalized to the default run [lower is better]:");

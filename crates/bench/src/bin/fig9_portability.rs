@@ -8,7 +8,7 @@
 //! ratios, and the rescaled features drive the pre-trained model.
 
 use mga_bench::{geomean, heading, model_cfg, parse_opts, vec_dim};
-use mga_core::cv::leave_one_group_out;
+use mga_core::cv::{leave_one_group_out, run_folds};
 use mga_core::model::{FusionModel, Modality, TrainData};
 use mga_core::omp::{portability_features, OmpTask};
 use mga_core::OmpDataset;
@@ -53,7 +53,9 @@ fn main() {
     let mut per_target_speedups: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
     let mut per_target_oracle: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
 
-    for (fi, fold) in folds.iter().enumerate() {
+    // Left-out kernels (folds) evaluate in parallel; the model seed
+    // derives from the fold index, so results match the sequential loop.
+    let fold_outs = run_folds(&folds, |fi, fold| {
         let kernel_idx = train_ds.samples[fold.val[0]].kernel;
         let kernel_name = train_ds.specs[kernel_idx].app.clone();
         let data = task.train_data(&train_ds);
@@ -62,7 +64,8 @@ fn main() {
         let model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
 
         let mut row = format!("{kernel_name:<24} ");
-        for (ti, target) in targets.iter().enumerate() {
+        let mut target_stats: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+        for target in targets.iter() {
             // Profile the validation kernel on the target system at the
             // two dataset sizes and rescale the counters.
             let eval_ds = OmpDataset::build(
@@ -105,9 +108,15 @@ fn main() {
             }
             let g = geomean(&speeds);
             let o = geomean(&oracles);
-            per_target_speedups[ti].extend(&speeds);
-            per_target_oracle[ti].extend(&oracles);
             row.push_str(&format!("{g:>13.2}x {o:>13.2}x "));
+            target_stats.push((speeds, oracles));
+        }
+        (row, target_stats)
+    });
+    for (row, target_stats) in fold_outs {
+        for (ti, (speeds, oracles)) in target_stats.into_iter().enumerate() {
+            per_target_speedups[ti].extend(speeds);
+            per_target_oracle[ti].extend(oracles);
         }
         println!("{row}");
     }

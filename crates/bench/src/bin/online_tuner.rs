@@ -69,7 +69,10 @@ fn main() {
     let space = Space::new(ds.space.clone());
     let tuner_rows: Vec<(&str, mga_tuners::TunerFactory)> = vec![
         ("ytopt (cold)", Box::new(|s| Box::new(YtoptLike::new(s)))),
-        ("OpenTuner (cold)", Box::new(|s| Box::new(OpenTunerLike::new(s)))),
+        (
+            "OpenTuner (cold)",
+            Box::new(|s| Box::new(OpenTunerLike::new(s))),
+        ),
         ("BLISS (cold)", Box::new(|s| Box::new(BlissLike::new(s)))),
     ];
     for (name, mk) in &tuner_rows {
@@ -103,7 +106,14 @@ fn main() {
         geomean(&res.iter().map(|r| r.1).collect::<Vec<_>>())
     };
     let online_big = {
-        let res = evaluate_online(&ds, &data, &model, &task.codec, &fold.val, *budgets.last().unwrap());
+        let res = evaluate_online(
+            &ds,
+            &data,
+            &model,
+            &task.codec,
+            &fold.val,
+            *budgets.last().unwrap(),
+        );
         geomean(&res.iter().map(|r| r.1).collect::<Vec<_>>())
     };
     println!(

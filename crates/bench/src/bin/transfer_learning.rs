@@ -72,8 +72,16 @@ fn main() {
     let src_data = src_task.train_data(&src_ds);
     let src_train: Vec<usize> = train_pool.clone();
     let cfg = model_cfg(opts, Modality::Multimodal, true);
-    println!("training the source model on {} Comet Lake samples ...", src_train.len());
-    let source_model = FusionModel::fit(cfg.clone(), &src_data, &src_train, &src_task.codec.head_sizes());
+    println!(
+        "training the source model on {} Comet Lake samples ...",
+        src_train.len()
+    );
+    let source_model = FusionModel::fit(
+        cfg.clone(),
+        &src_data,
+        &src_train,
+        &src_task.codec.head_sizes(),
+    );
 
     // Target-side feature view (rescaled counters per §4.1.5).
     let rescaled_aux: Vec<Vec<f32>> = tgt_ds
@@ -105,10 +113,7 @@ fn main() {
     };
 
     let (zero_a, oracle) = eval(&source_model, &rescaled_data);
-    println!(
-        "\n{:<26} {:>12} {:>12}",
-        "regime", "speedup", "normalized"
-    );
+    println!("\n{:<26} {:>12} {:>12}", "regime", "speedup", "normalized");
     println!(
         "{:<26} {:>11.3}x {:>12.3}",
         "zero-shot (rescaled)",
@@ -118,7 +123,10 @@ fn main() {
 
     // Budgets: K target loops' samples for fine-tuning / scratch.
     let loops_in_pool: Vec<usize> = {
-        let mut l: Vec<usize> = train_pool.iter().map(|&i| tgt_ds.samples[i].kernel).collect();
+        let mut l: Vec<usize> = train_pool
+            .iter()
+            .map(|&i| tgt_ds.samples[i].kernel)
+            .collect();
         l.sort_unstable();
         l.dedup();
         l

@@ -10,9 +10,7 @@ use mga_bench::{cfg_str, heading, parse_opts};
 use mga_kernels::catalog::openmp_catalog;
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::{large_space, simulate, OmpConfig};
-use mga_tuners::{
-    bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, Space,
-};
+use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, Space};
 
 fn main() {
     let _opts = parse_opts();
@@ -27,7 +25,10 @@ fn main() {
     heading("Tuning cost for 2mm (LARGE) on Skylake 4114");
     let default_cfg = OmpConfig::default_for(&cpu);
     let default_rt = simulate(&spec, ws, &default_cfg, &cpu).runtime;
-    println!("default runtime: {default_rt:.2}s  ({})", cfg_str(&default_cfg));
+    println!(
+        "default runtime: {default_rt:.2}s  ({})",
+        cfg_str(&default_cfg)
+    );
 
     // --- MGA inference cost: two profiling runs (the five counters can't
     // be collected in one run) + model inference.
@@ -42,7 +43,11 @@ fn main() {
 
     // --- Search tuners: budgeted evaluations on the real objective.
     let runs: Vec<(&str, mga_tuners::TunerFactory, usize)> = vec![
-        ("OpenTuner", Box::new(|s| Box::new(OpenTunerLike::new(s))), 25),
+        (
+            "OpenTuner",
+            Box::new(|s| Box::new(OpenTunerLike::new(s))),
+            25,
+        ),
         ("ytopt", Box::new(|s| Box::new(YtoptLike::new(s))), 10),
         ("BLISS", Box::new(|s| Box::new(BlissLike::new(s))), 15),
     ];

@@ -4,7 +4,7 @@
 //! kernels and compare with the device default and the oracle.
 
 use mga_bench::{devmap_model_cfg, geomean, heading, parse_opts, vec_dim};
-use mga_core::cv::kfold_by_group;
+use mga_core::cv::{kfold_by_group, run_folds};
 use mga_core::model::{FusionModel, Modality};
 use mga_core::wgsize::{WgDataset, WgTask, WG_CANDIDATES};
 use mga_sim::gpu::GpuSpec;
@@ -45,20 +45,31 @@ fn main() {
         let mut total = 0usize;
         let mut speedups = Vec::new();
         let mut oracle = Vec::new();
-        for (fi, fold) in folds.iter().enumerate() {
+        // Folds train in parallel; per-fold seeds keep the results
+        // identical to the sequential loop.
+        let fold_outs = run_folds(&folds, |fi, fold| {
             let mut cfg = devmap_model_cfg(opts, Modality::Multimodal);
             cfg.seed = opts.seed.wrapping_add(fi as u64);
             let model = FusionModel::fit(cfg, &data, &fold.train, &[WG_CANDIDATES.len()]);
             let preds = model.predict(&data, &fold.val);
+            let mut f_hits = 0usize;
+            let mut f_speed = Vec::new();
+            let mut f_oracle = Vec::new();
             for (j, &i) in fold.val.iter().enumerate() {
                 let s = &ds.samples[i];
                 if preds[0][j] == s.best {
-                    hits += 1;
+                    f_hits += 1;
                 }
-                total += 1;
-                speedups.push(ds.speedup_over_default(s, preds[0][j]));
-                oracle.push(ds.speedup_over_default(s, s.best));
+                f_speed.push(ds.speedup_over_default(s, preds[0][j]));
+                f_oracle.push(ds.speedup_over_default(s, s.best));
             }
+            (f_hits, fold.val.len(), f_speed, f_oracle)
+        });
+        for (h, t, s, o) in fold_outs {
+            hits += h;
+            total += t;
+            speedups.extend(s);
+            oracle.extend(o);
         }
         println!(
             "\nunseen-kernel accuracy: {:.1}% ({hits}/{total})",

@@ -160,10 +160,7 @@ pub fn large_space_dataset(opts: RunOpts) -> OmpDataset {
 }
 
 fn pick_every(specs: Vec<KernelSpec>, stride: usize) -> Vec<KernelSpec> {
-    specs
-        .into_iter()
-        .step_by(stride.max(1))
-        .collect()
+    specs.into_iter().step_by(stride.max(1)).collect()
 }
 
 /// Render a labeled ASCII bar (for figure-like terminal output).

@@ -118,6 +118,34 @@ pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Vec<Fold> {
         .collect()
 }
 
+/// Evaluate every fold, fanning the folds out across the shared worker
+/// pool (`mga_nn::pool`); returns the results in fold order.
+///
+/// Determinism: `eval(fold_index, fold)` must derive any randomness from
+/// its arguments (per-fold seeding), never from shared mutable state.
+/// Results are stored by fold index, so both the order and — with
+/// per-fold seeds — the content of the output are identical to the
+/// sequential `folds.iter().map(...)` loop for any `MGA_THREADS`,
+/// including 1 (which forces the fully sequential path). Nested
+/// parallelism is fine: the per-fold model training reuses the same pool
+/// for its matmul/scatter kernels.
+pub fn run_folds<T, F>(folds: &[Fold], eval: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Fold) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..folds.len()).map(|_| None).collect();
+    let slots = mga_nn::pool::SendPtr::new(out.as_mut_ptr());
+    mga_nn::pool::parallel_for(folds.len(), |fi| {
+        let r = eval(fi, &folds[fi]);
+        // Each fold owns slot `fi` exclusively.
+        unsafe { *slots.get().add(fi) = Some(r) };
+    });
+    out.into_iter()
+        .map(|r| r.expect("every fold evaluates"))
+        .collect()
+}
+
 /// A deterministic holdout of `frac` of `n` indices (e.g. the paper's
 /// 20 % of input sizes set aside in §4.1.3's generalization experiment).
 pub fn holdout_indices(n: usize, frac: f64, seed: u64) -> Vec<usize> {
@@ -153,7 +181,11 @@ mod tests {
             val_union.extend(&f.val);
         }
         val_union.sort_unstable();
-        assert_eq!(val_union, (0..30).collect::<Vec<_>>(), "folds must cover all");
+        assert_eq!(
+            val_union,
+            (0..30).collect::<Vec<_>>(),
+            "folds must cover all"
+        );
     }
 
     #[test]
@@ -206,6 +238,36 @@ mod tests {
             assert_eq!(f.train.len() + f.val.len(), 50);
         }
         assert_eq!(positives_seen, 3);
+    }
+
+    #[test]
+    fn run_folds_matches_sequential_order_and_content() {
+        let groups: Vec<usize> = (0..40).map(|i| i / 4).collect();
+        let folds = kfold_by_group(&groups, 5, 21);
+        // A fold-seeded computation: deterministic given (fi, fold).
+        let eval = |fi: usize, fold: &Fold| -> (usize, u64) {
+            let mut rng = StdRng::seed_from_u64(100 + fi as u64);
+            let mut acc = 0u64;
+            for &v in &fold.val {
+                acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(v as u64)
+                    .wrapping_add(crate::cv::tests::next(&mut rng));
+            }
+            (fi, acc)
+        };
+        let sequential: Vec<(usize, u64)> = folds
+            .iter()
+            .enumerate()
+            .map(|(fi, f)| eval(fi, f))
+            .collect();
+        let parallel = run_folds(&folds, eval);
+        assert_eq!(parallel, sequential);
+    }
+
+    fn next(rng: &mut StdRng) -> u64 {
+        use rand::RngCore;
+        rng.next_u64()
     }
 
     #[test]

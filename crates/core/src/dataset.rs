@@ -76,7 +76,10 @@ impl OmpDataset {
         seed: u64,
     ) -> OmpDataset {
         assert!(!specs.is_empty() && !sizes.is_empty() && !space.is_empty());
-        let graphs: Vec<ProGraph> = specs.iter().map(|s| build_module_graph(&s.module)).collect();
+        let graphs: Vec<ProGraph> = specs
+            .iter()
+            .map(|s| build_module_graph(&s.module))
+            .collect();
         let (embeddings, vectors) = encode_kernels(&specs, vec_dim, seed);
         let default_cfg = OmpConfig::default_for(&cpu);
 
@@ -175,7 +178,10 @@ impl OclDataset {
     /// Build ~670 labeled points for `gpu` over the kernel catalog.
     pub fn build(specs: Vec<KernelSpec>, gpu: GpuSpec, vec_dim: usize, seed: u64) -> OclDataset {
         let cpu = CpuSpec::i7_3820();
-        let graphs: Vec<ProGraph> = specs.iter().map(|s| build_module_graph(&s.module)).collect();
+        let graphs: Vec<ProGraph> = specs
+            .iter()
+            .map(|s| build_module_graph(&s.module))
+            .collect();
         let (embeddings, vectors) = encode_kernels(&specs, vec_dim, seed);
         let mut samples = Vec::new();
         for (ki, spec) in specs.iter().enumerate() {
@@ -259,7 +265,10 @@ impl OclDataset {
 
     /// Total runtime with oracle mapping.
     pub fn oracle_time(&self) -> f64 {
-        self.samples.iter().map(|s| s.cpu_time.min(s.gpu_time)).sum()
+        self.samples
+            .iter()
+            .map(|s| s.cpu_time.min(s.gpu_time))
+            .sum()
     }
 }
 
@@ -272,7 +281,11 @@ mod tests {
     fn tiny_omp() -> OmpDataset {
         let specs: Vec<KernelSpec> = openmp_thread_dataset().into_iter().take(6).collect();
         let cpu = CpuSpec::comet_lake();
-        let sizes = vec![64.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 256.0 * 1024.0 * 1024.0];
+        let sizes = vec![
+            64.0 * 1024.0,
+            8.0 * 1024.0 * 1024.0,
+            256.0 * 1024.0 * 1024.0,
+        ];
         let space = thread_space(&cpu);
         OmpDataset::build(specs, sizes, space, cpu, 16, 7)
     }
@@ -297,11 +310,7 @@ mod tests {
     fn omp_labels_are_argmin() {
         let ds = tiny_omp();
         for s in &ds.samples {
-            let min = s
-                .runtimes
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min);
+            let min = s.runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
             assert_eq!(s.runtimes[s.best], min);
         }
     }
@@ -321,7 +330,11 @@ mod tests {
     fn ocl_dataset_builds_with_both_labels() {
         let specs: Vec<KernelSpec> = opencl_catalog().into_iter().take(40).collect();
         let ds = OclDataset::build(specs, GpuSpec::gtx_970(), 16, 3);
-        assert!(ds.samples.len() >= 60, "too few points: {}", ds.samples.len());
+        assert!(
+            ds.samples.len() >= 60,
+            "too few points: {}",
+            ds.samples.len()
+        );
         let ones = ds.labels().iter().filter(|&&l| l == 1).count();
         assert!(ones > 0 && ones < ds.samples.len(), "degenerate labels");
         // Oracle beats static mapping and mapped_time with oracle preds

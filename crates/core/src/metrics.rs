@@ -37,7 +37,11 @@ pub fn macro_f1(pred: &[usize], truth: &[usize], num_classes: usize) -> f64 {
             continue;
         }
         let prec = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
-        let rec = if tp + fune > 0.0 { tp / (tp + fune) } else { 0.0 };
+        let rec = if tp + fune > 0.0 {
+            tp / (tp + fune)
+        } else {
+            0.0
+        };
         let f1 = if prec + rec > 0.0 {
             2.0 * prec * rec / (prec + rec)
         } else {

@@ -167,12 +167,7 @@ pub struct FoldEval {
 
 /// Train the model on a fold's training samples and evaluate speedups on
 /// its validation samples.
-pub fn eval_model_fold(
-    ds: &OmpDataset,
-    task: &OmpTask,
-    cfg: ModelConfig,
-    fold: &Fold,
-) -> FoldEval {
+pub fn eval_model_fold(ds: &OmpDataset, task: &OmpTask, cfg: ModelConfig, fold: &Fold) -> FoldEval {
     let data = task.train_data(ds);
     let head_sizes = task.codec.head_sizes();
     let model = FusionModel::fit(cfg, &data, &fold.train, &head_sizes);
@@ -251,7 +246,11 @@ pub fn eval_tuner_fold(
 /// the profiled counters already come from the target model, so we apply
 /// the *inverse* capacity scaling to express them in source-architecture
 /// units before the (source-fitted) min-max scaler sees them.
-pub fn portability_features(target_counters: &Counters, source: &CpuSpec, target: &CpuSpec) -> Vec<f32> {
+pub fn portability_features(
+    target_counters: &Counters,
+    source: &CpuSpec,
+    target: &CpuSpec,
+) -> Vec<f32> {
     let rescaled = Counters {
         l1_dcm: target_counters.l1_dcm * source.l1_kb / target.l1_kb,
         l2_tcm: target_counters.l2_tcm * source.l2_kb / target.l2_kb,

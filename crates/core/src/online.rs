@@ -187,7 +187,12 @@ mod tests {
         let (ds, task) = setup();
         let data = task.train_data(&ds);
         let folds = kfold_by_group(&ds.groups(), 4, 2);
-        let model = FusionModel::fit(quick_cfg(), &data, &folds[0].train, &task.codec.head_sizes());
+        let model = FusionModel::fit(
+            quick_cfg(),
+            &data,
+            &folds[0].train,
+            &task.codec.head_sizes(),
+        );
         let results = evaluate_online(&ds, &data, &model, &task.codec, &folds[0].val, 5);
         assert_eq!(results.len(), folds[0].val.len());
         for (model_sp, refined_sp, evals) in results {
@@ -205,7 +210,12 @@ mod tests {
         let (ds, task) = setup();
         let data = task.train_data(&ds);
         let folds = kfold_by_group(&ds.groups(), 4, 2);
-        let model = FusionModel::fit(quick_cfg(), &data, &folds[0].train, &task.codec.head_sizes());
+        let model = FusionModel::fit(
+            quick_cfg(),
+            &data,
+            &folds[0].train,
+            &task.codec.head_sizes(),
+        );
         // Budget covering the whole (1-D) thread space: greedy walk must
         // find the global optimum of the unimodal-ish runtime curve, or at
         // least match the model start; verify it attains the oracle often.

@@ -129,7 +129,12 @@ pub fn save_model(model: &FusionModel, vec_dim: usize, aux_dim: usize) -> String
     let _ = writeln!(
         out,
         "dae {} {} {} {} {} {}",
-        cfg.dae.input_dim, cfg.dae.hidden_dim, cfg.dae.code_dim, cfg.dae.swap_noise, cfg.dae.epochs, cfg.dae.lr
+        cfg.dae.input_dim,
+        cfg.dae.hidden_dim,
+        cfg.dae.code_dim,
+        cfg.dae.swap_noise,
+        cfg.dae.epochs,
+        cfg.dae.lr
     );
     let _ = writeln!(out, "hidden {}", cfg.hidden);
     let _ = writeln!(out, "epochs {}", cfg.epochs);
@@ -180,7 +185,10 @@ pub fn save_model(model: &FusionModel, vec_dim: usize, aux_dim: usize) -> String
     out
 }
 
-fn field<T: FromStr>(tokens: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<T, PersistError> {
+fn field<T: FromStr>(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<T, PersistError> {
     tokens
         .next()
         .ok_or_else(|| PersistError::Malformed(format!("missing {what}")))?
@@ -246,7 +254,10 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
             "seed" => seed = field(&mut toks, "seed")?,
             "heads" => {
                 head_sizes = toks
-                    .map(|t| t.parse().map_err(|_| PersistError::Malformed("head".into())))
+                    .map(|t| {
+                        t.parse()
+                            .map_err(|_| PersistError::Malformed("head".into()))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "vec_dim" => vec_dim = field(&mut toks, "vec_dim")?,
@@ -329,7 +340,9 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
     }
     if modality == Modality::Multimodal {
         if dae_gauss.is_empty() {
-            return Err(PersistError::Malformed("multimodal checkpoint without DAE".into()));
+            return Err(PersistError::Malformed(
+                "multimodal checkpoint without DAE".into(),
+            ));
         }
         model.dae = Some(TrainedDae::from_parts(
             dae,

@@ -43,9 +43,16 @@ impl WgDataset {
     /// Sweep every kernel × transfer class over the candidates.
     pub fn build(specs: Vec<KernelSpec>, gpu: GpuSpec, vec_dim: usize, seed: u64) -> WgDataset {
         let cpu = CpuSpec::i7_3820();
-        let graphs: Vec<ProGraph> = specs.iter().map(|s| build_module_graph(&s.module)).collect();
+        let graphs: Vec<ProGraph> = specs
+            .iter()
+            .map(|s| build_module_graph(&s.module))
+            .collect();
         let (embeddings, vectors) = encode_kernels(&specs, vec_dim, seed);
-        let transfer_classes = [512.0 * 1024.0, 8.0 * 1024.0 * 1024.0, 128.0 * 1024.0 * 1024.0];
+        let transfer_classes = [
+            512.0 * 1024.0,
+            8.0 * 1024.0 * 1024.0,
+            128.0 * 1024.0 * 1024.0,
+        ];
         let mut samples = Vec::new();
         for (ki, spec) in specs.iter().enumerate() {
             for &tb in &transfer_classes {

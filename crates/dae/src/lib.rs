@@ -149,7 +149,10 @@ pub struct TrainedDae {
 pub fn pretrain(vectors: &[Vec<f32>], cfg: DaeConfig, rng: &mut StdRng) -> TrainedDae {
     assert!(!vectors.is_empty(), "no vectors to pre-train on");
     let dim = cfg.input_dim;
-    assert!(vectors.iter().all(|v| v.len() == dim), "vector width mismatch");
+    assert!(
+        vectors.iter().all(|v| v.len() == dim),
+        "vector width mismatch"
+    );
 
     let scaler = GaussRankScaler::fit(vectors, dim);
     let mut scaled: Vec<Vec<f32>> = vectors.to_vec();
@@ -373,6 +376,9 @@ mod tests {
             .zip(codes.row_slice(2))
             .map(|(a, b)| (a - b) * (a - b))
             .sum();
-        assert!(d01 < d02, "perturbed code ({d01}) not closer than random ({d02})");
+        assert!(
+            d01 < d02,
+            "perturbed code ({d01}) not closer than random ({d02})"
+        );
     }
 }

@@ -187,10 +187,7 @@ impl MessageLayer {
                 b: ps.add(format!("{name}.sage.b"), Tensor::zeros(1, dim)),
             },
             UpdateKind::Gcn | UpdateKind::Gat => Update::Gcn {
-                w_self: ps.add(
-                    format!("{name}.gcn.w"),
-                    init::xavier_uniform(dim, dim, rng),
-                ),
+                w_self: ps.add(format!("{name}.gcn.w"), init::xavier_uniform(dim, dim, rng)),
             },
         };
         MessageLayer {
@@ -218,14 +215,7 @@ impl MessageLayer {
             // Mean of the per-relation aggregated messages.
             let mut acc: Option<Var> = None;
             for (r, rel) in self.relations.iter().enumerate() {
-                let m = rel.forward(
-                    tape,
-                    ps,
-                    h,
-                    &batch.edge_src[r],
-                    &batch.edge_dst[r],
-                    n,
-                );
+                let m = rel.forward(tape, ps, h, &batch.edge_src[r], &batch.edge_dst[r], n);
                 acc = Some(match acc {
                     None => m,
                     Some(a) => tape.add(a, m),

@@ -19,10 +19,9 @@
 //! per relation — the heterogeneous GNN of the paper.
 
 use mga_ir::{Function, FunctionId, Module, Opcode, Operand, Type};
-use serde::{Deserialize, Serialize};
 
 /// Edge relations of the multi-graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Relation {
     Control = 0,
     Data = 1,
@@ -38,7 +37,7 @@ impl Relation {
 }
 
 /// The kind of a graph vertex.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// An IR instruction, tagged with its opcode feature class.
     Instruction(usize),
@@ -52,7 +51,7 @@ pub enum NodeKind {
 }
 
 /// One graph vertex.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
     pub kind: NodeKind,
 }
@@ -66,9 +65,7 @@ impl Node {
             NodeKind::Instruction(op) => op,
             NodeKind::Variable(t) => Opcode::NUM_FEATURE_CLASSES + t,
             NodeKind::Constant(t) => Opcode::NUM_FEATURE_CLASSES + Type::NUM_FEATURE_CLASSES + t,
-            NodeKind::ExternalEntry => {
-                Opcode::NUM_FEATURE_CLASSES + 2 * Type::NUM_FEATURE_CLASSES
-            }
+            NodeKind::ExternalEntry => Opcode::NUM_FEATURE_CLASSES + 2 * Type::NUM_FEATURE_CLASSES,
         }
     }
 
@@ -81,7 +78,7 @@ impl Node {
 }
 
 /// A directed edge with an operand/successor position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     pub src: u32,
     pub dst: u32,
@@ -90,7 +87,7 @@ pub struct Edge {
 }
 
 /// The flow multi-graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProGraph {
     pub nodes: Vec<Node>,
     /// Edge lists per relation, indexed by [`Relation::index`].
@@ -616,8 +613,10 @@ mod tests {
         let ext = Node {
             kind: NodeKind::ExternalEntry,
         };
-        let set: std::collections::HashSet<usize> =
-            [instr, var, cst, ext].iter().map(Node::vocab_index).collect();
+        let set: std::collections::HashSet<usize> = [instr, var, cst, ext]
+            .iter()
+            .map(Node::vocab_index)
+            .collect();
         assert_eq!(set.len(), 4);
         assert_eq!(ext.vocab_index(), Node::VOCAB_SIZE - 1);
     }

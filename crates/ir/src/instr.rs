@@ -1,11 +1,10 @@
 //! Instructions, opcodes, operands and constants.
 
 use crate::types::Type;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an instruction in its function's instruction arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InstrId(pub u32);
 
 impl InstrId {
@@ -20,7 +19,7 @@ impl InstrId {
 /// integer/float arithmetic, memory access, address computation,
 /// comparisons, casts, control flow and calls, plus a handful of math
 /// intrinsics (`sqrt`, `exp`, ...) that appear in the benchmark kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Opcode {
     // Integer arithmetic.
     Add,
@@ -311,7 +310,7 @@ impl fmt::Display for Opcode {
 }
 
 /// Comparison predicate for `icmp`/`fcmp`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpPred {
     Eq,
     Ne,
@@ -359,7 +358,7 @@ impl CmpPred {
 }
 
 /// A compile-time constant value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Constant {
     Int(i64, Type),
     Float(f64, Type),
@@ -397,7 +396,7 @@ impl fmt::Display for Constant {
 }
 
 /// An instruction operand: an SSA value reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Result of another instruction in the same function.
     Instr(InstrId),
@@ -414,7 +413,7 @@ pub enum Operand {
 /// Instructions live in a flat arena on the [`crate::Function`]; blocks
 /// reference them by [`InstrId`]. Block targets of terminators are stored
 /// in `succs` and phi incoming blocks in `phi_blocks` (parallel to `args`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instr {
     pub op: Opcode,
     /// Result type (`Void` for instructions with no result).

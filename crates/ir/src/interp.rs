@@ -380,8 +380,16 @@ impl<'m> Interpreter<'m> {
             And => Value::Int(arg(0)?.as_int()? & arg(1)?.as_int()?),
             Or => Value::Int(arg(0)?.as_int()? | arg(1)?.as_int()?),
             Xor => Value::Int(arg(0)?.as_int()? ^ arg(1)?.as_int()?),
-            Shl => Value::Int(arg(0)?.as_int()?.wrapping_shl(arg(1)?.as_int()? as u32 & 63)),
-            AShr => Value::Int(arg(0)?.as_int()?.wrapping_shr(arg(1)?.as_int()? as u32 & 63)),
+            Shl => Value::Int(
+                arg(0)?
+                    .as_int()?
+                    .wrapping_shl(arg(1)?.as_int()? as u32 & 63),
+            ),
+            AShr => Value::Int(
+                arg(0)?
+                    .as_int()?
+                    .wrapping_shr(arg(1)?.as_int()? as u32 & 63),
+            ),
             FAdd => Value::Float(arg(0)?.as_float()? + arg(1)?.as_float()?),
             FSub => Value::Float(arg(0)?.as_float()? - arg(1)?.as_float()?),
             FMul => Value::Float(arg(0)?.as_float()? * arg(1)?.as_float()?),

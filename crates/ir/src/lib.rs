@@ -34,8 +34,8 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
-pub use interp::{Interpreter, Memory, Value};
 pub use instr::{Constant, Instr, InstrId, Opcode, Operand};
+pub use interp::{Interpreter, Memory, Value};
 pub use module::{Block, BlockId, Function, FunctionId, Global, GlobalId, Module, Param};
 pub use types::Type;
 pub use verify::{verify_function, verify_module, VerifyError};

@@ -2,10 +2,9 @@
 
 use crate::instr::{Constant, Instr, InstrId, Operand};
 use crate::types::Type;
-use serde::{Deserialize, Serialize};
 
 /// Index of a basic block within its function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -15,7 +14,7 @@ impl BlockId {
 }
 
 /// Index of a function within its module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FunctionId(pub u32);
 
 impl FunctionId {
@@ -25,7 +24,7 @@ impl FunctionId {
 }
 
 /// Index of a global variable within its module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GlobalId(pub u32);
 
 impl GlobalId {
@@ -36,7 +35,7 @@ impl GlobalId {
 
 /// A basic block: a label plus an ordered list of instructions ending in a
 /// terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     pub name: String,
     pub instrs: Vec<InstrId>,
@@ -52,14 +51,14 @@ impl Block {
 }
 
 /// A function parameter.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     pub name: String,
     pub ty: Type,
 }
 
 /// Function-level attributes carried from the source programming model.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FunctionAttrs {
     /// The function body is an OpenMP `parallel for` region / OpenCL kernel.
     pub parallel: bool,
@@ -71,7 +70,7 @@ pub struct FunctionAttrs {
 
 /// A function: parameters, a return type, an instruction arena, a constant
 /// table and an ordered list of basic blocks (entry first).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     pub name: String,
     pub params: Vec<Param>,
@@ -145,24 +144,23 @@ impl Function {
 
     /// Iterate over `(BlockId, InstrId)` in layout order.
     pub fn iter_instrs(&self) -> impl Iterator<Item = (BlockId, InstrId)> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
-            b.instrs
-                .iter()
-                .map(move |&iid| (BlockId(bi as u32), iid))
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.instrs.iter().map(move |&iid| (BlockId(bi as u32), iid)))
     }
 }
 
 /// A module-level global variable. Operand references to a global have
 /// pointer-to-`ty` type (as in LLVM).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Global {
     pub name: String,
     pub ty: Type,
 }
 
 /// A translation unit: globals plus functions.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Module {
     pub name: String,
     pub globals: Vec<Global>,
@@ -211,10 +209,7 @@ impl Module {
             for instr in &mut f.instrs {
                 if instr.op == crate::instr::Opcode::Call {
                     if let Some(name) = &instr.callee_name {
-                        instr.callee = names
-                            .iter()
-                            .position(|n| n == name)
-                            .map(|i| i as u32);
+                        instr.callee = names.iter().position(|n| n == name).map(|i| i as u32);
                     }
                 }
             }
@@ -312,6 +307,9 @@ mod tests {
         f.blocks.push(b0);
         f.blocks.push(b1);
         let seq: Vec<_> = f.iter_instrs().collect();
-        assert_eq!(seq, vec![(BlockId(0), InstrId(0)), (BlockId(1), InstrId(1))]);
+        assert_eq!(
+            seq,
+            vec![(BlockId(0), InstrId(0)), (BlockId(1), InstrId(1))]
+        );
     }
 }

@@ -40,15 +40,11 @@ fn parse_type_prefix(s: &str, line: usize) -> PResult<(Type, &str)> {
     let (mut ty, mut rest) = if let Some(r) = s.strip_prefix('[') {
         // [N x ty]
         let r = r.trim_start();
-        let end_num = r
-            .find(|c: char| !c.is_ascii_digit())
-            .unwrap_or(r.len());
-        let n: u64 = r[..end_num]
-            .parse()
-            .map_err(|_| ParseError {
-                line,
-                msg: format!("bad array length in `{s}`"),
-            })?;
+        let end_num = r.find(|c: char| !c.is_ascii_digit()).unwrap_or(r.len());
+        let n: u64 = r[..end_num].parse().map_err(|_| ParseError {
+            line,
+            msg: format!("bad array length in `{s}`"),
+        })?;
         let r = r[end_num..].trim_start();
         let r = r.strip_prefix('x').ok_or(ParseError {
             line,
@@ -169,7 +165,11 @@ impl<'a> FuncParser<'a> {
         let ty = parse_type(ty_s).map_err(|e| ParseError { line, msg: e.msg })?;
         let c = if lit == "null" {
             Constant::Null(ty)
-        } else if lit.contains('.') || lit.contains('e') || lit.contains("inf") || lit.contains("NaN") {
+        } else if lit.contains('.')
+            || lit.contains('e')
+            || lit.contains("inf")
+            || lit.contains("NaN")
+        {
             let v: f64 = lit.parse().map_err(|_| ParseError {
                 line,
                 msg: format!("bad float literal `{lit}`"),
@@ -353,7 +353,8 @@ fn parse_function(
         }
         if !l.is_empty() {
             if let Some(Some(n)) = l.strip_prefix('%').and_then(|r| {
-                r.split_once(" =").map(|(n, _)| n.trim().parse::<u32>().ok())
+                r.split_once(" =")
+                    .map(|(n, _)| n.trim().parse::<u32>().ok())
             }) {
                 id_map.insert(n, InstrId(next_id));
             }
@@ -414,9 +415,7 @@ fn parse_instr(fp: &mut FuncParser<'_>, l: &str, line: usize) -> PResult<Instr> 
         _ => l,
     };
     let body = body.trim();
-    let (head, rest) = body
-        .split_once(char::is_whitespace)
-        .unwrap_or((body, ""));
+    let (head, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
     let (mn, pred) = match head.split_once('.') {
         Some((mn, p)) => (mn, Some(p)),
         None => (head, None),
@@ -468,9 +467,7 @@ fn parse_instr(fp: &mut FuncParser<'_>, l: &str, line: usize) -> PResult<Instr> 
             instr.succs.push(fp.block_ref(parts[2], line)?);
         }
         Opcode::Call => {
-            let (callee, args_s) = rest
-                .split_once(char::is_whitespace)
-                .unwrap_or((rest, ""));
+            let (callee, args_s) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
             let callee = callee.strip_prefix('@').ok_or(ParseError {
                 line,
                 msg: format!("call expects `@callee`, got `{callee}`"),
@@ -647,7 +644,9 @@ mod tests {
         crate::verify_module(&p1).unwrap();
         // The parsed constants preserve sign (including -0.0 bits).
         let consts = &p1.functions[0].consts;
-        assert!(consts.iter().any(|c| matches!(c, Constant::Float(v, _) if *v == -2.5)));
+        assert!(consts
+            .iter()
+            .any(|c| matches!(c, Constant::Float(v, _) if *v == -2.5)));
         assert!(consts
             .iter()
             .any(|c| matches!(c, Constant::Float(v, _) if v.to_bits() == (-0.0f64).to_bits())));

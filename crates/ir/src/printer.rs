@@ -49,7 +49,13 @@ pub fn instr_str(f: &Function, m: &Module, id: crate::InstrId, instr: &Instr) ->
     }
     match instr.op {
         Opcode::ICmp | Opcode::FCmp => {
-            write!(s, "{}.{}", instr.op, instr.pred.expect("cmp predicate").mnemonic()).unwrap();
+            write!(
+                s,
+                "{}.{}",
+                instr.op,
+                instr.pred.expect("cmp predicate").mnemonic()
+            )
+            .unwrap();
         }
         _ => write!(s, "{}", instr.op).unwrap(),
     }

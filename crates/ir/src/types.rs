@@ -5,11 +5,10 @@
 //! arrays for stack/global buffers. Function types are represented
 //! structurally on [`crate::Function`] rather than as a first-class type.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A first-class IR type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// No value (function return only).
     Void,

@@ -310,7 +310,10 @@ fn verify_types(f: &Function, m: &Module, iid: InstrId, instr: &Instr) -> Result
                         if at(k) != p.ty {
                             return fail(
                                 f,
-                                format!("%{} call arg {k} type mismatch for @{}", iid.0, callee.name),
+                                format!(
+                                    "%{} call arg {k} type mismatch for @{}",
+                                    iid.0, callee.name
+                                ),
                             );
                         }
                     }
@@ -458,11 +461,7 @@ mod tests {
     fn rejects_branch_out_of_range() {
         let mut m = valid_module();
         let f = &mut m.functions[0];
-        let br = f
-            .instrs
-            .iter_mut()
-            .find(|i| i.op == Opcode::Br)
-            .unwrap();
+        let br = f.instrs.iter_mut().find(|i| i.op == Opcode::Br).unwrap();
         br.succs[0] = BlockId(99);
         let e = verify_module(&m).unwrap_err();
         assert!(e.msg.contains("missing block"), "{e}");

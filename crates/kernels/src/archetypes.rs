@@ -48,8 +48,10 @@ pub fn streaming(name: &str, n_src: usize, flops: usize) -> (Module, Traits) {
         .map(|k| (format!("src{k}"), Type::F64))
         .chain(std::iter::once(("dst".to_string(), Type::F64)))
         .collect();
-    let array_refs: Vec<(&str, Type)> =
-        arrays.iter().map(|(s, t)| (s.as_str(), t.clone())).collect();
+    let array_refs: Vec<(&str, Type)> = arrays
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.clone()))
+        .collect();
     let mut fb = FunctionBuilder::new(name, kernel_params(&array_refs), Type::Void);
     fb.set_parallel(false);
     NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
@@ -211,7 +213,10 @@ pub fn reduction(name: &str, n_src: usize, heavy_math: bool) -> (Module, Traits)
         .map(|k| (format!("src{k}"), Type::F64))
         .chain(std::iter::once(("out".to_string(), Type::F64)))
         .collect();
-    let refs: Vec<(&str, Type)> = arrays.iter().map(|(s, t)| (s.as_str(), t.clone())).collect();
+    let refs: Vec<(&str, Type)> = arrays
+        .iter()
+        .map(|(s, t)| (s.as_str(), t.clone()))
+        .collect();
     let mut fb = FunctionBuilder::new(name, kernel_params(&refs), Type::Void);
     fb.set_parallel(true);
     NestBuilder::build(&mut fb, &[Level { bound: Bound::N }], &mut |ctx| {
@@ -269,7 +274,12 @@ pub fn triangular(name: &str, serial_frac: f64) -> (Module, Traits) {
     fb.set_parallel(false);
     NestBuilder::build(
         &mut fb,
-        &[Level { bound: Bound::N }, Level { bound: Bound::Outer }],
+        &[
+            Level { bound: Bound::N },
+            Level {
+                bound: Bound::Outer,
+            },
+        ],
         &mut |ctx| {
             let (i, j) = (ctx.ivs[0], ctx.ivs[1]);
             let n = ctx.n;
@@ -540,7 +550,12 @@ pub fn sortlike(name: &str) -> (Module, Traits) {
     fb.set_parallel(false);
     NestBuilder::build(
         &mut fb,
-        &[Level { bound: Bound::N }, Level { bound: Bound::Const(16) }],
+        &[
+            Level { bound: Bound::N },
+            Level {
+                bound: Bound::Const(16),
+            },
+        ],
         &mut |ctx| {
             let (i, s) = (ctx.ivs[0], ctx.ivs[1]);
             let one = ctx.b.const_i64(1);
@@ -589,7 +604,12 @@ pub fn fftlike(name: &str) -> (Module, Traits) {
     fb.set_parallel(false);
     NestBuilder::build(
         &mut fb,
-        &[Level { bound: Bound::N }, Level { bound: Bound::Const(12) }],
+        &[
+            Level { bound: Bound::N },
+            Level {
+                bound: Bound::Const(12),
+            },
+        ],
         &mut |ctx| {
             let (i, s) = (ctx.ivs[0], ctx.ivs[1]);
             let one = ctx.b.const_i64(1);

@@ -83,28 +83,85 @@ fn omp_entries() -> Vec<OmpEntry> {
     use Suite::*;
     vec![
         // --- PolyBench (paper lists 28 apps) ---
-        OmpEntry("2mm", Polybench, &[Matmul { fused: 1 }, Matmul { fused: 2 }]),
+        OmpEntry(
+            "2mm",
+            Polybench,
+            &[Matmul { fused: 1 }, Matmul { fused: 2 }],
+        ),
         OmpEntry("3mm", Polybench, &[Matmul { fused: 3 }]),
-        OmpEntry("atax", Polybench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry(
+            "atax",
+            Polybench,
+            &[Reduction {
+                n_src: 2,
+                heavy: false,
+            }],
+        ),
         OmpEntry("adi", Polybench, &[Triangular { serial: 0.06 }]),
-        OmpEntry("bicg", Polybench, &[Reduction { n_src: 3, heavy: false }]),
+        OmpEntry(
+            "bicg",
+            Polybench,
+            &[Reduction {
+                n_src: 3,
+                heavy: false,
+            }],
+        ),
         OmpEntry("cholesky", Polybench, &[Triangular { serial: 0.08 }]),
-        OmpEntry("convolution-2d", Polybench, &[Stencil { dims: 2, points: 9 }]),
-        OmpEntry("convolution-3d", Polybench, &[Stencil { dims: 3, points: 27 }]),
-        OmpEntry("correlation", Polybench, &[Reduction { n_src: 2, heavy: true }]),
-        OmpEntry("covariance", Polybench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry(
+            "convolution-2d",
+            Polybench,
+            &[Stencil { dims: 2, points: 9 }],
+        ),
+        OmpEntry(
+            "convolution-3d",
+            Polybench,
+            &[Stencil {
+                dims: 3,
+                points: 27,
+            }],
+        ),
+        OmpEntry(
+            "correlation",
+            Polybench,
+            &[Reduction {
+                n_src: 2,
+                heavy: true,
+            }],
+        ),
+        OmpEntry(
+            "covariance",
+            Polybench,
+            &[Reduction {
+                n_src: 2,
+                heavy: false,
+            }],
+        ),
         OmpEntry("doitgen", Polybench, &[Matmul { fused: 1 }]),
         OmpEntry("durbin", Polybench, &[Triangular { serial: 0.12 }]),
         OmpEntry("fdtd-2d", Polybench, &[Stencil { dims: 2, points: 5 }]),
         OmpEntry("fdtd-apml", Polybench, &[Stencil { dims: 3, points: 7 }]),
         OmpEntry("gemm", Polybench, &[Matmul { fused: 1 }]),
         OmpEntry("gemver", Polybench, &[Streaming { n_src: 4, flops: 3 }]),
-        OmpEntry("gesummv", Polybench, &[Reduction { n_src: 3, heavy: false }]),
+        OmpEntry(
+            "gesummv",
+            Polybench,
+            &[Reduction {
+                n_src: 3,
+                heavy: false,
+            }],
+        ),
         OmpEntry("gramschmidt", Polybench, &[Triangular { serial: 0.1 }]),
         OmpEntry("jacobi-1d", Polybench, &[Streaming { n_src: 1, flops: 2 }]),
         OmpEntry("jacobi-2d", Polybench, &[Stencil { dims: 2, points: 5 }]),
         OmpEntry("lu", Polybench, &[Triangular { serial: 0.07 }]),
-        OmpEntry("mvt", Polybench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry(
+            "mvt",
+            Polybench,
+            &[Reduction {
+                n_src: 2,
+                heavy: false,
+            }],
+        ),
         OmpEntry("seidel-2d", Polybench, &[Stencil { dims: 2, points: 9 }]),
         OmpEntry("symm", Polybench, &[Matmul { fused: 2 }]),
         OmpEntry("syrk", Polybench, &[Matmul { fused: 1 }]),
@@ -114,31 +171,93 @@ fn omp_entries() -> Vec<OmpEntry> {
         OmpEntry("trisolv", Polybench, &[Triangular { serial: 0.75 }]),
         OmpEntry("trmm", Polybench, &[Matmul { fused: 1 }]),
         // --- Rodinia ---
-        OmpEntry("b+tree", Rodinia, &[Gather { cv: 0.4, entropy: 0.6 }]),
+        OmpEntry(
+            "b+tree",
+            Rodinia,
+            &[Gather {
+                cv: 0.4,
+                entropy: 0.6,
+            }],
+        ),
         OmpEntry("backprop", Rodinia, &[Matmul { fused: 1 }]),
-        OmpEntry("bfs", Rodinia, &[Gather { cv: 0.6, entropy: 0.7 }]),
-        OmpEntry("cfd", Rodinia, &[Stencil { dims: 3, points: 13 }]),
+        OmpEntry(
+            "bfs",
+            Rodinia,
+            &[Gather {
+                cv: 0.6,
+                entropy: 0.7,
+            }],
+        ),
+        OmpEntry(
+            "cfd",
+            Rodinia,
+            &[Stencil {
+                dims: 3,
+                points: 13,
+            }],
+        ),
         OmpEntry("gaussian", Rodinia, &[Triangular { serial: 0.05 }]),
         OmpEntry("hotspot", Rodinia, &[Stencil { dims: 2, points: 5 }]),
         OmpEntry(
             "kmeans",
             Rodinia,
-            &[Reduction { n_src: 2, heavy: true }, Histogram],
+            &[
+                Reduction {
+                    n_src: 2,
+                    heavy: true,
+                },
+                Histogram,
+            ],
         ),
         OmpEntry("lavaMD", Rodinia, &[Nbody { neighbors: 64 }]),
         OmpEntry("leukocyte", Rodinia, &[Nbody { neighbors: 32 }]),
         OmpEntry("lud", Rodinia, &[Triangular { serial: 0.06 }]),
-        OmpEntry("nn", Rodinia, &[Reduction { n_src: 2, heavy: true }]),
+        OmpEntry(
+            "nn",
+            Rodinia,
+            &[Reduction {
+                n_src: 2,
+                heavy: true,
+            }],
+        ),
         OmpEntry("nw", Rodinia, &[Branchy { entropy: 0.35 }]),
         OmpEntry("needle", Rodinia, &[Branchy { entropy: 0.4 }]),
-        OmpEntry("particlefilter", Rodinia, &[Gather { cv: 0.5, entropy: 0.5 }]),
+        OmpEntry(
+            "particlefilter",
+            Rodinia,
+            &[Gather {
+                cv: 0.5,
+                entropy: 0.5,
+            }],
+        ),
         OmpEntry("pathfinder", Rodinia, &[Branchy { entropy: 0.3 }]),
         OmpEntry("srad", Rodinia, &[Stencil { dims: 2, points: 5 }]),
         OmpEntry("streamcluster", Rodinia, &[Histogram]),
         // --- NAS ---
-        OmpEntry("BT", Nas, &[Stencil { dims: 3, points: 13 }]),
-        OmpEntry("CG", Nas, &[Gather { cv: 0.3, entropy: 0.4 }]),
-        OmpEntry("EP", Nas, &[Reduction { n_src: 1, heavy: true }]),
+        OmpEntry(
+            "BT",
+            Nas,
+            &[Stencil {
+                dims: 3,
+                points: 13,
+            }],
+        ),
+        OmpEntry(
+            "CG",
+            Nas,
+            &[Gather {
+                cv: 0.3,
+                entropy: 0.4,
+            }],
+        ),
+        OmpEntry(
+            "EP",
+            Nas,
+            &[Reduction {
+                n_src: 1,
+                heavy: true,
+            }],
+        ),
         OmpEntry("FT", Nas, &[Fft]),
         OmpEntry("LU", Nas, &[Triangular { serial: 0.07 }]),
         OmpEntry("MG", Nas, &[Stencil { dims: 3, points: 7 }]),
@@ -157,8 +276,22 @@ fn omp_entries() -> Vec<OmpEntry> {
         // --- DataRaceBench ---
         OmpEntry("DRB045", DataRaceBench, &[Streaming { n_src: 1, flops: 1 }]),
         OmpEntry("DRB046", DataRaceBench, &[Streaming { n_src: 2, flops: 2 }]),
-        OmpEntry("DRB061", DataRaceBench, &[Reduction { n_src: 1, heavy: false }]),
-        OmpEntry("DRB062", DataRaceBench, &[Reduction { n_src: 2, heavy: false }]),
+        OmpEntry(
+            "DRB061",
+            DataRaceBench,
+            &[Reduction {
+                n_src: 1,
+                heavy: false,
+            }],
+        ),
+        OmpEntry(
+            "DRB062",
+            DataRaceBench,
+            &[Reduction {
+                n_src: 2,
+                heavy: false,
+            }],
+        ),
         OmpEntry("DRB093", DataRaceBench, &[Stencil { dims: 2, points: 5 }]),
         OmpEntry("DRB094", DataRaceBench, &[Stencil { dims: 2, points: 9 }]),
         OmpEntry("DRB121", DataRaceBench, &[Histogram]),
@@ -169,7 +302,10 @@ fn omp_entries() -> Vec<OmpEntry> {
             &[
                 Stencil { dims: 3, points: 8 },
                 Nbody { neighbors: 27 },
-                Reduction { n_src: 2, heavy: true },
+                Reduction {
+                    n_src: 2,
+                    heavy: true,
+                },
             ],
         ),
     ]
@@ -289,83 +425,314 @@ fn ocl_entries() -> Vec<OclEntry> {
         // --- AMD SDK (12 apps) ---
         OclEntry("BinomialOption", AmdSdk, Branchy { entropy: 0.3 }, 4),
         OclEntry("BitonicSort", AmdSdk, Sort, 5),
-        OclEntry("BlackScholes", AmdSdk, Reduction { n_src: 2, heavy: true }, 4),
+        OclEntry(
+            "BlackScholes",
+            AmdSdk,
+            Reduction {
+                n_src: 2,
+                heavy: true,
+            },
+            4,
+        ),
         OclEntry("FastWalshTransform", AmdSdk, Fft, 4),
         OclEntry("FloydWarshall", AmdSdk, Branchy { entropy: 0.25 }, 4),
         OclEntry("MatrixMultiplication", AmdSdk, Matmul { fused: 1 }, 5),
-        OclEntry("MatrixTranspose", AmdSdk, Streaming { n_src: 1, flops: 0 }, 4),
+        OclEntry(
+            "MatrixTranspose",
+            AmdSdk,
+            Streaming { n_src: 1, flops: 0 },
+            4,
+        ),
         OclEntry("PrefixSum", AmdSdk, Sort, 4),
-        OclEntry("Reduction", AmdSdk, Reduction { n_src: 1, heavy: false }, 4),
+        OclEntry(
+            "Reduction",
+            AmdSdk,
+            Reduction {
+                n_src: 1,
+                heavy: false,
+            },
+            4,
+        ),
         OclEntry("ScanLargeArrays", AmdSdk, Sort, 4),
-        OclEntry("SimpleConvolution", AmdSdk, Stencil { dims: 2, points: 9 }, 4),
+        OclEntry(
+            "SimpleConvolution",
+            AmdSdk,
+            Stencil { dims: 2, points: 9 },
+            4,
+        ),
         OclEntry("SobelFilter", AmdSdk, Stencil { dims: 2, points: 9 }, 4),
         // --- NPB OpenCL (7 apps) ---
-        OclEntry("BT", Npb, Stencil { dims: 3, points: 13 }, 5),
-        OclEntry("CG", Npb, Gather { cv: 0.3, entropy: 0.4 }, 5),
-        OclEntry("EP", Npb, Reduction { n_src: 1, heavy: true }, 4),
+        OclEntry(
+            "BT",
+            Npb,
+            Stencil {
+                dims: 3,
+                points: 13,
+            },
+            5,
+        ),
+        OclEntry(
+            "CG",
+            Npb,
+            Gather {
+                cv: 0.3,
+                entropy: 0.4,
+            },
+            5,
+        ),
+        OclEntry(
+            "EP",
+            Npb,
+            Reduction {
+                n_src: 1,
+                heavy: true,
+            },
+            4,
+        ),
         OclEntry("FT", Npb, Fft, 4),
         OclEntry("LU", Npb, Triangular { serial: 0.07 }, 4),
         OclEntry("MG", Npb, Stencil { dims: 3, points: 7 }, 4),
         OclEntry("SP", Npb, Stencil { dims: 3, points: 9 }, 4),
         // --- NVIDIA SDK (6 apps) ---
-        OclEntry("DotProduct", NvidiaSdk, Reduction { n_src: 2, heavy: false }, 4),
+        OclEntry(
+            "DotProduct",
+            NvidiaSdk,
+            Reduction {
+                n_src: 2,
+                heavy: false,
+            },
+            4,
+        ),
         OclEntry("FDTD3D", NvidiaSdk, Stencil { dims: 3, points: 7 }, 4),
-        OclEntry("MatVecMul", NvidiaSdk, Reduction { n_src: 2, heavy: false }, 4),
+        OclEntry(
+            "MatVecMul",
+            NvidiaSdk,
+            Reduction {
+                n_src: 2,
+                heavy: false,
+            },
+            4,
+        ),
         OclEntry("MatrixMul", NvidiaSdk, Matmul { fused: 1 }, 5),
         OclEntry("MersenneTwister", NvidiaSdk, Fft, 4),
         OclEntry("VectorAdd", NvidiaSdk, Streaming { n_src: 2, flops: 0 }, 3),
         // --- Parboil (6 apps) ---
-        OclEntry("BFS", Parboil, Gather { cv: 0.6, entropy: 0.7 }, 4),
+        OclEntry(
+            "BFS",
+            Parboil,
+            Gather {
+                cv: 0.6,
+                entropy: 0.7,
+            },
+            4,
+        ),
         OclEntry("cutcp", Parboil, Nbody { neighbors: 48 }, 4),
-        OclEntry("lbm", Parboil, Stencil { dims: 3, points: 19 }, 4),
+        OclEntry(
+            "lbm",
+            Parboil,
+            Stencil {
+                dims: 3,
+                points: 19,
+            },
+            4,
+        ),
         OclEntry("sad", Parboil, Branchy { entropy: 0.3 }, 4),
-        OclEntry("spmv", Parboil, Gather { cv: 0.4, entropy: 0.5 }, 4),
+        OclEntry(
+            "spmv",
+            Parboil,
+            Gather {
+                cv: 0.4,
+                entropy: 0.5,
+            },
+            4,
+        ),
         OclEntry("stencil", Parboil, Stencil { dims: 3, points: 7 }, 4),
         // --- PolyBench-GPU (15 apps) ---
         OclEntry("2mm", PolybenchGpu, Matmul { fused: 2 }, 3),
         OclEntry("3mm", PolybenchGpu, Matmul { fused: 3 }, 3),
-        OclEntry("atax", PolybenchGpu, Reduction { n_src: 2, heavy: false }, 2),
-        OclEntry("bicg", PolybenchGpu, Reduction { n_src: 3, heavy: false }, 2),
-        OclEntry("correlation", PolybenchGpu, Reduction { n_src: 2, heavy: true }, 3),
-        OclEntry("covariance", PolybenchGpu, Reduction { n_src: 2, heavy: false }, 3),
+        OclEntry(
+            "atax",
+            PolybenchGpu,
+            Reduction {
+                n_src: 2,
+                heavy: false,
+            },
+            2,
+        ),
+        OclEntry(
+            "bicg",
+            PolybenchGpu,
+            Reduction {
+                n_src: 3,
+                heavy: false,
+            },
+            2,
+        ),
+        OclEntry(
+            "correlation",
+            PolybenchGpu,
+            Reduction {
+                n_src: 2,
+                heavy: true,
+            },
+            3,
+        ),
+        OclEntry(
+            "covariance",
+            PolybenchGpu,
+            Reduction {
+                n_src: 2,
+                heavy: false,
+            },
+            3,
+        ),
         OclEntry("fdtd2d", PolybenchGpu, Stencil { dims: 2, points: 5 }, 3),
         OclEntry("gemm", PolybenchGpu, Matmul { fused: 1 }, 3),
-        OclEntry("gesummv", PolybenchGpu, Reduction { n_src: 3, heavy: false }, 2),
+        OclEntry(
+            "gesummv",
+            PolybenchGpu,
+            Reduction {
+                n_src: 3,
+                heavy: false,
+            },
+            2,
+        ),
         OclEntry("gramschmidt", PolybenchGpu, Triangular { serial: 0.1 }, 3),
-        OclEntry("mvt", PolybenchGpu, Reduction { n_src: 2, heavy: false }, 2),
+        OclEntry(
+            "mvt",
+            PolybenchGpu,
+            Reduction {
+                n_src: 2,
+                heavy: false,
+            },
+            2,
+        ),
         OclEntry("syr2k", PolybenchGpu, Matmul { fused: 2 }, 3),
         OclEntry("syrk", PolybenchGpu, Matmul { fused: 1 }, 3),
-        OclEntry("convolution2d", PolybenchGpu, Stencil { dims: 2, points: 9 }, 3),
-        OclEntry("convolution3d", PolybenchGpu, Stencil { dims: 3, points: 27 }, 3),
+        OclEntry(
+            "convolution2d",
+            PolybenchGpu,
+            Stencil { dims: 2, points: 9 },
+            3,
+        ),
+        OclEntry(
+            "convolution3d",
+            PolybenchGpu,
+            Stencil {
+                dims: 3,
+                points: 27,
+            },
+            3,
+        ),
         // --- Rodinia OpenCL (17 apps) ---
-        OclEntry("b+tree", Rodinia, Gather { cv: 0.4, entropy: 0.6 }, 3),
+        OclEntry(
+            "b+tree",
+            Rodinia,
+            Gather {
+                cv: 0.4,
+                entropy: 0.6,
+            },
+            3,
+        ),
         OclEntry("backprop", Rodinia, Matmul { fused: 1 }, 3),
-        OclEntry("bfs", Rodinia, Gather { cv: 0.6, entropy: 0.7 }, 3),
-        OclEntry("cfd", Rodinia, Stencil { dims: 3, points: 13 }, 4),
+        OclEntry(
+            "bfs",
+            Rodinia,
+            Gather {
+                cv: 0.6,
+                entropy: 0.7,
+            },
+            3,
+        ),
+        OclEntry(
+            "cfd",
+            Rodinia,
+            Stencil {
+                dims: 3,
+                points: 13,
+            },
+            4,
+        ),
         OclEntry("gaussian", Rodinia, Triangular { serial: 0.05 }, 3),
         OclEntry("hotspot", Rodinia, Stencil { dims: 2, points: 5 }, 3),
-        OclEntry("kmeans", Rodinia, Reduction { n_src: 2, heavy: true }, 3),
+        OclEntry(
+            "kmeans",
+            Rodinia,
+            Reduction {
+                n_src: 2,
+                heavy: true,
+            },
+            3,
+        ),
         OclEntry("lavaMD", Rodinia, Nbody { neighbors: 64 }, 3),
         OclEntry("leukocyte", Rodinia, Nbody { neighbors: 32 }, 3),
         OclEntry("lud", Rodinia, Triangular { serial: 0.06 }, 3),
-        OclEntry("nn", Rodinia, Reduction { n_src: 2, heavy: true }, 2),
+        OclEntry(
+            "nn",
+            Rodinia,
+            Reduction {
+                n_src: 2,
+                heavy: true,
+            },
+            2,
+        ),
         OclEntry("nw", Rodinia, Branchy { entropy: 0.35 }, 3),
-        OclEntry("particlefilter", Rodinia, Gather { cv: 0.5, entropy: 0.5 }, 3),
+        OclEntry(
+            "particlefilter",
+            Rodinia,
+            Gather {
+                cv: 0.5,
+                entropy: 0.5,
+            },
+            3,
+        ),
         OclEntry("pathfinder", Rodinia, Branchy { entropy: 0.3 }, 2),
         OclEntry("srad", Rodinia, Stencil { dims: 2, points: 5 }, 3),
         OclEntry("streamcluster", Rodinia, Histogram, 3),
         OclEntry("myocyte", Rodinia, Nbody { neighbors: 16 }, 2),
         // --- SHOC (12 apps) ---
-        OclEntry("BFS", Shoc, Gather { cv: 0.6, entropy: 0.7 }, 3),
+        OclEntry(
+            "BFS",
+            Shoc,
+            Gather {
+                cv: 0.6,
+                entropy: 0.7,
+            },
+            3,
+        ),
         OclEntry("FFT", Shoc, Fft, 4),
         OclEntry("GEMM", Shoc, Matmul { fused: 1 }, 4),
         OclEntry("MD", Shoc, Nbody { neighbors: 48 }, 3),
         OclEntry("MD5", Shoc, Sort, 3),
-        OclEntry("Reduction", Shoc, Reduction { n_src: 1, heavy: false }, 3),
-        OclEntry("S3D", Shoc, Reduction { n_src: 3, heavy: true }, 4),
+        OclEntry(
+            "Reduction",
+            Shoc,
+            Reduction {
+                n_src: 1,
+                heavy: false,
+            },
+            3,
+        ),
+        OclEntry(
+            "S3D",
+            Shoc,
+            Reduction {
+                n_src: 3,
+                heavy: true,
+            },
+            4,
+        ),
         OclEntry("Scan", Shoc, Sort, 3),
         OclEntry("Sort", Shoc, Sort, 3),
-        OclEntry("Spmv", Shoc, Gather { cv: 0.4, entropy: 0.5 }, 3),
+        OclEntry(
+            "Spmv",
+            Shoc,
+            Gather {
+                cv: 0.4,
+                entropy: 0.5,
+            },
+            3,
+        ),
         OclEntry("Stencil2D", Shoc, Stencil { dims: 2, points: 9 }, 3),
         OclEntry("Triad", Shoc, Streaming { n_src: 2, flops: 1 }, 2),
     ]
@@ -384,7 +751,9 @@ pub fn opencl_catalog() -> Vec<KernelSpec> {
                     n_src: n_src + k % 2,
                     flops: flops + k,
                 },
-                (Matmul { fused }, k) => Matmul { fused: fused + k % 2 },
+                (Matmul { fused }, k) => Matmul {
+                    fused: fused + k % 2,
+                },
                 (Stencil { dims, points }, k) => Stencil {
                     dims,
                     points: points + 2 * k,
@@ -462,7 +831,10 @@ mod tests {
             .iter()
             .all(|s| matches!(s.suite, Suite::Polybench | Suite::Rodinia | Suite::Lulesh)));
         assert!(apps.iter().any(|s| s.suite == Suite::Lulesh));
-        assert!(apps.iter().any(|s| s.app == "trisolv"), "trisolv must be in (worst case)");
+        assert!(
+            apps.iter().any(|s| s.app == "trisolv"),
+            "trisolv must be in (worst case)"
+        );
         // One loop per app.
         let names: HashSet<&str> = apps.iter().map(|s| s.app.as_str()).collect();
         assert_eq!(names.len(), 30);

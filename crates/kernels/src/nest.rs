@@ -150,13 +150,7 @@ pub fn idx2(fb: &mut FunctionBuilder, i: Operand, j: Operand, n: Operand) -> Ope
 }
 
 /// Convenience: linearized 3-D index `(i * n + j) * n + k`.
-pub fn idx3(
-    fb: &mut FunctionBuilder,
-    i: Operand,
-    j: Operand,
-    k: Operand,
-    n: Operand,
-) -> Operand {
+pub fn idx3(fb: &mut FunctionBuilder, i: Operand, j: Operand, k: Operand, n: Operand) -> Operand {
     let ij = idx2(fb, i, j, n);
     let t = fb.mul(ij, n);
     fb.add(t, k)
@@ -203,7 +197,9 @@ mod tests {
         let f = build_nest(&[
             Level { bound: Bound::N },
             Level { bound: Bound::N },
-            Level { bound: Bound::Const(5) },
+            Level {
+                bound: Bound::Const(5),
+            },
         ]);
         let m = Module::new("t");
         verify_function(&f, &m).unwrap();
@@ -214,7 +210,12 @@ mod tests {
 
     #[test]
     fn triangular_nest_verifies() {
-        let f = build_nest(&[Level { bound: Bound::N }, Level { bound: Bound::Outer }]);
+        let f = build_nest(&[
+            Level { bound: Bound::N },
+            Level {
+                bound: Bound::Outer,
+            },
+        ]);
         let m = Module::new("t");
         verify_function(&f, &m).unwrap();
         let li = LoopInfo::compute(&f);
@@ -226,10 +227,7 @@ mod tests {
         let f = build_nest(&[Level {
             bound: Bound::NDiv(4),
         }]);
-        assert!(f
-            .instrs
-            .iter()
-            .any(|i| i.op == mga_ir::Opcode::SDiv));
+        assert!(f.instrs.iter().any(|i| i.op == mga_ir::Opcode::SDiv));
     }
 
     #[test]
@@ -276,7 +274,11 @@ mod tests {
         let m = Module::new("t");
         verify_function(&f, &m).unwrap();
         // Two muls for the 3-D linearization (plus none from bounds).
-        let muls = f.instrs.iter().filter(|i| i.op == mga_ir::Opcode::Mul).count();
+        let muls = f
+            .instrs
+            .iter()
+            .filter(|i| i.op == mga_ir::Opcode::Mul)
+            .count();
         assert!(muls >= 2);
     }
 }

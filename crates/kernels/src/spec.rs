@@ -2,10 +2,9 @@
 
 use mga_ir::analysis::loops::LoopInfo;
 use mga_ir::{Function, Module, Opcode};
-use serde::{Deserialize, Serialize};
 
 /// Benchmark suite provenance (paper Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     Polybench,
     Rodinia,
@@ -42,7 +41,7 @@ impl Suite {
 
 /// Trip count of the *parallel* (outermost) loop as a function of the
 /// problem scale `n`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TripCount {
     /// `c · n` iterations.
     Linear(f64),
@@ -66,7 +65,7 @@ impl TripCount {
 }
 
 /// Memory-locality character of the kernel's accesses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Locality {
     /// Fraction of accesses that stream through memory once (no reuse).
     pub streaming_frac: f64,
@@ -97,7 +96,7 @@ impl Locality {
 }
 
 /// Load-balance character of the parallel iterations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Imbalance {
     /// All iterations cost the same.
     Uniform,
@@ -111,7 +110,7 @@ pub enum Imbalance {
 
 /// Instruction mix of one innermost iteration, derived from the kernel's
 /// IR (deepest loop body).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InstrMix {
     pub flops: f64,
     pub int_ops: f64,
@@ -185,7 +184,7 @@ impl InstrMix {
 }
 
 /// Simulator-facing performance traits of a kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Traits {
     /// Parallel-loop trip count as a function of problem scale `n`.
     pub trip: TripCount,
@@ -209,14 +208,15 @@ pub struct Traits {
     /// Synchronization cost per parallel iteration in µs (wavefront
     /// loops like trisolv barrier between dependent rows; 0 for
     /// embarrassingly parallel loops).
-    #[serde(default)]
     pub sync_us_per_iter: f64,
 }
 
 impl Traits {
     /// Problem scale `n` whose working set is `bytes`.
     pub fn n_for_working_set(&self, bytes: f64) -> f64 {
-        (bytes / self.ws_bytes_per_n).powf(1.0 / self.ws_power).max(4.0)
+        (bytes / self.ws_bytes_per_n)
+            .powf(1.0 / self.ws_power)
+            .max(4.0)
     }
 
     /// Working set in bytes at problem scale `n`.
@@ -252,8 +252,7 @@ impl KernelSpec {
         traits: Traits,
     ) -> KernelSpec {
         let name = name.into();
-        mga_ir::verify_module(&module)
-            .unwrap_or_else(|e| panic!("kernel {name}: invalid IR: {e}"));
+        mga_ir::verify_module(&module).unwrap_or_else(|e| panic!("kernel {name}: invalid IR: {e}"));
         let mix = InstrMix::of_function(&module.functions[0]);
         KernelSpec {
             name,

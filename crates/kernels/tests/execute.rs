@@ -80,7 +80,10 @@ fn reduction_accumulates_into_out() {
     run(&m, vec![s0, s1, out], &mut mem);
     // Each iteration atomically adds 2*4 = 8 → total 8n.
     let total = mem.read_f64(out).unwrap()[0];
-    assert!((total - 8.0 * N as f64).abs() < 1e-9, "reduction got {total}");
+    assert!(
+        (total - 8.0 * N as f64).abs() < 1e-9,
+        "reduction got {total}"
+    );
 }
 
 #[test]
@@ -138,7 +141,9 @@ fn branchy_wavefront_propagates_minimum() {
     // out[c-n]; at i=j=0 that's out[-1]/out[-n]. Allocate with a pad and
     // pass an offset pointer.
     let out_buf = mem.alloc_f64(&vec![0.0; n * n + 2 * n + 8]);
-    let Value::Ptr(buf, _) = out_buf else { unreachable!() };
+    let Value::Ptr(buf, _) = out_buf else {
+        unreachable!()
+    };
     let out = Value::Ptr(buf, n as i64 + 1); // pad one row + one column
     run(&m, vec![cost, out], &mut mem);
     assert_finite(&mem, out_buf, "branchy");

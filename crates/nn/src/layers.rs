@@ -56,7 +56,10 @@ impl Linear {
             _ => init::xavier_uniform(in_dim, out_dim, rng),
         };
         let w = ps.add(format!("{name}.w"), w);
-        let b = ps.add(format!("{name}.b"), crate::tensor::Tensor::zeros(1, out_dim));
+        let b = ps.add(
+            format!("{name}.b"),
+            crate::tensor::Tensor::zeros(1, out_dim),
+        );
         Linear {
             w,
             b,

@@ -6,10 +6,15 @@
 //! pipeline needs:
 //!
 //! * [`tensor::Tensor`] — a dense row-major f32 tensor with blocked,
-//!   thread-parallel matrix multiplication (crossbeam scoped threads),
+//!   thread-parallel matrix multiplication,
+//! * [`pool`] — the persistent worker pool behind every parallel kernel
+//!   (sized by `available_parallelism`, overridable with `MGA_THREADS`;
+//!   all kernels are bitwise deterministic across thread counts),
 //! * [`tape`] — reverse-mode automatic differentiation over an explicit
 //!   op tape, including the `gather`/`scatter` segment ops that make
 //!   message passing and whole-graph readout differentiable,
+//! * [`segment`] — the parallel gather/scatter row kernels those ops and
+//!   their backward passes share,
 //! * [`params`] — parameter storage shared between layers and optimizers,
 //! * [`layers`] — `Linear`, `Mlp` and the `GruCell` used by gated graph
 //!   networks,
@@ -26,7 +31,9 @@ pub mod init;
 pub mod layers;
 pub mod optim;
 pub mod params;
+pub mod pool;
 pub mod scaler;
+pub mod segment;
 pub mod tape;
 pub mod tensor;
 

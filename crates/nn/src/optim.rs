@@ -31,7 +31,11 @@ impl Sgd {
                 .map(|id| Tensor::zeros(ps.value(id).rows(), ps.value(id).cols()))
                 .collect();
         }
-        assert_eq!(self.velocity.len(), ps.len(), "optimizer/param-set mismatch");
+        assert_eq!(
+            self.velocity.len(),
+            ps.len(),
+            "optimizer/param-set mismatch"
+        );
         for (k, id) in ps.ids().collect::<Vec<_>>().into_iter().enumerate() {
             let g = ps.grad(id).clone();
             let v = &mut self.velocity[k];
@@ -94,12 +98,7 @@ impl AdamW {
             let g = ps.grad(id).clone();
             let m = &mut self.m[k];
             let v = &mut self.v[k];
-            for ((mi, vi), &gi) in m
-                .data_mut()
-                .iter_mut()
-                .zip(v.data_mut())
-                .zip(g.data())
-            {
+            for ((mi, vi), &gi) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
             }
@@ -160,7 +159,10 @@ mod tests {
         ps.add("w", Tensor::zeros(2, 1));
         let mut opt = Sgd::new(0.05, 0.9);
         let (first, last) = fit(|ps| opt.step(ps), &mut ps);
-        assert!(last < first * 0.01, "SGD failed to converge: {first} -> {last}");
+        assert!(
+            last < first * 0.01,
+            "SGD failed to converge: {first} -> {last}"
+        );
     }
 
     #[test]

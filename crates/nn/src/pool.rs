@@ -1,0 +1,276 @@
+//! A persistent worker pool for the numeric kernels.
+//!
+//! The previous implementation spawned OS threads inside every large
+//! matmul (`crossbeam::thread::scope`), paying thread creation and
+//! teardown on the hot path of every training epoch. This module keeps a
+//! single process-wide set of workers alive and hands them chunked
+//! fork-join jobs over borrowed data.
+//!
+//! Sizing: `std::thread::available_parallelism`, overridable with the
+//! `MGA_THREADS` environment variable (read once, at first use).
+//! `MGA_THREADS=1` disables the workers entirely — every kernel then
+//! runs its plain sequential path on the calling thread.
+//!
+//! Determinism: chunk *scheduling* is racy, but every kernel built on
+//! [`parallel_for`] partitions its output into disjoint chunks whose
+//! per-chunk arithmetic (including accumulation order) is identical to
+//! the sequential path, so results are bitwise identical regardless of
+//! thread count. The property tests in `tests/parallel_parity.rs` hold
+//! this invariant down.
+//!
+//! Nesting: jobs may submit jobs (fold-level parallelism over training
+//! folds whose matmuls also parallelize). The calling thread always
+//! participates in draining its own job's chunks, so a fully busy pool
+//! degrades to sequential execution instead of deadlocking.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Raw pointer wrapper asserting cross-thread use is safe because every
+/// chunk touches a disjoint region. Construction is safe; dereferencing
+/// is the caller's `unsafe` obligation. The field is private so closures
+/// capture the whole (Sync) wrapper, not the bare pointer.
+#[derive(Clone, Copy)]
+pub struct SendPtr<T>(*mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub fn new(p: *mut T) -> SendPtr<T> {
+        SendPtr(p)
+    }
+
+    pub fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// One fork-join job: `count` chunks drained via an atomic cursor.
+struct Job {
+    /// Borrow of the caller's closure; valid until `remaining` hits zero,
+    /// which `parallel_for` blocks on before returning.
+    task: TaskPtr,
+    next: AtomicUsize,
+    count: usize,
+    remaining: AtomicUsize,
+    poisoned: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+impl Job {
+    /// Drain chunks until the cursor runs out. Called by workers and by
+    /// the submitting thread alike.
+    fn run_chunks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.count {
+                return;
+            }
+            let task = unsafe { &*self.task.0 };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.poisoned.store(true, Ordering::Relaxed);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *self.done.lock().unwrap() = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+}
+
+struct Pool {
+    senders: Vec<Sender<Arc<Job>>>,
+    /// Total usable compute threads (workers + the calling thread).
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("MGA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("MGA_THREADS={v:?} is not a positive integer; using the default");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let workers = threads.saturating_sub(1);
+        let mut senders = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Arc<Job>>();
+            std::thread::Builder::new()
+                .name(format!("mga-pool-{w}"))
+                .spawn(move || {
+                    // Exits when the Sender side is dropped (process end).
+                    for job in rx.iter() {
+                        job.run_chunks();
+                    }
+                })
+                .expect("failed to spawn mga pool worker");
+            senders.push(tx);
+        }
+        Pool {
+            senders,
+            threads: workers + 1,
+        }
+    })
+}
+
+/// Number of compute threads kernels may fan out across (≥ 1, includes
+/// the calling thread).
+pub fn num_threads() -> usize {
+    pool().threads
+}
+
+/// Run `task(0) … task(count-1)` across the pool, blocking until all
+/// chunks complete. The calling thread participates, so this is safe to
+/// call from inside another `parallel_for` task.
+///
+/// `task` must be safe to call concurrently for distinct indices
+/// (chunks must write disjoint data).
+pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
+    if count == 0 {
+        return;
+    }
+    let p = pool();
+    if p.senders.is_empty() || count == 1 {
+        for i in 0..count {
+            task(i);
+        }
+        return;
+    }
+    let task_ref: &(dyn Fn(usize) + Sync) = &task;
+    // Erase the borrow lifetime; the blocking wait below keeps the
+    // closure alive past the last chunk.
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task_ref)
+    };
+    let job = Arc::new(Job {
+        task: TaskPtr(task_static as *const (dyn Fn(usize) + Sync)),
+        next: AtomicUsize::new(0),
+        count,
+        remaining: AtomicUsize::new(count),
+        poisoned: AtomicBool::new(false),
+        done: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    for tx in &p.senders {
+        // A send can only fail if a worker died mid-process; losing its
+        // help is acceptable, losing the job is not — the caller drains.
+        let _ = tx.send(job.clone());
+    }
+    job.run_chunks();
+    let mut done = job.done.lock().unwrap();
+    while !*done {
+        done = job.cv.wait(done).unwrap();
+    }
+    drop(done);
+    if job.poisoned.load(Ordering::Relaxed) {
+        panic!("a parallel_for task panicked");
+    }
+}
+
+/// Split `0..len` into at most [`num_threads`] contiguous chunks and run
+/// `task(chunk_index, start, end)` for each non-empty chunk.
+pub fn parallel_ranges(len: usize, task: impl Fn(usize, usize, usize) + Sync) {
+    let chunks = num_threads().min(len.max(1));
+    let per = len.div_ceil(chunks);
+    parallel_for(chunks, |c| {
+        let start = c * per;
+        if start < len {
+            task(c, start, (start + per).min(len));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 1000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_jobs_complete() {
+        let total = AtomicUsize::new(0);
+        parallel_for(8, |_| {
+            parallel_for(16, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
+    }
+
+    #[test]
+    fn ranges_partition_the_domain() {
+        let len = 103;
+        let seen: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        parallel_ranges(len, |_, lo, hi| {
+            assert!(lo < hi && hi <= len);
+            for s in &seen[lo..hi] {
+                s.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(seen.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_and_one_chunks_run_inline() {
+        parallel_for(0, |_| panic!("must not run"));
+        let ran = AtomicUsize::new(0);
+        parallel_for(1, |i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_task_propagates_without_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_for(64, |i| {
+                if i == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic in a chunk must surface");
+        // The pool must still be usable afterwards.
+        let n = AtomicUsize::new(0);
+        parallel_for(32, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Segment (gather/scatter) row kernels shared by the tape's forward and
+//! backward passes, parallelized over the persistent [`crate::pool`].
+//!
+//! Bitwise determinism is load-bearing here: training must produce
+//! identical results for any `MGA_THREADS`. Gather partitions *output*
+//! rows, and each output row is a copy (or scaled copy) of one source
+//! row, so no accumulation crosses a chunk boundary. Scatter also
+//! partitions *output* rows; every chunk scans the full index list in
+//! order and accumulates only the destinations it owns, so each output
+//! row sees contributions in exactly the sequential order regardless of
+//! thread count (at the cost of re-scanning the index per chunk, which
+//! is cheap next to the row arithmetic).
+
+use crate::pool;
+
+/// Element-count threshold above which segment ops fan out to the pool.
+const PAR_ELEMS_THRESHOLD: usize = 1 << 16;
+
+/// `out[i] = src[index[i]]` for row vectors of width `cols`.
+pub fn gather_rows_into(out: &mut [f32], src: &[f32], cols: usize, index: &[u32]) {
+    debug_assert_eq!(out.len(), index.len() * cols);
+    if index.len() * cols >= PAR_ELEMS_THRESHOLD && pool::num_threads() > 1 && index.len() >= 2 {
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(index.len(), |_, lo, hi| {
+            // Output rows [lo, hi) are exclusive to this chunk.
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(lo * cols), (hi - lo) * cols)
+            };
+            gather_range(panel, src, cols, &index[lo..hi], None);
+        });
+    } else {
+        gather_range(out, src, cols, index, None);
+    }
+}
+
+/// `out[i] = src[index[i]] * row_scale[index[i]]` — the scatter-mean
+/// backward: each gathered row is scaled by its group's 1/count.
+pub fn gather_rows_scaled_into(
+    out: &mut [f32],
+    src: &[f32],
+    cols: usize,
+    index: &[u32],
+    row_scale: &[f32],
+) {
+    debug_assert_eq!(out.len(), index.len() * cols);
+    if index.len() * cols >= PAR_ELEMS_THRESHOLD && pool::num_threads() > 1 && index.len() >= 2 {
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(index.len(), |_, lo, hi| {
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(lo * cols), (hi - lo) * cols)
+            };
+            gather_range(panel, src, cols, &index[lo..hi], Some(row_scale));
+        });
+    } else {
+        gather_range(out, src, cols, index, Some(row_scale));
+    }
+}
+
+fn gather_range(out: &mut [f32], src: &[f32], cols: usize, index: &[u32], scale: Option<&[f32]>) {
+    for (i, &s) in index.iter().enumerate() {
+        let s = s as usize;
+        let orow = &mut out[i * cols..(i + 1) * cols];
+        let srow = &src[s * cols..(s + 1) * cols];
+        match scale {
+            None => orow.copy_from_slice(srow),
+            Some(sc) => {
+                let f = sc[s];
+                for (o, &x) in orow.iter_mut().zip(srow) {
+                    *o = x * f;
+                }
+            }
+        }
+    }
+}
+
+/// `out[index[i]] += src[i]` for row vectors of width `cols`; with
+/// `mean`, each touched output row is then divided by its contribution
+/// count. Output rows no index entry points at are left untouched —
+/// empty groups read back as exact zeros (never `0/0 = NaN`).
+pub fn scatter_rows_into(
+    out: &mut [f32],
+    out_rows: usize,
+    src: &[f32],
+    cols: usize,
+    index: &[u32],
+    mean: bool,
+) {
+    debug_assert_eq!(out.len(), out_rows * cols);
+    debug_assert_eq!(src.len(), index.len() * cols);
+    if index.len() * cols >= PAR_ELEMS_THRESHOLD && pool::num_threads() > 1 && out_rows >= 2 {
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(out_rows, |_, lo, hi| {
+            let panel = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(lo * cols), (hi - lo) * cols)
+            };
+            scatter_range(panel, lo, hi, src, cols, index, mean);
+        });
+    } else {
+        scatter_range(out, 0, out_rows, src, cols, index, mean);
+    }
+}
+
+/// Accumulate the index entries landing in `[lo, hi)` into `out` (the
+/// panel for that row range), scanning the full index list in order so
+/// per-row accumulation order matches the sequential kernel exactly.
+fn scatter_range(
+    out: &mut [f32],
+    lo: usize,
+    hi: usize,
+    src: &[f32],
+    cols: usize,
+    index: &[u32],
+    mean: bool,
+) {
+    let mut counts = vec![0u32; hi - lo];
+    for (i, &dst) in index.iter().enumerate() {
+        let dst = dst as usize;
+        if dst < lo || dst >= hi {
+            continue;
+        }
+        counts[dst - lo] += 1;
+        let srow = &src[i * cols..(i + 1) * cols];
+        let orow = &mut out[(dst - lo) * cols..(dst - lo + 1) * cols];
+        for (o, &x) in orow.iter_mut().zip(srow) {
+            *o += x;
+        }
+    }
+    if mean {
+        for (r, &cnt) in counts.iter().enumerate() {
+            // cnt == 0: empty group, row stays zero. cnt == 1: dividing by
+            // one would still perturb nothing, skipped to match the
+            // historical sequential kernel bit-for-bit.
+            if cnt > 1 {
+                let inv = 1.0 / cnt as f32;
+                for x in &mut out[r * cols..(r + 1) * cols] {
+                    *x *= inv;
+                }
+            }
+        }
+    }
+}
+
+/// Contribution count per output row for `index` (scatter in-degrees).
+pub fn row_counts(index: &[u32], out_rows: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; out_rows];
+    for &d in index {
+        counts[d as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_copies_rows() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 rows × 2 cols
+        let index = [2u32, 0, 2];
+        let mut out = vec![0.0; 6];
+        gather_rows_into(&mut out, &src, 2, &index);
+        assert_eq!(out, vec![5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_scaled_applies_per_source_scale() {
+        let src = [2.0, 4.0, 10.0, 20.0]; // 2 rows × 2 cols
+        let index = [1u32, 0];
+        let scale = [0.5, 0.1];
+        let mut out = vec![0.0; 4];
+        gather_rows_scaled_into(&mut out, &src, 2, &index, &scale);
+        assert_eq!(out, vec![1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_sum_accumulates() {
+        let src = [1.0, 10.0, 2.0, 20.0, 3.0, 30.0]; // 3 rows × 2 cols
+        let index = [1u32, 1, 0];
+        let mut out = vec![0.0; 4];
+        scatter_rows_into(&mut out, 2, &src, 2, &index, false);
+        assert_eq!(out, vec![3.0, 30.0, 3.0, 30.0]);
+    }
+
+    #[test]
+    fn scatter_mean_divides_by_count() {
+        let src = [2.0, 4.0, 6.0];
+        let index = [0u32, 0, 0];
+        let mut out = vec![0.0; 1];
+        scatter_rows_into(&mut out, 1, &src, 1, &index, true);
+        assert_eq!(out, vec![4.0]);
+    }
+
+    #[test]
+    fn scatter_mean_empty_groups_stay_zero() {
+        // Group 1 receives nothing: its row must be exactly 0.0, not NaN.
+        let src = [5.0, 5.0, 7.0, 7.0];
+        let index = [0u32, 2];
+        let mut out = vec![0.0; 6];
+        scatter_rows_into(&mut out, 3, &src, 2, &index, true);
+        assert_eq!(out, vec![5.0, 5.0, 0.0, 0.0, 7.0, 7.0]);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn scatter_with_no_index_entries_is_all_zero() {
+        let mut out = vec![0.0; 8];
+        scatter_rows_into(&mut out, 4, &[], 2, &[], true);
+        assert_eq!(out, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn large_parallel_matches_sequential_range() {
+        // Cross the parallel threshold and compare against a direct
+        // single-range evaluation.
+        let rows = 512;
+        let cols = 160;
+        let groups = 37;
+        let src: Vec<f32> = (0..rows * cols).map(|i| (i % 101) as f32 * 0.25).collect();
+        let index: Vec<u32> = (0..rows as u32).map(|i| (i * 7) % groups as u32).collect();
+
+        let mut par = vec![0.0; groups * cols];
+        scatter_rows_into(&mut par, groups, &src, cols, &index, true);
+
+        let mut seq = vec![0.0; groups * cols];
+        scatter_range(&mut seq, 0, groups, &src, cols, &index, true);
+
+        assert!(par
+            .iter()
+            .zip(&seq)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn row_counts_matches_index() {
+        assert_eq!(row_counts(&[0, 2, 2, 2], 4), vec![1, 0, 3, 0]);
+    }
+}

@@ -12,6 +12,7 @@
 //! node), both differentiable.
 
 use crate::params::{ParamId, ParamSet};
+use crate::segment;
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape.
@@ -134,10 +135,7 @@ impl Tape {
     /// A parameter leaf: snapshots the current parameter value and tags
     /// the node so [`Tape::accumulate_param_grads`] can route its gradient.
     pub fn param(&mut self, ps: &ParamSet, id: ParamId) -> Var {
-        self.push(
-            Op::Leaf { param: Some(id) },
-            ps.value(id).clone(),
-        )
+        self.push(Op::Leaf { param: Some(id) }, ps.value(id).clone())
     }
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
@@ -216,10 +214,9 @@ impl Tape {
     /// Row gather: `out[i] = a[index[i]]`.
     pub fn gather_rows(&mut self, a: Var, index: &[u32]) -> Var {
         let t = self.value(a);
-        let mut v = Tensor::zeros(index.len(), t.cols());
-        for (i, &src) in index.iter().enumerate() {
-            v.row_slice_mut(i).copy_from_slice(t.row_slice(src as usize));
-        }
+        let cols = t.cols();
+        let mut v = Tensor::zeros(index.len(), cols);
+        segment::gather_rows_into(v.data_mut(), t.data(), cols, index);
         self.push(Op::GatherRows(a, index.into()), v)
     }
 
@@ -227,13 +224,9 @@ impl Tape {
     pub fn scatter_sum_rows(&mut self, src: Var, index: &[u32], out_rows: usize) -> Var {
         let t = self.value(src);
         assert_eq!(t.rows(), index.len(), "scatter index length mismatch");
-        let mut v = Tensor::zeros(out_rows, t.cols());
-        for (i, &dst) in index.iter().enumerate() {
-            let row = t.row_slice(i).to_vec();
-            for (o, x) in v.row_slice_mut(dst as usize).iter_mut().zip(&row) {
-                *o += *x;
-            }
-        }
+        let cols = t.cols();
+        let mut v = Tensor::zeros(out_rows, cols);
+        segment::scatter_rows_into(v.data_mut(), out_rows, t.data(), cols, index, false);
         self.push(
             Op::ScatterSumRows {
                 src,
@@ -248,23 +241,9 @@ impl Tape {
     pub fn scatter_mean_rows(&mut self, src: Var, index: &[u32], out_rows: usize) -> Var {
         let t = self.value(src);
         assert_eq!(t.rows(), index.len(), "scatter index length mismatch");
-        let mut v = Tensor::zeros(out_rows, t.cols());
-        let mut counts = vec![0u32; out_rows];
-        for (i, &dst) in index.iter().enumerate() {
-            counts[dst as usize] += 1;
-            let row = t.row_slice(i).to_vec();
-            for (o, x) in v.row_slice_mut(dst as usize).iter_mut().zip(&row) {
-                *o += *x;
-            }
-        }
-        for (r, &cnt) in counts.iter().enumerate() {
-            if cnt > 1 {
-                let inv = 1.0 / cnt as f32;
-                for x in v.row_slice_mut(r) {
-                    *x *= inv;
-                }
-            }
-        }
+        let cols = t.cols();
+        let mut v = Tensor::zeros(out_rows, cols);
+        segment::scatter_rows_into(v.data_mut(), out_rows, t.data(), cols, index, true);
         self.push(
             Op::ScatterMeanRows {
                 src,
@@ -464,24 +443,18 @@ impl Tape {
                     let a = *a;
                     let index = index.clone();
                     let (r, c) = self.nodes[a.0].value.shape();
+                    // Gather backward is a scatter-add of the output grads.
                     let mut ga = Tensor::zeros(r, c);
-                    for (i_row, &src) in index.iter().enumerate() {
-                        let g = gout.row_slice(i_row).to_vec();
-                        for (o, x) in ga.row_slice_mut(src as usize).iter_mut().zip(&g) {
-                            *o += *x;
-                        }
-                    }
+                    segment::scatter_rows_into(ga.data_mut(), r, gout.data(), c, &index, false);
                     Self::add_grad(&mut self.nodes[a.0].grad, ga);
                 }
                 Op::ScatterSumRows { src, index } => {
                     let src = *src;
                     let index = index.clone();
                     let c = gout.cols();
+                    // Scatter-sum backward is a gather of the output grads.
                     let mut gs = Tensor::zeros(index.len(), c);
-                    for (i_row, &dst) in index.iter().enumerate() {
-                        gs.row_slice_mut(i_row)
-                            .copy_from_slice(gout.row_slice(dst as usize));
-                    }
+                    segment::gather_rows_into(gs.data_mut(), gout.data(), c, &index);
                     Self::add_grad(&mut self.nodes[src.0].grad, gs);
                 }
                 Op::ScatterMeanRows {
@@ -490,23 +463,13 @@ impl Tape {
                     out_rows,
                 } => {
                     let src = *src;
+                    let out_rows = *out_rows;
                     let index = index.clone();
-                    let mut counts = vec![0u32; *out_rows];
-                    for &d in index.iter() {
-                        counts[d as usize] += 1;
-                    }
+                    let counts = segment::row_counts(&index, out_rows);
+                    let inv: Vec<f32> = counts.iter().map(|&n| 1.0 / n.max(1) as f32).collect();
                     let c = gout.cols();
                     let mut gs = Tensor::zeros(index.len(), c);
-                    for (i_row, &dst) in index.iter().enumerate() {
-                        let inv = 1.0 / counts[dst as usize].max(1) as f32;
-                        for (o, &g) in gs
-                            .row_slice_mut(i_row)
-                            .iter_mut()
-                            .zip(gout.row_slice(dst as usize))
-                        {
-                            *o = g * inv;
-                        }
-                    }
+                    segment::gather_rows_scaled_into(gs.data_mut(), gout.data(), c, &index, &inv);
                     Self::add_grad(&mut self.nodes[src.0].grad, gs);
                 }
                 Op::SoftmaxCrossEntropy { logits, targets } => {
@@ -601,11 +564,7 @@ mod tests {
 
     /// Finite-difference check: for scalar-output graphs built by `build`,
     /// compare analytic input gradient against central differences.
-    fn check_grad(
-        input: Tensor,
-        build: impl Fn(&mut Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn check_grad(input: Tensor, build: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
         let mut tape = Tape::new();
         let x = tape.leaf(input.clone());
         let loss = build(&mut tape, x);
@@ -653,73 +612,99 @@ mod tests {
     #[test]
     fn grad_of_matmul_chain() {
         let w = seeded(4, 3, 7);
-        check_grad(seeded(2, 4, 1), move |t, x| {
-            let wv = t.leaf(w.clone());
-            let h = t.matmul(x, wv);
-            let s = t.sigmoid(h);
-            t.mse_loss(s, &Tensor::full(2, 3, 0.3))
-        }, 2e-2);
+        check_grad(
+            seeded(2, 4, 1),
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let h = t.matmul(x, wv);
+                let s = t.sigmoid(h);
+                t.mse_loss(s, &Tensor::full(2, 3, 0.3))
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_of_elementwise_ops() {
         let b = seeded(3, 3, 9);
-        check_grad(seeded(3, 3, 2), move |t, x| {
-            let bv = t.leaf(b.clone());
-            let m = t.mul(x, bv);
-            let s = t.sub(m, x);
-            let a = t.add(s, x);
-            let h = t.tanh(a);
-            t.mse_loss(h, &Tensor::zeros(3, 3))
-        }, 2e-2);
+        check_grad(
+            seeded(3, 3, 2),
+            move |t, x| {
+                let bv = t.leaf(b.clone());
+                let m = t.mul(x, bv);
+                let s = t.sub(m, x);
+                let a = t.add(s, x);
+                let h = t.tanh(a);
+                t.mse_loss(h, &Tensor::zeros(3, 3))
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_of_relu_and_scale() {
-        check_grad(seeded(2, 5, 3), |t, x| {
-            let r = t.relu(x);
-            let s = t.scale(r, 1.5);
-            t.mse_loss(s, &Tensor::full(2, 5, 0.1))
-        }, 2e-2);
+        check_grad(
+            seeded(2, 5, 3),
+            |t, x| {
+                let r = t.relu(x);
+                let s = t.scale(r, 1.5);
+                t.mse_loss(s, &Tensor::full(2, 5, 0.1))
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_of_bias_and_concat() {
         let bias = seeded(1, 3, 11);
-        check_grad(seeded(4, 3, 4), move |t, x| {
-            let bv = t.leaf(bias.clone());
-            let h = t.add_bias(x, bv);
-            let c = t.concat_cols(&[h, x]);
-            t.mse_loss(c, &Tensor::full(4, 6, 0.05))
-        }, 2e-2);
+        check_grad(
+            seeded(4, 3, 4),
+            move |t, x| {
+                let bv = t.leaf(bias.clone());
+                let h = t.add_bias(x, bv);
+                let c = t.concat_cols(&[h, x]);
+                t.mse_loss(c, &Tensor::full(4, 6, 0.05))
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_of_gather_scatter() {
         let index = vec![0u32, 2, 1, 2, 0];
         let scatter_to = vec![1u32, 0, 1, 2, 2];
-        check_grad(seeded(3, 4, 5), move |t, x| {
-            let g = t.gather_rows(x, &index);
-            let s = t.scatter_mean_rows(g, &scatter_to, 3);
-            t.mse_loss(s, &Tensor::full(3, 4, 0.2))
-        }, 2e-2);
+        check_grad(
+            seeded(3, 4, 5),
+            move |t, x| {
+                let g = t.gather_rows(x, &index);
+                let s = t.scatter_mean_rows(g, &scatter_to, 3);
+                t.mse_loss(s, &Tensor::full(3, 4, 0.2))
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_of_scatter_sum() {
         let scatter_to = vec![1u32, 1, 0];
-        check_grad(seeded(3, 2, 6), move |t, x| {
-            let s = t.scatter_sum_rows(x, &scatter_to, 2);
-            t.mse_loss(s, &Tensor::full(2, 2, 0.0))
-        }, 2e-2);
+        check_grad(
+            seeded(3, 2, 6),
+            move |t, x| {
+                let s = t.scatter_sum_rows(x, &scatter_to, 2);
+                t.mse_loss(s, &Tensor::full(2, 2, 0.0))
+            },
+            2e-2,
+        );
     }
 
     #[test]
     fn grad_of_softmax_cross_entropy() {
         let targets = vec![0u32, 2, 1];
-        check_grad(seeded(3, 3, 8), move |t, x| {
-            t.softmax_cross_entropy(x, &targets)
-        }, 2e-2);
+        check_grad(
+            seeded(3, 3, 8),
+            move |t, x| t.softmax_cross_entropy(x, &targets),
+            2e-2,
+        );
     }
 
     #[test]
@@ -781,13 +766,17 @@ mod tests {
     #[test]
     fn grad_of_row_scale_ops() {
         let scale_src = seeded(4, 1, 21).map(|x| x.abs() + 0.5);
-        check_grad(seeded(4, 3, 20), move |t, x| {
-            let s = t.leaf(scale_src.clone());
-            let m = t.mul_row_scale(x, s);
-            let d = t.div_row_scale(m, s);
-            let m2 = t.mul_row_scale(d, s);
-            t.mse_loss(m2, &Tensor::full(4, 3, 0.1))
-        }, 3e-2);
+        check_grad(
+            seeded(4, 3, 20),
+            move |t, x| {
+                let s = t.leaf(scale_src.clone());
+                let m = t.mul_row_scale(x, s);
+                let d = t.div_row_scale(m, s);
+                let m2 = t.mul_row_scale(d, s);
+                t.mse_loss(m2, &Tensor::full(4, 3, 0.1))
+            },
+            3e-2,
+        );
     }
 
     #[test]

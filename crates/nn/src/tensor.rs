@@ -4,8 +4,12 @@
 //! rows. That covers everything the MGA models need while keeping the
 //! kernels simple enough to optimize properly: the matmul is i-k-j loop
 //! ordered (streaming through `b` rows), blocked for L1/L2 reuse, and
-//! splits row-panels across threads for large problems.
+//! splits row-panels across the persistent worker pool ([`crate::pool`])
+//! for large problems. Row-panel partitioning keeps per-element
+//! accumulation order identical to the sequential kernel, so results are
+//! bitwise independent of the thread count.
 
+use crate::pool;
 use std::fmt;
 
 /// Threshold (in multiply-adds) above which matmul fans out to threads.
@@ -219,19 +223,30 @@ impl Tensor {
         );
         // (A^T B)[i][j] = sum_k A[k][i] * B[k][j]
         let (m, n) = (self.cols, other.cols);
+        let rows = self.rows;
         let mut out = Tensor::zeros(m, n);
-        for k in 0..self.rows {
-            let arow = self.row_slice(k);
-            let brow = other.row_slice(k);
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
+        let threads = pool::num_threads();
+        if m * n * rows >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
+            let out_ptr = pool::SendPtr::new(out.data.as_mut_ptr());
+            pool::parallel_ranges(m, |_, lo, hi| {
+                // Output rows [lo, hi) — i.e. columns [lo, hi) of A — are
+                // exclusive to this chunk; k still runs in full order.
+                let panel = unsafe {
+                    std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n)
+                };
+                t_matmul_panel(panel, &self.data, &other.data, rows, self.cols, n, lo, hi);
+            });
+        } else {
+            t_matmul_panel(
+                &mut out.data,
+                &self.data,
+                &other.data,
+                rows,
+                self.cols,
+                n,
+                0,
+                m,
+            );
         }
         out
     }
@@ -245,19 +260,74 @@ impl Tensor {
         );
         let (m, n, k) = (self.rows, other.rows, self.cols);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row_slice(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += arow[kk] * brow[kk];
-                }
-                *o = acc;
-            }
+        let threads = pool::num_threads();
+        if m * n * k >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
+            let out_ptr = pool::SendPtr::new(out.data.as_mut_ptr());
+            pool::parallel_ranges(m, |_, lo, hi| {
+                let panel = unsafe {
+                    std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n)
+                };
+                matmul_t_panel(
+                    panel,
+                    &self.data[lo * k..hi * k],
+                    &other.data,
+                    hi - lo,
+                    k,
+                    n,
+                );
+            });
+        } else {
+            matmul_t_panel(&mut out.data, &self.data, &other.data, m, k, n);
         }
         out
+    }
+}
+
+/// Row panel of `A × Bᵀ`: each output row is a set of independent dot
+/// products, so panels are embarrassingly parallel.
+fn matmul_t_panel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += arow[kk] * brow[kk];
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Output rows `[lo, hi)` of `Aᵀ × B` (`a` is `rows × acols`, `b` is
+/// `rows × n`). `k` runs over all of `a`'s rows in order, so the
+/// accumulation order per output element matches the full sequential
+/// kernel no matter how the row range is split.
+#[allow(clippy::too_many_arguments)]
+fn t_matmul_panel(
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    rows: usize,
+    acols: usize,
+    n: usize,
+    lo: usize,
+    hi: usize,
+) {
+    for k in 0..rows {
+        let arow = &a[k * acols..(k + 1) * acols];
+        let brow = &b[k * n..(k + 1) * n];
+        for i in lo..hi {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[(i - lo) * n..(i - lo + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
     }
 }
 
@@ -269,24 +339,15 @@ pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n:
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     let flops = m * n * k;
-    let threads = available_threads();
+    let threads = pool::num_threads();
     if flops >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
-        let rows_per = m.div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            let mut rest = out;
-            let mut handled = 0usize;
-            while handled < m {
-                let take = rows_per.min(m - handled);
-                let (panel, tail) = rest.split_at_mut(take * n);
-                let a_panel = &a[handled * k..(handled + take) * k];
-                s.spawn(move |_| {
-                    matmul_panel(panel, a_panel, take, k, b, n);
-                });
-                rest = tail;
-                handled += take;
-            }
-        })
-        .expect("matmul worker panicked");
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(m, |_, lo, hi| {
+            // Row panels are disjoint slices of `out`.
+            let panel =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
+            matmul_panel(panel, &a[lo * k..hi * k], hi - lo, k, b, n);
+        });
     } else {
         matmul_panel(out, a, m, k, b, n);
     }
@@ -313,11 +374,10 @@ fn matmul_panel(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: us
     }
 }
 
-/// Number of worker threads to use for parallel kernels.
+/// Number of compute threads the parallel kernels use (the persistent
+/// pool's size; respects `MGA_THREADS`).
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::num_threads()
 }
 
 #[cfg(test)]
@@ -343,7 +403,9 @@ mod tests {
         let mut state = seed as u64 * 2654435761 + 1;
         let data = (0..rows * cols)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
             })
             .collect();

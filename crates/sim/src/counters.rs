@@ -5,10 +5,8 @@
 //! branches across all loops, inputs and experiments." We add reference
 //! cycles, which §4.1.5 uses to normalize branch mispredictions.
 
-use serde::{Deserialize, Serialize};
-
 /// One profiling sample of the five selected PAPI counters (+ cycles).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Counters {
     pub l1_dcm: f64,
     pub l2_tcm: f64,
@@ -22,7 +20,13 @@ pub struct Counters {
 impl Counters {
     /// The feature vector order used across the models.
     pub fn to_features(&self) -> [f64; 5] {
-        [self.l1_dcm, self.l2_tcm, self.l3_ldm, self.br_ins, self.br_msp]
+        [
+            self.l1_dcm,
+            self.l2_tcm,
+            self.l3_ldm,
+            self.br_ins,
+            self.br_msp,
+        ]
     }
 
     /// Rescale cache counters for a different µ-architecture, following

@@ -1,9 +1,7 @@
 //! CPU µ-architecture descriptions.
 
-use serde::{Deserialize, Serialize};
-
 /// The µ-architectures appearing in the paper's experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MicroArch {
     CometLake,
     SkylakeSp,
@@ -13,7 +11,7 @@ pub enum MicroArch {
 }
 
 /// A CPU model: the parameters the OpenMP execution model consumes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuSpec {
     pub name: String,
     pub arch: MicroArch,

@@ -19,10 +19,9 @@ use crate::cpu::CpuSpec;
 use crate::openmp::{simulate_traits, OmpConfig, Schedule};
 use crate::{hash_noise, name_hash};
 use mga_kernels::spec::KernelSpec;
-use serde::{Deserialize, Serialize};
 
 /// A GPU device model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     pub name: String,
     /// Peak arithmetic throughput in Gops/s (scalar-equivalent).

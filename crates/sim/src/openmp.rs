@@ -28,10 +28,9 @@ use crate::counters::Counters;
 use crate::cpu::CpuSpec;
 use crate::{hash_noise, name_hash};
 use mga_kernels::spec::{Imbalance, InstrMix, KernelSpec, Traits};
-use serde::{Deserialize, Serialize};
 
 /// OpenMP scheduling policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Schedule {
     Static,
     Dynamic,
@@ -51,7 +50,7 @@ impl Schedule {
 }
 
 /// One OpenMP runtime configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OmpConfig {
     pub threads: u32,
     pub schedule: Schedule,
@@ -137,13 +136,7 @@ fn effective_parallelism(cpu: &CpuSpec, t: f64) -> f64 {
 }
 
 /// Load-imbalance multiplier: ratio of slowest-thread work to mean work.
-fn imbalance_factor(
-    imb: Imbalance,
-    sched: Schedule,
-    t: f64,
-    iters: f64,
-    chunk: f64,
-) -> f64 {
+fn imbalance_factor(imb: Imbalance, sched: Schedule, t: f64, iters: f64, chunk: f64) -> f64 {
     if t <= 1.0 {
         return 1.0;
     }
@@ -203,14 +196,7 @@ fn resolved_chunk(cfg: &OmpConfig, iters: f64) -> f64 {
 /// Simulate one profiled execution of `spec` with working-set target
 /// `ws_bytes` under `cfg` on `cpu`.
 pub fn simulate(spec: &KernelSpec, ws_bytes: f64, cfg: &OmpConfig, cpu: &CpuSpec) -> RunResult {
-    simulate_traits(
-        &spec.traits,
-        &spec.mix,
-        &spec.name,
-        ws_bytes,
-        cfg,
-        cpu,
-    )
+    simulate_traits(&spec.traits, &spec.mix, &spec.name, ws_bytes, cfg, cpu)
 }
 
 /// Trait-level entry point (used by the GPU model's CPU side too).
@@ -230,8 +216,8 @@ pub fn simulate_traits(
     let chunk = resolved_chunk(cfg, iters);
 
     // ---- per-work-unit compute cycles -----------------------------------
-    let mispredict_rate =
-        (tr.branch_entropy * (1.0 - cpu.bp_quality) * 6.0 + 0.004).min(0.5 * tr.branch_entropy + 0.004);
+    let mispredict_rate = (tr.branch_entropy * (1.0 - cpu.bp_quality) * 6.0 + 0.004)
+        .min(0.5 * tr.branch_entropy + 0.004);
     let cyc_compute = mix.flops * CYC_FLOP
         + mix.heavy_math * CYC_HEAVY
         + mix.int_ops * CYC_INT
@@ -250,7 +236,8 @@ pub fn simulate_traits(
     let fit1 = fit_fraction(per_thread, cpu.l1_kb * 1024.0 / threads_per_core);
     let fit2 = fit_fraction(per_thread, cpu.l2_kb * 1024.0 / threads_per_core);
     // All threads share L3.
-    let l3_resident = resident * (1.0 - tr.locality.shared_frac) + resident * tr.locality.shared_frac;
+    let l3_resident =
+        resident * (1.0 - tr.locality.shared_frac) + resident * tr.locality.shared_frac;
     let fit3 = fit_fraction(l3_resident, cpu.l3_mb * 1024.0 * 1024.0);
 
     let cached_accesses = mix.mem_ops() * (1.0 - tr.locality.streaming_frac);
@@ -530,7 +517,10 @@ mod tests {
         };
         let tt = simulate(&gemm, ws, &tiny, &cpu).runtime;
         let tm = simulate(&gemm, ws, &moderate, &cpu).runtime;
-        assert!(tt > tm, "chunk=1 ({tt}) should cost more than chunk=64 ({tm})");
+        assert!(
+            tt > tm,
+            "chunk=1 ({tt}) should cost more than chunk=64 ({tm})"
+        );
     }
 
     #[test]

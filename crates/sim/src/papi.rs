@@ -65,8 +65,8 @@ impl ExtendedCounters {
         let accesses = iters * mix.mem_ops();
         let loads = iters * mix.loads;
         let stores = iters * mix.stores;
-        let tot_ins = iters
-            * (mix.flops + mix.int_ops + mix.branches + mix.mem_ops() + mix.calls + 1.0);
+        let tot_ins =
+            iters * (mix.flops + mix.int_ops + mix.branches + mix.mem_ops() + mix.calls + 1.0);
         let fp_ins = iters * mix.flops;
         let l1_dch = (accesses - c.l1_dcm).max(0.0);
         let l2_tch = (c.l1_dcm - c.l2_tcm).max(0.0);
@@ -79,8 +79,8 @@ impl ExtendedCounters {
         let mem_wcy = (stores * 0.8 + c.l2_tcm * 4.0) * jitter(3);
         ExtendedCounters {
             values: [
-                c.l1_dcm, c.l2_tcm, c.l3_ldm, c.br_ins, c.br_msp, l1_dch, l2_tch, l3_tca,
-                tlb_dm, tot_ins, c.ref_cyc, fp_ins, loads, stores, res_stl, mem_wcy,
+                c.l1_dcm, c.l2_tcm, c.l3_ldm, c.br_ins, c.br_msp, l1_dch, l2_tch, l3_tca, tlb_dm,
+                tot_ins, c.ref_cyc, fp_ins, loads, stores, res_stl, mem_wcy,
             ],
         }
     }
@@ -142,11 +142,7 @@ pub fn residualize(x: &[f64], z: &[f64]) -> Vec<f64> {
 /// `TOT_INS` leaves the per-instruction behaviour: miss and misprediction
 /// counters stay correlated with the runtime residual (they drive CPI),
 /// hit counters do not. Returns `(counter index, |r|)` sorted descending.
-pub fn rank_counters(
-    specs: &[KernelSpec],
-    sizes: &[f64],
-    cpu: &CpuSpec,
-) -> Vec<(usize, f64)> {
+pub fn rank_counters(specs: &[KernelSpec], sizes: &[f64], cpu: &CpuSpec) -> Vec<(usize, f64)> {
     let (cols, runtime) = profile_matrix(specs, sizes, cpu);
     let volume = &cols[9];
     let target = residualize(&runtime, volume);
@@ -165,11 +161,7 @@ pub fn rank_counters(
 
 /// Log-space profiling matrix: per counter a column over all
 /// (kernel, input) samples, plus the log-runtime target.
-fn profile_matrix(
-    specs: &[KernelSpec],
-    sizes: &[f64],
-    cpu: &CpuSpec,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+fn profile_matrix(specs: &[KernelSpec], sizes: &[f64], cpu: &CpuSpec) -> (Vec<Vec<f64>>, Vec<f64>) {
     let cfg = OmpConfig::default_for(cpu);
     let mut runtime = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); EXTENDED_NAMES.len()];
@@ -282,9 +274,15 @@ mod tests {
             .collect();
         let cpu = CpuSpec::comet_lake();
         let ranked = rank_counters(&specs, &sizes, &cpu);
-        assert!(ranked[0].1 > 0.5, "top counter weakly correlated: {:?}", ranked[0]);
+        assert!(
+            ranked[0].1 > 0.5,
+            "top counter weakly correlated: {:?}",
+            ranked[0]
+        );
         // The excluded trivial counter never appears.
-        assert!(ranked.iter().all(|(i, _)| !EXCLUDED_FROM_RANKING.contains(i)));
+        assert!(ranked
+            .iter()
+            .all(|(i, _)| !EXCLUDED_FROM_RANKING.contains(i)));
         let five = select_counters(&specs, &sizes, &cpu, 5);
         assert_eq!(five.len(), 5, "selection returned {five:?}");
         let names: Vec<&str> = five.iter().map(|&i| EXTENDED_NAMES[i]).collect();
@@ -304,7 +302,10 @@ mod tests {
         // Overlap with the paper's five is expected but not forced to be
         // exact (the redundancy walk may keep a correlated stand-in).
         let overlap = five.iter().filter(|i| PAPER_FIVE.contains(i)).count();
-        assert!(overlap >= 1, "selection shares nothing with the paper: {names:?}");
+        assert!(
+            overlap >= 1,
+            "selection shares nothing with the paper: {names:?}"
+        );
         // Backfill keeps the requested width even at a hostile threshold.
         let tight = select_counters_dedup(&specs, &sizes, &cpu, 5, 0.5);
         assert_eq!(tight.len(), 5);

@@ -49,7 +49,12 @@ impl Tuner for BlissLike {
     }
 
     fn tune(&mut self, space: &Space, eval: &mut Evaluator<'_>, budget: usize) -> OmpConfig {
-        let models = [Model::Gp(0.25), Model::Gp(0.7), Model::Ridge, Model::RidgeQuad];
+        let models = [
+            Model::Gp(0.25),
+            Model::Gp(0.7),
+            Model::Ridge,
+            Model::RidgeQuad,
+        ];
         let feats: Vec<[f64; 3]> = space.configs.iter().map(|c| space.features(c)).collect();
         let mut state = self.seed.wrapping_mul(0xD6E8FEB86659FD93) | 1;
         let mut rand = move || {
@@ -108,10 +113,8 @@ impl Tuner for BlissLike {
                         argmax_unseen(&feats, &seen, |f| -ridge_predict(&w, f))
                     }
                     Model::RidgeQuad => {
-                        let qx: Vec<f64> = xs
-                            .iter()
-                            .flat_map(|f| quad_features(f).to_vec())
-                            .collect();
+                        let qx: Vec<f64> =
+                            xs.iter().flat_map(|f| quad_features(f).to_vec()).collect();
                         let w = ridge_fit(&qx, xs.len(), 9, &ys_n, 1e-3);
                         argmax_unseen(&feats, &seen, |f| -ridge_predict(&w, &quad_features(f)))
                     }
@@ -149,11 +152,7 @@ impl Tuner for BlissLike {
 }
 
 /// Index of the unseen feature point maximizing `score`.
-fn argmax_unseen(
-    feats: &[[f64; 3]],
-    seen: &[usize],
-    score: impl Fn(&[f64; 3]) -> f64,
-) -> usize {
+fn argmax_unseen(feats: &[[f64; 3]], seen: &[usize], score: impl Fn(&[f64; 3]) -> f64) -> usize {
     let mut top = (0usize, f64::MIN);
     for (i, f) in feats.iter().enumerate() {
         if seen.contains(&i) {

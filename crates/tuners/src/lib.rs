@@ -111,7 +111,7 @@ impl<'a> Evaluator<'a> {
 
 /// A seed-parameterized tuner factory, as the experiment harness uses to
 /// create one fresh tuner per (loop, input).
-pub type TunerFactory = Box<dyn Fn(u64) -> Box<dyn Tuner>>;
+pub type TunerFactory = Box<dyn Fn(u64) -> Box<dyn Tuner> + Send + Sync>;
 
 /// A black-box autotuner over a discrete space.
 pub trait Tuner {

@@ -118,10 +118,8 @@ impl Tuner for OpenTunerLike {
                         rng.below(space.len())
                     } else {
                         let nbrs = Self::neighbors(space, best.0);
-                        let fresh: Vec<usize> = nbrs
-                            .into_iter()
-                            .filter(|&j| results[j].is_none())
-                            .collect();
+                        let fresh: Vec<usize> =
+                            nbrs.into_iter().filter(|&j| results[j].is_none()).collect();
                         if fresh.is_empty() {
                             rng.below(space.len())
                         } else {
@@ -138,7 +136,11 @@ impl Tuner for OpenTunerLike {
                         let a = space.configs[order[rng.below(order.len().min(4))]];
                         let b = space.configs[order[rng.below(order.len().min(4))]];
                         let child = OmpConfig {
-                            threads: if rng.unit() < 0.5 { a.threads } else { b.threads },
+                            threads: if rng.unit() < 0.5 {
+                                a.threads
+                            } else {
+                                b.threads
+                            },
                             schedule: if rng.unit() < 0.5 {
                                 a.schedule
                             } else {

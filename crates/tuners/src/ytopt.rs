@@ -79,11 +79,7 @@ impl Gp {
             return (self.y_mean, 1.0);
         }
         let kx: Vec<f64> = self.xs.iter().map(|xi| self.kernel(xi, x)).collect();
-        let mean = self.y_mean
-            + kx.iter()
-                .zip(&self.alpha)
-                .map(|(k, a)| k * a)
-                .sum::<f64>();
+        let mean = self.y_mean + kx.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
         // v = L⁻¹ kx; var = k(x,x) - vᵀv
         let v = solve_lower(&self.chol, n, &kx);
         let var = (1.0 + self.noise - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);

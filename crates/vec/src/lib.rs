@@ -32,8 +32,7 @@ const KIND_FUNC: usize = 4;
 const NUM_KINDS: usize = 5;
 
 /// Entity universe: opcodes ++ types ++ operand kinds.
-pub const NUM_ENTITIES: usize =
-    Opcode::NUM_FEATURE_CLASSES + Type::NUM_FEATURE_CLASSES + NUM_KINDS;
+pub const NUM_ENTITIES: usize = Opcode::NUM_FEATURE_CLASSES + Type::NUM_FEATURE_CLASSES + NUM_KINDS;
 
 /// Relations of the knowledge graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -473,7 +472,10 @@ mod tests {
         assert_eq!(v.len(), 16);
         assert!(v.iter().any(|&x| x != 0.0));
         let vm = emb.encode_module(&m);
-        assert_eq!(vm, v, "single-function module vector equals function vector");
+        assert_eq!(
+            vm, v,
+            "single-function module vector equals function vector"
+        );
     }
 
     #[test]
@@ -576,8 +578,14 @@ mod tests {
             let mut b = FunctionBuilder::new(
                 name,
                 vec![
-                    Param { name: "a".into(), ty: Type::F64 },
-                    Param { name: "b".into(), ty: Type::F64 },
+                    Param {
+                        name: "a".into(),
+                        ty: Type::F64,
+                    },
+                    Param {
+                        name: "b".into(),
+                        ty: Type::F64,
+                    },
                 ],
                 Type::F64,
             );
@@ -593,8 +601,14 @@ mod tests {
             let mut b = FunctionBuilder::new(
                 "cmp",
                 vec![
-                    Param { name: "a".into(), ty: Type::I64 },
-                    Param { name: "b".into(), ty: Type::I64 },
+                    Param {
+                        name: "a".into(),
+                        ty: Type::I64,
+                    },
+                    Param {
+                        name: "b".into(),
+                        ty: Type::I64,
+                    },
                 ],
                 Type::I64,
             );
@@ -612,7 +626,11 @@ mod tests {
         let triples = extract_triples(&m);
         let emb = train_seed_embeddings(
             &triples,
-            &TransEConfig { dim: 24, epochs: 40, ..Default::default() },
+            &TransEConfig {
+                dim: 24,
+                epochs: 40,
+                ..Default::default()
+            },
             17,
         );
         let v: Vec<Vec<f32>> = m.functions.iter().map(|f| emb.encode_function(f)).collect();

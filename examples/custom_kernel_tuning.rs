@@ -17,7 +17,13 @@ fn main() {
     // A custom 27-point 3-D stencil — imagine this is your application
     // kernel.
     let (module, traits) = archetypes::stencil("my_stencil", 3, 27);
-    let spec = KernelSpec::new("custom/my_stencil/l0", "my_stencil", Suite::Lulesh, module, traits);
+    let spec = KernelSpec::new(
+        "custom/my_stencil/l0",
+        "my_stencil",
+        Suite::Lulesh,
+        module,
+        traits,
+    );
     let cpu = CpuSpec::skylake_4114();
     let ws = 64.0 * 1024.0 * 1024.0;
 

@@ -13,7 +13,10 @@ use mga::sim::gpu::GpuSpec;
 
 fn main() {
     let specs: Vec<_> = opencl_catalog().into_iter().step_by(2).collect();
-    println!("building the device-mapping dataset for {} kernels ...", specs.len());
+    println!(
+        "building the device-mapping dataset for {} kernels ...",
+        specs.len()
+    );
     let ds = OclDataset::build(specs, GpuSpec::tahiti_7970(), 24, 3);
     let gpu_share =
         ds.labels().iter().filter(|&&l| l == 1).count() as f64 / ds.samples.len() as f64;
@@ -28,9 +31,12 @@ fn main() {
     let cfg = ModelConfig {
         modality: Modality::Multimodal,
         use_aux: true,
-        gnn: GnnConfig { dim: 16, layers: 2, update: mga::gnn::UpdateKind::Gru,
-                homogeneous: false,
-            },
+        gnn: GnnConfig {
+            dim: 16,
+            layers: 2,
+            update: mga::gnn::UpdateKind::Gru,
+            homogeneous: false,
+        },
         dae: DaeConfig {
             input_dim: 24,
             hidden_dim: 16,
@@ -69,7 +75,11 @@ fn main() {
             s.wg_size,
             s.cpu_time * 1e3,
             s.gpu_time * 1e3,
-            if res.predictions[i] == 1 { "GPU" } else { "CPU" },
+            if res.predictions[i] == 1 {
+                "GPU"
+            } else {
+                "CPU"
+            },
             if s.label == 1 { "GPU" } else { "CPU" },
         );
     }

@@ -1,14 +1,14 @@
-use mga_graph::{ProGraph, Node, NodeKind, GraphStats};
-use mga_gnn::{GraphBatch, HeteroGnn, GnnConfig};
-use mga_nn::ParamSet;
+use mga_gnn::{GnnConfig, GraphBatch, HeteroGnn};
+use mga_graph::{GraphStats, Node, NodeKind, ProGraph};
+use mga_kernels::catalog::openmp_catalog;
 use mga_nn::tape::Tape;
-use mga_tuners::{Space, Evaluator, Tuner, RandomSearch};
-use mga_tuners::ytopt::{Gp, YtoptLike};
-use mga_tuners::bliss::BlissLike;
-use mga_tuners::opentuner::OpenTunerLike;
+use mga_nn::ParamSet;
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::{OmpConfig, Schedule};
-use mga_kernels::catalog::openmp_catalog;
+use mga_tuners::bliss::BlissLike;
+use mga_tuners::opentuner::OpenTunerLike;
+use mga_tuners::ytopt::{Gp, YtoptLike};
+use mga_tuners::{Evaluator, RandomSearch, Space, Tuner};
 use rand::SeedableRng;
 
 fn main() {
@@ -23,32 +23,63 @@ fn main() {
             let gnn = HeteroGnn::new(&mut ps, "g", &GnnConfig::default(), &mut rng);
             let mut tape = Tape::new();
             let out = gnn.forward(&mut tape, &ps, &batch);
-            println!("empty graph out shape {:?} row {:?}", tape.value(out).shape(), tape.value(out).row_slice(0).iter().take(3).collect::<Vec<_>>());
+            println!(
+                "empty graph out shape {:?} row {:?}",
+                tape.value(out).shape(),
+                tape.value(out)
+                    .row_slice(0)
+                    .iter()
+                    .take(3)
+                    .collect::<Vec<_>>()
+            );
         }
         "no-instr-gnn" => {
-            let g = ProGraph { nodes: vec![Node { kind: NodeKind::Variable(0) }], edges: Default::default() };
+            let g = ProGraph {
+                nodes: vec![Node {
+                    kind: NodeKind::Variable(0),
+                }],
+                edges: Default::default(),
+            };
             let batch = GraphBatch::single(&g);
             let mut ps = ParamSet::new();
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let gnn = HeteroGnn::new(&mut ps, "g", &GnnConfig::default(), &mut rng);
             let mut tape = Tape::new();
             let out = gnn.forward(&mut tape, &ps, &batch);
-            println!("no-instr out {:?}", tape.value(out).row_slice(0).iter().take(3).collect::<Vec<_>>());
+            println!(
+                "no-instr out {:?}",
+                tape.value(out)
+                    .row_slice(0)
+                    .iter()
+                    .take(3)
+                    .collect::<Vec<_>>()
+            );
         }
         "gp-dup" => {
-            let xs = vec![[0.1,0.2,0.3],[0.1,0.2,0.3],[0.1,0.2,0.3]];
-            let ys = vec![1.0,1.0,1.0];
+            let xs = vec![[0.1, 0.2, 0.3], [0.1, 0.2, 0.3], [0.1, 0.2, 0.3]];
+            let ys = vec![1.0, 1.0, 1.0];
             let mut gp = Gp::new(0.4, 1e-4);
             gp.fit(&xs, &ys);
-            let (m, v) = gp.predict(&[0.1,0.2,0.3]);
+            let (m, v) = gp.predict(&[0.1, 0.2, 0.3]);
             println!("gp dup predict m={m} v={v}");
         }
         t @ ("single-space" | "two-space") => {
-            let spec = openmp_catalog().into_iter().find(|s| s.app == "gemm").unwrap();
+            let spec = openmp_catalog()
+                .into_iter()
+                .find(|s| s.app == "gemm")
+                .unwrap();
             let cpu = CpuSpec::skylake_4114();
-            let mut configs = vec![OmpConfig { threads: 4, schedule: Schedule::Static, chunk: 0 }];
+            let mut configs = vec![OmpConfig {
+                threads: 4,
+                schedule: Schedule::Static,
+                chunk: 0,
+            }];
             if t == "two-space" {
-                configs.push(OmpConfig { threads: 8, schedule: Schedule::Dynamic, chunk: 16 });
+                configs.push(OmpConfig {
+                    threads: 8,
+                    schedule: Schedule::Dynamic,
+                    chunk: 16,
+                });
             }
             let space = Space::new(configs);
             for budget in [0usize, 1, 2, 5, 50] {
@@ -68,7 +99,11 @@ fn main() {
         }
         "features" => {
             // space with one config, chunk 0
-            let space = Space::new(vec![OmpConfig { threads: 0, schedule: Schedule::Guided, chunk: 0 }]);
+            let space = Space::new(vec![OmpConfig {
+                threads: 0,
+                schedule: Schedule::Guided,
+                chunk: 0,
+            }]);
             println!("feat {:?}", space.features(&space.configs[0]));
             let _ = GraphStats::of(&ProGraph::default());
         }

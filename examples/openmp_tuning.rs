@@ -40,9 +40,12 @@ fn main() {
     let cfg = ModelConfig {
         modality: Modality::Multimodal,
         use_aux: true,
-        gnn: GnnConfig { dim: 16, layers: 2, update: mga::gnn::UpdateKind::Gru,
-                homogeneous: false,
-            },
+        gnn: GnnConfig {
+            dim: 16,
+            layers: 2,
+            update: mga::gnn::UpdateKind::Gru,
+            homogeneous: false,
+        },
         dae: DaeConfig {
             input_dim: 24,
             hidden_dim: 16,
@@ -57,21 +60,24 @@ fn main() {
     };
     println!("training the MGA model on {} samples ...", fold.train.len());
     let model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
-    println!("trained: {} parameters, final loss {:.3}", model.num_params(), model.final_loss);
+    println!(
+        "trained: {} parameters, final loss {:.3}",
+        model.num_params(),
+        model.final_loss
+    );
 
     // Predict the held-out loops.
     let preds = model.predict(&data, &fold.val);
     let mut pairs = Vec::new();
-    println!("\n{:<28} {:>10} {:>10} {:>10} {:>10}", "loop @ input", "default", "predicted", "oracle", "norm");
+    println!(
+        "\n{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "loop @ input", "default", "predicted", "oracle", "norm"
+    );
     for (j, &i) in fold.val.iter().enumerate().take(12) {
         let s = &ds.samples[i];
         let heads: Vec<usize> = preds.iter().map(|p| p[j]).collect();
         let cfg_idx = task.codec.decode(&heads);
-        let name = format!(
-            "{} @ {:.0}KB",
-            ds.specs[s.kernel].app,
-            s.ws_bytes / 1024.0
-        );
+        let name = format!("{} @ {:.0}KB", ds.specs[s.kernel].app, s.ws_bytes / 1024.0);
         println!(
             "{name:<28} {:>9.3}ms {:>9.3}ms {:>9.3}ms {:>10.3}",
             s.default_runtime * 1e3,

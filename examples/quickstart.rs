@@ -20,9 +20,18 @@ fn main() {
     let mut b = FunctionBuilder::new(
         "saxpy",
         vec![
-            Param { name: "n".into(), ty: Type::I64 },
-            Param { name: "x".into(), ty: Type::F64.ptr() },
-            Param { name: "y".into(), ty: Type::F64.ptr() },
+            Param {
+                name: "n".into(),
+                ty: Type::I64,
+            },
+            Param {
+                name: "x".into(),
+                ty: Type::F64.ptr(),
+            },
+            Param {
+                name: "y".into(),
+                ty: Type::F64.ptr(),
+            },
         ],
         Type::Void,
     );
@@ -56,7 +65,10 @@ fn main() {
     let mut module = Module::new("quickstart");
     module.add_function(b.finish());
     mga::ir::verify_module(&module).expect("IR verifies");
-    println!("--- textual IR ---\n{}", mga::ir::printer::module_str(&module));
+    println!(
+        "--- textual IR ---\n{}",
+        mga::ir::printer::module_str(&module)
+    );
 
     // --- 2. Modality one: the PROGRAML-style flow multi-graph. ---
     let graph = build_module_graph(&module);
@@ -65,7 +77,15 @@ fn main() {
 
     // --- 3. Modality two: the IR2Vec-style program vector. ---
     let triples = extract_triples(&module);
-    let emb = train_seed_embeddings(&triples, &TransEConfig { dim: 16, epochs: 30, ..Default::default() }, 42);
+    let emb = train_seed_embeddings(
+        &triples,
+        &TransEConfig {
+            dim: 16,
+            epochs: 30,
+            ..Default::default()
+        },
+        42,
+    );
     let vector = emb.encode_function(&module.functions[0]);
     println!(
         "program vector (dim {}): [{:.3}, {:.3}, {:.3}, ...]",

@@ -128,11 +128,10 @@ fn cmd_train(args: &[String]) {
         model.num_params(),
         model.final_loss
     );
-    persist::save_to_file(&model, ds.vectors[0].len(), 5, Path::new(&out))
-        .unwrap_or_else(|e| {
-            eprintln!("failed to save: {e}");
-            std::process::exit(1);
-        });
+    persist::save_to_file(&model, ds.vectors[0].len(), 5, Path::new(&out)).unwrap_or_else(|e| {
+        eprintln!("failed to save: {e}");
+        std::process::exit(1);
+    });
     println!("saved checkpoint to {out}");
 }
 
@@ -178,7 +177,12 @@ fn cmd_recommend(args: &[String]) {
                 "no --model given; training a fresh model on the other {} loops ...",
                 ds.specs.len() - 1
             );
-            FusionModel::fit(model_config(quick), &data, &fold.train, &task.codec.head_sizes())
+            FusionModel::fit(
+                model_config(quick),
+                &data,
+                &fold.train,
+                &task.codec.head_sizes(),
+            )
         }
     };
 
@@ -208,8 +212,7 @@ fn cmd_recommend(args: &[String]) {
     // Build a one-sample prediction view.
     let aux = vec![mga::core::omp::counter_features(&profile.counters)];
     let sample_kernel = vec![kidx];
-    let dummy_labels: Vec<Vec<usize>> =
-        task.labels.iter().map(|_| vec![0usize]).collect();
+    let dummy_labels: Vec<Vec<usize>> = task.labels.iter().map(|_| vec![0usize]).collect();
     let pdata = mga::core::model::TrainData {
         graphs: &ds.graphs,
         vectors: &ds.vectors,
@@ -223,7 +226,11 @@ fn cmd_recommend(args: &[String]) {
     let rec = ds.space[cfg_idx];
     let rec_run = simulate(spec, ws, &rec, &cpu);
     let (oracle, oracle_t) = oracle_config(spec, ws, &ds.space, &cpu);
-    println!("\nrecommendation: {} threads, {} schedule", rec.threads, rec.schedule.name());
+    println!(
+        "\nrecommendation: {} threads, {} schedule",
+        rec.threads,
+        rec.schedule.name()
+    );
     println!(
         "  measured: {:.3} ms  ({:.2}x speedup over default)",
         rec_run.runtime * 1e3,

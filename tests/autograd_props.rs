@@ -12,7 +12,10 @@ fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
 }
 
 /// Central-difference gradient check for a random composite graph.
-fn check(input: &Tensor, build: impl Fn(&mut Tape, mga::nn::Var) -> mga::nn::Var) -> Result<(), TestCaseError> {
+fn check(
+    input: &Tensor,
+    build: impl Fn(&mut Tape, mga::nn::Var) -> mga::nn::Var,
+) -> Result<(), TestCaseError> {
     let mut tape = Tape::new();
     let x = tape.leaf(input.clone());
     let loss = build(&mut tape, x);

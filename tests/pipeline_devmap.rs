@@ -16,8 +16,8 @@ fn quick_cfg(modality: Modality) -> ModelConfig {
             dim: 12,
             layers: 1,
             update: mga::gnn::UpdateKind::Gru,
-                homogeneous: false,
-            },
+            homogeneous: false,
+        },
         dae: DaeConfig {
             input_dim: 16,
             hidden_dim: 12,
@@ -43,7 +43,11 @@ fn devmap_models_beat_chance_on_both_gpus() {
         let res = run_devmap(&ds, &quick_cfg(Modality::Multimodal), 3, 2);
         // Must clearly beat coin flipping and track the oracle's speedup.
         assert!(res.accuracy > 0.7, "accuracy {} too low", res.accuracy);
-        assert!(res.speedup > 1.0, "mapping speedup {} not above static", res.speedup);
+        assert!(
+            res.speedup > 1.0,
+            "mapping speedup {} not above static",
+            res.speedup
+        );
         assert!(res.speedup <= res.oracle_speedup + 1e-9);
     }
 }

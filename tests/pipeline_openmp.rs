@@ -26,8 +26,8 @@ fn small_cfg(modality: Modality) -> ModelConfig {
             dim: 12,
             layers: 2,
             update: mga::gnn::UpdateKind::Gru,
-                homogeneous: false,
-            },
+            homogeneous: false,
+        },
         dae: DaeConfig {
             input_dim: 16,
             hidden_dim: 12,
@@ -52,7 +52,10 @@ fn mga_beats_default_on_unseen_loops() {
     // (the dataset here is tiny — a dozen training loops — so we accept a
     // small shortfall vs the default on unlucky folds, but not a collapse).
     let (a, o, n) = mga::core::metrics::summarize(&e.pairs);
-    assert!(a >= 0.9, "predicted configs much slower than default: {a:.3}");
+    assert!(
+        a >= 0.9,
+        "predicted configs much slower than default: {a:.3}"
+    );
     assert!(o >= a * 0.999, "oracle can't lose to a predictor");
     assert!(n > 0.65, "normalized speedup collapsed: {n:.3}");
 }

@@ -1,7 +1,7 @@
 //! Property tests: execution-model invariants over the benchmark catalog
 //! and random configurations.
 
-use mga::kernels::catalog::{openmp_catalog, opencl_catalog};
+use mga::kernels::catalog::{opencl_catalog, openmp_catalog};
 use mga::sim::cpu::CpuSpec;
 use mga::sim::gpu::{run_mapping, GpuSpec};
 use mga::sim::openmp::{simulate, OmpConfig, Schedule};

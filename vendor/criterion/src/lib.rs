@@ -1,0 +1,288 @@
+//! Vendored stand-in for `criterion` (API-compatible subset).
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the benchmark-harness surface the workspace uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: after one warm-up call, each benchmark runs
+//! `sample_size` samples (default 10); each sample times a batch of
+//! iterations sized so a sample takes ≥ ~5 ms, and the reported number
+//! is the median sample's ns/iteration. The total time per benchmark is
+//! capped (~2 s) so full `cargo bench` sweeps stay tractable. Results
+//! print as `name ... <ns> ns/iter` lines; set `MGA_BENCH_JSON=<path>`
+//! to also append machine-readable `{name, iters, ns_per_iter}` records.
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Cap on the measured (post-warm-up) time spent per benchmark.
+const TARGET_TOTAL: Duration = Duration::from_secs(2);
+/// Minimum duration of one sample batch.
+const MIN_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Root harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into_benchmark_id().0, 10, self.filter.as_deref(), f);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self // accepted for API compatibility; TARGET_TOTAL governs
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&full, self.sample_size, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Conversion into a benchmark name (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]; the shim treats every
+/// variant identically (setup re-runs before each measured call).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median ns/iter and total measured iterations, set by `iter`.
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + per-iteration estimate.
+        let t0 = Instant::now();
+        black_box(routine());
+        let est = t0.elapsed().max(Duration::from_nanos(20));
+
+        // Batch size so one sample lasts >= MIN_SAMPLE, capped so all
+        // samples fit in TARGET_TOTAL.
+        let per_sample = (MIN_SAMPLE.as_nanos() / est.as_nanos()).max(1) as u64;
+        let budget = (TARGET_TOTAL.as_nanos() / est.as_nanos()).max(1) as u64;
+        let per_sample = per_sample.min((budget / self.sample_size as u64).max(1));
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut iters_total = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            iters_total += per_sample;
+            samples.push(dt.as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, iters_total));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Setup time is excluded by timing only the routine calls.
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let est = t0.elapsed().max(Duration::from_nanos(20));
+
+        let budget = (TARGET_TOTAL.as_nanos() / est.as_nanos()).max(1) as u64;
+        let n_samples = (self.sample_size as u64).min(budget).max(1);
+
+        let mut samples = Vec::with_capacity(n_samples as usize);
+        for _ in 0..n_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, n_samples));
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, filter: Option<&str>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut b);
+    let Some((ns, iters)) = b.result else {
+        println!("{name:<48} (no measurement: Bencher::iter never called)");
+        return;
+    };
+    println!("{name:<48} {ns:>14.1} ns/iter  ({iters} iters)");
+    if let Ok(path) = std::env::var("MGA_BENCH_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                fh,
+                "{{\"name\": \"{}\", \"iters\": {}, \"ns_per_iter\": {:.1}}}",
+                name.replace('"', "'"),
+                iters,
+                ns
+            );
+        }
+    }
+}
+
+/// Declares a function running each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the bench binary is invoked with
+            // `--test`; benches are not meant to run there.
+            if std::env::args().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("square", 64).0, "square/64");
+    }
+}

@@ -1,0 +1,108 @@
+//! Vendored stand-in for `proptest` (API-compatible subset).
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements exactly what the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings and an
+//!   optional `#![proptest_config(...)]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`],
+//! * range, [`Just`](strategy::Just), tuple, `prop_map` and
+//!   [`collection::vec`] strategies.
+//!
+//! No shrinking is performed: failing cases report the case number, and
+//! re-running the test regenerates identical inputs (generation is
+//! deterministic from the test's name), which is enough to debug.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Wraps `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            { $body }
+                            Ok(())
+                        })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Non-fatal-to-the-harness assertion: fails the current case by
+/// returning a [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed_arm($s) ),+
+        ])
+    };
+}

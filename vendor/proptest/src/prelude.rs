@@ -1,0 +1,5 @@
+//! The customary `use proptest::prelude::*;` imports.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,167 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleRange};
+
+/// Something that can generate values from a [`TestRng`].
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// A boxed generator: one arm of a `prop_oneof!`.
+pub type Arm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between boxed generators (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Arm<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Arm<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof of nothing");
+        Union { arms }
+    }
+}
+
+/// Box one `prop_oneof!` arm. Going through a fn call (rather than a
+/// closure-to-trait-object cast in the macro) lets integer literals in
+/// later arms unify with the first arm's value type.
+pub fn boxed_arm<S>(s: S) -> Arm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(move |rng| s.generate(rng))
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.gen_range(0..self.arms.len());
+        (self.arms[pick])(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! range_inclusive_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+range_inclusive_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($( ($($s:ident . $idx:tt),+) )*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection;
+
+    #[test]
+    fn ranges_tuples_map_and_vec_compose() {
+        let mut rng = TestRng::deterministic("compose");
+        let strat = (0u32..5, -1.0f32..1.0)
+            .prop_map(|(n, x)| (n, x))
+            .prop_map(|(n, x)| n as f32 + x);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((-1.0..5.0).contains(&v));
+        }
+        let vecs = collection::vec(0i64..10, 3..6);
+        for _ in 0..50 {
+            let v = vecs.generate(&mut rng);
+            assert!((3..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::deterministic("union");
+        let u = Union::new(vec![
+            Box::new(|_: &mut TestRng| 1u8),
+            Box::new(|_: &mut TestRng| 2u8),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

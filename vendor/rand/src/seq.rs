@@ -1,0 +1,17 @@
+//! Sequence helpers ([`SliceRandom::shuffle`] only).
+
+use crate::{RngCore, SampleRange};
+
+pub trait SliceRandom {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        // Fisher–Yates, high index downward.
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+}
