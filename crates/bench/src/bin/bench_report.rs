@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release --bin bench_report [--quick] [--seed N]`.
 //! Pass `MGA_THREADS=1` to snapshot the sequential baseline.
 
-use mga_bench::{model_cfg, parse_opts, thread_dataset};
+use mga_bench::{finish_run, manifest, model_cfg, parse_opts, thread_dataset};
 use mga_core::cv::kfold_by_group;
 use mga_core::model::{batch_targets, FusionModel, Modality};
 use mga_core::omp::OmpTask;
@@ -15,7 +15,8 @@ use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Median ns per call over timed batches (~0.5 s measurement per entry).
-fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) {
+/// Returns the median so callers can stamp it into the run manifest.
+fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) -> f64 {
     f(); // warm-up
     let budget = Duration::from_millis(500);
     let mut samples = Vec::new();
@@ -33,6 +34,7 @@ fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) {
     records.push(format!(
         "{{\"name\": \"{name}\", \"iters\": {iters}, \"ns_per_iter\": {ns:.1}}}"
     ));
+    ns
 }
 
 fn main() {
@@ -51,24 +53,32 @@ fn main() {
         mga_nn::pool::num_threads()
     );
 
+    let mut man = manifest("bench_report", opts);
+    man.set_int("train_samples", fold.train.len() as i64)
+        .set_int("val_samples", fold.val.len() as i64);
+
     let mut records = Vec::new();
     let mut model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
     let prep = model.prepare(&data, &fold.train);
     let targets = batch_targets(&data, &fold.train, task.codec.head_sizes().len());
 
-    time("prepare_fold", &mut records, || {
+    let prep_ns = time("prepare_fold", &mut records, || {
         std::hint::black_box(model.prepare(&data, &fold.train));
     });
     let mut opt = AdamW::new(0.02).with_weight_decay(0.001);
-    time("train_epoch", &mut records, || {
+    let epoch_ns = time("train_epoch", &mut records, || {
         std::hint::black_box(model.train_epoch(&prep, &targets, &mut opt));
     });
-    time("inference_fold", &mut records, || {
+    let inf_ns = time("inference_fold", &mut records, || {
         std::hint::black_box(model.predict(&data, &fold.val));
     });
-    time("inference_one_sample", &mut records, || {
+    let one_ns = time("inference_one_sample", &mut records, || {
         std::hint::black_box(model.predict(&data, &fold.val[..1]));
     });
+    man.set_float("prepare_fold_ns", prep_ns)
+        .set_float("train_epoch_ns", epoch_ns)
+        .set_float("inference_fold_ns", inf_ns)
+        .set_float("inference_one_sample_ns", one_ns);
 
     let path = "BENCH_train.json";
     let mut fh = std::fs::File::create(path).expect("create BENCH_train.json");
@@ -76,4 +86,5 @@ fn main() {
         writeln!(fh, "{r}").expect("write record");
     }
     println!("\nwrote {} records to {path}", records.len());
+    finish_run(&mut man);
 }

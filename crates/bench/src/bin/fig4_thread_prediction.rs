@@ -6,8 +6,10 @@
 //! folds and the MGA best-thread accuracy (§4.1.3 reports 86 % geomean
 //! accuracy and geomean speedups of 3.4× vs. oracle 3.62×).
 
-use mga_bench::{csv_write, geomean, heading, model_cfg, parse_opts, thread_dataset};
-use mga_core::cv::{kfold_by_group, run_folds};
+use mga_bench::{
+    csv_write, finish_run, geomean, heading, manifest, model_cfg, parse_opts, thread_dataset,
+};
+use mga_core::cv::{kfold_by_group, run_folds, run_folds_timed};
 use mga_core::metrics::{summarize, SpeedupPair};
 use mga_core::model::Modality;
 use mga_core::omp::{eval_model_fold, eval_tuner_fold, OmpTask};
@@ -28,6 +30,12 @@ fn main() {
     let ds = thread_dataset(opts);
     let task = OmpTask::new(&ds);
     let folds = kfold_by_group(&ds.groups(), 5, opts.seed);
+    let mut man = manifest("fig4_thread_prediction", opts);
+    man.set_int("loops", ds.specs.len() as i64)
+        .set_int("inputs", ds.sizes.len() as i64)
+        .set_int("space", ds.space.len() as i64)
+        .set_int("folds", folds.len() as i64)
+        .set_int("seed_runs", n_seeds as i64);
     heading("Figure 4: thread prediction, normalized speedups per fold");
     println!(
         "dataset: {} loops x {} inputs, space = {} thread counts on {}",
@@ -57,12 +65,16 @@ fn main() {
             // Folds train concurrently; each fold's model seed depends
             // only on (fold index, seed run), so the results match the
             // sequential loop exactly.
-            let evals = run_folds(&folds, |fi, fold| {
+            let evals = run_folds_timed(&folds, |fi, fold| {
                 let mut cfg = model_cfg(opts, *modality, true);
                 cfg.seed = opts.seed.wrapping_add(fi as u64).wrapping_add(srun * 1000);
                 eval_model_fold(&ds, &task, cfg, fold)
             });
-            for (fi, e) in evals.into_iter().enumerate() {
+            if *name == "MGA" && srun == 0 {
+                let secs: Vec<f64> = evals.iter().map(|(_, s)| *s).collect();
+                man.set_floats("fold_seconds", &secs);
+            }
+            for (fi, (e, _)) in evals.into_iter().enumerate() {
                 accs.push(e.accuracy);
                 per_fold[fi].extend(e.pairs);
             }
@@ -116,16 +128,19 @@ fn main() {
     for (name, per_fold, accs) in &all {
         let ach: Vec<f64> = per_fold.iter().flatten().map(|p| p.achieved).collect();
         let g = geomean(&ach);
+        man.set_float(&format!("geomean_speedup_{name}"), g);
         if accs.is_empty() {
             println!("{name:<12} {g:.2}x");
         } else {
             let acc = geomean(accs);
+            man.set_float(&format!("accuracy_{name}"), acc);
             println!(
                 "{name:<12} {g:.2}x   (best-thread accuracy {:.0}%)",
                 acc * 100.0
             );
         }
     }
+    man.set_float("geomean_speedup_oracle", geomean(&oracle_all));
     println!("{:<12} {:.2}x", "oracle", geomean(&oracle_all));
 
     let mut rows = Vec::new();
@@ -140,4 +155,5 @@ fn main() {
         "method,fold,speedup,oracle,normalized",
         &rows,
     );
+    finish_run(&mut man);
 }

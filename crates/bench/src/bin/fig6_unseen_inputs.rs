@@ -4,7 +4,7 @@
 //! Each validation fold therefore contains only unseen loops evaluated at
 //! unseen input sizes. Paper: geomean speedups 2.35× vs. oracle 2.68×.
 
-use mga_bench::{geomean, heading, model_cfg, parse_opts, thread_dataset};
+use mga_bench::{finish_run, geomean, heading, manifest, model_cfg, parse_opts, thread_dataset};
 use mga_core::cv::{holdout_indices, kfold_by_group, run_folds, Fold};
 use mga_core::metrics::summarize;
 use mga_core::model::Modality;
@@ -14,6 +14,10 @@ fn main() {
     let opts = parse_opts();
     let ds = thread_dataset(opts);
     let task = OmpTask::new(&ds);
+    let mut man = manifest("fig6_unseen_inputs", opts);
+    man.set_int("loops", ds.specs.len() as i64)
+        .set_int("inputs", ds.sizes.len() as i64)
+        .set_int("space", ds.space.len() as i64);
 
     // Hold out 20% of the input-size indices.
     let held_inputs = holdout_indices(ds.sizes.len(), 0.2, opts.seed.wrapping_add(7));
@@ -78,4 +82,9 @@ fn main() {
             .map(|s| format!("{s:.2}x"))
             .collect::<Vec<_>>()
     );
+    man.set_int("held_out_inputs", held_inputs.len() as i64)
+        .set_float("geomean_speedup_MGA", geomean(&ach))
+        .set_float("geomean_speedup_oracle", geomean(&ora))
+        .set_floats("fold_speedups", &fold_speedups);
+    finish_run(&mut man);
 }

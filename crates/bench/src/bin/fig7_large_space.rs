@@ -7,7 +7,9 @@
 //! 28/30; geomean 2.23× vs. oracle 2.38×; MGA beats ytopt / OpenTuner /
 //! BLISS on 28 / 29 / 26 of 30 apps.
 
-use mga_bench::{csv_write, geomean, heading, large_space_dataset, model_cfg, parse_opts};
+use mga_bench::{
+    csv_write, finish_run, geomean, heading, large_space_dataset, manifest, model_cfg, parse_opts,
+};
 use mga_core::cv::{leave_one_group_out, run_folds};
 use mga_core::metrics::summarize;
 use mga_core::model::Modality;
@@ -19,6 +21,10 @@ fn main() {
     let ds = large_space_dataset(opts);
     let task = OmpTask::new(&ds);
     let folds = leave_one_group_out(&ds.app_groups());
+    let mut man = manifest("fig7_large_space", opts);
+    man.set_int("apps", ds.specs.len() as i64)
+        .set_int("inputs", ds.sizes.len() as i64)
+        .set_int("space", ds.space.len() as i64);
     heading("Figure 7: large search space, leave-one-application-out");
     println!(
         "search space: {} configs (Table 2), {} apps x {} inputs on {}",
@@ -111,4 +117,11 @@ fn main() {
         "application,mga_normalized,ytopt_normalized,opentuner_normalized,bliss_normalized",
         &csv_rows,
     );
+    man.set_int("apps_above_095", above95 as i64)
+        .set_int("apps_above_085", above85 as i64)
+        .set_float("geomean_speedup_MGA", geomean(&ach))
+        .set_float("geomean_speedup_oracle", geomean(&ora))
+        .set_str("worst_app", &worst.0)
+        .set_float("worst_app_normalized", worst.1);
+    finish_run(&mut man);
 }

@@ -7,7 +7,7 @@
 //! profiled twice, the cache counters are rescaled by cache-capacity
 //! ratios, and the rescaled features drive the pre-trained model.
 
-use mga_bench::{geomean, heading, model_cfg, parse_opts, vec_dim};
+use mga_bench::{finish_run, geomean, heading, manifest, model_cfg, parse_opts, vec_dim};
 use mga_core::cv::{leave_one_group_out, run_folds};
 use mga_core::model::{FusionModel, Modality, TrainData};
 use mga_core::omp::{portability_features, OmpTask};
@@ -36,6 +36,9 @@ fn main() {
     );
     let task = OmpTask::new(&train_ds);
     let folds = leave_one_group_out(&train_ds.groups());
+    let mut man = manifest("fig9_portability", opts);
+    man.set_int("kernels", specs.len() as i64)
+        .set_str("source_arch", &source.name);
 
     let targets = [CpuSpec::broadwell_8c(), CpuSpec::sandy_bridge_8c()];
     let eval_sizes: Vec<f64> = polybench_standard_large().to_vec();
@@ -123,16 +126,21 @@ fn main() {
 
     heading("summary [higher is better]");
     for (ti, target) in targets.iter().enumerate() {
+        let g = geomean(&per_target_speedups[ti]);
+        let o = geomean(&per_target_oracle[ti]);
+        man.set_float(&format!("geomean_speedup_{}", target.name), g)
+            .set_float(&format!("geomean_oracle_{}", target.name), o);
         println!(
             "{:<28} geomean speedup {:.2}x vs oracle {:.2}x (normalized {:.3})",
             target.name,
-            geomean(&per_target_speedups[ti]),
-            geomean(&per_target_oracle[ti]),
-            geomean(&per_target_speedups[ti]) / geomean(&per_target_oracle[ti])
+            g,
+            o,
+            g / o
         );
     }
     println!(
         "\nno retraining was performed for the target architectures; only two\n\
          profiling runs per kernel (the paper's §4.1.5 protocol)."
     );
+    finish_run(&mut man);
 }

@@ -7,7 +7,7 @@
 //! systems; speedups 1.3× (oracle 1.34×) and 1.62× (oracle 1.66×) over
 //! static mapping.
 
-use mga_bench::{csv_write, devmap_model_cfg, heading, parse_opts, vec_dim};
+use mga_bench::{csv_write, devmap_model_cfg, finish_run, heading, manifest, parse_opts, vec_dim};
 use mga_core::dataset::OclDataset;
 use mga_core::devmap::run_devmap;
 use mga_core::model::Modality;
@@ -20,6 +20,9 @@ fn main() {
         specs.truncate(64);
     }
     let k = if opts.quick { 4 } else { 10 };
+    let mut man = manifest("table3_device_mapping", opts);
+    man.set_int("kernels", specs.len() as i64)
+        .set_int("cv_folds", k as i64);
 
     // Reference accuracies cited by the paper (its Table 3 cites Grewe,
     // DeepTune and inst2vec numbers from the IR2Vec paper).
@@ -72,6 +75,20 @@ fn main() {
         }
     }
 
+    for (dev, m, r) in &results {
+        let key = format!(
+            "{}_{}",
+            if dev.starts_with("NVIDIA") {
+                "nvidia"
+            } else {
+                "amd"
+            },
+            m.split_whitespace().next().unwrap_or(m).to_lowercase()
+        );
+        man.set_float(&format!("accuracy_{key}"), r.accuracy)
+            .set_float(&format!("speedup_{key}"), r.speedup);
+    }
+
     let csv_rows: Vec<String> = results
         .iter()
         .map(|(dev, m, r)| {
@@ -104,4 +121,5 @@ fn main() {
             mga >= ir2v.max(prog)
         );
     }
+    finish_run(&mut man);
 }

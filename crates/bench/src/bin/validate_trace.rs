@@ -1,0 +1,89 @@
+//! Validate observability artifacts (CI helper).
+//!
+//! Usage: `validate_trace FILE...` — each argument is a `.jsonl` stream
+//! (trace or metrics: one JSON object per line) or a `.json` run
+//! manifest (a single object). Every document must parse with the
+//! strict `mga_obs::json` parser; span events and manifests are
+//! additionally checked for their required fields. Exits nonzero on the
+//! first malformed file, so CI can gate on it.
+
+use mga_obs::json::Json;
+
+fn check_span_event(obj: &[(String, Json)], path: &str, line_no: usize) -> Result<(), String> {
+    let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    match get("type") {
+        Some(Json::Str(t)) if t == "span" => {}
+        // Non-span event types are allowed; only spans have a fixed shape.
+        Some(Json::Str(_)) => return Ok(()),
+        _ => return Err(format!("{path}:{line_no}: event missing string \"type\"")),
+    }
+    for key in ["path", "name", "thread", "start_ns", "dur_ns"] {
+        match get(key) {
+            Some(Json::Str(_)) if key == "path" || key == "name" => {}
+            Some(Json::Num(n)) if key != "path" && key != "name" && *n >= 0.0 => {}
+            _ => return Err(format!("{path}:{line_no}: span event missing \"{key}\"")),
+        }
+    }
+    Ok(())
+}
+
+fn check_manifest(obj: &[(String, Json)], path: &str) -> Result<(), String> {
+    for key in ["schema_version", "name"] {
+        if !obj.iter().any(|(n, _)| n == key) {
+            return Err(format!("{path}: manifest missing \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+fn validate_file(path: &str) -> Result<usize, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".json") {
+        let doc =
+            mga_obs::json::parse(body.trim()).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        match doc {
+            Json::Obj(ref obj) => check_manifest(obj, path)?,
+            _ => return Err(format!("{path}: manifest must be a JSON object")),
+        }
+        return Ok(1);
+    }
+    // JSONL: trace or metrics stream.
+    let mut n = 0usize;
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = mga_obs::json::parse(line)
+            .map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        match doc {
+            Json::Obj(ref obj) => check_span_event(obj, path, i + 1)?,
+            _ => return Err(format!("{path}:{}: line must be a JSON object", i + 1)),
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err(format!("{path}: no JSON documents found"));
+    }
+    Ok(n)
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_trace FILE...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for f in &files {
+        match validate_file(f) {
+            Ok(n) => println!("{f}: OK ({n} documents)"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

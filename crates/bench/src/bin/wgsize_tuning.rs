@@ -3,7 +3,7 @@
 //! pipeline — predict the best work-group among {32,…,512} for unseen
 //! kernels and compare with the device default and the oracle.
 
-use mga_bench::{devmap_model_cfg, geomean, heading, parse_opts, vec_dim};
+use mga_bench::{devmap_model_cfg, finish_run, geomean, heading, manifest, parse_opts, vec_dim};
 use mga_core::cv::{kfold_by_group, run_folds};
 use mga_core::model::{FusionModel, Modality};
 use mga_core::wgsize::{WgDataset, WgTask, WG_CANDIDATES};
@@ -15,6 +15,8 @@ fn main() {
     if opts.quick {
         specs.truncate(64);
     }
+    let mut man = manifest("wgsize_tuning", opts);
+    man.set_int("kernels", specs.len() as i64);
     for gpu in [GpuSpec::tahiti_7970(), GpuSpec::gtx_970()] {
         let ds = WgDataset::build(specs.clone(), gpu, vec_dim(opts), opts.seed);
         let task = WgTask::new(&ds);
@@ -83,9 +85,19 @@ fn main() {
             geomean(&oracle),
             geomean(&speedups) / geomean(&oracle)
         );
+        man.set_float(
+            &format!("accuracy_{}", ds.gpu.name),
+            hits as f64 / total as f64,
+        )
+        .set_float(
+            &format!("geomean_speedup_{}", ds.gpu.name),
+            geomean(&speedups),
+        )
+        .set_float(&format!("geomean_oracle_{}", ds.gpu.name), geomean(&oracle));
     }
     println!(
         "\n(the same graphs, vectors and fusion model tune a GPU runtime parameter —\n\
          the §7 direction — with no pipeline changes beyond a new label source.)"
     );
+    finish_run(&mut man);
 }

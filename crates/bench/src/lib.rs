@@ -19,19 +19,63 @@ pub struct RunOpts {
     /// Reduced dataset and epochs (CI-friendly).
     pub quick: bool,
     pub seed: u64,
+    /// Suppress stderr narration (errors only); result tables on stdout
+    /// are unaffected.
+    pub quiet: bool,
 }
 
-/// Parse `--quick` / `--seed N` from `std::env::args`.
+/// Parse `--quick` / `--seed N` / `--quiet` from `std::env::args`, and
+/// initialize observability from the environment (`MGA_LOG`, `MGA_TRACE`,
+/// `MGA_METRICS_OUT`) — every experiment binary calls this first.
 pub fn parse_opts() -> RunOpts {
+    mga_obs::init_from_env();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    if quiet {
+        mga_obs::log::set_level(mga_obs::log::Level::Error);
+    }
     let seed = args
         .iter()
         .position(|a| a == "--seed")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    RunOpts { quick, seed }
+    RunOpts { quick, seed, quiet }
+}
+
+/// Start a run manifest for experiment `name`, pre-stamped with the
+/// shared run parameters (seed, quick/full, pool thread count).
+pub fn manifest(name: &str, opts: RunOpts) -> mga_obs::manifest::RunManifest {
+    let mut m = mga_obs::manifest::RunManifest::new(name);
+    m.set_int("seed", opts.seed as i64)
+        .set_bool("quick", opts.quick)
+        .set_int("threads", mga_nn::pool::num_threads() as i64);
+    m
+}
+
+/// Finish an experiment run: stamp the pool's dispatch totals into the
+/// manifest, write it under `results/manifests/`, then flush the
+/// observability sinks (span-tree summary, `MGA_METRICS_OUT`, optional
+/// `MGA_POOL_STATS=1` dump).
+pub fn finish_run(m: &mut mga_obs::manifest::RunManifest) {
+    let pool = mga_nn::pool::stats();
+    m.set_int(
+        "pool_jobs",
+        (pool.jobs_dispatched + pool.jobs_inline) as i64,
+    );
+    m.set_int(
+        "pool_chunks",
+        (pool.chunks_submitted + pool.chunks_inline) as i64,
+    );
+    m.set_float("pool_imbalance", pool.imbalance_ratio());
+    let path = std::path::Path::new("results/manifests").join(format!("{}.json", m.name()));
+    match m.write(&path) {
+        Ok(()) => mga_obs::info!("manifest written to {}", path.display()),
+        Err(e) => mga_obs::error!("cannot write manifest {}: {e}", path.display()),
+    }
+    mga_nn::pool::dump_stats_if_enabled();
+    mga_obs::finish();
 }
 
 /// The IR2Vec-style vector width used across experiments.
@@ -186,7 +230,7 @@ pub fn heading(title: &str) {
 pub fn csv_write(name: &str, header: &str, rows: &[String]) {
     let dir = std::path::Path::new("results/csv");
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("csv: cannot create {dir:?}: {e}");
+        mga_obs::error!("csv: cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{name}.csv"));
@@ -198,8 +242,8 @@ pub fn csv_write(name: &str, header: &str, rows: &[String]) {
         body.push('\n');
     }
     match std::fs::write(&path, body) {
-        Ok(()) => println!("[csv] wrote {}", path.display()),
-        Err(e) => eprintln!("csv: cannot write {path:?}: {e}"),
+        Ok(()) => mga_obs::info!("csv written to {}", path.display()),
+        Err(e) => mga_obs::error!("csv: cannot write {path:?}: {e}"),
     }
 }
 
@@ -229,6 +273,7 @@ mod tests {
         let opts = RunOpts {
             quick: true,
             seed: 1,
+            quiet: false,
         };
         let ds = thread_dataset(opts);
         assert!(ds.specs.len() >= 10);

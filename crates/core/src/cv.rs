@@ -134,12 +134,31 @@ where
     T: Send,
     F: Fn(usize, &Fold) -> T + Sync,
 {
-    let mut out: Vec<Option<T>> = (0..folds.len()).map(|_| None).collect();
+    run_folds_timed(folds, eval)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect()
+}
+
+/// Like [`run_folds`], additionally returning each fold's wall time in
+/// seconds (for run manifests). The timing is taken around the fold's own
+/// `eval` call, so fold-parallel runs report genuine per-fold durations,
+/// not queue time.
+pub fn run_folds_timed<T, F>(folds: &[Fold], eval: F) -> Vec<(T, f64)>
+where
+    T: Send,
+    F: Fn(usize, &Fold) -> T + Sync,
+{
+    mga_obs::span!("cv.run_folds");
+    let fold_counter = mga_obs::metrics::counter("cv.folds");
+    let mut out: Vec<Option<(T, f64)>> = (0..folds.len()).map(|_| None).collect();
     let slots = mga_nn::pool::SendPtr::new(out.as_mut_ptr());
     mga_nn::pool::parallel_for(folds.len(), |fi| {
+        let started = std::time::Instant::now();
         let r = eval(fi, &folds[fi]);
+        fold_counter.inc();
         // Each fold owns slot `fi` exclusively.
-        unsafe { *slots.get().add(fi) = Some(r) };
+        unsafe { *slots.get().add(fi) = Some((r, started.elapsed().as_secs_f64())) };
     });
     out.into_iter()
         .map(|r| r.expect("every fold evaluates"))

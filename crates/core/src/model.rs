@@ -240,6 +240,7 @@ impl FusionModel {
         train_idx: &[usize],
         head_sizes: &[usize],
     ) -> FusionModel {
+        mga_obs::span!("model.fit");
         assert!(!train_idx.is_empty(), "empty training set");
         assert_eq!(data.labels.len(), head_sizes.len());
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -342,6 +343,7 @@ impl FusionModel {
         for _epoch in 0..model.cfg.epochs {
             model.final_loss = model.train_epoch(&prep, &targets, &mut opt);
         }
+        mga_obs::metrics::gauge("train.final_loss").set(model.final_loss as f64);
         model
     }
 
@@ -349,6 +351,7 @@ impl FusionModel {
     /// reusable [`PreparedBatch`]: kernel dedup + sample-row mapping,
     /// graph batching, DAE encoding, scaler transforms and summaries.
     pub fn prepare(&self, data: &TrainData<'_>, idx: &[usize]) -> PreparedBatch {
+        mga_obs::span!("model.prepare");
         // Distinct kernels in this batch, and each sample's local row.
         let mut kernels: Vec<usize> = idx.iter().map(|&i| data.sample_kernel[i]).collect();
         kernels.sort_unstable();
@@ -409,6 +412,7 @@ impl FusionModel {
     /// head. Only the GNN and the fused MLP compute — the static
     /// features enter the tape as cached leaves.
     pub fn forward_prepared(&self, tape: &mut Tape, prep: &PreparedBatch) -> Vec<Var> {
+        mga_obs::span!("model.forward");
         let mut parts: Vec<Var> = Vec::new();
         if let (Some(gnn), Some(batch)) = (&self.gnn, &prep.graph) {
             let kernel_emb = gnn.forward(tape, &self.ps, batch);
@@ -451,29 +455,52 @@ impl FusionModel {
         targets: &[Vec<u32>],
         opt: &mut AdamW,
     ) -> f32 {
+        mga_obs::span!("train_epoch");
         let mut tape = Tape::new();
-        let logits = self.forward_prepared(&mut tape, prep);
+        let logits = {
+            mga_obs::span!("forward");
+            self.forward_prepared(&mut tape, prep)
+        };
         debug_assert_eq!(logits.len(), targets.len());
-        let mut total: Option<Var> = None;
-        for (lg, tg) in logits.iter().zip(targets) {
-            let loss = tape.softmax_cross_entropy(*lg, tg);
-            total = Some(match total {
-                None => loss,
-                Some(t) => tape.add(t, loss),
-            });
+        let (total, loss) = {
+            mga_obs::span!("loss");
+            let mut total: Option<Var> = None;
+            for (lg, tg) in logits.iter().zip(targets) {
+                let loss = tape.softmax_cross_entropy(*lg, tg);
+                total = Some(match total {
+                    None => loss,
+                    Some(t) => tape.add(t, loss),
+                });
+            }
+            let total = total.expect("at least one head");
+            (total, tape.value(total).get(0, 0))
+        };
+        {
+            mga_obs::span!("backward");
+            tape.backward(total);
+            tape.accumulate_param_grads(&mut self.ps);
         }
-        let total = total.expect("at least one head");
-        let loss = tape.value(total).get(0, 0);
-        tape.backward(total);
-        tape.accumulate_param_grads(&mut self.ps);
-        self.ps.clip_grad_norm(5.0);
-        opt.step(&mut self.ps);
+        let grad_norm = {
+            mga_obs::span!("optimizer");
+            let grad_norm = self.ps.clip_grad_norm(5.0);
+            opt.step(&mut self.ps);
+            grad_norm
+        };
+        mga_obs::metrics::counter("train.epochs").inc();
+        mga_obs::metrics::gauge("train.loss").set(loss as f64);
+        mga_obs::metrics::gauge("train.grad_norm").set(grad_norm as f64);
+        mga_obs::metrics::histogram(
+            "train.batch_rows",
+            &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+        )
+        .observe(prep.sample_rows.len() as f64);
         loss
     }
 
     /// Predict head classes for a set of samples: `out[h][j]` is head
     /// `h`'s class for the j-th index.
     pub fn predict(&self, data: &TrainData<'_>, idx: &[usize]) -> Vec<Vec<usize>> {
+        mga_obs::span!("model.predict");
         let mut tape = Tape::new();
         let prep = self.prepare(data, idx);
         let logits = self.forward_prepared(&mut tape, &prep);

@@ -147,6 +147,7 @@ pub struct TrainedDae {
 /// Gaussian-rank scaled first; the returned [`TrainedDae`] owns the fitted
 /// scaler so inference applies the same transform.
 pub fn pretrain(vectors: &[Vec<f32>], cfg: DaeConfig, rng: &mut StdRng) -> TrainedDae {
+    mga_obs::span!("dae.pretrain");
     assert!(!vectors.is_empty(), "no vectors to pre-train on");
     let dim = cfg.input_dim;
     assert!(
@@ -164,7 +165,10 @@ pub fn pretrain(vectors: &[Vec<f32>], cfg: DaeConfig, rng: &mut StdRng) -> Train
     let dae = Dae::new(&mut params, "dae", cfg, rng);
     let mut opt = AdamW::new(dae.cfg.lr).with_weight_decay(0.0);
     let mut final_loss = f32::MAX;
+    let epoch_counter = mga_obs::metrics::counter("dae.epochs");
     for _ in 0..dae.cfg.epochs {
+        mga_obs::span!("dae.epoch");
+        epoch_counter.inc();
         let noisy = swap_noise(&clean, dae.cfg.swap_noise, rng);
         let mut tape = Tape::new();
         let x = tape.leaf(noisy);
@@ -175,6 +179,7 @@ pub fn pretrain(vectors: &[Vec<f32>], cfg: DaeConfig, rng: &mut StdRng) -> Train
         tape.accumulate_param_grads(&mut params);
         opt.step(&mut params);
     }
+    mga_obs::metrics::gauge("dae.final_loss").set(final_loss as f64);
     TrainedDae {
         dae,
         params,
@@ -211,6 +216,7 @@ impl TrainedDae {
 
     /// Encode raw (unscaled) vectors to code features.
     pub fn encode_vectors(&self, vectors: &[Vec<f32>]) -> Tensor {
+        mga_obs::span!("dae.encode");
         let mut scaled = vectors.to_vec();
         self.scaler.transform(&mut scaled);
         let flat: Vec<f32> = scaled.iter().flatten().copied().collect();

@@ -27,6 +27,10 @@ use mga_nn::tensor::Tensor;
 use mga_nn::{init, ParamId, ParamSet};
 use rand::rngs::StdRng;
 
+/// Span names for per-relation message passing, indexed by
+/// [`Relation::index`] (span names must be `&'static str`).
+const REL_SPAN: [&str; 3] = ["gnn.msg.control", "gnn.msg.data", "gnn.msg.call"];
+
 /// Update function used after message aggregation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UpdateKind {
@@ -200,10 +204,12 @@ impl MessageLayer {
 
     /// One round of message passing over a batch's edges.
     pub fn forward(&self, tape: &mut Tape, ps: &ParamSet, h: Var, batch: &GraphBatch) -> Var {
+        mga_obs::span!("gnn.layer");
         let n = batch.num_nodes;
         let msg = if self.homogeneous {
             // Union of all edges through the single shared transform: the
             // relation identity is erased.
+            mga_obs::span!("gnn.msg.union");
             let mut src = Vec::new();
             let mut dst = Vec::new();
             for r in 0..3 {
@@ -215,7 +221,9 @@ impl MessageLayer {
             // Mean of the per-relation aggregated messages.
             let mut acc: Option<Var> = None;
             for (r, rel) in self.relations.iter().enumerate() {
+                let _rel_span = mga_obs::trace::span(REL_SPAN[r]);
                 let m = rel.forward(tape, ps, h, &batch.edge_src[r], &batch.edge_dst[r], n);
+                drop(_rel_span);
                 acc = Some(match acc {
                     None => m,
                     Some(a) => tape.add(a, m),
@@ -296,11 +304,13 @@ impl HeteroGnn {
     /// Forward over a batch; returns per-graph embeddings
     /// `[num_graphs × dim]`.
     pub fn forward(&self, tape: &mut Tape, ps: &ParamSet, batch: &GraphBatch) -> Var {
+        mga_obs::span!("gnn.forward");
         let mut h = self.embedding.forward(tape, ps, &batch.vocab_ids);
         for layer in &self.layers {
             h = layer.forward(tape, ps, h, batch);
         }
         // Readout: mean over instruction nodes, per graph.
+        mga_obs::span!("gnn.readout");
         let hi = tape.gather_rows(h, &batch.instr_nodes);
         tape.scatter_mean_rows(hi, &batch.instr_graph, batch.num_graphs)
     }
@@ -324,6 +334,7 @@ pub struct GraphBatch {
 impl GraphBatch {
     /// Pack a set of graphs into one batch.
     pub fn new(graphs: &[&ProGraph]) -> GraphBatch {
+        mga_obs::span!("graph.batch");
         assert!(!graphs.is_empty(), "empty graph batch");
         let mut batch = GraphBatch {
             num_nodes: 0,

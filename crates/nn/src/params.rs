@@ -115,8 +115,10 @@ impl ParamSet {
             .sqrt()
     }
 
-    /// Clip gradients to a maximum global L2 norm.
-    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+    /// Clip gradients to a maximum global L2 norm. Returns the pre-clip
+    /// norm, so callers exporting it (diagnostics gauges) don't pay a
+    /// second pass over the gradients.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let norm = self.grad_norm();
         if norm > max_norm && norm > 0.0 {
             let s = max_norm / norm;
@@ -124,6 +126,7 @@ impl ParamSet {
                 e.grad.scale_assign(s);
             }
         }
+        norm
     }
 }
 
@@ -157,11 +160,13 @@ mod tests {
         let mut ps = ParamSet::new();
         let w = ps.add("w", Tensor::zeros(1, 2));
         ps.grad_mut(w).data_mut().copy_from_slice(&[3.0, 4.0]);
-        ps.clip_grad_norm(1.0);
+        let pre = ps.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-5, "returns the pre-clip norm");
         assert!((ps.grad_norm() - 1.0).abs() < 1e-5);
         // Already small: untouched.
         let before = ps.grad(w).clone();
-        ps.clip_grad_norm(10.0);
+        let pre = ps.clip_grad_norm(10.0);
+        assert!((pre - 1.0).abs() < 1e-5);
         assert_eq!(ps.grad(w), &before);
     }
 }

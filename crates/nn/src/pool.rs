@@ -22,11 +22,19 @@
 //! folds whose matmuls also parallelize). The calling thread always
 //! participates in draining its own job's chunks, so a fully busy pool
 //! degrades to sequential execution instead of deadlocking.
+//!
+//! Observability: dispatch statistics (jobs, chunks, per-worker chunk
+//! counts) accumulate in always-on relaxed atomics — see [`stats`] and
+//! [`dump_stats_if_enabled`] (`MGA_POOL_STATS=1`). Pooled dispatches
+//! also open an `mga_obs` span (`pool.dispatch`) and feed the
+//! `pool.jobs` / `pool.chunks` counters plus the `pool.job_chunks` and
+//! `pool.queue_wait_us` histograms in the metrics registry.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Raw pointer wrapper asserting cross-thread use is safe because every
 /// chunk touches a disjoint region. Construction is safe; dereferencing
@@ -59,6 +67,8 @@ struct Job {
     poisoned: AtomicBool,
     done: Mutex<bool>,
     cv: Condvar,
+    /// Submission time, for the queue-wait histogram.
+    created: Instant,
 }
 
 #[derive(Clone, Copy)]
@@ -68,18 +78,21 @@ unsafe impl Send for TaskPtr {}
 unsafe impl Sync for TaskPtr {}
 
 impl Job {
-    /// Drain chunks until the cursor runs out. Called by workers and by
-    /// the submitting thread alike.
-    fn run_chunks(&self) {
+    /// Drain chunks until the cursor runs out; returns how many chunks
+    /// this thread executed. Called by workers and by the submitting
+    /// thread alike.
+    fn run_chunks(&self) -> u64 {
+        let mut executed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.count {
-                return;
+                return executed;
             }
             let task = unsafe { &*self.task.0 };
             if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
                 self.poisoned.store(true, Ordering::Relaxed);
             }
+            executed += 1;
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 *self.done.lock().unwrap() = true;
                 self.cv.notify_all();
@@ -88,10 +101,40 @@ impl Job {
     }
 }
 
+/// Always-on dispatch counters, shared between the pool handle and the
+/// worker threads.
+struct PoolCounters {
+    jobs_dispatched: AtomicU64,
+    jobs_inline: AtomicU64,
+    chunks_submitted: AtomicU64,
+    chunks_inline: AtomicU64,
+    caller_chunks: AtomicU64,
+    worker_chunks: Vec<AtomicU64>,
+}
+
+impl PoolCounters {
+    fn new(workers: usize) -> PoolCounters {
+        PoolCounters {
+            jobs_dispatched: AtomicU64::new(0),
+            jobs_inline: AtomicU64::new(0),
+            chunks_submitted: AtomicU64::new(0),
+            chunks_inline: AtomicU64::new(0),
+            caller_chunks: AtomicU64::new(0),
+            worker_chunks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
 struct Pool {
     senders: Vec<Sender<Arc<Job>>>,
     /// Total usable compute threads (workers + the calling thread).
     threads: usize,
+    counters: Arc<PoolCounters>,
+    /// Registry handles, resolved once so the hot path pays one atomic
+    /// add per update.
+    m_jobs: &'static mga_obs::metrics::Counter,
+    m_chunks: &'static mga_obs::metrics::Counter,
+    m_job_chunks: &'static mga_obs::metrics::Histogram,
 }
 
 static POOL: OnceLock<Pool> = OnceLock::new();
@@ -103,7 +146,7 @@ fn configured_threads() -> usize {
                 return n;
             }
         }
-        eprintln!("MGA_THREADS={v:?} is not a positive integer; using the default");
+        mga_obs::warn!("MGA_THREADS={v:?} is not a positive integer; using the default");
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -114,15 +157,23 @@ fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
         let threads = configured_threads();
         let workers = threads.saturating_sub(1);
+        let counters = Arc::new(PoolCounters::new(workers));
+        let queue_wait = mga_obs::metrics::histogram(
+            "pool.queue_wait_us",
+            &[1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0],
+        );
         let mut senders = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = channel::<Arc<Job>>();
+            let counters = counters.clone();
             std::thread::Builder::new()
                 .name(format!("mga-pool-{w}"))
                 .spawn(move || {
                     // Exits when the Sender side is dropped (process end).
                     for job in rx.iter() {
-                        job.run_chunks();
+                        queue_wait.observe(job.created.elapsed().as_secs_f64() * 1e6);
+                        let n = job.run_chunks();
+                        counters.worker_chunks[w].fetch_add(n, Ordering::Relaxed);
                     }
                 })
                 .expect("failed to spawn mga pool worker");
@@ -131,6 +182,13 @@ fn pool() -> &'static Pool {
         Pool {
             senders,
             threads: workers + 1,
+            counters,
+            m_jobs: mga_obs::metrics::counter("pool.jobs"),
+            m_chunks: mga_obs::metrics::counter("pool.chunks"),
+            m_job_chunks: mga_obs::metrics::histogram(
+                "pool.job_chunks",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            ),
         }
     })
 }
@@ -152,12 +210,24 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
         return;
     }
     let p = pool();
+    p.m_jobs.inc();
+    p.m_chunks.add(count as u64);
+    p.m_job_chunks.observe(count as f64);
     if p.senders.is_empty() || count == 1 {
+        p.counters.jobs_inline.fetch_add(1, Ordering::Relaxed);
+        p.counters
+            .chunks_inline
+            .fetch_add(count as u64, Ordering::Relaxed);
         for i in 0..count {
             task(i);
         }
         return;
     }
+    mga_obs::span!("pool.dispatch");
+    p.counters.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
+    p.counters
+        .chunks_submitted
+        .fetch_add(count as u64, Ordering::Relaxed);
     let task_ref: &(dyn Fn(usize) + Sync) = &task;
     // Erase the borrow lifetime; the blocking wait below keeps the
     // closure alive past the last chunk.
@@ -172,13 +242,15 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
         poisoned: AtomicBool::new(false),
         done: Mutex::new(false),
         cv: Condvar::new(),
+        created: Instant::now(),
     });
     for tx in &p.senders {
         // A send can only fail if a worker died mid-process; losing its
         // help is acceptable, losing the job is not — the caller drains.
         let _ = tx.send(job.clone());
     }
-    job.run_chunks();
+    let mine = job.run_chunks();
+    p.counters.caller_chunks.fetch_add(mine, Ordering::Relaxed);
     let mut done = job.done.lock().unwrap();
     while !*done {
         done = job.cv.wait(done).unwrap();
@@ -200,6 +272,102 @@ pub fn parallel_ranges(len: usize, task: impl Fn(usize, usize, usize) + Sync) {
             task(c, start, (start + per).min(len));
         }
     });
+}
+
+// ---------------------------------------------------------------------
+// Dispatch statistics.
+// ---------------------------------------------------------------------
+
+/// Point-in-time snapshot of the pool's dispatch counters.
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// Compute threads (workers + caller).
+    pub threads: usize,
+    /// `parallel_for` calls fanned out to the workers.
+    pub jobs_dispatched: u64,
+    /// `parallel_for` calls run sequentially (single chunk or no workers).
+    pub jobs_inline: u64,
+    /// Chunks submitted to pooled jobs.
+    pub chunks_submitted: u64,
+    /// Chunks run on the inline (sequential) path.
+    pub chunks_inline: u64,
+    /// Pooled chunks executed by submitting threads (includes nested
+    /// jobs drained by workers that submitted them).
+    pub caller_chunks: u64,
+    /// Pooled chunks executed by each worker, indexed by worker.
+    pub worker_chunks: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Pooled chunks executed so far, across workers and callers. Equals
+    /// [`PoolStats::chunks_submitted`] whenever the pool is quiescent.
+    pub fn executed_total(&self) -> u64 {
+        self.caller_chunks + self.worker_chunks.iter().sum::<u64>()
+    }
+
+    /// Max-over-mean of per-executor chunk counts (workers plus the
+    /// caller slot); 1.0 is perfectly balanced, 0.0 means no pooled work.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let mut slots = self.worker_chunks.clone();
+        slots.push(self.caller_chunks);
+        let max = slots.iter().copied().max().unwrap_or(0) as f64;
+        let mean = slots.iter().sum::<u64>() as f64 / slots.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Snapshot the pool's dispatch counters (always collected).
+pub fn stats() -> PoolStats {
+    let p = pool();
+    let c = &p.counters;
+    PoolStats {
+        threads: p.threads,
+        jobs_dispatched: c.jobs_dispatched.load(Ordering::Relaxed),
+        jobs_inline: c.jobs_inline.load(Ordering::Relaxed),
+        chunks_submitted: c.chunks_submitted.load(Ordering::Relaxed),
+        chunks_inline: c.chunks_inline.load(Ordering::Relaxed),
+        caller_chunks: c.caller_chunks.load(Ordering::Relaxed),
+        worker_chunks: c
+            .worker_chunks
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+/// Render the dispatch statistics as a small stderr-friendly table.
+pub fn render_stats() -> String {
+    let s = stats();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pool: threads={} jobs={} (+{} inline) chunks={} (+{} inline) imbalance={:.2}\n",
+        s.threads,
+        s.jobs_dispatched,
+        s.jobs_inline,
+        s.chunks_submitted,
+        s.chunks_inline,
+        s.imbalance_ratio(),
+    ));
+    out.push_str(&format!("  caller chunks: {}\n", s.caller_chunks));
+    for (w, n) in s.worker_chunks.iter().enumerate() {
+        out.push_str(&format!("  worker {w} chunks: {n}\n"));
+    }
+    out
+}
+
+/// If `MGA_POOL_STATS=1` (or `true`), print [`render_stats`] to stderr.
+/// Experiment binaries call this once at exit.
+pub fn dump_stats_if_enabled() {
+    match std::env::var("MGA_POOL_STATS") {
+        Ok(v) if v.trim() == "1" || v.trim().eq_ignore_ascii_case("true") => {
+            eprint!("{}", render_stats());
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +440,60 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn stats_are_consistent_with_submitted_work() {
+        let before = stats();
+        let n = 64u64;
+        parallel_for(n as usize, |_| {
+            std::hint::black_box(0u64);
+        });
+        // Counters are process-global and other tests run concurrently,
+        // so poll for an instant where (a) our submission is visible and
+        // (b) the pool is quiescent (everything submitted has executed).
+        let mut consistent = false;
+        for _ in 0..400 {
+            let s = stats();
+            let submitted_delta = (s.chunks_submitted + s.chunks_inline)
+                - (before.chunks_submitted + before.chunks_inline);
+            let jobs_delta =
+                (s.jobs_dispatched + s.jobs_inline) - (before.jobs_dispatched + before.jobs_inline);
+            if submitted_delta >= n && jobs_delta >= 1 && s.executed_total() == s.chunks_submitted {
+                consistent = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(
+            consistent,
+            "executed chunk counts never reconciled with submissions: {:?}",
+            stats()
+        );
+        // The registry mirrors see every parallel_for call.
+        assert!(mga_obs::metrics::counter("pool.jobs").get() >= 1);
+        assert!(mga_obs::metrics::counter("pool.chunks").get() >= n);
+    }
+
+    #[test]
+    fn imbalance_ratio_is_sane() {
+        let s = PoolStats {
+            threads: 3,
+            jobs_dispatched: 1,
+            jobs_inline: 0,
+            chunks_submitted: 6,
+            chunks_inline: 0,
+            caller_chunks: 2,
+            worker_chunks: vec![2, 2],
+        };
+        assert!((s.imbalance_ratio() - 1.0).abs() < 1e-12, "balanced load");
+        assert_eq!(s.executed_total(), 6);
+        let empty = PoolStats {
+            worker_chunks: vec![0, 0],
+            caller_chunks: 0,
+            chunks_submitted: 0,
+            ..s
+        };
+        assert_eq!(empty.imbalance_ratio(), 0.0);
     }
 }

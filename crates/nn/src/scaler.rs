@@ -71,6 +71,7 @@ pub struct GaussRankScaler {
 impl GaussRankScaler {
     /// Fit on rows of `data` (each row one sample, `dims` columns).
     pub fn fit(data: &[Vec<f32>], dims: usize) -> GaussRankScaler {
+        mga_obs::span!("scaler.gaussrank.fit");
         assert!(!data.is_empty(), "cannot fit scaler on empty data");
         let mut columns = Vec::with_capacity(dims);
         for c in 0..dims {
@@ -104,6 +105,7 @@ impl GaussRankScaler {
 
     /// Transform a batch.
     pub fn transform(&self, data: &mut [Vec<f32>]) {
+        mga_obs::span!("scaler.gaussrank.transform");
         for row in data {
             self.transform_row(row);
         }
@@ -154,6 +156,7 @@ pub struct MinMaxScaler {
 
 impl MinMaxScaler {
     pub fn fit(data: &[Vec<f32>], dims: usize) -> MinMaxScaler {
+        mga_obs::span!("scaler.minmax.fit");
         assert!(!data.is_empty(), "cannot fit scaler on empty data");
         let mut mins = vec![f32::INFINITY; dims];
         let mut maxs = vec![f32::NEG_INFINITY; dims];
@@ -180,6 +183,7 @@ impl MinMaxScaler {
     }
 
     pub fn transform(&self, data: &mut [Vec<f32>]) {
+        mga_obs::span!("scaler.minmax.transform");
         for row in data {
             self.transform_row(row);
         }

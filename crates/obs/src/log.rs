@@ -1,0 +1,141 @@
+//! Leveled logging to stderr.
+//!
+//! Experiment binaries print their *results* to stdout (those tables are
+//! the product) and narrate progress through these macros, so a CI run
+//! with `MGA_LOG=error` (or the harness's `--quiet` flag) stays silent
+//! on stderr while the data output is untouched.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parse a level name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current global log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Would a message at `l` be printed?
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Read `MGA_LOG`; unknown values fall back to the default (`info`).
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("MGA_LOG") {
+        match Level::parse(&v) {
+            Some(l) => set_level(l),
+            None => eprintln!(
+                "[warn] MGA_LOG={v:?} is not a level; using {}",
+                level().name()
+            ),
+        }
+    }
+}
+
+/// Backend for the level macros: one stderr line, `[level] message`.
+pub fn write(l: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {args}", l.name());
+}
+
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, format_args!($($t)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::write($crate::log::Level::Warn, format_args!($($t)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, format_args!($($t)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, format_args!($($t)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn level_gating() {
+        let prev = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(prev);
+    }
+}

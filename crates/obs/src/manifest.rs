@@ -1,0 +1,143 @@
+//! Machine-readable run manifests.
+//!
+//! Every experiment binary writes one JSON manifest next to its text
+//! output: what ran (name, seed, thread count, quick/full), on what
+//! (dataset sizes), how long (per-fold wall times), and what came out
+//! (final metrics). Successive PRs — and the CI artifact trail — can
+//! then compare runs without scraping stdout tables.
+
+use crate::json::Json;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Manifest schema version, bumped on breaking field changes.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// An ordered set of fields serialized as one JSON object.
+#[derive(Debug, Clone)]
+pub struct RunManifest {
+    fields: Vec<(String, Json)>,
+}
+
+impl RunManifest {
+    /// Start a manifest for the experiment `name`, stamping the schema
+    /// version and the wall-clock time.
+    pub fn new(name: &str) -> RunManifest {
+        let unix_time = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut m = RunManifest { fields: Vec::new() };
+        m.set("schema_version", Json::Num(SCHEMA_VERSION as f64));
+        m.set("name", Json::str(name));
+        m.set("unix_time", Json::Num(unix_time as f64));
+        m
+    }
+
+    /// The manifest's experiment name.
+    pub fn name(&self) -> &str {
+        self.get("name").and_then(Json::as_str).unwrap_or("run")
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Set (or replace) a field, preserving insertion order.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+        self
+    }
+
+    pub fn set_str(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.set(key, Json::Str(value.into()))
+    }
+
+    pub fn set_int(&mut self, key: &str, value: i64) -> &mut Self {
+        self.set(key, Json::Num(value as f64))
+    }
+
+    pub fn set_float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.set(key, Json::Num(value))
+    }
+
+    pub fn set_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.set(key, Json::Bool(value))
+    }
+
+    /// Set a field to an array of numbers (e.g. per-fold timings).
+    pub fn set_floats(&mut self, key: &str, values: &[f64]) -> &mut Self {
+        self.set(
+            key,
+            Json::Arr(values.iter().copied().map(Json::Num).collect()),
+        )
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.fields.clone())
+    }
+
+    /// Write the manifest as a single JSON object, creating parent
+    /// directories as needed.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips_through_file() {
+        let mut m = RunManifest::new("fig4");
+        m.set_int("seed", 42)
+            .set_int("threads", 8)
+            .set_bool("quick", true)
+            .set_floats("fold_seconds", &[1.25, 0.5])
+            .set_float("geomean_speedup", 3.4);
+        assert_eq!(m.name(), "fig4");
+
+        let path = std::env::temp_dir().join(format!("mga_manifest_{}.json", std::process::id()));
+        m.write(&path).expect("write manifest");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+
+        let v = crate::json::parse(text.trim()).expect("valid JSON");
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("fig4"));
+        assert_eq!(v.get("seed").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(
+            v.get("fold_seconds")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("schema_version").and_then(Json::as_f64),
+            Some(SCHEMA_VERSION as f64)
+        );
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut m = RunManifest::new("x");
+        m.set_int("k", 1);
+        m.set_int("k", 2);
+        assert_eq!(m.get("k").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            m.to_json().to_string().matches("\"k\"").count(),
+            1,
+            "no duplicate keys"
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! Hierarchical span tracing.
+//!
+//! A [`Span`] is an RAII guard created by [`span`] (or the [`crate::span!`]
+//! macro). While a span is alive, child spans opened on the same thread
+//! nest under it; closing a span adds its wall time to a per-thread
+//! aggregation trie keyed by the span *path* (`train_epoch/forward/...`).
+//! [`report`] merges every thread's trie into one tree; [`render_summary`]
+//! renders it with call counts, totals and parent percentages.
+//!
+//! Cost model: when tracing is disabled (the default) [`span`] performs a
+//! single relaxed atomic load and returns an inert guard — no clock read,
+//! no allocation, no lock. When enabled, a span costs two clock reads,
+//! one short uncontended mutex lock on the thread's own trie, and (with a
+//! sink installed) one buffered JSONL line.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static THREAD_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Is tracing currently enabled? One relaxed load; inlined into every
+/// span call site so the disabled path stays near-free.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span collection on or off at runtime (tests and embedders; the
+/// binaries use [`init_from_env`]).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Read `MGA_TRACE`: empty/`0` leaves tracing off, `1` enables in-memory
+/// aggregation only, anything else is a JSONL sink path.
+pub fn init_from_env() {
+    if let Ok(v) = std::env::var("MGA_TRACE") {
+        let v = v.trim();
+        if v.is_empty() || v == "0" {
+            return;
+        }
+        if v != "1" {
+            if let Err(e) = set_sink_path(v) {
+                crate::error!("MGA_TRACE={v}: cannot open sink: {e}");
+            }
+        }
+        set_enabled(true);
+    }
+}
+
+/// Process-start reference for event timestamps.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+// ---------------------------------------------------------------------
+// Sink: JSONL span-close events.
+// ---------------------------------------------------------------------
+
+fn sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Install a JSONL event sink (truncates `path`). Does not by itself
+/// enable tracing — callers pair this with [`set_enabled`].
+pub fn set_sink_path(path: &str) -> std::io::Result<()> {
+    let f = File::create(path)?;
+    *sink().lock().unwrap() = Some(BufWriter::new(f));
+    Ok(())
+}
+
+/// Drop the sink, flushing buffered events first.
+pub fn clear_sink() {
+    if let Some(mut w) = sink().lock().unwrap().take() {
+        let _ = w.flush();
+    }
+}
+
+/// Flush buffered events without removing the sink.
+pub fn flush_sink() {
+    if let Some(w) = sink().lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+fn emit_event(path: &str, name: &str, thread: u64, start_ns: u64, dur_ns: u64) {
+    let mut guard = sink().lock().unwrap();
+    if let Some(w) = guard.as_mut() {
+        // Span names are static identifiers, but escape defensively so
+        // the sink always holds valid JSON.
+        let _ = writeln!(
+            w,
+            "{{\"type\":\"span\",\"path\":{},\"name\":{},\"thread\":{thread},\"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}",
+            crate::json::escape(path),
+            crate::json::escape(name),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread aggregation tries.
+// ---------------------------------------------------------------------
+
+struct Node {
+    name: &'static str,
+    /// Full `a/b/c` path, built once at node creation.
+    path: String,
+    count: u64,
+    total_ns: u64,
+    children: HashMap<&'static str, usize>,
+}
+
+struct LocalTrie {
+    thread_id: u64,
+    nodes: Vec<Node>,
+    /// Indices of the currently open spans (root is implicit index 0).
+    stack: Vec<usize>,
+}
+
+impl LocalTrie {
+    fn new(thread_id: u64) -> LocalTrie {
+        LocalTrie {
+            thread_id,
+            nodes: vec![Node {
+                name: "",
+                path: String::new(),
+                count: 0,
+                total_ns: 0,
+                children: HashMap::new(),
+            }],
+            stack: Vec::new(),
+        }
+    }
+
+    fn enter(&mut self, name: &'static str) -> usize {
+        let parent = self.stack.last().copied().unwrap_or(0);
+        let idx = match self.nodes[parent].children.get(name) {
+            Some(&i) => i,
+            None => {
+                let path = if self.nodes[parent].path.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{}/{name}", self.nodes[parent].path)
+                };
+                let i = self.nodes.len();
+                self.nodes.push(Node {
+                    name,
+                    path,
+                    count: 0,
+                    total_ns: 0,
+                    children: HashMap::new(),
+                });
+                self.nodes[parent].children.insert(name, i);
+                i
+            }
+        };
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, idx: usize, dur_ns: u64) {
+        // RAII guards close strictly innermost-first on their own thread,
+        // so the top of the stack is always the span being closed.
+        debug_assert_eq!(self.stack.last().copied(), Some(idx));
+        self.stack.pop();
+        let n = &mut self.nodes[idx];
+        n.count += 1;
+        n.total_ns += dur_ns;
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Mutex<LocalTrie>>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Mutex<LocalTrie>>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<Mutex<LocalTrie>> = {
+        let id = THREAD_IDS.fetch_add(1, Ordering::Relaxed);
+        let trie = Arc::new(Mutex::new(LocalTrie::new(id)));
+        registry().lock().unwrap().push(trie.clone());
+        trie
+    };
+}
+
+// ---------------------------------------------------------------------
+// The span guard.
+// ---------------------------------------------------------------------
+
+/// An open span. Closing (dropping) it records the elapsed wall time
+/// under its path in the calling thread's trie and, if a sink is
+/// installed, emits one JSONL event.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    start: Instant,
+    node: usize,
+}
+
+/// Open a span named `name` under the calling thread's innermost open
+/// span. Returns an inert guard when tracing is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { inner: None };
+    }
+    let _ = epoch(); // pin the timestamp reference before the first span
+    let node = LOCAL.with(|t| t.lock().unwrap().enter(name));
+    Span {
+        inner: Some(SpanInner {
+            start: Instant::now(),
+            node,
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let dur_ns = inner.start.elapsed().as_nanos() as u64;
+            let (path, name, thread_id) = LOCAL.with(|t| {
+                let mut t = t.lock().unwrap();
+                t.exit(inner.node, dur_ns);
+                let n = &t.nodes[inner.node];
+                (n.path.clone(), n.name, t.thread_id)
+            });
+            let start_ns = inner.start.duration_since(epoch()).as_nanos() as u64;
+            emit_event(&path, name, thread_id, start_ns, dur_ns);
+        }
+    }
+}
+
+/// Open a span for the lexical scope of the macro invocation:
+/// `mga_obs::span!("train_epoch");`. Hygienic — multiple invocations can
+/// share a scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _span_guard = $crate::trace::span($name);
+    };
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+/// One merged span-tree node, depth-first order (children follow their
+/// parent, heaviest subtree first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    pub path: String,
+    pub name: String,
+    pub depth: usize,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+#[derive(Default)]
+struct Merged {
+    count: u64,
+    total_ns: u64,
+    children: Vec<(String, Merged)>,
+}
+
+impl Merged {
+    fn child(&mut self, name: &str) -> &mut Merged {
+        if let Some(i) = self.children.iter().position(|(n, _)| n == name) {
+            &mut self.children[i].1
+        } else {
+            self.children.push((name.to_string(), Merged::default()));
+            &mut self.children.last_mut().unwrap().1
+        }
+    }
+}
+
+fn merge_all() -> Merged {
+    let mut root = Merged::default();
+    let tries = registry().lock().unwrap();
+    for trie in tries.iter() {
+        let t = trie.lock().unwrap();
+        // Walk the trie from its root, mirroring into `root`.
+        fn walk(t: &LocalTrie, idx: usize, into: &mut Merged) {
+            for (&name, &ci) in &t.nodes[idx].children {
+                let node = &t.nodes[ci];
+                let m = into.child(name);
+                m.count += node.count;
+                m.total_ns += node.total_ns;
+                walk(t, ci, m);
+            }
+        }
+        walk(&t, 0, &mut root);
+    }
+    root
+}
+
+/// Merge every thread's trie into one aggregated span tree.
+pub fn report() -> Vec<SpanStat> {
+    let mut root = merge_all();
+    let mut out = Vec::new();
+    fn flatten(m: &mut Merged, prefix: &str, depth: usize, out: &mut Vec<SpanStat>) {
+        m.children.sort_by_key(|c| std::cmp::Reverse(c.1.total_ns));
+        for (name, child) in &mut m.children {
+            let path = if prefix.is_empty() {
+                name.clone()
+            } else {
+                format!("{prefix}/{name}")
+            };
+            out.push(SpanStat {
+                path: path.clone(),
+                name: name.clone(),
+                depth,
+                count: child.count,
+                total_ns: child.total_ns,
+            });
+            flatten(child, &path, depth + 1, out);
+        }
+    }
+    flatten(&mut root, "", 0, &mut out);
+    out
+}
+
+/// Total time recorded under `path` (exact match), in nanoseconds.
+pub fn total_ns(path: &str) -> u64 {
+    report()
+        .iter()
+        .find(|s| s.path == path)
+        .map(|s| s.total_ns)
+        .unwrap_or(0)
+}
+
+/// Render the aggregated span tree as an indented table: calls, total
+/// milliseconds, and share of the parent's time.
+pub fn render_summary() -> String {
+    let stats = report();
+    if stats.is_empty() {
+        return String::new();
+    }
+    // Parent totals by path for percentage computation.
+    let mut totals: HashMap<&str, u64> = HashMap::new();
+    for s in &stats {
+        totals.insert(&s.path, s.total_ns);
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:>10} {:>12} {:>7}\n",
+        "span", "calls", "total ms", "%parent"
+    ));
+    for s in &stats {
+        let label = format!("{}{}", "  ".repeat(s.depth), s.name);
+        let pct = match s.path.rfind('/') {
+            Some(cut) => {
+                let parent = totals.get(&s.path[..cut]).copied().unwrap_or(0);
+                if parent > 0 {
+                    format!("{:.1}", 100.0 * s.total_ns as f64 / parent as f64)
+                } else {
+                    "-".to_string()
+                }
+            }
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{label:<44} {:>10} {:>12.3} {pct:>7}\n",
+            s.count,
+            s.total_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+/// Clear every thread's aggregated data (open spans survive: the stack
+/// is preserved, so guards created before the reset still close safely).
+pub fn reset() {
+    let tries = registry().lock().unwrap();
+    for trie in tries.iter() {
+        let mut t = trie.lock().unwrap();
+        for n in &mut t.nodes {
+            n.count = 0;
+            n.total_ns = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global, so this crate keeps all trace
+    /// tests in one function to avoid cross-test interference.
+    #[test]
+    fn spans_aggregate_into_a_tree() {
+        assert!(!enabled(), "tracing must default to off");
+        {
+            // Disabled spans are inert.
+            let g = span("never");
+            assert!(g.inner.is_none());
+        }
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            for _ in 0..2 {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        // A span on another thread lands in the merged report too.
+        std::thread::spawn(|| {
+            let _g = span("worker_side");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+
+        let stats = report();
+        let outer = stats.iter().find(|s| s.path == "outer").expect("outer");
+        let inner = stats
+            .iter()
+            .find(|s| s.path == "outer/inner")
+            .expect("inner nests under outer");
+        assert_eq!(outer.count, 3);
+        assert_eq!(inner.count, 6);
+        assert!(outer.total_ns >= inner.total_ns, "parent includes child");
+        assert!(inner.depth == outer.depth + 1);
+        assert!(stats.iter().any(|s| s.path == "worker_side"));
+        assert!(total_ns("outer") >= 3_000_000, "3 sleeps of 1ms");
+
+        let summary = render_summary();
+        assert!(summary.contains("outer"));
+        assert!(summary.contains("inner"));
+
+        reset();
+        assert_eq!(total_ns("outer"), 0);
+    }
+}

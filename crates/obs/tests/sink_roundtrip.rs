@@ -1,0 +1,79 @@
+//! Round-trip test for the JSONL span sink: emit spans into a file, then
+//! re-parse every line with the crate's own parser and check the event
+//! schema and the aggregate invariants.
+//!
+//! Tracing state is process-global, so the whole scenario lives in one
+//! test function (integration tests get their own process, isolating
+//! this from the unit tests).
+
+use mga_obs::json::{parse, Json};
+use mga_obs::trace;
+
+#[test]
+fn span_events_round_trip_through_jsonl_sink() {
+    let path = std::env::temp_dir().join(format!("mga_trace_{}.jsonl", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    trace::set_sink_path(path_str).expect("create sink");
+    trace::set_enabled(true);
+
+    {
+        mga_obs::span!("epoch");
+        for _ in 0..3 {
+            mga_obs::span!("forward");
+            let _inner = trace::span("gnn.msg.control");
+        }
+        mga_obs::span!("backward");
+    }
+    // A span from another thread carries a distinct thread id.
+    std::thread::spawn(|| {
+        mga_obs::span!("worker");
+    })
+    .join()
+    .unwrap();
+
+    trace::set_enabled(false);
+    trace::clear_sink();
+
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    // 1 epoch + 3 forward + 3 inner + 1 backward + 1 worker = 9 events.
+    assert_eq!(lines.len(), 9, "one JSONL event per span close");
+
+    let mut threads = std::collections::BTreeSet::new();
+    let mut by_path: std::collections::BTreeMap<String, u64> = Default::default();
+    for line in &lines {
+        let v = parse(line).unwrap_or_else(|e| panic!("invalid JSON {line:?}: {e}"));
+        assert_eq!(v.get("type").and_then(Json::as_str), Some("span"));
+        let path = v
+            .get("path")
+            .and_then(Json::as_str)
+            .expect("path")
+            .to_string();
+        let name = v.get("name").and_then(Json::as_str).expect("name");
+        assert!(path.ends_with(name), "path {path:?} must end with {name:?}");
+        let dur = v.get("dur_ns").and_then(Json::as_f64).expect("dur_ns");
+        let start = v.get("start_ns").and_then(Json::as_f64).expect("start_ns");
+        assert!(dur >= 0.0 && start >= 0.0);
+        threads.insert(v.get("thread").and_then(Json::as_f64).expect("thread") as u64);
+        *by_path.entry(path).or_default() += 1;
+    }
+    assert!(threads.len() >= 2, "main + worker thread ids");
+
+    // Children close inside their parents, under the right paths.
+    assert_eq!(by_path.get("epoch"), Some(&1));
+    assert_eq!(by_path.get("epoch/forward"), Some(&3));
+    assert_eq!(by_path.get("epoch/forward/gnn.msg.control"), Some(&3));
+    assert_eq!(by_path.get("epoch/backward"), Some(&1));
+    assert_eq!(by_path.get("worker"), Some(&1));
+
+    // The aggregated tree agrees with the event stream.
+    let stats = trace::report();
+    let fwd = stats
+        .iter()
+        .find(|s| s.path == "epoch/forward")
+        .expect("aggregated forward node");
+    assert_eq!(fwd.count, 3);
+    let epoch = stats.iter().find(|s| s.path == "epoch").unwrap();
+    assert!(epoch.total_ns >= fwd.total_ns, "parent time includes child");
+}

@@ -13,6 +13,7 @@
 //! | [`nn`] | `mga-nn` | tensor/autograd engine, layers, optimizers |
 //! | [`gnn`] | `mga-gnn` | gated + heterogeneous graph neural networks |
 //! | [`dae`] | `mga-dae` | denoising autoencoder with swap noise |
+//! | [`obs`] | `mga-obs` | span tracer, metrics registry, run manifests |
 //! | [`sim`] | `mga-sim` | CPU/GPU hardware models + PAPI-like profiler |
 //! | [`tuners`] | `mga-tuners` | OpenTuner/ytopt/BLISS-style baseline tuners |
 //! | [`core`] | `mga-core` | datasets, the MGA model, training, evaluation |
@@ -27,6 +28,7 @@ pub use mga_graph as graph;
 pub use mga_ir as ir;
 pub use mga_kernels as kernels;
 pub use mga_nn as nn;
+pub use mga_obs as obs;
 pub use mga_sim as sim;
 pub use mga_tuners as tuners;
 pub use mga_vec as vec;
