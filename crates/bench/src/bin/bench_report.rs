@@ -28,7 +28,7 @@ fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) -> f64 {
         samples.push(t0.elapsed().as_nanos() as f64);
         iters += 1;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_by(|a, b| a.total_cmp(b));
     let ns = samples[samples.len() / 2];
     println!("{name:<28} {ns:>16.1} ns/iter  ({iters} iters)");
     records.push(format!(
@@ -81,10 +81,19 @@ fn main() {
         .set_float("inference_one_sample_ns", one_ns);
 
     let path = "BENCH_train.json";
-    let mut fh = std::fs::File::create(path).expect("create BENCH_train.json");
-    for r in &records {
-        writeln!(fh, "{r}").expect("write record");
+    let write_records = || -> std::io::Result<()> {
+        let mut fh = std::fs::File::create(path)?;
+        for r in &records {
+            writeln!(fh, "{r}")?;
+        }
+        Ok(())
+    };
+    match write_records() {
+        Ok(()) => println!("\nwrote {} records to {path}", records.len()),
+        Err(e) => {
+            eprintln!("bench_report: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
     }
-    println!("\nwrote {} records to {path}", records.len());
     finish_run(&mut man);
 }

@@ -49,7 +49,7 @@ fn main() {
                 .iter()
                 .cloned()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
             label_mass[best_idx] += 1;
             oracle_log += (d / best).ln();

@@ -17,7 +17,10 @@ fn main() {
     let kmeans = mga_kernels::catalog::openmp_catalog()
         .into_iter()
         .find(|s| s.app == "kmeans")
-        .expect("kmeans in catalog");
+        .unwrap_or_else(|| {
+            eprintln!("fig1_motivation: kmeans missing from kernel catalog");
+            std::process::exit(1);
+        });
     let ws = 128.0 * 1024.0 * 1024.0;
     let mut times = Vec::new();
     for t in 1..=8u32 {
@@ -40,7 +43,7 @@ fn main() {
         .iter()
         .cloned()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap();
     let better: Vec<usize> = times
         .iter()

@@ -12,7 +12,7 @@ use mga_bench::{
 use mga_core::cv::{kfold_by_group, run_folds, run_folds_timed};
 use mga_core::metrics::{summarize, SpeedupPair};
 use mga_core::model::Modality;
-use mga_core::omp::{eval_model_fold, eval_tuner_fold, OmpTask};
+use mga_core::omp::{eval_model_fold_ckpt, eval_tuner_fold, OmpTask};
 use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike};
 
 fn main() {
@@ -27,6 +27,16 @@ fn main() {
             .and_then(|s| s.parse().ok())
             .unwrap_or(1)
     };
+    // With MGA_CKPT_DIR set, every fold's model training checkpoints
+    // into (and resumes from) that directory — a killed run restarted
+    // with the same arguments reproduces the uninterrupted output.
+    let ckpt_dir = std::env::var_os("MGA_CKPT_DIR").map(std::path::PathBuf::from);
+    if let Some(dir) = &ckpt_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fig4_thread_prediction: cannot create MGA_CKPT_DIR {dir:?}: {e}");
+            std::process::exit(1);
+        }
+    }
     let ds = thread_dataset(opts);
     let task = OmpTask::new(&ds);
     let folds = kfold_by_group(&ds.groups(), 5, opts.seed);
@@ -68,7 +78,10 @@ fn main() {
             let evals = run_folds_timed(&folds, |fi, fold| {
                 let mut cfg = model_cfg(opts, *modality, true);
                 cfg.seed = opts.seed.wrapping_add(fi as u64).wrapping_add(srun * 1000);
-                eval_model_fold(&ds, &task, cfg, fold)
+                let path = ckpt_dir
+                    .as_ref()
+                    .map(|d| d.join(format!("fig4_{name}_s{srun}_f{fi}.ckpt")));
+                eval_model_fold_ckpt(&ds, &task, cfg, fold, path.as_deref())
             });
             if *name == "MGA" && srun == 0 {
                 let secs: Vec<f64> = evals.iter().map(|(_, s)| *s).collect();

@@ -99,10 +99,7 @@ fn main() {
         geomean(&ach),
         geomean(&ora)
     );
-    let worst = rows
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let worst = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
     println!(
         "worst application: {} ({:.3} normalized; paper: trisolv)",
         worst.0, worst.1

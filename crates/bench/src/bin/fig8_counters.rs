@@ -22,7 +22,10 @@ fn main() {
     let fold = folds
         .iter()
         .find(|f| ds.specs[ds.samples[f.val[0]].kernel].app == "2mm")
-        .expect("2mm fold");
+        .unwrap_or_else(|| {
+            eprintln!("fig8_counters: no leave-one-out fold holds 2mm");
+            std::process::exit(1);
+        });
     let data = task.train_data(&ds);
     let cfg = model_cfg(opts, Modality::Multimodal, true);
     let model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
@@ -37,7 +40,7 @@ fn main() {
         .min_by(|&&a, &&b| {
             let da = (ds.samples[a].ws_bytes - target_ws).abs();
             let db = (ds.samples[b].ws_bytes - target_ws).abs();
-            da.partial_cmp(&db).unwrap()
+            da.total_cmp(&db)
         })
         .unwrap();
     let preds = model.predict(&data, &[sample_idx]);

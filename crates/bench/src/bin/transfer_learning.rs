@@ -142,12 +142,17 @@ fn main() {
             .filter(|&i| chosen.contains(&tgt_ds.samples[i].kernel))
             .collect();
 
-        let mut warm = mga_core::persist::load_model(&mga_core::persist::save_model(
+        let mut warm = match mga_core::persist::load_model(&mga_core::persist::save_model(
             &source_model,
             tgt_ds.vectors[0].len(),
             5,
-        ))
-        .expect("clone via checkpoint");
+        )) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("transfer_learning: model clone via checkpoint failed: {e}");
+                std::process::exit(1);
+            }
+        };
         warm.fine_tune(&rescaled_data, &subset, cfg.epochs / 3, cfg.lr * 0.5);
         let (ft_a, _) = eval(&warm, &rescaled_data);
 

@@ -18,7 +18,10 @@ fn main() {
     let spec = openmp_catalog()
         .into_iter()
         .find(|s| s.app == "2mm")
-        .expect("2mm");
+        .unwrap_or_else(|| {
+            eprintln!("tuning_cost: 2mm missing from kernel catalog");
+            std::process::exit(1);
+        });
     let ws = 32.0 * 1024.0 * 1024.0; // LARGE (~1000x1000 doubles, a few arrays)
     let space = Space::new(large_space());
 

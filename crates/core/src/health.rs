@@ -1,0 +1,271 @@
+//! Numeric guardrails for the training loop.
+//!
+//! [`TrainHealth`] watches the per-epoch loss and pre-clip gradient norm
+//! that [`crate::model::FusionModel::train_epoch`] already produces and
+//! turns numeric blow-ups — NaN/Inf loss, exploding gradients, runaway
+//! loss divergence — into a structured [`TrainError`] instead of letting
+//! NaNs propagate into the weights and silently poison every later
+//! prediction. The monitor is observation-only: it performs no
+//! floating-point operation that feeds back into the model, so a healthy
+//! run with guardrails is bitwise identical to one without.
+//!
+//! Recovery (rollback to the last-good snapshot + learning-rate halving)
+//! lives in `FusionModel::try_fit`; this module only detects and
+//! classifies.
+
+use mga_obs::metrics;
+
+/// Thresholds for [`TrainHealth`]. The defaults are deliberately loose:
+/// they must never trip on a healthy run (the workspace's figure suite
+/// trains with pre-clip gradient norms in the 1e0–1e2 range and strictly
+/// bounded cross-entropy losses), only on genuine numeric failure.
+#[derive(Debug, Clone)]
+pub struct GuardrailConfig {
+    /// Pre-clip gradient norm above this is an explosion.
+    pub explode_norm: f32,
+    /// An epoch's loss above `divergence_factor * best_loss_so_far`
+    /// (and above `divergence_floor`) is divergence.
+    pub divergence_factor: f32,
+    /// Absolute loss floor below which divergence is never declared
+    /// (ratios of tiny losses are noise).
+    pub divergence_floor: f32,
+    /// Epochs before divergence checks engage (early training is
+    /// legitimately jumpy; NaN/Inf detection is always on).
+    pub warmup_epochs: usize,
+    /// Recovery attempts (rollback + LR halving) before giving up.
+    pub max_retries: u32,
+    /// Take a rollback snapshot every this many healthy epochs.
+    pub snapshot_every: usize,
+}
+
+impl Default for GuardrailConfig {
+    fn default() -> Self {
+        GuardrailConfig {
+            explode_norm: 1e6,
+            divergence_factor: 50.0,
+            divergence_floor: 1.0,
+            warmup_epochs: 10,
+            max_retries: 4,
+            snapshot_every: 5,
+        }
+    }
+}
+
+/// A structured training failure. Carries enough context to log, decide
+/// on recovery, or surface to the caller when the retry budget runs out.
+#[derive(Debug, Clone)]
+pub enum TrainError {
+    /// The epoch's loss came back NaN or infinite.
+    NonFiniteLoss { epoch: usize, loss: f32 },
+    /// The pre-clip gradient norm was NaN/Inf or above the explosion
+    /// threshold.
+    GradExplosion { epoch: usize, norm: f32 },
+    /// The loss blew past `divergence_factor ×` the best loss seen.
+    Diverged { epoch: usize, loss: f32, best: f32 },
+    /// Recovery was attempted `retries` times and the run still failed.
+    RetryBudgetExhausted { retries: u32, last: Box<TrainError> },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NonFiniteLoss { epoch, loss } => {
+                write!(f, "non-finite loss {loss} at epoch {epoch}")
+            }
+            TrainError::GradExplosion { epoch, norm } => {
+                write!(f, "gradient norm {norm} exploded at epoch {epoch}")
+            }
+            TrainError::Diverged { epoch, loss, best } => {
+                write!(
+                    f,
+                    "loss diverged to {loss} at epoch {epoch} (best was {best})"
+                )
+            }
+            TrainError::RetryBudgetExhausted { retries, last } => {
+                write!(
+                    f,
+                    "training failed after {retries} recovery attempts: {last}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Per-run monitor; feed it every epoch's `(loss, grad_norm)`.
+#[derive(Debug, Clone)]
+pub struct TrainHealth {
+    cfg: GuardrailConfig,
+    best_loss: f32,
+    /// Epochs observed since the last rollback (divergence warmup is
+    /// relative to this, not to the global epoch counter).
+    observed: usize,
+    retries: u32,
+}
+
+impl TrainHealth {
+    pub fn new(cfg: GuardrailConfig) -> TrainHealth {
+        TrainHealth {
+            cfg,
+            best_loss: f32::INFINITY,
+            observed: 0,
+            retries: 0,
+        }
+    }
+
+    pub fn config(&self) -> &GuardrailConfig {
+        &self.cfg
+    }
+
+    /// Recovery attempts consumed so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Best (lowest) loss observed so far.
+    pub fn best_loss(&self) -> f32 {
+        self.best_loss
+    }
+
+    /// Check one epoch's numbers. `Ok` means healthy (and the epoch is
+    /// folded into the monitor's history); `Err` classifies the failure
+    /// and leaves the history untouched for the caller's rollback.
+    pub fn observe(&mut self, epoch: usize, loss: f32, grad_norm: f32) -> Result<(), TrainError> {
+        if !loss.is_finite() {
+            metrics::counter("health.nonfinite_loss").inc();
+            return Err(TrainError::NonFiniteLoss { epoch, loss });
+        }
+        if !grad_norm.is_finite() || grad_norm > self.cfg.explode_norm {
+            metrics::counter("health.grad_explosion").inc();
+            return Err(TrainError::GradExplosion {
+                epoch,
+                norm: grad_norm,
+            });
+        }
+        if self.observed >= self.cfg.warmup_epochs
+            && loss > self.cfg.divergence_floor
+            && loss > self.best_loss * self.cfg.divergence_factor
+        {
+            metrics::counter("health.diverged").inc();
+            return Err(TrainError::Diverged {
+                epoch,
+                loss,
+                best: self.best_loss,
+            });
+        }
+        self.observed += 1;
+        if loss < self.best_loss {
+            self.best_loss = loss;
+        }
+        Ok(())
+    }
+
+    /// Record a recovery attempt and reset the divergence history (the
+    /// model rolled back, so recent losses no longer describe its state).
+    /// Returns the total retries consumed, for budget checks.
+    pub fn note_rollback(&mut self) -> u32 {
+        self.retries += 1;
+        self.observed = 0;
+        self.best_loss = f32::INFINITY;
+        metrics::counter("health.recoveries").inc();
+        self.retries
+    }
+
+    /// Restore the retry count (resume-from-checkpoint).
+    pub fn set_retries(&mut self, retries: u32) {
+        self.retries = retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> TrainHealth {
+        TrainHealth::new(GuardrailConfig {
+            warmup_epochs: 2,
+            ..GuardrailConfig::default()
+        })
+    }
+
+    #[test]
+    fn healthy_descent_passes() {
+        let mut h = quick();
+        for (e, loss) in [5.0f32, 3.0, 2.0, 1.5, 1.2].into_iter().enumerate() {
+            h.observe(e, loss, 10.0).expect("healthy epoch flagged");
+        }
+        assert_eq!(h.best_loss(), 1.2);
+        assert_eq!(h.retries(), 0);
+    }
+
+    #[test]
+    fn nan_and_inf_loss_flagged_immediately() {
+        let mut h = quick();
+        assert!(matches!(
+            h.observe(0, f32::NAN, 1.0),
+            Err(TrainError::NonFiniteLoss { epoch: 0, .. })
+        ));
+        assert!(matches!(
+            h.observe(0, f32::INFINITY, 1.0),
+            Err(TrainError::NonFiniteLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_or_huge_grad_norm_is_explosion() {
+        let mut h = quick();
+        assert!(matches!(
+            h.observe(0, 1.0, f32::NAN),
+            Err(TrainError::GradExplosion { .. })
+        ));
+        assert!(matches!(
+            h.observe(0, 1.0, 1e9),
+            Err(TrainError::GradExplosion { .. })
+        ));
+        assert!(h.observe(0, 1.0, 1e5).is_ok(), "large-but-sane norm passes");
+    }
+
+    #[test]
+    fn divergence_needs_warmup_and_factor() {
+        let mut h = quick();
+        // During warmup huge ratios are tolerated (as long as finite).
+        assert!(h.observe(0, 1.0, 1.0).is_ok());
+        assert!(h.observe(1, 100.0, 1.0).is_ok());
+        // Past warmup, 50x the best (1.0) trips.
+        assert!(h.observe(2, 2.0, 1.0).is_ok());
+        let err = h.observe(3, 60.0, 1.0);
+        assert!(matches!(err, Err(TrainError::Diverged { .. })), "{err:?}");
+        // Tiny absolute losses never count as divergence.
+        let mut h2 = quick();
+        for e in 0..4 {
+            h2.observe(e, 1e-4, 1.0).unwrap();
+        }
+        assert!(h2.observe(4, 5e-3, 1.0).is_ok(), "ratio noise on tiny loss");
+    }
+
+    #[test]
+    fn rollback_resets_history() {
+        let mut h = quick();
+        for e in 0..3 {
+            h.observe(e, 1.0, 1.0).unwrap();
+        }
+        assert_eq!(h.note_rollback(), 1);
+        assert_eq!(h.retries(), 1);
+        // History cleared: a big loss right after rollback is warmup again.
+        assert!(h.observe(3, 500.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = TrainError::RetryBudgetExhausted {
+            retries: 4,
+            last: Box::new(TrainError::NonFiniteLoss {
+                epoch: 7,
+                loss: f32::NAN,
+            }),
+        };
+        let s = e.to_string();
+        assert!(s.contains("4") && s.contains("epoch 7"), "{s}");
+    }
+}

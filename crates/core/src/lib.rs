@@ -29,6 +29,7 @@
 pub mod cv;
 pub mod dataset;
 pub mod devmap;
+pub mod health;
 pub mod metrics;
 pub mod model;
 pub mod omp;
@@ -37,4 +38,5 @@ pub mod persist;
 pub mod wgsize;
 
 pub use dataset::{OmpDataset, OmpSample};
-pub use model::{FusionModel, Modality, ModelConfig};
+pub use health::{GuardrailConfig, TrainError, TrainHealth};
+pub use model::{FitOptions, FusionModel, Modality, ModelConfig};

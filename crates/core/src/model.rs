@@ -15,17 +15,20 @@
 //! schedule × chunk) use one classification head per dimension on the
 //! shared hidden layer.
 
+use crate::health::{GuardrailConfig, TrainError, TrainHealth};
+use crate::persist;
 use mga_dae::{pretrain, DaeConfig, TrainedDae};
 use mga_gnn::{GnnConfig, GraphBatch, HeteroGnn};
 use mga_graph::ProGraph;
 use mga_nn::layers::{Activation, Linear};
-use mga_nn::optim::AdamW;
+use mga_nn::optim::{AdamW, AdamWState};
 use mga_nn::scaler::{GaussRankScaler, MinMaxScaler};
 use mga_nn::tape::{Tape, Var};
 use mga_nn::tensor::Tensor;
 use mga_nn::ParamSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 
 /// Which static modalities the model uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +102,46 @@ impl Default for ModelConfig {
             seed: 0,
         }
     }
+}
+
+/// Fault-tolerance options for [`FusionModel::try_fit`]: numeric
+/// guardrails plus crash-safe checkpointing. The defaults (no checkpoint
+/// path, loose guardrails) make `try_fit` behave bitwise identically to
+/// the classic [`FusionModel::fit`] on a healthy run.
+pub struct FitOptions<'a> {
+    /// Guardrail thresholds and the recovery retry budget.
+    pub guard: GuardrailConfig,
+    /// Where to write the resumable checkpoint; `None` disables
+    /// checkpointing entirely.
+    pub checkpoint: Option<&'a Path>,
+    /// Write the checkpoint every this many completed epochs (a final
+    /// one is always written when training finishes). `0` means only the
+    /// final checkpoint.
+    pub checkpoint_every: usize,
+    /// If `checkpoint` already holds a compatible mid-training state,
+    /// resume from it instead of training from scratch.
+    pub resume: bool,
+}
+
+impl Default for FitOptions<'_> {
+    fn default() -> Self {
+        FitOptions {
+            guard: GuardrailConfig::default(),
+            checkpoint: None,
+            checkpoint_every: 10,
+            resume: true,
+        }
+    }
+}
+
+/// Per-epoch diagnostics from [`FusionModel::train_epoch_stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Total (summed over heads) cross-entropy loss of the epoch.
+    pub loss: f32,
+    /// Global gradient norm *before* clipping — NaN or huge values here
+    /// are the earliest numeric-failure signal.
+    pub grad_norm: f32,
 }
 
 /// Everything the model consumes, borrowed from a dataset.
@@ -221,6 +264,13 @@ pub struct PreparedBatch {
     sample_rows: Vec<u32>,
     /// Packed flow graphs of the batch's distinct kernels.
     graph: Option<GraphBatch>,
+    /// Degraded-mode replacement for `graph`: fixed per-kernel embeddings
+    /// computed outside the tape when some graphs in the batch are
+    /// degenerate (empty / no instructions). Degenerate kernels get the
+    /// column-mean of the valid kernels' embeddings (zeros if none), so
+    /// prediction falls back to the remaining modalities instead of
+    /// panicking inside the GNN.
+    graph_precomputed: Option<Tensor>,
     /// DAE-encoded program vectors, one row per distinct kernel.
     codes: Option<Tensor>,
     /// Gaussian-rank-scaled raw vectors, one row per distinct kernel.
@@ -233,16 +283,211 @@ pub struct PreparedBatch {
 
 impl FusionModel {
     /// Train on `train_idx` of `data`; `head_sizes[h]` is the number of
-    /// classes of head `h`.
+    /// classes of head `h`. Thin wrapper over [`FusionModel::try_fit`]
+    /// with default [`FitOptions`]; panics if training fails numerically
+    /// even after the recovery budget (which a healthy run never does).
     pub fn fit(
         cfg: ModelConfig,
         data: &TrainData<'_>,
         train_idx: &[usize],
         head_sizes: &[usize],
     ) -> FusionModel {
+        match Self::try_fit(cfg, data, train_idx, head_sizes, &FitOptions::default()) {
+            Ok(model) => model,
+            Err(e) => panic!("training failed: {e}"),
+        }
+    }
+
+    /// Fault-tolerant training. Runs the same deterministic loop as the
+    /// classic `fit`, but:
+    ///
+    /// * every epoch's loss and pre-clip gradient norm pass through the
+    ///   [`TrainHealth`] guardrails; on a numeric failure the model rolls
+    ///   back to the last-good snapshot, halves the learning rate and
+    ///   retries, up to `opts.guard.max_retries` times before returning
+    ///   the final [`TrainError`];
+    /// * with `opts.checkpoint` set, a crash-safe checkpoint (weights +
+    ///   optimizer moments + epoch counter + RNG state, atomically
+    ///   written) is maintained during training, and an interrupted run
+    ///   restarted with the same options resumes from it — bitwise
+    ///   identical to a run that was never interrupted.
+    ///
+    /// When no fault fires and no checkpoint exists, the result is
+    /// bitwise identical to `fit`'s.
+    pub fn try_fit(
+        cfg: ModelConfig,
+        data: &TrainData<'_>,
+        train_idx: &[usize],
+        head_sizes: &[usize],
+        opts: &FitOptions<'_>,
+    ) -> Result<FusionModel, TrainError> {
         mga_obs::span!("model.fit");
         assert!(!train_idx.is_empty(), "empty training set");
         assert_eq!(data.labels.len(), head_sizes.len());
+
+        // --- Resume from a compatible checkpoint, if asked and present.
+        let mut resumed: Option<(FusionModel, persist::TrainState)> = None;
+        if opts.resume {
+            if let Some(path) = opts.checkpoint {
+                if path.exists() {
+                    match persist::load_checkpoint_from_file(path) {
+                        Ok((m, Some(st)))
+                            if format!("{:?}", m.cfg) == format!("{cfg:?}")
+                                && m.head_sizes == head_sizes =>
+                        {
+                            mga_obs::info!(
+                                "resuming from checkpoint at epoch {}/{}",
+                                st.epoch,
+                                cfg.epochs
+                            );
+                            mga_obs::metrics::counter("train.resumes").inc();
+                            resumed = Some((m, st));
+                        }
+                        Ok(_) => {
+                            mga_obs::warn!(
+                                "checkpoint incompatible with this run; training from scratch"
+                            );
+                        }
+                        Err(e) => {
+                            mga_obs::warn!("checkpoint unusable ({e}); training from scratch");
+                        }
+                    }
+                }
+            }
+        }
+
+        let (mut model, mut opt, start_epoch, mut health, rng_state) = match resumed {
+            Some((m, st)) => {
+                if st.epoch >= cfg.epochs {
+                    // The checkpointed run already finished.
+                    return Ok(m);
+                }
+                match optimizer_from_state(&m, &st) {
+                    Some(opt) => {
+                        let mut health = TrainHealth::new(opts.guard.clone());
+                        health.set_retries(st.retries);
+                        (m, opt, st.epoch, health, st.rng)
+                    }
+                    None => {
+                        mga_obs::warn!(
+                            "checkpoint optimizer state mismatched; training from scratch"
+                        );
+                        let (model, rng_state) = Self::build(&cfg, data, train_idx, head_sizes);
+                        let opt = AdamW::new(cfg.lr).with_weight_decay(0.001);
+                        (
+                            model,
+                            opt,
+                            0,
+                            TrainHealth::new(opts.guard.clone()),
+                            rng_state,
+                        )
+                    }
+                }
+            }
+            None => {
+                let (model, rng_state) = Self::build(&cfg, data, train_idx, head_sizes);
+                let opt = AdamW::new(cfg.lr).with_weight_decay(0.001);
+                (
+                    model,
+                    opt,
+                    0,
+                    TrainHealth::new(opts.guard.clone()),
+                    rng_state,
+                )
+            }
+        };
+
+        // --- Training loop (full-batch AdamW, as the dataset is small).
+        // All epoch-invariant feature work is hoisted into the prepared
+        // batch; each epoch only replays the tape over cached leaves. ---
+        let prep = model.prepare(data, train_idx);
+        let targets = batch_targets(data, train_idx, head_sizes.len());
+        let vec_dim = data.vectors[0].len();
+        let aux_dim = model.aux_scaler.as_ref().map(|s| s.dims()).unwrap_or(0);
+
+        struct Snapshot {
+            values: Vec<Tensor>,
+            opt: AdamWState,
+            epoch: usize,
+        }
+        let mut snap = Snapshot {
+            values: model.ps.clone_values(),
+            opt: opt.state(),
+            epoch: start_epoch,
+        };
+        let mut epoch = start_epoch;
+        while epoch < model.cfg.epochs {
+            let stats = model.train_epoch_stats(&prep, &targets, &mut opt);
+            match health.observe(epoch, stats.loss, stats.grad_norm) {
+                Ok(()) => {
+                    model.final_loss = stats.loss;
+                    epoch += 1;
+                    if epoch % opts.guard.snapshot_every == 0 {
+                        snap = Snapshot {
+                            values: model.ps.clone_values(),
+                            opt: opt.state(),
+                            epoch,
+                        };
+                    }
+                    if let Some(path) = opts.checkpoint {
+                        if opts.checkpoint_every > 0
+                            && epoch % opts.checkpoint_every == 0
+                            && epoch < model.cfg.epochs
+                        {
+                            write_checkpoint(
+                                &model, &health, &opt, epoch, rng_state, vec_dim, aux_dim, path,
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    if health.retries() >= opts.guard.max_retries {
+                        mga_obs::error!("epoch {epoch}: {e}; recovery budget exhausted");
+                        return Err(TrainError::RetryBudgetExhausted {
+                            retries: health.retries(),
+                            last: Box::new(e),
+                        });
+                    }
+                    let lr_next = opt.lr * 0.5;
+                    mga_obs::error!(
+                        "epoch {epoch}: {e}; rolling back to epoch {} with lr {lr_next}",
+                        snap.epoch
+                    );
+                    model.ps.restore_values(&snap.values);
+                    opt.restore(snap.opt.clone());
+                    opt.lr = lr_next;
+                    model.ps.zero_grads();
+                    epoch = snap.epoch;
+                    health.note_rollback();
+                }
+            }
+        }
+        mga_obs::metrics::gauge("train.final_loss").set(model.final_loss as f64);
+        if let Some(path) = opts.checkpoint {
+            write_checkpoint(
+                &model,
+                &health,
+                &opt,
+                model.cfg.epochs,
+                rng_state,
+                vec_dim,
+                aux_dim,
+                path,
+            );
+        }
+        Ok(model)
+    }
+
+    /// Build a freshly initialized model (preprocessing stages fitted,
+    /// parameters randomly initialized, no gradient steps yet). Returns
+    /// the post-initialization RNG state for checkpointing.
+    fn build(
+        cfg: &ModelConfig,
+        data: &TrainData<'_>,
+        train_idx: &[usize],
+        head_sizes: &[usize],
+    ) -> (FusionModel, [u64; 4]) {
+        let cfg = cfg.clone();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut ps = ParamSet::new();
 
@@ -321,7 +566,7 @@ impl FusionModel {
             })
             .collect();
 
-        let mut model = FusionModel {
+        let model = FusionModel {
             cfg,
             ps,
             gnn,
@@ -333,18 +578,8 @@ impl FusionModel {
             head_sizes: head_sizes.to_vec(),
             final_loss: f32::MAX,
         };
-
-        // --- Training loop (full-batch AdamW, as the dataset is small).
-        // All epoch-invariant feature work is hoisted into the prepared
-        // batch; each epoch only replays the tape over cached leaves. ---
-        let prep = model.prepare(data, train_idx);
-        let targets = batch_targets(data, train_idx, head_sizes.len());
-        let mut opt = AdamW::new(model.cfg.lr).with_weight_decay(0.001);
-        for _epoch in 0..model.cfg.epochs {
-            model.final_loss = model.train_epoch(&prep, &targets, &mut opt);
-        }
-        mga_obs::metrics::gauge("train.final_loss").set(model.final_loss as f64);
-        model
+        let rng_state = rng.to_state();
+        (model, rng_state)
     }
 
     /// Hoist every epoch-invariant computation for `idx` of `data` into a
@@ -362,10 +597,37 @@ impl FusionModel {
             .map(|&i| local_row(data.sample_kernel[i]))
             .collect();
 
-        let graph = self.gnn.as_ref().map(|_| {
-            let graph_refs: Vec<&ProGraph> = kernels.iter().map(|&k| &data.graphs[k]).collect();
-            GraphBatch::new(&graph_refs)
-        });
+        let (graph, graph_precomputed) = if self.gnn.is_some() {
+            // Degenerate graphs (and `sample:empty` fault injection) are
+            // handled outside the tape so the GNN never sees them.
+            let mut degenerate: Vec<bool> = kernels
+                .iter()
+                .map(|&k| {
+                    let g = &data.graphs[k];
+                    g.num_nodes() == 0 || g.instruction_nodes().is_empty()
+                })
+                .collect();
+            if mga_obs::fault::armed() {
+                for d in degenerate.iter_mut() {
+                    if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Sample) {
+                        if shot.kind == mga_obs::fault::Kind::Empty {
+                            *d = true;
+                        }
+                    }
+                }
+            }
+            if degenerate.iter().any(|&d| d) {
+                (
+                    None,
+                    Some(self.degraded_graph_embeddings(data, &kernels, &degenerate)),
+                )
+            } else {
+                let graph_refs: Vec<&ProGraph> = kernels.iter().map(|&k| &data.graphs[k]).collect();
+                (Some(GraphBatch::new(&graph_refs)), None)
+            }
+        } else {
+            (None, None)
+        };
         let codes = self.dae.as_ref().map(|dae| {
             let kernel_vecs: Vec<Vec<f32>> =
                 kernels.iter().map(|&k| data.vectors[k].clone()).collect();
@@ -390,22 +652,93 @@ impl FusionModel {
             Tensor::from_vec(kernels.len(), width, rows)
         });
         let aux = self.aux_scaler.as_ref().map(|scaler| {
-            let mut rows: Vec<f32> = Vec::with_capacity(idx.len() * scaler.dims());
+            let dims = scaler.dims();
+            let mut degraded = 0u64;
+            let mut rows: Vec<f32> = Vec::with_capacity(idx.len() * dims);
             for &i in idx {
-                let mut r = data.aux[i].clone();
-                scaler.transform_row(&mut r);
-                rows.extend_from_slice(&r);
+                let raw = &data.aux[i];
+                if raw.len() != dims || raw.iter().any(|x| !x.is_finite()) {
+                    // Missing or corrupt dynamic features: impute the
+                    // scaled mid-range so the static modalities decide.
+                    rows.extend(std::iter::repeat_n(0.5, dims));
+                    degraded += 1;
+                } else {
+                    let mut r = raw.clone();
+                    scaler.transform_row(&mut r);
+                    rows.extend_from_slice(&r);
+                }
             }
-            Tensor::from_vec(idx.len(), scaler.dims(), rows)
+            if degraded > 0 {
+                mga_obs::metrics::counter("model.degraded_aux").add(degraded);
+                mga_obs::warn!("{degraded} aux row(s) missing/non-finite; imputed mid-range");
+            }
+            Tensor::from_vec(idx.len(), dims, rows)
         });
         PreparedBatch {
             sample_rows,
             graph,
+            graph_precomputed,
             codes,
             raw_vecs,
             summaries,
             aux,
         }
+    }
+
+    /// Degraded-mode graph features: run the GNN on the valid graphs
+    /// only (outside any training tape) and fill degenerate kernels'
+    /// rows with the column-mean of the valid embeddings.
+    #[cold]
+    fn degraded_graph_embeddings(
+        &self,
+        data: &TrainData<'_>,
+        kernels: &[usize],
+        degenerate: &[bool],
+    ) -> Tensor {
+        let gnn = self.gnn.as_ref().expect("degraded path needs a GNN");
+        let dim = self.cfg.gnn.dim;
+        let n_degen = degenerate.iter().filter(|&&d| d).count();
+        mga_obs::metrics::counter("model.degraded_graphs").add(n_degen as u64);
+        mga_obs::warn!(
+            "{n_degen}/{} graph(s) degenerate; falling back to mean graph embedding",
+            kernels.len()
+        );
+        let valid: Vec<usize> = (0..kernels.len()).filter(|&i| !degenerate[i]).collect();
+        let mut out = Tensor::zeros(kernels.len(), dim);
+        if valid.is_empty() {
+            // No graph signal at all: zero rows, the other modalities
+            // carry the prediction.
+            return out;
+        }
+        let graph_refs: Vec<&ProGraph> = valid.iter().map(|&i| &data.graphs[kernels[i]]).collect();
+        let batch = GraphBatch::new(&graph_refs);
+        let mut tape = Tape::new();
+        let emb = gnn.forward(&mut tape, &self.ps, &batch);
+        let vals = tape.value(emb).clone();
+        let mut mean = vec![0f32; dim];
+        for r in 0..vals.rows() {
+            for (c, acc) in mean.iter_mut().enumerate() {
+                *acc += vals.get(r, c);
+            }
+        }
+        for acc in &mut mean {
+            *acc /= vals.rows() as f32;
+        }
+        for row in 0..kernels.len() {
+            match valid.iter().position(|&i| i == row) {
+                Some(vr) => {
+                    for c in 0..dim {
+                        out.set(row, c, vals.get(vr, c));
+                    }
+                }
+                None => {
+                    for (c, &m) in mean.iter().enumerate() {
+                        out.set(row, c, m);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Forward pass over a prepared batch; returns one logits tensor per
@@ -414,7 +747,12 @@ impl FusionModel {
     pub fn forward_prepared(&self, tape: &mut Tape, prep: &PreparedBatch) -> Vec<Var> {
         mga_obs::span!("model.forward");
         let mut parts: Vec<Var> = Vec::new();
-        if let (Some(gnn), Some(batch)) = (&self.gnn, &prep.graph) {
+        if let Some(pre) = &prep.graph_precomputed {
+            // Degraded mode: the embeddings were computed outside the
+            // tape (no gradient flows into the GNN for this batch).
+            let t = tape.leaf(pre.clone());
+            parts.push(tape.gather_rows(t, &prep.sample_rows));
+        } else if let (Some(gnn), Some(batch)) = (&self.gnn, &prep.graph) {
             let kernel_emb = gnn.forward(tape, &self.ps, batch);
             parts.push(tape.gather_rows(kernel_emb, &prep.sample_rows));
         }
@@ -455,6 +793,17 @@ impl FusionModel {
         targets: &[Vec<u32>],
         opt: &mut AdamW,
     ) -> f32 {
+        self.train_epoch_stats(prep, targets, opt).loss
+    }
+
+    /// [`FusionModel::train_epoch`] plus the pre-clip gradient norm, the
+    /// signal the [`TrainHealth`] guardrails watch.
+    pub fn train_epoch_stats(
+        &mut self,
+        prep: &PreparedBatch,
+        targets: &[Vec<u32>],
+        opt: &mut AdamW,
+    ) -> EpochStats {
         mga_obs::span!("train_epoch");
         let mut tape = Tape::new();
         let logits = {
@@ -480,6 +829,13 @@ impl FusionModel {
             tape.backward(total);
             tape.accumulate_param_grads(&mut self.ps);
         }
+        if mga_obs::fault::armed() {
+            if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Grad) {
+                if shot.kind == mga_obs::fault::Kind::Nan {
+                    self.poison_first_grad();
+                }
+            }
+        }
         let grad_norm = {
             mga_obs::span!("optimizer");
             let grad_norm = self.ps.clip_grad_norm(5.0);
@@ -494,7 +850,19 @@ impl FusionModel {
             &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
         )
         .observe(prep.sample_rows.len() as f64);
-        loss
+        EpochStats { loss, grad_norm }
+    }
+
+    /// `grad:nan` fault-injection payload: corrupt one gradient scalar,
+    /// the way a bad kernel or memory fault would, and let the guardrails
+    /// find it via the NaN-propagating gradient norm.
+    #[cold]
+    fn poison_first_grad(&mut self) {
+        if let Some(id) = self.ps.ids().next() {
+            if let Some(g) = self.ps.grad_mut(id).data_mut().first_mut() {
+                *g = f32::NAN;
+            }
+        }
     }
 
     /// Predict head classes for a set of samples: `out[h][j]` is head
@@ -513,9 +881,9 @@ impl FusionModel {
                         let row = t.row_slice(r);
                         row.iter()
                             .enumerate()
-                            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                            .max_by(|a, b| a.1.total_cmp(b.1))
                             .map(|(i, _)| i)
-                            .unwrap()
+                            .unwrap_or(0)
                     })
                     .collect()
             })
@@ -539,6 +907,96 @@ impl FusionModel {
         let mut opt = AdamW::new(lr).with_weight_decay(0.001);
         for _epoch in 0..epochs {
             self.final_loss = self.train_epoch(&prep, &targets, &mut opt);
+        }
+    }
+}
+
+/// Rebuild an [`AdamW`] from a checkpoint's [`persist::TrainState`].
+/// Returns `None` when the saved moments don't line up with the model's
+/// parameters (wrong names, order or shapes) — the caller then trains
+/// from scratch rather than resuming with a corrupted optimizer.
+fn optimizer_from_state(model: &FusionModel, st: &persist::TrainState) -> Option<AdamW> {
+    let mut opt = AdamW::new(st.lr).with_weight_decay(0.001);
+    if st.moments.is_empty() {
+        // Saved before the first step; lazy init will handle it.
+        opt.restore(AdamWState {
+            t: st.t,
+            lr: st.lr,
+            m: Vec::new(),
+            v: Vec::new(),
+        });
+        return Some(opt);
+    }
+    let params: Vec<(&str, &Tensor)> = model.ps.iter_named().collect();
+    if params.len() != st.moments.len() {
+        return None;
+    }
+    let mut m = Vec::with_capacity(params.len());
+    let mut v = Vec::with_capacity(params.len());
+    for ((pname, pt), (mname, mm, mv)) in params.iter().zip(&st.moments) {
+        if *pname != mname.as_str()
+            || mm.rows() != pt.rows()
+            || mm.cols() != pt.cols()
+            || mv.rows() != pt.rows()
+            || mv.cols() != pt.cols()
+        {
+            return None;
+        }
+        m.push(mm.clone());
+        v.push(mv.clone());
+    }
+    opt.restore(AdamWState {
+        t: st.t,
+        lr: st.lr,
+        m,
+        v,
+    });
+    Some(opt)
+}
+
+/// Write the resumable checkpoint. Checkpointing is best-effort: a write
+/// failure is logged and counted but never aborts training.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    model: &FusionModel,
+    health: &TrainHealth,
+    opt: &AdamW,
+    epoch: usize,
+    rng: [u64; 4],
+    vec_dim: usize,
+    aux_dim: usize,
+    path: &Path,
+) {
+    let ost = opt.state();
+    let moments = if ost.m.is_empty() {
+        Vec::new()
+    } else {
+        model
+            .ps
+            .iter_named()
+            .map(|(n, _)| n.to_string())
+            .zip(ost.m)
+            .zip(ost.v)
+            .map(|((n, m), v)| (n, m, v))
+            .collect()
+    };
+    let st = persist::TrainState {
+        epoch,
+        retries: health.retries(),
+        t: ost.t,
+        lr: ost.lr,
+        best_loss: health.best_loss(),
+        final_loss: model.final_loss,
+        moments,
+        rng,
+    };
+    match persist::save_checkpoint_to_file(model, vec_dim, aux_dim, Some(&st), path) {
+        Ok(()) => {
+            mga_obs::metrics::counter("train.ckpt_writes").inc();
+        }
+        Err(e) => {
+            mga_obs::metrics::counter("train.ckpt_write_failures").inc();
+            mga_obs::warn!("checkpoint write failed ({e}); training continues");
         }
     }
 }

@@ -168,9 +168,30 @@ pub struct FoldEval {
 /// Train the model on a fold's training samples and evaluate speedups on
 /// its validation samples.
 pub fn eval_model_fold(ds: &OmpDataset, task: &OmpTask, cfg: ModelConfig, fold: &Fold) -> FoldEval {
+    eval_model_fold_ckpt(ds, task, cfg, fold, None)
+}
+
+/// [`eval_model_fold`] with fault-tolerant training: an optional
+/// checkpoint path enables crash-safe checkpointing and resume for this
+/// fold's model (see `FusionModel::try_fit`). With `ckpt == None` this
+/// is exactly `eval_model_fold`.
+pub fn eval_model_fold_ckpt(
+    ds: &OmpDataset,
+    task: &OmpTask,
+    cfg: ModelConfig,
+    fold: &Fold,
+    ckpt: Option<&std::path::Path>,
+) -> FoldEval {
     let data = task.train_data(ds);
     let head_sizes = task.codec.head_sizes();
-    let model = FusionModel::fit(cfg, &data, &fold.train, &head_sizes);
+    let opts = crate::model::FitOptions {
+        checkpoint: ckpt,
+        ..crate::model::FitOptions::default()
+    };
+    let model = match FusionModel::try_fit(cfg, &data, &fold.train, &head_sizes, &opts) {
+        Ok(m) => m,
+        Err(e) => panic!("fold training failed: {e}"),
+    };
     let preds = model.predict(&data, &fold.val);
     let mut pairs = Vec::with_capacity(fold.val.len());
     let mut pred_best = Vec::with_capacity(fold.val.len());
@@ -217,7 +238,7 @@ pub fn eval_tuner_fold(
         let spec = &ds.specs[kernel];
         // Reference input: the median working-set size in this fold.
         let mut sizes: Vec<f64> = idxs.iter().map(|&i| ds.samples[i].ws_bytes).collect();
-        sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sizes.sort_by(|a, b| a.total_cmp(b));
         let ref_ws = sizes[sizes.len() / 2];
         let mut tuner = make_tuner(kernel as u64);
         let mut ev = Evaluator::new(spec, ref_ws, &ds.cpu);

@@ -1,22 +1,42 @@
 //! Model checkpointing: save a trained [`FusionModel`] to a plain-text
 //! format and restore it later, so a tuned model ships with a tool instead
-//! of being retrained per run.
+//! of being retrained per run — and so an interrupted training run can
+//! resume exactly where it stopped.
 //!
-//! The format is line-oriented and self-describing (no external
-//! serialization crates):
+//! The v2 format is line-oriented and self-describing (no external
+//! serialization crates), integrity-checked, and carries the full
+//! training state:
 //!
 //! ```text
-//! mga-model v1
+//! mga-model v2
 //! modality Multimodal
 //! use_aux true
 //! ...
-//! [param] trunk.w 61 64
-//! 0.01 -0.2 ...
-//! [gauss] 3
+//! [param] trunk.w 61 64 crc=1a2b3c4d
+//! 3dcccccd be4ccccd ...
+//! [dae_gauss] 3 crc=...
 //! <vals> / <scores>
-//! ...
+//! [train] 40 1 3dcccccd 3e000000
+//! [optim] 40 3c23d70a
+//! [rng] 9e3779b97f4a7c15 ...
+//! [moment] trunk.w 61 64 crc=...
+//! <m> / <v>
+//! [crc] 0123456789abcdef
 //! end
 //! ```
+//!
+//! Every float is serialized as the hexadecimal of its bit pattern, so a
+//! save → load → save round trip is byte-identical and a resumed run is
+//! bitwise equal to an uninterrupted one. Each data-bearing section
+//! carries an FNV-1a-32 checksum of its payload (`crc=`), and the whole
+//! file is sealed by an FNV-1a-64 checksum on the `[crc]` line directly
+//! before the `end` terminator — any truncation or byte mutation fails
+//! the load with [`PersistError::Malformed`] instead of silently
+//! restoring wrong weights. v1 checkpoints (no checksums, no training
+//! state) remain loadable.
+//!
+//! [`save_checkpoint_to_file`] writes atomically (temp file + rename), so
+//! a crash mid-write leaves the previous checkpoint intact.
 
 use crate::model::{FusionModel, Modality, ModelConfig};
 use mga_dae::{DaeConfig, TrainedDae};
@@ -48,6 +68,57 @@ impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
     }
+}
+
+/// Optimizer + progress state saved alongside the weights so a run can
+/// resume mid-training (see `FusionModel::try_fit`).
+#[derive(Debug, Clone)]
+pub struct TrainState {
+    /// Epochs completed.
+    pub epoch: usize,
+    /// Recovery retries consumed (guardrail rollbacks).
+    pub retries: u32,
+    /// AdamW step count.
+    pub t: u64,
+    /// Effective learning rate (after any recovery halvings).
+    pub lr: f32,
+    /// Best loss observed (guardrail divergence baseline).
+    pub best_loss: f32,
+    /// Loss of the last completed epoch.
+    pub final_loss: f32,
+    /// AdamW first/second moments, one entry per parameter, in the
+    /// parameter set's insertion order: `(name, m, v)`.
+    pub moments: Vec<(String, Tensor, Tensor)>,
+    /// Training RNG state (xoshiro256**).
+    pub rng: [u64; 4],
+}
+
+// --- FNV-1a checksums (dependency-free; a single byte substitution is
+// guaranteed to change the hash because `h -> (h ^ b) * prime` is a
+// bijection in `h`). ---
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fnv32_update(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        h = (h ^ b as u32).wrapping_mul(0x01000193);
+    }
+    h
+}
+
+fn crc_of_lines(lines: &[&str]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for l in lines {
+        h = fnv32_update(h, l.as_bytes());
+        h = fnv32_update(h, b"\n");
+    }
+    h
 }
 
 fn modality_name(m: Modality) -> &'static str {
@@ -90,15 +161,16 @@ fn update_from(s: &str) -> Result<UpdateKind, PersistError> {
     })
 }
 
-fn write_floats(out: &mut String, data: &[f32]) {
+/// Bit-exact float line: hexadecimal bit patterns, space-separated.
+fn floats_line(data: &[f32]) -> String {
+    let mut s = String::with_capacity(data.len() * 9);
     for (i, v) in data.iter().enumerate() {
         if i > 0 {
-            out.push(' ');
+            s.push(' ');
         }
-        // Bit-exact round trip via hexadecimal bits.
-        write!(out, "{:08x}", v.to_bits()).unwrap();
+        let _ = write!(s, "{:08x}", v.to_bits());
     }
-    out.push('\n');
+    s
 }
 
 fn parse_floats(line: &str) -> Result<Vec<f32>, PersistError> {
@@ -111,11 +183,63 @@ fn parse_floats(line: &str) -> Result<Vec<f32>, PersistError> {
         .collect()
 }
 
-/// Serialize a trained model to its text checkpoint.
+/// Write a data-bearing section: header line extended with a `crc=` of
+/// the payload lines, then the payload.
+fn push_section(out: &mut String, header: &str, payload: &[String]) {
+    let refs: Vec<&str> = payload.iter().map(|s| s.as_str()).collect();
+    let _ = writeln!(out, "{header} crc={:08x}", crc_of_lines(&refs));
+    for l in payload {
+        out.push_str(l);
+        out.push('\n');
+    }
+}
+
+/// Strict lowercase-hex parse for checksum tokens. `from_str_radix`
+/// alone also accepts uppercase digits and a leading `+`, which would
+/// let some single-byte corruptions of a checksum line re-parse to the
+/// stored value; the writer only ever emits lowercase.
+fn parse_crc_hex(hex: &str, width: usize) -> Option<u64> {
+    (hex.len() == width && hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+        .then(|| u64::from_str_radix(hex, 16).ok())
+        .flatten()
+}
+
+/// Verify a section's `crc=` token against its payload lines. v1
+/// sections carry no token and pass unchecked (the caller may still be
+/// protected by the file-level checksum).
+fn check_crc(tok: Option<&str>, payload: &[&str], what: &str) -> Result<(), PersistError> {
+    let Some(tok) = tok else { return Ok(()) };
+    let hex = tok
+        .strip_prefix("crc=")
+        .ok_or_else(|| PersistError::Malformed(format!("{what}: unexpected token {tok}")))?;
+    let want = parse_crc_hex(hex, 8)
+        .ok_or_else(|| PersistError::Malformed(format!("{what}: bad crc {hex}")))?
+        as u32;
+    if crc_of_lines(payload) != want {
+        return Err(PersistError::Malformed(format!(
+            "{what}: section checksum mismatch"
+        )));
+    }
+    Ok(())
+}
+
+/// Serialize a trained model (weights + preprocessing only) to its text
+/// checkpoint. Equivalent to [`save_checkpoint`] with no training state.
 pub fn save_model(model: &FusionModel, vec_dim: usize, aux_dim: usize) -> String {
+    save_checkpoint(model, vec_dim, aux_dim, None)
+}
+
+/// Serialize a model to the v2 checkpoint text, optionally with the
+/// mid-training [`TrainState`] needed for exact resume.
+pub fn save_checkpoint(
+    model: &FusionModel,
+    vec_dim: usize,
+    aux_dim: usize,
+    state: Option<&TrainState>,
+) -> String {
     let mut out = String::new();
     let cfg = &model.cfg;
-    out.push_str("mga-model v1\n");
+    out.push_str("mga-model v2\n");
     let _ = writeln!(out, "modality {}", modality_name(cfg.modality));
     let _ = writeln!(out, "use_aux {}", cfg.use_aux);
     let _ = writeln!(
@@ -154,33 +278,70 @@ pub fn save_model(model: &FusionModel, vec_dim: usize, aux_dim: usize) -> String
     let _ = writeln!(out, "aux_dim {aux_dim}");
 
     for (name, t) in model.ps.iter_named() {
-        let _ = writeln!(out, "[param] {name} {} {}", t.rows(), t.cols());
-        write_floats(&mut out, t.data());
+        push_section(
+            &mut out,
+            &format!("[param] {name} {} {}", t.rows(), t.cols()),
+            &[floats_line(t.data())],
+        );
     }
     if let Some(dae) = &model.dae {
         for (name, t) in dae.params.iter_named() {
-            let _ = writeln!(out, "[dae_param] {name} {} {}", t.rows(), t.cols());
-            write_floats(&mut out, t.data());
+            push_section(
+                &mut out,
+                &format!("[dae_param] {name} {} {}", t.rows(), t.cols()),
+                &[floats_line(t.data())],
+            );
         }
         for (vals, scores) in dae.scaler.to_parts() {
-            let _ = writeln!(out, "[dae_gauss] {}", vals.len());
-            write_floats(&mut out, vals);
-            write_floats(&mut out, scores);
+            push_section(
+                &mut out,
+                &format!("[dae_gauss] {}", vals.len()),
+                &[floats_line(vals), floats_line(scores)],
+            );
         }
     }
     if let Some(s) = &model.raw_vec_scaler {
         for (vals, scores) in s.to_parts() {
-            let _ = writeln!(out, "[vec_gauss] {}", vals.len());
-            write_floats(&mut out, vals);
-            write_floats(&mut out, scores);
+            push_section(
+                &mut out,
+                &format!("[vec_gauss] {}", vals.len()),
+                &[floats_line(vals), floats_line(scores)],
+            );
         }
     }
     if let Some(s) = &model.aux_scaler {
         let (mins, maxs) = s.to_parts();
-        let _ = writeln!(out, "[aux_minmax] {}", mins.len());
-        write_floats(&mut out, mins);
-        write_floats(&mut out, maxs);
+        push_section(
+            &mut out,
+            &format!("[aux_minmax] {}", mins.len()),
+            &[floats_line(mins), floats_line(maxs)],
+        );
     }
+    if let Some(st) = state {
+        let _ = writeln!(
+            out,
+            "[train] {} {} {:08x} {:08x}",
+            st.epoch,
+            st.retries,
+            st.best_loss.to_bits(),
+            st.final_loss.to_bits()
+        );
+        let _ = writeln!(out, "[optim] {} {:08x}", st.t, st.lr.to_bits());
+        let _ = writeln!(
+            out,
+            "[rng] {:016x} {:016x} {:016x} {:016x}",
+            st.rng[0], st.rng[1], st.rng[2], st.rng[3]
+        );
+        for (name, m, v) in &st.moments {
+            push_section(
+                &mut out,
+                &format!("[moment] {name} {} {}", m.rows(), m.cols()),
+                &[floats_line(m.data()), floats_line(v.data())],
+            );
+        }
+    }
+    let crc = fnv64(out.as_bytes());
+    let _ = writeln!(out, "[crc] {crc:016x}");
     out.push_str("end\n");
     out
 }
@@ -196,12 +357,67 @@ fn field<T: FromStr>(
         .map_err(|_| PersistError::Malformed(format!("bad {what}")))
 }
 
-/// Restore a model from its text checkpoint.
+fn hex_f32(tokens: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f32, PersistError> {
+    let t = tokens
+        .next()
+        .ok_or_else(|| PersistError::Malformed(format!("missing {what}")))?;
+    u32::from_str_radix(t, 16)
+        .map(f32::from_bits)
+        .map_err(|_| PersistError::Malformed(format!("bad {what}")))
+}
+
+fn hex_u64(tokens: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<u64, PersistError> {
+    let t = tokens
+        .next()
+        .ok_or_else(|| PersistError::Malformed(format!("missing {what}")))?;
+    u64::from_str_radix(t, 16).map_err(|_| PersistError::Malformed(format!("bad {what}")))
+}
+
+/// Verify the v2 file-level seal: the text must end with exactly
+/// `[crc] <16 hex>\nend\n`, and the checksum must match every byte that
+/// precedes the `[crc]` line. Catches truncation (the tail is gone) and
+/// any byte mutation (the FNV-1a hash changes).
+fn verify_file_crc(text: &str) -> Result<(), PersistError> {
+    let body = text
+        .strip_suffix("end\n")
+        .ok_or_else(|| PersistError::Malformed("missing end terminator".into()))?;
+    let wo_nl = body
+        .strip_suffix('\n')
+        .ok_or_else(|| PersistError::Malformed("missing [crc] line".into()))?;
+    let start = wo_nl.rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let crc_line = &wo_nl[start..];
+    let hex = crc_line
+        .strip_prefix("[crc] ")
+        .ok_or_else(|| PersistError::Malformed("missing [crc] line".into()))?;
+    let want = parse_crc_hex(hex, 16)
+        .ok_or_else(|| PersistError::Malformed(format!("bad file crc `{hex}`")))?;
+    let got = fnv64(&body.as_bytes()[..start]);
+    if got != want {
+        return Err(PersistError::Malformed(format!(
+            "file checksum mismatch: stored {want:016x}, computed {got:016x}"
+        )));
+    }
+    Ok(())
+}
+
+/// Restore a model from its text checkpoint (either version), dropping
+/// any training state.
 pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
+    load_checkpoint(text).map(|(m, _)| m)
+}
+
+/// Restore a model plus, for v2 checkpoints saved mid-training, the
+/// [`TrainState`] needed to resume exactly.
+pub fn load_checkpoint(text: &str) -> Result<(FusionModel, Option<TrainState>), PersistError> {
     let mut lines = text.lines();
     let header = lines.next().unwrap_or("");
-    if header != "mga-model v1" {
-        return Err(PersistError::Malformed(format!("bad header `{header}`")));
+    let v2 = match header {
+        "mga-model v2" => true,
+        "mga-model v1" => false,
+        _ => return Err(PersistError::Malformed(format!("bad header `{header}`"))),
+    };
+    if v2 {
+        verify_file_crc(text)?;
     }
 
     let mut modality = Modality::Multimodal;
@@ -221,6 +437,15 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
     let mut dae_gauss: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
     let mut vec_gauss: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
     let mut aux_minmax: Option<(Vec<f32>, Vec<f32>)> = None;
+
+    let mut tr_epoch: Option<usize> = None;
+    let mut tr_retries = 0u32;
+    let mut tr_best = f32::INFINITY;
+    let mut tr_final = f32::NAN;
+    let mut opt_t = 0u64;
+    let mut opt_lr = lr;
+    let mut rng_state: Option<[u64; 4]> = None;
+    let mut moments: Vec<(String, Tensor, Tensor)> = Vec::new();
 
     while let Some(line) = lines.next() {
         let line = line.trim();
@@ -267,11 +492,11 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
                 let name: String = field(&mut toks, "param name")?;
                 let rows: usize = field(&mut toks, "rows")?;
                 let cols: usize = field(&mut toks, "cols")?;
-                let data = parse_floats(
-                    lines
-                        .next()
-                        .ok_or_else(|| PersistError::Malformed("missing data".into()))?,
-                )?;
+                let raw = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing data".into()))?;
+                check_crc(toks.next(), &[raw], &format!("param {name}"))?;
+                let data = parse_floats(raw)?;
                 if data.len() != rows * cols {
                     return Err(PersistError::Malformed(format!(
                         "param {name}: {} values for {rows}x{cols}",
@@ -287,16 +512,16 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
             }
             "[dae_gauss]" | "[vec_gauss]" => {
                 let is_dae = line.starts_with("[dae_gauss]");
-                let vals = parse_floats(
-                    lines
-                        .next()
-                        .ok_or_else(|| PersistError::Malformed("missing gauss vals".into()))?,
-                )?;
-                let scores = parse_floats(
-                    lines
-                        .next()
-                        .ok_or_else(|| PersistError::Malformed("missing gauss scores".into()))?,
-                )?;
+                let _len: usize = field(&mut toks, "gauss len")?;
+                let raw_vals = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing gauss vals".into()))?;
+                let raw_scores = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing gauss scores".into()))?;
+                check_crc(toks.next(), &[raw_vals, raw_scores], "gauss")?;
+                let vals = parse_floats(raw_vals)?;
+                let scores = parse_floats(raw_scores)?;
                 if is_dae {
                     dae_gauss.push((vals, scores));
                 } else {
@@ -304,17 +529,70 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
                 }
             }
             "[aux_minmax]" => {
-                let mins = parse_floats(
-                    lines
-                        .next()
-                        .ok_or_else(|| PersistError::Malformed("missing mins".into()))?,
-                )?;
-                let maxs = parse_floats(
-                    lines
-                        .next()
-                        .ok_or_else(|| PersistError::Malformed("missing maxs".into()))?,
-                )?;
+                let _len: usize = field(&mut toks, "minmax len")?;
+                let raw_mins = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing mins".into()))?;
+                let raw_maxs = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing maxs".into()))?;
+                check_crc(toks.next(), &[raw_mins, raw_maxs], "aux_minmax")?;
+                let mins = parse_floats(raw_mins)?;
+                let maxs = parse_floats(raw_maxs)?;
                 aux_minmax = Some((mins, maxs));
+            }
+            // Training-state sections and the file seal only exist in
+            // v2; seeing one under a v1 header means the header itself
+            // was corrupted (which would also bypass seal verification).
+            "[train]" | "[optim]" | "[rng]" | "[moment]" | "[crc]" if !v2 => {
+                return Err(PersistError::Malformed(format!(
+                    "v2-only section {} in a v1 checkpoint",
+                    line.split_whitespace().next().unwrap_or("")
+                )));
+            }
+            "[train]" => {
+                tr_epoch = Some(field(&mut toks, "train epoch")?);
+                tr_retries = field(&mut toks, "train retries")?;
+                tr_best = hex_f32(&mut toks, "train best_loss")?;
+                tr_final = hex_f32(&mut toks, "train final_loss")?;
+            }
+            "[optim]" => {
+                opt_t = field(&mut toks, "optim t")?;
+                opt_lr = hex_f32(&mut toks, "optim lr")?;
+            }
+            "[rng]" => {
+                let mut s = [0u64; 4];
+                for slot in &mut s {
+                    *slot = hex_u64(&mut toks, "rng state")?;
+                }
+                rng_state = Some(s);
+            }
+            "[moment]" => {
+                let name: String = field(&mut toks, "moment name")?;
+                let rows: usize = field(&mut toks, "rows")?;
+                let cols: usize = field(&mut toks, "cols")?;
+                let raw_m = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing moment m".into()))?;
+                let raw_v = lines
+                    .next()
+                    .ok_or_else(|| PersistError::Malformed("missing moment v".into()))?;
+                check_crc(toks.next(), &[raw_m, raw_v], &format!("moment {name}"))?;
+                let m = parse_floats(raw_m)?;
+                let v = parse_floats(raw_v)?;
+                if m.len() != rows * cols || v.len() != rows * cols {
+                    return Err(PersistError::Malformed(format!(
+                        "moment {name}: wrong element count for {rows}x{cols}"
+                    )));
+                }
+                moments.push((
+                    name,
+                    Tensor::from_vec(rows, cols, m),
+                    Tensor::from_vec(rows, cols, v),
+                ));
+            }
+            "[crc]" => {
+                // File-level seal, verified before parsing began.
             }
             other => {
                 return Err(PersistError::Malformed(format!("unknown section {other}")));
@@ -334,9 +612,10 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
     };
     let mut model = FusionModel::skeleton(cfg, &head_sizes, vec_dim, aux_dim);
     for (name, t) in params {
-        if !model.ps.set_by_name(&name, t) {
-            return Err(PersistError::Malformed(format!("unknown parameter {name}")));
-        }
+        model
+            .ps
+            .set_by_name(&name, t)
+            .map_err(|e| PersistError::Malformed(format!("parameter {name}: {e}")))?;
     }
     if modality == Modality::Multimodal {
         if dae_gauss.is_empty() {
@@ -344,11 +623,10 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
                 "multimodal checkpoint without DAE".into(),
             ));
         }
-        model.dae = Some(TrainedDae::from_parts(
-            dae,
-            dae_params,
-            GaussRankScaler::from_parts(dae_gauss),
-        ));
+        model.dae = Some(
+            TrainedDae::from_parts(dae, dae_params, GaussRankScaler::from_parts(dae_gauss))
+                .map_err(PersistError::Malformed)?,
+        );
     }
     if !vec_gauss.is_empty() {
         model.raw_vec_scaler = Some(GaussRankScaler::from_parts(vec_gauss));
@@ -356,23 +634,101 @@ pub fn load_model(text: &str) -> Result<FusionModel, PersistError> {
     if let Some((mins, maxs)) = aux_minmax {
         model.aux_scaler = Some(MinMaxScaler::from_parts(mins, maxs));
     }
-    Ok(model)
+    let state = tr_epoch.map(|epoch| TrainState {
+        epoch,
+        retries: tr_retries,
+        t: opt_t,
+        lr: opt_lr,
+        best_loss: tr_best,
+        final_loss: tr_final,
+        moments,
+        rng: rng_state.unwrap_or([0; 4]),
+    });
+    if let Some(st) = &state {
+        model.final_loss = st.final_loss;
+    }
+    Ok((model, state))
 }
 
-/// Save to a file path.
+/// Restore from raw file bytes; non-UTF-8 content (e.g. bit-flipped
+/// files) is a typed [`PersistError::Malformed`], not a panic.
+pub fn load_checkpoint_bytes(
+    bytes: &[u8],
+) -> Result<(FusionModel, Option<TrainState>), PersistError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| PersistError::Malformed("checkpoint is not valid UTF-8".into()))?;
+    load_checkpoint(text)
+}
+
+/// Save to a file path (atomic; no training state).
 pub fn save_to_file(
     model: &FusionModel,
     vec_dim: usize,
     aux_dim: usize,
     path: &std::path::Path,
 ) -> Result<(), PersistError> {
-    std::fs::write(path, save_model(model, vec_dim, aux_dim))?;
+    save_checkpoint_to_file(model, vec_dim, aux_dim, None, path)
+}
+
+/// Atomically save a checkpoint: serialize, write to a sibling temp file,
+/// fsync, rename. A crash at any point leaves either the old checkpoint
+/// or the new one — never a torn file. This is also the `ckpt` fault
+/// injection site: with `MGA_FAULT=ckpt:truncate:…` or `ckpt:bitflip:…`
+/// armed, the serialized bytes are corrupted before the write so loaders
+/// can prove they reject damaged files.
+pub fn save_checkpoint_to_file(
+    model: &FusionModel,
+    vec_dim: usize,
+    aux_dim: usize,
+    state: Option<&TrainState>,
+    path: &std::path::Path,
+) -> Result<(), PersistError> {
+    let mut bytes = save_checkpoint(model, vec_dim, aux_dim, state).into_bytes();
+    if mga_obs::fault::armed() {
+        if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Ckpt) {
+            corrupt_bytes(&mut bytes, shot);
+        }
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("checkpoint");
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
-/// Load from a file path.
+fn corrupt_bytes(bytes: &mut Vec<u8>, shot: mga_obs::fault::Shot) {
+    match shot.kind {
+        mga_obs::fault::Kind::Truncate => {
+            let cut = (shot.draw as usize) % bytes.len().max(1);
+            bytes.truncate(cut);
+        }
+        mga_obs::fault::Kind::BitFlip if !bytes.is_empty() => {
+            let pos = (shot.draw as usize) % bytes.len();
+            let bit = ((shot.draw >> 56) % 8) as u8;
+            bytes[pos] ^= 1 << bit;
+        }
+        _ => {}
+    }
+}
+
+/// Load from a file path (model only).
 pub fn load_from_file(path: &std::path::Path) -> Result<FusionModel, PersistError> {
-    load_model(&std::fs::read_to_string(path)?)
+    load_checkpoint_from_file(path).map(|(m, _)| m)
+}
+
+/// Load from a file path, with any saved training state.
+pub fn load_checkpoint_from_file(
+    path: &std::path::Path,
+) -> Result<(FusionModel, Option<TrainState>), PersistError> {
+    load_checkpoint_bytes(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -442,6 +798,92 @@ mod tests {
     fn load_rejects_garbage() {
         assert!(load_model("not a checkpoint").is_err());
         assert!(load_model("mga-model v1\nbogus_section x\nend\n").is_err());
+        // v2 without its seal is rejected before any parsing.
+        assert!(matches!(
+            load_model("mga-model v2\nmodality Multimodal\nend\n"),
+            Err(PersistError::Malformed(_))
+        ));
+        // Non-UTF-8 bytes are a typed error.
+        assert!(matches!(
+            load_checkpoint_bytes(&[0x6d, 0x67, 0x61, 0xff, 0xfe]),
+            Err(PersistError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn v1_checkpoints_still_load() {
+        // Strip the v2 integrity features from a fresh save to produce a
+        // legacy v1 file: old header, no crc tokens, no [crc] seal.
+        let (ds, task, model, val) = trained(Modality::VectorOnly);
+        let data = task.train_data(&ds);
+        let v2 = save_model(&model, 12, 5);
+        let v1: String = v2
+            .lines()
+            .filter(|l| !l.starts_with("[crc] "))
+            .map(|l| {
+                let l = l.replace("mga-model v2", "mga-model v1");
+                match l.find(" crc=") {
+                    Some(i) => format!("{}\n", &l[..i]),
+                    None => format!("{l}\n"),
+                }
+            })
+            .collect();
+        let restored = load_model(&v1).expect("v1 load");
+        assert_eq!(model.predict(&data, &val), restored.predict(&data, &val));
+    }
+
+    #[test]
+    fn save_load_save_is_a_fixpoint() {
+        let (_, _, model, _) = trained(Modality::Multimodal);
+        let state = TrainState {
+            epoch: 7,
+            retries: 1,
+            t: 7,
+            lr: 0.005,
+            best_loss: 0.25,
+            final_loss: 0.3,
+            moments: model
+                .ps
+                .iter_named()
+                .map(|(n, t)| {
+                    (
+                        n.to_string(),
+                        Tensor::full(t.rows(), t.cols(), 0.125),
+                        Tensor::full(t.rows(), t.cols(), 0.5),
+                    )
+                })
+                .collect(),
+            rng: [1, 2, 3, 4],
+        };
+        let text = save_checkpoint(&model, 12, 5, Some(&state));
+        let (restored, rstate) = load_checkpoint(&text).expect("load");
+        let rstate = rstate.expect("training state survived");
+        assert_eq!(rstate.epoch, 7);
+        assert_eq!(rstate.retries, 1);
+        assert_eq!(rstate.t, 7);
+        assert_eq!(rstate.lr, 0.005);
+        assert_eq!(rstate.rng, [1, 2, 3, 4]);
+        assert_eq!(rstate.moments.len(), state.moments.len());
+        let again = save_checkpoint(&restored, 12, 5, Some(&rstate));
+        assert_eq!(text, again, "save→load→save must be byte-identical");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (_, _, model, _) = trained(Modality::VectorOnly);
+        let text = save_model(&model, 12, 5);
+        // Flip one payload character.
+        let pos = text.find("[param]").unwrap() + 40;
+        let mut bytes = text.clone().into_bytes();
+        bytes[pos] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(
+            matches!(load_model(&flipped), Err(PersistError::Malformed(_))),
+            "bit flip must be caught"
+        );
+        // Truncate mid-file.
+        let cut = &text[..text.len() / 2];
+        assert!(matches!(load_model(cut), Err(PersistError::Malformed(_))));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! In-tree fault-injection smoke test (the full matrix lives in the
+//! `validate_faults` harness binary).
+//!
+//! The fault registry is process-global, so everything runs inside ONE
+//! `#[test]`: Rust's parallel test runner would otherwise interleave an
+//! armed spec into unrelated tests.
+
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{FitOptions, FusionModel, Modality, ModelConfig};
+use mga_core::omp::OmpTask;
+use mga_core::persist::{self, PersistError};
+use mga_core::{GuardrailConfig, OmpDataset, TrainError};
+use mga_dae::DaeConfig;
+use mga_gnn::{GnnConfig, UpdateKind};
+use mga_kernels::catalog::openmp_thread_dataset;
+use mga_obs::fault;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::thread_space;
+
+fn small_cfg(epochs: usize) -> ModelConfig {
+    ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 10,
+            layers: 1,
+            update: UpdateKind::Gru,
+            homogeneous: false,
+        },
+        dae: DaeConfig {
+            input_dim: 12,
+            hidden_dim: 8,
+            code_dim: 4,
+            epochs: 10,
+            ..DaeConfig::default()
+        },
+        hidden: 16,
+        epochs,
+        lr: 0.02,
+        seed: 2,
+    }
+}
+
+#[test]
+fn armed_faults_surface_typed_failures_and_disarm_cleanly() {
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(6).collect();
+    let cpu = CpuSpec::comet_lake();
+    let ds = OmpDataset::build(specs, vec![1e6, 1e8], thread_space(&cpu), cpu, 12, 4);
+    let task = OmpTask::new(&ds);
+    let folds = kfold_by_group(&ds.groups(), 3, 1);
+    let (train, val) = (&folds[0].train, &folds[0].val);
+    let data = task.train_data(&ds);
+    let heads = task.codec.head_sizes();
+    fault::clear();
+
+    // --- grad:nan at probability 1: every epoch fails, the retry budget
+    // drains, and the caller gets a typed RetryBudgetExhausted.
+    fault::set_spec("grad:nan:1.0:1").expect("valid fault spec rejected");
+    let opts = FitOptions {
+        guard: GuardrailConfig {
+            max_retries: 2,
+            ..GuardrailConfig::default()
+        },
+        ..FitOptions::default()
+    };
+    let err = FusionModel::try_fit(small_cfg(12), &data, train, &heads, &opts)
+        .err()
+        .expect("permanent NaN injection did not fail training");
+    match err {
+        TrainError::RetryBudgetExhausted { retries, .. } => assert_eq!(retries, 2),
+        other => panic!("expected RetryBudgetExhausted, got: {other}"),
+    }
+
+    // --- ckpt:truncate at probability 1: the save itself succeeds (the
+    // corruption models a torn write), but loading is a typed Malformed.
+    fault::clear();
+    let clean = FusionModel::fit(small_cfg(8), &data, train, &heads);
+    let path = std::env::temp_dir().join("mga_fault_injection_ckpt.ckpt");
+    fault::set_spec("ckpt:truncate:1.0:4").expect("valid fault spec rejected");
+    persist::save_to_file(&clean, 12, 5, &path).expect("save failed");
+    assert!(
+        matches!(
+            persist::load_from_file(&path),
+            Err(PersistError::Malformed(_))
+        ),
+        "truncated checkpoint was not rejected as Malformed"
+    );
+
+    // --- disarmed: everything is healthy and deterministic again.
+    fault::clear();
+    persist::save_to_file(&clean, 12, 5, &path).expect("clean save failed");
+    let restored = persist::load_from_file(&path).expect("clean checkpoint rejected");
+    assert_eq!(
+        clean.predict(&data, val),
+        restored.predict(&data, val),
+        "round trip changed predictions after disarm"
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,163 @@
+//! Fault-tolerant training without any fault armed: the guardrails must
+//! be invisible on healthy runs, surface typed errors (never panics)
+//! when they do trip, and the checkpoint/resume plumbing must be exact.
+//!
+//! These tests run with `MGA_FAULT` unset; the injected-fault
+//! counterparts live in the `validate_faults` harness binary (CI runs
+//! both).
+
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{FitOptions, FusionModel, Modality, ModelConfig, TrainData};
+use mga_core::omp::OmpTask;
+use mga_core::{GuardrailConfig, OmpDataset, TrainError};
+use mga_dae::DaeConfig;
+use mga_gnn::{GnnConfig, UpdateKind};
+use mga_kernels::catalog::openmp_thread_dataset;
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::thread_space;
+
+fn small_task() -> (OmpDataset, OmpTask, Vec<usize>, Vec<usize>) {
+    let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(6).collect();
+    let cpu = CpuSpec::comet_lake();
+    let ds = OmpDataset::build(specs, vec![1e6, 1e8], thread_space(&cpu), cpu, 12, 4);
+    let task = OmpTask::new(&ds);
+    let folds = kfold_by_group(&ds.groups(), 3, 1);
+    (ds, task, folds[0].train.clone(), folds[0].val.clone())
+}
+
+fn small_cfg(epochs: usize) -> ModelConfig {
+    ModelConfig {
+        modality: Modality::Multimodal,
+        use_aux: true,
+        gnn: GnnConfig {
+            dim: 10,
+            layers: 1,
+            update: UpdateKind::Gru,
+            homogeneous: false,
+        },
+        dae: DaeConfig {
+            input_dim: 12,
+            hidden_dim: 8,
+            code_dim: 4,
+            epochs: 10,
+            ..DaeConfig::default()
+        },
+        hidden: 16,
+        epochs,
+        lr: 0.02,
+        seed: 2,
+    }
+}
+
+fn predictions(m: &FusionModel, data: &TrainData<'_>, val: &[usize]) -> Vec<Vec<usize>> {
+    m.predict(data, val)
+}
+
+/// With default guardrails and no checkpoint, `try_fit` is `fit`:
+/// identical predictions and identical final loss, bit for bit.
+#[test]
+fn healthy_try_fit_matches_fit_exactly() {
+    let (ds, task, train, val) = small_task();
+    let data = task.train_data(&ds);
+    let heads = task.codec.head_sizes();
+
+    let classic = FusionModel::fit(small_cfg(12), &data, &train, &heads);
+    let guarded =
+        FusionModel::try_fit(small_cfg(12), &data, &train, &heads, &FitOptions::default())
+            .expect("guarded training failed on a healthy run");
+
+    assert_eq!(
+        classic.final_loss.to_bits(),
+        guarded.final_loss.to_bits(),
+        "guardrails perturbed the final loss"
+    );
+    assert_eq!(
+        predictions(&classic, &data, &val),
+        predictions(&guarded, &data, &val),
+        "guardrails perturbed predictions"
+    );
+}
+
+/// A tripped guardrail with a zero retry budget is a typed
+/// `RetryBudgetExhausted` wrapping the original failure — not a panic.
+#[test]
+fn exhausted_budget_is_a_typed_error() {
+    let (ds, task, train, _) = small_task();
+    let data = task.train_data(&ds);
+    let heads = task.codec.head_sizes();
+
+    // An absurdly low explosion threshold trips on the very first epoch
+    // of any real run.
+    let opts = FitOptions {
+        guard: GuardrailConfig {
+            explode_norm: 1e-20,
+            max_retries: 0,
+            ..GuardrailConfig::default()
+        },
+        ..FitOptions::default()
+    };
+    let err = FusionModel::try_fit(small_cfg(12), &data, &train, &heads, &opts)
+        .err()
+        .expect("impossible explosion threshold did not trip");
+    match err {
+        TrainError::RetryBudgetExhausted { retries, last } => {
+            assert_eq!(retries, 0);
+            assert!(
+                matches!(*last, TrainError::GradExplosion { .. }),
+                "unexpected failure class: {last}"
+            );
+        }
+        other => panic!("expected RetryBudgetExhausted, got: {other}"),
+    }
+}
+
+/// A finished checkpoint short-circuits a rerun with the same options to
+/// the exact same model, and an incompatible checkpoint is ignored
+/// (fresh training, same result as no checkpoint at all).
+#[test]
+fn checkpoint_resume_and_compat_gate() {
+    let (ds, task, train, val) = small_task();
+    let data = task.train_data(&ds);
+    let heads = task.codec.head_sizes();
+    let path = std::env::temp_dir().join("mga_fault_recovery_resume.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    let opts = FitOptions {
+        checkpoint: Some(&path),
+        ..FitOptions::default()
+    };
+    let first = FusionModel::try_fit(small_cfg(12), &data, &train, &heads, &opts)
+        .expect("checkpointed training failed");
+    assert!(path.exists(), "no checkpoint written");
+
+    // Rerun: the finished checkpoint is loaded and returned as-is.
+    let rerun = FusionModel::try_fit(small_cfg(12), &data, &train, &heads, &opts)
+        .expect("rerun from finished checkpoint failed");
+    assert_eq!(first.final_loss.to_bits(), rerun.final_loss.to_bits());
+    assert_eq!(
+        predictions(&first, &data, &val),
+        predictions(&rerun, &data, &val),
+        "resume from a finished checkpoint changed predictions"
+    );
+
+    // A different config must NOT resume from that file: it trains
+    // fresh and matches a run that never saw the checkpoint.
+    let mut other_cfg = small_cfg(12);
+    other_cfg.seed = 7;
+    let fresh = FusionModel::try_fit(
+        other_cfg.clone(),
+        &data,
+        &train,
+        &heads,
+        &FitOptions::default(),
+    )
+    .expect("fresh training failed");
+    let gated = FusionModel::try_fit(other_cfg, &data, &train, &heads, &opts)
+        .expect("training with incompatible checkpoint failed");
+    assert_eq!(
+        predictions(&fresh, &data, &val),
+        predictions(&gated, &data, &val),
+        "incompatible checkpoint leaked into training"
+    );
+    let _ = std::fs::remove_file(&path);
+}

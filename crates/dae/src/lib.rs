@@ -191,27 +191,28 @@ pub fn pretrain(vectors: &[Vec<f32>], cfg: DaeConfig, rng: &mut StdRng) -> Train
 impl TrainedDae {
     /// Rebuild a trained DAE from a checkpoint: the architecture is
     /// reconstructed from `cfg` and the saved parameter values are
-    /// restored by name.
+    /// restored by name. Errors (instead of panicking) on parameters the
+    /// architecture does not declare or whose shapes differ, so corrupt
+    /// checkpoints surface as typed load failures.
     pub fn from_parts(
         cfg: DaeConfig,
         named_params: Vec<(String, mga_nn::Tensor)>,
         scaler: GaussRankScaler,
-    ) -> TrainedDae {
+    ) -> Result<TrainedDae, String> {
         let mut params = ParamSet::new();
         let mut rng = rand::SeedableRng::seed_from_u64(0);
         let dae = Dae::new(&mut params, "dae", cfg, &mut rng);
         for (name, value) in named_params {
-            assert!(
-                params.set_by_name(&name, value),
-                "checkpoint contains unknown DAE parameter {name}"
-            );
+            params
+                .set_by_name(&name, value)
+                .map_err(|e| format!("DAE checkpoint parameter {name}: {e}"))?;
         }
-        TrainedDae {
+        Ok(TrainedDae {
             dae,
             params,
             scaler,
             final_loss: f32::NAN,
-        }
+        })
     }
 
     /// Encode raw (unscaled) vectors to code features.

@@ -271,7 +271,10 @@ fn parse_function(
     globals: &HashMap<String, u32>,
 ) -> PResult<(Function, usize)> {
     let header = lines[start].trim();
-    let rest = header.strip_prefix("func @").unwrap();
+    let rest = header.strip_prefix("func @").ok_or(ParseError {
+        line: start + 1,
+        msg: "expected `func @` header".into(),
+    })?;
     let open_paren = rest.find('(').ok_or(ParseError {
         line: start + 1,
         msg: "expected `(` in function header".into(),

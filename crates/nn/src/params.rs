@@ -10,6 +10,34 @@ use crate::tensor::Tensor;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
 
+/// Typed failure from [`ParamSet::set_by_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetParamError {
+    /// No parameter with the requested name is registered.
+    UnknownName,
+    /// The registered parameter has a different shape (a checkpoint from
+    /// a different architecture).
+    ShapeMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SetParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetParamError::UnknownName => write!(f, "unknown parameter name"),
+            SetParamError::ShapeMismatch { expected, got } => write!(
+                f,
+                "shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SetParamError {}
+
 struct Entry {
     name: String,
     value: Tensor,
@@ -83,22 +111,41 @@ impl ParamSet {
         self.entries.iter().map(|e| (e.name.as_str(), &e.value))
     }
 
-    /// Overwrite a parameter's value by name; `false` if the name is
-    /// unknown. Panics on shape mismatch (a checkpoint from a different
-    /// architecture).
-    pub fn set_by_name(&mut self, name: &str, value: Tensor) -> bool {
+    /// Overwrite a parameter's value by name. Both failure modes are
+    /// typed (not panics) because they occur when loading checkpoints,
+    /// where corrupt input must surface as an error the caller can map
+    /// to its own `Malformed` variant.
+    pub fn set_by_name(&mut self, name: &str, value: Tensor) -> Result<(), SetParamError> {
         for e in &mut self.entries {
             if e.name == name {
-                assert_eq!(
-                    e.value.shape(),
-                    value.shape(),
-                    "checkpoint shape mismatch for {name}"
-                );
+                if e.value.shape() != value.shape() {
+                    return Err(SetParamError::ShapeMismatch {
+                        expected: e.value.shape(),
+                        got: value.shape(),
+                    });
+                }
                 e.value = value;
-                return true;
+                return Ok(());
             }
         }
-        false
+        Err(SetParamError::UnknownName)
+    }
+
+    /// Clone every parameter value, in id order (epoch-rollback
+    /// snapshots; pair with [`ParamSet::restore_values`]).
+    pub fn clone_values(&self) -> Vec<Tensor> {
+        self.entries.iter().map(|e| e.value.clone()).collect()
+    }
+
+    /// Restore values captured by [`ParamSet::clone_values`] on this same
+    /// set (shapes and ordering must match — this is a rollback, not a
+    /// checkpoint load).
+    pub fn restore_values(&mut self, values: &[Tensor]) {
+        assert_eq!(values.len(), self.entries.len(), "snapshot/param mismatch");
+        for (e, v) in self.entries.iter_mut().zip(values) {
+            assert_eq!(e.value.shape(), v.shape(), "snapshot shape mismatch");
+            e.value = v.clone();
+        }
     }
 
     /// Total number of scalar parameters.

@@ -30,6 +30,7 @@
 //! `pool.jobs` / `pool.chunks` counters plus the `pool.job_chunks` and
 //! `pool.queue_wait_us` histograms in the metrics registry.
 
+use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -65,10 +66,28 @@ struct Job {
     count: usize,
     remaining: AtomicUsize,
     poisoned: AtomicBool,
+    /// Chunks whose task body panicked.
+    panics: AtomicU64,
+    /// First panic observed: (chunk index, rendered payload). Later
+    /// panics keep their count in `panics` but only the first is
+    /// reported, matching how a sequential loop would have died.
+    panic_info: Mutex<Option<(usize, String)>>,
     done: Mutex<bool>,
     cv: Condvar,
     /// Submission time, for the queue-wait histogram.
     created: Instant,
+}
+
+/// Render a panic payload for the report; panics almost always carry a
+/// `&str` or `String` message.
+fn payload_to_string(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -88,9 +107,27 @@ impl Job {
             if i >= self.count {
                 return executed;
             }
-            let task = unsafe { &*self.task.0 };
-            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
-                self.poisoned.store(true, Ordering::Relaxed);
+            // Fast-cancel: once any chunk has panicked the job's output
+            // is unusable, so the rest of the cursor drains without
+            // running task bodies (each still decrements `remaining` so
+            // the submitter's wait completes).
+            if !self.poisoned.load(Ordering::Relaxed) {
+                let task = unsafe { &*self.task.0 };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                    if mga_obs::fault::armed() {
+                        if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Pool) {
+                            panic!("injected pool fault ({:?})", shot.kind);
+                        }
+                    }
+                    task(i)
+                })) {
+                    self.poisoned.store(true, Ordering::Relaxed);
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    let mut first = self.panic_info.lock().unwrap();
+                    if first.is_none() {
+                        *first = Some((i, payload_to_string(payload)));
+                    }
+                }
             }
             executed += 1;
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -109,6 +146,7 @@ struct PoolCounters {
     chunks_submitted: AtomicU64,
     chunks_inline: AtomicU64,
     caller_chunks: AtomicU64,
+    task_panics: AtomicU64,
     worker_chunks: Vec<AtomicU64>,
 }
 
@@ -120,6 +158,7 @@ impl PoolCounters {
             chunks_submitted: AtomicU64::new(0),
             chunks_inline: AtomicU64::new(0),
             caller_chunks: AtomicU64::new(0),
+            task_panics: AtomicU64::new(0),
             worker_chunks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -134,6 +173,7 @@ struct Pool {
     /// add per update.
     m_jobs: &'static mga_obs::metrics::Counter,
     m_chunks: &'static mga_obs::metrics::Counter,
+    m_task_panics: &'static mga_obs::metrics::Counter,
     m_job_chunks: &'static mga_obs::metrics::Histogram,
 }
 
@@ -185,6 +225,7 @@ fn pool() -> &'static Pool {
             counters,
             m_jobs: mga_obs::metrics::counter("pool.jobs"),
             m_chunks: mga_obs::metrics::counter("pool.chunks"),
+            m_task_panics: mga_obs::metrics::counter("pool.task_panics"),
             m_job_chunks: mga_obs::metrics::histogram(
                 "pool.job_chunks",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
@@ -219,7 +260,25 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
             .chunks_inline
             .fetch_add(count as u64, Ordering::Relaxed);
         for i in 0..count {
-            task(i);
+            // Same fault-injection site and panic reporting as the
+            // dispatched path, so single-threaded runs exercise the
+            // identical failure surface.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                if mga_obs::fault::armed() {
+                    if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Pool) {
+                        panic!("injected pool fault ({:?})", shot.kind);
+                    }
+                }
+                task(i)
+            })) {
+                p.counters.task_panics.fetch_add(1, Ordering::Relaxed);
+                p.m_task_panics.inc();
+                let msg = payload_to_string(payload);
+                mga_obs::error!("parallel_for: inline chunk {i} of {count} panicked: {msg}");
+                panic!(
+                    "parallel_for: task for chunk {i}/{count} panicked (1 chunk(s) total): {msg}"
+                );
+            }
         }
         return;
     }
@@ -240,6 +299,8 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
         count,
         remaining: AtomicUsize::new(count),
         poisoned: AtomicBool::new(false),
+        panics: AtomicU64::new(0),
+        panic_info: Mutex::new(None),
         done: Mutex::new(false),
         cv: Condvar::new(),
         created: Instant::now(),
@@ -257,7 +318,20 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
     }
     drop(done);
     if job.poisoned.load(Ordering::Relaxed) {
-        panic!("a parallel_for task panicked");
+        let n = job.panics.load(Ordering::Relaxed);
+        p.counters.task_panics.fetch_add(n, Ordering::Relaxed);
+        p.m_task_panics.add(n);
+        let first = job.panic_info.lock().unwrap().take();
+        let (chunk, msg) =
+            first.unwrap_or_else(|| (usize::MAX, "<panic payload lost>".to_string()));
+        mga_obs::error!(
+            "parallel_for: {n} of {} chunks panicked; first at chunk {chunk}: {msg}",
+            job.count
+        );
+        panic!(
+            "parallel_for: task for chunk {chunk}/{} panicked ({n} chunk(s) total): {msg}",
+            job.count
+        );
     }
 }
 
@@ -294,6 +368,9 @@ pub struct PoolStats {
     /// Pooled chunks executed by submitting threads (includes nested
     /// jobs drained by workers that submitted them).
     pub caller_chunks: u64,
+    /// Task bodies that panicked inside pooled jobs (each also surfaces
+    /// as a `parallel_for` panic on the submitting thread).
+    pub task_panics: u64,
     /// Pooled chunks executed by each worker, indexed by worker.
     pub worker_chunks: Vec<u64>,
 }
@@ -331,6 +408,7 @@ pub fn stats() -> PoolStats {
         chunks_submitted: c.chunks_submitted.load(Ordering::Relaxed),
         chunks_inline: c.chunks_inline.load(Ordering::Relaxed),
         caller_chunks: c.caller_chunks.load(Ordering::Relaxed),
+        task_panics: c.task_panics.load(Ordering::Relaxed),
         worker_chunks: c
             .worker_chunks
             .iter()
@@ -344,13 +422,14 @@ pub fn render_stats() -> String {
     let s = stats();
     let mut out = String::new();
     out.push_str(&format!(
-        "pool: threads={} jobs={} (+{} inline) chunks={} (+{} inline) imbalance={:.2}\n",
+        "pool: threads={} jobs={} (+{} inline) chunks={} (+{} inline) imbalance={:.2} panics={}\n",
         s.threads,
         s.jobs_dispatched,
         s.jobs_inline,
         s.chunks_submitted,
         s.chunks_inline,
         s.imbalance_ratio(),
+        s.task_panics,
     ));
     out.push_str(&format!("  caller chunks: {}\n", s.caller_chunks));
     for (w, n) in s.worker_chunks.iter().enumerate() {
@@ -421,6 +500,7 @@ mod tests {
 
     #[test]
     fn panicking_task_propagates_without_deadlock() {
+        let before = stats().task_panics;
         let result = std::panic::catch_unwind(|| {
             parallel_for(64, |i| {
                 if i == 13 {
@@ -428,7 +508,25 @@ mod tests {
                 }
             });
         });
-        assert!(result.is_err(), "panic in a chunk must surface");
+        let err = result.expect_err("panic in a chunk must surface");
+        // The report names the failing chunk and carries the payload
+        // (unless the pool ran without workers, where the inline path
+        // propagates the original panic unchanged).
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        if num_threads() > 1 {
+            assert!(
+                msg.contains("chunk 13/64") && msg.contains("boom"),
+                "panic report must name the chunk and payload: {msg}"
+            );
+            assert!(stats().task_panics > before, "task_panics must count");
+            assert!(mga_obs::metrics::counter("pool.task_panics").get() > 0);
+        } else {
+            assert!(msg.contains("boom"), "inline path keeps the payload: {msg}");
+        }
         // The pool must still be usable afterwards.
         let n = AtomicUsize::new(0);
         parallel_for(32, |_| {
@@ -484,6 +582,7 @@ mod tests {
             chunks_submitted: 6,
             chunks_inline: 0,
             caller_chunks: 2,
+            task_panics: 0,
             worker_chunks: vec![2, 2],
         };
         assert!((s.imbalance_ratio() - 1.0).abs() < 1e-12, "balanced load");

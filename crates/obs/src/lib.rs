@@ -33,18 +33,22 @@
 //! | `MGA_TRACE=path` | enable span tracing; write span-close events as JSONL to `path` (`MGA_TRACE=1` aggregates without a file) |
 //! | `MGA_METRICS_OUT=path` | write a JSONL metrics snapshot at [`finish`] |
 //! | `MGA_LOG=level` | stderr log level (`error`, `warn`, `info`, `debug`) |
+//! | `MGA_FAULT=spec` | arm deterministic fault injection (see [`fault`]) |
 
+pub mod fault;
 pub mod json;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod trace;
 
-/// Configure tracing and logging from the environment. Idempotent; safe
-/// to call more than once (later calls re-read the variables).
+/// Configure tracing, logging, and fault injection from the environment.
+/// Idempotent; safe to call more than once (later calls re-read the
+/// variables).
 pub fn init_from_env() {
     log::init_from_env();
     trace::init_from_env();
+    fault::init_from_env();
 }
 
 /// End-of-run hook: flush the trace sink, print the aggregated span tree

@@ -19,6 +19,25 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// Export the raw xoshiro256** state (checkpointing). Restoring it
+    /// with [`StdRng::from_state`] resumes the exact output stream.
+    pub fn to_state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from [`StdRng::to_state`]. An all-zero state
+    /// (never produced by a healthy generator, but reachable from a
+    /// corrupt checkpoint) is remapped to a valid seed rather than
+    /// becoming a fixed point that emits zeros forever.
+    pub fn from_state(s: [u64; 4]) -> StdRng {
+        if s == [0; 4] {
+            return StdRng::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> StdRng {
         let mut sm = seed;
