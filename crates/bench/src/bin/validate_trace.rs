@@ -1,11 +1,18 @@
 //! Validate observability artifacts (CI helper).
 //!
-//! Usage: `validate_trace FILE...` — each argument is a `.jsonl` stream
-//! (trace or metrics: one JSON object per line) or a `.json` run
-//! manifest (a single object). Every document must parse with the
-//! strict `mga_obs::json` parser; span events and manifests are
-//! additionally checked for their required fields. Exits nonzero on the
-//! first malformed file, so CI can gate on it.
+//! Usage: `validate_trace [--tape-zero-alloc METRICS] FILE...` — each
+//! positional argument is a `.jsonl` stream (trace or metrics: one JSON
+//! object per line) or a `.json` run manifest (a single object). Every
+//! document must parse with the strict `mga_obs::json` parser; span
+//! events and manifests are additionally checked for their required
+//! fields. Exits nonzero on the first malformed file, so CI can gate on
+//! it.
+//!
+//! `--tape-zero-alloc METRICS` additionally asserts the tape memory
+//! plan held for the run that produced `METRICS`: the
+//! `tape.arena_reuse` counter must be positive (buffers were recycled)
+//! and `tape.steady_alloc_bytes` must exist and be exactly zero (no
+//! steady-state epoch allocated tape-tensor memory).
 
 use mga_obs::json::Json;
 
@@ -67,13 +74,81 @@ fn validate_file(path: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Read a named counter from a metrics JSONL file, if present.
+fn read_counter(path: &str, name: &str) -> Result<Option<f64>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = mga_obs::json::parse(line)
+            .map_err(|e| format!("{path}:{}: invalid JSON: {e}", i + 1))?;
+        if let Json::Obj(obj) = doc {
+            let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+            if matches!(get("name"), Some(Json::Str(n)) if n == name) {
+                if let Some(Json::Num(v)) = get("value") {
+                    return Ok(Some(*v));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Assert the tape memory plan held: buffers were recycled and no
+/// steady-state (replay) epoch allocated.
+fn check_tape_zero_alloc(path: &str) -> Result<(), String> {
+    match read_counter(path, "tape.arena_reuse")? {
+        Some(v) if v > 0.0 => {}
+        Some(_) => {
+            return Err(format!(
+                "{path}: tape.arena_reuse is zero — no buffer reuse"
+            ))
+        }
+        None => return Err(format!("{path}: tape.arena_reuse counter missing")),
+    }
+    match read_counter(path, "tape.steady_alloc_bytes")? {
+        Some(0.0) => Ok(()),
+        Some(v) => Err(format!(
+            "{path}: steady-state epochs allocated {v} bytes of tape memory (must be 0)"
+        )),
+        None => Err(format!(
+            "{path}: tape.steady_alloc_bytes counter missing — did training replay any epoch?"
+        )),
+    }
+}
+
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: validate_trace FILE...");
+    let mut args = std::env::args().skip(1).peekable();
+    let mut files: Vec<String> = Vec::new();
+    let mut tape_zero_alloc: Option<String> = None;
+    while let Some(a) = args.next() {
+        if a == "--tape-zero-alloc" {
+            match args.next() {
+                Some(f) => tape_zero_alloc = Some(f),
+                None => {
+                    eprintln!("--tape-zero-alloc requires a metrics file argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() && tape_zero_alloc.is_none() {
+        eprintln!("usage: validate_trace [--tape-zero-alloc METRICS] FILE...");
         std::process::exit(2);
     }
     let mut failed = false;
+    if let Some(metrics) = &tape_zero_alloc {
+        match check_tape_zero_alloc(metrics) {
+            Ok(()) => println!("{metrics}: tape memory plan OK (steady-state zero-alloc)"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
     for f in &files {
         match validate_file(f) {
             Ok(n) => println!("{f}: OK ({n} documents)"),

@@ -23,7 +23,7 @@ use mga_graph::ProGraph;
 use mga_nn::layers::{Activation, Linear};
 use mga_nn::optim::{AdamW, AdamWState};
 use mga_nn::scaler::{GaussRankScaler, MinMaxScaler};
-use mga_nn::tape::{Tape, Var};
+use mga_nn::tape::{FusedAct, Tape, Var};
 use mga_nn::tensor::Tensor;
 use mga_nn::ParamSet;
 use rand::rngs::StdRng;
@@ -177,6 +177,10 @@ pub struct FusionModel {
     pub head_sizes: Vec<usize>,
     /// Final training loss (diagnostics).
     pub final_loss: f32,
+    /// Persistent training tape: epoch N ≥ 2 replays epoch 1's op
+    /// sequence into recycled buffers, so the steady-state epoch loop
+    /// performs zero tape-tensor heap allocations.
+    pub(crate) tape: Tape,
 }
 
 impl FusionModel {
@@ -245,6 +249,7 @@ impl FusionModel {
             heads,
             head_sizes: head_sizes.to_vec(),
             final_loss: f32::NAN,
+            tape: Tape::new(),
         }
     }
 }
@@ -577,6 +582,7 @@ impl FusionModel {
             heads,
             head_sizes: head_sizes.to_vec(),
             final_loss: f32::MAX,
+            tape: Tape::new(),
         };
         let rng_state = rng.to_state();
         (model, rng_state)
@@ -750,34 +756,35 @@ impl FusionModel {
         if let Some(pre) = &prep.graph_precomputed {
             // Degraded mode: the embeddings were computed outside the
             // tape (no gradient flows into the GNN for this batch).
-            let t = tape.leaf(pre.clone());
+            let t = tape.leaf_ref(pre);
             parts.push(tape.gather_rows(t, &prep.sample_rows));
         } else if let (Some(gnn), Some(batch)) = (&self.gnn, &prep.graph) {
             let kernel_emb = gnn.forward(tape, &self.ps, batch);
             parts.push(tape.gather_rows(kernel_emb, &prep.sample_rows));
         }
         if let Some(codes) = &prep.codes {
-            let codes = tape.leaf(codes.clone());
+            let codes = tape.leaf_ref(codes);
             parts.push(tape.gather_rows(codes, &prep.sample_rows));
         }
         if let Some(vecs) = &prep.raw_vecs {
-            let vecs = tape.leaf(vecs.clone());
+            let vecs = tape.leaf_ref(vecs);
             parts.push(tape.gather_rows(vecs, &prep.sample_rows));
         }
         if let Some(summaries) = &prep.summaries {
-            let t = tape.leaf(summaries.clone());
+            let t = tape.leaf_ref(summaries);
             parts.push(tape.gather_rows(t, &prep.sample_rows));
         }
         if let Some(aux) = &prep.aux {
-            parts.push(tape.leaf(aux.clone()));
+            parts.push(tape.leaf_ref(aux));
         }
         let fused = if parts.len() == 1 {
             parts[0]
         } else {
             tape.concat_cols(&parts)
         };
-        let h = self.trunk.forward(tape, &self.ps, fused);
-        let h = tape.relu(h);
+        let h = self
+            .trunk
+            .forward_act(tape, &self.ps, fused, FusedAct::Relu);
         self.heads
             .iter()
             .map(|head| head.forward(tape, &self.ps, h))
@@ -805,7 +812,12 @@ impl FusionModel {
         opt: &mut AdamW,
     ) -> EpochStats {
         mga_obs::span!("train_epoch");
-        let mut tape = Tape::new();
+        // The persistent tape: taken out for the borrow (forward reads
+        // `&self` while the tape is mutated), returned before exit.
+        // `reset` flips it into replay mode after the first epoch, so
+        // steady-state epochs rebuild the graph into recycled buffers.
+        let mut tape = std::mem::take(&mut self.tape);
+        tape.reset();
         let logits = {
             mga_obs::span!("forward");
             self.forward_prepared(&mut tape, prep)
@@ -829,6 +841,13 @@ impl FusionModel {
             tape.backward(total);
             tape.accumulate_param_grads(&mut self.ps);
         }
+        mga_obs::metrics::counter("tape.alloc_bytes").add(tape.pass_alloc_bytes());
+        mga_obs::metrics::counter("tape.arena_reuse").add(tape.pass_reuse_count());
+        if tape.replaying() {
+            // Steady state: must stay at zero (asserted by validate_trace).
+            mga_obs::metrics::counter("tape.steady_alloc_bytes").add(tape.pass_alloc_bytes());
+        }
+        self.tape = tape;
         if mga_obs::fault::armed() {
             if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Grad) {
                 if shot.kind == mga_obs::fault::Kind::Nan {

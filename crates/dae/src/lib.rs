@@ -12,7 +12,7 @@
 use mga_nn::layers::{Activation, Linear};
 use mga_nn::optim::AdamW;
 use mga_nn::scaler::GaussRankScaler;
-use mga_nn::tape::{Tape, Var};
+use mga_nn::tape::{FusedAct, Tape, Var};
 use mga_nn::tensor::Tensor;
 use mga_nn::ParamSet;
 use rand::rngs::StdRng;
@@ -101,17 +101,14 @@ impl Dae {
 
     /// Encode inputs to the code layer (the features used for fusion).
     pub fn encode(&self, tape: &mut Tape, ps: &ParamSet, x: Var) -> Var {
-        let h = self.enc1.forward(tape, ps, x);
-        let h = tape.sigmoid(h);
-        let c = self.enc2.forward(tape, ps, h);
-        tape.sigmoid(c)
+        let h = self.enc1.forward_act(tape, ps, x, FusedAct::Sigmoid);
+        self.enc2.forward_act(tape, ps, h, FusedAct::Sigmoid)
     }
 
     /// Full reconstruction pass.
     pub fn reconstruct(&self, tape: &mut Tape, ps: &ParamSet, x: Var) -> Var {
         let code = self.encode(tape, ps, x);
-        let h = self.dec1.forward(tape, ps, code);
-        let h = tape.sigmoid(h);
+        let h = self.dec1.forward_act(tape, ps, code, FusedAct::Sigmoid);
         self.dec2.forward(tape, ps, h)
     }
 }

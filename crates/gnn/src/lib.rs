@@ -22,7 +22,7 @@
 
 use mga_graph::{Node, ProGraph, Relation};
 use mga_nn::layers::GruCell;
-use mga_nn::tape::{Tape, Var};
+use mga_nn::tape::{FusedAct, Tape, Var};
 use mga_nn::tensor::Tensor;
 use mga_nn::{init, ParamId, ParamSet};
 use rand::rngs::StdRng;
@@ -104,13 +104,12 @@ impl RelationMessage {
     ) -> Var {
         if srcs.is_empty() {
             let dim = tape.value(h).cols();
-            return tape.leaf(Tensor::zeros(num_nodes, dim));
+            return tape.leaf_zeros(num_nodes, dim);
         }
         let hs = tape.gather_rows(h, srcs);
         let w = tape.param(ps, self.w);
         let b = tape.param(ps, self.b);
-        let msg = tape.matmul(hs, w);
-        let msg = tape.add_bias(msg, b);
+        let msg = tape.linear(hs, w, b, FusedAct::Identity);
         match self.att {
             None => tape.scatter_mean_rows(msg, dsts, num_nodes),
             Some(att) => {
@@ -238,9 +237,7 @@ impl MessageLayer {
                 let cat = tape.concat_cols(&[h, msg]);
                 let wv = tape.param(ps, *w);
                 let bv = tape.param(ps, *b);
-                let o = tape.matmul(cat, wv);
-                let o = tape.add_bias(o, bv);
-                tape.tanh(o)
+                tape.linear(cat, wv, bv, FusedAct::Tanh)
             }
             Update::Gcn { w_self } => {
                 let wv = tape.param(ps, *w_self);

@@ -1,0 +1,149 @@
+//! Chunked elementwise kernels for tape forward/backward passes.
+//!
+//! These replace the per-element closure dispatch of `Tensor::map`/`zip`
+//! with slice loops over fixed-width chunks, which LLVM autovectorizes
+//! (and unrolls even for non-vectorizable transcendentals). Semantics
+//! are exactly scalar `f32`: each output element is produced by the same
+//! single-expression computation as the old iterator path, in the same
+//! order, so results are bit-identical.
+
+const CHUNK: usize = 8;
+
+/// `dst[i] = f(a[i])`, fully overwriting `dst`.
+#[inline]
+pub fn map1_to(dst: &mut [f32], a: &[f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(CHUNK);
+    let mut ac = a.chunks_exact(CHUNK);
+    for (d, s) in (&mut dc).zip(&mut ac) {
+        for i in 0..CHUNK {
+            d[i] = f(s[i]);
+        }
+    }
+    for (d, s) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d = f(*s);
+    }
+}
+
+/// `dst[i] += f(a[i])`. Bitwise-safe even when `dst` aliases the grad
+/// being accumulated: each element adds exactly one product, the same
+/// rounding as the old materialize-then-`add_assign` path.
+#[inline]
+pub fn map1_acc(dst: &mut [f32], a: &[f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(dst.len(), a.len());
+    let mut dc = dst.chunks_exact_mut(CHUNK);
+    let mut ac = a.chunks_exact(CHUNK);
+    for (d, s) in (&mut dc).zip(&mut ac) {
+        for i in 0..CHUNK {
+            d[i] += f(s[i]);
+        }
+    }
+    for (d, s) in dc.into_remainder().iter_mut().zip(ac.remainder()) {
+        *d += f(*s);
+    }
+}
+
+/// `dst[i] = f(a[i], b[i])`, fully overwriting `dst`.
+#[inline]
+pub fn map2_to(dst: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut dc = dst.chunks_exact_mut(CHUNK);
+    let mut ac = a.chunks_exact(CHUNK);
+    let mut bc = b.chunks_exact(CHUNK);
+    for ((d, s), t) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+        for i in 0..CHUNK {
+            d[i] = f(s[i], t[i]);
+        }
+    }
+    for ((d, s), t) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d = f(*s, *t);
+    }
+}
+
+/// `dst[i] += f(a[i], b[i])` (one product per element; see [`map1_acc`]).
+#[inline]
+pub fn map2_acc(dst: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut dc = dst.chunks_exact_mut(CHUNK);
+    let mut ac = a.chunks_exact(CHUNK);
+    let mut bc = b.chunks_exact(CHUNK);
+    for ((d, s), t) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+        for i in 0..CHUNK {
+            d[i] += f(s[i], t[i]);
+        }
+    }
+    for ((d, s), t) in dc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *d += f(*s, *t);
+    }
+}
+
+/// Row-broadcast bias + activation: for each row of `dst` (row length =
+/// `bias.len()`), `dst[r][j] = f(dst[r][j] + bias[j])`. The inner `+` is
+/// its own rounding step, matching the unfused `add_bias` op, and `f`
+/// then matches the separate activation op.
+#[inline]
+pub fn bias_act(dst: &mut [f32], bias: &[f32], f: impl Fn(f32) -> f32) {
+    debug_assert!(bias.is_empty() || dst.len().is_multiple_of(bias.len()));
+    for row in dst.chunks_exact_mut(bias.len().max(1)) {
+        for (o, &b) in row.iter_mut().zip(bias) {
+            *o = f(*o + b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_match_scalar_loops() {
+        let a: Vec<f32> = (0..19).map(|i| (i as f32) * 0.37 - 3.0).collect();
+        let b: Vec<f32> = (0..19).map(|i| (i as f32).sin()).collect();
+        let mut d = vec![0.5f32; 19];
+        map1_to(&mut d, &a, |x| x.tanh());
+        for (o, x) in d.iter().zip(&a) {
+            assert_eq!(o.to_bits(), x.tanh().to_bits());
+        }
+        let mut acc = b.clone();
+        map1_acc(&mut acc, &a, |x| x * 2.0);
+        for ((o, x), y) in acc.iter().zip(&a).zip(&b) {
+            assert_eq!(o.to_bits(), (y + x * 2.0).to_bits());
+        }
+        let mut d2 = vec![0.0f32; 19];
+        map2_to(&mut d2, &a, &b, |x, y| x * y);
+        for ((o, x), y) in d2.iter().zip(&a).zip(&b) {
+            assert_eq!(o.to_bits(), (x * y).to_bits());
+        }
+        let mut acc2 = a.clone();
+        map2_acc(&mut acc2, &a, &b, |x, y| x - y);
+        for ((o, x), y) in acc2.iter().zip(&a).zip(&b) {
+            assert_eq!(o.to_bits(), (x + (x - y)).to_bits());
+        }
+    }
+
+    #[test]
+    fn bias_act_matches_two_pass() {
+        let bias = [0.1f32, -0.2, 0.3];
+        let mut d: Vec<f32> = (0..12).map(|i| (i as f32) * 0.21 - 1.0).collect();
+        let expect: Vec<f32> = d
+            .chunks(3)
+            .flat_map(|row| row.iter().zip(&bias).map(|(x, b)| (x + b).max(0.0)))
+            .collect();
+        bias_act(&mut d, &bias, |z| z.max(0.0));
+        for (o, e) in d.iter().zip(&expect) {
+            assert_eq!(o.to_bits(), e.to_bits());
+        }
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::init;
 use crate::params::{ParamId, ParamSet};
-use crate::tape::{Tape, Var};
+use crate::tape::{FusedAct, Tape, Var};
 use rand::rngs::StdRng;
 
 /// Activation applied by [`Mlp`] hidden layers.
@@ -28,6 +28,16 @@ impl Activation {
             Activation::Sigmoid => tape.sigmoid(x),
             Activation::Tanh => tape.tanh(x),
             Activation::Identity => x,
+        }
+    }
+
+    /// The equivalent fused-kernel activation (see [`Tape::linear`]).
+    pub fn fused(self) -> FusedAct {
+        match self {
+            Activation::Relu => FusedAct::Relu,
+            Activation::Sigmoid => FusedAct::Sigmoid,
+            Activation::Tanh => FusedAct::Tanh,
+            Activation::Identity => FusedAct::Identity,
         }
     }
 }
@@ -70,10 +80,15 @@ impl Linear {
 
     /// Forward: `x [n × in] → [n × out]`.
     pub fn forward(&self, tape: &mut Tape, ps: &ParamSet, x: Var) -> Var {
+        self.forward_act(tape, ps, x, FusedAct::Identity)
+    }
+
+    /// Forward with a fused activation: `act(x W + b)` in one tape op
+    /// (single output buffer, single backward dispatch).
+    pub fn forward_act(&self, tape: &mut Tape, ps: &ParamSet, x: Var, act: FusedAct) -> Var {
         let w = tape.param(ps, self.w);
         let b = tape.param(ps, self.b);
-        let h = tape.matmul(x, w);
-        tape.add_bias(h, b)
+        tape.linear(x, w, b, act)
     }
 }
 
@@ -114,10 +129,12 @@ impl Mlp {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, ps, h);
-            if i != last {
-                h = self.hidden_act.apply(tape, h);
-            }
+            let act = if i != last {
+                self.hidden_act.fused()
+            } else {
+                FusedAct::Identity
+            };
+            h = layer.forward_act(tape, ps, h, act);
         }
         h
     }
@@ -198,22 +215,18 @@ impl GruCell {
     /// One step: `x [n × input_dim]`, `h [n × hidden_dim]` → new hidden
     /// state `[n × hidden_dim]`.
     pub fn forward(&self, tape: &mut Tape, ps: &ParamSet, x: Var, h: Var) -> Var {
-        let gate = |tape: &mut Tape, w: ParamId, u: ParamId, b: ParamId, hin: Var| {
-            let wv = tape.param(ps, w);
-            let uv = tape.param(ps, u);
-            let bv = tape.param(ps, b);
-            let xw = tape.matmul(x, wv);
-            let hu = tape.matmul(hin, uv);
-            let s = tape.add(xw, hu);
-            tape.add_bias(s, bv)
-        };
-        let z = gate(tape, self.wz, self.uz, self.bz, h);
-        let z = tape.sigmoid(z);
-        let r = gate(tape, self.wr, self.ur, self.br, h);
-        let r = tape.sigmoid(r);
+        // Each gate is one fused op: act(x W + h U + b).
+        let gate =
+            |tape: &mut Tape, w: ParamId, u: ParamId, b: ParamId, hin: Var, act: FusedAct| {
+                let wv = tape.param(ps, w);
+                let uv = tape.param(ps, u);
+                let bv = tape.param(ps, b);
+                tape.linear2(x, wv, hin, uv, bv, act)
+            };
+        let z = gate(tape, self.wz, self.uz, self.bz, h, FusedAct::Sigmoid);
+        let r = gate(tape, self.wr, self.ur, self.br, h, FusedAct::Sigmoid);
         let rh = tape.mul(r, h);
-        let htilde = gate(tape, self.wh, self.uh, self.bh, rh);
-        let htilde = tape.tanh(htilde);
+        let htilde = gate(tape, self.wh, self.uh, self.bh, rh, FusedAct::Tanh);
         // h' = h + z ⊙ (h̃ − h)
         let diff = tape.sub(htilde, h);
         let update = tape.mul(z, diff);

@@ -15,6 +15,10 @@
 //!   message passing and whole-graph readout differentiable,
 //! * [`segment`] — the parallel gather/scatter row kernels those ops and
 //!   their backward passes share,
+//! * [`arena`] — the size-class buffer free list behind the tape's
+//!   reset-and-replay memory plan (steady-state epochs allocate nothing),
+//! * [`ew`] — chunked elementwise kernels the tape's fused forward and
+//!   in-place backward passes are built from,
 //! * [`params`] — parameter storage shared between layers and optimizers,
 //! * [`layers`] — `Linear`, `Mlp` and the `GruCell` used by gated graph
 //!   networks,
@@ -27,6 +31,8 @@
 //! Everything is deterministic given a seed; gradients are validated
 //! against finite differences in the test suite.
 
+pub mod arena;
+pub mod ew;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -38,5 +44,5 @@ pub mod tape;
 pub mod tensor;
 
 pub use params::{ParamId, ParamSet};
-pub use tape::{Tape, Var};
+pub use tape::{FusedAct, Tape, Var};
 pub use tensor::Tensor;

@@ -18,19 +18,14 @@ const PAR_ELEMS_THRESHOLD: usize = 1 << 16;
 
 /// `out[i] = src[index[i]]` for row vectors of width `cols`.
 pub fn gather_rows_into(out: &mut [f32], src: &[f32], cols: usize, index: &[u32]) {
-    debug_assert_eq!(out.len(), index.len() * cols);
-    if index.len() * cols >= PAR_ELEMS_THRESHOLD && pool::num_threads() > 1 && index.len() >= 2 {
-        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
-        pool::parallel_ranges(index.len(), |_, lo, hi| {
-            // Output rows [lo, hi) are exclusive to this chunk.
-            let panel = unsafe {
-                std::slice::from_raw_parts_mut(out_ptr.get().add(lo * cols), (hi - lo) * cols)
-            };
-            gather_range(panel, src, cols, &index[lo..hi], None);
-        });
-    } else {
-        gather_range(out, src, cols, index, None);
-    }
+    gather_dispatch(out, src, cols, index, None, false);
+}
+
+/// `out[i] += src[index[i]]` — the scatter-sum backward, accumulate
+/// form. Each output row receives exactly one added row, so in-place
+/// accumulation rounds identically to materialize-then-`add_assign`.
+pub fn gather_rows_acc_into(out: &mut [f32], src: &[f32], cols: usize, index: &[u32]) {
+    gather_dispatch(out, src, cols, index, None, true);
 }
 
 /// `out[i] = src[index[i]] * row_scale[index[i]]` — the scatter-mean
@@ -42,31 +37,73 @@ pub fn gather_rows_scaled_into(
     index: &[u32],
     row_scale: &[f32],
 ) {
+    gather_dispatch(out, src, cols, index, Some(row_scale), false);
+}
+
+/// Accumulate form of [`gather_rows_scaled_into`]: `out[i] +=
+/// src[index[i]] * row_scale[index[i]]` (one product per element).
+pub fn gather_rows_scaled_acc_into(
+    out: &mut [f32],
+    src: &[f32],
+    cols: usize,
+    index: &[u32],
+    row_scale: &[f32],
+) {
+    gather_dispatch(out, src, cols, index, Some(row_scale), true);
+}
+
+fn gather_dispatch(
+    out: &mut [f32],
+    src: &[f32],
+    cols: usize,
+    index: &[u32],
+    scale: Option<&[f32]>,
+    acc: bool,
+) {
     debug_assert_eq!(out.len(), index.len() * cols);
     if index.len() * cols >= PAR_ELEMS_THRESHOLD && pool::num_threads() > 1 && index.len() >= 2 {
         let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
         pool::parallel_ranges(index.len(), |_, lo, hi| {
+            // Output rows [lo, hi) are exclusive to this chunk.
             let panel = unsafe {
                 std::slice::from_raw_parts_mut(out_ptr.get().add(lo * cols), (hi - lo) * cols)
             };
-            gather_range(panel, src, cols, &index[lo..hi], Some(row_scale));
+            gather_range(panel, src, cols, &index[lo..hi], scale, acc);
         });
     } else {
-        gather_range(out, src, cols, index, Some(row_scale));
+        gather_range(out, src, cols, index, scale, acc);
     }
 }
 
-fn gather_range(out: &mut [f32], src: &[f32], cols: usize, index: &[u32], scale: Option<&[f32]>) {
+fn gather_range(
+    out: &mut [f32],
+    src: &[f32],
+    cols: usize,
+    index: &[u32],
+    scale: Option<&[f32]>,
+    acc: bool,
+) {
     for (i, &s) in index.iter().enumerate() {
         let s = s as usize;
         let orow = &mut out[i * cols..(i + 1) * cols];
         let srow = &src[s * cols..(s + 1) * cols];
-        match scale {
-            None => orow.copy_from_slice(srow),
-            Some(sc) => {
+        match (scale, acc) {
+            (None, false) => orow.copy_from_slice(srow),
+            (None, true) => {
+                for (o, &x) in orow.iter_mut().zip(srow) {
+                    *o += x;
+                }
+            }
+            (Some(sc), false) => {
                 let f = sc[s];
                 for (o, &x) in orow.iter_mut().zip(srow) {
                     *o = x * f;
+                }
+            }
+            (Some(sc), true) => {
+                let f = sc[s];
+                for (o, &x) in orow.iter_mut().zip(srow) {
+                    *o += x * f;
                 }
             }
         }
@@ -112,13 +149,21 @@ fn scatter_range(
     index: &[u32],
     mean: bool,
 ) {
-    let mut counts = vec![0u32; hi - lo];
+    // The counts are only consumed by the mean pass; skip the
+    // allocation entirely for the (hot) sum form.
+    let mut counts = if mean {
+        vec![0u32; hi - lo]
+    } else {
+        Vec::new()
+    };
     for (i, &dst) in index.iter().enumerate() {
         let dst = dst as usize;
         if dst < lo || dst >= hi {
             continue;
         }
-        counts[dst - lo] += 1;
+        if mean {
+            counts[dst - lo] += 1;
+        }
         let srow = &src[i * cols..(i + 1) * cols];
         let orow = &mut out[(dst - lo) * cols..(dst - lo + 1) * cols];
         for (o, &x) in orow.iter_mut().zip(srow) {
@@ -233,5 +278,30 @@ mod tests {
     #[test]
     fn row_counts_matches_index() {
         assert_eq!(row_counts(&[0, 2, 2, 2], 4), vec![1, 0, 3, 0]);
+    }
+
+    #[test]
+    fn gather_acc_adds_onto_existing_output() {
+        let src = [1.0, 2.0, 3.0, 4.0]; // 2 rows × 2 cols
+        let index = [1u32, 1];
+        let mut out = vec![10.0; 4];
+        gather_rows_acc_into(&mut out, &src, 2, &index);
+        assert_eq!(out, vec![13.0, 14.0, 13.0, 14.0]);
+    }
+
+    #[test]
+    fn gather_scaled_acc_matches_materialized_add() {
+        let src = [2.0, 4.0, 10.0, 20.0];
+        let index = [1u32, 0];
+        let scale = [0.5, 0.1];
+        let mut direct = vec![0.25; 4];
+        gather_rows_scaled_acc_into(&mut direct, &src, 2, &index, &scale);
+        let mut tmp = vec![0.0; 4];
+        gather_rows_scaled_into(&mut tmp, &src, 2, &index, &scale);
+        let two_pass: Vec<f32> = tmp.iter().map(|x| 0.25 + x).collect();
+        assert!(direct
+            .iter()
+            .zip(&two_pass)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 }

@@ -46,6 +46,54 @@ impl Tensor {
         }
     }
 
+    /// A `0 × 0` placeholder that owns no storage (e.g. a grad slot that
+    /// has not been touched yet).
+    pub fn empty() -> Tensor {
+        Tensor {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Reshape in place to `rows × cols`, keeping the existing heap
+    /// buffer whenever its capacity suffices. Contents are left
+    /// **unspecified** — the caller must fully overwrite them. Returns
+    /// the number of bytes newly allocated (0 when the buffer was
+    /// reused), which the tape feeds into its allocation accounting.
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) -> usize {
+        let len = rows * cols;
+        let grew = len.saturating_sub(self.data.capacity()) * std::mem::size_of::<f32>();
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+        grew
+    }
+
+    /// Take ownership of the backing buffer, leaving `self` empty. Used
+    /// by the tape to return node storage to its arena.
+    pub fn take_data(&mut self) -> Vec<f32> {
+        self.rows = 0;
+        self.cols = 0;
+        std::mem::take(&mut self.data)
+    }
+
+    /// Adopt `data` as the backing buffer for a `rows × cols` view.
+    /// Panics if the length disagrees (the arena hands back exact
+    /// size-class matches).
+    pub fn adopt(&mut self, rows: usize, cols: usize, data: Vec<f32>) {
+        assert_eq!(data.len(), rows * cols, "adopted buffer length mismatch");
+        self.rows = rows;
+        self.cols = cols;
+        self.data = data;
+    }
+
+    /// Overwrite `self` with `src`'s contents (shapes must match).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// A `rows × cols` tensor filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Tensor {
         Tensor {
@@ -221,33 +269,15 @@ impl Tensor {
             "t_matmul row mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        // (A^T B)[i][j] = sum_k A[k][i] * B[k][j]
-        let (m, n) = (self.cols, other.cols);
-        let rows = self.rows;
-        let mut out = Tensor::zeros(m, n);
-        let threads = pool::num_threads();
-        if m * n * rows >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
-            let out_ptr = pool::SendPtr::new(out.data.as_mut_ptr());
-            pool::parallel_ranges(m, |_, lo, hi| {
-                // Output rows [lo, hi) — i.e. columns [lo, hi) of A — are
-                // exclusive to this chunk; k still runs in full order.
-                let panel = unsafe {
-                    std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n)
-                };
-                t_matmul_panel(panel, &self.data, &other.data, rows, self.cols, n, lo, hi);
-            });
-        } else {
-            t_matmul_panel(
-                &mut out.data,
-                &self.data,
-                &other.data,
-                rows,
-                self.cols,
-                n,
-                0,
-                m,
-            );
-        }
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        t_matmul_into(
+            &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+        );
         out
     }
 
@@ -258,44 +288,89 @@ impl Tensor {
             "matmul_t col mismatch: {}x{} vs {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let (m, n, k) = (self.rows, other.rows, self.cols);
-        let mut out = Tensor::zeros(m, n);
-        let threads = pool::num_threads();
-        if m * n * k >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
-            let out_ptr = pool::SendPtr::new(out.data.as_mut_ptr());
-            pool::parallel_ranges(m, |_, lo, hi| {
-                let panel = unsafe {
-                    std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n)
-                };
-                matmul_t_panel(
-                    panel,
-                    &self.data[lo * k..hi * k],
-                    &other.data,
-                    hi - lo,
-                    k,
-                    n,
-                );
-            });
-        } else {
-            matmul_t_panel(&mut out.data, &self.data, &other.data, m, k, n);
-        }
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        matmul_t_into(
+            &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            false,
+        );
         out
+    }
+}
+
+/// `out = a(m×k) × b(n×k)ᵀ` (overwrite), or `out += …` when `acc`. Each
+/// output element is one full dot product followed by a single store or
+/// add, so the `acc` form is bit-identical to materializing the product
+/// and `add_assign`ing it.
+pub fn matmul_t_into(
+    out: &mut [f32],
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    acc: bool,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    let threads = pool::num_threads();
+    if m * n * k >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(m, |_, lo, hi| {
+            let panel =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
+            matmul_t_panel(panel, &a[lo * k..hi * k], b, hi - lo, k, n, acc);
+        });
+    } else {
+        matmul_t_panel(out, a, b, m, k, n, acc);
+    }
+}
+
+/// `out += a(rows×acols)ᵀ × b(rows×n)`; `out` must hold zeros (or a
+/// partial result to accumulate onto, but note the per-element rounding
+/// then interleaves — the tape only passes zeroed buffers).
+pub fn t_matmul_into(out: &mut [f32], a: &[f32], rows: usize, acols: usize, b: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), acols * n);
+    debug_assert_eq!(a.len(), rows * acols);
+    debug_assert_eq!(b.len(), rows * n);
+    let m = acols;
+    let threads = pool::num_threads();
+    if m * n * rows >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(m, |_, lo, hi| {
+            // Output rows [lo, hi) — i.e. columns [lo, hi) of A — are
+            // exclusive to this chunk; k still runs in full order.
+            let panel =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
+            t_matmul_panel(panel, a, b, rows, acols, n, lo, hi);
+        });
+    } else {
+        t_matmul_panel(out, a, b, rows, acols, n, 0, m);
     }
 }
 
 /// Row panel of `A × Bᵀ`: each output row is a set of independent dot
 /// products, so panels are embarrassingly parallel.
-fn matmul_t_panel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+fn matmul_t_panel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize, acc: bool) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[i * n..(i + 1) * n];
         for (j, o) in orow.iter_mut().enumerate() {
             let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
+            let mut dot = 0.0f32;
             for kk in 0..k {
-                acc += arow[kk] * brow[kk];
+                dot += arow[kk] * brow[kk];
             }
-            *o = acc;
+            if acc {
+                *o += dot;
+            } else {
+                *o = dot;
+            }
         }
     }
 }
@@ -350,6 +425,60 @@ pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n:
         });
     } else {
         matmul_panel(out, a, m, k, b, n);
+    }
+}
+
+/// `out += a(m×k) × b(k×n)` without the zero-skip fast path: every
+/// product is accumulated in k-order, so each output element's rounding
+/// (including `-0.0` behavior and NaN propagation) is term-for-term
+/// identical to an unskipped sequential dot product. The backward pass
+/// uses this against a pre-transposed operand to compute `G · Wᵀ` with
+/// bits identical to [`matmul_t_into`]'s dot kernel but a vectorizable
+/// row-major inner loop.
+pub fn matmul_dense_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let flops = m * n * k;
+    let threads = pool::num_threads();
+    if flops >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
+        let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
+        pool::parallel_ranges(m, |_, lo, hi| {
+            let panel =
+                unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
+            matmul_dense_panel(panel, &a[lo * k..hi * k], hi - lo, k, b, n);
+        });
+    } else {
+        matmul_dense_panel(out, a, m, k, b, n);
+    }
+}
+
+fn matmul_dense_panel(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    for k0 in (0..k).step_by(BLOCK_K) {
+        let k1 = (k0 + BLOCK_K).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let av = arow[kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `out[c][r] = a[r][c]` — materialize the transpose of a `rows × cols`
+/// matrix into `out` (`cols × rows`).
+pub fn transpose_into(out: &mut [f32], a: &[f32], rows: usize, cols: usize) {
+    debug_assert_eq!(out.len(), rows * cols);
+    debug_assert_eq!(a.len(), rows * cols);
+    for (r, arow) in a.chunks_exact(cols.max(1)).enumerate() {
+        for (c, &v) in arow.iter().enumerate() {
+            out[c * rows + r] = v;
+        }
     }
 }
 

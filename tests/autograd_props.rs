@@ -20,7 +20,7 @@ fn check(
     let x = tape.leaf(input.clone());
     let loss = build(&mut tape, x);
     tape.backward(loss);
-    let analytic = tape.grad(x);
+    let analytic = tape.grad(x).expect("input must receive a gradient");
     let eps = 1e-2f32;
     for idx in 0..input.len() {
         let f = |delta: f32| {

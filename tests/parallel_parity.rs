@@ -17,6 +17,7 @@
 
 use mga::core::cv::{run_folds, Fold};
 use mga::nn::segment;
+use mga::nn::tape::{FusedAct, Tape};
 use mga::nn::tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -207,6 +208,167 @@ proptest! {
         }
     }
 
+    /// The fused `linear` op (matmul → bias → activation in one node)
+    /// is bitwise-identical to the unfused three-op sequence, values and
+    /// gradients both, at sizes on either side of the parallel matmul
+    /// threshold.
+    #[test]
+    fn fused_linear_matches_unfused_bitwise(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(35000));
+        let (m, k, n) = if seed % 4 == 0 {
+            (160, 100, 160)
+        } else {
+            (
+                rng.gen_range(1usize..24),
+                rng.gen_range(1usize..24),
+                rng.gen_range(1usize..24),
+            )
+        };
+        let x = rand_tensor(&mut rng, m, k);
+        let w = rand_tensor(&mut rng, k, n);
+        let b = rand_tensor(&mut rng, 1, n);
+        let tgt = Tensor::zeros(m, n);
+        for act in [FusedAct::Identity, FusedAct::Relu, FusedAct::Sigmoid, FusedAct::Tanh] {
+            let mut ft = Tape::new();
+            let (fx, fw, fb) = (ft.leaf(x.clone()), ft.leaf(w.clone()), ft.leaf(b.clone()));
+            let fy = ft.linear(fx, fw, fb, act);
+            let fl = ft.mse_loss(fy, &tgt);
+            ft.backward(fl);
+
+            let mut ut = Tape::new();
+            let (ux, uw, ub) = (ut.leaf(x.clone()), ut.leaf(w.clone()), ut.leaf(b.clone()));
+            let h = ut.matmul(ux, uw);
+            let h = ut.add_bias(h, ub);
+            let uy = match act {
+                FusedAct::Identity => h,
+                FusedAct::Relu => ut.relu(h),
+                FusedAct::Sigmoid => ut.sigmoid(h),
+                FusedAct::Tanh => ut.tanh(h),
+            };
+            let ul = ut.mse_loss(uy, &tgt);
+            ut.backward(ul);
+
+            prop_assert_eq!(bits(ft.value(fy).data()), bits(ut.value(uy).data()));
+            for (fv, uv) in [(fx, ux), (fw, uw), (fb, ub)] {
+                prop_assert_eq!(
+                    bits(ft.grad(fv).unwrap().data()),
+                    bits(ut.grad(uv).unwrap().data()),
+                    "fused linear grad diverges for act {:?}", act
+                );
+            }
+        }
+    }
+
+    /// The two-product fused `linear2` (the GRU gate shape,
+    /// `act(xW + hU + b)`) against the unfused five-op sequence.
+    #[test]
+    fn fused_linear2_matches_unfused_bitwise(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(42000));
+        let (m, k, k2, n) = if seed % 4 == 0 {
+            (160, 100, 64, 160)
+        } else {
+            (
+                rng.gen_range(1usize..16),
+                rng.gen_range(1usize..16),
+                rng.gen_range(1usize..16),
+                rng.gen_range(1usize..16),
+            )
+        };
+        let x = rand_tensor(&mut rng, m, k);
+        let w = rand_tensor(&mut rng, k, n);
+        let h0 = rand_tensor(&mut rng, m, k2);
+        let u = rand_tensor(&mut rng, k2, n);
+        let b = rand_tensor(&mut rng, 1, n);
+        let tgt = Tensor::zeros(m, n);
+        for act in [FusedAct::Sigmoid, FusedAct::Tanh] {
+            let mut ft = Tape::new();
+            let fx = ft.leaf(x.clone());
+            let fw = ft.leaf(w.clone());
+            let fh = ft.leaf(h0.clone());
+            let fu = ft.leaf(u.clone());
+            let fb = ft.leaf(b.clone());
+            let fy = ft.linear2(fx, fw, fh, fu, fb, act);
+            let fl = ft.mse_loss(fy, &tgt);
+            ft.backward(fl);
+
+            let mut ut = Tape::new();
+            let ux = ut.leaf(x.clone());
+            let uw = ut.leaf(w.clone());
+            let uh = ut.leaf(h0.clone());
+            let uu = ut.leaf(u.clone());
+            let ub = ut.leaf(b.clone());
+            let xw = ut.matmul(ux, uw);
+            let hu = ut.matmul(uh, uu);
+            let s = ut.add(xw, hu);
+            let s = ut.add_bias(s, ub);
+            let uy = match act {
+                FusedAct::Sigmoid => ut.sigmoid(s),
+                _ => ut.tanh(s),
+            };
+            let ul = ut.mse_loss(uy, &tgt);
+            ut.backward(ul);
+
+            prop_assert_eq!(bits(ft.value(fy).data()), bits(ut.value(uy).data()));
+            for (fv, uv) in [(fx, ux), (fw, uw), (fh, uh), (fu, uu), (fb, ub)] {
+                prop_assert_eq!(
+                    bits(ft.grad(fv).unwrap().data()),
+                    bits(ut.grad(uv).unwrap().data()),
+                    "fused linear2 grad diverges for act {:?}", act
+                );
+            }
+        }
+    }
+
+    /// A replayed epoch (persistent tape, `reset()` + rebuild into
+    /// recycled buffers) is bitwise-identical to running that epoch on a
+    /// fresh tape — and steady-state replays allocate nothing.
+    #[test]
+    fn replayed_epoch_matches_fresh_tape_bitwise(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(49000));
+        let x = rand_tensor(&mut rng, 12, 8);
+        let w0 = rand_tensor(&mut rng, 8, 6);
+        let b0 = rand_tensor(&mut rng, 1, 6);
+        let targets: Vec<u32> = (0..12).map(|_| rng.gen_range(0u32..6)).collect();
+
+        let epoch = |tape: &mut Tape, w: &Tensor, b: &Tensor| -> (f32, Tensor, Tensor) {
+            let xv = tape.leaf_ref(&x);
+            let wv = tape.leaf(w.clone());
+            let bv = tape.leaf(b.clone());
+            let y = tape.linear(xv, wv, bv, FusedAct::Tanh);
+            let loss = tape.softmax_cross_entropy(y, &targets);
+            tape.backward(loss);
+            let l = tape.value(loss).get(0, 0);
+            let gw = tape.grad(wv).unwrap().clone();
+            let gb = tape.grad(bv).unwrap().clone();
+            (l, gw, gb)
+        };
+        let step = |w: &mut Tensor, b: &mut Tensor, gw: &Tensor, gb: &Tensor| {
+            w.axpy(-0.1, gw);
+            b.axpy(-0.1, gb);
+        };
+
+        let mut persistent = Tape::new();
+        let (mut pw, mut pb) = (w0.clone(), b0.clone());
+        let (mut fw, mut fb) = (w0.clone(), b0.clone());
+        for e in 0..4 {
+            persistent.reset();
+            let (pl, pgw, pgb) = epoch(&mut persistent, &pw, &pb);
+            if e >= 1 {
+                prop_assert_eq!(
+                    persistent.pass_alloc_bytes(), 0,
+                    "replay epoch {} allocated", e
+                );
+            }
+            let mut fresh = Tape::new();
+            let (fl, fgw, fgb) = epoch(&mut fresh, &fw, &fb);
+            prop_assert_eq!(pl.to_bits(), fl.to_bits(), "loss diverges at epoch {}", e);
+            prop_assert_eq!(bits(pgw.data()), bits(fgw.data()));
+            prop_assert_eq!(bits(pgb.data()), bits(fgb.data()));
+            step(&mut pw, &mut pb, &pgw, &pgb);
+            step(&mut fw, &mut fb, &fgw, &fgb);
+        }
+    }
+
     /// Fold-parallel CV returns exactly what the sequential fold loop
     /// returns, in fold order, when the evaluation is fold-seeded.
     #[test]
@@ -280,6 +442,30 @@ fn battery() -> Vec<u64> {
     for t in &outs {
         push(t.data());
     }
+    // Fused forward + in-place backward above the parallel matmul
+    // threshold, run as a 3-epoch persistent-tape training loop so the
+    // replay path itself is part of the cross-thread-count checksum.
+    let mut rng = StdRng::seed_from_u64(9090);
+    let x = rand_tensor(&mut rng, 160, 100);
+    let mut w = rand_tensor(&mut rng, 100, 160);
+    let mut b = rand_tensor(&mut rng, 1, 160);
+    let targets: Vec<u32> = (0..160).map(|_| rng.gen_range(0u32..160)).collect();
+    let mut tape = Tape::new();
+    for _ in 0..3 {
+        tape.reset();
+        let xv = tape.leaf_ref(&x);
+        let wv = tape.leaf(w.clone());
+        let bv = tape.leaf(b.clone());
+        let y = tape.linear(xv, wv, bv, FusedAct::Relu);
+        let loss = tape.softmax_cross_entropy(y, &targets);
+        tape.backward(loss);
+        push(tape.value(y).data());
+        let gw = tape.grad(wv).expect("weight grad").clone();
+        let gb = tape.grad(bv).expect("bias grad").clone();
+        push(gw.data());
+        w.axpy(-0.05, &gw);
+        b.axpy(-0.05, &gb);
+    }
     sums
 }
 
@@ -298,23 +484,26 @@ fn mga_threads_1_matches_default_bitwise() {
         return;
     }
     let exe = std::env::current_exe().expect("test binary path");
-    let dump = std::env::temp_dir().join(format!("mga_parity_{}.txt", std::process::id()));
-    let status = std::process::Command::new(exe)
-        .args([
-            "--exact",
-            "mga_threads_1_matches_default_bitwise",
-            "--nocapture",
-        ])
-        .env("MGA_THREADS", "1")
-        .env(DUMP, &dump)
-        .status()
-        .expect("spawn MGA_THREADS=1 child");
-    assert!(status.success(), "sequential child run failed");
-    let text = std::fs::read_to_string(&dump).expect("read parity dump");
-    let _ = std::fs::remove_file(&dump);
-    let child_sums: Vec<u64> = text.lines().map(|l| l.parse().unwrap()).collect();
-    assert_eq!(
-        sums, child_sums,
-        "parallel and MGA_THREADS=1 runs disagree bitwise"
-    );
+    for threads in ["1", "4"] {
+        let dump =
+            std::env::temp_dir().join(format!("mga_parity_{}_{threads}.txt", std::process::id()));
+        let status = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "mga_threads_1_matches_default_bitwise",
+                "--nocapture",
+            ])
+            .env("MGA_THREADS", threads)
+            .env(DUMP, &dump)
+            .status()
+            .expect("spawn thread-count child");
+        assert!(status.success(), "MGA_THREADS={threads} child run failed");
+        let text = std::fs::read_to_string(&dump).expect("read parity dump");
+        let _ = std::fs::remove_file(&dump);
+        let child_sums: Vec<u64> = text.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(
+            sums, child_sums,
+            "default and MGA_THREADS={threads} runs disagree bitwise"
+        );
+    }
 }
