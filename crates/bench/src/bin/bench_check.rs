@@ -2,16 +2,19 @@
 //! `BENCH_train.json` against the committed baseline and fail on
 //! regression.
 //!
-//! Usage: `bench_check BASELINE CURRENT [--max-regression PCT]`.
+//! Usage: `bench_check BASELINE CURRENT [--max-regression PCT] [--gate NAMES]`.
 //!
-//! Both files are `bench_report` output (one `{name, iters,
-//! ns_per_iter}` record per line). Only the steady-state hot paths are
-//! gated — `train_epoch` and `inference_one_sample` — because the other
-//! entries (fold preparation, whole-fold inference) are dominated by
-//! one-off work too noisy for a shared CI runner. A gated entry fails if
-//! its current ns/iter exceeds the baseline by more than the allowed
-//! regression (default 15%). Improvements always pass (and are
-//! reported, so the baseline can be refreshed).
+//! Both files are `bench_report`/`serve_bench` output (one `{name,
+//! iters, ns_per_iter}` record per line). By default only the training
+//! steady-state hot paths are gated — `train_epoch` and
+//! `inference_one_sample` — because the other entries (fold
+//! preparation, whole-fold inference) are dominated by one-off work too
+//! noisy for a shared CI runner; `--gate a,b,c` overrides the gated set
+//! (e.g. `--gate serve_throughput,serve_p99` against `BENCH_serve.json`
+//! baselines). A gated entry fails if its current ns/iter exceeds the
+//! baseline by more than the allowed regression (default 15%).
+//! Improvements always pass (and are reported, so the baseline can be
+//! refreshed).
 
 const GATED: [&str; 2] = ["train_epoch", "inference_one_sample"];
 
@@ -50,6 +53,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut max_regression = 0.15f64;
+    let mut gated: Vec<String> = GATED.iter().map(|s| s.to_string()).collect();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--max-regression" {
@@ -62,13 +66,28 @@ fn main() {
                 });
             max_regression = pct / 100.0;
             i += 2;
+        } else if args[i] == "--gate" {
+            let names = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--gate requires a comma-separated benchmark-name list");
+                std::process::exit(2);
+            });
+            gated = names
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if gated.is_empty() {
+                eprintln!("--gate requires at least one benchmark name");
+                std::process::exit(2);
+            }
+            i += 2;
         } else {
             positional.push(args[i].clone());
             i += 1;
         }
     }
     let [baseline_path, current_path] = positional.as_slice() else {
-        eprintln!("usage: bench_check BASELINE CURRENT [--max-regression PCT]");
+        eprintln!("usage: bench_check BASELINE CURRENT [--max-regression PCT] [--gate NAMES]");
         std::process::exit(2);
     };
 
@@ -82,7 +101,7 @@ fn main() {
     });
 
     let mut failed = false;
-    for name in GATED {
+    for name in &gated {
         let (Some(base), Some(cur)) = (lookup(&baseline, name), lookup(&current, name)) else {
             eprintln!("bench_check: \"{name}\" missing from baseline or current report");
             failed = true;

@@ -3,13 +3,17 @@
 //! best any static-only model or one-shot search tuner can do), best-config
 //! label mass, and per-suite oracle speedups.
 
-use mga_bench::{heading, parse_opts};
+use mga_bench::{exit_on_error, heading, parse_opts, BenchError};
 use mga_kernels::catalog::openmp_thread_dataset;
 use mga_kernels::inputs::openmp_input_sizes;
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::{simulate, thread_space, OmpConfig};
 
 fn main() {
+    exit_on_error("dataset_stats", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     let cpu = CpuSpec::comet_lake();
     let mut specs = openmp_thread_dataset();
@@ -50,7 +54,7 @@ fn main() {
                 .cloned()
                 .enumerate()
                 .min_by(|a, b| a.1.total_cmp(&b.1))
-                .unwrap();
+                .ok_or_else(|| BenchError::missing("kernel with no simulated runtimes"))?;
             label_mass[best_idx] += 1;
             oracle_log += (d / best).ln();
             for (k, &rt) in rts.iter().enumerate() {
@@ -90,4 +94,5 @@ fn main() {
     for (suite, (log_sum, count)) in per_suite {
         println!("  {suite:<16} {:.3}x", (log_sum / count as f64).exp());
     }
+    Ok(())
 }

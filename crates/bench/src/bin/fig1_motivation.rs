@@ -5,11 +5,15 @@
 //!     30 input sizes (the paper reports ≈64 % of combinations needing a
 //!     non-default thread count).
 
-use mga_bench::{bar, heading, parse_opts, thread_dataset};
+use mga_bench::{bar, exit_on_error, heading, parse_opts, thread_dataset, BenchError};
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::{simulate, OmpConfig, Schedule};
 
 fn main() {
+    exit_on_error("fig1_motivation", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     let cpu = CpuSpec::comet_lake();
 
@@ -44,7 +48,7 @@ fn main() {
         .cloned()
         .enumerate()
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap();
+        .ok_or_else(|| BenchError::missing("no timed thread counts"))?;
     let better: Vec<usize> = times
         .iter()
         .enumerate()
@@ -65,7 +69,10 @@ fn main() {
         hist[s.best] += 1;
     }
     let total: usize = hist.iter().sum();
-    let hmax = *hist.iter().max().unwrap() as f64;
+    let hmax = *hist
+        .iter()
+        .max()
+        .ok_or_else(|| BenchError::missing("empty best-thread histogram"))? as f64;
     for (i, &h) in hist.iter().enumerate() {
         println!(
             "{}",
@@ -85,4 +92,5 @@ fn main() {
         total,
         nondefault as f64 / total as f64 * 100.0
     );
+    Ok(())
 }

@@ -7,7 +7,8 @@
 //! accuracy and geomean speedups of 3.4× vs. oracle 3.62×).
 
 use mga_bench::{
-    csv_write, finish_run, geomean, heading, manifest, model_cfg, parse_opts, thread_dataset,
+    csv_write, exit_on_error, finish_run, geomean, heading, manifest, model_cfg, parse_opts,
+    thread_dataset, BenchError,
 };
 use mga_core::cv::{kfold_by_group, run_folds, run_folds_timed};
 use mga_core::metrics::{summarize, SpeedupPair};
@@ -16,6 +17,10 @@ use mga_core::omp::{eval_model_fold_ckpt, eval_tuner_fold, OmpTask};
 use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike};
 
 fn main() {
+    exit_on_error("fig4_thread_prediction", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     // `--seeds N` averages model geomeans over N training seeds (fold
     // assignment stays fixed) to damp single-seed ordering noise.
@@ -101,7 +106,11 @@ fn main() {
         ("BLISS", Box::new(|s| Box::new(BlissLike::new(s)))),
     ];
     for (name, mk) in &tuner_makers {
-        let budget = budgets.iter().find(|(n, _)| n == name).unwrap().1;
+        let budget = budgets
+            .iter()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| BenchError::missing(format!("no eval budget for tuner {name}")))?
+            .1;
         let per_fold: Vec<Vec<SpeedupPair>> = run_folds(&folds, |_, fold| {
             let mut m = |seed: u64| mk(seed);
             eval_tuner_fold(&ds, &mut m, budget, fold).pairs
@@ -169,4 +178,5 @@ fn main() {
         &rows,
     );
     finish_run(&mut man);
+    Ok(())
 }

@@ -8,7 +8,8 @@
 //! BLISS on 28 / 29 / 26 of 30 apps.
 
 use mga_bench::{
-    csv_write, finish_run, geomean, heading, large_space_dataset, manifest, model_cfg, parse_opts,
+    csv_write, exit_on_error, finish_run, geomean, heading, large_space_dataset, manifest,
+    model_cfg, parse_opts, BenchError,
 };
 use mga_core::cv::{leave_one_group_out, run_folds};
 use mga_core::metrics::summarize;
@@ -17,6 +18,10 @@ use mga_core::omp::{eval_model_fold, eval_tuner_fold, OmpTask};
 use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Tuner};
 
 fn main() {
+    exit_on_error("fig7_large_space", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     let ds = large_space_dataset(opts);
     let task = OmpTask::new(&ds);
@@ -99,7 +104,10 @@ fn main() {
         geomean(&ach),
         geomean(&ora)
     );
-    let worst = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    let worst = rows
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .ok_or_else(|| BenchError::missing("no per-application rows to rank"))?;
     println!(
         "worst application: {} ({:.3} normalized; paper: trisolv)",
         worst.0, worst.1
@@ -121,4 +129,5 @@ fn main() {
         .set_str("worst_app", &worst.0)
         .set_float("worst_app_normalized", worst.1);
     finish_run(&mut man);
+    Ok(())
 }

@@ -4,13 +4,19 @@
 //! chunk 8) cuts cache misses and branch mispredictions; improved
 //! performance tracks those reductions.
 
-use mga_bench::{bar, cfg_str, heading, large_space_dataset, model_cfg, parse_opts};
+use mga_bench::{
+    bar, cfg_str, exit_on_error, heading, large_space_dataset, model_cfg, parse_opts, BenchError,
+};
 use mga_core::cv::leave_one_group_out;
 use mga_core::model::{FusionModel, Modality};
 use mga_core::omp::OmpTask;
 use mga_sim::openmp::{simulate, OmpConfig};
 
 fn main() {
+    exit_on_error("fig8_counters", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     let ds = large_space_dataset(opts);
     let task = OmpTask::new(&ds);
@@ -42,7 +48,7 @@ fn main() {
             let db = (ds.samples[b].ws_bytes - target_ws).abs();
             da.total_cmp(&db)
         })
-        .unwrap();
+        .ok_or_else(|| BenchError::missing("empty validation fold"))?;
     let preds = model.predict(&data, &[sample_idx]);
     let heads: Vec<usize> = preds.iter().map(|p| p[0]).collect();
     let cfg_idx = task.codec.decode(&heads);
@@ -83,4 +89,5 @@ fn main() {
         rd.runtime / rp.runtime,
         ds.oracle_speedup(sample)
     );
+    Ok(())
 }

@@ -6,7 +6,9 @@
 //!   * the online tuner (model prior + greedy refinement),
 //!   * cold-started search tuners (no prior).
 
-use mga_bench::{geomean, heading, large_space_dataset, model_cfg, parse_opts};
+use mga_bench::{
+    exit_on_error, geomean, heading, large_space_dataset, model_cfg, parse_opts, BenchError,
+};
 use mga_core::cv::kfold_by_group;
 use mga_core::model::{FusionModel, Modality};
 use mga_core::omp::OmpTask;
@@ -14,6 +16,10 @@ use mga_core::online::evaluate_online;
 use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, Space};
 
 fn main() {
+    exit_on_error("online_tuner", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     let ds = large_space_dataset(opts);
     let task = OmpTask::new(&ds);
@@ -84,7 +90,10 @@ fn main() {
                 let mut tuner = mk(i as u64);
                 let mut ev = Evaluator::new(&ds.specs[s.kernel], s.ws_bytes, &ds.cpu);
                 let chosen = tuner.tune(&space, &mut ev, b);
-                let idx = ds.space.iter().position(|c| *c == chosen).unwrap();
+                let idx =
+                    ds.space.iter().position(|c| *c == chosen).ok_or_else(|| {
+                        BenchError::missing("tuner chose a config outside the space")
+                    })?;
                 speeds.push(ds.achieved_speedup(s, idx));
             }
             row.push_str(&format!("{:<16.3}", geomean(&speeds)));
@@ -105,15 +114,11 @@ fn main() {
         let res = evaluate_online(&ds, &data, &model, &task.codec, &fold.val, budgets[0]);
         geomean(&res.iter().map(|r| r.1).collect::<Vec<_>>())
     };
+    let last_budget = *budgets
+        .last()
+        .ok_or_else(|| BenchError::missing("empty budget list"))?;
     let online_big = {
-        let res = evaluate_online(
-            &ds,
-            &data,
-            &model,
-            &task.codec,
-            &fold.val,
-            *budgets.last().unwrap(),
-        );
+        let res = evaluate_online(&ds, &data, &model, &task.codec, &fold.val, last_budget);
         geomean(&res.iter().map(|r| r.1).collect::<Vec<_>>())
     };
     println!(
@@ -123,8 +128,9 @@ fn main() {
         (online_small / m_geo - 1.0) * 100.0,
         budgets[0],
         (online_big / m_geo - 1.0) * 100.0,
-        budgets.last().unwrap(),
+        last_budget,
         m_geo,
         m_geo / geomean(&oracle) * 100.0
     );
+    Ok(())
 }

@@ -1,0 +1,255 @@
+//! Serving performance snapshot: times the `mga-serve` engine on the
+//! Figure-4 configuration and writes `BENCH_serve.json` (one `{name,
+//! iters, ns_per_iter}` record per line, same schema as
+//! `BENCH_train.json`) so `bench_check` can gate serving regressions.
+//!
+//! Records:
+//! * `serve_one_request` — the synchronous single-request fast path
+//!   (cached static embedding + scaler + trunk/heads), the successor to
+//!   `inference_one_sample` for deployment latency;
+//! * `serve_throughput` — ns per request through the batched engine on
+//!   a steady request stream (the record carries `requests_per_sec` too);
+//! * `serve_p50` / `serve_p95` / `serve_p99` — per-request wall latency
+//!   percentiles over that stream, measured by this driver (the engine
+//!   itself never reads a clock; batching stays deterministic). Each is
+//!   the median over several sessions, since any single session's tail
+//!   is dominated by OS jitter.
+//!
+//! Usage: `cargo run --release --bin serve_bench [--quick] [--seed N]`.
+
+use mga_bench::{
+    exit_on_error, finish_run, manifest, model_cfg, parse_opts, thread_dataset, BenchError,
+};
+use mga_core::cv::kfold_by_group;
+use mga_core::model::{FusionModel, Modality, TrainData};
+use mga_core::omp::OmpTask;
+use mga_serve::{Engine, Request, ServeConfig};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Median ns per call over timed batches (~0.5 s measurement per entry);
+/// same discipline as `bench_report`.
+fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let budget = Duration::from_millis(500);
+    let mut samples = Vec::new();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < budget || iters == 0 {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as f64);
+        iters += 1;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let ns = samples[samples.len() / 2];
+    println!("{name:<28} {ns:>16.1} ns/iter  ({iters} iters)");
+    records.push(format!(
+        "{{\"name\": \"{name}\", \"iters\": {iters}, \"ns_per_iter\": {ns:.1}}}"
+    ));
+    ns
+}
+
+/// Drive `stream` (sample indices) through the engine in submit bursts
+/// of 4 per tick. When `latencies` is given, records each request's
+/// submit→drain wall time in ns (driver-side clock only).
+fn session(
+    engine: &mut Engine<'_>,
+    data: &TrainData<'_>,
+    stream: &[usize],
+    mut latencies: Option<&mut Vec<f64>>,
+) {
+    let mut submit_at: Vec<Instant> = vec![Instant::now(); stream.len()];
+    let mut out = Vec::with_capacity(stream.len());
+    let complete = |out: &mut Vec<mga_serve::Response>,
+                    latencies: &mut Option<&mut Vec<f64>>,
+                    submit_at: &[Instant],
+                    engine: &mut Engine<'_>| {
+        for r in out.drain(..) {
+            if let Some(lat) = latencies.as_deref_mut() {
+                lat.push(submit_at[r.id as usize].elapsed().as_nanos() as f64);
+            }
+            engine.recycle(r);
+        }
+    };
+    for (burst, chunk) in stream.chunks(4).enumerate() {
+        for (j, &i) in chunk.iter().enumerate() {
+            let id = (burst * 4 + j) as u64;
+            submit_at[id as usize] = Instant::now();
+            engine.submit(Request {
+                id,
+                kernel: data.sample_kernel[i],
+                aux: data.aux[i].clone(),
+            });
+        }
+        engine.tick();
+        engine.drain(&mut out);
+        complete(&mut out, &mut latencies, &submit_at, engine);
+    }
+    while engine.queue_depth() > 0 {
+        engine.tick();
+        engine.drain(&mut out);
+        complete(&mut out, &mut latencies, &submit_at, engine);
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    exit_on_error("serve_bench", run());
+}
+
+fn run() -> Result<(), BenchError> {
+    let opts = parse_opts();
+    let ds = thread_dataset(opts);
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 5, opts.seed);
+    let fold = &folds[0];
+    let cfg = model_cfg(opts, Modality::Multimodal, true);
+
+    println!(
+        "serve_bench: Fig. 4 config, {} train / {} val samples, {} threads",
+        fold.train.len(),
+        fold.val.len(),
+        mga_nn::pool::num_threads()
+    );
+
+    let mut man = manifest("serve_bench", opts);
+    man.set_int("train_samples", fold.train.len() as i64)
+        .set_int("val_samples", fold.val.len() as i64);
+
+    let model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
+    let serve_cfg = ServeConfig {
+        max_batch: 8,
+        max_wait_ticks: 2,
+        cache_capacity: 64,
+    };
+    let mut engine = Engine::new(&model, data.graphs, data.vectors, serve_cfg);
+    let prep = model.prepare(&data, &fold.train);
+    let warmed = engine.warm(&prep);
+    man.set_int("warmed_kernels", warmed as i64);
+
+    // Parity gate before timing anything: the engine must reproduce the
+    // training-side predict exactly on the validation fold.
+    let preds = model.predict(&data, &fold.val);
+    let nh = engine.plan().num_heads();
+    let mut cls = vec![0usize; nh];
+    for (j, &i) in fold.val.iter().enumerate() {
+        engine.serve_one(data.sample_kernel[i], &data.aux[i], &mut cls);
+        for (h, pred) in preds.iter().enumerate() {
+            if cls[h] != pred[j] {
+                return Err(BenchError::Invariant(format!(
+                    "serving diverged from predict on sample {i} head {h}: {} vs {}",
+                    cls[h], pred[j]
+                )));
+            }
+        }
+    }
+    println!(
+        "parity: engine == predict on all {} val samples\n",
+        fold.val.len()
+    );
+
+    let mut records = Vec::new();
+
+    // Single-request fast path (the inference_one_sample successor).
+    let val0 = fold.val[0];
+    let (k0, aux0) = (data.sample_kernel[val0], &data.aux[val0]);
+    let one_ns = time("serve_one_request", &mut records, || {
+        engine.serve_one(k0, aux0, &mut cls);
+        std::hint::black_box(&cls);
+    });
+
+    // Steady request stream for throughput and latency percentiles:
+    // validation samples cycled to a fixed request count.
+    let n_requests = if opts.quick { 512 } else { 2048 };
+    let stream: Vec<usize> = (0..n_requests)
+        .map(|r| fold.val[r % fold.val.len()])
+        .collect();
+
+    session(&mut engine, &data, &stream, None); // warm-up pass
+    let budget = Duration::from_millis(500);
+    let mut per_req = Vec::new();
+    let start = Instant::now();
+    let mut sessions = 0u64;
+    while start.elapsed() < budget || sessions == 0 {
+        let t0 = Instant::now();
+        session(&mut engine, &data, &stream, None);
+        per_req.push(t0.elapsed().as_nanos() as f64 / n_requests as f64);
+        sessions += 1;
+    }
+    per_req.sort_by(|a, b| a.total_cmp(b));
+    let thr_ns = per_req[per_req.len() / 2];
+    let rps = 1e9 / thr_ns;
+    println!(
+        "{:<28} {thr_ns:>16.1} ns/iter  ({sessions} sessions, {rps:.0} req/s)",
+        "serve_throughput"
+    );
+    records.push(format!(
+        "{{\"name\": \"serve_throughput\", \"iters\": {sessions}, \"ns_per_iter\": {thr_ns:.1}, \"requests_per_sec\": {rps:.1}}}"
+    ));
+
+    // Tail percentiles are dominated by OS jitter in any single session,
+    // so each percentile is the *median over several sessions* — stable
+    // enough for a one-sided 15% CI gate.
+    const LAT_SESSIONS: usize = 9;
+    let mut per_session: Vec<Vec<f64>> = Vec::with_capacity(LAT_SESSIONS);
+    let mut latencies = Vec::with_capacity(n_requests);
+    for _ in 0..LAT_SESSIONS {
+        latencies.clear();
+        session(&mut engine, &data, &stream, Some(&mut latencies));
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        per_session.push(latencies.clone());
+    }
+    let median_pctl = |p: f64| -> f64 {
+        let mut vals: Vec<f64> = per_session.iter().map(|s| percentile(s, p)).collect();
+        vals.sort_by(|a, b| a.total_cmp(b));
+        vals[vals.len() / 2]
+    };
+    let (p50, p99) = (median_pctl(50.0), median_pctl(99.0));
+    for (name, ns) in [
+        ("serve_p50", p50),
+        ("serve_p95", median_pctl(95.0)),
+        ("serve_p99", p99),
+    ] {
+        println!(
+            "{name:<28} {ns:>16.1} ns/iter  ({n_requests} requests x {LAT_SESSIONS} sessions)"
+        );
+        records.push(format!(
+            "{{\"name\": \"{name}\", \"iters\": {n_requests}, \"ns_per_iter\": {ns:.1}}}"
+        ));
+    }
+
+    let (hits, misses, evictions) = engine.cache().stats();
+    println!(
+        "\ncache: {hits} hits / {misses} misses / {evictions} evictions; \
+         steady-state arena alloc {} bytes, {} buffer reuses",
+        engine.steady_alloc_bytes(),
+        engine.arena_reuse()
+    );
+    engine.publish_metrics();
+    man.set_float("serve_one_request_ns", one_ns)
+        .set_float("serve_throughput_ns", thr_ns)
+        .set_float("requests_per_sec", rps)
+        .set_float("serve_p50_ns", p50)
+        .set_float("serve_p99_ns", p99)
+        .set_int("cache_hits", hits as i64)
+        .set_int("cache_misses", misses as i64)
+        .set_int("steady_alloc_bytes", engine.steady_alloc_bytes() as i64);
+
+    let path = "BENCH_serve.json";
+    let mut fh = std::fs::File::create(path)?;
+    for r in &records {
+        writeln!(fh, "{r}")?;
+    }
+    println!("\nwrote {} records to {path}", records.len());
+    finish_run(&mut man);
+    Ok(())
+}

@@ -7,13 +7,20 @@
 //! systems; speedups 1.3× (oracle 1.34×) and 1.62× (oracle 1.66×) over
 //! static mapping.
 
-use mga_bench::{csv_write, devmap_model_cfg, finish_run, heading, manifest, parse_opts, vec_dim};
+use mga_bench::{
+    csv_write, devmap_model_cfg, exit_on_error, finish_run, heading, manifest, parse_opts, vec_dim,
+    BenchError,
+};
 use mga_core::dataset::OclDataset;
 use mga_core::devmap::run_devmap;
 use mga_core::model::Modality;
 use mga_sim::gpu::GpuSpec;
 
 fn main() {
+    exit_on_error("table3_device_mapping", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let opts = parse_opts();
     let mut specs = mga_kernels::catalog::opencl_catalog();
     if opts.quick {
@@ -111,9 +118,9 @@ fn main() {
                 .iter()
                 .find(|(d, mm, _)| d == dev && mm.starts_with(m))
                 .map(|(_, _, r)| r.accuracy)
-                .unwrap()
+                .ok_or_else(|| BenchError::missing(format!("no {m} result for {dev}")))
         };
-        let (mga, ir2v, prog) = (of("MGA"), of("IR2Vec"), of("PROGRAML"));
+        let (mga, ir2v, prog) = (of("MGA")?, of("IR2Vec")?, of("PROGRAML")?);
         println!(
             "{dev}: MGA {:.1}% vs best unimodal {:.1}% — multimodal wins: {}",
             mga * 100.0,
@@ -122,4 +129,5 @@ fn main() {
         );
     }
     finish_run(&mut man);
+    Ok(())
 }

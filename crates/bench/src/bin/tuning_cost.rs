@@ -6,13 +6,17 @@
 //! evaluations) and ≈220 s (BLISS). The MGA cost is independent of the
 //! search-space size; the search tuners pay per evaluation.
 
-use mga_bench::{cfg_str, heading, parse_opts};
+use mga_bench::{cfg_str, exit_on_error, heading, parse_opts, BenchError};
 use mga_kernels::catalog::openmp_catalog;
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::{large_space, simulate, OmpConfig};
 use mga_tuners::{bliss::BlissLike, opentuner::OpenTunerLike, ytopt::YtoptLike, Evaluator, Space};
 
 fn main() {
+    exit_on_error("tuning_cost", run());
+}
+
+fn run() -> Result<(), BenchError> {
     let _opts = parse_opts();
     let cpu = CpuSpec::skylake_4114();
     let spec = openmp_catalog()
@@ -61,7 +65,11 @@ fn main() {
         let mut ev = Evaluator::new(&spec, ws, &cpu);
         let chosen = tuner.tune(&space, &mut ev, *budget);
         let chosen_rt = simulate(&spec, ws, &chosen, &cpu).runtime;
-        let paper_s = paper.iter().find(|(n, _)| n == name).unwrap().1;
+        let paper_s = paper
+            .iter()
+            .find(|(n, _)| n == name)
+            .ok_or_else(|| BenchError::missing(format!("no paper cost figure for tuner {name}")))?
+            .1;
         println!(
             "{name:<10} {:.0}s over {} evaluations -> {} ({:.2}x speedup)   (paper: ~{paper_s:.0}s)",
             ev.spent_seconds,
@@ -75,4 +83,5 @@ fn main() {
         "\nMGA's cost is flat in the search-space size; the search tuners pay\n\
          per evaluation and grow with the space (the paper's conclusion)."
     );
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Validate observability artifacts (CI helper).
 //!
-//! Usage: `validate_trace [--tape-zero-alloc METRICS] FILE...` — each
+//! Usage: `validate_trace [--tape-zero-alloc METRICS]
+//! [--serve-zero-alloc METRICS] FILE...` — each
 //! positional argument is a `.jsonl` stream (trace or metrics: one JSON
 //! object per line) or a `.json` run manifest (a single object). Every
 //! document must parse with the strict `mga_obs::json` parser; span
@@ -13,6 +14,11 @@
 //! `tape.arena_reuse` counter must be positive (buffers were recycled)
 //! and `tape.steady_alloc_bytes` must exist and be exactly zero (no
 //! steady-state epoch allocated tape-tensor memory).
+//!
+//! `--serve-zero-alloc METRICS` asserts the same discipline for the
+//! serving engine: `serve.arena_reuse` positive and
+//! `serve.steady_alloc_bytes` exactly zero — steady-state request
+//! serving must not touch the allocator for scratch.
 
 use mga_obs::json::Json;
 
@@ -118,16 +124,41 @@ fn check_tape_zero_alloc(path: &str) -> Result<(), String> {
     }
 }
 
+/// Assert the serving engine's memory plan held: scratch cycled through
+/// the arena and nothing was allocated after the construction prewarm.
+fn check_serve_zero_alloc(path: &str) -> Result<(), String> {
+    match read_counter(path, "serve.arena_reuse")? {
+        Some(v) if v > 0.0 => {}
+        Some(_) => {
+            return Err(format!(
+                "{path}: serve.arena_reuse is zero — serving scratch was not recycled"
+            ))
+        }
+        None => return Err(format!("{path}: serve.arena_reuse gauge missing")),
+    }
+    match read_counter(path, "serve.steady_alloc_bytes")? {
+        Some(0.0) => Ok(()),
+        Some(v) => Err(format!(
+            "{path}: steady-state serving allocated {v} bytes of scratch (must be 0)"
+        )),
+        None => Err(format!(
+            "{path}: serve.steady_alloc_bytes gauge missing — did the engine publish metrics?"
+        )),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut files: Vec<String> = Vec::new();
     let mut tape_zero_alloc: Option<String> = None;
+    let mut serve_zero_alloc: Option<String> = None;
     while let Some(a) = args.next() {
-        if a == "--tape-zero-alloc" {
+        if a == "--tape-zero-alloc" || a == "--serve-zero-alloc" {
             match args.next() {
-                Some(f) => tape_zero_alloc = Some(f),
+                Some(f) if a == "--tape-zero-alloc" => tape_zero_alloc = Some(f),
+                Some(f) => serve_zero_alloc = Some(f),
                 None => {
-                    eprintln!("--tape-zero-alloc requires a metrics file argument");
+                    eprintln!("{a} requires a metrics file argument");
                     std::process::exit(2);
                 }
             }
@@ -135,14 +166,25 @@ fn main() {
             files.push(a);
         }
     }
-    if files.is_empty() && tape_zero_alloc.is_none() {
-        eprintln!("usage: validate_trace [--tape-zero-alloc METRICS] FILE...");
+    if files.is_empty() && tape_zero_alloc.is_none() && serve_zero_alloc.is_none() {
+        eprintln!(
+            "usage: validate_trace [--tape-zero-alloc METRICS] [--serve-zero-alloc METRICS] FILE..."
+        );
         std::process::exit(2);
     }
     let mut failed = false;
     if let Some(metrics) = &tape_zero_alloc {
         match check_tape_zero_alloc(metrics) {
             Ok(()) => println!("{metrics}: tape memory plan OK (steady-state zero-alloc)"),
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(metrics) = &serve_zero_alloc {
+        match check_serve_zero_alloc(metrics) {
+            Ok(()) => println!("{metrics}: serve memory plan OK (steady-state zero-alloc)"),
             Err(e) => {
                 eprintln!("{e}");
                 failed = true;

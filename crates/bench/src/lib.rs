@@ -13,6 +13,63 @@ use mga_kernels::KernelSpec;
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::OmpConfig;
 
+/// Typed failure of an experiment binary's evaluation/report path —
+/// replaces ad-hoc `unwrap()`s so a malformed dataset or an empty result
+/// set exits with a named cause instead of a panic backtrace.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Filesystem failure writing or reading a report artifact.
+    Io(std::io::Error),
+    /// An eval invariant did not hold (empty result set, missing series
+    /// entry, unknown configuration) — the message names what and where.
+    MissingData(String),
+    /// A hard correctness invariant was violated (e.g. serving diverged
+    /// from the training-side predict) — always a bug, never noise.
+    Invariant(String),
+}
+
+impl BenchError {
+    /// Shorthand for the pervasive "this collection should not have been
+    /// empty / this key should have existed" case.
+    pub fn missing(what: impl Into<String>) -> BenchError {
+        BenchError::MissingData(what.into())
+    }
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "I/O error: {e}"),
+            BenchError::MissingData(what) => write!(f, "missing data: {what}"),
+            BenchError::Invariant(what) => write!(f, "invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io(e) => Some(e),
+            BenchError::MissingData(_) | BenchError::Invariant(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> BenchError {
+        BenchError::Io(e)
+    }
+}
+
+/// Exit path for experiment `main`s: print the error with the binary's
+/// name and exit 1, so CI logs name the failing experiment.
+pub fn exit_on_error(bin: &str, result: Result<(), BenchError>) {
+    if let Err(e) = result {
+        eprintln!("{bin}: {e}");
+        std::process::exit(1);
+    }
+}
+
 /// Common command-line options.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOpts {

@@ -265,6 +265,9 @@ impl FusionModel {
 /// leaves. This is what makes the epoch loop cheap: the per-epoch cost
 /// is the differentiable part of the model, not the feature pipeline.
 pub struct PreparedBatch {
+    /// Distinct kernel ids of the batch, sorted — row `r` of every
+    /// per-kernel table below belongs to `kernels[r]`.
+    kernels: Vec<usize>,
     /// Per sample: its kernel's row in the batch-local kernel tables.
     sample_rows: Vec<u32>,
     /// Packed flow graphs of the batch's distinct kernels.
@@ -284,6 +287,40 @@ pub struct PreparedBatch {
     summaries: Option<Tensor>,
     /// Min-max-scaled auxiliary features, one row per *sample*.
     aux: Option<Tensor>,
+}
+
+impl PreparedBatch {
+    /// Distinct kernel ids of the batch, sorted (row order of the
+    /// per-kernel tables). Serving uses this to key its embedding cache.
+    pub fn kernels(&self) -> &[usize] {
+        &self.kernels
+    }
+
+    /// Number of samples in the batch.
+    pub fn num_samples(&self) -> usize {
+        self.sample_rows.len()
+    }
+}
+
+/// Borrowed snapshot of the trained classifier for plan compilation
+/// (`mga-serve`): the packed trunk/head weights and the dynamic-feature
+/// scaler — everything a request needs that is not a per-kernel static
+/// embedding.
+pub struct ModelExport<'a> {
+    /// Trunk weight `[in_dim × hidden]` and bias `[1 × hidden]`.
+    pub trunk_w: &'a Tensor,
+    pub trunk_b: &'a Tensor,
+    /// Per classification head: weight `[hidden × classes]` and bias.
+    pub heads: Vec<(&'a Tensor, &'a Tensor)>,
+    pub head_sizes: &'a [usize],
+    /// Scaler for the dynamic (auxiliary) features; `None` when the
+    /// model runs static-only.
+    pub aux_scaler: Option<&'a MinMaxScaler>,
+    /// Total trunk input width; the per-kernel static prefix occupies
+    /// `in_dim - aux_dim` columns, the scaled aux row the rest.
+    pub in_dim: usize,
+    pub aux_dim: usize,
+    pub hidden: usize,
 }
 
 impl FusionModel {
@@ -681,6 +718,7 @@ impl FusionModel {
             Tensor::from_vec(idx.len(), dims, rows)
         });
         PreparedBatch {
+            kernels,
             sample_rows,
             graph,
             graph_precomputed,
@@ -885,28 +923,126 @@ impl FusionModel {
     }
 
     /// Predict head classes for a set of samples: `out[h][j]` is head
-    /// `h`'s class for the j-th index.
+    /// `h`'s class for the j-th index. Builds a fresh [`PreparedBatch`]
+    /// per call — repeated evaluation over the same samples should
+    /// [`FusionModel::prepare`] once and call
+    /// [`FusionModel::predict_prepared`] instead.
     pub fn predict(&self, data: &TrainData<'_>, idx: &[usize]) -> Vec<Vec<usize>> {
+        let prep = self.prepare(data, idx);
+        self.predict_prepared(&prep)
+    }
+
+    /// Predict head classes over an already-prepared batch, skipping the
+    /// kernel dedup / graph batching / DAE encoding / scaler work that
+    /// [`FusionModel::prepare`] hoists out.
+    pub fn predict_prepared(&self, prep: &PreparedBatch) -> Vec<Vec<usize>> {
         mga_obs::span!("model.predict");
         let mut tape = Tape::new();
-        let prep = self.prepare(data, idx);
-        let logits = self.forward_prepared(&mut tape, &prep);
+        let logits = self.forward_prepared(&mut tape, prep);
         logits
             .iter()
             .map(|lg| {
                 let t = tape.value(*lg);
                 (0..t.rows())
-                    .map(|r| {
-                        let row = t.row_slice(r);
-                        row.iter()
-                            .enumerate()
-                            .max_by(|a, b| a.1.total_cmp(b.1))
-                            .map(|(i, _)| i)
-                            .unwrap_or(0)
-                    })
+                    .map(|r| mga_nn::infer::argmax(t.row_slice(r)))
                     .collect()
             })
             .collect()
+    }
+
+    /// Snapshot the classifier weights for inference-plan compilation.
+    pub fn export(&self) -> ModelExport<'_> {
+        let trunk_w = self.ps.value(self.trunk.w);
+        ModelExport {
+            trunk_w,
+            trunk_b: self.ps.value(self.trunk.b),
+            heads: self
+                .heads
+                .iter()
+                .map(|h| (self.ps.value(h.w), self.ps.value(h.b)))
+                .collect(),
+            head_sizes: &self.head_sizes,
+            aux_scaler: self.aux_scaler.as_ref(),
+            in_dim: trunk_w.rows(),
+            aux_dim: self.aux_scaler.as_ref().map(|s| s.dims()).unwrap_or(0),
+            hidden: self.cfg.hidden,
+        }
+    }
+
+    /// The fused static-feature row of one kernel — the per-kernel prefix
+    /// of the trunk input (graph readout ⊕ DAE code ⊕ scaled raw vector ⊕
+    /// graph summary, in [`FusionModel::forward_prepared`] part order),
+    /// computed outside any training tape. Every kernel involved is
+    /// row-stable under batching, so the row is bitwise-identical to the
+    /// one the same kernel gets inside any [`PreparedBatch`]. Degenerate
+    /// graphs (no nodes or no instructions) contribute a zero graph block
+    /// — `prepare`'s batch-mean fallback is batch-dependent and therefore
+    /// not cacheable.
+    pub fn static_embedding(&self, graph: &ProGraph, vector: &[f32]) -> Vec<f32> {
+        mga_obs::span!("model.static_embedding");
+        let mut row = Vec::new();
+        if let Some(gnn) = &self.gnn {
+            if graph.num_nodes() == 0 || graph.instruction_node_ids().is_empty() {
+                mga_obs::metrics::counter("model.degraded_graphs").inc();
+                row.extend(std::iter::repeat_n(0.0f32, self.cfg.gnn.dim));
+            } else {
+                let batch = GraphBatch::single(graph);
+                let mut tape = Tape::new();
+                let emb = gnn.forward(&mut tape, &self.ps, &batch);
+                row.extend_from_slice(tape.value(emb).row_slice(0));
+            }
+        }
+        if let Some(dae) = &self.dae {
+            let codes = dae.encode_vectors(&[vector.to_vec()]);
+            row.extend_from_slice(codes.row_slice(0));
+        }
+        if let Some(scaler) = &self.raw_vec_scaler {
+            let mut v = vector.to_vec();
+            scaler.transform_row(&mut v);
+            row.extend_from_slice(&v);
+        }
+        if self.cfg.modality == Modality::EarlyFusion {
+            row.extend(graph_summary(graph));
+        }
+        row
+    }
+
+    /// Per-kernel fused static embeddings of a prepared batch: row `r` is
+    /// the static trunk-input prefix of `prep.kernels()[r]`, in the same
+    /// column order as [`FusionModel::static_embedding`]. Used to warm
+    /// the serving cache from preparation work already done. Returns
+    /// `None` when the batch took the degraded graph path — those rows
+    /// hold batch-dependent mean embeddings that must not be cached.
+    pub fn static_embeddings_prepared(&self, prep: &PreparedBatch) -> Option<Tensor> {
+        if prep.graph_precomputed.is_some() {
+            return None;
+        }
+        let graph_vals = match (&self.gnn, &prep.graph) {
+            (Some(gnn), Some(batch)) => {
+                let mut tape = Tape::new();
+                let emb = gnn.forward(&mut tape, &self.ps, batch);
+                Some(tape.value(emb).clone())
+            }
+            _ => None,
+        };
+        let parts: Vec<&Tensor> = [
+            graph_vals.as_ref(),
+            prep.codes.as_ref(),
+            prep.raw_vecs.as_ref(),
+            prep.summaries.as_ref(),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let n = prep.kernels.len();
+        let width: usize = parts.iter().map(|t| t.cols()).sum();
+        let mut rows: Vec<f32> = Vec::with_capacity(n * width);
+        for r in 0..n {
+            for t in &parts {
+                rows.extend_from_slice(t.row_slice(r));
+            }
+        }
+        Some(Tensor::from_vec(n, width, rows))
     }
 
     /// Number of trainable scalar parameters.

@@ -67,18 +67,30 @@ impl<'a> OnlineTuner<'a> {
     }
 
     /// Tune one sample: predict, then refine with real feedback from
-    /// `eval` (which returns the runtime of a config index).
+    /// `eval` (which returns the runtime of a config index). When tuning
+    /// many samples against the same model, [`evaluate_online`] is
+    /// cheaper: it prepares the whole batch once and calls
+    /// [`OnlineTuner::tune_from`] with precomputed starting points.
     pub fn tune(
         &self,
         data: &TrainData<'_>,
         sample_idx: usize,
         space: &[OmpConfig],
-        mut eval: impl FnMut(usize) -> f64,
+        eval: impl FnMut(usize) -> f64,
     ) -> OnlineResult {
         let preds = self.model.predict(data, &[sample_idx]);
         let heads: Vec<usize> = preds.iter().map(|p| p[0]).collect();
         let start = self.codec.decode(&heads);
+        self.tune_from(start, space, eval)
+    }
 
+    /// Refine from an already-predicted starting configuration.
+    pub fn tune_from(
+        &self,
+        start: usize,
+        space: &[OmpConfig],
+        mut eval: impl FnMut(usize) -> f64,
+    ) -> OnlineResult {
         let mut evals = 0usize;
         let mut best = (start, eval(start));
         evals += 1;
@@ -114,6 +126,11 @@ impl<'a> OnlineTuner<'a> {
 
 /// Convenience: run the online tuner over a set of dataset samples,
 /// returning (model-only, refined) speedup pairs.
+///
+/// The model pass is batched: one [`FusionModel::prepare`] /
+/// [`FusionModel::predict_prepared`] over all samples replaces the
+/// per-sample prepare-predict that `tune` would run, so the feature
+/// pipeline (graph batching, DAE encoding, scaling) executes once.
 pub fn evaluate_online(
     ds: &OmpDataset,
     data: &TrainData<'_>,
@@ -123,11 +140,16 @@ pub fn evaluate_online(
     budget: usize,
 ) -> Vec<(f64, f64, usize)> {
     let tuner = OnlineTuner::new(model, codec, budget);
+    let prep = model.prepare(data, sample_indices);
+    let preds = model.predict_prepared(&prep);
     sample_indices
         .iter()
-        .map(|&i| {
+        .enumerate()
+        .map(|(j, &i)| {
             let s: &OmpSample = &ds.samples[i];
-            let r = tuner.tune(data, i, &ds.space, |cfg| s.runtimes[cfg]);
+            let heads: Vec<usize> = preds.iter().map(|p| p[j]).collect();
+            let start = codec.decode(&heads);
+            let r = tuner.tune_from(start, &ds.space, |cfg| s.runtimes[cfg]);
             (
                 ds.achieved_speedup(s, r.model_config),
                 ds.achieved_speedup(s, r.refined_config),

@@ -348,12 +348,13 @@ impl GraphBatch {
                 batch.vocab_ids.push(n.vocab_index() as u32);
             }
             for r in Relation::ALL {
-                for e in &g.edges[r.index()] {
-                    batch.edge_src[r.index()].push(base + e.src);
-                    batch.edge_dst[r.index()].push(base + e.dst);
-                }
+                // The graph's cached endpoint lists (shared with CSR
+                // construction) — only the base offset is batch-specific.
+                let (srcs, dsts) = g.edge_endpoints(r);
+                batch.edge_src[r.index()].extend(srcs.iter().map(|&s| base + s));
+                batch.edge_dst[r.index()].extend(dsts.iter().map(|&d| base + d));
             }
-            for i in g.instruction_nodes() {
+            for &i in g.instruction_node_ids() {
                 batch.instr_nodes.push(base + i);
                 batch.instr_graph.push(gi as u32);
             }

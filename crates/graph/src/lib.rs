@@ -92,6 +92,13 @@ pub struct ProGraph {
     pub nodes: Vec<Node>,
     /// Edge lists per relation, indexed by [`Relation::index`].
     pub edges: [Vec<Edge>; 3],
+    /// Lazily derived per-relation endpoint lists (parallel `src`/`dst`
+    /// vectors in edge order) — the single edge-list pass shared by
+    /// message-passing batch packing and CSR construction. Built on first
+    /// query; `edges` must not be mutated afterwards.
+    endpoints: [std::sync::OnceLock<(Vec<u32>, Vec<u32>)>; 3],
+    /// Lazily derived instruction-node index list (readout pooling).
+    instr_nodes: std::sync::OnceLock<Vec<u32>>,
 }
 
 impl ProGraph {
@@ -109,23 +116,55 @@ impl ProGraph {
 
     /// Indices of instruction nodes (used for readout pooling).
     pub fn instruction_nodes(&self) -> Vec<u32> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.is_instruction())
-            .map(|(i, _)| i as u32)
-            .collect()
+        self.instruction_node_ids().to_vec()
+    }
+
+    /// Cached instruction-node index list: derived once, shared by every
+    /// [`GraphBatch`-style] packing of this graph. The node list must not
+    /// be mutated after the first call.
+    pub fn instruction_node_ids(&self) -> &[u32] {
+        self.instr_nodes.get_or_init(|| {
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.is_instruction())
+                .map(|(i, _)| i as u32)
+                .collect()
+        })
+    }
+
+    /// Per-relation edge endpoints as parallel `(src, dst)` vectors in
+    /// edge order — the layout message passing consumes. Derived by one
+    /// edge-list pass on first use and cached, so repeated graph batching
+    /// and CSR construction share the same pass instead of re-walking
+    /// `edges` each time. `edges` must not be mutated after the first
+    /// call.
+    pub fn edge_endpoints(&self, r: Relation) -> (&[u32], &[u32]) {
+        let (src, dst) = self.endpoints[r.index()].get_or_init(|| {
+            let es = &self.edges[r.index()];
+            let mut src = Vec::with_capacity(es.len());
+            let mut dst = Vec::with_capacity(es.len());
+            for e in es {
+                src.push(e.src);
+                dst.push(e.dst);
+            }
+            (src, dst)
+        });
+        (src, dst)
     }
 
     /// Build the CSR adjacency of one relation, grouped by destination
-    /// (incoming edges per node), as message-passing consumes it.
+    /// (incoming edges per node), as message-passing consumes it. Shares
+    /// the cached [`ProGraph::edge_endpoints`] pass.
     pub fn csr_in(&self, r: Relation) -> Csr {
-        Csr::from_edges(self.num_nodes(), &self.edges[r.index()], true)
+        let (src, dst) = self.edge_endpoints(r);
+        Csr::from_endpoints(self.num_nodes(), src, dst, true)
     }
 
     /// CSR grouped by source (outgoing edges per node).
     pub fn csr_out(&self, r: Relation) -> Csr {
-        Csr::from_edges(self.num_nodes(), &self.edges[r.index()], false)
+        let (src, dst) = self.edge_endpoints(r);
+        Csr::from_endpoints(self.num_nodes(), src, dst, false)
     }
 
     /// Check structural invariants (all endpoints in range, no self loops
@@ -164,25 +203,34 @@ impl Csr {
     /// Build from an edge list; `by_dst` groups incoming edges by
     /// destination, otherwise outgoing edges by source.
     pub fn from_edges(num_nodes: usize, edges: &[Edge], by_dst: bool) -> Csr {
-        let mut counts = vec![0u32; num_nodes + 1];
+        let mut src = Vec::with_capacity(edges.len());
+        let mut dst = Vec::with_capacity(edges.len());
         for e in edges {
-            let k = if by_dst { e.dst } else { e.src } as usize;
-            counts[k + 1] += 1;
+            src.push(e.src);
+            dst.push(e.dst);
+        }
+        Csr::from_endpoints(num_nodes, &src, &dst, by_dst)
+    }
+
+    /// Build from parallel endpoint lists (the cached
+    /// [`ProGraph::edge_endpoints`] form), preserving edge order within
+    /// each group exactly as [`Csr::from_edges`] does.
+    pub fn from_endpoints(num_nodes: usize, src: &[u32], dst: &[u32], by_dst: bool) -> Csr {
+        assert_eq!(src.len(), dst.len(), "endpoint list length mismatch");
+        let (keys, vals) = if by_dst { (dst, src) } else { (src, dst) };
+        let mut counts = vec![0u32; num_nodes + 1];
+        for &k in keys {
+            counts[k as usize + 1] += 1;
         }
         for i in 0..num_nodes {
             counts[i + 1] += counts[i];
         }
         let offsets = counts.clone();
         let mut cursor = counts;
-        let mut neighbors = vec![0u32; edges.len()];
-        for e in edges {
-            let (k, v) = if by_dst {
-                (e.dst as usize, e.src)
-            } else {
-                (e.src as usize, e.dst)
-            };
-            neighbors[cursor[k] as usize] = v;
-            cursor[k] += 1;
+        let mut neighbors = vec![0u32; keys.len()];
+        for (&k, &v) in keys.iter().zip(vals) {
+            neighbors[cursor[k as usize] as usize] = v;
+            cursor[k as usize] += 1;
         }
         Csr { offsets, neighbors }
     }
@@ -704,5 +752,50 @@ mod tests {
         for &i in &instrs {
             assert!(g.nodes[i as usize].is_instruction());
         }
+    }
+
+    /// The cached endpoint lists and the CSR adjacencies are two views of
+    /// the same edge-list pass: on a graph exercising every relation they
+    /// must agree edge-for-edge, in both groupings.
+    #[test]
+    fn csr_and_endpoint_lists_agree() {
+        let m = loop_module();
+        let g = build_module_graph(&m);
+        g.validate().unwrap();
+        for r in Relation::ALL {
+            let (src, dst) = g.edge_endpoints(r);
+            assert_eq!(src.len(), g.num_edges(r));
+            assert_eq!(dst.len(), g.num_edges(r));
+            // Endpoint lists preserve raw edge order.
+            for (i, e) in g.edges[r.index()].iter().enumerate() {
+                assert_eq!((src[i], dst[i]), (e.src, e.dst));
+            }
+            let csr_in = g.csr_in(r);
+            let csr_out = g.csr_out(r);
+            assert_eq!(csr_in.num_edges(), src.len());
+            assert_eq!(csr_out.num_edges(), src.len());
+            // Each edge appears under its destination (incoming) and its
+            // source (outgoing), with in-group order following edge order.
+            let mut seen_in = vec![0usize; g.num_nodes()];
+            let mut seen_out = vec![0usize; g.num_nodes()];
+            for (&s, &d) in src.iter().zip(dst) {
+                assert_eq!(csr_in.neighbors(d as usize)[seen_in[d as usize]], s);
+                assert_eq!(csr_out.neighbors(s as usize)[seen_out[s as usize]], d);
+                seen_in[d as usize] += 1;
+                seen_out[s as usize] += 1;
+            }
+            // And the legacy edge-list constructor builds the same CSR.
+            assert_eq!(
+                csr_in,
+                Csr::from_edges(g.num_nodes(), &g.edges[r.index()], true)
+            );
+        }
+        // At least two relations must actually carry edges for this test
+        // to mean anything.
+        let populated = Relation::ALL
+            .iter()
+            .filter(|&&r| g.num_edges(r) > 0)
+            .count();
+        assert!(populated >= 2, "test graph must be multi-relation");
     }
 }

@@ -33,6 +33,7 @@
 
 pub mod arena;
 pub mod ew;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod optim;

@@ -1,0 +1,335 @@
+//! The batched serving loop.
+
+use std::collections::VecDeque;
+
+use mga_core::model::{FusionModel, PreparedBatch};
+use mga_graph::ProGraph;
+use mga_nn::arena::Arena;
+
+use crate::cache::EmbeddingCache;
+use crate::plan::InferencePlan;
+
+/// Batching policy for the serving loop. Time is *logical*: the engine
+/// never reads a wall clock, so a given submit/tick script always forms
+/// the same micro-batches — batching decisions are replayable in tests
+/// and across machines.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dispatch as soon as this many requests are queued.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once its oldest request has waited this
+    /// many ticks (0 = dispatch on the next tick).
+    pub max_wait_ticks: u64,
+    /// Static-embedding cache capacity (distinct kernels resident).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_batch: 8,
+            max_wait_ticks: 2,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// One inference request: which kernel, and its dynamic (auxiliary)
+/// feature row as measured for this input.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: u64,
+    /// Kernel id — index into the engine's graph/vector catalog and the
+    /// embedding-cache key.
+    pub kernel: usize,
+    /// Raw dynamic features; scaled (or imputed) by the plan.
+    pub aux: Vec<f32>,
+}
+
+/// A completed request: the predicted class per head, plus the logical
+/// ticks bounding its time in the engine (queue wait + service, in
+/// ticks, is `completed_tick - enqueued_tick`).
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: u64,
+    pub classes: Vec<usize>,
+    pub enqueued_tick: u64,
+    pub completed_tick: u64,
+}
+
+struct Pending {
+    req: Request,
+    enqueued_tick: u64,
+}
+
+/// The serving engine: a frozen [`InferencePlan`], the per-kernel
+/// [`EmbeddingCache`], and a deterministic micro-batching queue.
+///
+/// The hot path is allocation-free in the steady state: scratch matrices
+/// cycle through an [`Arena`] (always sized for `max_batch`, so the
+/// size classes never change), responses are recycled via
+/// [`Engine::recycle`], and the cache's storage is fixed at
+/// construction. Kernels unseen at compile time take a slow path that
+/// computes their static embedding on first use and caches it — the
+/// paper's unseen-kernel scenario (Fig. 6) costs one GNN+DAE pass, then
+/// serves at cached speed.
+pub struct Engine<'a> {
+    plan: InferencePlan,
+    cache: EmbeddingCache,
+    model: &'a FusionModel,
+    graphs: &'a [ProGraph],
+    vectors: &'a [Vec<f32>],
+    cfg: ServeConfig,
+    tick: u64,
+    queue: VecDeque<Pending>,
+    completed: VecDeque<Response>,
+    spare: Vec<Response>,
+    arena: Arena,
+    /// Reusable class-decision buffer (`max_batch × num_heads`).
+    cls: Vec<usize>,
+    /// Arena bytes after construction prewarm; anything above this was
+    /// allocated post-warmup and is reported as `serve.steady_alloc_bytes`.
+    alloc_baseline: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Compile `model` into a plan and set up the serving state.
+    /// `graphs` and `vectors` are the kernel catalog the slow path
+    /// consults for cache misses (indexed by `Request::kernel`).
+    pub fn new(
+        model: &'a FusionModel,
+        graphs: &'a [ProGraph],
+        vectors: &'a [Vec<f32>],
+        cfg: ServeConfig,
+    ) -> Engine<'a> {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        let plan = InferencePlan::compile(model);
+        let cache = EmbeddingCache::new(cfg.cache_capacity, plan.static_dim());
+        let mut arena = Arena::new();
+        // Prewarm every scratch size class (single-request and batch)
+        // so the first dispatch already runs on recycled buffers and the
+        // post-baseline allocation count stays at zero.
+        let b = cfg.max_batch;
+        for len in [
+            plan.in_dim(),
+            plan.hidden(),
+            plan.max_classes(),
+            b * plan.in_dim(),
+            b * plan.hidden(),
+            b * plan.max_classes(),
+        ] {
+            let buf = arena.take(len);
+            arena.give(buf);
+        }
+        let alloc_baseline = arena.alloc_bytes();
+        let reserve = 4 * b + 64;
+        let cls = vec![0usize; b * plan.num_heads()];
+        Engine {
+            plan,
+            cache,
+            model,
+            graphs,
+            vectors,
+            cfg,
+            tick: 0,
+            queue: VecDeque::with_capacity(reserve),
+            completed: VecDeque::with_capacity(reserve),
+            spare: Vec::with_capacity(reserve),
+            arena,
+            cls,
+            alloc_baseline,
+        }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &InferencePlan {
+        &self.plan
+    }
+
+    /// The static-embedding cache (read-only; mutate via [`Engine::warm`]
+    /// or by serving).
+    pub fn cache(&self) -> &EmbeddingCache {
+        &self.cache
+    }
+
+    /// Current logical tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Requests queued but not yet dispatched.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Warm the cache from a training-side [`PreparedBatch`]; see
+    /// [`EmbeddingCache::warm`].
+    pub fn warm(&mut self, prep: &PreparedBatch) -> usize {
+        self.cache.warm(self.model, prep)
+    }
+
+    /// Enqueue a request at the current tick.
+    pub fn submit(&mut self, req: Request) {
+        mga_obs::metrics::counter("serve.requests").inc();
+        self.queue.push_back(Pending {
+            req,
+            enqueued_tick: self.tick,
+        });
+    }
+
+    /// Advance logical time by one tick and dispatch every micro-batch
+    /// the policy allows: full batches immediately, partial batches once
+    /// their oldest request has waited `max_wait_ticks`. Returns the
+    /// number of requests completed this tick ([`Engine::drain`] them).
+    pub fn tick(&mut self) -> usize {
+        self.tick += 1;
+        let mut done = 0;
+        while self.should_dispatch() {
+            done += self.dispatch();
+        }
+        mga_obs::metrics::gauge("serve.queue_depth").set(self.queue.len() as f64);
+        done
+    }
+
+    fn should_dispatch(&self) -> bool {
+        if self.queue.len() >= self.cfg.max_batch {
+            return true;
+        }
+        match self.queue.front() {
+            Some(p) => {
+                self.tick - p.enqueued_tick >= self.cfg.max_wait_ticks
+                    && self.tick > p.enqueued_tick
+            }
+            None => false,
+        }
+    }
+
+    /// Dispatch everything still queued, regardless of wait policy
+    /// (shutdown / end-of-stream). Does not advance the tick.
+    pub fn flush(&mut self) -> usize {
+        let mut done = 0;
+        while !self.queue.is_empty() {
+            done += self.dispatch();
+        }
+        mga_obs::metrics::gauge("serve.queue_depth").set(0.0);
+        done
+    }
+
+    /// Move completed responses (in completion order) into `out`;
+    /// returns how many were moved.
+    pub fn drain(&mut self, out: &mut Vec<Response>) -> usize {
+        let n = self.completed.len();
+        out.extend(self.completed.drain(..));
+        n
+    }
+
+    /// Return a finished [`Response`] so its buffers are reused instead
+    /// of reallocated — keeps the steady state allocation-free.
+    pub fn recycle(&mut self, resp: Response) {
+        if self.spare.len() < self.spare.capacity() {
+            self.spare.push(resp);
+        }
+    }
+
+    /// Ensure `kernel`'s static embedding is resident, taking the slow
+    /// path (full GNN + DAE + scaler pass on the catalog entry) on a
+    /// miss.
+    fn ensure_static(&mut self, kernel: usize) {
+        if self.cache.lookup(kernel).is_none() {
+            let emb = self
+                .model
+                .static_embedding(&self.graphs[kernel], &self.vectors[kernel]);
+            self.cache.insert(kernel, &emb);
+        }
+    }
+
+    /// Run one micro-batch off the front of the queue.
+    fn dispatch(&mut self) -> usize {
+        let b = self.queue.len().min(self.cfg.max_batch);
+        debug_assert!(b > 0);
+        let in_dim = self.plan.in_dim();
+        let sd = self.plan.static_dim();
+        let nh = self.plan.num_heads();
+        let mut x = self.arena.take(self.cfg.max_batch * in_dim);
+        for r in 0..b {
+            let kernel = self.queue[r].req.kernel;
+            self.ensure_static(kernel);
+            let row = &mut x[r * in_dim..(r + 1) * in_dim];
+            row[..sd].copy_from_slice(self.cache.peek(kernel).expect("just ensured"));
+            let aux = &self.queue[r].req.aux;
+            self.plan.scale_aux_into(&mut row[sd..], aux);
+        }
+        let mut h = self.arena.take(self.cfg.max_batch * self.plan.hidden());
+        let mut lg = self
+            .arena
+            .take(self.cfg.max_batch * self.plan.max_classes());
+        let mut cls = std::mem::take(&mut self.cls);
+        self.plan.forward_into(&x, b, &mut h, &mut lg, &mut cls);
+        for r in 0..b {
+            let p = self.queue.pop_front().expect("b <= queue.len()");
+            let mut resp = self.spare.pop().unwrap_or_else(|| Response {
+                id: 0,
+                classes: Vec::with_capacity(nh),
+                enqueued_tick: 0,
+                completed_tick: 0,
+            });
+            resp.id = p.req.id;
+            resp.enqueued_tick = p.enqueued_tick;
+            resp.completed_tick = self.tick;
+            resp.classes.clear();
+            resp.classes.extend_from_slice(&cls[r * nh..(r + 1) * nh]);
+            self.completed.push_back(resp);
+        }
+        self.cls = cls;
+        self.arena.give(lg);
+        self.arena.give(h);
+        self.arena.give(x);
+        mga_obs::metrics::counter("serve.batches").inc();
+        mga_obs::metrics::counter("serve.batched_requests").add(b as u64);
+        b
+    }
+
+    /// Synchronous single-request fast path (no queue, no ticks): write
+    /// the predicted class of each head into `classes_out` (length
+    /// `num_heads`). This is what the `serve_one_request` benchmark
+    /// times — cache lookup, aux scaling, trunk and heads.
+    pub fn serve_one(&mut self, kernel: usize, aux: &[f32], classes_out: &mut [usize]) {
+        debug_assert_eq!(classes_out.len(), self.plan.num_heads());
+        let in_dim = self.plan.in_dim();
+        let sd = self.plan.static_dim();
+        self.ensure_static(kernel);
+        let mut x = self.arena.take(in_dim);
+        x[..sd].copy_from_slice(self.cache.peek(kernel).expect("just ensured"));
+        self.plan.scale_aux_into(&mut x[sd..], aux);
+        let mut h = self.arena.take(self.plan.hidden());
+        let mut lg = self.arena.take(self.plan.max_classes());
+        self.plan.forward_into(&x, 1, &mut h, &mut lg, classes_out);
+        self.arena.give(lg);
+        self.arena.give(h);
+        self.arena.give(x);
+        mga_obs::metrics::counter("serve.requests").inc();
+    }
+
+    /// Arena bytes allocated since the construction prewarm — zero in a
+    /// healthy steady state (all scratch recycled).
+    pub fn steady_alloc_bytes(&self) -> u64 {
+        self.arena.alloc_bytes() - self.alloc_baseline
+    }
+
+    /// Times a scratch buffer was served from the arena free lists
+    /// instead of the allocator.
+    pub fn arena_reuse(&self) -> u64 {
+        self.arena.reuse_count()
+    }
+
+    /// Publish the engine's allocation and queue gauges to the metrics
+    /// registry: `serve.steady_alloc_bytes` (arena bytes allocated after
+    /// the construction prewarm — zero in a healthy steady state),
+    /// `serve.arena_reuse` (scratch recycles) and `serve.queue_depth`.
+    pub fn publish_metrics(&self) {
+        mga_obs::metrics::gauge("serve.steady_alloc_bytes")
+            .set((self.arena.alloc_bytes() - self.alloc_baseline) as f64);
+        mga_obs::metrics::gauge("serve.arena_reuse").set(self.arena.reuse_count() as f64);
+        mga_obs::metrics::gauge("serve.queue_depth").set(self.queue.len() as f64);
+    }
+}

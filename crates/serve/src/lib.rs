@@ -1,0 +1,42 @@
+//! `mga-serve` — the high-throughput inference engine.
+//!
+//! Training amortizes its feature pipeline across epochs; serving must
+//! amortize it across *requests*. The paper's deployment story (§5–6:
+//! tune once per kernel, reuse the model across applications and inputs)
+//! makes the split obvious: everything derived from the *program* —
+//! graph readout, DAE code, scaled raw vector, graph summary — is fixed
+//! the moment training ends, while only the *dynamic* (auxiliary)
+//! features change per request. This crate freezes the former and
+//! streams the latter:
+//!
+//! * [`plan::InferencePlan`] — a compile-once snapshot of the trained
+//!   classifier: packed grad-free trunk/head weights plus the dynamic
+//!   feature scaler. A request reduces to one scaler pass and a
+//!   two-layer MLP — no tape, no graph batching, no gradient slots.
+//! * [`cache::EmbeddingCache`] — per-kernel fused static embeddings
+//!   (GNN readout ⊕ DAE code ⊕ scaled vector ⊕ summary), keyed by
+//!   kernel id with a deterministic logical-clock LRU. Warmable from a
+//!   training [`mga_core::model::PreparedBatch`]; kernels unseen at
+//!   compile time take a slow path that computes and inserts their
+//!   embedding on first use (the paper's Fig. 6 unseen-kernel scenario).
+//! * [`engine::Engine`] — a batched serving loop: requests queue, a
+//!   logical-tick policy forms micro-batches (no wall-clock reads on
+//!   the decision path, so batching is deterministic and testable), and
+//!   the scratch memory cycles through an `mga-nn` arena so the steady
+//!   state allocates nothing.
+//!
+//! Every prediction is **bitwise identical** to
+//! [`mga_core::model::FusionModel::predict`]: the plan re-enters the
+//! same matmul / bias-activation kernels the tape uses, static
+//! embedding rows are row-stable under batching, and class decisions
+//! share the training argmax comparator. The property tests in
+//! `tests/serve_parity.rs` enforce this across request orderings, batch
+//! sizes, thread counts and cache states.
+
+pub mod cache;
+pub mod engine;
+pub mod plan;
+
+pub use cache::EmbeddingCache;
+pub use engine::{Engine, Request, Response, ServeConfig};
+pub use plan::InferencePlan;

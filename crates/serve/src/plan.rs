@@ -1,0 +1,144 @@
+//! Frozen inference plans: compile-once classifier snapshots.
+
+use mga_core::model::FusionModel;
+use mga_nn::infer;
+use mga_nn::scaler::MinMaxScaler;
+use mga_nn::{FusedAct, Tensor};
+
+/// A compiled, grad-free snapshot of a trained [`FusionModel`]'s
+/// classifier. Owns packed copies of the trunk and head weights (the
+/// model itself can be dropped or keep training a successor), plus the
+/// dynamic-feature scaler. The per-kernel static embedding prefix is
+/// *not* here — it lives in the [`crate::EmbeddingCache`], keyed by
+/// kernel.
+///
+/// The forward pass re-enters the exact kernels the training tape's
+/// `FusedLinear` op calls ([`infer::fused_linear_into`]), so plan
+/// outputs are bitwise-identical to `FusionModel::predict` on the same
+/// inputs.
+pub struct InferencePlan {
+    trunk_w: Tensor,
+    trunk_b: Tensor,
+    heads: Vec<(Tensor, Tensor)>,
+    head_sizes: Vec<usize>,
+    aux_scaler: Option<MinMaxScaler>,
+    in_dim: usize,
+    aux_dim: usize,
+    hidden: usize,
+}
+
+impl InferencePlan {
+    /// Snapshot `model`'s classifier weights into a frozen plan.
+    pub fn compile(model: &FusionModel) -> InferencePlan {
+        mga_obs::span!("serve.compile");
+        let e = model.export();
+        InferencePlan {
+            trunk_w: e.trunk_w.clone(),
+            trunk_b: e.trunk_b.clone(),
+            heads: e
+                .heads
+                .iter()
+                .map(|(w, b)| ((*w).clone(), (*b).clone()))
+                .collect(),
+            head_sizes: e.head_sizes.to_vec(),
+            aux_scaler: e.aux_scaler.cloned(),
+            in_dim: e.in_dim,
+            aux_dim: e.aux_dim,
+            hidden: e.hidden,
+        }
+    }
+
+    /// Total trunk input width (static prefix + scaled aux).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Width of the scaled dynamic-feature suffix (0 when static-only).
+    pub fn aux_dim(&self) -> usize {
+        self.aux_dim
+    }
+
+    /// Width of the per-kernel static embedding prefix.
+    pub fn static_dim(&self) -> usize {
+        self.in_dim - self.aux_dim
+    }
+
+    /// Trunk hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Class counts per head.
+    pub fn head_sizes(&self) -> &[usize] {
+        &self.head_sizes
+    }
+
+    /// Number of classification heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Widest head — sizes the shared logits scratch buffer.
+    pub fn max_classes(&self) -> usize {
+        self.head_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Scale one raw dynamic-feature row into `dst` (length
+    /// [`InferencePlan::aux_dim`]), replicating `FusionModel::prepare`'s
+    /// imputation rule bit for bit: a missing-width or non-finite row is
+    /// imputed to the scaled mid-range (0.5) so the static modalities
+    /// decide.
+    pub fn scale_aux_into(&self, dst: &mut [f32], raw: &[f32]) {
+        let scaler = match &self.aux_scaler {
+            Some(s) => s,
+            None => return,
+        };
+        debug_assert_eq!(dst.len(), self.aux_dim);
+        if raw.len() != self.aux_dim || raw.iter().any(|x| !x.is_finite()) {
+            mga_obs::metrics::counter("serve.degraded_aux").inc();
+            dst.fill(0.5);
+        } else {
+            dst.copy_from_slice(raw);
+            scaler.transform_row(dst);
+        }
+    }
+
+    /// Run `rows` trunk-input rows (`x`, row-major `rows × in_dim`)
+    /// through the trunk and every head, writing the argmax class of
+    /// head `h` for row `r` into `classes[r * num_heads + h]`.
+    ///
+    /// `hidden` must hold `rows × hidden()` and `logits`
+    /// `rows × max_classes()`; both are plain scratch the caller
+    /// recycles. Nothing here allocates.
+    pub fn forward_into(
+        &self,
+        x: &[f32],
+        rows: usize,
+        hidden: &mut [f32],
+        logits: &mut [f32],
+        classes: &mut [usize],
+    ) {
+        debug_assert!(x.len() >= rows * self.in_dim);
+        debug_assert!(hidden.len() >= rows * self.hidden);
+        debug_assert!(logits.len() >= rows * self.max_classes());
+        debug_assert!(classes.len() >= rows * self.heads.len());
+        let h = &mut hidden[..rows * self.hidden];
+        infer::fused_linear_into(
+            h,
+            &x[..rows * self.in_dim],
+            rows,
+            &self.trunk_w,
+            &self.trunk_b,
+            FusedAct::Relu,
+        );
+        let nh = self.heads.len();
+        for (hi, (w, b)) in self.heads.iter().enumerate() {
+            let nc = self.head_sizes[hi];
+            let lg = &mut logits[..rows * nc];
+            infer::fused_linear_into(lg, h, rows, w, b, FusedAct::Identity);
+            for r in 0..rows {
+                classes[r * nh + hi] = infer::argmax(&lg[r * nc..(r + 1) * nc]);
+            }
+        }
+    }
+}

@@ -34,12 +34,10 @@ fn main() {
             );
         }
         "no-instr-gnn" => {
-            let g = ProGraph {
-                nodes: vec![Node {
-                    kind: NodeKind::Variable(0),
-                }],
-                edges: Default::default(),
-            };
+            let mut g = ProGraph::default();
+            g.nodes.push(Node {
+                kind: NodeKind::Variable(0),
+            });
             let batch = GraphBatch::single(&g);
             let mut ps = ParamSet::new();
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);

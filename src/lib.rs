@@ -17,6 +17,7 @@
 //! | [`sim`] | `mga-sim` | CPU/GPU hardware models + PAPI-like profiler |
 //! | [`tuners`] | `mga-tuners` | OpenTuner/ytopt/BLISS-style baseline tuners |
 //! | [`core`] | `mga-core` | datasets, the MGA model, training, evaluation |
+//! | [`serve`] | `mga-serve` | frozen inference plans, embedding cache, batched serving |
 //!
 //! See the `examples/` directory for end-to-end usage: `quickstart`,
 //! `openmp_tuning`, `device_mapping` and `microarch_portability`.
@@ -29,6 +30,7 @@ pub use mga_ir as ir;
 pub use mga_kernels as kernels;
 pub use mga_nn as nn;
 pub use mga_obs as obs;
+pub use mga_serve as serve;
 pub use mga_sim as sim;
 pub use mga_tuners as tuners;
 pub use mga_vec as vec;
