@@ -10,8 +10,9 @@
 //! `inference_one_sample` — because the other entries (fold
 //! preparation, whole-fold inference) are dominated by one-off work too
 //! noisy for a shared CI runner; `--gate a,b,c` overrides the gated set
-//! (e.g. `--gate serve_throughput,serve_p99` against `BENCH_serve.json`
-//! baselines). A gated entry fails if its current ns/iter exceeds the
+//! (e.g. `--gate serve_one_request,serve_throughput,serve_p99` against
+//! `BENCH_serve.json` baselines). A gated entry fails if its current
+//! ns/iter exceeds the
 //! baseline by more than the allowed regression (default 15%).
 //! Improvements always pass (and are reported, so the baseline can be
 //! refreshed).

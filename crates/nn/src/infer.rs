@@ -14,8 +14,21 @@
 //! the serving engine recycles its buffers through an [`crate::arena::Arena`].
 
 use crate::ew;
+use crate::simd;
 use crate::tape::FusedAct;
 use crate::tensor::{self, Tensor};
+
+/// Row-broadcast bias + activation over `out` — the tail of every fused
+/// linear kernel (f32 or quantized), kept in one place so the activation
+/// expressions can never drift between backends.
+pub fn apply_bias_act(out: &mut [f32], brow: &[f32], act: FusedAct) {
+    match act {
+        FusedAct::Identity => ew::bias_act(out, brow, |z| z),
+        FusedAct::Relu => ew::bias_act(out, brow, |z| z.max(0.0)),
+        FusedAct::Sigmoid => ew::bias_act(out, brow, |z| 1.0 / (1.0 + (-z).exp())),
+        FusedAct::Tanh => ew::bias_act(out, brow, f32::tanh),
+    }
+}
 
 /// `out[..rows*n] = act(x · w + b)` for row-major `x` (`rows × k`) and a
 /// weight tensor `w` (`k × n`) with bias `b` (`1 × n`) — the grad-free
@@ -30,19 +43,28 @@ pub fn fused_linear_into(
     b: &Tensor,
     act: FusedAct,
 ) {
+    fused_linear_with(simd::choose_matmul(w.cols()), out, x, rows, w, b, act);
+}
+
+/// [`fused_linear_into`] with a pre-resolved matmul panel — the frozen
+/// inference plans resolve the kernel once per stage at compile time and
+/// pass it here, keeping the per-request path branch-free.
+pub fn fused_linear_with(
+    panel: simd::PanelFn,
+    out: &mut [f32],
+    x: &[f32],
+    rows: usize,
+    w: &Tensor,
+    b: &Tensor,
+    act: FusedAct,
+) {
     let (k, n) = w.shape();
     debug_assert_eq!(x.len(), rows * k, "input row length mismatch");
     debug_assert_eq!(out.len(), rows * n, "output buffer length mismatch");
     debug_assert_eq!(b.shape(), (1, n), "bias must be [1 x cols]");
     out.fill(0.0);
-    tensor::matmul_into(out, x, rows, k, w.data(), n);
-    let brow = b.row_slice(0);
-    match act {
-        FusedAct::Identity => ew::bias_act(out, brow, |z| z),
-        FusedAct::Relu => ew::bias_act(out, brow, |z| z.max(0.0)),
-        FusedAct::Sigmoid => ew::bias_act(out, brow, |z| 1.0 / (1.0 + (-z).exp())),
-        FusedAct::Tanh => ew::bias_act(out, brow, f32::tanh),
-    }
+    tensor::matmul_into_with(panel, out, x, rows, k, w.data(), n);
+    apply_bias_act(out, b.row_slice(0), act);
 }
 
 /// Index of the maximum element of `row` under `f32::total_cmp`, with

@@ -17,6 +17,13 @@
 //!   their backward passes share,
 //! * [`arena`] — the size-class buffer free list behind the tape's
 //!   reset-and-replay memory plan (steady-state epochs allocate nothing),
+//! * [`aligned`] — the 64-byte-aligned `f32` buffers every tape/arena/
+//!   plan allocation is backed by (the microkernel alignment contract),
+//! * [`simd`] — register-blocked AVX2 microkernels with a bitwise-
+//!   identical scalar fallback and per-shape dispatch (`MGA_SIMD=0`
+//!   kill switch),
+//! * [`quant`] — bf16 and int8 weight quantization for frozen inference
+//!   plans,
 //! * [`ew`] — chunked elementwise kernels the tape's fused forward and
 //!   in-place backward passes are built from,
 //! * [`params`] — parameter storage shared between layers and optimizers,
@@ -31,6 +38,7 @@
 //! Everything is deterministic given a seed; gradients are validated
 //! against finite differences in the test suite.
 
+pub mod aligned;
 pub mod arena;
 pub mod ew;
 pub mod infer;
@@ -39,8 +47,10 @@ pub mod layers;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod quant;
 pub mod scaler;
 pub mod segment;
+pub mod simd;
 pub mod tape;
 pub mod tensor;
 

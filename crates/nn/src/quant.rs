@@ -1,0 +1,289 @@
+//! Quantized weight formats for frozen inference plans.
+//!
+//! Two shrink levels for `InferencePlan` stage weights, both decoded on
+//! the fly inside the fused-linear kernel (activations and accumulators
+//! stay f32 throughout, so only the weight *representation* is lossy):
+//!
+//! * [`Bf16Weights`] — bfloat16 (top 16 bits of the f32, round to
+//!   nearest even). Halves weight memory; ~3 decimal digits of mantissa.
+//! * [`Int8Weights`] — signed 8-bit integers with one f32 scale per
+//!   output feature (weight-matrix column), chosen symmetric so
+//!   `q * scale ≈ w` with `|q| ≤ 127`. Quarters weight memory.
+//!
+//! Quantized plans are *optional* and gated: the serving layer only
+//! ships one after verifying exact argmax agreement with the f32 plan
+//! on held-out folds (see `mga-serve` / `serve_bench`). Nothing in the
+//! training path touches this module.
+
+use crate::infer;
+use crate::tape::FusedAct;
+use crate::tensor::Tensor;
+
+/// Round an `f32` to bfloat16 (round to nearest, ties to even).
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep NaNs NaN: force a mantissa bit so truncation can't
+        // produce an infinity.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = 0x7FFF + ((bits >> 16) & 1);
+    (bits.wrapping_add(round) >> 16) as u16
+}
+
+/// Widen a bfloat16 back to `f32` (exact).
+#[inline]
+pub fn bf16_to_f32(u: u16) -> f32 {
+    f32::from_bits((u as u32) << 16)
+}
+
+/// A `k × n` weight matrix stored as bfloat16.
+pub struct Bf16Weights {
+    data: Vec<u16>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Bf16Weights {
+    /// Quantize a weight tensor (row-major `k × n`).
+    pub fn quantize(w: &Tensor) -> Bf16Weights {
+        let (rows, cols) = w.shape();
+        Bf16Weights {
+            data: w.data().iter().map(|&v| f32_to_bf16(v)).collect(),
+            rows,
+            cols,
+        }
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Weight storage in bytes (for compile-time stats).
+    pub fn weight_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u16>()
+    }
+}
+
+/// A `k × n` weight matrix stored as int8 with one symmetric f32 scale
+/// per output feature (column `j`): `w[i][j] ≈ data[i][j] * scales[j]`.
+pub struct Int8Weights {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Int8Weights {
+    /// Calibrate per-column scales from the weight extrema and quantize.
+    pub fn quantize(w: &Tensor) -> Int8Weights {
+        let (rows, cols) = w.shape();
+        let d = w.data();
+        let mut scales = vec![0.0f32; cols];
+        for row in d.chunks_exact(cols.max(1)) {
+            for (s, &v) in scales.iter_mut().zip(row) {
+                *s = s.max(v.abs());
+            }
+        }
+        for s in &mut scales {
+            // All-zero columns get scale 1 so dequantization stays finite.
+            *s = if *s == 0.0 { 1.0 } else { *s / 127.0 };
+        }
+        let data = d
+            .iter()
+            .enumerate()
+            .map(|(idx, &v)| (v / scales[idx % cols]).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Int8Weights {
+            data,
+            scales,
+            rows,
+            cols,
+        }
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Per-output-feature dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Weight + scale storage in bytes (for compile-time stats).
+    pub fn weight_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `out = act(x · dequant(w) + b)` with bf16 weights decoded inside the
+/// inner loop — same i-k-j accumulation order and zero-skip as the f32
+/// fused-linear kernel, so the only difference from the f32 path is the
+/// weight rounding itself.
+pub fn fused_linear_bf16_into(
+    out: &mut [f32],
+    x: &[f32],
+    rows: usize,
+    w: &Bf16Weights,
+    b: &Tensor,
+    act: FusedAct,
+) {
+    let (k, n) = (w.rows, w.cols);
+    debug_assert_eq!(x.len(), rows * k);
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert_eq!(b.shape(), (1, n));
+    out.fill(0.0);
+    for i in 0..rows {
+        let xrow = &x[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &xv) in xrow.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let wrow = &w.data[kk * n..(kk + 1) * n];
+            for (o, &wv) in orow.iter_mut().zip(wrow) {
+                *o += xv * bf16_to_f32(wv);
+            }
+        }
+    }
+    infer::apply_bias_act(out, b.row_slice(0), act);
+}
+
+/// `out = act((x · q) * scale + b)` with int8 weights: products
+/// accumulate in f32 against the raw integer codes, and each output
+/// feature is rescaled once at the end — one multiply per output instead
+/// of one per product.
+pub fn fused_linear_int8_into(
+    out: &mut [f32],
+    x: &[f32],
+    rows: usize,
+    w: &Int8Weights,
+    b: &Tensor,
+    act: FusedAct,
+) {
+    let (k, n) = (w.rows, w.cols);
+    debug_assert_eq!(x.len(), rows * k);
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert_eq!(b.shape(), (1, n));
+    out.fill(0.0);
+    for i in 0..rows {
+        let xrow = &x[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &xv) in xrow.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            let wrow = &w.data[kk * n..(kk + 1) * n];
+            for (o, &q) in orow.iter_mut().zip(wrow) {
+                *o += xv * q as f32;
+            }
+        }
+        for (o, &s) in orow.iter_mut().zip(&w.scales) {
+            *o *= s;
+        }
+    }
+    infer::apply_bias_act(out, b.row_slice(0), act);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bf16_round_trips_exactly_representable_values() {
+        for v in [0.0f32, -0.0, 1.0, -2.5, 0.15625, f32::INFINITY] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(v)).to_bits(), v.to_bits());
+        }
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-9 is exactly halfway between bf16(1.0) and the next
+        // representable value; ties-to-even keeps the even mantissa.
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(f32_to_bf16(halfway), 0x3F80);
+        // Just above halfway rounds up.
+        assert_eq!(f32_to_bf16(f32::from_bits(0x3F80_8001)), 0x3F81);
+    }
+
+    #[test]
+    fn bf16_error_is_bounded_by_relative_epsilon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-100.0f32..100.0);
+            let err = (bf16_to_f32(f32_to_bf16(v)) - v).abs();
+            assert!(err <= v.abs() * (1.0 / 256.0), "v={v} err={err}");
+        }
+    }
+
+    #[test]
+    fn int8_dequant_error_is_within_half_step() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Tensor::from_vec(7, 5, (0..35).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
+        let q = Int8Weights::quantize(&w);
+        for i in 0..7 {
+            for j in 0..5 {
+                let got = q.data[i * 5 + j] as f32 * q.scales[j];
+                let want = w.data()[i * 5 + j];
+                assert!(
+                    (got - want).abs() <= q.scales[j] * 0.5 + 1e-7,
+                    "({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_zero_column_stays_zero() {
+        let w = Tensor::from_vec(3, 2, vec![0.0, 1.0, 0.0, -1.0, 0.0, 0.5]);
+        let q = Int8Weights::quantize(&w);
+        assert_eq!(q.scales()[0], 1.0);
+        assert!(q.data.iter().step_by(2).all(|&v| v == 0));
+    }
+
+    #[test]
+    fn quantized_kernels_approximate_f32_kernel() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (rows, k, n) = (4, 12, 9);
+        let x: Vec<f32> = (0..rows * k).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let w = Tensor::from_vec(
+            k,
+            n,
+            (0..k * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+        );
+        let b = Tensor::from_vec(1, n, (0..n).map(|_| rng.gen_range(-0.5f32..0.5)).collect());
+
+        let mut exact = vec![0.0f32; rows * n];
+        infer::fused_linear_into(&mut exact, &x, rows, &w, &b, FusedAct::Tanh);
+
+        let mut got = vec![0.0f32; rows * n];
+        fused_linear_bf16_into(
+            &mut got,
+            &x,
+            rows,
+            &Bf16Weights::quantize(&w),
+            &b,
+            FusedAct::Tanh,
+        );
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 0.05, "bf16 {g} vs {e}");
+        }
+
+        fused_linear_int8_into(
+            &mut got,
+            &x,
+            rows,
+            &Int8Weights::quantize(&w),
+            &b,
+            FusedAct::Tanh,
+        );
+        for (g, e) in got.iter().zip(&exact) {
+            assert!((g - e).abs() < 0.1, "int8 {g} vs {e}");
+        }
+    }
+}

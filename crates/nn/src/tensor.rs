@@ -8,22 +8,30 @@
 //! for large problems. Row-panel partitioning keeps per-element
 //! accumulation order identical to the sequential kernel, so results are
 //! bitwise independent of the thread count.
+//!
+//! The inner row-panel kernels live in [`crate::simd`]: an explicit-AVX2
+//! register-blocked backend with a portable scalar fallback, both
+//! bitwise-identical per element. The `matmul_into` entry points select
+//! per call; the `*_with` variants take a pre-resolved [`simd::PanelFn`]
+//! so plan-time dispatch (tape replay, `InferencePlan`) skips selection
+//! entirely. Tensor storage is 64-byte aligned ([`crate::aligned`]), so
+//! every full buffer entering these kernels honors the microkernel
+//! alignment contract.
 
+use crate::aligned::AlignedVec;
 use crate::pool;
+use crate::simd;
 use std::fmt;
 
 /// Threshold (in multiply-adds) above which matmul fans out to threads.
 const PAR_FLOPS_THRESHOLD: usize = 1 << 21;
 
-/// Cache block edge for the k dimension.
-const BLOCK_K: usize = 64;
-
-/// A dense row-major matrix of `f32`.
+/// A dense row-major matrix of `f32` over 64-byte-aligned storage.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: AlignedVec,
 }
 
 impl fmt::Debug for Tensor {
@@ -42,7 +50,7 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: AlignedVec::zeroed(rows * cols),
         }
     }
 
@@ -52,7 +60,7 @@ impl Tensor {
         Tensor {
             rows: 0,
             cols: 0,
-            data: Vec::new(),
+            data: AlignedVec::new(),
         }
     }
 
@@ -64,7 +72,7 @@ impl Tensor {
     pub fn reset_shape(&mut self, rows: usize, cols: usize) -> usize {
         let len = rows * cols;
         let grew = len.saturating_sub(self.data.capacity()) * std::mem::size_of::<f32>();
-        self.data.resize(len, 0.0);
+        self.data.resize_zeroed(len);
         self.rows = rows;
         self.cols = cols;
         grew
@@ -72,17 +80,21 @@ impl Tensor {
 
     /// Take ownership of the backing buffer, leaving `self` empty. Used
     /// by the tape to return node storage to its arena.
-    pub fn take_data(&mut self) -> Vec<f32> {
+    pub fn take_data(&mut self) -> AlignedVec {
         self.rows = 0;
         self.cols = 0;
-        std::mem::take(&mut self.data)
+        self.data.take()
     }
 
     /// Adopt `data` as the backing buffer for a `rows × cols` view.
     /// Panics if the length disagrees (the arena hands back exact
     /// size-class matches).
-    pub fn adopt(&mut self, rows: usize, cols: usize, data: Vec<f32>) {
+    pub fn adopt(&mut self, rows: usize, cols: usize, data: AlignedVec) {
         assert_eq!(data.len(), rows * cols, "adopted buffer length mismatch");
+        debug_assert!(
+            crate::aligned::is_aligned(&data),
+            "adopted buffer violates the 64-byte alignment contract"
+        );
         self.rows = rows;
         self.cols = cols;
         self.data = data;
@@ -99,11 +111,12 @@ impl Tensor {
         Tensor {
             rows,
             cols,
-            data: vec![v; rows * cols],
+            data: AlignedVec::filled(rows * cols, v),
         }
     }
 
-    /// Build from a flat row-major buffer. Panics if lengths disagree.
+    /// Build from a flat row-major buffer (copied into aligned storage).
+    /// Panics if lengths disagree.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
         assert_eq!(
             data.len(),
@@ -111,7 +124,11 @@ impl Tensor {
             "buffer length {} != {rows}x{cols}",
             data.len()
         );
-        Tensor { rows, cols, data }
+        Tensor {
+            rows,
+            cols,
+            data: AlignedVec::from_slice(&data),
+        }
     }
 
     /// A `1 × n` row vector.
@@ -119,7 +136,7 @@ impl Tensor {
         Tensor {
             rows: 1,
             cols: data.len(),
-            data,
+            data: AlignedVec::from_slice(&data),
         }
     }
 
@@ -193,7 +210,7 @@ impl Tensor {
             data: self
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         }
@@ -202,7 +219,7 @@ impl Tensor {
     /// `self += other` elementwise.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += b;
         }
     }
@@ -210,14 +227,14 @@ impl Tensor {
     /// `self += alpha * other` elementwise (axpy).
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
 
     /// Scale all elements in place.
     pub fn scale_assign(&mut self, alpha: f32) {
-        for a in &mut self.data {
+        for a in self.data.iter_mut() {
             *a *= alpha;
         }
     }
@@ -339,6 +356,7 @@ pub fn t_matmul_into(out: &mut [f32], a: &[f32], rows: usize, acols: usize, b: &
     debug_assert_eq!(a.len(), rows * acols);
     debug_assert_eq!(b.len(), rows * n);
     let m = acols;
+    let panel_fn = simd::choose_t_matmul(n);
     let threads = pool::num_threads();
     if m * n * rows >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
         let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
@@ -347,10 +365,10 @@ pub fn t_matmul_into(out: &mut [f32], a: &[f32], rows: usize, acols: usize, b: &
             // exclusive to this chunk; k still runs in full order.
             let panel =
                 unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
-            t_matmul_panel(panel, a, b, rows, acols, n, lo, hi);
+            panel_fn(panel, a, b, rows, acols, n, lo, hi);
         });
     } else {
-        t_matmul_panel(out, a, b, rows, acols, n, 0, m);
+        panel_fn(out, a, b, rows, acols, n, 0, m);
     }
 }
 
@@ -375,41 +393,25 @@ fn matmul_t_panel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: 
     }
 }
 
-/// Output rows `[lo, hi)` of `Aᵀ × B` (`a` is `rows × acols`, `b` is
-/// `rows × n`). `k` runs over all of `a`'s rows in order, so the
-/// accumulation order per output element matches the full sequential
-/// kernel no matter how the row range is split.
-#[allow(clippy::too_many_arguments)]
-fn t_matmul_panel(
-    out: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    rows: usize,
-    acols: usize,
-    n: usize,
-    lo: usize,
-    hi: usize,
-) {
-    for k in 0..rows {
-        let arow = &a[k * acols..(k + 1) * acols];
-        let brow = &b[k * n..(k + 1) * n];
-        for i in lo..hi {
-            let av = arow[i];
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[(i - lo) * n..(i - lo + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+/// `out += a(m×k) × b(k×n)` with i-k-j ordering and optional row-panel
+/// threading, through the backend selected by [`simd::select_matmul`].
+/// `out` must be zeroed (or hold a partial result to accumulate onto).
+pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    matmul_into_with(simd::choose_matmul(n), out, a, m, k, b, n);
 }
 
-/// `out += a(m×k) × b(k×n)` with i-k-j ordering, k-blocking and optional
-/// row-panel threading. `out` must be zeroed (or hold a partial result to
-/// accumulate onto).
-pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+/// [`matmul_into`] with a pre-resolved panel kernel — the plan-time
+/// dispatch path (tape replay, frozen inference plans) that keeps
+/// selection out of the hot loop.
+pub fn matmul_into_with(
+    panel_fn: simd::PanelFn,
+    out: &mut [f32],
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -421,10 +423,10 @@ pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n:
             // Row panels are disjoint slices of `out`.
             let panel =
                 unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
-            matmul_panel(panel, &a[lo * k..hi * k], hi - lo, k, b, n);
+            panel_fn(panel, &a[lo * k..hi * k], hi - lo, k, b, n);
         });
     } else {
-        matmul_panel(out, a, m, k, b, n);
+        panel_fn(out, a, m, k, b, n);
     }
 }
 
@@ -436,6 +438,19 @@ pub fn matmul_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n:
 /// bits identical to [`matmul_t_into`]'s dot kernel but a vectorizable
 /// row-major inner loop.
 pub fn matmul_dense_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
+    matmul_dense_into_with(simd::choose_dense(n), out, a, m, k, b, n);
+}
+
+/// [`matmul_dense_into`] with a pre-resolved panel kernel.
+pub fn matmul_dense_into_with(
+    panel_fn: simd::PanelFn,
+    out: &mut [f32],
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+) {
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
@@ -446,27 +461,10 @@ pub fn matmul_dense_into(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f3
         pool::parallel_ranges(m, |_, lo, hi| {
             let panel =
                 unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
-            matmul_dense_panel(panel, &a[lo * k..hi * k], hi - lo, k, b, n);
+            panel_fn(panel, &a[lo * k..hi * k], hi - lo, k, b, n);
         });
     } else {
-        matmul_dense_panel(out, a, m, k, b, n);
-    }
-}
-
-fn matmul_dense_panel(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
-    for k0 in (0..k).step_by(BLOCK_K) {
-        let k1 = (k0 + BLOCK_K).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for kk in k0..k1 {
-                let av = arow[kk];
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
+        panel_fn(out, a, m, k, b, n);
     }
 }
 
@@ -478,27 +476,6 @@ pub fn transpose_into(out: &mut [f32], a: &[f32], rows: usize, cols: usize) {
     for (r, arow) in a.chunks_exact(cols.max(1)).enumerate() {
         for (c, &v) in arow.iter().enumerate() {
             out[c * rows + r] = v;
-        }
-    }
-}
-
-/// Single-threaded blocked kernel for one row panel.
-fn matmul_panel(out: &mut [f32], a: &[f32], m: usize, k: usize, b: &[f32], n: usize) {
-    for k0 in (0..k).step_by(BLOCK_K) {
-        let k1 = (k0 + BLOCK_K).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for kk in k0..k1 {
-                let av = arow[kk];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
         }
     }
 }

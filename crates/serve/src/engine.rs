@@ -7,7 +7,7 @@ use mga_graph::ProGraph;
 use mga_nn::arena::Arena;
 
 use crate::cache::EmbeddingCache;
-use crate::plan::InferencePlan;
+use crate::plan::{InferencePlan, Precision};
 
 /// Batching policy for the serving loop. Time is *logical*: the engine
 /// never reads a wall clock, so a given submit/tick script always forms
@@ -22,6 +22,9 @@ pub struct ServeConfig {
     pub max_wait_ticks: u64,
     /// Static-embedding cache capacity (distinct kernels resident).
     pub cache_capacity: usize,
+    /// Weight precision the plan is compiled at. Quantized precisions
+    /// are approximate — gate them on argmax parity before serving.
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -30,6 +33,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait_ticks: 2,
             cache_capacity: 64,
+            precision: Precision::F32,
         }
     }
 }
@@ -103,7 +107,7 @@ impl<'a> Engine<'a> {
         cfg: ServeConfig,
     ) -> Engine<'a> {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
-        let plan = InferencePlan::compile(model);
+        let plan = InferencePlan::compile_with(model, cfg.precision);
         let cache = EmbeddingCache::new(cfg.cache_capacity, plan.static_dim());
         let mut arena = Arena::new();
         // Prewarm every scratch size class (single-request and batch)

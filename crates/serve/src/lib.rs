@@ -25,13 +25,18 @@
 //!   the scratch memory cycles through an `mga-nn` arena so the steady
 //!   state allocates nothing.
 //!
-//! Every prediction is **bitwise identical** to
+//! Every f32 prediction is **bitwise identical** to
 //! [`mga_core::model::FusionModel::predict`]: the plan re-enters the
-//! same matmul / bias-activation kernels the tape uses, static
-//! embedding rows are row-stable under batching, and class decisions
-//! share the training argmax comparator. The property tests in
-//! `tests/serve_parity.rs` enforce this across request orderings, batch
-//! sizes, thread counts and cache states.
+//! same matmul / bias-activation kernels the tape uses (with the panel
+//! kernel resolved once at compile time), static embedding rows are
+//! row-stable under batching, and class decisions share the training
+//! argmax comparator. The property tests in `tests/serve_parity.rs`
+//! enforce this across request orderings, batch sizes, thread counts
+//! and cache states. Plans can also be compiled at
+//! [`plan::Precision::Bf16`] / [`plan::Precision::Int8`]; those are
+//! approximate and only eligible for serving behind an exact-argmax
+//! parity gate against the f32 plan (enforced by `serve_bench` on the
+//! CV test folds and by `tests/quantized_parity.rs`).
 
 pub mod cache;
 pub mod engine;
@@ -39,4 +44,4 @@ pub mod plan;
 
 pub use cache::EmbeddingCache;
 pub use engine::{Engine, Request, Response, ServeConfig};
-pub use plan::InferencePlan;
+pub use plan::{InferencePlan, Precision};

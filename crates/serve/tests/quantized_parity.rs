@@ -1,0 +1,143 @@
+//! Accuracy parity of the quantized inference plans.
+//!
+//! Quantized plans (bf16 / int8 weights) are approximate by
+//! construction, so their contract is *statistical*, not bitwise: on the
+//! CV folds of a real trained model they must (a) agree with the f32
+//! plan's argmax on every head of every sample — the same gate
+//! `serve_bench` enforces before a quantized record ships — and (b) keep
+//! the softmax probability error of the final head and the trunk hidden
+//! activations within a small bound, so near-ties are the only place a
+//! disagreement could ever come from.
+
+use std::sync::OnceLock;
+
+use mga_core::cv::kfold_by_group;
+use mga_core::dataset::OmpDataset;
+use mga_core::model::{FusionModel, Modality, ModelConfig, TrainData};
+use mga_core::omp::OmpTask;
+use mga_dae::DaeConfig;
+use mga_gnn::GnnConfig;
+use mga_kernels::catalog::openmp_thread_dataset;
+use mga_serve::{InferencePlan, Precision};
+use mga_sim::cpu::CpuSpec;
+use mga_sim::openmp::thread_space;
+
+struct Ctx {
+    ds: OmpDataset,
+    task: OmpTask,
+    model: FusionModel,
+}
+
+fn ctx() -> &'static Ctx {
+    static CTX: OnceLock<Ctx> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let specs: Vec<_> = openmp_thread_dataset().into_iter().step_by(4).collect();
+        let cpu = CpuSpec::comet_lake();
+        let sizes = vec![1e5, 1e7, 3e8];
+        let ds = OmpDataset::build(specs, sizes, thread_space(&cpu), cpu, 16, 3);
+        let task = OmpTask::new(&ds);
+        let cfg = ModelConfig {
+            modality: Modality::Multimodal,
+            use_aux: true,
+            gnn: GnnConfig {
+                dim: 12,
+                layers: 1,
+                update: mga_gnn::UpdateKind::Gru,
+                homogeneous: false,
+            },
+            dae: DaeConfig {
+                input_dim: 16,
+                hidden_dim: 10,
+                code_dim: 5,
+                epochs: 15,
+                ..DaeConfig::default()
+            },
+            hidden: 24,
+            epochs: 20,
+            lr: 0.02,
+            seed: 5,
+        };
+        let data = task.train_data(&ds);
+        let folds = kfold_by_group(&ds.groups(), 4, 2);
+        let model = FusionModel::fit(cfg, &data, &folds[0].train, &task.codec.head_sizes());
+        Ctx { ds, task, model }
+    })
+}
+
+fn softmax(row: &[f32]) -> Vec<f32> {
+    let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = row.iter().map(|&v| (v - mx).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Run every dataset sample through a plan compiled at `precision` and
+/// the f32 reference, returning the worst-case head disagreement count,
+/// final-head softmax probability error and trunk activation error.
+fn compare(precision: Precision) -> (usize, f32, f32) {
+    let c = ctx();
+    let data: TrainData<'_> = c.task.train_data(&c.ds);
+    let p32 = InferencePlan::compile_with(&c.model, Precision::F32);
+    let pq = InferencePlan::compile_with(&c.model, precision);
+    assert_eq!(pq.precision(), precision);
+    assert!(
+        pq.weight_bytes() < p32.weight_bytes(),
+        "quantized plan should pack weights smaller"
+    );
+
+    let (in_dim, sd, nh) = (p32.in_dim(), p32.static_dim(), p32.num_heads());
+    let mut x = vec![0.0f32; in_dim];
+    let mut h32 = vec![0.0f32; p32.hidden()];
+    let mut hq = vec![0.0f32; p32.hidden()];
+    let mut lg32 = vec![0.0f32; p32.max_classes()];
+    let mut lgq = vec![0.0f32; p32.max_classes()];
+    let mut cls32 = vec![0usize; nh];
+    let mut clsq = vec![0usize; nh];
+    let last_nc = *p32.head_sizes().last().expect("at least one head");
+
+    let (mut disagreements, mut max_prob_err, mut max_hidden_err) = (0usize, 0.0f32, 0.0f32);
+    for i in 0..c.ds.samples.len() {
+        let kernel = data.sample_kernel[i];
+        let emb = c
+            .model
+            .static_embedding(&data.graphs[kernel], &data.vectors[kernel]);
+        x[..sd].copy_from_slice(&emb);
+        p32.scale_aux_into(&mut x[sd..], &data.aux[i]);
+        p32.forward_into(&x, 1, &mut h32, &mut lg32, &mut cls32);
+        pq.forward_into(&x, 1, &mut hq, &mut lgq, &mut clsq);
+        disagreements += cls32.iter().zip(&clsq).filter(|(a, b)| a != b).count();
+        // The logits scratch holds the *last* head after forward_into.
+        for (p, q) in softmax(&lg32[..last_nc])
+            .iter()
+            .zip(&softmax(&lgq[..last_nc]))
+        {
+            max_prob_err = max_prob_err.max((p - q).abs());
+        }
+        for (a, b) in h32.iter().zip(&hq) {
+            max_hidden_err = max_hidden_err.max((a - b).abs());
+        }
+    }
+    (disagreements, max_prob_err, max_hidden_err)
+}
+
+#[test]
+fn bf16_plan_matches_f32_argmax_with_bounded_probability_error() {
+    let (disagreements, prob_err, hidden_err) = compare(Precision::Bf16);
+    assert_eq!(
+        disagreements, 0,
+        "bf16 plan flipped an argmax the parity gate must catch"
+    );
+    assert!(prob_err < 0.02, "bf16 softmax error {prob_err} too large");
+    assert!(hidden_err < 0.05, "bf16 trunk error {hidden_err} too large");
+}
+
+#[test]
+fn int8_plan_matches_f32_argmax_with_bounded_probability_error() {
+    let (disagreements, prob_err, hidden_err) = compare(Precision::Int8);
+    assert_eq!(
+        disagreements, 0,
+        "int8 plan flipped an argmax the parity gate must catch"
+    );
+    assert!(prob_err < 0.08, "int8 softmax error {prob_err} too large");
+    assert!(hidden_err < 0.15, "int8 trunk error {hidden_err} too large");
+}

@@ -137,6 +137,7 @@ fn batched_engine_matches_sequential_predict() {
         max_batch: 5,
         max_wait_ticks: 2,
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
     let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
     let idx: Vec<usize> = (0..c.ds.samples.len()).collect();
@@ -220,6 +221,7 @@ fn evicting_cache_stays_correct() {
         max_batch: 3,
         max_wait_ticks: 1,
         cache_capacity: 2,
+        ..ServeConfig::default()
     };
     let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
     let idx: Vec<usize> = (0..c.ds.samples.len()).collect();
@@ -245,6 +247,7 @@ fn batching_policy_is_tick_deterministic() {
         max_batch: 4,
         max_wait_ticks: 3,
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
     let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
 
@@ -274,6 +277,7 @@ fn steady_state_serving_allocates_zero_arena_bytes() {
         max_batch: 4,
         max_wait_ticks: 1,
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
     let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
     let idx: Vec<usize> = (0..c.ds.samples.len()).collect();
@@ -319,7 +323,7 @@ proptest! {
         let warm_first = warm_sel == 1;
         let c = ctx();
         let data = train_data(c);
-        let cfg = ServeConfig { max_batch, max_wait_ticks, cache_capacity: 8 };
+        let cfg = ServeConfig { max_batch, max_wait_ticks, cache_capacity: 8, ..ServeConfig::default() };
         let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
 
         let mut rng = StdRng::seed_from_u64(seed);
@@ -366,6 +370,7 @@ fn battery() -> Vec<u64> {
             max_batch: 5,
             max_wait_ticks: 2,
             cache_capacity: 16,
+            ..ServeConfig::default()
         };
         let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
         let idx: Vec<usize> = (0..c.ds.samples.len()).collect();
