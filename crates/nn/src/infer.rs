@@ -79,6 +79,34 @@ pub fn argmax(row: &[f32]) -> usize {
         .unwrap_or(0)
 }
 
+/// [`argmax`] plus the top-1 − top-2 decision margin, for telemetry.
+///
+/// The winning index is decided by the **same comparator and tie-break**
+/// as [`argmax`] (`total_cmp`, last maximum wins), so the class half of
+/// the result is bitwise-interchangeable with it — the serving engine
+/// uses this everywhere and stays prediction-identical to training.
+/// Rows shorter than two elements have no runner-up; their margin is
+/// defined as `0.0` (callers treat single-class heads as fully
+/// confident).
+pub fn argmax_margin(row: &[f32]) -> (usize, f32) {
+    if row.len() < 2 {
+        return (0, 0.0);
+    }
+    let mut best_i = 0usize;
+    let mut best = row[0];
+    let mut second = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v.total_cmp(&best) != std::cmp::Ordering::Less {
+            second = best;
+            best = v;
+            best_i = i;
+        } else if v.total_cmp(&second) == std::cmp::Ordering::Greater {
+            second = v;
+        }
+    }
+    (best_i, best - second)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +167,39 @@ mod tests {
         assert_eq!(argmax(&[-1.0, -2.0]), 0);
         assert_eq!(argmax(&[f32::NEG_INFINITY, -1e30]), 1);
         assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn argmax_margin_class_matches_argmax() {
+        // Hand-picked edge cases: ties (last wins), negatives, NaN
+        // (total_cmp sorts positive NaN above +inf), short rows.
+        let cases: Vec<Vec<f32>> = vec![
+            vec![0.1, 0.5, 0.5, 0.2],
+            vec![-1.0, -2.0],
+            vec![f32::NEG_INFINITY, -1e30],
+            vec![3.0],
+            vec![],
+            vec![f32::NAN, 1.0, 2.0],
+            vec![1.0, f32::NAN],
+            vec![2.0, 2.0, 2.0],
+        ];
+        for row in &cases {
+            assert_eq!(argmax_margin(row).0, argmax(row), "row {row:?}");
+        }
+        // Randomized agreement sweep with frequent ties.
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for _ in 0..500 {
+            let n = rng.gen_range(1..9usize);
+            let row: Vec<f32> = (0..n).map(|_| rng.gen_range(-2..3) as f32 * 0.5).collect();
+            let (cls, margin) = argmax_margin(&row);
+            assert_eq!(cls, argmax(&row), "row {row:?}");
+            if n >= 2 {
+                let mut sorted = row.clone();
+                sorted.sort_by(|a, b| b.total_cmp(a));
+                assert_eq!(margin, sorted[0] - sorted[1], "row {row:?}");
+            } else {
+                assert_eq!(margin, 0.0);
+            }
+        }
     }
 }

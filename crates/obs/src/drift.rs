@@ -1,0 +1,389 @@
+//! Tick-driven drift detectors for the serving path.
+//!
+//! ROADMAP item 2 (telemetry-driven continual fine-tuning) needs
+//! *triggers*: signals that serving traffic has left the training
+//! distribution. This module watches the three the paper's deployment
+//! story motivates — the **new-kernel rate** (programs the model never
+//! trained on), the **cache-miss rate** (working set outgrowing the
+//! embedding cache / churning kernels), and **mean head confidence**
+//! (decision margins collapsing, the classic symptom of covariate
+//! shift).
+//!
+//! Detection is **deterministic**: the monitor advances on the engine's
+//! logical ticks, never a wall clock. Every `window_ticks` ticks it
+//! closes a window, folds the window's rates into per-signal EWMAs, and
+//! compares them to configured thresholds. Alerts are edge-triggered —
+//! a [`DriftEvent`] fires on the window boundary tick where the EWMA
+//! first crosses its threshold, and the detector re-arms once the EWMA
+//! returns to the healthy side. Replaying the same submit/tick script
+//! therefore fires the same events at the same ticks, which is what
+//! lets CI assert exact trigger ticks (`validate_trace --drift-replay`).
+//!
+//! Windows with zero requests are skipped entirely (no EWMA update, no
+//! warmup credit): an idle engine is not evidence about the traffic
+//! distribution.
+//!
+//! The monitor allocates nothing after construction; event delivery is
+//! by caller-supplied sink (`FnMut(DriftEvent)`), so the serving engine
+//! can append into a pre-allocated buffer. Each fired event also bumps
+//! the always-on `drift.events` / `drift.events.<kind>` counters in the
+//! metrics registry.
+
+use crate::metrics;
+
+/// Which drift signal fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// EWMA of (first-ever-seen kernels / requests) exceeded the limit.
+    NewKernelRate,
+    /// EWMA of (embedding-cache misses / lookups) exceeded the limit.
+    CacheMissRate,
+    /// EWMA of mean per-request head confidence fell below the floor.
+    ConfidenceCollapse,
+}
+
+impl DriftKind {
+    /// Stable lower-snake tag used in JSONL events and metric names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DriftKind::NewKernelRate => "new_kernel_rate",
+            DriftKind::CacheMissRate => "cache_miss_rate",
+            DriftKind::ConfidenceCollapse => "confidence_collapse",
+        }
+    }
+
+    fn counter(&self) -> &'static str {
+        match self {
+            DriftKind::NewKernelRate => "drift.events.new_kernel_rate",
+            DriftKind::CacheMissRate => "drift.events.cache_miss_rate",
+            DriftKind::ConfidenceCollapse => "drift.events.confidence_collapse",
+        }
+    }
+}
+
+/// One drift trigger: the signal, the logical tick of the window
+/// boundary where it crossed, the smoothed (EWMA) value, the raw rate
+/// of the breaching window, and the configured threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    pub kind: DriftKind,
+    pub tick: u64,
+    pub value: f64,
+    pub raw: f64,
+    pub threshold: f64,
+}
+
+/// Monitor tuning. Thresholds are absolute; smoothing is a standard
+/// EWMA with weight `alpha` on the newest window.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Logical ticks per evaluation window.
+    pub window_ticks: u64,
+    /// EWMA weight of the newest window (0 < alpha <= 1).
+    pub alpha: f64,
+    /// Evaluated (non-empty) windows before alerts arm — the first
+    /// windows establish the baseline instead of firing on it.
+    pub warmup_windows: u32,
+    /// Alert when the new-kernel-rate EWMA exceeds this.
+    pub max_new_kernel_rate: f64,
+    /// Alert when the cache-miss-rate EWMA exceeds this.
+    pub max_cache_miss_rate: f64,
+    /// Alert when the mean-confidence EWMA falls below this.
+    pub min_confidence: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            window_ticks: 64,
+            alpha: 0.3,
+            warmup_windows: 2,
+            max_new_kernel_rate: 0.5,
+            max_cache_miss_rate: 0.5,
+            min_confidence: 0.55,
+        }
+    }
+}
+
+/// What the engine observed during one logical tick.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickStats {
+    /// Requests completed this tick.
+    pub requests: u64,
+    /// Requests whose kernel had never been served before.
+    pub new_kernels: u64,
+    /// Embedding-cache lookups this tick.
+    pub cache_lookups: u64,
+    /// Embedding-cache misses this tick.
+    pub cache_misses: u64,
+    /// Sum of per-request mean head confidence (divide by `requests`).
+    pub confidence_sum: f64,
+}
+
+impl TickStats {
+    /// Fold another tick's stats in (window accumulation).
+    fn add(&mut self, o: &TickStats) {
+        self.requests += o.requests;
+        self.new_kernels += o.new_kernels;
+        self.cache_lookups += o.cache_lookups;
+        self.cache_misses += o.cache_misses;
+        self.confidence_sum += o.confidence_sum;
+    }
+}
+
+/// One EWMA-with-threshold detector; `above` alerts on EWMA > threshold,
+/// otherwise on EWMA < threshold.
+#[derive(Debug, Clone)]
+struct Detector {
+    kind: DriftKind,
+    threshold: f64,
+    above: bool,
+    ewma: Option<f64>,
+    breached: bool,
+}
+
+impl Detector {
+    fn new(kind: DriftKind, threshold: f64, above: bool) -> Detector {
+        Detector {
+            kind,
+            threshold,
+            above,
+            ewma: None,
+            breached: false,
+        }
+    }
+
+    /// Fold `rate` in and return the event to fire, if any.
+    fn update(&mut self, alpha: f64, rate: f64, armed: bool, tick: u64) -> Option<DriftEvent> {
+        let ewma = match self.ewma {
+            None => rate,
+            Some(m) => alpha * rate + (1.0 - alpha) * m,
+        };
+        self.ewma = Some(ewma);
+        let breach = if self.above {
+            ewma > self.threshold
+        } else {
+            ewma < self.threshold
+        };
+        let fire = armed && breach && !self.breached;
+        // Track the breach state even while warming up, so an alert
+        // condition present from the first armed window still fires
+        // exactly once on the first armed boundary.
+        self.breached = breach && armed;
+        fire.then_some(DriftEvent {
+            kind: self.kind,
+            tick,
+            value: ewma,
+            raw: rate,
+            threshold: self.threshold,
+        })
+    }
+}
+
+/// The serving-path drift monitor: three EWMA detectors advanced by
+/// logical ticks. See the module docs for the exact window/trigger
+/// semantics.
+pub struct DriftMonitor {
+    cfg: DriftConfig,
+    window: TickStats,
+    ticks_in_window: u64,
+    evaluated_windows: u32,
+    detectors: [Detector; 3],
+}
+
+impl DriftMonitor {
+    pub fn new(cfg: DriftConfig) -> DriftMonitor {
+        assert!(cfg.window_ticks > 0, "drift window must be positive");
+        assert!(
+            cfg.alpha > 0.0 && cfg.alpha <= 1.0,
+            "EWMA alpha must be in (0, 1]"
+        );
+        let detectors = [
+            Detector::new(DriftKind::NewKernelRate, cfg.max_new_kernel_rate, true),
+            Detector::new(DriftKind::CacheMissRate, cfg.max_cache_miss_rate, true),
+            Detector::new(DriftKind::ConfidenceCollapse, cfg.min_confidence, false),
+        ];
+        DriftMonitor {
+            cfg,
+            window: TickStats::default(),
+            ticks_in_window: 0,
+            evaluated_windows: 0,
+            detectors,
+        }
+    }
+
+    /// The configuration the monitor runs with.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// Evaluated (non-empty) windows so far.
+    pub fn evaluated_windows(&self) -> u32 {
+        self.evaluated_windows
+    }
+
+    /// Current EWMA of a signal, if at least one window evaluated.
+    pub fn ewma(&self, kind: DriftKind) -> Option<f64> {
+        self.detectors
+            .iter()
+            .find(|d| d.kind == kind)
+            .and_then(|d| d.ewma)
+    }
+
+    /// Whether a signal's EWMA currently breaches its threshold.
+    pub fn breached(&self, kind: DriftKind) -> bool {
+        self.detectors
+            .iter()
+            .find(|d| d.kind == kind)
+            .map(|d| d.breached)
+            .unwrap_or(false)
+    }
+
+    /// Advance one logical tick. `tick` is the engine's tick value (used
+    /// only to stamp events); stats are this tick's deltas. Fired events
+    /// go to `sink` (0–3 per call, only on window-boundary ticks) and
+    /// bump the `drift.events*` counters.
+    pub fn on_tick(&mut self, tick: u64, stats: &TickStats, sink: &mut impl FnMut(DriftEvent)) {
+        self.window.add(stats);
+        self.ticks_in_window += 1;
+        if self.ticks_in_window < self.cfg.window_ticks {
+            return;
+        }
+        let w = std::mem::take(&mut self.window);
+        self.ticks_in_window = 0;
+        if w.requests == 0 {
+            // Idle window: no traffic, no evidence, no EWMA update.
+            return;
+        }
+        self.evaluated_windows += 1;
+        let armed = self.evaluated_windows > self.cfg.warmup_windows;
+        let rates = [
+            w.new_kernels as f64 / w.requests as f64,
+            if w.cache_lookups == 0 {
+                0.0
+            } else {
+                w.cache_misses as f64 / w.cache_lookups as f64
+            },
+            w.confidence_sum / w.requests as f64,
+        ];
+        for (d, &rate) in self.detectors.iter_mut().zip(&rates) {
+            if let Some(ev) = d.update(self.cfg.alpha, rate, armed, tick) {
+                metrics::counter("drift.events").inc();
+                metrics::counter(ev.kind.counter()).inc();
+                sink(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: u64) -> DriftConfig {
+        DriftConfig {
+            window_ticks: window,
+            alpha: 0.5,
+            warmup_windows: 1,
+            max_new_kernel_rate: 0.4,
+            max_cache_miss_rate: 0.4,
+            min_confidence: 0.6,
+        }
+    }
+
+    fn healthy_tick() -> TickStats {
+        TickStats {
+            requests: 4,
+            new_kernels: 0,
+            cache_lookups: 4,
+            cache_misses: 0,
+            confidence_sum: 4.0 * 0.9,
+        }
+    }
+
+    /// A scripted miss-rate ramp fires exactly once, at the exact window
+    /// boundary tick where the EWMA crosses, and re-fires only after the
+    /// signal recovers — the determinism contract CI replays.
+    #[test]
+    fn cache_miss_drift_fires_at_exact_tick() {
+        let mut m = DriftMonitor::new(cfg(4));
+        let mut events = Vec::new();
+        let mut tick = 0u64;
+        let mut run = |m: &mut DriftMonitor, events: &mut Vec<DriftEvent>, n: u64, s: TickStats| {
+            for _ in 0..n {
+                tick += 1;
+                m.on_tick(tick, &s, &mut |e| events.push(e));
+            }
+        };
+        // Window 1 (ticks 1–4): healthy baseline (warmup, EWMA = 0).
+        run(&mut m, &mut events, 4, healthy_tick());
+        // Window 2 (ticks 5–8): total miss storm. Armed from this window
+        // on; EWMA = 0.5·1.0 + 0.5·0.0 = 0.5 > 0.4 → fires at tick 8.
+        let storm = TickStats {
+            requests: 4,
+            new_kernels: 0,
+            cache_lookups: 4,
+            cache_misses: 4,
+            confidence_sum: 4.0 * 0.9,
+        };
+        run(&mut m, &mut events, 4, storm);
+        assert_eq!(events.len(), 1, "exactly one event: {events:?}");
+        assert_eq!(events[0].kind, DriftKind::CacheMissRate);
+        assert_eq!(events[0].tick, 8, "fires on the window boundary tick");
+        assert!((events[0].value - 0.5).abs() < 1e-12);
+        assert_eq!(events[0].threshold, 0.4);
+        // Window 3: still storming — breached already, no re-fire.
+        run(&mut m, &mut events, 4, storm);
+        assert_eq!(events.len(), 1, "edge-triggered: no repeat while high");
+        // Recovery windows pull the EWMA back under 0.4 → re-arms.
+        run(&mut m, &mut events, 12, healthy_tick());
+        assert!(!m.breached(DriftKind::CacheMissRate));
+        // A fresh storm fires again (EWMA jumps back above 0.4).
+        run(&mut m, &mut events, 4, storm);
+        assert_eq!(events.len(), 2, "re-fires after recovery");
+        assert_eq!(events[1].tick, 28);
+    }
+
+    #[test]
+    fn new_kernel_and_confidence_detectors_fire() {
+        let mut m = DriftMonitor::new(cfg(2));
+        let mut events = Vec::new();
+        let mut sink_events = Vec::new();
+        // 2 warmup-ish windows of healthy traffic (window 1 counts as
+        // warmup; armed from window 2 onward).
+        for t in 1..=4u64 {
+            m.on_tick(t, &healthy_tick(), &mut |e| sink_events.push(e));
+        }
+        assert!(sink_events.is_empty());
+        // Every request is a brand-new kernel with collapsed confidence.
+        let bad = TickStats {
+            requests: 2,
+            new_kernels: 2,
+            cache_lookups: 2,
+            cache_misses: 2,
+            confidence_sum: 2.0 * 0.1,
+        };
+        for t in 5..=20u64 {
+            m.on_tick(t, &bad, &mut |e| events.push(e));
+        }
+        let kinds: Vec<DriftKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&DriftKind::NewKernelRate), "{kinds:?}");
+        assert!(kinds.contains(&DriftKind::CacheMissRate));
+        assert!(kinds.contains(&DriftKind::ConfidenceCollapse));
+        // Each fired exactly once (edge-triggered).
+        assert_eq!(events.len(), 3, "{events:?}");
+        assert!(m.ewma(DriftKind::ConfidenceCollapse).unwrap() < 0.6);
+    }
+
+    #[test]
+    fn idle_windows_update_nothing() {
+        let mut m = DriftMonitor::new(cfg(2));
+        let mut fired = 0usize;
+        for t in 1..=100u64 {
+            m.on_tick(t, &TickStats::default(), &mut |_| fired += 1);
+        }
+        assert_eq!(fired, 0);
+        assert_eq!(m.evaluated_windows(), 0, "idle windows are skipped");
+        assert!(m.ewma(DriftKind::CacheMissRate).is_none());
+    }
+}

@@ -25,6 +25,22 @@
 //!   record (seed, thread count, dataset sizes, per-fold timings, final
 //!   metrics) every experiment binary writes next to its text output.
 //!
+//! The serving engine (`mga-serve`) adds a production-telemetry layer on
+//! top:
+//!
+//! * [`hist`] — mergeable log₂-bucketed latency histograms: lock-free
+//!   `observe`, shard-mergeable snapshots, and a `percentile` estimator
+//!   with a proven 1.5× bound. Registered via
+//!   [`metrics::log_histogram`].
+//! * [`drift`] — deterministic, tick-driven EWMA drift detectors
+//!   (new-kernel rate, cache-miss rate, head-confidence collapse)
+//!   emitting typed [`drift::DriftEvent`]s — the triggers for
+//!   telemetry-driven continual fine-tuning.
+//! * [`export`] — Prometheus text-exposition rendering of the whole
+//!   registry (`MGA_PROM_OUT=path` snapshots it at [`finish`]).
+//! * [`clock`] — a cheap monotonic nanosecond clock (TSC-based on
+//!   x86-64) for hot paths where `Instant::now` is too expensive.
+//!
 //! Environment variables (all read by [`init_from_env`], which the
 //! experiment harness calls once at startup):
 //!
@@ -32,10 +48,18 @@
 //! |---|---|
 //! | `MGA_TRACE=path` | enable span tracing; write span-close events as JSONL to `path` (`MGA_TRACE=1` aggregates without a file) |
 //! | `MGA_METRICS_OUT=path` | write a JSONL metrics snapshot at [`finish`] |
+//! | `MGA_PROM_OUT=path` | write a Prometheus text-format snapshot at [`finish`] |
 //! | `MGA_LOG=level` | stderr log level (`error`, `warn`, `info`, `debug`) |
 //! | `MGA_FAULT=spec` | arm deterministic fault injection (see [`fault`]) |
+//!
+//! (`MGA_FLIGHT=path` — the serving flight-recorder dump — is read by
+//! `mga-serve`, not here; it is listed in that crate's docs.)
 
+pub mod clock;
+pub mod drift;
+pub mod export;
 pub mod fault;
+pub mod hist;
 pub mod json;
 pub mod log;
 pub mod manifest;
@@ -71,4 +95,5 @@ pub fn finish() {
             }
         }
     }
+    export::write_prom_if_enabled();
 }

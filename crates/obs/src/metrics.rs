@@ -10,6 +10,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use crate::hist::LogHistogram;
+
 /// Monotonic event counter.
 #[derive(Default)]
 pub struct Counter(AtomicU64);
@@ -116,6 +118,7 @@ enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
     Histogram(&'static Histogram),
+    LogHist(&'static LogHistogram),
 }
 
 fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
@@ -123,9 +126,16 @@ fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// Lock the registry, shrugging off poisoning: a panic elsewhere while
+/// interning must not take process-wide telemetry down with it (the map
+/// is only ever grown, so a poisoned lock still guards a valid map).
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Intern (or fetch) the counter named `name`.
 pub fn counter(name: &'static str) -> &'static Counter {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_registry();
     match reg
         .entry(name)
         .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
@@ -137,7 +147,7 @@ pub fn counter(name: &'static str) -> &'static Counter {
 
 /// Intern (or fetch) the gauge named `name`.
 pub fn gauge(name: &'static str) -> &'static Gauge {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_registry();
     match reg
         .entry(name)
         .or_insert_with(|| Metric::Gauge(Box::leak(Box::default())))
@@ -150,7 +160,7 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
 /// Intern (or fetch) the histogram named `name`. The `bounds` apply on
 /// first registration; later calls return the existing histogram.
 pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
-    let mut reg = registry().lock().unwrap();
+    let mut reg = lock_registry();
     match reg
         .entry(name)
         .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new(bounds)))))
@@ -160,8 +170,25 @@ pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
     }
 }
 
-/// A point-in-time view of one metric.
+/// Intern (or fetch) the log₂-bucketed latency histogram named `name`
+/// (see [`crate::hist`]): fixed power-of-two buckets over nanoseconds,
+/// lock-free observe, mergeable snapshots.
+pub fn log_histogram(name: &'static str) -> &'static LogHistogram {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::LogHist(Box::leak(Box::new(LogHistogram::new()))))
+    {
+        Metric::LogHist(h) => h,
+        _ => panic!("metric {name} already registered with a different type"),
+    }
+}
+
+/// A point-in-time view of one metric. Snapshots are cold-path values
+/// (export, tests), so the size spread between the scalar and histogram
+/// variants is not worth boxing away.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum MetricValue {
     Counter(u64),
     Gauge(f64),
@@ -171,11 +198,17 @@ pub enum MetricValue {
         count: u64,
         sum: f64,
     },
+    /// Log₂-bucketed nanosecond histogram; bucket `b ≥ 1` covers
+    /// `[2^(b-1), 2^b)`, bucket 0 holds exact zeros.
+    LogHist(crate::hist::HistSnapshot),
 }
 
-/// Snapshot every registered metric, sorted by name.
+/// Snapshot every registered metric, **sorted by name** — the registry
+/// is a `BTreeMap`, so snapshot order (and every serialization built on
+/// it) is deterministic across runs and telemetry artifacts diff
+/// cleanly. Pinned by `snapshot_and_jsonl_are_sorted_by_name`.
 pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
-    let reg = registry().lock().unwrap();
+    let reg = lock_registry();
     reg.iter()
         .map(|(&name, m)| {
             let v = match m {
@@ -187,6 +220,7 @@ pub fn snapshot() -> Vec<(&'static str, MetricValue)> {
                     count: h.count(),
                     sum: h.sum(),
                 },
+                Metric::LogHist(h) => MetricValue::LogHist(h.snapshot()),
             };
             (name, v)
         })
@@ -229,6 +263,29 @@ pub fn to_jsonl() -> String {
                 ("count", Json::Num(count as f64)),
                 ("sum", Json::Num(sum)),
             ]),
+            MetricValue::LogHist(s) => Json::obj(vec![
+                ("type", Json::str("log_histogram")),
+                ("name", Json::str(name)),
+                (
+                    "buckets",
+                    // Sparse [bucket_index, count] pairs: 65 mostly-empty
+                    // buckets per histogram would dominate the snapshot.
+                    Json::Arr(
+                        s.buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &n)| n > 0)
+                            .map(|(b, &n)| {
+                                Json::Arr(vec![Json::Num(b as f64), Json::Num(n as f64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("count", Json::Num(s.count as f64)),
+                ("sum", Json::Num(s.sum as f64)),
+                ("p50", Json::Num(s.percentile(50.0) as f64)),
+                ("p99", Json::Num(s.percentile(99.0) as f64)),
+            ]),
         };
         out.push_str(&obj.to_string());
         out.push('\n');
@@ -264,6 +321,15 @@ pub fn render_table() -> String {
                     };
                     out.push_str(&format!("{:<40}   {label:<12} {b}\n", ""));
                 }
+            }
+            MetricValue::LogHist(s) => {
+                out.push_str(&format!(
+                    "{name:<40} loghist n={} mean={:.0}ns p50={}ns p99={}ns\n",
+                    s.count,
+                    s.mean(),
+                    s.percentile(50.0),
+                    s.percentile(99.0),
+                ));
             }
         }
     }
@@ -319,6 +385,69 @@ mod tests {
     fn name_collision_across_types_panics() {
         counter("test.collision");
         gauge("test.collision");
+    }
+
+    #[test]
+    fn log_histograms_register_and_serialize() {
+        let h = log_histogram("test.loghist");
+        h.observe(100);
+        h.observe(100_000);
+        assert_eq!(log_histogram("test.loghist").count(), 2, "same handle");
+        let snap = snapshot();
+        let (_, v) = snap
+            .iter()
+            .find(|(n, _)| *n == "test.loghist")
+            .expect("registered");
+        let MetricValue::LogHist(s) = v else {
+            panic!("wrong metric type");
+        };
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 100_100);
+        // The JSONL line round-trips through the strict parser.
+        let line = to_jsonl()
+            .lines()
+            .find(|l| l.contains("test.loghist"))
+            .expect("jsonl line")
+            .to_string();
+        let doc = crate::json::parse(&line).expect("valid JSON");
+        assert_eq!(
+            doc.get("type").and_then(|t| t.as_str()),
+            Some("log_histogram")
+        );
+        assert_eq!(doc.get("count").and_then(|c| c.as_f64()), Some(2.0));
+        assert_eq!(
+            doc.get("buckets").and_then(|b| b.as_arr()).map(|a| a.len()),
+            Some(2)
+        );
+        assert!(render_table().contains("test.loghist"));
+    }
+
+    #[test]
+    fn snapshot_and_jsonl_are_sorted_by_name() {
+        // Register deliberately out of lexicographic order.
+        counter("test.order.zz").inc();
+        counter("test.order.aa").inc();
+        gauge("test.order.mm").set(1.0);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot must be sorted by metric name");
+        // And the JSONL serialization preserves that order line for line.
+        let jsonl_names: Vec<String> = to_jsonl()
+            .lines()
+            .map(|l| {
+                crate::json::parse(l)
+                    .expect("valid line")
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .expect("name field")
+                    .to_string()
+            })
+            .collect();
+        let mut jsorted = jsonl_names.clone();
+        jsorted.sort();
+        assert_eq!(jsonl_names, jsorted, "to_jsonl must be sorted by name");
     }
 
     #[test]

@@ -1,18 +1,27 @@
 //! The batched serving loop.
 
 use std::collections::VecDeque;
+use std::io::{self, Write};
 
 use mga_core::model::{FusionModel, PreparedBatch};
 use mga_graph::ProGraph;
 use mga_nn::arena::Arena;
+use mga_obs::drift::{DriftConfig, DriftEvent, DriftMonitor, TickStats};
+use mga_obs::hist::LogHistogram;
+use mga_obs::metrics::{Counter, Gauge};
+use mga_obs::{clock, metrics};
 
 use crate::cache::EmbeddingCache;
+use crate::flight::{drift_event_to_json, FlightRecord, FlightRecorder, MAX_FLIGHT_HEADS};
 use crate::plan::{InferencePlan, Precision};
 
 /// Batching policy for the serving loop. Time is *logical*: the engine
-/// never reads a wall clock, so a given submit/tick script always forms
-/// the same micro-batches — batching decisions are replayable in tests
-/// and across machines.
+/// never reads a wall clock on a **decision** path, so a given
+/// submit/tick script always forms the same micro-batches — batching
+/// decisions are replayable in tests and across machines. (With
+/// telemetry on, the engine does read a cheap wall clock to *measure*
+/// stage latencies; readings are observation-only and never feed
+/// control flow.)
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Dispatch as soon as this many requests are queued.
@@ -25,6 +34,17 @@ pub struct ServeConfig {
     /// Weight precision the plan is compiled at. Quantized precisions
     /// are approximate — gate them on argmax parity before serving.
     pub precision: Precision,
+    /// Record per-request flight records, stage latency histograms and
+    /// drift signals (default on; the recorder is allocation-free, so
+    /// production leaves this enabled). Turning it off changes **no**
+    /// served byte — `tests/serve_observability.rs` holds the engine to
+    /// that.
+    pub telemetry: bool,
+    /// Flight-recorder ring capacity (last N requests; 0 disables the
+    /// ring while keeping histograms and drift monitors).
+    pub flight_capacity: usize,
+    /// Drift-monitor tuning (windows, EWMA weight, thresholds).
+    pub drift: DriftConfig,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +54,9 @@ impl Default for ServeConfig {
             max_wait_ticks: 2,
             cache_capacity: 64,
             precision: Precision::F32,
+            telemetry: true,
+            flight_capacity: 4096,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -64,6 +87,55 @@ pub struct Response {
 struct Pending {
     req: Request,
     enqueued_tick: u64,
+    /// Wall nanoseconds at submit ([`clock::now_ns`]); 0 when telemetry
+    /// is off. Measurement only — dispatch decisions never read it.
+    submit_ns: u64,
+}
+
+/// Interned handles to every metric the per-request paths touch —
+/// latency histograms, throughput counters, the queue-depth gauge.
+/// Resolved once at engine construction so the hot path never takes the
+/// registry lock (a mutex + map lookup per call would dwarf the work
+/// being measured). Histogram values are nanoseconds.
+struct HotMetrics {
+    queue_wait: &'static LogHistogram,
+    cache: &'static LogHistogram,
+    scale: &'static LogHistogram,
+    trunk: &'static LogHistogram,
+    heads: &'static LogHistogram,
+    e2e: &'static LogHistogram,
+    requests: &'static Counter,
+    batches: &'static Counter,
+    batched_requests: &'static Counter,
+    queue_depth: &'static Gauge,
+}
+
+impl HotMetrics {
+    fn new() -> HotMetrics {
+        HotMetrics {
+            queue_wait: metrics::log_histogram("serve.lat.queue_wait"),
+            cache: metrics::log_histogram("serve.lat.cache_lookup"),
+            scale: metrics::log_histogram("serve.lat.scale_aux"),
+            trunk: metrics::log_histogram("serve.lat.trunk"),
+            heads: metrics::log_histogram("serve.lat.heads"),
+            e2e: metrics::log_histogram("serve.lat.e2e"),
+            requests: metrics::counter("serve.requests"),
+            batches: metrics::counter("serve.batches"),
+            batched_requests: metrics::counter("serve.batched_requests"),
+            queue_depth: metrics::gauge("serve.queue_depth"),
+        }
+    }
+}
+
+/// Fast algebraic squash of a decision margin into (0, 1):
+/// `0.5 + 0.5·m/(1+|m|)`. Monotonic in the margin, 0.5 at zero margin,
+/// ~1 for large margins — the shape the confidence drift detector
+/// needs, without the `exp` a true sigmoid would spend on every
+/// request. Margins are ≥ 0 (top-1 − top-2), so the result lives in
+/// [0.5, 1).
+#[inline]
+fn margin_confidence(m: f32) -> f32 {
+    0.5 + 0.5 * (m / (1.0 + m.abs()))
 }
 
 /// The serving engine: a frozen [`InferencePlan`], the per-kernel
@@ -77,6 +149,20 @@ struct Pending {
 /// computes their static embedding on first use and caches it — the
 /// paper's unseen-kernel scenario (Fig. 6) costs one GNN+DAE pass, then
 /// serves at cached speed.
+///
+/// With telemetry on (the default) the engine additionally maintains,
+/// still without allocating:
+///
+/// * a [`FlightRecorder`] ring of the last `flight_capacity` requests;
+/// * log₂ latency histograms per stage (`serve.lat.queue_wait`,
+///   `.cache_lookup`, `.scale_aux`, `.trunk`, `.heads`, `.e2e`) in the
+///   process metrics registry;
+/// * a [`DriftMonitor`] fed once per logical tick, whose events land in
+///   a pre-allocated buffer ([`Engine::drift_events`]) and the
+///   `drift.events*` counters.
+///
+/// Telemetry is observation-only: every served byte is bitwise
+/// identical with it on or off.
 pub struct Engine<'a> {
     plan: InferencePlan,
     cache: EmbeddingCache,
@@ -91,6 +177,23 @@ pub struct Engine<'a> {
     arena: Arena,
     /// Reusable class-decision buffer (`max_batch × num_heads`).
     cls: Vec<usize>,
+    /// Reusable per-head decision margins (`max_batch × num_heads`).
+    margins: Vec<f32>,
+    /// Per-row cache-hit flags for the batch being dispatched.
+    hits: Vec<bool>,
+    /// Which catalog kernels have been served at least once (new-kernel
+    /// drift signal).
+    seen: Vec<bool>,
+    flight: FlightRecorder,
+    lat: HotMetrics,
+    drift: DriftMonitor,
+    /// Drift events buffered for [`Engine::drift_events`] / the flight
+    /// dump; pre-allocated, overflow is counted in `drift_dropped`.
+    drift_events: Vec<DriftEvent>,
+    drift_dropped: u64,
+    /// Telemetry accumulated since the last tick, fed to the drift
+    /// monitor.
+    stats: TickStats,
     /// Arena bytes after construction prewarm; anything above this was
     /// allocated post-warmup and is reported as `serve.steady_alloc_bytes`.
     alloc_baseline: u64,
@@ -108,27 +211,49 @@ impl<'a> Engine<'a> {
     ) -> Engine<'a> {
         assert!(cfg.max_batch > 0, "max_batch must be positive");
         let plan = InferencePlan::compile_with(model, cfg.precision);
+        assert!(
+            plan.num_heads() <= MAX_FLIGHT_HEADS,
+            "flight records hold at most {MAX_FLIGHT_HEADS} heads"
+        );
         let cache = EmbeddingCache::new(cfg.cache_capacity, plan.static_dim());
         let mut arena = Arena::new();
         // Prewarm every scratch size class (single-request and batch)
         // so the first dispatch already runs on recycled buffers and the
-        // post-baseline allocation count stays at zero.
+        // post-baseline allocation count stays at zero. Each path's
+        // three buffers are taken *simultaneously* — sizes can collide
+        // (e.g. `hidden == max_classes` makes the batch h and logits
+        // buffers share a class), and a colliding class needs as many
+        // free buffers as the path holds at once.
         let b = cfg.max_batch;
-        for len in [
-            plan.in_dim(),
-            plan.hidden(),
-            plan.max_classes(),
-            b * plan.in_dim(),
-            b * plan.hidden(),
-            b * plan.max_classes(),
+        for trio in [
+            [b * plan.in_dim(), b * plan.hidden(), b * plan.max_classes()],
+            [plan.in_dim(), plan.hidden(), plan.max_classes()],
         ] {
-            let buf = arena.take(len);
-            arena.give(buf);
+            let bufs = trio.map(|len| arena.take(len));
+            for buf in bufs {
+                arena.give(buf);
+            }
         }
         let alloc_baseline = arena.alloc_bytes();
         let reserve = 4 * b + 64;
         let cls = vec![0usize; b * plan.num_heads()];
+        let margins = vec![0.0f32; b * plan.num_heads()];
+        if cfg.telemetry {
+            // Pay the one-time clock calibration here, not inside the
+            // first measured request.
+            clock::init();
+        }
         Engine {
+            flight: FlightRecorder::new(if cfg.telemetry {
+                cfg.flight_capacity
+            } else {
+                0
+            }),
+            lat: HotMetrics::new(),
+            drift: DriftMonitor::new(cfg.drift.clone()),
+            drift_events: Vec::with_capacity(256),
+            drift_dropped: 0,
+            stats: TickStats::default(),
             plan,
             cache,
             model,
@@ -141,6 +266,9 @@ impl<'a> Engine<'a> {
             spare: Vec::with_capacity(reserve),
             arena,
             cls,
+            margins,
+            hits: vec![false; b],
+            seen: vec![false; graphs.len()],
             alloc_baseline,
         }
     }
@@ -166,6 +294,28 @@ impl<'a> Engine<'a> {
         self.queue.len()
     }
 
+    /// The flight recorder (last `flight_capacity` served requests).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Drift events fired so far (up to the buffer's capacity; see
+    /// [`Engine::drift_events_dropped`]).
+    pub fn drift_events(&self) -> &[DriftEvent] {
+        &self.drift_events
+    }
+
+    /// Events dropped because the drift buffer was full (they still
+    /// bumped the `drift.events*` counters).
+    pub fn drift_events_dropped(&self) -> u64 {
+        self.drift_dropped
+    }
+
+    /// The drift monitor (for EWMA / breach inspection).
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
     /// Warm the cache from a training-side [`PreparedBatch`]; see
     /// [`EmbeddingCache::warm`].
     pub fn warm(&mut self, prep: &PreparedBatch) -> usize {
@@ -174,11 +324,18 @@ impl<'a> Engine<'a> {
 
     /// Enqueue a request at the current tick.
     pub fn submit(&mut self, req: Request) {
-        mga_obs::metrics::counter("serve.requests").inc();
+        self.lat.requests.inc();
+        let submit_ns = if self.cfg.telemetry {
+            clock::now_ns()
+        } else {
+            0
+        };
         self.queue.push_back(Pending {
             req,
             enqueued_tick: self.tick,
+            submit_ns,
         });
+        self.lat.queue_depth.set(self.queue.len() as f64);
     }
 
     /// Advance logical time by one tick and dispatch every micro-batch
@@ -191,7 +348,19 @@ impl<'a> Engine<'a> {
         while self.should_dispatch() {
             done += self.dispatch();
         }
-        mga_obs::metrics::gauge("serve.queue_depth").set(self.queue.len() as f64);
+        self.lat.queue_depth.set(self.queue.len() as f64);
+        if self.cfg.telemetry {
+            let stats = std::mem::take(&mut self.stats);
+            let events = &mut self.drift_events;
+            let dropped = &mut self.drift_dropped;
+            self.drift.on_tick(self.tick, &stats, &mut |e| {
+                if events.len() < events.capacity() {
+                    events.push(e);
+                } else {
+                    *dropped += 1;
+                }
+            });
+        }
         done
     }
 
@@ -215,7 +384,7 @@ impl<'a> Engine<'a> {
         while !self.queue.is_empty() {
             done += self.dispatch();
         }
-        mga_obs::metrics::gauge("serve.queue_depth").set(0.0);
+        self.lat.queue_depth.set(0.0);
         done
     }
 
@@ -237,40 +406,134 @@ impl<'a> Engine<'a> {
 
     /// Ensure `kernel`'s static embedding is resident, taking the slow
     /// path (full GNN + DAE + scaler pass on the catalog entry) on a
-    /// miss.
-    fn ensure_static(&mut self, kernel: usize) {
-        if self.cache.lookup(kernel).is_none() {
-            let emb = self
-                .model
-                .static_embedding(&self.graphs[kernel], &self.vectors[kernel]);
-            self.cache.insert(kernel, &emb);
+    /// miss. Returns whether the lookup hit.
+    fn ensure_static(&mut self, kernel: usize) -> bool {
+        if self.cache.lookup(kernel).is_some() {
+            return true;
         }
+        let emb = self
+            .model
+            .static_embedding(&self.graphs[kernel], &self.vectors[kernel]);
+        self.cache.insert(kernel, &emb);
+        false
+    }
+
+    /// Record one served request: flight ring, per-tick drift stats.
+    /// `classes`/`margins` are this request's per-head rows. Called only
+    /// with telemetry on.
+    #[allow(clippy::too_many_arguments)]
+    fn note_served(
+        &mut self,
+        id: u64,
+        kernel: usize,
+        submit_tick: u64,
+        batch: u16,
+        cache_hit: bool,
+        e2e_ns: u64,
+        classes: &[usize],
+        margins: &[f32],
+    ) {
+        let nh = classes.len();
+        let mut rec = FlightRecord {
+            id,
+            kernel: kernel as u32,
+            submit_tick,
+            served_tick: self.tick,
+            queue_ticks: (self.tick - submit_tick) as u32,
+            batch,
+            cache_hit,
+            precision: self.plan.precision().tag(),
+            e2e_ns,
+            num_heads: nh as u8,
+            ..FlightRecord::default()
+        };
+        let mut conf_sum = 0.0f32;
+        for hi in 0..nh {
+            rec.classes[hi] = classes[hi].min(u16::MAX as usize) as u16;
+            rec.margins[hi] = margins[hi];
+            conf_sum += if self.plan.head_sizes()[hi] >= 2 {
+                margin_confidence(margins[hi])
+            } else {
+                1.0
+            };
+        }
+        rec.confidence = conf_sum / nh.max(1) as f32;
+        self.flight.push(rec);
+        self.stats.requests += 1;
+        self.stats.cache_lookups += 1;
+        if !cache_hit {
+            self.stats.cache_misses += 1;
+        }
+        if kernel < self.seen.len() && !self.seen[kernel] {
+            self.seen[kernel] = true;
+            self.stats.new_kernels += 1;
+        }
+        self.stats.confidence_sum += rec.confidence as f64;
     }
 
     /// Run one micro-batch off the front of the queue.
     fn dispatch(&mut self) -> usize {
         let b = self.queue.len().min(self.cfg.max_batch);
         debug_assert!(b > 0);
+        let telemetry = self.cfg.telemetry;
         let in_dim = self.plan.in_dim();
         let sd = self.plan.static_dim();
         let nh = self.plan.num_heads();
         let mut x = self.arena.take(self.cfg.max_batch * in_dim);
         for r in 0..b {
             let kernel = self.queue[r].req.kernel;
-            self.ensure_static(kernel);
+            let t0 = if telemetry { clock::now_ns() } else { 0 };
+            let hit = self.ensure_static(kernel);
             let row = &mut x[r * in_dim..(r + 1) * in_dim];
             row[..sd].copy_from_slice(self.cache.peek(kernel).expect("just ensured"));
+            let t1 = if telemetry { clock::now_ns() } else { 0 };
             let aux = &self.queue[r].req.aux;
             self.plan.scale_aux_into(&mut row[sd..], aux);
+            if telemetry {
+                self.lat.cache.observe(t1 - t0);
+                self.lat.scale.observe(clock::now_ns() - t1);
+                self.lat
+                    .queue_wait
+                    .observe(t0.saturating_sub(self.queue[r].submit_ns));
+                self.hits[r] = hit;
+            }
         }
         let mut h = self.arena.take(self.cfg.max_batch * self.plan.hidden());
         let mut lg = self
             .arena
             .take(self.cfg.max_batch * self.plan.max_classes());
         let mut cls = std::mem::take(&mut self.cls);
-        self.plan.forward_into(&x, b, &mut h, &mut lg, &mut cls);
+        let mut margins = std::mem::take(&mut self.margins);
+        // The trunk/heads split and the margin-recording argmax are used
+        // in *both* telemetry modes — identical compute, identical
+        // classes; the flag only gates clock reads and recording.
+        let t2 = if telemetry { clock::now_ns() } else { 0 };
+        self.plan.trunk_into(&x, b, &mut h);
+        let t3 = if telemetry { clock::now_ns() } else { 0 };
+        self.plan
+            .heads_into(&h, b, &mut lg, &mut cls, Some(&mut margins));
+        let end_ns = if telemetry { clock::now_ns() } else { 0 };
+        if telemetry {
+            self.lat.trunk.observe(t3 - t2);
+            self.lat.heads.observe(end_ns - t3);
+        }
         for r in 0..b {
             let p = self.queue.pop_front().expect("b <= queue.len()");
+            if telemetry {
+                let e2e = end_ns.saturating_sub(p.submit_ns);
+                self.lat.e2e.observe(e2e);
+                let hit = self.hits[r];
+                self.note_served(
+                    p.req.id,
+                    p.req.kernel,
+                    p.enqueued_tick,
+                    b as u16,
+                    hit,
+                    e2e,
+                    &cls[r * nh..(r + 1) * nh],
+                    &margins[r * nh..(r + 1) * nh],
+                );
+            }
             let mut resp = self.spare.pop().unwrap_or_else(|| Response {
                 id: 0,
                 classes: Vec::with_capacity(nh),
@@ -285,33 +548,60 @@ impl<'a> Engine<'a> {
             self.completed.push_back(resp);
         }
         self.cls = cls;
+        self.margins = margins;
         self.arena.give(lg);
         self.arena.give(h);
         self.arena.give(x);
-        mga_obs::metrics::counter("serve.batches").inc();
-        mga_obs::metrics::counter("serve.batched_requests").add(b as u64);
+        self.lat.batches.inc();
+        self.lat.batched_requests.add(b as u64);
         b
     }
 
     /// Synchronous single-request fast path (no queue, no ticks): write
     /// the predicted class of each head into `classes_out` (length
     /// `num_heads`). This is what the `serve_one_request` benchmark
-    /// times — cache lookup, aux scaling, trunk and heads.
+    /// times — cache lookup, aux scaling, trunk and heads. Telemetry
+    /// keeps the clock reads to two (start, end — a read costs ~20 ns
+    /// under virtualized TSC, real money against a sub-µs request): the
+    /// end-to-end histogram plus the flight record, leaving the
+    /// per-stage split (cache, scaling, trunk, heads) to the batched
+    /// path.
     pub fn serve_one(&mut self, kernel: usize, aux: &[f32], classes_out: &mut [usize]) {
         debug_assert_eq!(classes_out.len(), self.plan.num_heads());
+        let telemetry = self.cfg.telemetry;
         let in_dim = self.plan.in_dim();
         let sd = self.plan.static_dim();
-        self.ensure_static(kernel);
+        let t0 = if telemetry { clock::now_ns() } else { 0 };
+        let hit = self.ensure_static(kernel);
         let mut x = self.arena.take(in_dim);
         x[..sd].copy_from_slice(self.cache.peek(kernel).expect("just ensured"));
         self.plan.scale_aux_into(&mut x[sd..], aux);
         let mut h = self.arena.take(self.plan.hidden());
         let mut lg = self.arena.take(self.plan.max_classes());
-        self.plan.forward_into(&x, 1, &mut h, &mut lg, classes_out);
+        let mut margins = std::mem::take(&mut self.margins);
+        self.plan.trunk_into(&x, 1, &mut h);
+        self.plan
+            .heads_into(&h, 1, &mut lg, classes_out, Some(&mut margins));
         self.arena.give(lg);
         self.arena.give(h);
         self.arena.give(x);
-        mga_obs::metrics::counter("serve.requests").inc();
+        if telemetry {
+            let t2 = clock::now_ns();
+            self.lat.e2e.observe(t2 - t0);
+            let nh = self.plan.num_heads();
+            self.note_served(
+                0,
+                kernel,
+                self.tick,
+                1,
+                hit,
+                t2 - t0,
+                classes_out,
+                &margins[..nh],
+            );
+        }
+        self.margins = margins;
+        self.lat.requests.inc();
     }
 
     /// Arena bytes allocated since the construction prewarm — zero in a
@@ -326,14 +616,54 @@ impl<'a> Engine<'a> {
         self.arena.reuse_count()
     }
 
-    /// Publish the engine's allocation and queue gauges to the metrics
-    /// registry: `serve.steady_alloc_bytes` (arena bytes allocated after
-    /// the construction prewarm — zero in a healthy steady state),
-    /// `serve.arena_reuse` (scratch recycles) and `serve.queue_depth`.
+    /// Write the flight history as JSONL: one `{"type":"request",...}`
+    /// line per surviving record (oldest first), then one
+    /// `{"type":"drift",...}` line per buffered drift event.
+    pub fn dump_flight(&self, w: &mut impl Write) -> io::Result<()> {
+        self.flight.dump(w)?;
+        for e in &self.drift_events {
+            writeln!(w, "{}", drift_event_to_json(e))?;
+        }
+        Ok(())
+    }
+
+    /// [`Engine::dump_flight`] to the path named by `MGA_FLIGHT` (empty
+    /// or `0` disables). Serving binaries call this at end of run.
+    pub fn dump_flight_if_enabled(&self) {
+        if let Ok(path) = std::env::var("MGA_FLIGHT") {
+            let path = path.trim();
+            if !path.is_empty() && path != "0" {
+                let res = std::fs::File::create(path).and_then(|f| {
+                    let mut w = io::BufWriter::new(f);
+                    self.dump_flight(&mut w)
+                });
+                match res {
+                    Ok(()) => mga_obs::info!("flight records written to {path}"),
+                    Err(e) => mga_obs::error!("cannot write flight records {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    /// Publish the engine's gauges to the metrics registry:
+    /// `serve.steady_alloc_bytes` (arena bytes allocated after the
+    /// construction prewarm — zero in a healthy steady state),
+    /// `serve.arena_reuse` (scratch recycles), `serve.queue_depth`, the
+    /// embedding-cache counters (`serve.cache.hits` / `.misses` /
+    /// `.evictions` / `.occupancy` / `.capacity`) and the flight/drift
+    /// bookkeeping (`serve.flight.recorded`, `serve.drift.dropped`).
     pub fn publish_metrics(&self) {
-        mga_obs::metrics::gauge("serve.steady_alloc_bytes")
+        metrics::gauge("serve.steady_alloc_bytes")
             .set((self.arena.alloc_bytes() - self.alloc_baseline) as f64);
-        mga_obs::metrics::gauge("serve.arena_reuse").set(self.arena.reuse_count() as f64);
-        mga_obs::metrics::gauge("serve.queue_depth").set(self.queue.len() as f64);
+        metrics::gauge("serve.arena_reuse").set(self.arena.reuse_count() as f64);
+        self.lat.queue_depth.set(self.queue.len() as f64);
+        let (hits, misses, evictions) = self.cache.stats();
+        metrics::gauge("serve.cache.hits").set(hits as f64);
+        metrics::gauge("serve.cache.misses").set(misses as f64);
+        metrics::gauge("serve.cache.evictions").set(evictions as f64);
+        metrics::gauge("serve.cache.occupancy").set(self.cache.len() as f64);
+        metrics::gauge("serve.cache.capacity").set(self.cache.capacity() as f64);
+        metrics::gauge("serve.flight.recorded").set(self.flight.total() as f64);
+        metrics::gauge("serve.drift.dropped").set(self.drift_dropped as f64);
     }
 }

@@ -38,10 +38,29 @@
 //! parity gate against the f32 plan (enforced by `serve_bench` on the
 //! CV test folds and by `tests/quantized_parity.rs`).
 
+//!
+//! Serving is also the layer that must explain itself in production, so
+//! the engine carries an always-on, allocation-free observability layer
+//! (see `DESIGN.md` § Serving observability):
+//!
+//! * [`flight::FlightRecorder`] — a fixed-capacity ring of per-request
+//!   [`flight::FlightRecord`]s (kernel, ticks, batch size, cache
+//!   hit/miss, precision, per-head class + decision margin), dumped as
+//!   JSONL on demand or to `MGA_FLIGHT=<path>` at end of run;
+//! * per-stage latency histograms (`serve.lat.*`, log₂ ns buckets via
+//!   `mga_obs::hist`) measured inside the engine;
+//! * tick-driven drift monitors (`mga_obs::drift`) over the new-kernel
+//!   rate, cache-miss rate and mean head confidence.
+//!
+//! All of it is observation-only: served bytes are bitwise identical
+//! with telemetry on or off (`tests/serve_observability.rs`).
+
 pub mod cache;
 pub mod engine;
+pub mod flight;
 pub mod plan;
 
 pub use cache::EmbeddingCache;
 pub use engine::{Engine, Request, Response, ServeConfig};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use plan::{InferencePlan, Precision};

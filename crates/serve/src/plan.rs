@@ -216,20 +216,59 @@ impl InferencePlan {
         logits: &mut [f32],
         classes: &mut [usize],
     ) {
+        self.trunk_into(x, rows, hidden);
+        self.heads_into(hidden, rows, logits, classes, None);
+    }
+
+    /// The trunk half of [`InferencePlan::forward_into`]: run `rows`
+    /// input rows through the fused trunk layer into `hidden`. Split out
+    /// so the serving engine can time the trunk and head stages
+    /// separately; composing [`InferencePlan::trunk_into`] +
+    /// [`InferencePlan::heads_into`] is bitwise-identical to the single
+    /// call.
+    pub fn trunk_into(&self, x: &[f32], rows: usize, hidden: &mut [f32]) {
         debug_assert!(x.len() >= rows * self.in_dim);
         debug_assert!(hidden.len() >= rows * self.hidden);
-        debug_assert!(logits.len() >= rows * self.max_classes());
-        debug_assert!(classes.len() >= rows * self.heads.len());
         let h = &mut hidden[..rows * self.hidden];
         self.trunk
             .forward(h, &x[..rows * self.in_dim], rows, FusedAct::Relu);
+    }
+
+    /// The head half of [`InferencePlan::forward_into`]: run the trunk's
+    /// `hidden` activations through every head, writing the argmax class
+    /// of head `h` for row `r` into `classes[r * num_heads + h]`. When
+    /// `margins` is provided (same `rows × num_heads` layout) the top-1 −
+    /// top-2 decision margin of each head is recorded alongside — the
+    /// class decision itself comes from the same comparator either way
+    /// ([`infer::argmax_margin`] is tie-for-tie identical to
+    /// [`infer::argmax`]), so telemetry never changes a prediction.
+    pub fn heads_into(
+        &self,
+        hidden: &[f32],
+        rows: usize,
+        logits: &mut [f32],
+        classes: &mut [usize],
+        mut margins: Option<&mut [f32]>,
+    ) {
+        debug_assert!(hidden.len() >= rows * self.hidden);
+        debug_assert!(logits.len() >= rows * self.max_classes());
+        debug_assert!(classes.len() >= rows * self.heads.len());
+        let h = &hidden[..rows * self.hidden];
         let nh = self.heads.len();
         for (hi, stage) in self.heads.iter().enumerate() {
             let nc = self.head_sizes[hi];
             let lg = &mut logits[..rows * nc];
             stage.forward(lg, h, rows, FusedAct::Identity);
             for r in 0..rows {
-                classes[r * nh + hi] = infer::argmax(&lg[r * nc..(r + 1) * nc]);
+                let row = &lg[r * nc..(r + 1) * nc];
+                match margins.as_deref_mut() {
+                    Some(m) => {
+                        let (cls, mg) = infer::argmax_margin(row);
+                        classes[r * nh + hi] = cls;
+                        m[r * nh + hi] = mg;
+                    }
+                    None => classes[r * nh + hi] = infer::argmax(row),
+                }
             }
         }
     }
