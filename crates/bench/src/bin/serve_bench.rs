@@ -37,7 +37,7 @@ use mga_bench::{
 use mga_core::cv::kfold_by_group;
 use mga_core::model::{FusionModel, Modality, TrainData};
 use mga_core::omp::OmpTask;
-use mga_serve::{Engine, InferencePlan, Precision, Request, ServeConfig};
+use mga_serve::{Cluster, ClusterConfig, Engine, InferencePlan, Precision, Request, ServeConfig};
 use std::io::Write as _;
 use std::time::{Duration, Instant};
 
@@ -90,11 +90,13 @@ fn session(
         for (j, &i) in chunk.iter().enumerate() {
             let id = (burst * 4 + j) as u64;
             submit_at[id as usize] = Instant::now();
-            engine.submit(Request {
-                id,
-                kernel: data.sample_kernel[i],
-                aux: data.aux[i].clone(),
-            });
+            engine
+                .submit(Request {
+                    id,
+                    kernel: data.sample_kernel[i],
+                    aux: data.aux[i].clone(),
+                })
+                .expect("admit");
         }
         engine.tick();
         engine.drain(&mut out);
@@ -170,7 +172,9 @@ fn run() -> Result<(), BenchError> {
     let nh = engine.plan().num_heads();
     let mut cls = vec![0usize; nh];
     for (j, &i) in fold.val.iter().enumerate() {
-        engine.serve_one(data.sample_kernel[i], &data.aux[i], &mut cls);
+        engine
+            .serve_one(data.sample_kernel[i], &data.aux[i], &mut cls)
+            .expect("serve");
         for (h, pred) in preds.iter().enumerate() {
             if cls[h] != pred[j] {
                 return Err(BenchError::Invariant(format!(
@@ -191,7 +195,7 @@ fn run() -> Result<(), BenchError> {
     let val0 = fold.val[0];
     let (k0, aux0) = (data.sample_kernel[val0], &data.aux[val0]);
     let one_ns = time("serve_one_request", &mut records, || {
-        engine.serve_one(k0, aux0, &mut cls);
+        engine.serve_one(k0, aux0, &mut cls).expect("serve");
         std::hint::black_box(&cls);
     });
 
@@ -210,7 +214,7 @@ fn run() -> Result<(), BenchError> {
         );
         bare.warm(&prep);
         let bare_ns = time("serve_one_request_bare", &mut records, || {
-            bare.serve_one(k0, aux0, &mut cls);
+            bare.serve_one(k0, aux0, &mut cls).expect("serve");
             std::hint::black_box(&cls);
         });
         let overhead_pct = (one_ns - bare_ns) / bare_ns * 100.0;
@@ -260,7 +264,9 @@ fn run() -> Result<(), BenchError> {
         let mut qcls = vec![0usize; nh];
         let mut disagreements = 0usize;
         for (j, &i) in fold.val.iter().enumerate() {
-            qengine.serve_one(data.sample_kernel[i], &data.aux[i], &mut qcls);
+            qengine
+                .serve_one(data.sample_kernel[i], &data.aux[i], &mut qcls)
+                .expect("serve");
             for (h, pred) in preds.iter().enumerate() {
                 if qcls[h] != pred[j] {
                     disagreements += 1;
@@ -277,7 +283,7 @@ fn run() -> Result<(), BenchError> {
             continue;
         }
         time(record_name, &mut records, || {
-            qengine.serve_one(k0, aux0, &mut qcls);
+            qengine.serve_one(k0, aux0, &mut qcls).expect("serve");
             std::hint::black_box(&qcls);
         });
     }
@@ -407,6 +413,90 @@ fn run() -> Result<(), BenchError> {
         .set_int("flight_recorded", engine.flight().total() as i64)
         .set_int("drift_events", engine.drift_events().len() as i64)
         .set_int("steady_alloc_bytes", engine.steady_alloc_bytes() as i64);
+
+    // ── Cluster scaling curve: the same request stream through 1/2/4/8
+    // shard clusters. Shard dispatch inside a tick fans out on the
+    // worker pool, so the curve shows how far sharding buys throughput
+    // on this machine; the `cluster_scaling_8x` record is the 8-shard /
+    // 1-shard ns ratio ×1000 (lower is better, like every other
+    // record), which CI gates so a change that serializes shard
+    // dispatch shows up as a regression.
+    let mut shard_ns = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let ccfg = ClusterConfig {
+            shards,
+            queue_capacity: 1 << 14,
+            serve: serve_cfg.clone(),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(&model, data.graphs, data.vectors, ccfg);
+        for s in 0..shards {
+            cluster.engine_mut(s).warm(&prep);
+        }
+        // Bursts scale with the shard count so every shard sees full
+        // micro-batches; total request count is fixed.
+        let burst = 8 * shards;
+        let mut out = Vec::with_capacity(2 * burst);
+        let mut run_once = |cluster: &mut Cluster<'_>| {
+            for (b, chunk) in stream.chunks(burst).enumerate() {
+                for (j, &i) in chunk.iter().enumerate() {
+                    // Typed sheds are a valid outcome when the user arms
+                    // an MGA_FAULT shard site; fault-free gate runs
+                    // admit everything.
+                    let _ = cluster.submit(
+                        Request {
+                            id: (b * burst + j) as u64,
+                            kernel: data.sample_kernel[i],
+                            aux: data.aux[i].clone(),
+                        },
+                        None,
+                    );
+                }
+                cluster.tick();
+                cluster.drain(&mut out);
+                out.clear();
+            }
+            cluster.flush();
+            cluster.drain(&mut out);
+            out.clear();
+        };
+        run_once(&mut cluster); // warm-up
+        let budget = Duration::from_millis(300);
+        let mut samples = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < budget || samples.is_empty() {
+            let t0 = Instant::now();
+            run_once(&mut cluster);
+            samples.push(t0.elapsed().as_nanos() as f64 / n_requests as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let ns = samples[samples.len() / 2];
+        let name = format!("cluster_throughput_shards{shards}");
+        println!(
+            "{name:<28} {ns:>16.1} ns/iter  ({} sessions, {:.0} req/s)",
+            samples.len(),
+            1e9 / ns
+        );
+        records.push(format!(
+            "{{\"name\": \"{name}\", \"iters\": {}, \"ns_per_iter\": {ns:.1}}}",
+            samples.len()
+        ));
+        man.set_float(&format!("cluster_throughput_shards{shards}_ns"), ns);
+        shard_ns.push(ns);
+        if shards == 8 {
+            cluster.publish_metrics();
+        }
+    }
+    let scaling_milli = 1000.0 * shard_ns[3] / shard_ns[0];
+    println!(
+        "{:<28} {scaling_milli:>16.1} ns/iter  (8-shard/1-shard ratio x1000; speedup {:.2}x)",
+        "cluster_scaling_8x",
+        shard_ns[0] / shard_ns[3]
+    );
+    records.push(format!(
+        "{{\"name\": \"cluster_scaling_8x\", \"iters\": 1, \"ns_per_iter\": {scaling_milli:.1}}}"
+    ));
+    man.set_float("cluster_speedup_8x", shard_ns[0] / shard_ns[3]);
 
     let path = "BENCH_serve.json";
     let mut fh = std::fs::File::create(path)?;

@@ -83,6 +83,9 @@ struct FlightSummary {
     conf_sum: f64,
     e2e: Vec<f64>,
     drift: Vec<String>,
+    /// Request count per disposition tag (served / redirected / shed_*…)
+    /// — the overload story of the run, straight from the flight dumps.
+    dispositions: BTreeMap<String, u64>,
 }
 
 fn load_flight(path: &str) -> Result<FlightSummary, BenchError> {
@@ -105,6 +108,13 @@ fn load_flight(path: &str) -> Result<FlightSummary, BenchError> {
                 fs.queue_ticks_sum += num("queue_ticks") as u64;
                 fs.conf_sum += num("confidence");
                 fs.e2e.push(num("e2e_ns"));
+                // Older dumps predate the disposition field; they were
+                // all served requests.
+                let disp = v
+                    .get("disposition")
+                    .and_then(Json::as_str)
+                    .unwrap_or("served");
+                *fs.dispositions.entry(disp.to_string()).or_insert(0) += 1;
             }
             Some("drift") => {
                 let kind = v.get("kind").and_then(Json::as_str).unwrap_or("?");
@@ -198,6 +208,62 @@ fn render_metrics(snap: &Snapshot) {
             println!("{name:<24} {v:.0}");
         }
     }
+    render_cluster(snap);
+}
+
+/// Per-shard overload view: queue depths, health, plan epochs, plus the
+/// cluster's shed/redirect/reroute totals. Rendered only when the
+/// snapshot carries `serve.shard.*` gauges (a cluster run).
+fn render_cluster(snap: &Snapshot) {
+    let shard_of = |name: &str| -> Option<usize> {
+        name.strip_prefix("serve.shard.")?
+            .split('.')
+            .next()?
+            .parse()
+            .ok()
+    };
+    let mut shards: Vec<usize> = snap.gauges.keys().filter_map(|n| shard_of(n)).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    if shards.is_empty() {
+        return;
+    }
+    println!("\n── cluster overload view ──");
+    println!(
+        "{:<8} {:>12} {:>10} {:>11}",
+        "shard", "queue_depth", "health", "plan_epoch"
+    );
+    for s in &shards {
+        let g = |suffix: &str| {
+            snap.gauges
+                .get(&format!("serve.shard.{s}.{suffix}"))
+                .copied()
+                .unwrap_or(0.0)
+        };
+        let health = match g("health") as u32 {
+            0 => "healthy",
+            1 => "degraded",
+            _ => "down",
+        };
+        println!(
+            "{s:<8} {:>12.0} {:>10} {:>11.0}",
+            g("queue_depth"),
+            health,
+            g("plan_epoch")
+        );
+    }
+    for key in [
+        "serve.shed_total",
+        "serve.redirect_total",
+        "serve.reroute_total",
+    ] {
+        if let Some(v) = snap.counters.get(key) {
+            println!("{key:<24} {v:.0}");
+        }
+    }
+    if let Some(v) = snap.gauges.get("serve.cluster.overflow_depth") {
+        println!("{:<24} {v:.0}", "overflow depth");
+    }
 }
 
 fn render_flight(fs: &FlightSummary) {
@@ -227,6 +293,12 @@ fn render_flight(fs: &FlightSummary) {
             fmt_ns(pct(50.0)),
             fmt_ns(pct(99.0))
         );
+        if fs.dispositions.keys().any(|k| k != "served") {
+            println!("\n── dispositions ──");
+            for (disp, count) in &fs.dispositions {
+                println!("{disp:<24} {count}");
+            }
+        }
     }
     println!("\n── drift events ──");
     if fs.drift.is_empty() {

@@ -15,7 +15,15 @@
 //!   retry budget after a mid-run checkpoint) resumes bitwise identical
 //!   to an uninterrupted run;
 //! * determinism — with no fault armed, fault-tolerant training equals
-//!   classic training exactly.
+//!   classic training exactly;
+//! * `shard:crash` / `shard:stall` — a serving-cluster shard dies (or
+//!   stalls) mid-stream; queued work is evacuated and rerouted, health
+//!   flips, and every accepted request is still answered;
+//! * `route:misdirect` — the router delivers to the wrong shard; the
+//!   cluster absorbs it as a redirect, again with zero loss;
+//! * `swap:corrupt` — a hot-swap candidate checkpoint is bit-flipped in
+//!   transit; the swap is rejected with a typed error, the serving plan
+//!   epoch never moves (instant rollback), and a clean retry succeeds.
 //!
 //! Exits nonzero if any scenario fails; CI runs this on every push.
 
@@ -29,6 +37,7 @@ use mga_gnn::GnnConfig;
 use mga_kernels::catalog::openmp_thread_dataset;
 use mga_obs::fault;
 use mga_obs::metrics;
+use mga_serve::{load_candidate, Cluster, ClusterConfig, Health, Request, ServeConfig, SwapError};
 use mga_sim::cpu::CpuSpec;
 use mga_sim::openmp::thread_space;
 
@@ -321,13 +330,161 @@ fn main() {
         let _ = std::fs::remove_file(&path);
     }
 
+    // --- Scenario 7: serving cluster under shard crash / stall /
+    // misdirect — every accepted request answered, no matter what. ---
+    let cluster_cfg = || ClusterConfig {
+        shards: 4,
+        queue_capacity: 64,
+        serve: ServeConfig {
+            max_batch: 4,
+            max_wait_ticks: 1,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    // Drive a fixed submit/tick script; returns (submitted, cluster
+    // accepted/answered totals, surviving shard count).
+    let drive = |cluster: &mut Cluster<'_>, steps: usize| -> (u64, u64, u64, usize) {
+        let mut out = Vec::new();
+        let mut submitted = 0u64;
+        for step in 0..steps {
+            let i = val[step % val.len()];
+            let req = Request {
+                id: submitted,
+                kernel: data.sample_kernel[i],
+                aux: data.aux[i].clone(),
+            };
+            if cluster.submit(req, None).is_ok() {
+                submitted += 1;
+            }
+            if step % 3 == 2 {
+                cluster.tick();
+                cluster.drain(&mut out);
+            }
+        }
+        fault::clear(); // flush below must not keep injecting
+        cluster.flush();
+        cluster.drain(&mut out);
+        let live = (0..cluster.shards())
+            .filter(|&s| cluster.health(s) != Health::Down)
+            .count();
+        (
+            submitted,
+            cluster.accepted_total(),
+            cluster.answered_total(),
+            live,
+        )
+    };
+    {
+        let before = metrics::counter("fault.fired.shard").get();
+        fault::set_spec("shard:crash:0.02:21").expect("valid spec");
+        let mut cluster = Cluster::new(&reference, data.graphs, data.vectors, cluster_cfg());
+        let (submitted, accepted, answered, live) = drive(&mut cluster, 96);
+        let fired = metrics::counter("fault.fired.shard").get() - before;
+        h.check(
+            "shard:crash: fault fired and a shard went down",
+            fired >= 1 && live < 4,
+            format!("fired={fired} live={live}"),
+        );
+        h.check(
+            "shard:crash: every accepted request answered",
+            submitted == accepted && accepted == answered && answered > 0,
+            format!("submitted={submitted} accepted={accepted} answered={answered}"),
+        );
+    }
+    {
+        let before = metrics::counter("fault.fired.shard").get();
+        fault::set_spec("shard:stall:1.0:17").expect("valid spec");
+        let mut cluster = Cluster::new(&reference, data.graphs, data.vectors, cluster_cfg());
+        let (submitted, accepted, answered, live) = drive(&mut cluster, 48);
+        let fired = metrics::counter("fault.fired.shard").get() - before;
+        h.check(
+            "shard:stall: stalls injected, shards survive",
+            fired >= 1 && live == 4,
+            format!("fired={fired} live={live}"),
+        );
+        h.check(
+            "shard:stall: every accepted request answered",
+            submitted == accepted && accepted == answered && answered > 0,
+            format!("submitted={submitted} accepted={accepted} answered={answered}"),
+        );
+    }
+    {
+        let before_fired = metrics::counter("fault.fired.route").get();
+        let before_redir = metrics::counter("serve.redirect_total").get();
+        fault::set_spec("route:misdirect:1.0:13").expect("valid spec");
+        let mut cluster = Cluster::new(&reference, data.graphs, data.vectors, cluster_cfg());
+        let (submitted, accepted, answered, _) = drive(&mut cluster, 48);
+        let fired = metrics::counter("fault.fired.route").get() - before_fired;
+        let redirected = metrics::counter("serve.redirect_total").get() - before_redir;
+        h.check(
+            "route:misdirect: every request misdirected and redirected",
+            fired == submitted && redirected == submitted,
+            format!("submitted={submitted} fired={fired} redirected={redirected}"),
+        );
+        h.check(
+            "route:misdirect: every accepted request answered",
+            submitted == accepted && accepted == answered && answered > 0,
+            format!("submitted={submitted} accepted={accepted} answered={answered}"),
+        );
+    }
+
+    // --- Scenario 8: swap:corrupt — corrupted hot-swap candidate is
+    // rejected, the plan epoch never moves, and a clean retry lands. ---
+    {
+        let v2 = FusionModel::fit(
+            ModelConfig {
+                seed: 7,
+                ..small_cfg(12)
+            },
+            &data,
+            &train,
+            &head_sizes,
+        );
+        let path = tmp.join("swap_candidate.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let saved = persist::save_checkpoint_to_file(&v2, 12, 5, None, &path);
+        let mut cluster = Cluster::new(&reference, data.graphs, data.vectors, cluster_cfg());
+        let before = metrics::counter("fault.fired.swap").get();
+        fault::set_spec("swap:corrupt:1.0:5").expect("valid spec");
+        let corrupted = load_candidate(&path);
+        fault::clear();
+        let fired = metrics::counter("fault.fired.swap").get() - before;
+        h.check(
+            "swap:corrupt: corrupted candidate rejected as Load error",
+            saved.is_ok() && fired >= 1 && matches!(corrupted, Err(SwapError::Load(_))),
+            format!("saved={:?} fired={fired}", saved.err()),
+        );
+        h.check(
+            "swap:corrupt: plan epoch unmoved after rejection",
+            cluster.engine(0).plan_epoch() == 0,
+            format!("epoch={}", cluster.engine(0).plan_epoch()),
+        );
+        let clean = load_candidate(&path);
+        let swapped = clean.as_ref().map(|m| cluster.swap(0, m)).ok();
+        h.check(
+            "swap:corrupt: clean retry swaps and bumps the epoch",
+            matches!(swapped, Some(Ok(()))) && cluster.engine(0).plan_epoch() == 1,
+            format!(
+                "load_ok={} epoch={}",
+                clean.is_ok(),
+                cluster.engine(0).plan_epoch()
+            ),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
     // --- Every site must have fired at least once over the run. ---
-    for site in ["grad", "pool", "ckpt", "sample"] {
+    for site in ["grad", "pool", "ckpt", "sample", "shard", "route", "swap"] {
         let n = metrics::counter(match site {
             "grad" => "fault.fired.grad",
             "pool" => "fault.fired.pool",
             "ckpt" => "fault.fired.ckpt",
-            _ => "fault.fired.sample",
+            "sample" => "fault.fired.sample",
+            "shard" => "fault.fired.shard",
+            "route" => "fault.fired.route",
+            _ => "fault.fired.swap",
         })
         .get();
         h.check(

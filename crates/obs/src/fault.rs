@@ -16,6 +16,9 @@
 //! | `pool`   | `panic`                | panic inside a worker-pool task body |
 //! | `ckpt`   | `truncate`, `bitflip`  | corrupt checkpoint bytes before they reach disk |
 //! | `sample` | `empty`                | treat a kernel's graph sample as degenerate at predict |
+//! | `shard`  | `crash`, `stall`       | kill or stall a serving-cluster shard at a tick boundary |
+//! | `route`  | `misdirect`            | route a request to the wrong shard (`mga-serve`) |
+//! | `swap`   | `corrupt`              | corrupt hot-swap checkpoint bytes after the read |
 //!
 //! e.g. `MGA_FAULT=grad:nan:0.05:7` poisons gradients on ~5 % of epochs,
 //! deterministically: the n-th check of a site fires iff
@@ -44,6 +47,12 @@ pub enum Site {
     Ckpt,
     /// Per distinct kernel during prediction (`mga-core`).
     Sample,
+    /// Per serving-cluster shard, once per cluster tick (`mga-serve`).
+    Shard,
+    /// Per routed request at cluster admission (`mga-serve`).
+    Route,
+    /// On hot-swap checkpoint bytes after the read (`mga-serve`).
+    Swap,
 }
 
 impl Site {
@@ -53,6 +62,9 @@ impl Site {
             "pool" => Site::Pool,
             "ckpt" => Site::Ckpt,
             "sample" => Site::Sample,
+            "shard" => Site::Shard,
+            "route" => Site::Route,
+            "swap" => Site::Swap,
             _ => return None,
         })
     }
@@ -63,6 +75,9 @@ impl Site {
             Site::Pool => crate::metrics::counter("fault.fired.pool"),
             Site::Ckpt => crate::metrics::counter("fault.fired.ckpt"),
             Site::Sample => crate::metrics::counter("fault.fired.sample"),
+            Site::Shard => crate::metrics::counter("fault.fired.shard"),
+            Site::Route => crate::metrics::counter("fault.fired.route"),
+            Site::Swap => crate::metrics::counter("fault.fired.swap"),
         }
     }
 }
@@ -80,6 +95,14 @@ pub enum Kind {
     BitFlip,
     /// Pretend the sample is empty/degenerate (`sample`).
     Empty,
+    /// Take the shard down hard; its queue must be evacuated (`shard`).
+    Crash,
+    /// Freeze the shard's dispatch loop for a few ticks (`shard`).
+    Stall,
+    /// Send the request to a shard other than its hash owner (`route`).
+    Misdirect,
+    /// Flip a bit in the candidate checkpoint bytes (`swap`).
+    Corrupt,
 }
 
 impl Kind {
@@ -90,6 +113,10 @@ impl Kind {
             "truncate" => Kind::Truncate,
             "bitflip" => Kind::BitFlip,
             "empty" => Kind::Empty,
+            "crash" => Kind::Crash,
+            "stall" => Kind::Stall,
+            "misdirect" => Kind::Misdirect,
+            "corrupt" => Kind::Corrupt,
             _ => return None,
         })
     }

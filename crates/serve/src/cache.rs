@@ -136,6 +136,16 @@ impl EmbeddingCache {
         victim
     }
 
+    /// Drop every resident embedding (hot-swap install: the new model's
+    /// GNN/DAE weights make cached rows stale). Keeps all storage and
+    /// the lifetime counters; the next lookups repopulate via the slow
+    /// path or a fresh [`EmbeddingCache::warm`].
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slot_kernel.fill(FREE);
+        self.slot_last_use.fill(0);
+    }
+
     /// Warm the cache from preparation work already done: inserts one
     /// row per distinct kernel of `prep`, computed by
     /// [`FusionModel::static_embeddings_prepared`]. Returns the number

@@ -12,6 +12,7 @@ use mga_obs::metrics::{Counter, Gauge};
 use mga_obs::{clock, metrics};
 
 use crate::cache::EmbeddingCache;
+use crate::error::ServeError;
 use crate::flight::{drift_event_to_json, FlightRecord, FlightRecorder, MAX_FLIGHT_HEADS};
 use crate::plan::{InferencePlan, Precision};
 
@@ -31,6 +32,11 @@ pub struct ServeConfig {
     pub max_wait_ticks: u64,
     /// Static-embedding cache capacity (distinct kernels resident).
     pub cache_capacity: usize,
+    /// Bounded intake: requests beyond this queue depth are refused with
+    /// a typed [`ServeError::QueueFull`] instead of queueing without
+    /// limit. `usize::MAX` (the default) keeps the standalone engine
+    /// unbounded; the cluster always sets a real bound.
+    pub queue_capacity: usize,
     /// Weight precision the plan is compiled at. Quantized precisions
     /// are approximate — gate them on argmax parity before serving.
     pub precision: Precision,
@@ -53,6 +59,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_wait_ticks: 2,
             cache_capacity: 64,
+            queue_capacity: usize::MAX,
             precision: Precision::F32,
             telemetry: true,
             flight_capacity: 4096,
@@ -163,10 +170,25 @@ fn margin_confidence(m: f32) -> f32 {
 ///
 /// Telemetry is observation-only: every served byte is bitwise
 /// identical with it on or off.
+/// A plan staged by [`Engine::swap_plan`], waiting for the pre-swap
+/// queue to drain before it installs.
+struct StagedSwap<'a> {
+    plan: InferencePlan,
+    model: &'a FusionModel,
+}
+
 pub struct Engine<'a> {
     plan: InferencePlan,
     cache: EmbeddingCache,
     model: &'a FusionModel,
+    /// Hot-swap staging: `staged` is the next plan, `old_pending` how
+    /// many queued requests must still be served by the *current* plan
+    /// before it installs. Zero-drop by construction: nothing is ever
+    /// removed from the queue except by serving or [`Engine::evacuate`].
+    staged: Option<StagedSwap<'a>>,
+    old_pending: usize,
+    /// Installed-plan generation (bumps once per completed swap).
+    plan_epoch: u64,
     graphs: &'a [ProGraph],
     vectors: &'a [Vec<f32>],
     cfg: ServeConfig,
@@ -257,6 +279,9 @@ impl<'a> Engine<'a> {
             plan,
             cache,
             model,
+            staged: None,
+            old_pending: 0,
+            plan_epoch: 0,
             graphs,
             vectors,
             cfg,
@@ -322,8 +347,26 @@ impl<'a> Engine<'a> {
         self.cache.warm(self.model, prep)
     }
 
-    /// Enqueue a request at the current tick.
-    pub fn submit(&mut self, req: Request) {
+    /// Enqueue a request at the current tick. Typed refusals, never a
+    /// panic: an out-of-catalog kernel is [`ServeError::UnknownKernel`]
+    /// (it would have no graph to compute an embedding from) and a full
+    /// bounded queue is [`ServeError::QueueFull`] (the `shard` field is
+    /// 0 for a standalone engine; the cluster does its own admission
+    /// with real shard ids before this point).
+    pub fn submit(&mut self, req: Request) -> Result<(), ServeError> {
+        if req.kernel >= self.graphs.len() {
+            return Err(ServeError::UnknownKernel {
+                kernel: req.kernel,
+                catalog: self.graphs.len(),
+            });
+        }
+        if self.queue.len() >= self.cfg.queue_capacity {
+            return Err(ServeError::QueueFull {
+                shard: 0,
+                depth: self.queue.len(),
+                capacity: self.cfg.queue_capacity,
+            });
+        }
         self.lat.requests.inc();
         let submit_ns = if self.cfg.telemetry {
             clock::now_ns()
@@ -336,6 +379,67 @@ impl<'a> Engine<'a> {
             submit_ns,
         });
         self.lat.queue_depth.set(self.queue.len() as f64);
+        Ok(())
+    }
+
+    /// Stage a hot plan swap. The engine keeps answering: every request
+    /// queued *before* this call is served by the current plan, every
+    /// later admission by `plan` — the install happens mid-dispatch the
+    /// moment the pre-swap backlog hits zero, so not a single request is
+    /// dropped or re-queued. `model` is the plan's source model (the
+    /// slow embedding path must match the plan's weights); the embedding
+    /// cache is cleared at install because the new model's GNN/DAE make
+    /// cached rows stale. Shape compatibility is the caller's contract
+    /// (`Cluster::swap` validates it; standalone callers get debug
+    /// asserts).
+    pub fn swap_plan(&mut self, plan: InferencePlan, model: &'a FusionModel) {
+        debug_assert_eq!(plan.in_dim(), self.plan.in_dim(), "swap changes in_dim");
+        debug_assert_eq!(plan.hidden(), self.plan.hidden(), "swap changes hidden");
+        debug_assert_eq!(
+            plan.head_sizes(),
+            self.plan.head_sizes(),
+            "swap changes head layout"
+        );
+        metrics::counter("serve.swap.staged").inc();
+        self.old_pending = self.queue.len();
+        self.staged = Some(StagedSwap { plan, model });
+        if self.old_pending == 0 {
+            self.install_staged();
+        }
+    }
+
+    fn install_staged(&mut self) {
+        if let Some(s) = self.staged.take() {
+            self.plan = s.plan;
+            self.model = s.model;
+            self.cache.clear();
+            self.plan_epoch += 1;
+            metrics::counter("serve.swap.installed").inc();
+        }
+    }
+
+    /// Whether a staged swap is still draining the pre-swap queue.
+    pub fn swap_pending(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Completed swaps (installed-plan generation).
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch
+    }
+
+    /// Pull every queued (not yet dispatched) request back out, oldest
+    /// first — the shard-death path: a crashed shard's accepted-but-
+    /// unserved requests are evacuated and re-admitted elsewhere instead
+    /// of being lost. Returns how many were moved. Any staged swap
+    /// installs immediately (its drain barrier is gone).
+    pub fn evacuate(&mut self, out: &mut Vec<Request>) -> usize {
+        let n = self.queue.len();
+        out.extend(self.queue.drain(..).map(|p| p.req));
+        self.lat.queue_depth.set(0.0);
+        self.old_pending = 0;
+        self.install_staged();
+        n
     }
 
     /// Advance logical time by one tick and dispatch every micro-batch
@@ -473,7 +577,13 @@ impl<'a> Engine<'a> {
 
     /// Run one micro-batch off the front of the queue.
     fn dispatch(&mut self) -> usize {
-        let b = self.queue.len().min(self.cfg.max_batch);
+        let mut b = self.queue.len().min(self.cfg.max_batch);
+        if self.staged.is_some() {
+            // Swap draining: a micro-batch never straddles the swap
+            // boundary, so pre-swap requests all see the old plan and
+            // post-swap requests all see the new one.
+            b = b.min(self.old_pending);
+        }
         debug_assert!(b > 0);
         let telemetry = self.cfg.telemetry;
         let in_dim = self.plan.in_dim();
@@ -554,6 +664,12 @@ impl<'a> Engine<'a> {
         self.arena.give(x);
         self.lat.batches.inc();
         self.lat.batched_requests.add(b as u64);
+        if self.staged.is_some() {
+            self.old_pending -= b;
+            if self.old_pending == 0 {
+                self.install_staged();
+            }
+        }
         b
     }
 
@@ -566,8 +682,34 @@ impl<'a> Engine<'a> {
     /// end-to-end histogram plus the flight record, leaving the
     /// per-stage split (cache, scaling, trunk, heads) to the batched
     /// path.
-    pub fn serve_one(&mut self, kernel: usize, aux: &[f32], classes_out: &mut [usize]) {
-        debug_assert_eq!(classes_out.len(), self.plan.num_heads());
+    /// Typed refusals, never a panic: an out-of-catalog kernel returns
+    /// [`ServeError::UnknownKernel`]; a `classes_out` buffer that
+    /// disagrees with the plan's head count returns
+    /// [`ServeError::UnknownTaskHead`]. With a hot swap staged, the
+    /// queue is flushed first (a synchronous call is a *new* admission
+    /// and must see the new plan; the flush serves the pre-swap backlog
+    /// on the old plan, installing at the boundary).
+    pub fn serve_one(
+        &mut self,
+        kernel: usize,
+        aux: &[f32],
+        classes_out: &mut [usize],
+    ) -> Result<(), ServeError> {
+        if kernel >= self.graphs.len() {
+            return Err(ServeError::UnknownKernel {
+                kernel,
+                catalog: self.graphs.len(),
+            });
+        }
+        if classes_out.len() != self.plan.num_heads() {
+            return Err(ServeError::UnknownTaskHead {
+                head: classes_out.len(),
+                num_heads: self.plan.num_heads(),
+            });
+        }
+        if self.staged.is_some() {
+            self.flush();
+        }
         let telemetry = self.cfg.telemetry;
         let in_dim = self.plan.in_dim();
         let sd = self.plan.static_dim();
@@ -602,6 +744,32 @@ impl<'a> Engine<'a> {
         }
         self.margins = margins;
         self.lat.requests.inc();
+        Ok(())
+    }
+
+    /// Serve one request but answer only task head `head` (the
+    /// multi-head deployment view: one service, per-task questions). A
+    /// head the plan does not have is a typed
+    /// [`ServeError::UnknownTaskHead`] — checked before any compute.
+    pub fn serve_one_head(
+        &mut self,
+        kernel: usize,
+        aux: &[f32],
+        head: usize,
+    ) -> Result<usize, ServeError> {
+        let nh = self.plan.num_heads();
+        if head >= nh {
+            return Err(ServeError::UnknownTaskHead {
+                head,
+                num_heads: nh,
+            });
+        }
+        // Reuse the batch class scratch (always ≥ num_heads wide).
+        let mut cls = std::mem::take(&mut self.cls);
+        let res = self.serve_one(kernel, aux, &mut cls[..nh]);
+        let class = cls[head];
+        self.cls = cls;
+        res.map(|()| class)
     }
 
     /// Arena bytes allocated since the construction prewarm — zero in a

@@ -49,6 +49,42 @@ pub fn drift_event_to_json(e: &DriftEvent) -> Json {
 /// allocation-free; the engine asserts its plan fits at construction.
 pub const MAX_FLIGHT_HEADS: usize = 8;
 
+/// What ultimately happened to a request. Served requests come from the
+/// shard engines; the cluster's admission recorder additionally logs
+/// every shed and redirect so the post-incident view covers refusals,
+/// not just answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// Answered normally by the plan.
+    #[default]
+    Served,
+    /// Admitted, but to a shard other than its hash owner (overflow
+    /// spill, down-shard takeover, or an injected `route:misdirect`).
+    Redirected,
+    /// Requeued onto a surviving shard after its original shard died.
+    Rerouted,
+    /// Shed at the door: bounded queue full, no redirect target.
+    ShedQueueFull,
+    /// Shed at the door: deadline unmeetable under the queue estimate.
+    ShedDeadline,
+    /// Shed at the door: owning shard down, no healthy takeover.
+    ShedShardDown,
+}
+
+impl Disposition {
+    /// Stable lower-snake tag used in JSONL dumps and dashboards.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Disposition::Served => "served",
+            Disposition::Redirected => "redirected",
+            Disposition::Rerouted => "rerouted",
+            Disposition::ShedQueueFull => "shed_queue_full",
+            Disposition::ShedDeadline => "shed_deadline",
+            Disposition::ShedShardDown => "shed_shard_down",
+        }
+    }
+}
+
 /// One served request, as remembered by the flight recorder.
 #[derive(Debug, Clone, Copy)]
 pub struct FlightRecord {
@@ -74,6 +110,9 @@ pub struct FlightRecord {
     /// Engine-side wall nanoseconds (submit→response for batched
     /// requests, call duration for the fast path).
     pub e2e_ns: u64,
+    /// How the request left the system (served, redirected, shed —
+    /// see [`Disposition`]).
+    pub disposition: Disposition,
     /// Heads actually populated in `classes` / `margins`.
     pub num_heads: u8,
     /// Predicted class per head.
@@ -98,6 +137,7 @@ impl Default for FlightRecord {
             cache_hit: false,
             precision: "f32",
             e2e_ns: 0,
+            disposition: Disposition::Served,
             num_heads: 0,
             classes: [0; MAX_FLIGHT_HEADS],
             margins: [0.0; MAX_FLIGHT_HEADS],
@@ -121,6 +161,7 @@ impl FlightRecord {
             ("cache_hit", Json::Bool(self.cache_hit)),
             ("precision", Json::str(self.precision)),
             ("e2e_ns", Json::Num(self.e2e_ns as f64)),
+            ("disposition", Json::str(self.disposition.tag())),
             (
                 "classes",
                 Json::Arr(

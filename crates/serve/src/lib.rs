@@ -55,12 +55,44 @@
 //! All of it is observation-only: served bytes are bitwise identical
 //! with telemetry on or off (`tests/serve_observability.rs`).
 
+//!
+//! Production traffic runs through the sharded cluster layer (see
+//! `DESIGN.md` § Serving cluster & admission control):
+//!
+//! * [`router::Router`] — a consistent-hash ring (virtual nodes) keying
+//!   kernels to shards, stable under shard add/remove and deterministic
+//!   under failover;
+//! * [`admission`] — explicit [`admission::Decision`]s at the door:
+//!   admit, redirect, or shed with a typed reason (queue full, deadline
+//!   unmeetable under the queue-depth estimate, shard down);
+//! * [`cluster::Cluster`] — N engine shards with bounded intake queues,
+//!   per-shard [`cluster::Health`], crash/stall fault handling with
+//!   queue evacuation (zero accepted requests lost), and zero-drop hot
+//!   plan swaps with validation-gated rollback ([`cluster::Cluster::swap`],
+//!   [`cluster::load_candidate`]);
+//! * [`error::ServeError`] / [`error::SwapError`] — every request-path
+//!   refusal and every rejected swap candidate is a typed error, never a
+//!   panic.
+//!
+//! The chaos suite (`tests/cluster_chaos.rs`) injects `shard:crash`,
+//! `shard:stall`, `route:misdirect` and `swap:corrupt` faults through
+//! `MGA_FAULT` and replays whole failure scenarios to bitwise-identical
+//! response checksums.
+
+pub mod admission;
 pub mod cache;
+pub mod cluster;
 pub mod engine;
+pub mod error;
 pub mod flight;
 pub mod plan;
+pub mod router;
 
+pub use admission::{Decision, ShardView, ShedReason};
 pub use cache::EmbeddingCache;
+pub use cluster::{load_candidate, Cluster, ClusterConfig, Health};
 pub use engine::{Engine, Request, Response, ServeConfig};
-pub use flight::{FlightRecord, FlightRecorder};
+pub use error::{ServeError, SwapError};
+pub use flight::{Disposition, FlightRecord, FlightRecorder};
 pub use plan::{InferencePlan, Precision};
+pub use router::Router;

@@ -1,0 +1,158 @@
+//! Consistent-hash request routing.
+//!
+//! Requests are keyed by kernel id, and each shard's
+//! [`crate::EmbeddingCache`] only stays hot if the same kernels keep
+//! landing on the same shard. A consistent-hash ring gives exactly
+//! that, plus two properties a plain `kernel % N` cannot:
+//!
+//! * **stability under resize** — going from N to N+1 shards moves only
+//!   ~K/(N+1) of K keys (the proptest in `tests/cluster_chaos.rs` holds
+//!   the ring to a bound), so a scale-up does not flush every cache;
+//! * **deterministic failover** — when a shard goes down, each of its
+//!   keys falls to the next healthy shard *clockwise on the ring*, a
+//!   pure function of (key, healthy-set). Replaying a failure scenario
+//!   reroutes identically, which is what makes the chaos suite's
+//!   bitwise-replay assertion possible.
+//!
+//! The ring is `vnodes` virtual points per shard (default 64) hashed
+//! with the same splitmix64 mix the fault module uses; lookups are a
+//! binary search. No wall clocks, no RNG at lookup time.
+
+/// The splitmix64 finalizer — a cheap, well-distributed 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Consistent-hash ring over shard indices `0..shards`.
+pub struct Router {
+    /// (ring position, shard) sorted by position.
+    points: Vec<(u64, u32)>,
+    shards: usize,
+}
+
+/// Virtual ring points per shard — enough that per-shard load imbalance
+/// stays within ~20% while keeping the ring a few hundred entries.
+pub const DEFAULT_VNODES: usize = 64;
+
+impl Router {
+    /// A ring of `shards` shards with `vnodes` virtual points each.
+    pub fn new(shards: usize, vnodes: usize) -> Router {
+        assert!(shards > 0, "router needs at least one shard");
+        assert!(vnodes > 0, "router needs at least one vnode per shard");
+        let mut points = Vec::with_capacity(shards * vnodes);
+        for shard in 0..shards {
+            for replica in 0..vnodes {
+                // Mix shard and replica into one well-spread point; the
+                // odd multiplier decorrelates (shard, replica) pairs.
+                let h = mix64(
+                    (shard as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                        ^ (replica as u64).wrapping_mul(0xD1B54A32D192ED03),
+                );
+                points.push((h, shard as u32));
+            }
+        }
+        points.sort_unstable();
+        Router { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `kernel`: the first ring point at or after the
+    /// key's hash, wrapping.
+    pub fn route(&self, kernel: usize) -> usize {
+        self.points[self.first_point(kernel)].1 as usize
+    }
+
+    /// The owning shard, skipping shards for which `down` returns true:
+    /// walk the ring clockwise from the key's hash until a live shard's
+    /// point appears. Returns `None` when every shard is down. This is
+    /// the failover order — deterministic in (kernel, down-set).
+    pub fn route_live(&self, kernel: usize, down: impl Fn(usize) -> bool) -> Option<usize> {
+        let start = self.first_point(kernel);
+        let n = self.points.len();
+        for i in 0..n {
+            let shard = self.points[(start + i) % n].1 as usize;
+            if !down(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// Visit every ring point once, clockwise from `kernel`'s hash,
+    /// yielding each point's shard (with repeats — callers dedup). This
+    /// exposes the full failover order for admission's candidate list.
+    pub fn walk(&self, kernel: usize, mut f: impl FnMut(usize)) {
+        let start = self.first_point(kernel);
+        let n = self.points.len();
+        for i in 0..n {
+            f(self.points[(start + i) % n].1 as usize);
+        }
+    }
+
+    fn first_point(&self, kernel: usize) -> usize {
+        let h = mix64(kernel as u64 ^ 0xA24BAED4963EE407);
+        match self.points.binary_search(&(h, u32::MAX)) {
+            Ok(i) => i,
+            Err(i) => i % self.points.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = Router::new(4, DEFAULT_VNODES);
+        for k in 0..1000 {
+            let s = r.route(k);
+            assert!(s < 4);
+            assert_eq!(s, r.route(k), "same key, same shard");
+        }
+    }
+
+    #[test]
+    fn all_shards_receive_some_keys() {
+        let r = Router::new(8, DEFAULT_VNODES);
+        let mut hit = [false; 8];
+        for k in 0..4096 {
+            hit[r.route(k)] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "every shard owns part of the keyspace"
+        );
+    }
+
+    #[test]
+    fn failover_walks_to_next_live_shard() {
+        let r = Router::new(3, DEFAULT_VNODES);
+        for k in 0..256 {
+            let owner = r.route(k);
+            // Nothing down: failover equals the plain route.
+            assert_eq!(r.route_live(k, |_| false), Some(owner));
+            // Owner down: a different, live shard takes the key.
+            let fallback = r.route_live(k, |s| s == owner).unwrap();
+            assert_ne!(fallback, owner);
+            // Everything down: typed None, not a spin.
+            assert_eq!(r.route_live(k, |_| true), None);
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let r = Router::new(1, 8);
+        for k in 0..64 {
+            assert_eq!(r.route(k), 0);
+        }
+    }
+}

@@ -114,7 +114,7 @@ fn run_script(engine: &mut Engine<'_>, data: &TrainData<'_>, seed: u64) -> Vec<R
     let n = data.sample_kernel.len();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        engine.submit(request(data, i));
+        engine.submit(request(data, i)).expect("admit");
         if rng.gen_bool(0.4) {
             engine.tick();
         }
@@ -155,7 +155,9 @@ fn telemetry_is_bitwise_neutral() {
         let mut cls = vec![0usize; nh];
         let mut fast = 0xcbf2_9ce4_8422_2325u64;
         for i in 0..data.sample_kernel.len() {
-            engine.serve_one(data.sample_kernel[i], &data.aux[i], &mut cls);
+            engine
+                .serve_one(data.sample_kernel[i], &data.aux[i], &mut cls)
+                .expect("serve");
             for &cl in &cls {
                 fast ^= cl as u64;
                 fast = fast.wrapping_mul(0x0000_0100_0000_01b3);
@@ -242,7 +244,7 @@ fn queue_depth_gauge_follows_the_queue() {
             .expect("gauge registered")
     };
     for i in 0..3 {
-        engine.submit(request(&data, i));
+        engine.submit(request(&data, i)).expect("admit");
         assert_eq!(read(), (i + 1) as f64, "gauge updates on submit");
     }
     engine.flush();
@@ -281,7 +283,7 @@ fn drift_replay_fires_at_exact_tick() {
         // kernel id is i (catalog order), guaranteeing first-sight.
         for k in 0..6usize.min(kernels) {
             let i = data.sample_kernel.iter().position(|&sk| sk == k).unwrap();
-            engine.submit(request(&data, i));
+            engine.submit(request(&data, i)).expect("admit");
             engine.tick();
         }
         engine.drift_events().to_vec()

@@ -96,7 +96,7 @@ fn serve_all(
 ) -> Vec<Response> {
     let mut out = Vec::with_capacity(idx.len());
     for &i in idx {
-        engine.submit(request(data, i));
+        engine.submit(request(data, i)).expect("admit");
         if rng.gen_bool(0.4) {
             engine.tick();
         }
@@ -121,7 +121,9 @@ fn serve_one_matches_sequential_predict() {
     let nh = engine.plan().num_heads();
     let mut cls = vec![0usize; nh];
     for i in 0..c.ds.samples.len() {
-        engine.serve_one(data.sample_kernel[i], &data.aux[i], &mut cls);
+        engine
+            .serve_one(data.sample_kernel[i], &data.aux[i], &mut cls)
+            .expect("serve");
         assert_eq!(cls, c.expected[i], "sample {i} diverged on serve_one");
     }
 }
@@ -171,7 +173,8 @@ fn warm_cache_is_bitwise_identical_to_cold() {
     let nh = warm.plan().num_heads();
     let mut cls = vec![0usize; nh];
     for &i in &idx {
-        warm.serve_one(data.sample_kernel[i], &data.aux[i], &mut cls);
+        warm.serve_one(data.sample_kernel[i], &data.aux[i], &mut cls)
+            .expect("serve");
         assert_eq!(cls, c.expected[i], "sample {i} diverged on warm cache");
     }
     let (hits, misses, _) = warm.cache().stats();
@@ -200,12 +203,16 @@ fn unseen_kernel_slow_path_matches_and_caches() {
 
     let nh = engine.plan().num_heads();
     let mut cls = vec![0usize; nh];
-    engine.serve_one(held_out_kernel, &data.aux[0], &mut cls);
+    engine
+        .serve_one(held_out_kernel, &data.aux[0], &mut cls)
+        .expect("serve");
     assert_eq!(cls, c.expected[0], "unseen kernel diverged on slow path");
     let (_, misses, _) = engine.cache().stats();
     assert_eq!(misses, 1, "exactly one slow-path compute");
 
-    engine.serve_one(held_out_kernel, &data.aux[0], &mut cls);
+    engine
+        .serve_one(held_out_kernel, &data.aux[0], &mut cls)
+        .expect("serve");
     assert_eq!(cls, c.expected[0]);
     let (hits, misses, _) = engine.cache().stats();
     assert_eq!((hits, misses), (1, 1), "second request must hit the cache");
@@ -252,8 +259,8 @@ fn batching_policy_is_tick_deterministic() {
     let mut engine = Engine::new(&c.model, data.graphs, data.vectors, cfg);
 
     // Partial batch: 2 requests at tick 0 wait until tick 3.
-    engine.submit(request(&data, 0));
-    engine.submit(request(&data, 1));
+    engine.submit(request(&data, 0)).expect("admit");
+    engine.submit(request(&data, 1)).expect("admit");
     assert_eq!(engine.tick(), 0, "tick 1: still waiting");
     assert_eq!(engine.tick(), 0, "tick 2: still waiting");
     assert_eq!(engine.tick(), 2, "tick 3: wait policy fires");
@@ -261,7 +268,7 @@ fn batching_policy_is_tick_deterministic() {
 
     // Full batch: 4 requests dispatch on the very next tick.
     for i in 0..4 {
-        engine.submit(request(&data, i));
+        engine.submit(request(&data, i)).expect("admit");
     }
     assert_eq!(engine.tick(), 4, "full batch dispatches immediately");
 }
@@ -287,7 +294,9 @@ fn steady_state_serving_allocates_zero_arena_bytes() {
     let mut out = Vec::new();
     for round in 0..6 {
         for i in 0..4usize {
-            engine.submit(request(&data, (round * 4 + i) % idx.len()));
+            engine
+                .submit(request(&data, (round * 4 + i) % idx.len()))
+                .expect("admit");
         }
         engine.tick();
         engine.flush();
