@@ -415,12 +415,14 @@ fn run() -> Result<(), BenchError> {
         .set_int("steady_alloc_bytes", engine.steady_alloc_bytes() as i64);
 
     // ── Cluster scaling curve: the same request stream through 1/2/4/8
-    // shard clusters. Shard dispatch inside a tick fans out on the
-    // worker pool, so the curve shows how far sharding buys throughput
-    // on this machine; the `cluster_scaling_8x` record is the 8-shard /
-    // 1-shard ns ratio ×1000 (lower is better, like every other
-    // record), which CI gates so a change that serializes shard
-    // dispatch shows up as a regression.
+    // shard clusters on the machine-resolved data plane (persistent
+    // shard workers when the pool has threads to pin them on, inline on
+    // a single core). The driver uses the zero-allocation `submit_ref`
+    // intake and never waits on a shard inside a tick, so the curve
+    // measures the data plane, not the driver; the `cluster_scaling_8x`
+    // record is the 8-shard / 1-shard ns ratio ×1000 (lower is better),
+    // which CI gates so a change that serializes shard dispatch shows up
+    // as a regression.
     let mut shard_ns = Vec::new();
     for &shards in &[1usize, 2, 4, 8] {
         let ccfg = ClusterConfig {
@@ -433,6 +435,12 @@ fn run() -> Result<(), BenchError> {
         for s in 0..shards {
             cluster.engine_mut(s).warm(&prep);
         }
+        if shards == 8 {
+            man.set_int(
+                "cluster_data_plane_workers",
+                (cluster.data_plane() == mga_serve::DataPlane::Workers) as i64,
+            );
+        }
         // Bursts scale with the shard count so every shard sees full
         // micro-batches; total request count is fixed.
         let burst = 8 * shards;
@@ -443,12 +451,10 @@ fn run() -> Result<(), BenchError> {
                     // Typed sheds are a valid outcome when the user arms
                     // an MGA_FAULT shard site; fault-free gate runs
                     // admit everything.
-                    let _ = cluster.submit(
-                        Request {
-                            id: (b * burst + j) as u64,
-                            kernel: data.sample_kernel[i],
-                            aux: data.aux[i].clone(),
-                        },
+                    let _ = cluster.submit_ref(
+                        (b * burst + j) as u64,
+                        data.sample_kernel[i],
+                        &data.aux[i],
                         None,
                     );
                 }
@@ -497,6 +503,117 @@ fn run() -> Result<(), BenchError> {
         "{{\"name\": \"cluster_scaling_8x\", \"iters\": 1, \"ns_per_iter\": {scaling_milli:.1}}}"
     ));
     man.set_float("cluster_speedup_8x", shard_ns[0] / shard_ns[3]);
+
+    // ── Offered-load sweep: arrivals from 0.25× to 2× the 4-shard
+    // cluster's per-tick intake capacity against *bounded* queues (one
+    // full micro-batch deep per shard, so a tick can absorb at most
+    // `shards × max_batch` before admission starts refusing). Below
+    // saturation nearly everything is admitted; past it, admission
+    // sheds at the door — the per-load shed-rate records (shed per
+    // mille of offered) keep the overload story visible in CI next to
+    // raw throughput, and `cluster_saturation_throughput` is the ns per
+    // *served* request at 2× offered load, i.e. the cluster's ceiling
+    // with admission control doing its job.
+    {
+        let shards = 4usize;
+        let per_tick_capacity = shards * serve_cfg.max_batch;
+        let ticks = if opts.quick { 48 } else { 128 };
+        let mut saturated_ns = 0.0f64;
+        let mut shed_curve = Vec::new();
+        println!();
+        for &(load_milli, tag) in &[
+            (250u64, "025"),
+            (500, "050"),
+            (1000, "100"),
+            (1500, "150"),
+            (2000, "200"),
+        ] {
+            let offered_per_tick = ((per_tick_capacity as u64 * load_milli) / 1000).max(1) as usize;
+            let ccfg = ClusterConfig {
+                shards,
+                queue_capacity: serve_cfg.max_batch,
+                serve: serve_cfg.clone(),
+                ..ClusterConfig::default()
+            };
+            let mut cluster = Cluster::new(&model, data.graphs, data.vectors, ccfg);
+            for s in 0..shards {
+                cluster.engine_mut(s).warm(&prep);
+            }
+            let mut out = Vec::new();
+            let mut next_id = 0u64;
+            let mut run_once = |cluster: &mut Cluster<'_>, next_id: &mut u64| -> u64 {
+                let offered = (ticks * offered_per_tick) as u64;
+                for _ in 0..ticks {
+                    for _ in 0..offered_per_tick {
+                        let i = stream[(*next_id as usize) % stream.len()];
+                        let _ =
+                            cluster.submit_ref(*next_id, data.sample_kernel[i], &data.aux[i], None);
+                        *next_id += 1;
+                    }
+                    cluster.tick();
+                    cluster.drain(&mut out);
+                    out.clear();
+                }
+                cluster.flush();
+                cluster.drain(&mut out);
+                out.clear();
+                offered
+            };
+            run_once(&mut cluster, &mut next_id); // warm-up
+            let accepted0 = cluster.accepted_total();
+            let answered0 = cluster.answered_total();
+            let budget = Duration::from_millis(200);
+            let mut samples = Vec::new();
+            let mut offered_total = 0u64;
+            let start = Instant::now();
+            while start.elapsed() < budget || samples.is_empty() {
+                let t0 = Instant::now();
+                offered_total += run_once(&mut cluster, &mut next_id);
+                samples.push(t0.elapsed().as_nanos() as f64);
+            }
+            let served = cluster.answered_total() - answered0;
+            let accepted = cluster.accepted_total() - accepted0;
+            let shed = offered_total - accepted;
+            let shed_permille = 1000.0 * shed as f64 / offered_total as f64;
+            samples.sort_by(|a, b| a.total_cmp(b));
+            let ns_per_served = samples[samples.len() / 2] / (served as f64 / samples.len() as f64);
+            assert_eq!(
+                accepted, served,
+                "load {load_milli}: every accepted request must be answered"
+            );
+            println!(
+                "cluster_load_{tag}            offered {offered_per_tick:>3}/tick  \
+                 shed {shed_permille:>6.1}‰  {ns_per_served:>12.1} ns/served",
+            );
+            records.push(format!(
+                "{{\"name\": \"cluster_shed_rate_{tag}\", \"iters\": {offered_total}, \"ns_per_iter\": {shed_permille:.1}}}"
+            ));
+            man.set_float(&format!("cluster_shed_permille_{tag}"), shed_permille);
+            if load_milli == 2000 {
+                saturated_ns = ns_per_served;
+            }
+            shed_curve.push(shed_permille);
+        }
+        // The curve must actually show admission control working: real
+        // overload sheds, and the shed rate does not shrink as offered
+        // load doubles past capacity.
+        assert!(
+            shed_curve[4] > 0.0,
+            "2x offered load must shed against one-batch-deep queues"
+        );
+        assert!(
+            shed_curve[0] <= shed_curve[4],
+            "shed rate must not decrease from 0.25x to 2x offered load"
+        );
+        println!(
+            "{:<28} {saturated_ns:>16.1} ns/iter  (per served request at 2x offered load)",
+            "cluster_saturation_throughput"
+        );
+        records.push(format!(
+            "{{\"name\": \"cluster_saturation_throughput\", \"iters\": 1, \"ns_per_iter\": {saturated_ns:.1}}}"
+        ));
+        man.set_float("cluster_saturation_throughput_ns", saturated_ns);
+    }
 
     let path = "BENCH_serve.json";
     let mut fh = std::fs::File::create(path)?;

@@ -23,6 +23,14 @@ struct Snapshot {
     counters: BTreeMap<String, f64>,
     gauges: BTreeMap<String, f64>,
     loghists: BTreeMap<String, HistSnapshot>,
+    hists: BTreeMap<String, FixedHist>,
+}
+
+/// A fixed-bucket histogram re-read from the dump (bounds + counts).
+struct FixedHist {
+    bounds: Vec<f64>,
+    buckets: Vec<u64>,
+    count: u64,
 }
 
 fn load_metrics(path: &str) -> Result<Snapshot, BenchError> {
@@ -67,7 +75,23 @@ fn load_metrics(path: &str) -> Result<Snapshot, BenchError> {
                 snap.loghists
                     .insert(name, HistSnapshot::from_parts(&buckets, count, sum));
             }
-            _ => {} // fixed-bucket histograms are not dashboarded
+            Some("histogram") => {
+                let nums = |k: &str| -> Vec<f64> {
+                    v.get(k)
+                        .and_then(Json::as_arr)
+                        .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                        .unwrap_or_default()
+                };
+                snap.hists.insert(
+                    name,
+                    FixedHist {
+                        bounds: nums("bounds"),
+                        buckets: nums("buckets").into_iter().map(|b| b as u64).collect(),
+                        count: v.get("count").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+                    },
+                );
+            }
+            _ => {}
         }
     }
     Ok(snap)
@@ -86,6 +110,9 @@ struct FlightSummary {
     /// Request count per disposition tag (served / redirected / shed_*…)
     /// — the overload story of the run, straight from the flight dumps.
     dispositions: BTreeMap<String, u64>,
+    /// Request count per batch-cut reason (full / wait / slo_cut /
+    /// flush) — how the adaptive batcher actually decided.
+    batch_modes: BTreeMap<String, u64>,
 }
 
 fn load_flight(path: &str) -> Result<FlightSummary, BenchError> {
@@ -115,6 +142,10 @@ fn load_flight(path: &str) -> Result<FlightSummary, BenchError> {
                     .and_then(Json::as_str)
                     .unwrap_or("served");
                 *fs.dispositions.entry(disp.to_string()).or_insert(0) += 1;
+                // Older dumps predate the batch_mode field; the batcher
+                // only had the full-batch cut then.
+                let mode = v.get("batch_mode").and_then(Json::as_str).unwrap_or("full");
+                *fs.batch_modes.entry(mode.to_string()).or_insert(0) += 1;
             }
             Some("drift") => {
                 let kind = v.get("kind").and_then(Json::as_str).unwrap_or("?");
@@ -208,7 +239,45 @@ fn render_metrics(snap: &Snapshot) {
             println!("{name:<24} {v:.0}");
         }
     }
+    render_batching(snap);
     render_cluster(snap);
+}
+
+/// Adaptive-batching view: the chosen micro-batch width distribution
+/// (fixed-bucket `serve.batch.size` histogram as a bar chart) and the
+/// cut-reason counters — full batch, timed-out wait, SLO cut, flush.
+fn render_batching(snap: &Snapshot) {
+    let Some(h) = snap.hists.get("serve.batch.size") else {
+        return;
+    };
+    if h.count == 0 {
+        return;
+    }
+    println!("\n── adaptive batching ──");
+    let max = h.buckets.iter().copied().max().unwrap_or(0).max(1);
+    for (i, &n) in h.buckets.iter().enumerate() {
+        let label = match h.bounds.get(i) {
+            Some(b) => format!("≤ {b:.0}"),
+            None => format!("> {:.0}", h.bounds.last().copied().unwrap_or(0.0)),
+        };
+        let bar = "#".repeat((n * 40 / max) as usize);
+        println!("batch {label:<6} {n:>10}  {bar}");
+    }
+    const MODES: [(&str, &str); 4] = [
+        ("serve.batch.mode.full", "cut: full batch"),
+        ("serve.batch.mode.wait", "cut: wait timeout"),
+        ("serve.batch.mode.slo_cut", "cut: SLO estimate"),
+        ("serve.batch.mode.flush", "cut: flush"),
+    ];
+    let batches: f64 = MODES
+        .iter()
+        .filter_map(|(k, _)| snap.counters.get(*k))
+        .sum();
+    for (key, label) in MODES {
+        if let Some(v) = snap.counters.get(key) {
+            println!("{label:<24} {v:.0} ({:.1}%)", 100.0 * v / batches.max(1.0));
+        }
+    }
 }
 
 /// Per-shard overload view: queue depths, health, plan epochs, plus the
@@ -229,10 +298,29 @@ fn render_cluster(snap: &Snapshot) {
         return;
     }
     println!("\n── cluster overload view ──");
+    // Worker-plane gauges exist only when the cluster ran persistent
+    // shard workers; the inline plane renders the shorter table.
+    let workers = snap
+        .gauges
+        .get("serve.cluster.data_plane")
+        .copied()
+        .unwrap_or(0.0)
+        >= 1.0;
     println!(
-        "{:<8} {:>12} {:>10} {:>11}",
-        "shard", "queue_depth", "health", "plan_epoch"
+        "data plane               {}",
+        if workers { "workers" } else { "inline" }
     );
+    if workers {
+        println!(
+            "{:<8} {:>12} {:>10} {:>11} {:>8} {:>10} {:>10}",
+            "shard", "queue_depth", "health", "plan_epoch", "util", "ring_occ", "cmds"
+        );
+    } else {
+        println!(
+            "{:<8} {:>12} {:>10} {:>11}",
+            "shard", "queue_depth", "health", "plan_epoch"
+        );
+    }
     for s in &shards {
         let g = |suffix: &str| {
             snap.gauges
@@ -245,12 +333,24 @@ fn render_cluster(snap: &Snapshot) {
             1 => "degraded",
             _ => "down",
         };
-        println!(
-            "{s:<8} {:>12.0} {:>10} {:>11.0}",
-            g("queue_depth"),
-            health,
-            g("plan_epoch")
-        );
+        if workers {
+            println!(
+                "{s:<8} {:>12.0} {:>10} {:>11.0} {:>7.1}% {:>10.0} {:>10.0}",
+                g("queue_depth"),
+                health,
+                g("plan_epoch"),
+                100.0 * g("worker.utilization"),
+                g("worker.ring_occupancy"),
+                g("worker.cmds"),
+            );
+        } else {
+            println!(
+                "{s:<8} {:>12.0} {:>10} {:>11.0}",
+                g("queue_depth"),
+                health,
+                g("plan_epoch")
+            );
+        }
     }
     for key in [
         "serve.shed_total",
@@ -297,6 +397,12 @@ fn render_flight(fs: &FlightSummary) {
             println!("\n── dispositions ──");
             for (disp, count) in &fs.dispositions {
                 println!("{disp:<24} {count}");
+            }
+        }
+        if fs.batch_modes.keys().any(|k| k != "full") {
+            println!("\n── batch cut reasons ──");
+            for (mode, count) in &fs.batch_modes {
+                println!("{mode:<24} {count} ({:.1}%)", 100.0 * *count as f64 / n);
             }
         }
     }

@@ -305,7 +305,10 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
         cv: Condvar::new(),
         created: Instant::now(),
     });
-    for tx in &p.senders {
+    // The caller takes one chunk itself, so at most `count - 1` workers
+    // can ever claim work — waking the rest just costs a futile wakeup
+    // and an extra Arc round-trip on small jobs.
+    for tx in p.senders.iter().take(count.saturating_sub(1)) {
         // A send can only fail if a worker died mid-process; losing its
         // help is acceptable, losing the job is not — the caller drains.
         let _ = tx.send(job.clone());

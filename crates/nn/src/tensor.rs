@@ -322,7 +322,10 @@ impl Tensor {
 /// `out = a(m×k) × b(n×k)ᵀ` (overwrite), or `out += …` when `acc`. Each
 /// output element is one full dot product followed by a single store or
 /// add, so the `acc` form is bit-identical to materializing the product
-/// and `add_assign`ing it.
+/// and `add_assign`ing it. Runs through the backend selected by
+/// [`simd::choose_mt_matmul`] — the AVX2 panel gathers `b` columns so
+/// every lane is the same ascending-k dot chain, keeping the bits
+/// identical to the scalar kernel.
 pub fn matmul_t_into(
     out: &mut [f32],
     a: &[f32],
@@ -335,16 +338,17 @@ pub fn matmul_t_into(
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
+    let panel_fn = simd::choose_mt_matmul(n);
     let threads = pool::num_threads();
     if m * n * k >= PAR_FLOPS_THRESHOLD && threads > 1 && m >= 2 * threads {
         let out_ptr = pool::SendPtr::new(out.as_mut_ptr());
         pool::parallel_ranges(m, |_, lo, hi| {
             let panel =
                 unsafe { std::slice::from_raw_parts_mut(out_ptr.get().add(lo * n), (hi - lo) * n) };
-            matmul_t_panel(panel, &a[lo * k..hi * k], b, hi - lo, k, n, acc);
+            panel_fn(panel, &a[lo * k..hi * k], b, hi - lo, k, n, acc);
         });
     } else {
-        matmul_t_panel(out, a, b, m, k, n, acc);
+        panel_fn(out, a, b, m, k, n, acc);
     }
 }
 
@@ -369,27 +373,6 @@ pub fn t_matmul_into(out: &mut [f32], a: &[f32], rows: usize, acols: usize, b: &
         });
     } else {
         panel_fn(out, a, b, rows, acols, n, 0, m);
-    }
-}
-
-/// Row panel of `A × Bᵀ`: each output row is a set of independent dot
-/// products, so panels are embarrassingly parallel.
-fn matmul_t_panel(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize, acc: bool) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut dot = 0.0f32;
-            for kk in 0..k {
-                dot += arow[kk] * brow[kk];
-            }
-            if acc {
-                *o += dot;
-            } else {
-                *o = dot;
-            }
-        }
     }
 }
 

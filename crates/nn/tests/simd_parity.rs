@@ -86,6 +86,29 @@ proptest! {
         prop_assert_eq!(bits(&scalar), bits(&vector));
     }
 
+    /// `a×bᵀ` dot-product panel (gathered columns), both overwrite and
+    /// accumulate forms, across odd shapes including sub-lane widths.
+    #[test]
+    fn mt_panels_bitwise_equal(seed in 0u64..10_000) {
+        if !simd::avx2_available() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3c3c);
+        let m = rng.gen_range(0usize..23);
+        let k = rng.gen_range(0usize..40);
+        let n = rng.gen_range(0usize..50);
+        let acc = rng.gen_bool(0.5);
+        let a = rand_data(&mut rng, m * k, 0.25);
+        let b = rand_data(&mut rng, n * k, 0.0);
+        // Non-zero initial output: `acc` must fold onto it, the
+        // overwrite form must ignore it — identically on both backends.
+        let mut scalar = rand_data(&mut rng, m * n, 0.0);
+        let mut vector = scalar.clone();
+        simd::scalar_mt_panel(&mut scalar, &a, &b, m, k, n, acc);
+        simd::avx2_mt_panel(&mut vector, &a, &b, m, k, n, acc);
+        prop_assert_eq!(bits(&scalar), bits(&vector));
+    }
+
     /// `aᵀ×b` panel (weight gradients), including interior `[lo, hi)`
     /// row ranges as the thread pool would carve them.
     #[test]
@@ -173,6 +196,7 @@ fn battery() -> Vec<u64> {
             let b = Tensor::from_vec(k, n, rand_data(&mut rng, k * n, 0.0));
             push(a.matmul(&b).data());
             push(a.t_matmul(&a.matmul(&b)).data());
+            push(a.matmul_t(&b.transpose()).data());
         }
     }
     let mut rng = StdRng::seed_from_u64(777);

@@ -1,0 +1,236 @@
+//! Stress tests for the SPSC rings under real two-thread interleavings.
+//!
+//! The unit tests in `spsc.rs` pin the single-threaded protocol; these
+//! runs put a producer and a consumer on separate OS threads with
+//! adversarial pacing — tiny capacities (maximum wrap pressure), bursty
+//! producers, slow consumers, and mid-stream drops — and assert the
+//! properties the serving data plane leans on:
+//!
+//! * FIFO: values arrive exactly once, in push order;
+//! * no tearing: multi-word payloads arrive internally consistent;
+//! * `len()` from either side is always within `[0, capacity]` and the
+//!   observer side never sees a phantom element;
+//! * dropping the ring mid-stream drops every undelivered payload
+//!   exactly once.
+//!
+//! Every wait loop yields: on a single-core box the other thread cannot
+//! run until we do, and the suite must finish fast there.
+
+use mga_nn::spsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Multi-word payload: any torn read would break the invariant check.
+#[derive(Debug)]
+struct Packet {
+    seq: u64,
+    fill: [u64; 3],
+}
+
+impl Packet {
+    fn new(seq: u64) -> Packet {
+        Packet {
+            seq,
+            fill: [seq ^ 0xdead_beef, seq.wrapping_mul(31), !seq],
+        }
+    }
+
+    fn check(&self) {
+        assert_eq!(self.fill[0], self.seq ^ 0xdead_beef, "torn payload");
+        assert_eq!(self.fill[1], self.seq.wrapping_mul(31), "torn payload");
+        assert_eq!(self.fill[2], !self.seq, "torn payload");
+    }
+}
+
+/// FIFO + no-tearing across capacities from minimal (2) to comfortable,
+/// with the producer bursting and the consumer draining in gulps.
+#[test]
+fn two_thread_fifo_across_capacities() {
+    for cap in [1usize, 2, 3, 8, 64] {
+        let n: u64 = 30_000;
+        let (mut p, mut c) = spsc::ring::<Packet>(cap);
+        let cap_actual = p.capacity();
+        let producer = thread::spawn(move || {
+            let mut i = 0u64;
+            while i < n {
+                // Burst as far as the ring allows, then yield.
+                let mut pushed = false;
+                while i < n {
+                    match p.try_push(Packet::new(i)) {
+                        Ok(()) => {
+                            i += 1;
+                            pushed = true;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if !pushed {
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            let len = c.len();
+            assert!(len <= cap_actual, "len {len} exceeds capacity {cap_actual}");
+            match c.try_pop() {
+                Some(pkt) => {
+                    pkt.check();
+                    assert_eq!(pkt.seq, expect, "out-of-order at cap {cap}");
+                    expect += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert!(c.try_pop().is_none(), "spurious trailing element");
+    }
+}
+
+/// A deliberately slow consumer keeps the ring pinned at full; the
+/// producer's `len()` view must stay sane and nothing may be lost.
+#[test]
+fn slow_consumer_keeps_ring_full_without_loss() {
+    let n: u64 = 4_000;
+    let (mut p, mut c) = spsc::ring::<u64>(4);
+    let cap = p.capacity();
+    let producer = thread::spawn(move || {
+        for i in 0..n {
+            let mut v = i;
+            loop {
+                match p.try_push(v) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        v = back;
+                        // The consumer may pop between the refusal and
+                        // this read, so only the upper bound is stable.
+                        assert!(p.len() <= cap, "len exceeds capacity");
+                        thread::yield_now();
+                    }
+                }
+            }
+        }
+    });
+    let mut expect = 0u64;
+    while expect < n {
+        // Drain in twos with yields between, so the producer lives at
+        // the full boundary where the cached-cursor refresh matters.
+        for _ in 0..2 {
+            if let Some(v) = c.try_pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        thread::yield_now();
+    }
+    producer.join().unwrap();
+}
+
+/// Dropping the ring with elements still queued (producer done, consumer
+/// stopped early) drops each undelivered payload exactly once.
+#[test]
+fn mid_stream_drop_releases_every_payload_once() {
+    static DROPS: AtomicUsize = AtomicUsize::new(0);
+    struct Counted;
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            DROPS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // The consumer stops early, so production must fit in what gets
+    // consumed plus the ring: consume `eaten`, leave the rest queued.
+    let eaten = 500usize;
+    let leftover = 6usize; // < capacity, so the producer can finish
+    let total = eaten + leftover;
+    let produced = Arc::new(AtomicUsize::new(0));
+    {
+        let (mut p, mut c) = spsc::ring::<Counted>(8);
+        let produced_tx = Arc::clone(&produced);
+        let producer = thread::spawn(move || {
+            for _ in 0..total {
+                let mut v = Counted;
+                loop {
+                    match p.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            thread::yield_now();
+                        }
+                    }
+                }
+                produced_tx.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // Consume most, then walk away with the ring non-empty.
+        let mut got = 0usize;
+        while got < eaten {
+            match c.try_pop() {
+                Some(v) => {
+                    drop(v);
+                    got += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+    } // both endpoints drop here; the ring drains its leftovers
+    assert_eq!(produced.load(Ordering::Relaxed), total);
+    assert_eq!(
+        DROPS.load(Ordering::Relaxed),
+        total,
+        "consumed {eaten} by hand, ring must drop the rest exactly once"
+    );
+}
+
+/// Ping-pong latency path: capacity-2 ring pair used as a rendezvous —
+/// the pattern the worker plane's quiesce protocol leans on (one side
+/// waits for the other's counter). Any lost update deadlocks, so
+/// completing at all is the assertion; sequence checks catch reorders.
+#[test]
+fn ping_pong_rendezvous_never_wedges() {
+    let rounds: u64 = 10_000;
+    let (mut req_tx, mut req_rx) = spsc::ring::<u64>(2);
+    let (mut rsp_tx, mut rsp_rx) = spsc::ring::<u64>(2);
+    let echo = thread::spawn(move || {
+        let mut served = 0u64;
+        while served < rounds {
+            match req_rx.try_pop() {
+                Some(v) => {
+                    let mut r = v.wrapping_mul(3);
+                    loop {
+                        match rsp_tx.try_push(r) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                r = back;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                    served += 1;
+                }
+                None => thread::yield_now(),
+            }
+        }
+    });
+    for i in 0..rounds {
+        let mut v = i;
+        loop {
+            match req_tx.try_push(v) {
+                Ok(()) => break,
+                Err(back) => {
+                    v = back;
+                    thread::yield_now();
+                }
+            }
+        }
+        loop {
+            if let Some(r) = rsp_rx.try_pop() {
+                assert_eq!(r, i.wrapping_mul(3), "echo out of step");
+                break;
+            }
+            thread::yield_now();
+        }
+    }
+    echo.join().unwrap();
+}

@@ -51,6 +51,15 @@ pub struct ServeConfig {
     pub flight_capacity: usize,
     /// Drift-monitor tuning (windows, EWMA weight, thresholds).
     pub drift: DriftConfig,
+    /// SLO-aware adaptive batching: when `Some(slo)`, a partial batch is
+    /// cut early ([`BatchMode::SloCut`]) the moment the admission-style
+    /// completion estimate for the front request overshoots
+    /// `enqueued + slo` ticks — shallow queues stop paying the full
+    /// `max_wait_ticks` for batching that is not coming, deep queues
+    /// still batch up to `max_batch` for GEMM efficiency. The policy is
+    /// deterministic in logical ticks (never wall-clock); `None` (the
+    /// default) keeps the fixed wait-timer policy bit-for-bit.
+    pub adaptive_slo_ticks: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -64,8 +73,83 @@ impl Default for ServeConfig {
             telemetry: true,
             flight_capacity: 4096,
             drift: DriftConfig::default(),
+            adaptive_slo_ticks: None,
         }
     }
+}
+
+/// Why a micro-batch was cut when it was. Carried on flight records and
+/// the `serve.batch.mode.*` counters so tail-latency regressions can be
+/// attributed to a batching decision, not guessed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// The queue reached `max_batch` — dispatched at full width.
+    Full,
+    /// The oldest request aged out (`max_wait_ticks`).
+    WaitTimer,
+    /// Adaptive policy: waiting out the timer would blow the SLO, so the
+    /// partial batch went now.
+    SloCut,
+    /// Forced dispatch outside the tick policy (`flush`, shutdown, or a
+    /// staged swap draining via a synchronous call).
+    Flush,
+}
+
+impl BatchMode {
+    pub fn tag(self) -> &'static str {
+        match self {
+            BatchMode::Full => "full",
+            BatchMode::WaitTimer => "wait",
+            BatchMode::SloCut => "slo_cut",
+            BatchMode::Flush => "flush",
+        }
+    }
+}
+
+/// The batching policy, as a pure function of queue state and logical
+/// time: should a batch dispatch *now*, and why. This is the single
+/// source of truth shared by [`Engine::tick`] and the cluster's
+/// caller-side queue mirror (worker data plane) — both must form the
+/// exact same batches for replays to stay bitwise identical, so neither
+/// reimplements it.
+///
+/// `front_enqueued` is the enqueue tick of the oldest queued request
+/// (`None` when the queue is empty).
+#[inline]
+pub fn dispatch_due(
+    len: usize,
+    front_enqueued: Option<u64>,
+    now: u64,
+    cfg: &ServeConfig,
+) -> Option<BatchMode> {
+    if len >= cfg.max_batch {
+        return Some(BatchMode::Full);
+    }
+    let enq = front_enqueued?;
+    // `now > enq` in both timer arms: a request never dispatches inside
+    // its own submit tick except as part of a full batch.
+    if now > enq && now - enq >= cfg.max_wait_ticks {
+        return Some(BatchMode::WaitTimer);
+    }
+    if let Some(slo) = cfg.adaptive_slo_ticks {
+        if now > enq {
+            // Mirror the admission layer's completion estimate for this
+            // queue state: a partial batch that keeps waiting lands at
+            // the wait-timer horizon. If that already overshoots the
+            // front request's SLO budget, cut the batch now.
+            let eta = crate::admission::estimated_completion_tick(
+                now,
+                len,
+                cfg.max_batch,
+                cfg.max_wait_ticks,
+                0,
+            );
+            if eta > enq + slo {
+                return Some(BatchMode::SloCut);
+            }
+        }
+    }
+    None
 }
 
 /// One inference request: which kernel, and its dynamic (auxiliary)
@@ -115,6 +199,10 @@ struct HotMetrics {
     batches: &'static Counter,
     batched_requests: &'static Counter,
     queue_depth: &'static Gauge,
+    /// Chosen micro-batch widths (fixed-bucket; widths are small ints).
+    batch_size: &'static metrics::Histogram,
+    /// One counter per [`BatchMode`], indexed by discriminant.
+    batch_mode: [&'static Counter; 4],
 }
 
 impl HotMetrics {
@@ -130,7 +218,25 @@ impl HotMetrics {
             batches: metrics::counter("serve.batches"),
             batched_requests: metrics::counter("serve.batched_requests"),
             queue_depth: metrics::gauge("serve.queue_depth"),
+            batch_size: metrics::histogram(
+                "serve.batch.size",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            ),
+            batch_mode: [
+                metrics::counter("serve.batch.mode.full"),
+                metrics::counter("serve.batch.mode.wait"),
+                metrics::counter("serve.batch.mode.slo_cut"),
+                metrics::counter("serve.batch.mode.flush"),
+            ],
         }
+    }
+
+    #[inline]
+    fn note_batch(&self, b: usize, mode: BatchMode) {
+        self.batches.inc();
+        self.batched_requests.add(b as u64);
+        self.batch_size.observe(b as f64);
+        self.batch_mode[mode as usize].inc();
     }
 }
 
@@ -196,6 +302,10 @@ pub struct Engine<'a> {
     queue: VecDeque<Pending>,
     completed: VecDeque<Response>,
     spare: Vec<Response>,
+    /// Recycled aux buffers for [`Engine::submit_slice`] — the borrowed
+    /// intake path reuses these instead of allocating a `Vec<f32>` per
+    /// request, keeping cluster steady-state intake allocation-free.
+    spare_aux: Vec<Vec<f32>>,
     arena: Arena,
     /// Reusable class-decision buffer (`max_batch × num_heads`).
     cls: Vec<usize>,
@@ -289,6 +399,7 @@ impl<'a> Engine<'a> {
             queue: VecDeque::with_capacity(reserve),
             completed: VecDeque::with_capacity(reserve),
             spare: Vec::with_capacity(reserve),
+            spare_aux: Vec::with_capacity(reserve),
             arena,
             cls,
             margins,
@@ -354,9 +465,28 @@ impl<'a> Engine<'a> {
     /// 0 for a standalone engine; the cluster does its own admission
     /// with real shard ids before this point).
     pub fn submit(&mut self, req: Request) -> Result<(), ServeError> {
-        if req.kernel >= self.graphs.len() {
+        self.admit(req.id, req.kernel, &[], Some(req))
+    }
+
+    /// [`Engine::submit`] from borrowed parts — no `Request` built, no
+    /// `Vec<f32>` allocated: the aux row is copied into a recycled
+    /// buffer from the engine's spare pool. This is the cluster data
+    /// plane's intake path; it queues exactly what
+    /// `submit(Request { id, kernel, aux: aux.to_vec() })` would.
+    pub fn submit_slice(&mut self, id: u64, kernel: usize, aux: &[f32]) -> Result<(), ServeError> {
+        self.admit(id, kernel, aux, None)
+    }
+
+    fn admit(
+        &mut self,
+        id: u64,
+        kernel: usize,
+        aux: &[f32],
+        owned: Option<Request>,
+    ) -> Result<(), ServeError> {
+        if kernel >= self.graphs.len() {
             return Err(ServeError::UnknownKernel {
-                kernel: req.kernel,
+                kernel,
                 catalog: self.graphs.len(),
             });
         }
@@ -373,6 +503,16 @@ impl<'a> Engine<'a> {
         } else {
             0
         };
+        let req = owned.unwrap_or_else(|| {
+            let mut buf = self.spare_aux.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(aux);
+            Request {
+                id,
+                kernel,
+                aux: buf,
+            }
+        });
         self.queue.push_back(Pending {
             req,
             enqueued_tick: self.tick,
@@ -449,8 +589,8 @@ impl<'a> Engine<'a> {
     pub fn tick(&mut self) -> usize {
         self.tick += 1;
         let mut done = 0;
-        while self.should_dispatch() {
-            done += self.dispatch();
+        while let Some(mode) = self.due() {
+            done += self.dispatch(mode);
         }
         self.lat.queue_depth.set(self.queue.len() as f64);
         if self.cfg.telemetry {
@@ -468,17 +608,14 @@ impl<'a> Engine<'a> {
         done
     }
 
-    fn should_dispatch(&self) -> bool {
-        if self.queue.len() >= self.cfg.max_batch {
-            return true;
-        }
-        match self.queue.front() {
-            Some(p) => {
-                self.tick - p.enqueued_tick >= self.cfg.max_wait_ticks
-                    && self.tick > p.enqueued_tick
-            }
-            None => false,
-        }
+    /// [`dispatch_due`] over the engine's own queue state.
+    fn due(&self) -> Option<BatchMode> {
+        dispatch_due(
+            self.queue.len(),
+            self.queue.front().map(|p| p.enqueued_tick),
+            self.tick,
+            &self.cfg,
+        )
     }
 
     /// Dispatch everything still queued, regardless of wait policy
@@ -486,10 +623,17 @@ impl<'a> Engine<'a> {
     pub fn flush(&mut self) -> usize {
         let mut done = 0;
         while !self.queue.is_empty() {
-            done += self.dispatch();
+            done += self.dispatch(BatchMode::Flush);
         }
         self.lat.queue_depth.set(0.0);
         done
+    }
+
+    /// Pop the oldest completed response, if any — the worker data
+    /// plane's response-ring feed ([`Engine::drain`] moves everything at
+    /// once instead).
+    pub fn pop_completed(&mut self) -> Option<Response> {
+        self.completed.pop_front()
     }
 
     /// Move completed responses (in completion order) into `out`;
@@ -532,6 +676,7 @@ impl<'a> Engine<'a> {
         kernel: usize,
         submit_tick: u64,
         batch: u16,
+        batch_mode: &'static str,
         cache_hit: bool,
         e2e_ns: u64,
         classes: &[usize],
@@ -545,6 +690,7 @@ impl<'a> Engine<'a> {
             served_tick: self.tick,
             queue_ticks: (self.tick - submit_tick) as u32,
             batch,
+            batch_mode,
             cache_hit,
             precision: self.plan.precision().tag(),
             e2e_ns,
@@ -575,8 +721,10 @@ impl<'a> Engine<'a> {
         self.stats.confidence_sum += rec.confidence as f64;
     }
 
-    /// Run one micro-batch off the front of the queue.
-    fn dispatch(&mut self) -> usize {
+    /// Run one micro-batch off the front of the queue. `mode` is why the
+    /// policy cut the batch now — recorded on telemetry, never consulted
+    /// for compute.
+    fn dispatch(&mut self, mode: BatchMode) -> usize {
         let mut b = self.queue.len().min(self.cfg.max_batch);
         if self.staged.is_some() {
             // Swap draining: a micro-batch never straddles the swap
@@ -628,7 +776,7 @@ impl<'a> Engine<'a> {
             self.lat.heads.observe(end_ns - t3);
         }
         for r in 0..b {
-            let p = self.queue.pop_front().expect("b <= queue.len()");
+            let mut p = self.queue.pop_front().expect("b <= queue.len()");
             if telemetry {
                 let e2e = end_ns.saturating_sub(p.submit_ns);
                 self.lat.e2e.observe(e2e);
@@ -638,11 +786,16 @@ impl<'a> Engine<'a> {
                     p.req.kernel,
                     p.enqueued_tick,
                     b as u16,
+                    mode.tag(),
                     hit,
                     e2e,
                     &cls[r * nh..(r + 1) * nh],
                     &margins[r * nh..(r + 1) * nh],
                 );
+            }
+            if self.spare_aux.len() < self.spare_aux.capacity() {
+                // Recycle the aux buffer for the next `submit_slice`.
+                self.spare_aux.push(std::mem::take(&mut p.req.aux));
             }
             let mut resp = self.spare.pop().unwrap_or_else(|| Response {
                 id: 0,
@@ -662,8 +815,7 @@ impl<'a> Engine<'a> {
         self.arena.give(lg);
         self.arena.give(h);
         self.arena.give(x);
-        self.lat.batches.inc();
-        self.lat.batched_requests.add(b as u64);
+        self.lat.note_batch(b, mode);
         if self.staged.is_some() {
             self.old_pending -= b;
             if self.old_pending == 0 {
@@ -736,6 +888,7 @@ impl<'a> Engine<'a> {
                 kernel,
                 self.tick,
                 1,
+                "sync",
                 hit,
                 t2 - t0,
                 classes_out,

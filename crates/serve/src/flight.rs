@@ -101,6 +101,10 @@ pub struct FlightRecord {
     pub queue_ticks: u32,
     /// Size of the micro-batch it was served in (1 for the fast path).
     pub batch: u16,
+    /// Why the batch dispatched when it did ([`crate::engine::BatchMode`]
+    /// tag: `"full"`, `"wait"`, `"slo_cut"`, `"flush"`; `"sync"` for the
+    /// `serve_one` fast path).
+    pub batch_mode: &'static str,
     /// Whether its static embedding was already resident (false = the
     /// slow GNN+DAE path ran).
     pub cache_hit: bool,
@@ -134,6 +138,7 @@ impl Default for FlightRecord {
             served_tick: 0,
             queue_ticks: 0,
             batch: 0,
+            batch_mode: "full",
             cache_hit: false,
             precision: "f32",
             e2e_ns: 0,
@@ -158,6 +163,7 @@ impl FlightRecord {
             ("served_tick", Json::Num(self.served_tick as f64)),
             ("queue_ticks", Json::Num(self.queue_ticks as f64)),
             ("batch", Json::Num(self.batch as f64)),
+            ("batch_mode", Json::str(self.batch_mode)),
             ("cache_hit", Json::Bool(self.cache_hit)),
             ("precision", Json::str(self.precision)),
             ("e2e_ns", Json::Num(self.e2e_ns as f64)),
@@ -329,6 +335,7 @@ mod tests {
         assert_eq!(v.get("type").and_then(Json::as_str), Some("request"));
         assert_eq!(v.get("id").and_then(Json::as_f64), Some(42.0));
         assert_eq!(v.get("precision").and_then(Json::as_str), Some("f32"));
+        assert_eq!(v.get("batch_mode").and_then(Json::as_str), Some("full"));
         let classes = v.get("classes").and_then(Json::as_arr).unwrap();
         assert_eq!(classes.len(), 2, "only populated heads are emitted");
         assert_eq!(classes[1].as_f64(), Some(3.0));

@@ -87,11 +87,12 @@ pub mod error;
 pub mod flight;
 pub mod plan;
 pub mod router;
+mod worker;
 
 pub use admission::{Decision, ShardView, ShedReason};
 pub use cache::EmbeddingCache;
-pub use cluster::{load_candidate, Cluster, ClusterConfig, Health};
-pub use engine::{Engine, Request, Response, ServeConfig};
+pub use cluster::{load_candidate, Cluster, ClusterConfig, DataPlane, Health};
+pub use engine::{dispatch_due, BatchMode, Engine, Request, Response, ServeConfig};
 pub use error::{ServeError, SwapError};
 pub use flight::{Disposition, FlightRecord, FlightRecorder};
 pub use plan::{InferencePlan, Precision};

@@ -1,0 +1,531 @@
+//! The persistent-worker data plane: one thread per shard, fed by
+//! lock-free SPSC rings.
+//!
+//! The inline plane (PR 8) forked the worker pool once per cluster tick
+//! and joined it before returning — a barrier per tick, paid even when
+//! most shards had nothing to dispatch. This module replaces that with
+//! one *persistent* thread per shard. The caller streams commands
+//! (`Submit` / `Tick` / `Flush`) through a bounded [`mga_nn::spsc`]
+//! intake ring; completed [`Response`]s come back through a response
+//! ring; the worker runs ahead independently between synchronization
+//! epochs. No barrier: shard 0 can be three ticks deep in GEMMs while
+//! the caller is still admitting shard 7's traffic.
+//!
+//! **Determinism.** Bitwise-identical replays survive the new plane
+//! because the engine never sees anything but its command stream, and
+//! the stream is byte-for-byte what the inline plane would have executed
+//! synchronously: submits in admission order, a `Tick` only when the
+//! inline plane would have called `engine.tick()` (live, unstalled), a
+//! `Flush` per inline `engine.flush()`. Commands are FIFO per shard, so
+//! `enqueued_tick` / `completed_tick` / batch formation — and therefore
+//! every response byte — are identical. The chaos suite replays whole
+//! failure scenarios across both planes and compares checksums.
+//!
+//! **The queue mirror.** Admission decides from queue depths, but the
+//! engine's queue now lives ticks ahead on another thread. Instead of
+//! synchronizing per submit (which would re-create the barrier), the
+//! caller keeps a [`QueueMirror`] per shard: a replica of the engine's
+//! queue driven by the *same* policy function
+//! ([`crate::engine::dispatch_due`]) over the same command stream. The
+//! mirror at caller time T equals the engine's queue after it processes
+//! every command issued up to T — exactly the state the inline plane
+//! would have read — so admission, overflow retry and `tick()` return
+//! values are plane-invariant. `Cluster::drain` checks the mirror
+//! against the quiesced engine in debug builds.
+//!
+//! **Quiescence.** The caller counts commands issued; the worker
+//! publishes commands consumed (release-stored after all engine access
+//! for that command). `consumed == issued` means the worker is idle and
+//! the engine is safe to touch from the caller — the sync epochs are
+//! drain, evacuation (`kill_shard`), plan swap, `engine()` /
+//! `engine_mut()` access and metrics publication. Between epochs the
+//! caller never touches the engine.
+//!
+//! **No deadlock, no loss.** The worker never blocks: when the response
+//! ring is full, completions simply stay in the engine's own unbounded
+//! `completed` deque and move over on a later command or at drain. The
+//! caller's only wait is intake backpressure (ring full), which the
+//! always-draining worker resolves. Aux rows ride a slab indexed in
+//! lockstep with the submit stream, so the hot intake path allocates
+//! nothing in either plane.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+
+use mga_nn::aligned::{AlignedVec, CachePadded};
+use mga_nn::spsc;
+use mga_obs::clock;
+
+use crate::engine::{dispatch_due, Engine, Response, ServeConfig};
+
+/// One data-plane command. The stream a worker consumes is exactly the
+/// call sequence the inline plane would have made on its engine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Cmd {
+    /// `engine.submit_slice(id, kernel, aux)`; the aux row travels in
+    /// the slab slot paired with this command (none when `degenerate`).
+    Submit {
+        id: u64,
+        kernel: u32,
+        /// The caller-provided aux had the wrong width. The plan imputes
+        /// every wrong-width row identically (`scale_aux_into`), so the
+        /// payload is not transported — the worker substitutes a
+        /// canonical wrong-width slice.
+        degenerate: bool,
+    },
+    /// `engine.tick()` — issued only when the shard is live and
+    /// unstalled, mirroring the inline dispatch filter.
+    Tick,
+    /// `engine.flush()`.
+    Flush,
+}
+
+/// Fixed-width aux rows for in-flight `Submit` commands, written by the
+/// caller before the command is published and read by the worker when it
+/// pops it. Row indices advance in lockstep with the submit stream on
+/// both sides; the intake ring's in-flight bound (`issued - consumed <
+/// capacity`, enforced by [`ShardChannel::wait_room`]) guarantees a row
+/// is never rewritten before the worker has copied it into the engine.
+struct AuxSlab {
+    data: UnsafeCell<AlignedVec>,
+    width: usize,
+    rows: usize,
+}
+
+// Safety: rows are single-writer/single-reader under the ring protocol —
+// the caller only writes a row before publishing its command (release
+// store on the ring tail), the worker only reads it after popping that
+// command (acquire load), and the in-flight bound prevents reuse races.
+unsafe impl Send for AuxSlab {}
+unsafe impl Sync for AuxSlab {}
+
+impl AuxSlab {
+    fn new(rows: usize, width: usize) -> AuxSlab {
+        AuxSlab {
+            data: UnsafeCell::new(AlignedVec::zeroed(rows * width)),
+            width,
+            rows,
+        }
+    }
+
+    /// Safety: caller owns row `r` per the ring protocol (it is the next
+    /// unpublished submit slot).
+    unsafe fn write_row(&self, r: usize, src: &[f32]) {
+        debug_assert_eq!(src.len(), self.width);
+        let base = (*self.data.get()).as_ptr() as *mut f32;
+        std::ptr::copy_nonoverlapping(src.as_ptr(), base.add(r * self.width), self.width);
+    }
+
+    /// Safety: worker owns row `r` per the ring protocol (its command
+    /// was popped and its slot cannot be rewritten until consumed).
+    unsafe fn row(&self, r: usize) -> &[f32] {
+        let base = (*self.data.get()).as_ptr();
+        std::slice::from_raw_parts(base.add(r * self.width), self.width)
+    }
+}
+
+/// Cross-thread shard-worker state: the quiesce counter, park/shutdown
+/// flags and observational telemetry.
+pub(crate) struct WorkerShared {
+    /// Commands fully processed (all engine access done). Release-stored
+    /// by the worker; `consumed == issued` is the caller's license to
+    /// touch the engine.
+    pub consumed: CachePadded<AtomicU64>,
+    /// Worker is parked (or about to park); the caller unparks after a
+    /// push that observes this.
+    pub parked: AtomicBool,
+    pub shutdown: AtomicBool,
+    /// `engine.drift_events().len()` after the last processed command —
+    /// the caller's eventually-consistent drift view for health refresh
+    /// (observational only; admission never reads health directly).
+    pub drift_len: AtomicUsize,
+    /// Commands processed (utilization denominator-ish; dashboards).
+    pub cmds: AtomicU64,
+    /// Times the worker parked (idle episodes).
+    pub parks: AtomicU64,
+    /// Wall ns spent processing commands (telemetry only).
+    pub busy_ns: AtomicU64,
+    /// Wall ns at worker start (telemetry only).
+    pub start_ns: AtomicU64,
+}
+
+/// Caller-side replica of one shard engine's queue, driven by the same
+/// command stream and the same policy function the engine runs
+/// ([`dispatch_due`]) — including the staged-swap clamp. Gives
+/// admission exact, plane-invariant queue depths without synchronizing.
+#[derive(Debug, Default)]
+pub(crate) struct QueueMirror {
+    /// The engine's own tick (number of `Tick` commands issued to it).
+    etick: u64,
+    /// Enqueue tick (engine time) of each queued request, FIFO.
+    queue: VecDeque<u64>,
+    /// Staged-swap drain barrier: batches never exceed the pre-swap
+    /// backlog until it hits zero (mirrors `Engine::dispatch`).
+    staged: bool,
+    old_pending: usize,
+}
+
+impl QueueMirror {
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn submit(&mut self) {
+        self.queue.push_back(self.etick);
+    }
+
+    fn pop_batch(&mut self, max_batch: usize) -> usize {
+        let mut b = self.queue.len().min(max_batch);
+        if self.staged {
+            b = b.min(self.old_pending);
+        }
+        debug_assert!(b > 0);
+        for _ in 0..b {
+            self.queue.pop_front();
+        }
+        if self.staged {
+            self.old_pending -= b;
+            if self.old_pending == 0 {
+                self.staged = false;
+            }
+        }
+        b
+    }
+
+    fn on_tick(&mut self, cfg: &ServeConfig) -> usize {
+        self.etick += 1;
+        let mut done = 0;
+        while dispatch_due(
+            self.queue.len(),
+            self.queue.front().copied(),
+            self.etick,
+            cfg,
+        )
+        .is_some()
+        {
+            done += self.pop_batch(cfg.max_batch);
+        }
+        done
+    }
+
+    fn flush(&mut self, cfg: &ServeConfig) -> usize {
+        let mut done = 0;
+        while !self.queue.is_empty() {
+            done += self.pop_batch(cfg.max_batch);
+        }
+        self.staged = false;
+        self.old_pending = 0;
+        done
+    }
+
+    /// `Engine::evacuate`: queue emptied, staged swap installs.
+    pub fn evacuate(&mut self) {
+        self.queue.clear();
+        self.staged = false;
+        self.old_pending = 0;
+    }
+
+    /// `Engine::swap_plan`: the current backlog drains on the old plan.
+    pub fn stage_swap(&mut self) {
+        self.old_pending = self.queue.len();
+        self.staged = self.old_pending > 0;
+    }
+}
+
+/// `*mut Engine` that crosses into the worker thread. The worker is the
+/// engine's sole user between quiesce epochs, and `Cluster`'s `Drop`
+/// joins it before the shard vector (and anything the engine borrows)
+/// can go away.
+struct EnginePtr(*mut ());
+unsafe impl Send for EnginePtr {}
+
+/// How many empty polls before the worker parks. Short: an idle shard
+/// should cost a futex wait, not a spinning core — and on a single-core
+/// box spinning only delays the producer.
+const SPIN_BUDGET: u32 = 256;
+
+/// The caller's handle to one shard worker: intake/response rings, the
+/// quiesce counters and the queue mirror.
+pub(crate) struct ShardChannel {
+    intake: spsc::Producer<Cmd>,
+    pub responses: spsc::Consumer<Response>,
+    slab: Arc<AuxSlab>,
+    pub shared: Arc<WorkerShared>,
+    thread: Thread,
+    join: Option<JoinHandle<()>>,
+    /// Commands issued (caller-local; `consumed` catches up to it).
+    issued: u64,
+    write_row: usize,
+    pub mirror: QueueMirror,
+}
+
+impl ShardChannel {
+    /// Spawn the worker for `engine`. Safety contract (upheld by
+    /// `Cluster`): the engine must stay at this address for the worker's
+    /// lifetime (it lives in a never-reallocated `Vec`), the caller must
+    /// only touch it at quiesce points, and the worker must be joined
+    /// before the engine (or its borrows) are dropped.
+    pub fn spawn(
+        engine: *mut Engine<'_>,
+        aux_dim: usize,
+        capacity: usize,
+        telemetry: bool,
+        shard: usize,
+    ) -> ShardChannel {
+        let (intake_tx, intake_rx) = spsc::ring::<Cmd>(capacity);
+        let cap = intake_tx.capacity();
+        let (resp_tx, resp_rx) = spsc::ring::<Response>(cap);
+        let slab = Arc::new(AuxSlab::new(cap, aux_dim));
+        let shared = Arc::new(WorkerShared {
+            consumed: CachePadded::new(AtomicU64::new(0)),
+            parked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            drift_len: AtomicUsize::new(0),
+            cmds: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+        });
+        let ptr = EnginePtr(engine as *mut ());
+        let worker_slab = Arc::clone(&slab);
+        let worker_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name(format!("mga-shard-{shard}"))
+            .spawn(move || {
+                worker_main(
+                    ptr,
+                    intake_rx,
+                    resp_tx,
+                    worker_slab,
+                    worker_shared,
+                    telemetry,
+                )
+            })
+            .expect("spawn shard worker");
+        let thread = join.thread().clone();
+        ShardChannel {
+            intake: intake_tx,
+            responses: resp_rx,
+            slab,
+            shared,
+            thread,
+            join: Some(join),
+            issued: 0,
+            write_row: 0,
+            mirror: QueueMirror::default(),
+        }
+    }
+
+    /// Intake backpressure: keep strictly fewer than `capacity` commands
+    /// in flight. This bounds ring occupancy *and* slab-row reuse (a row
+    /// is only rewritten `capacity` submits later, by which time its
+    /// command was consumed). The worker always drains, so this
+    /// terminates; unparking inside the loop is lost-wakeup insurance.
+    fn wait_room(&mut self) {
+        let cap = self.intake.capacity() as u64;
+        while self.issued - self.shared.consumed.load(Ordering::Acquire) >= cap {
+            self.thread.unpark();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Publish a command (room must already be ensured).
+    fn push_ready(&mut self, cmd: Cmd) {
+        let pushed = self.intake.try_push(cmd).is_ok();
+        debug_assert!(pushed, "wait_room guaranteed a slot");
+        self.issued += 1;
+        if self.shared.parked.load(Ordering::SeqCst) {
+            self.thread.unpark();
+        }
+    }
+
+    /// Stream one admission. Wrong-width aux rows are not transported:
+    /// the plan imputes every wrong-width row identically, so the worker
+    /// substitutes a canonical wrong-width slice (bitwise-equal result).
+    pub fn submit(&mut self, id: u64, kernel: usize, aux: &[f32]) {
+        self.wait_room();
+        let degenerate = aux.len() != self.slab.width;
+        if !degenerate {
+            // Safety: `write_row` is the next unpublished submit slot
+            // and `wait_room` bounded the in-flight window.
+            unsafe { self.slab.write_row(self.write_row, aux) };
+            self.write_row = if self.write_row + 1 == self.slab.rows {
+                0
+            } else {
+                self.write_row + 1
+            };
+        }
+        self.push_ready(Cmd::Submit {
+            id,
+            kernel: kernel as u32,
+            degenerate,
+        });
+        self.mirror.submit();
+    }
+
+    /// Stream one engine tick; returns the mirror's dispatch count —
+    /// exactly what the engine will complete for this command.
+    pub fn tick(&mut self, cfg: &ServeConfig) -> usize {
+        self.wait_room();
+        self.push_ready(Cmd::Tick);
+        self.mirror.on_tick(cfg)
+    }
+
+    /// Stream one engine flush; returns the mirror's dispatch count.
+    pub fn flush(&mut self, cfg: &ServeConfig) -> usize {
+        self.wait_room();
+        self.push_ready(Cmd::Flush);
+        self.mirror.flush(cfg)
+    }
+
+    /// Wait until the worker has processed every issued command. On
+    /// return the engine is caller-safe until the next command is
+    /// pushed.
+    pub fn quiesce(&self) {
+        while self.shared.consumed.load(Ordering::Acquire) < self.issued {
+            self.thread.unpark();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Intake-ring occupancy (dashboards).
+    pub fn occupancy(&self) -> usize {
+        self.intake.len()
+    }
+
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+
+    pub fn join(&mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Shutdown rides the channel's own `Drop` (the type is lifetime-free)
+/// rather than a `Drop` on `Cluster`, which would force every borrow
+/// handed to the cluster to strictly outlive it under dropck. The worker
+/// dereferences a raw engine pointer until it observes `shutdown`, so
+/// the join here must complete before the engine is freed — guaranteed
+/// by `Shard`'s field order in `cluster.rs`.
+impl Drop for ShardChannel {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+/// The worker loop: pop a command, apply it to the engine, move
+/// completions into the response ring (leftovers stay in the engine's
+/// unbounded deque when the ring is full — never block), publish the
+/// consumed counter. Idle: spin briefly, then park.
+fn worker_main(
+    engine: EnginePtr,
+    mut intake: spsc::Consumer<Cmd>,
+    mut responses: spsc::Producer<Response>,
+    slab: Arc<AuxSlab>,
+    shared: Arc<WorkerShared>,
+    telemetry: bool,
+) {
+    // Safety: the engine outlives this thread (joined by `Cluster::drop`
+    // before the shard vector drops) and is only touched from here
+    // between quiesce epochs. The 'static is a lie the join makes true.
+    let engine: &mut Engine<'static> = unsafe { &mut *(engine.0 as *mut Engine<'static>) };
+    if telemetry {
+        shared.start_ns.store(clock::now_ns(), Ordering::Relaxed);
+    }
+    let mut consumed = 0u64;
+    let mut read_row = 0usize;
+    let mut spins = 0u32;
+    loop {
+        let Some(cmd) = intake.try_pop() else {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            spins += 1;
+            if spins < SPIN_BUDGET {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                continue;
+            }
+            shared.parked.store(true, Ordering::SeqCst);
+            // Re-check after publishing `parked`: a push that missed the
+            // flag has already landed in the ring.
+            if !intake.is_empty() || shared.shutdown.load(Ordering::Acquire) {
+                shared.parked.store(false, Ordering::SeqCst);
+                continue;
+            }
+            shared.parks.fetch_add(1, Ordering::Relaxed);
+            std::thread::park();
+            shared.parked.store(false, Ordering::SeqCst);
+            spins = 0;
+            continue;
+        };
+        spins = 0;
+        let t0 = if telemetry { clock::now_ns() } else { 0 };
+        match cmd {
+            Cmd::Submit {
+                id,
+                kernel,
+                degenerate,
+            } => {
+                let aux: &[f32] = if degenerate {
+                    // Any wrong-width slice imputes identically; cover
+                    // the width-0 plan too.
+                    if slab.width == 0 {
+                        &[0.0]
+                    } else {
+                        &[]
+                    }
+                } else {
+                    // Safety: this command's row; see AuxSlab.
+                    let row = unsafe { slab.row(read_row) };
+                    read_row = if read_row + 1 == slab.rows {
+                        0
+                    } else {
+                        read_row + 1
+                    };
+                    row
+                };
+                let admitted = engine.submit_slice(id, kernel as usize, aux);
+                debug_assert!(
+                    admitted.is_ok(),
+                    "cluster admission checked kernel and room"
+                );
+                let _ = admitted;
+            }
+            Cmd::Tick => {
+                engine.tick();
+            }
+            Cmd::Flush => {
+                engine.flush();
+            }
+        }
+        while responses.len() < responses.capacity() {
+            match engine.pop_completed() {
+                Some(r) => {
+                    let pushed = responses.try_push(r).is_ok();
+                    debug_assert!(pushed, "room was checked");
+                }
+                None => break,
+            }
+        }
+        shared
+            .drift_len
+            .store(engine.drift_events().len(), Ordering::Relaxed);
+        shared.cmds.fetch_add(1, Ordering::Relaxed);
+        if telemetry {
+            shared
+                .busy_ns
+                .fetch_add(clock::now_ns().saturating_sub(t0), Ordering::Relaxed);
+        }
+        consumed += 1;
+        shared.consumed.store(consumed, Ordering::Release);
+    }
+}
