@@ -5,6 +5,16 @@
 //!
 //! Usage: `cargo run --release --bin bench_report [--quick] [--seed N]`.
 //! Pass `MGA_THREADS=1` to snapshot the sequential baseline.
+//!
+//! Training scales across threads via micro-batch data parallelism, and
+//! the pool is sized once per process — so the `train_epoch_threads_{N}`
+//! records come from re-executing this binary with `--epoch-probe` under
+//! `MGA_THREADS=N`. `train_scaling_4x` is their 4-thread/1-thread ratio
+//! (per-mille, lower is better): a within-run ratio, machine-portable
+//! where the absolute records are not, gating the parallel epoch's
+//! health — on a multi-core box it shows the real speedup, on a
+//! single-core box pure dispatch overhead, and a serialization bug
+//! inflates it either way.
 
 use mga_bench::{finish_run, manifest, model_cfg, parse_opts, thread_dataset};
 use mga_core::cv::kfold_by_group;
@@ -37,7 +47,61 @@ fn time(name: &str, records: &mut Vec<String>, mut f: impl FnMut()) -> f64 {
     ns
 }
 
+/// `--epoch-probe` mode: build the same fold and model as the main run,
+/// time `train_epoch`, print one parseable line and exit. Run in a child
+/// process per thread count (the pool reads `MGA_THREADS` once).
+fn epoch_probe() -> ! {
+    let opts = parse_opts();
+    let ds = thread_dataset(opts);
+    let task = OmpTask::new(&ds);
+    let data = task.train_data(&ds);
+    let folds = kfold_by_group(&ds.groups(), 5, opts.seed);
+    let fold = &folds[0];
+    let cfg = model_cfg(opts, Modality::Multimodal, true);
+    let mut model = FusionModel::fit(cfg, &data, &fold.train, &task.codec.head_sizes());
+    let prep = model.prepare(&data, &fold.train);
+    let targets = batch_targets(&data, &fold.train, task.codec.head_sizes().len());
+    let mut opt = AdamW::new(0.02).with_weight_decay(0.001);
+    let mut records = Vec::new();
+    let ns = time("train_epoch_probe", &mut records, || {
+        std::hint::black_box(model.train_epoch(&prep, &targets, &mut opt));
+    });
+    println!("epoch_probe_ns: {ns:.1}");
+    std::process::exit(0);
+}
+
+/// Re-exec this binary as an epoch probe under `MGA_THREADS=threads`;
+/// returns the measured ns/epoch, or `None` if the child failed.
+fn probe_threads(threads: usize, quick: bool, seed: u64) -> Option<f64> {
+    let exe = std::env::current_exe().ok()?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--epoch-probe").arg("--quiet");
+    if quick {
+        cmd.arg("--quick");
+    }
+    cmd.arg("--seed").arg(seed.to_string());
+    let out = cmd
+        .env("MGA_THREADS", threads.to_string())
+        // The probe must not inherit trace/metrics sinks — its child
+        // telemetry would interleave with (and corrupt) this run's.
+        .env_remove("MGA_TRACE")
+        .env_remove("MGA_METRICS_OUT")
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        eprintln!("epoch probe (MGA_THREADS={threads}) failed: {}", out.status);
+        return None;
+    }
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find_map(|l| l.strip_prefix("epoch_probe_ns: ")?.trim().parse().ok())
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--epoch-probe") {
+        epoch_probe();
+    }
     let opts = parse_opts();
     let ds = thread_dataset(opts);
     let task = OmpTask::new(&ds);
@@ -79,6 +143,36 @@ fn main() {
         .set_float("train_epoch_ns", epoch_ns)
         .set_float("inference_fold_ns", inf_ns)
         .set_float("inference_one_sample_ns", one_ns);
+
+    // Thread-scaling records for the data-parallel epoch, one probe
+    // subprocess per thread count (see the module docs).
+    let mut per_thread = Vec::new();
+    for threads in [1usize, 2, 4] {
+        match probe_threads(threads, opts.quick, opts.seed) {
+            Some(ns) => {
+                let name = format!("train_epoch_threads_{threads}");
+                println!("{name:<28} {ns:>16.1} ns/iter  (probe)");
+                records.push(format!(
+                    "{{\"name\": \"{name}\", \"iters\": 1, \"ns_per_iter\": {ns:.1}}}"
+                ));
+                man.set_float(&format!("{name}_ns"), ns);
+                per_thread.push((threads, ns));
+            }
+            None => eprintln!("bench_report: skipping train_epoch_threads_{threads} record"),
+        }
+    }
+    let t1 = per_thread.iter().find(|(t, _)| *t == 1).map(|&(_, ns)| ns);
+    let t4 = per_thread.iter().find(|(t, _)| *t == 4).map(|&(_, ns)| ns);
+    if let (Some(t1), Some(t4)) = (t1, t4) {
+        if t1 > 0.0 {
+            let ratio = (t4 / t1 * 1000.0).round();
+            println!("{:<28} {ratio:>16.1} per-mille (4t/1t)", "train_scaling_4x");
+            records.push(format!(
+                "{{\"name\": \"train_scaling_4x\", \"iters\": 1, \"ns_per_iter\": {ratio:.1}}}"
+            ));
+            man.set_float("train_scaling_4x_permille", ratio);
+        }
+    }
 
     let path = "BENCH_train.json";
     let write_records = || -> std::io::Result<()> {

@@ -22,13 +22,17 @@ use mga_gnn::{GnnConfig, GraphBatch, HeteroGnn};
 use mga_graph::ProGraph;
 use mga_nn::layers::{Activation, Linear};
 use mga_nn::optim::{AdamW, AdamWState};
+use mga_nn::params::{tree_sum, GradShard, GradShards};
+use mga_nn::pool;
 use mga_nn::scaler::{GaussRankScaler, MinMaxScaler};
 use mga_nn::tape::{FusedAct, Tape, Var};
 use mga_nn::tensor::Tensor;
 use mga_nn::ParamSet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::OnceCell;
 use std::path::Path;
+use std::sync::{Mutex, OnceLock};
 
 /// Which static modalities the model uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +185,33 @@ pub struct FusionModel {
     /// sequence into recycled buffers, so the steady-state epoch loop
     /// performs zero tape-tensor heap allocations.
     pub(crate) tape: Tape,
+    /// Data-parallel epoch state (replica tapes + gradient shards),
+    /// populated on the first multi-micro-batch epoch and replayed by
+    /// the rest — each replica has the same zero-alloc steady state as
+    /// the single tape above.
+    pub(crate) dp: DpState,
+    /// Scratch tape for [`FusionModel::predict_prepared`]: repeated
+    /// evaluation (shadow-eval, `evaluate_online`) replays into recycled
+    /// buffers instead of rebuilding a fresh graph per call. `try_lock`
+    /// so concurrent predictors fall back to a fresh tape — replay is
+    /// bitwise-identical to a fresh build, so the fallback never changes
+    /// results.
+    predict_tape: Mutex<Tape>,
+}
+
+/// Replica tapes and gradient shards of the data-parallel epoch, one of
+/// each per micro-batch; see [`FusionModel::train_epoch_stats`].
+#[derive(Default)]
+pub(crate) struct DpState {
+    replicas: Vec<Replica>,
+    shards: GradShards,
+}
+
+/// One micro-batch's persistent training state.
+struct Replica {
+    tape: Tape,
+    /// Scaled loss of the last pass, combined by [`tree_sum`].
+    loss: f32,
 }
 
 impl FusionModel {
@@ -250,6 +281,8 @@ impl FusionModel {
             head_sizes: head_sizes.to_vec(),
             final_loss: f32::NAN,
             tape: Tape::new(),
+            dp: DpState::default(),
+            predict_tape: Mutex::new(Tape::new()),
         }
     }
 }
@@ -287,6 +320,106 @@ pub struct PreparedBatch {
     summaries: Option<Tensor>,
     /// Min-max-scaled auxiliary features, one row per *sample*.
     aux: Option<Tensor>,
+    /// Lazily built micro-batch plan for the data-parallel epoch (empty
+    /// = run the single-tape path). Built once per batch: the partition
+    /// is a pure function of the batch and the configured width, so
+    /// every epoch replays the same plan.
+    micro: OnceCell<Vec<MicroBatch>>,
+}
+
+/// One micro-batch of the data-parallel epoch: a contiguous sample range
+/// `[lo, hi)` of its [`PreparedBatch`] plus per-kernel tables restricted
+/// to the kernels those samples reference, so each replica's forward
+/// pass — including the GNN, the dominant epoch cost — runs only on its
+/// own slice of the batch.
+struct MicroBatch {
+    lo: usize,
+    hi: usize,
+    /// Per sample in `[lo, hi)`: its kernel's row in this micro-batch's
+    /// tables (the micro-local analogue of `PreparedBatch::sample_rows`).
+    sample_rows: Vec<u32>,
+    /// Sub-batch of the graphs this range's kernels own (row-stable:
+    /// bitwise the same readout rows as the full batch).
+    graph: Option<GraphBatch>,
+    /// Row subsets of the corresponding `PreparedBatch` tables.
+    graph_precomputed: Option<Tensor>,
+    codes: Option<Tensor>,
+    raw_vecs: Option<Tensor>,
+    summaries: Option<Tensor>,
+}
+
+/// Borrowed view of one forward pass's inputs — either a whole
+/// [`PreparedBatch`] or one [`MicroBatch`] of it — so the full-batch and
+/// data-parallel paths share a single forward implementation
+/// ([`FusionModel::forward_view`]).
+struct BatchView<'a> {
+    graph: Option<&'a GraphBatch>,
+    graph_precomputed: Option<&'a Tensor>,
+    codes: Option<&'a Tensor>,
+    raw_vecs: Option<&'a Tensor>,
+    summaries: Option<&'a Tensor>,
+    sample_rows: &'a [u32],
+    /// The per-sample aux table plus this view's row range within it.
+    aux: Option<(&'a Tensor, usize, usize)>,
+}
+
+/// Micro-batch width for data-parallel epochs: `MGA_MICROBATCH` (read
+/// once), default 8. Deliberately *not* derived from `MGA_THREADS`: the
+/// partition fixes the gradient summation tree, so it must be identical
+/// at every thread count for training to stay bitwise thread-invariant.
+fn configured_microbatch_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        if let Ok(v) = std::env::var("MGA_MICROBATCH") {
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => return n,
+                _ => {
+                    mga_obs::warn!(
+                        "MGA_MICROBATCH={v:?} is not a positive integer; using the default"
+                    );
+                }
+            }
+        }
+        8
+    })
+}
+
+/// Split `[0, n)` into at most `width` contiguous sample ranges of
+/// near-equal size, snapping each boundary forward to the next kernel-row
+/// change. Samples arrive kernel-sorted (`prepare` maps sorted distinct
+/// kernels), so snapping means no kernel's samples straddle two
+/// micro-batches — each graph is computed by exactly one replica and the
+/// epoch's total GNN work stays identical to the single-tape path. A
+/// batch whose first kernel covers everything collapses to one range
+/// (the caller then uses the single-tape path, which still parallelizes
+/// inside its kernels).
+fn micro_ranges(sample_rows: &[u32], width: usize) -> Vec<(usize, usize)> {
+    let n = sample_rows.len();
+    if n == 0 || width <= 1 {
+        return vec![(0, n)];
+    }
+    let per = n.div_ceil(width);
+    let mut ranges = Vec::new();
+    let mut lo = 0;
+    while lo < n {
+        let mut hi = (lo + per).min(n);
+        while hi < n && sample_rows[hi] == sample_rows[hi - 1] {
+            hi += 1;
+        }
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
+/// Copy the given rows of a per-kernel table into a dense sub-table.
+fn subset_rows(t: &Tensor, rows: &[usize]) -> Tensor {
+    let cols = t.cols();
+    let mut data: Vec<f32> = Vec::with_capacity(rows.len() * cols);
+    for &r in rows {
+        data.extend_from_slice(t.row_slice(r));
+    }
+    Tensor::from_vec(rows.len(), cols, data)
 }
 
 impl PreparedBatch {
@@ -299,6 +432,49 @@ impl PreparedBatch {
     /// Number of samples in the batch.
     pub fn num_samples(&self) -> usize {
         self.sample_rows.len()
+    }
+
+    /// The micro-batch plan at `width`, built on first use and cached
+    /// (an empty slice means "don't data-parallelize this batch"). The
+    /// first caller's width sticks — within a process the width is a
+    /// constant, and tests that vary it prepare a fresh batch per width.
+    fn micro_plan(&self, width: usize) -> &[MicroBatch] {
+        self.micro.get_or_init(|| {
+            let ranges = micro_ranges(&self.sample_rows, width);
+            if ranges.len() <= 1 {
+                return Vec::new();
+            }
+            ranges
+                .into_iter()
+                .map(|(lo, hi)| self.build_micro(lo, hi))
+                .collect()
+        })
+    }
+
+    /// Materialize one micro-batch: local kernel tables for the range's
+    /// kernels plus the remapped sample→row indices.
+    fn build_micro(&self, lo: usize, hi: usize) -> MicroBatch {
+        let mut kernel_rows: Vec<u32> = self.sample_rows[lo..hi].to_vec();
+        kernel_rows.sort_unstable();
+        kernel_rows.dedup();
+        let sample_rows: Vec<u32> = self.sample_rows[lo..hi]
+            .iter()
+            .map(|r| kernel_rows.binary_search(r).unwrap() as u32)
+            .collect();
+        let rows: Vec<usize> = kernel_rows.iter().map(|&r| r as usize).collect();
+        MicroBatch {
+            lo,
+            hi,
+            sample_rows,
+            graph: self.graph.as_ref().map(|g| g.subset(&rows)),
+            graph_precomputed: self
+                .graph_precomputed
+                .as_ref()
+                .map(|t| subset_rows(t, &rows)),
+            codes: self.codes.as_ref().map(|t| subset_rows(t, &rows)),
+            raw_vecs: self.raw_vecs.as_ref().map(|t| subset_rows(t, &rows)),
+            summaries: self.summaries.as_ref().map(|t| subset_rows(t, &rows)),
+        }
     }
 }
 
@@ -620,6 +796,8 @@ impl FusionModel {
             head_sizes: head_sizes.to_vec(),
             final_loss: f32::MAX,
             tape: Tape::new(),
+            dp: DpState::default(),
+            predict_tape: Mutex::new(Tape::new()),
         };
         let rng_state = rng.to_state();
         (model, rng_state)
@@ -726,6 +904,7 @@ impl FusionModel {
             raw_vecs,
             summaries,
             aux,
+            micro: OnceCell::new(),
         }
     }
 
@@ -789,31 +968,49 @@ impl FusionModel {
     /// head. Only the GNN and the fused MLP compute — the static
     /// features enter the tape as cached leaves.
     pub fn forward_prepared(&self, tape: &mut Tape, prep: &PreparedBatch) -> Vec<Var> {
+        self.forward_view(
+            tape,
+            BatchView {
+                graph: prep.graph.as_ref(),
+                graph_precomputed: prep.graph_precomputed.as_ref(),
+                codes: prep.codes.as_ref(),
+                raw_vecs: prep.raw_vecs.as_ref(),
+                summaries: prep.summaries.as_ref(),
+                sample_rows: &prep.sample_rows,
+                aux: prep.aux.as_ref().map(|t| (t, 0, prep.num_samples())),
+            },
+        )
+    }
+
+    /// The one forward implementation behind both the full-batch pass
+    /// and the data-parallel micro-batch passes: a [`BatchView`] names
+    /// which tables to read and which aux row range belongs to it.
+    fn forward_view(&self, tape: &mut Tape, view: BatchView<'_>) -> Vec<Var> {
         mga_obs::span!("model.forward");
         let mut parts: Vec<Var> = Vec::new();
-        if let Some(pre) = &prep.graph_precomputed {
+        if let Some(pre) = view.graph_precomputed {
             // Degraded mode: the embeddings were computed outside the
             // tape (no gradient flows into the GNN for this batch).
             let t = tape.leaf_ref(pre);
-            parts.push(tape.gather_rows(t, &prep.sample_rows));
-        } else if let (Some(gnn), Some(batch)) = (&self.gnn, &prep.graph) {
+            parts.push(tape.gather_rows(t, view.sample_rows));
+        } else if let (Some(gnn), Some(batch)) = (&self.gnn, view.graph) {
             let kernel_emb = gnn.forward(tape, &self.ps, batch);
-            parts.push(tape.gather_rows(kernel_emb, &prep.sample_rows));
+            parts.push(tape.gather_rows(kernel_emb, view.sample_rows));
         }
-        if let Some(codes) = &prep.codes {
+        if let Some(codes) = view.codes {
             let codes = tape.leaf_ref(codes);
-            parts.push(tape.gather_rows(codes, &prep.sample_rows));
+            parts.push(tape.gather_rows(codes, view.sample_rows));
         }
-        if let Some(vecs) = &prep.raw_vecs {
+        if let Some(vecs) = view.raw_vecs {
             let vecs = tape.leaf_ref(vecs);
-            parts.push(tape.gather_rows(vecs, &prep.sample_rows));
+            parts.push(tape.gather_rows(vecs, view.sample_rows));
         }
-        if let Some(summaries) = &prep.summaries {
+        if let Some(summaries) = view.summaries {
             let t = tape.leaf_ref(summaries);
-            parts.push(tape.gather_rows(t, &prep.sample_rows));
+            parts.push(tape.gather_rows(t, view.sample_rows));
         }
-        if let Some(aux) = &prep.aux {
-            parts.push(tape.leaf_ref(aux));
+        if let Some((aux, lo, hi)) = view.aux {
+            parts.push(tape.leaf_rows(aux, lo, hi));
         }
         let fused = if parts.len() == 1 {
             parts[0]
@@ -849,7 +1046,68 @@ impl FusionModel {
         targets: &[Vec<u32>],
         opt: &mut AdamW,
     ) -> EpochStats {
+        self.train_epoch_stats_width(prep, targets, opt, None)
+    }
+
+    /// [`FusionModel::train_epoch_stats`] with an explicit micro-batch
+    /// width (`None` = the process-wide `MGA_MICROBATCH` default). The
+    /// parity tests and scaling benchmarks use this to vary the
+    /// partition without re-spawning the process.
+    ///
+    /// The epoch is data-parallel when the partition yields W > 1
+    /// micro-batches: each replica runs forward/loss/backward on its own
+    /// persistent tape concurrently, gradients combine through a
+    /// fixed-shape binary tree ([`GradShards`]), and the optimizer step
+    /// sees exactly one full-batch gradient. The partition and the tree
+    /// depend only on the batch and W — never on `MGA_THREADS` — so the
+    /// trained parameters are bitwise identical at any thread count. A
+    /// single-micro-batch partition runs today's single-tape path
+    /// unchanged.
+    pub fn train_epoch_stats_width(
+        &mut self,
+        prep: &PreparedBatch,
+        targets: &[Vec<u32>],
+        opt: &mut AdamW,
+        width: Option<usize>,
+    ) -> EpochStats {
         mga_obs::span!("train_epoch");
+        let width = width.unwrap_or_else(configured_microbatch_width);
+        let micros = prep.micro_plan(width);
+        let loss = if micros.is_empty() {
+            self.epoch_single_tape(prep, targets)
+        } else {
+            self.epoch_data_parallel(micros, prep, targets)
+        };
+        if mga_obs::fault::armed() {
+            if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Grad) {
+                if shot.kind == mga_obs::fault::Kind::Nan {
+                    self.poison_first_grad();
+                }
+            }
+        }
+        let grad_norm = {
+            mga_obs::span!("optimizer");
+            let grad_norm = self.ps.clip_grad_norm(5.0);
+            opt.step(&mut self.ps);
+            grad_norm
+        };
+        mga_obs::metrics::counter("train.epochs").inc();
+        mga_obs::metrics::gauge("train.loss").set(loss as f64);
+        mga_obs::metrics::gauge("train.grad_norm").set(grad_norm as f64);
+        mga_obs::metrics::histogram(
+            "train.batch_rows",
+            &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+        )
+        .observe(prep.sample_rows.len() as f64);
+        EpochStats { loss, grad_norm }
+    }
+
+    /// The original single-tape epoch body: one forward/loss/backward
+    /// over the whole batch, gradients accumulated straight into the
+    /// `ParamSet`. Degenerate partitions (W = 1, tiny or single-kernel
+    /// batches) take this path, which keeps them bitwise identical to
+    /// every release before data-parallel training existed.
+    fn epoch_single_tape(&mut self, prep: &PreparedBatch, targets: &[Vec<u32>]) -> f32 {
         // The persistent tape: taken out for the borrow (forward reads
         // `&self` while the tape is mutated), returned before exit.
         // `reset` flips it into replay mode after the first epoch, so
@@ -886,28 +1144,141 @@ impl FusionModel {
             mga_obs::metrics::counter("tape.steady_alloc_bytes").add(tape.pass_alloc_bytes());
         }
         self.tape = tape;
-        if mga_obs::fault::armed() {
-            if let Some(shot) = mga_obs::fault::fire(mga_obs::fault::Site::Grad) {
-                if shot.kind == mga_obs::fault::Kind::Nan {
-                    self.poison_first_grad();
-                }
+        loss
+    }
+
+    /// The data-parallel epoch body: one concurrent forward/loss/backward
+    /// per micro-batch on persistent replica tapes, then a fixed-shape
+    /// tree reduction of the per-replica gradient shards into the shared
+    /// `ParamSet`. The summed gradient equals the full batch's (each
+    /// replica's mean-CE loss is pre-scaled by its sample fraction), and
+    /// its floats are a pure function of the partition — scheduling and
+    /// thread count only decide *where* each replica runs.
+    fn epoch_data_parallel(
+        &mut self,
+        micros: &[MicroBatch],
+        prep: &PreparedBatch,
+        targets: &[Vec<u32>],
+    ) -> f32 {
+        let w = micros.len();
+        let n_total = prep.num_samples();
+        let mut dp = std::mem::take(&mut self.dp);
+        dp.shards.begin_pass(&self.ps, w);
+        dp.replicas.truncate(w);
+        while dp.replicas.len() < w {
+            dp.replicas.push(Replica {
+                tape: Tape::new(),
+                loss: 0.0,
+            });
+        }
+        {
+            mga_obs::span!("train_epoch.microbatches");
+            let replicas = pool::SendPtr::new(dp.replicas.as_mut_ptr());
+            let shards = pool::SendPtr::new(dp.shards.shards_mut().as_mut_ptr());
+            let aux = prep.aux.as_ref();
+            let model = &*self;
+            pool::parallel_for(w, |i| {
+                // Chunk i exclusively owns replica i and shard i; the
+                // model itself is only read.
+                let rep = unsafe { &mut *replicas.get().add(i) };
+                let shard = unsafe { &mut *shards.get().add(i) };
+                // The micro-batches already saturate the pool; keep each
+                // replica's kernels on its own thread (nesting bound).
+                pool::inline_scope(|| {
+                    rep.loss = model.micro_batch_pass(
+                        &mut rep.tape,
+                        shard,
+                        &micros[i],
+                        aux,
+                        targets,
+                        n_total,
+                    );
+                });
+            });
+        }
+        let (mut alloc, mut reuse, mut steady) = (0u64, 0u64, 0u64);
+        for rep in &dp.replicas {
+            alloc += rep.tape.pass_alloc_bytes();
+            reuse += rep.tape.pass_reuse_count();
+            if rep.tape.replaying() {
+                steady += rep.tape.pass_alloc_bytes();
             }
         }
-        let grad_norm = {
-            mga_obs::span!("optimizer");
-            let grad_norm = self.ps.clip_grad_norm(5.0);
-            opt.step(&mut self.ps);
-            grad_norm
-        };
-        mga_obs::metrics::counter("train.epochs").inc();
-        mga_obs::metrics::gauge("train.loss").set(loss as f64);
-        mga_obs::metrics::gauge("train.grad_norm").set(grad_norm as f64);
+        mga_obs::metrics::counter("tape.alloc_bytes").add(alloc);
+        mga_obs::metrics::counter("tape.arena_reuse").add(reuse);
+        // Steady state: must stay at zero (asserted by validate_trace);
+        // each replica replays its own memory plan.
+        mga_obs::metrics::counter("tape.steady_alloc_bytes").add(steady);
+        let reduce_start = std::time::Instant::now();
+        {
+            mga_obs::span!("train_epoch.reduce");
+            dp.shards.reduce_into(&mut self.ps);
+        }
+        mga_obs::metrics::counter("train.microbatch.reduce_ns")
+            .add(reduce_start.elapsed().as_nanos() as u64);
         mga_obs::metrics::histogram(
-            "train.batch_rows",
-            &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+            "train.microbatch.width",
+            &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
         )
-        .observe(prep.sample_rows.len() as f64);
-        EpochStats { loss, grad_norm }
+        .observe(w as f64);
+        let losses: Vec<f32> = dp.replicas.iter().map(|r| r.loss).collect();
+        self.dp = dp;
+        // Same fixed tree as the gradients, so the reported loss is as
+        // thread-count-invariant as the weights.
+        tree_sum(&losses)
+    }
+
+    /// One replica's share of a data-parallel epoch: replay-reset its
+    /// tape, forward its micro-batch, scale the summed head losses by the
+    /// replica's sample fraction (so the shard gradients sum to the
+    /// full-batch mean-CE gradient), backpropagate, and flush parameter
+    /// gradients into its shard.
+    fn micro_batch_pass(
+        &self,
+        tape: &mut Tape,
+        shard: &mut GradShard,
+        mb: &MicroBatch,
+        aux: Option<&Tensor>,
+        targets: &[Vec<u32>],
+        n_total: usize,
+    ) -> f32 {
+        tape.reset();
+        let logits = {
+            mga_obs::span!("forward");
+            self.forward_view(
+                tape,
+                BatchView {
+                    graph: mb.graph.as_ref(),
+                    graph_precomputed: mb.graph_precomputed.as_ref(),
+                    codes: mb.codes.as_ref(),
+                    raw_vecs: mb.raw_vecs.as_ref(),
+                    summaries: mb.summaries.as_ref(),
+                    sample_rows: &mb.sample_rows,
+                    aux: aux.map(|t| (t, mb.lo, mb.hi)),
+                },
+            )
+        };
+        debug_assert_eq!(logits.len(), targets.len());
+        let (total, loss) = {
+            mga_obs::span!("loss");
+            let mut total: Option<Var> = None;
+            for (lg, tg) in logits.iter().zip(targets) {
+                let loss = tape.softmax_cross_entropy(*lg, &tg[mb.lo..mb.hi]);
+                total = Some(match total {
+                    None => loss,
+                    Some(t) => tape.add(t, loss),
+                });
+            }
+            let total = total.expect("at least one head");
+            let total = tape.scale(total, (mb.hi - mb.lo) as f32 / n_total as f32);
+            (total, tape.value(total).get(0, 0))
+        };
+        {
+            mga_obs::span!("backward");
+            tape.backward(total);
+            tape.accumulate_param_grads_shard(shard);
+        }
+        loss
     }
 
     /// `grad:nan` fault-injection payload: corrupt one gradient scalar,
@@ -934,11 +1305,23 @@ impl FusionModel {
 
     /// Predict head classes over an already-prepared batch, skipping the
     /// kernel dedup / graph batching / DAE encoding / scaler work that
-    /// [`FusionModel::prepare`] hoists out.
+    /// [`FusionModel::prepare`] hoists out. Runs on the model's cached
+    /// scratch tape, so repeated evaluation (`evaluate_online`,
+    /// shadow-eval) replays into recycled buffers instead of rebuilding
+    /// a graph per call; replay is bitwise-identical to a fresh build,
+    /// and a contended (or poisoned) scratch tape falls back to one.
     pub fn predict_prepared(&self, prep: &PreparedBatch) -> Vec<Vec<usize>> {
         mga_obs::span!("model.predict");
-        let mut tape = Tape::new();
-        let logits = self.forward_prepared(&mut tape, prep);
+        let mut guard = self.predict_tape.try_lock().ok();
+        let mut fallback = Tape::new();
+        let tape: &mut Tape = match guard.as_deref_mut() {
+            Some(t) => {
+                t.reset();
+                t
+            }
+            None => &mut fallback,
+        };
+        let logits = self.forward_prepared(tape, prep);
         logits
             .iter()
             .map(|lg| {
@@ -1048,6 +1431,21 @@ impl FusionModel {
     /// Number of trainable scalar parameters.
     pub fn num_params(&self) -> usize {
         self.ps.num_scalars()
+    }
+
+    /// FNV-1a checksum over the exact bit patterns of every parameter,
+    /// in registration order. Two models agree here iff their weights
+    /// are bitwise identical — the parity tests use this to compare
+    /// training runs across partitions, thread counts and processes.
+    pub fn param_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for id in self.ps.ids() {
+            for &x in self.ps.value(id).data() {
+                h ^= x.to_bits() as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 
     /// Continue training this model on new samples (§7 transfer

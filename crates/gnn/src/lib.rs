@@ -313,6 +313,18 @@ impl HeteroGnn {
     }
 }
 
+/// Per-graph extent bookkeeping inside a [`GraphBatch`] — how many
+/// nodes, edges (per relation) and instruction nodes one graph
+/// contributed. Recorded at pack time so a batch can later be re-sliced
+/// into sub-batches ([`GraphBatch::subset`]) without the source
+/// [`ProGraph`]s, which prepared training batches no longer hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSpan {
+    pub nodes: u32,
+    pub edges: [u32; 3],
+    pub instrs: u32,
+}
+
 /// Several graphs packed block-diagonally for one forward pass.
 pub struct GraphBatch {
     pub num_nodes: usize,
@@ -326,6 +338,8 @@ pub struct GraphBatch {
     pub instr_nodes: Vec<u32>,
     /// ...and which graph each instruction node belongs to.
     pub instr_graph: Vec<u32>,
+    /// Extent of each packed graph, in pack order.
+    pub spans: Vec<GraphSpan>,
 }
 
 impl GraphBatch {
@@ -341,23 +355,31 @@ impl GraphBatch {
             edge_dst: [Vec::new(), Vec::new(), Vec::new()],
             instr_nodes: Vec::new(),
             instr_graph: Vec::new(),
+            spans: Vec::with_capacity(graphs.len()),
         };
         for (gi, g) in graphs.iter().enumerate() {
             let base = batch.num_nodes as u32;
             for n in &g.nodes {
                 batch.vocab_ids.push(n.vocab_index() as u32);
             }
+            let mut edges = [0u32; 3];
             for r in Relation::ALL {
                 // The graph's cached endpoint lists (shared with CSR
                 // construction) — only the base offset is batch-specific.
                 let (srcs, dsts) = g.edge_endpoints(r);
                 batch.edge_src[r.index()].extend(srcs.iter().map(|&s| base + s));
                 batch.edge_dst[r.index()].extend(dsts.iter().map(|&d| base + d));
+                edges[r.index()] = srcs.len() as u32;
             }
             for &i in g.instruction_node_ids() {
                 batch.instr_nodes.push(base + i);
                 batch.instr_graph.push(gi as u32);
             }
+            batch.spans.push(GraphSpan {
+                nodes: g.num_nodes() as u32,
+                edges,
+                instrs: g.instruction_node_ids().len() as u32,
+            });
             batch.num_nodes += g.num_nodes();
         }
         batch
@@ -366,6 +388,83 @@ impl GraphBatch {
     /// Batch of one.
     pub fn single(g: &ProGraph) -> GraphBatch {
         GraphBatch::new(&[g])
+    }
+
+    /// Re-pack a subset of this batch's graphs (by ascending pack index)
+    /// into a new block-diagonal batch, rebasing node indices.
+    ///
+    /// Row-stable by the same argument as batching itself: graph
+    /// `keep[j]` occupies block `j` of the sub-batch with exactly the
+    /// nodes, edges and instruction readout it had in the full batch, so
+    /// a forward over the subset produces bitwise the rows the full
+    /// batch produced for those graphs. The data-parallel trainer uses
+    /// this to hand each micro-batch only the graphs its samples touch.
+    pub fn subset(&self, keep: &[usize]) -> GraphBatch {
+        assert!(!keep.is_empty(), "empty graph subset");
+        // Prefix offsets of every graph's block in the packed arrays.
+        let mut node_off = Vec::with_capacity(self.num_graphs);
+        let mut edge_off = [
+            Vec::with_capacity(self.num_graphs),
+            Vec::with_capacity(self.num_graphs),
+            Vec::with_capacity(self.num_graphs),
+        ];
+        let mut instr_off = Vec::with_capacity(self.num_graphs);
+        let (mut n, mut e, mut i) = (0u32, [0u32; 3], 0u32);
+        for span in &self.spans {
+            node_off.push(n);
+            instr_off.push(i);
+            n += span.nodes;
+            i += span.instrs;
+            for r in 0..3 {
+                edge_off[r].push(e[r]);
+                e[r] += span.edges[r];
+            }
+        }
+        let mut sub = GraphBatch {
+            num_nodes: 0,
+            num_graphs: keep.len(),
+            vocab_ids: Vec::new(),
+            edge_src: [Vec::new(), Vec::new(), Vec::new()],
+            edge_dst: [Vec::new(), Vec::new(), Vec::new()],
+            instr_nodes: Vec::new(),
+            instr_graph: Vec::new(),
+            spans: Vec::with_capacity(keep.len()),
+        };
+        let mut prev = None;
+        for (j, &gi) in keep.iter().enumerate() {
+            assert!(prev.is_none_or(|p| p < gi), "subset must be ascending");
+            prev = Some(gi);
+            let span = self.spans[gi];
+            let old_base = node_off[gi];
+            let new_base = sub.num_nodes as u32;
+            let nodes = old_base as usize..(old_base + span.nodes) as usize;
+            sub.vocab_ids.extend_from_slice(&self.vocab_ids[nodes]);
+            for (r, off) in edge_off.iter().enumerate() {
+                let lo = off[gi] as usize;
+                let hi = lo + span.edges[r] as usize;
+                sub.edge_src[r].extend(
+                    self.edge_src[r][lo..hi]
+                        .iter()
+                        .map(|&s| s - old_base + new_base),
+                );
+                sub.edge_dst[r].extend(
+                    self.edge_dst[r][lo..hi]
+                        .iter()
+                        .map(|&d| d - old_base + new_base),
+                );
+            }
+            let lo = instr_off[gi] as usize;
+            let hi = lo + span.instrs as usize;
+            sub.instr_nodes.extend(
+                self.instr_nodes[lo..hi]
+                    .iter()
+                    .map(|&x| x - old_base + new_base),
+            );
+            sub.instr_graph.extend((lo..hi).map(|_| j as u32));
+            sub.spans.push(span);
+            sub.num_nodes += span.nodes as usize;
+        }
+        sub
     }
 }
 
@@ -477,6 +576,63 @@ mod tests {
         for (a, b) in batched1.iter().zip(&solo1) {
             assert!((a - b).abs() < 1e-5, "batching changed graph 1: {a} vs {b}");
         }
+    }
+
+    /// `subset` must reproduce the full batch's readout rows *bitwise*:
+    /// the data-parallel trainer leans on this to split an epoch's graph
+    /// work across micro-batches without changing any float.
+    #[test]
+    fn subset_forward_is_bitwise_row_stable() {
+        let graphs: Vec<ProGraph> = (1..=4)
+            .flat_map(|n| [kernel(true, n), kernel(false, n)])
+            .collect();
+        let refs: Vec<&ProGraph> = graphs.iter().collect();
+        let mut ps = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let gnn = HeteroGnn::new(&mut ps, "g", &GnnConfig::default(), &mut rng);
+
+        let full = GraphBatch::new(&refs);
+        let mut tape = Tape::new();
+        let out = gnn.forward(&mut tape, &ps, &full);
+        let full_rows: Vec<Vec<f32>> = (0..full.num_graphs)
+            .map(|g| tape.value(out).row_slice(g).to_vec())
+            .collect();
+
+        for keep in [
+            vec![0],
+            vec![3, 7],
+            vec![1, 2, 5],
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+        ] {
+            let sub = full.subset(&keep);
+            assert_eq!(sub.num_graphs, keep.len());
+            let mut t = Tape::new();
+            let o = gnn.forward(&mut t, &ps, &sub);
+            for (j, &gi) in keep.iter().enumerate() {
+                assert_eq!(
+                    t.value(o).row_slice(j),
+                    full_rows[gi].as_slice(),
+                    "subset {keep:?} row {j} (graph {gi}) must be bitwise identical"
+                );
+            }
+        }
+    }
+
+    /// Spans recorded at pack time describe exactly the packed extents.
+    #[test]
+    fn spans_account_for_every_packed_element() {
+        let g1 = kernel(true, 2);
+        let g2 = kernel(false, 3);
+        let batch = GraphBatch::new(&[&g1, &g2]);
+        assert_eq!(batch.spans.len(), 2);
+        let nodes: u32 = batch.spans.iter().map(|s| s.nodes).sum();
+        assert_eq!(nodes as usize, batch.num_nodes);
+        for r in 0..3 {
+            let edges: u32 = batch.spans.iter().map(|s| s.edges[r]).sum();
+            assert_eq!(edges as usize, batch.edge_src[r].len());
+        }
+        let instrs: u32 = batch.spans.iter().map(|s| s.instrs).sum();
+        assert_eq!(instrs as usize, batch.instr_nodes.len());
     }
 
     #[test]

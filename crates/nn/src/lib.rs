@@ -58,6 +58,6 @@ pub mod spsc;
 pub mod tape;
 pub mod tensor;
 
-pub use params::{ParamId, ParamSet};
+pub use params::{GradShard, GradShards, ParamId, ParamSet};
 pub use tape::{FusedAct, Tape, Var};
 pub use tensor::Tensor;

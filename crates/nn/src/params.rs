@@ -177,6 +177,146 @@ impl ParamSet {
     }
 }
 
+/// One micro-batch's gradient accumulator: a buffer per parameter plus a
+/// first-write flag so untouched parameters cost nothing to reduce.
+///
+/// A shard is written by exactly one micro-batch per pass (the
+/// data-parallel epoch hands each worker its own shard), so accumulation
+/// needs no synchronization; determinism comes from the fixed-shape tree
+/// in [`GradShards::reduce_into`], not from ordering the writers.
+pub struct GradShard {
+    grads: Vec<Tensor>,
+    written: Vec<bool>,
+}
+
+impl GradShard {
+    /// Add `grad` into this shard's buffer for `id`. The first write of a
+    /// pass copies instead of adding, which is what lets `begin_pass`
+    /// skip zeroing every buffer.
+    pub fn accumulate(&mut self, id: ParamId, grad: &Tensor) {
+        let dst = &mut self.grads[id.0];
+        debug_assert_eq!(dst.shape(), grad.shape(), "grad shard shape mismatch");
+        if self.written[id.0] {
+            dst.add_assign(grad);
+        } else {
+            dst.copy_from(grad);
+            self.written[id.0] = true;
+        }
+    }
+}
+
+/// Per-micro-batch gradient shards with a deterministic tree reduction.
+///
+/// The data-parallel epoch gives each of its W micro-batches one
+/// [`GradShard`]; after the parallel region, [`GradShards::reduce_into`]
+/// folds them into the shared [`ParamSet`] gradients with a fixed-shape
+/// binary tree (stride doubling: `shard[i] += shard[i + s]` for
+/// `s = 1, 2, 4, …`). The tree's shape depends only on W — never on
+/// `MGA_THREADS` or scheduling — so the summation order of every float,
+/// and therefore the trained parameters, are identical for any thread
+/// count.
+#[derive(Default)]
+pub struct GradShards {
+    shards: Vec<GradShard>,
+}
+
+impl GradShards {
+    pub fn new() -> GradShards {
+        GradShards::default()
+    }
+
+    /// Number of shards currently allocated.
+    pub fn width(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Size (or re-size) to `width` shards shaped like `ps`, reusing
+    /// existing buffers where shapes already match, and mark every shard
+    /// unwritten for the coming pass.
+    pub fn begin_pass(&mut self, ps: &ParamSet, width: usize) {
+        self.shards.truncate(width);
+        for shard in &mut self.shards {
+            // Architecture changes between passes are not supported — a
+            // shard set belongs to one model.
+            debug_assert_eq!(shard.grads.len(), ps.len(), "shard/param count mismatch");
+            shard.written.iter_mut().for_each(|w| *w = false);
+        }
+        while self.shards.len() < width {
+            self.shards.push(GradShard {
+                grads: ps
+                    .ids()
+                    .map(|id| {
+                        let (r, c) = ps.value(id).shape();
+                        Tensor::zeros(r, c)
+                    })
+                    .collect(),
+                written: vec![false; ps.len()],
+            });
+        }
+    }
+
+    /// Disjoint mutable access for the parallel region: worker `w` owns
+    /// element `w` of this slice for the duration of the pass.
+    pub fn shards_mut(&mut self) -> &mut [GradShard] {
+        &mut self.shards
+    }
+
+    /// Fold all shards into `ps`'s gradient buffers with the fixed-shape
+    /// binary tree described on the type. Works for any shard count
+    /// (non-powers of two leave lone left nodes that pass through
+    /// unchanged). Shard buffers are left dirty; `begin_pass` resets the
+    /// write flags, so nothing here needs zeroing.
+    pub fn reduce_into(&mut self, ps: &mut ParamSet) {
+        let w = self.shards.len();
+        let mut stride = 1;
+        while stride < w {
+            let mut i = 0;
+            while i + stride < w {
+                let (left, right) = self.shards.split_at_mut(i + stride);
+                let (dst, src) = (&mut left[i], &right[0]);
+                for p in 0..dst.grads.len() {
+                    if !src.written[p] {
+                        continue;
+                    }
+                    if dst.written[p] {
+                        dst.grads[p].add_assign(&src.grads[p]);
+                    } else {
+                        dst.grads[p].copy_from(&src.grads[p]);
+                        dst.written[p] = true;
+                    }
+                }
+                i += stride * 2;
+            }
+            stride *= 2;
+        }
+        if let Some(root) = self.shards.first() {
+            for (p, written) in root.written.iter().enumerate() {
+                if *written {
+                    ps.grad_mut(ParamId(p)).add_assign(&root.grads[p]);
+                }
+            }
+        }
+    }
+}
+
+/// Sum scalars with the same fixed-shape binary tree as
+/// [`GradShards::reduce_into`], so per-micro-batch losses combine in the
+/// same thread-count-invariant order as the gradients they accompany.
+pub fn tree_sum(xs: &[f32]) -> f32 {
+    let mut buf: Vec<f32> = xs.to_vec();
+    let n = buf.len();
+    let mut stride = 1;
+    while stride < n {
+        let mut i = 0;
+        while i + stride < n {
+            buf[i] += buf[i + stride];
+            i += stride * 2;
+        }
+        stride *= 2;
+    }
+    buf.first().copied().unwrap_or(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +340,72 @@ mod tests {
         assert!(ps.grad_norm() > 0.0);
         ps.zero_grads();
         assert_eq!(ps.grad_norm(), 0.0);
+    }
+
+    /// The tree reduction must produce the exact same floats regardless
+    /// of which "thread" filled which shard — the tree shape is a
+    /// function of the shard count alone.
+    #[test]
+    fn tree_reduce_matches_manual_tree_order() {
+        let mut ps = ParamSet::new();
+        let a = ps.add("a", Tensor::zeros(1, 3));
+        let b = ps.add("b", Tensor::zeros(1, 2));
+        let vals = |w: usize| (w as f32 + 1.0) * 0.1;
+
+        let mut shards = GradShards::new();
+        shards.begin_pass(&ps, 5);
+        for (w, shard) in shards.shards_mut().iter_mut().enumerate() {
+            shard.accumulate(a, &Tensor::full(1, 3, vals(w)));
+            if w != 2 {
+                // Param b untouched by shard 2: lone-node pass-through.
+                shard.accumulate(b, &Tensor::full(1, 2, 10.0 * vals(w)));
+            }
+        }
+        shards.reduce_into(&mut ps);
+
+        // Stride-doubling over 5 shards: ((0+1)+(2+3))+4.
+        let expect_a = ((vals(0) + vals(1)) + (vals(2) + vals(3))) + vals(4);
+        let expect_b = ((10.0 * vals(0) + 10.0 * vals(1)) + 10.0 * vals(3)) + 10.0 * vals(4);
+        for &x in ps.grad(a).data() {
+            assert_eq!(x, expect_a);
+        }
+        for &x in ps.grad(b).data() {
+            assert_eq!(x, expect_b);
+        }
+        assert_eq!(
+            tree_sum(&[vals(0), vals(1), vals(2), vals(3), vals(4)]),
+            expect_a
+        );
+    }
+
+    /// begin_pass reuses buffers across passes and reduce adds into any
+    /// gradient already present in the ParamSet.
+    #[test]
+    fn shards_reuse_across_passes_and_add_into_existing_grads() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Tensor::zeros(2, 2));
+        let mut shards = GradShards::new();
+        for pass in 0..2 {
+            shards.begin_pass(&ps, 3);
+            assert_eq!(shards.width(), 3);
+            for shard in shards.shards_mut() {
+                shard.accumulate(w, &Tensor::full(2, 2, 1.0));
+                shard.accumulate(w, &Tensor::full(2, 2, 0.5)); // second write adds
+            }
+            ps.grad_mut(w).data_mut().fill(100.0);
+            shards.reduce_into(&mut ps);
+            for &x in ps.grad(w).data() {
+                assert_eq!(x, 100.0 + 3.0 * 1.5, "pass {pass}");
+            }
+            ps.zero_grads();
+        }
+    }
+
+    #[test]
+    fn tree_sum_edge_cases() {
+        assert_eq!(tree_sum(&[]), 0.0);
+        assert_eq!(tree_sum(&[2.5]), 2.5);
+        assert_eq!(tree_sum(&[1.0, 2.0]), 3.0);
     }
 
     #[test]

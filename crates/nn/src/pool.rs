@@ -240,6 +240,42 @@ pub fn num_threads() -> usize {
     pool().threads
 }
 
+thread_local! {
+    /// When set, `parallel_for` on this thread runs its chunks inline
+    /// instead of dispatching — see [`inline_scope`].
+    static FORCE_INLINE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True when the current thread is inside an [`inline_scope`].
+pub fn inline_forced() -> bool {
+    FORCE_INLINE.with(|c| c.get())
+}
+
+/// Run `f` with every `parallel_for` on this thread forced onto the
+/// inline (sequential) path.
+///
+/// This is the nesting bound for layered parallelism: an outer region
+/// that already saturates the pool (fold-level CV, the data-parallel
+/// epoch's micro-batches) wraps its per-chunk body in `inline_scope` so
+/// the tape kernels inside don't fan out again — nested dispatch would
+/// only add queue traffic and cross-chunk cache pressure, since every
+/// pool thread is already busy. The flag is per-thread and restored on
+/// exit (including panic unwinds), so sibling threads and code after the
+/// scope still dispatch normally. Inline chunks keep the exact same
+/// fault-injection site and panic reporting as dispatched ones, and each
+/// kernel's per-chunk arithmetic is order-identical either way, so
+/// forcing inline never changes results — only scheduling.
+pub fn inline_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_INLINE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_INLINE.with(|c| c.replace(true)));
+    f()
+}
+
 /// Run `task(0) … task(count-1)` across the pool, blocking until all
 /// chunks complete. The calling thread participates, so this is safe to
 /// call from inside another `parallel_for` task.
@@ -254,7 +290,7 @@ pub fn parallel_for(count: usize, task: impl Fn(usize) + Sync) {
     p.m_jobs.inc();
     p.m_chunks.add(count as u64);
     p.m_job_chunks.observe(count as f64);
-    if p.senders.is_empty() || count == 1 {
+    if p.senders.is_empty() || count == 1 || inline_forced() {
         p.counters.jobs_inline.fetch_add(1, Ordering::Relaxed);
         p.counters
             .chunks_inline
@@ -536,6 +572,43 @@ mod tests {
             n.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(n.load(Ordering::Relaxed), 32);
+    }
+
+    /// The nested-parallelism bound: an outer job whose chunks enter
+    /// `inline_scope` must complete all inner work sequentially on the
+    /// owning thread, while threads outside the scope are unaffected.
+    #[test]
+    fn inline_scope_bounds_nested_parallelism() {
+        let before = stats();
+        let total = AtomicUsize::new(0);
+        parallel_for(8, |_| {
+            inline_scope(|| {
+                assert!(inline_forced());
+                parallel_for(16, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+                // Deeper nesting stays inline too.
+                parallel_for(4, |_| {
+                    assert!(inline_forced());
+                });
+            });
+            assert!(!inline_forced(), "flag restored after the scope");
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
+        // All 8 * (16 + 4) inner chunks took the inline path. Counters
+        // are process-global, so only a lower bound is assertable.
+        let after = stats();
+        assert!(after.chunks_inline - before.chunks_inline >= 8 * 20);
+    }
+
+    #[test]
+    fn inline_scope_restores_flag_on_panic() {
+        let result = std::panic::catch_unwind(|| {
+            inline_scope(|| panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert!(!inline_forced(), "unwind must restore the flag");
+        assert_eq!(inline_scope(|| 7), 7);
     }
 
     #[test]
